@@ -1,0 +1,77 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module regenerates one experiment of
+EXPERIMENTS.md.  Timing goes through pytest-benchmark as usual; the
+experiment *tables* (space counts, ratios, crossovers) are accumulated
+here via :func:`record_row` and written to ``benchmarks/results/eN.txt``
+at session end — so ``pytest benchmarks/ --benchmark-only`` leaves both
+the timing tables (stdout) and the experiment tables (files) behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.analysis.ascii_plot import bar_chart
+from repro.analysis.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: "Dict[str, dict]" = {}
+
+
+def record_row(
+    experiment: str,
+    headers: Sequence[str],
+    row: Sequence,
+    title: str = "",
+) -> None:
+    """Append one row to an experiment's result table."""
+    table = _TABLES.setdefault(
+        experiment, {"headers": list(headers), "rows": [], "title": title}
+    )
+    if title:
+        table["title"] = title
+    table["rows"].append(list(row))
+
+
+def _charts_for(table) -> str:
+    """ASCII bar charts (the experiment's 'figures'): every numeric
+    column charted against the first column's labels."""
+    rows = table["rows"]
+    if len(rows) < 2:
+        return ""
+    labels = [row[0] for row in rows]
+    charts = []
+    for col in range(1, len(table["headers"])):
+        values = [row[col] for row in rows]
+        if not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            and v >= 0
+            for v in values
+        ):
+            continue
+        charts.append(
+            bar_chart(labels, values, title=table["headers"][col])
+        )
+    return "\n\n".join(charts)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write accumulated experiment tables + charts to benchmarks/results/."""
+    if not _TABLES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print("\n")
+    for experiment in sorted(_TABLES):
+        table = _TABLES[experiment]
+        text = format_table(
+            table["headers"], table["rows"],
+            title=f"[{experiment}] {table['title']}",
+        )
+        charts = _charts_for(table)
+        output = text + ("\n\n" + charts if charts else "") + "\n"
+        (RESULTS_DIR / f"{experiment}.txt").write_text(output)
+        print(text)
+        print()

@@ -1,0 +1,66 @@
+"""E10 (extension) — bounded-future checking: delay = horizon, space
+bounded by it.
+
+The delayed checker buffers exactly the states inside the constraint's
+future horizon.  Sweeping the deadline window of
+``event(x) -> EVENTUALLY[0,w] flag(x)``:
+
+* the measured worst-case verdict lag tracks the horizon ``w``;
+* the buffer (pending states) is bounded by the number of transitions
+  inside ``w`` clock units, independent of the total history length;
+* per-step cost grows with the window (more buffered states to scan)
+  but not with history length.
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.core.checker import Constraint
+from repro.core.future import DelayedChecker
+from repro.workloads import random_workload
+
+LENGTH = 200
+SEED = 1010
+WINDOWS = [2, 4, 8, 16, 32]
+
+WORKLOAD = random_workload(universe_size=5)
+
+
+@pytest.mark.benchmark(group="e10-future")
+@pytest.mark.parametrize("window", WINDOWS)
+def test_e10_delay_and_buffer_vs_horizon(benchmark, window):
+    constraint = Constraint(
+        "deadline", f"event(x) -> EVENTUALLY[0,{window}] flag(x)"
+    )
+    stream = list(WORKLOAD.stream(LENGTH, seed=SEED))
+
+    def run():
+        checker = DelayedChecker(WORKLOAD.schema, [constraint])
+        max_lag = 0
+        max_pending = 0
+        emitted = 0
+        for time, txn in stream:
+            for report in checker.step(time, txn):
+                max_lag = max(max_lag, time - report.time)
+                emitted += 1
+            max_pending = max(max_pending, checker.pending_states)
+        emitted += len(checker.finish())
+        return max_lag, max_pending, emitted
+
+    max_lag, max_pending, emitted = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert emitted == LENGTH, "every state gets exactly one verdict"
+    assert max_lag <= window + 4, "lag bounded by horizon + one gap"
+    record_row(
+        "e10",
+        [
+            "future window",
+            "max verdict lag (clock)",
+            "max buffered states",
+            "verdicts emitted",
+        ],
+        [window, max_lag, max_pending, emitted],
+        title=f"delayed checking vs future horizon "
+              f"(history length {LENGTH}, seed {SEED})",
+    )

@@ -1,0 +1,65 @@
+"""E12 (extension) — aggregation constraints keep the O(1)-per-step shape.
+
+Aggregation atoms are evaluated against the current state (plus
+virtual tables), so adding them must not reintroduce any dependence on
+history length.  Sweep history length with a COUNT-limit constraint
+and a windowed-COUNT constraint; per-step time must stay flat and the
+auxiliary space bounded.
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.metrics import measure_run
+from repro.analysis.shapes import is_flat
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.workloads import random_workload
+
+LENGTHS = [100, 200, 400, 800]
+SEED = 1212
+
+WORKLOAD = random_workload(universe_size=6)
+
+CONSTRAINTS = [
+    Constraint("count-limit", "n = CNT(b; link(a, b)) -> n <= 4"),
+    Constraint(
+        "windowed-count",
+        "n = CNT(b; ONCE[0,6] link(a, b)) -> n <= 6",
+    ),
+]
+
+_tails = {}
+
+
+@pytest.mark.benchmark(group="e12-aggregates")
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e12_aggregate_step_cost(benchmark, length):
+    stream = WORKLOAD.stream(length, seed=SEED)
+
+    def run():
+        checker = IncrementalChecker(WORKLOAD.schema, CONSTRAINTS)
+        return measure_run(checker, stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_row(
+        "e12",
+        [
+            "history length",
+            "us/step (tail)",
+            "peak aux tuples",
+            "violations",
+        ],
+        [
+            length,
+            round(metrics.tail_mean_step_seconds() * 1e6, 1),
+            metrics.peak_space,
+            metrics.report.violation_count,
+        ],
+        title=f"aggregation constraints: per-step cost vs history "
+              f"(universe 6, seed {SEED})",
+    )
+    _tails[length] = metrics.tail_mean_step_seconds()
+    if len(_tails) == len(LENGTHS):
+        assert is_flat(
+            [_tails[n] for n in LENGTHS], tolerance_ratio=4.0
+        ), "aggregate checking must stay O(1) per step"

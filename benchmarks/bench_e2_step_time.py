@@ -1,0 +1,83 @@
+"""E2 — per-state check time: O(1) incremental vs growing naive.
+
+With an *unbounded* operator (``ONCE[0,*]``) the naive checker must
+rescan an ever longer history at every state, so its per-step time
+grows with the history length; the incremental checker touches only
+its auxiliary relations.  We report the mean per-step time over the
+last quarter of each run (the steady-state figure).
+
+Expected shape: incremental column flat; naive column growing roughly
+linearly in the history length.
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.shapes import growth_order, is_flat
+from repro.analysis.metrics import measure_run
+from repro.core.naive import NaiveChecker
+from repro.workloads import random_workload
+
+LENGTHS = [25, 50, 100, 200, 400]
+SEED = 202
+
+# window=None makes the first template constraint ONCE[0,*] (unbounded)
+WORKLOAD = random_workload(
+    universe_size=5, window=None, constraint_count=2
+)
+
+_tail_us = {}
+
+
+@pytest.mark.benchmark(group="e2-incremental")
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e2_incremental_step_time(benchmark, length):
+    stream = WORKLOAD.stream(length, seed=SEED)
+
+    def run():
+        return measure_run(WORKLOAD.checker(), stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    _tail_us[("inc", length)] = metrics.tail_mean_step_seconds() * 1e6
+
+
+@pytest.mark.benchmark(group="e2-naive")
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e2_naive_step_time(benchmark, length):
+    stream = WORKLOAD.stream(length, seed=SEED)
+
+    def run():
+        checker = NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints)
+        return measure_run(checker, stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    naive_us = metrics.tail_mean_step_seconds() * 1e6
+    inc_us = _tail_us.get(("inc", length))
+    record_row(
+        "e2",
+        [
+            "history length",
+            "incremental us/step (tail)",
+            "naive us/step (tail)",
+            "naive/incremental",
+        ],
+        [
+            length,
+            None if inc_us is None else round(inc_us, 1),
+            round(naive_us, 1),
+            None if not inc_us else round(naive_us / inc_us, 1),
+        ],
+        title="steady-state per-step check time, unbounded ONCE "
+              f"(seed {SEED})",
+    )
+    _tail_us[("naive", length)] = naive_us
+    done = [n for n in LENGTHS if ("naive", n) in _tail_us]
+    if len(done) == len(LENGTHS):
+        inc = [_tail_us[("inc", n)] for n in LENGTHS]
+        naive = [_tail_us[("naive", n)] for n in LENGTHS]
+        assert is_flat(inc, tolerance_ratio=4.0), (
+            "incremental per-step time must not trend with history length"
+        )
+        assert growth_order(LENGTHS, naive) > 0.6, (
+            "naive per-step time must grow with history length"
+        )

@@ -1,0 +1,69 @@
+"""E3 — total-run crossover between naive and incremental checking.
+
+The incremental checker pays a small constant overhead per step for
+auxiliary-relation maintenance; the naive checker pays nothing extra up
+front but re-reads the past.  For very short histories the naive
+checker can therefore win; the experiment locates the crossover and
+shows the gap diverging beyond it.
+
+Expected shape: naive competitive (within ~2x either way) for the
+first few lengths, then losing by a growing factor.
+"""
+
+import time
+
+import pytest
+
+from _experiments import record_row
+from repro.core.naive import NaiveChecker
+from repro.workloads import random_workload
+
+LENGTHS = [4, 8, 16, 32, 64, 128, 256, 512]
+SEED = 303
+
+WORKLOAD = random_workload(
+    universe_size=5, window=None, constraint_count=2
+)
+
+
+def _total_seconds(make_checker, stream) -> float:
+    checker = make_checker()
+    started = time.perf_counter()
+    checker.run(stream)
+    return time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group="e3-crossover")
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e3_total_time_crossover(benchmark, length):
+    stream = WORKLOAD.stream(length, seed=SEED)
+
+    incremental_s = benchmark.pedantic(
+        lambda: _total_seconds(WORKLOAD.checker, stream),
+        rounds=1, iterations=1,
+    )
+    naive_s = _total_seconds(
+        lambda: NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints), stream
+    )
+    record_row(
+        "e3",
+        [
+            "history length",
+            "incremental total (ms)",
+            "naive total (ms)",
+            "winner",
+            "factor",
+        ],
+        [
+            length,
+            round(incremental_s * 1e3, 2),
+            round(naive_s * 1e3, 2),
+            "incremental" if incremental_s <= naive_s else "naive",
+            round(
+                max(incremental_s, naive_s)
+                / max(1e-9, min(incremental_s, naive_s)),
+                2,
+            ),
+        ],
+        title=f"total checking time, unbounded ONCE (seed {SEED})",
+    )

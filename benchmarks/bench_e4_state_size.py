@@ -1,0 +1,54 @@
+"""E4 — cost scales with database (state) size, not history length.
+
+At a fixed history length, growing the value universe grows the states
+the checker must query at each step.  Per-step cost should track the
+measured average state cardinality roughly linearly (the constraint's
+joins are over one shared variable), while remaining independent of
+the history before it (E2 established the latter).
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.metrics import measure_run
+from repro.workloads import random_workload
+
+LENGTH = 150
+SEED = 404
+UNIVERSES = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.benchmark(group="e4-state-size")
+@pytest.mark.parametrize("universe", UNIVERSES)
+def test_e4_step_time_vs_state_size(benchmark, universe):
+    workload = random_workload(
+        universe_size=universe, window=8, constraint_count=2,
+        max_inserts=4, max_deletes=1,
+    )
+    stream = workload.stream(LENGTH, seed=SEED)
+    history = stream.replay(workload.schema)
+    avg_state_rows = (
+        sum(s.state.total_rows for s in history) / history.length
+    )
+
+    def run():
+        return measure_run(workload.checker(), stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_row(
+        "e4",
+        [
+            "universe",
+            "avg state rows",
+            "incremental us/step",
+            "peak aux tuples",
+        ],
+        [
+            universe,
+            round(avg_state_rows, 1),
+            round(metrics.mean_step_seconds * 1e6, 1),
+            metrics.peak_space,
+        ],
+        title=f"per-step cost vs state size (history length {LENGTH}, "
+              f"seed {SEED})",
+    )

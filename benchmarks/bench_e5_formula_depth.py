@@ -1,0 +1,54 @@
+"""E5 — cost scales with formula size / temporal nesting depth.
+
+One auxiliary relation is maintained per temporal subformula, so both
+per-step time and auxiliary space should grow roughly linearly with the
+nesting depth of ``ONCE[0,w] ONCE[0,w] ... event(x)`` — and the
+*horizon* analysis should predict the additive window compounding
+(depth x window).
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.metrics import measure_run
+from repro.core.bounds import clock_horizon
+from repro.core.checker import IncrementalChecker
+from repro.workloads import nested_constraint, random_workload
+
+LENGTH = 120
+SEED = 505
+WINDOW = 4
+DEPTHS = [1, 2, 3, 4, 5, 6]
+
+WORKLOAD = random_workload(universe_size=5)
+
+
+@pytest.mark.benchmark(group="e5-depth")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_e5_step_time_vs_depth(benchmark, depth):
+    constraint = nested_constraint(depth, window=WINDOW)
+    stream = WORKLOAD.stream(LENGTH, seed=SEED)
+
+    def run():
+        checker = IncrementalChecker(WORKLOAD.schema, [constraint])
+        return measure_run(checker, stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    horizon = clock_horizon(constraint.violation_formula)
+    record_row(
+        "e5",
+        [
+            "nesting depth",
+            "clock horizon",
+            "incremental us/step",
+            "peak aux tuples",
+        ],
+        [
+            depth,
+            horizon,
+            round(metrics.mean_step_seconds * 1e6, 1),
+            metrics.peak_space,
+        ],
+        title=f"per-step cost vs ONCE nesting depth (window {WINDOW}, "
+              f"history length {LENGTH}, seed {SEED})",
+    )

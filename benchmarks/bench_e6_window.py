@@ -1,0 +1,54 @@
+"""E6 — finite-window pruning bounds auxiliary size by the horizon.
+
+Sweeping the metric window of ``flag(x) -> ONCE[0,w] event(x)``: a
+bounded window retains at most one anchor per (valuation, distinct
+timestamp in the window), so peak auxiliary size should grow with ``w``
+until it saturates at the workload's anchor production rate — and the
+unbounded window, which switches to the min-timestamp encoding, should
+cost no more than the *smallest* window despite looking back forever.
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.metrics import measure_run
+from repro.core.checker import IncrementalChecker
+from repro.workloads import random_workload, window_constraint
+
+LENGTH = 300
+SEED = 606
+WINDOWS = [2, 4, 8, 16, 32, 64, None]
+
+WORKLOAD = random_workload(universe_size=6)
+
+
+@pytest.mark.benchmark(group="e6-window")
+@pytest.mark.parametrize(
+    "window", WINDOWS, ids=[str(w) for w in WINDOWS]
+)
+def test_e6_aux_size_vs_window(benchmark, window):
+    constraint = window_constraint(window)
+    stream = WORKLOAD.stream(LENGTH, seed=SEED)
+
+    def run():
+        checker = IncrementalChecker(WORKLOAD.schema, [constraint])
+        return measure_run(checker, stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_row(
+        "e6",
+        [
+            "window",
+            "peak aux tuples",
+            "final aux tuples",
+            "incremental us/step",
+        ],
+        [
+            "*" if window is None else window,
+            metrics.peak_space,
+            metrics.final_space,
+            round(metrics.mean_step_seconds * 1e6, 1),
+        ],
+        title=f"auxiliary size vs metric window (history length {LENGTH}, "
+              f"seed {SEED})",
+    )

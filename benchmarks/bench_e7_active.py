@@ -1,0 +1,68 @@
+"""E7 — the active-DBMS (trigger) route is feasible and close.
+
+Runs the library workload through all four implementations of the same
+semantics — incremental, ECA-trigger (active), naive, memoised naive —
+asserting identical verdicts and comparing total time and space.
+
+Expected shape: incremental and active within a small constant of each
+other (the active route pays for routing updates through database
+tables and the rule engine); both naive variants retain linearly more
+state; every engine reports the same violations.
+"""
+
+import time
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.metrics import space_of
+from repro.workloads import library_workload
+
+LENGTH = 250
+SEED = 707
+
+WORKLOAD = library_workload(violation_rate=0.08)
+STREAM = WORKLOAD.stream(LENGTH, seed=SEED)
+
+ENGINES = ["incremental", "active", "naive", "naive-memo"]
+
+_verdicts = {}
+
+
+@pytest.mark.benchmark(group="e7-implementations")
+@pytest.mark.parametrize("engine", ENGINES)
+def test_e7_implementation_routes(benchmark, engine):
+    def run():
+        monitor = WORKLOAD.monitor(engine)
+        started = time.perf_counter()
+        report = monitor.run(STREAM)
+        elapsed = time.perf_counter() - started
+        return report, elapsed, space_of(monitor.checker)
+
+    report, elapsed, space = benchmark.pedantic(run, rounds=1, iterations=1)
+    _verdicts[engine] = [
+        (v.constraint, v.time, v.witnesses) for v in report.violations
+    ]
+    if "incremental" in _verdicts:
+        assert _verdicts[engine] == _verdicts["incremental"], (
+            f"{engine} disagrees with the incremental checker"
+        )
+    record_row(
+        "e7",
+        [
+            "engine",
+            "total (ms)",
+            "us/step",
+            "stored tuples",
+            "violations",
+        ],
+        [
+            engine,
+            round(elapsed * 1e3, 1),
+            round(elapsed / LENGTH * 1e6, 1),
+            space,
+            report.violation_count,
+        ],
+        title=f"implementation routes, library workload "
+              f"({LENGTH} states, seed {SEED})",
+    )

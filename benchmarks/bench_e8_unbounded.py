@@ -1,0 +1,67 @@
+"""E8 — the unbounded-window encoding stays O(#valuations).
+
+``ONCE[a,*]`` and ``SINCE[a,*]`` cannot prune by age — the paper's
+observation is that only the *minimal* anchor timestamp per valuation
+matters, so one stored tuple per live valuation suffices.  We sweep
+history length with both operators active and record auxiliary size
+(should stay bounded by the value universe, never approaching the
+history length) and steady-state step time (flat).
+"""
+
+import pytest
+
+from _experiments import record_row
+from repro.analysis.shapes import is_flat
+from repro.analysis.metrics import measure_run
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.workloads import random_workload
+
+LENGTHS = [100, 200, 400, 800]
+SEED = 808
+UNIVERSE = 6
+
+WORKLOAD = random_workload(universe_size=UNIVERSE)
+
+_tails = {}
+
+CONSTRAINTS = [
+    Constraint("once-unbounded", "flag(x) -> ONCE[2,*] event(x)"),
+    Constraint("since-unbounded", "flag(x) -> event(x) SINCE[3,*] event(x)"),
+]
+
+
+@pytest.mark.benchmark(group="e8-unbounded")
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e8_unbounded_encoding(benchmark, length):
+    stream = WORKLOAD.stream(length, seed=SEED)
+
+    def run():
+        checker = IncrementalChecker(WORKLOAD.schema, CONSTRAINTS)
+        return measure_run(checker, stream)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    # two unbounded nodes, each at most one tuple per universe value
+    bound = 2 * UNIVERSE
+    record_row(
+        "e8",
+        [
+            "history length",
+            "peak aux tuples",
+            "theoretical bound",
+            "us/step (tail)",
+        ],
+        [
+            length,
+            metrics.peak_space,
+            bound,
+            round(metrics.tail_mean_step_seconds() * 1e6, 1),
+        ],
+        title=f"unbounded operators: min-timestamp encoding "
+              f"(universe {UNIVERSE}, seed {SEED})",
+    )
+    assert metrics.peak_space <= bound
+    _tails[length] = metrics.tail_mean_step_seconds()
+    if len(_tails) == len(LENGTHS):
+        assert is_flat(
+            [_tails[n] for n in LENGTHS], tolerance_ratio=4.0
+        ), "per-step time must stay flat with unbounded operators"

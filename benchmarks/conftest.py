@@ -1,0 +1,3 @@
+"""Pytest hooks for the benchmark suite (see _experiments.py)."""
+
+from _experiments import pytest_sessionfinish  # noqa: F401

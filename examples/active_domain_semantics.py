@@ -1,0 +1,63 @@
+"""Active-domain semantics: checking beyond the safe fragment.
+
+The default engines reject constraints whose negations are not range
+restricted — ``alarm(s) -> HIST[0,10] warning(s)`` with an open atom
+under ``HIST`` is the classic case.  The paper's original setting
+instead interprets quantifiers and negation over the *active domain*,
+and the ``adom`` engine implements it.  This example shows the same
+constraint rejected by the default engine and checked by the
+active-domain one, plus the prefix-domain subtlety that makes the
+semantics incremental.
+
+Run: python examples/active_domain_semantics.py
+"""
+
+from repro import DatabaseSchema, Monitor, Transaction, UnsafeFormulaError
+
+schema = (
+    DatabaseSchema.builder()
+    .relation("warning", [("sensor", "int")])
+    .relation("alarm", [("sensor", "int")])
+    .build()
+)
+
+CONSTRAINT = "alarm(s) -> HIST[0,10] warning(s)"
+
+# --- the safe-range engine refuses, with an explanation --------------------
+strict = Monitor(schema)
+try:
+    strict.add_constraint("sustained-warning", CONSTRAINT)
+except UnsafeFormulaError as exc:
+    print("default engine rejects it:")
+    print(f"  {exc}\n")
+
+# --- the active-domain engine checks it ------------------------------------
+monitor = Monitor(schema, engine="adom")
+monitor.add_constraint("sustained-warning", CONSTRAINT)
+
+txn = Transaction.builder
+
+
+def show(report):
+    verdict = "ok" if report.ok else "VIOLATION"
+    witnesses = [
+        w for v in report.violations for w in v.witness_dicts()
+    ]
+    print(f"t={report.time:>2}: {verdict} {witnesses if witnesses else ''}")
+
+
+show(monitor.step(0, txn().insert("warning", (1,)).build()))
+show(monitor.step(4, txn().insert("alarm", (1,)).build()))        # ok: warning held 0..4
+show(monitor.step(6, txn().delete("warning", (1,)).build()))      # alarm still on, warning gone
+show(monitor.step(8, txn().delete("alarm", (1,)).build()))
+
+# --- the prefix-domain subtlety --------------------------------------------
+# sensor 2 first appears at t=12; under prefix-active-domain semantics
+# it did not range over earlier states, so HIST over its (empty)
+# relevant past is vacuously fine at its first appearance with warning:
+print()
+show(monitor.step(12, txn().insert("warning", (2,))
+                           .insert("alarm", (2,)).build()))
+print(f"\ncumulative active domain: "
+      f"{monitor.checker.domain_size()} value(s) "
+      f"(grows monotonically, never shrinks)")

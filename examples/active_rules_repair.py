@@ -1,0 +1,103 @@
+"""Using the active-database substrate directly: audit + repair rules.
+
+The constraint engines *detect* violations; an active database can
+also *react*.  This example wires three hand-written ECA rules onto
+the rule engine that also powers the trigger-based checker:
+
+* an audit rule journaling every checkout event;
+* a guard rule with a condition (only fires for restricted books);
+* a repair rule that enforces "one holder per book" by evicting the
+  previous holder when a conflicting checkout commits.
+
+Run: python examples/active_rules_repair.py
+"""
+
+from repro import DatabaseSchema, Transaction
+from repro.active import ActiveDatabase, EventPattern, Rule
+
+schema = (
+    DatabaseSchema.builder()
+    .relation("borrowed", [("patron", "str"), ("book", "int")])
+    .relation("restricted", [("book", "int")])
+    .relation("journal", [("event", "str"), ("patron", "str"),
+                          ("book", "int"), ("at", "int")])
+    .build()
+)
+
+db = ActiveDatabase(schema)
+
+
+# --- audit: journal every borrow ------------------------------------------
+def journal_borrow(engine, event):
+    engine.apply(Transaction({
+        "journal": [("borrow", event.row[0], event.row[1], event.time)],
+    }))
+
+
+db.register(Rule(
+    "audit-borrows",
+    EventPattern.on_insert("borrowed"),
+    action=journal_borrow,
+    priority=10,
+))
+
+
+# --- guard: restricted books get an extra journal entry --------------------
+def journal_restricted(engine, event):
+    engine.apply(Transaction({
+        "journal": [("restricted!", event.row[0], event.row[1], event.time)],
+    }))
+
+
+db.register(Rule(
+    "flag-restricted",
+    EventPattern.on_insert("borrowed"),
+    condition=lambda state, event: (
+        (event.row[1],) in state.relation("restricted")
+    ),
+    action=journal_restricted,
+    priority=20,
+))
+
+
+# --- repair: evict the previous holder on conflict --------------------------
+def evict_previous_holder(engine, event):
+    patron, book = event.row
+    conflicts = [
+        row for row in engine.state.relation("borrowed").lookup(1, book)
+        if row[0] != patron
+    ]
+    if conflicts:
+        engine.apply(Transaction(
+            {"journal": [("evicted", row[0], book, event.time)
+                         for row in conflicts]},
+            {"borrowed": conflicts},
+        ))
+
+
+db.register(Rule(
+    "one-holder-repair",
+    EventPattern.on_insert("borrowed"),
+    action=evict_previous_holder,
+    priority=30,
+))
+
+# --- drive it ---------------------------------------------------------------
+txn = Transaction.builder
+db.commit(0, txn().insert("restricted", (7,)).build())
+db.commit(1, txn().insert("borrowed", ("ann", 3)).build())
+db.commit(2, txn().insert("borrowed", ("bob", 7)).build())
+db.commit(3, txn().insert("borrowed", ("cyd", 7)).build())   # conflict!
+
+print("fired on last commit:", ", ".join(db.last_fired))
+print("\ncurrent holders:")
+for patron, book in sorted(db.state.relation("borrowed").rows):
+    print(f"  {patron} holds book {book}")
+print("\njournal:")
+for row in sorted(db.state.relation("journal").rows, key=lambda r: (r[3], r[0])):
+    event, patron, book, at = row
+    print(f"  t={at}: {event:<12} {patron} / book {book}")
+
+assert sorted(db.state.relation("borrowed").rows) == [
+    ("ann", 3), ("cyd", 7),
+], "repair rule must have evicted bob"

@@ -1,0 +1,66 @@
+"""Aggregation in constraints: cardinality and sum limits.
+
+Counting and summing are where first-order constraints run out of
+road — "no patron holds more than 3 books" needs a 4-wise disequality,
+"no customer exceeds 100 in open orders" is not expressible at all.
+Aggregation atoms (result = OP(vars; body)) handle both, compose with
+the temporal operators, and report the offending value in the witness.
+
+Run: python examples/aggregation_limits.py
+"""
+
+from repro import DatabaseSchema, Monitor, Transaction
+
+schema = (
+    DatabaseSchema.builder()
+    .relation("borrowed", [("patron", "str"), ("book", "int")])
+    .relation("open_order", [("cust", "str"), ("order_id", "int"),
+                             ("amount", "int")])
+    .build()
+)
+
+monitor = Monitor(schema)
+monitor.add_constraint(
+    "holding-limit",
+    "n = CNT(b; borrowed(p, b)) -> n <= 3",
+)
+monitor.add_constraint(
+    "credit-limit",
+    "t = SUM(amount, o; open_order(c, o, amount)) -> t <= 100",
+)
+monitor.add_constraint(
+    # temporal + aggregate: at most 3 distinct books borrowed
+    # within any trailing 7-unit window
+    "burst-limit",
+    "n = CNT(b; ONCE[0,7] borrowed(p, b)) -> n <= 3",
+)
+
+txn = Transaction.builder
+
+
+def show(report):
+    verdict = "ok" if report.ok else "VIOLATION"
+    print(f"t={report.time:>2}: {verdict}")
+    for violation in report.violations:
+        for witness in violation.witness_dicts():
+            print(f"       {violation.constraint}: {witness}")
+
+
+show(monitor.step(0, txn()
+                  .insert("borrowed", ("ann", 1), ("ann", 2), ("ann", 3))
+                  .insert("open_order", ("bob", 1, 60)).build()))
+
+# ann takes a fourth book -> holding-limit names her and the count
+show(monitor.step(2, txn().insert("borrowed", ("ann", 4)).build()))
+
+# she returns two - the holding limit clears, but the burst rule
+# still sees all four books inside the 7-unit window
+show(monitor.step(4, txn()
+                  .delete("borrowed", ("ann", 1), ("ann", 4)).build()))
+
+# bob's second order pushes the open total to 120
+show(monitor.step(6, txn().insert("open_order", ("bob", 2, 60)).build()))
+
+# after the window passes, only current state matters again
+show(monitor.step(12, txn()
+                  .delete("open_order", ("bob", 2, 60)).build()))

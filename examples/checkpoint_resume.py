@@ -1,0 +1,64 @@
+"""Checkpoint and resume: monitoring survives restarts.
+
+Because the incremental checker never stores the history, its whole
+state fits in a small JSON checkpoint: auxiliary relations + current
+database + clock.  This example runs half a workload, saves, builds a
+brand-new monitor from the file, runs the second half, and shows the
+verdicts are identical to an uninterrupted run — while the checkpoint
+stays a few kilobytes no matter how long the run was.
+
+Run: python examples/checkpoint_resume.py
+"""
+
+import os
+import tempfile
+
+from repro import Monitor
+from repro.workloads import library_workload
+
+workload = library_workload(violation_rate=0.15)
+stream = list(workload.stream(300, seed=21))
+half = len(stream) // 2
+
+# --- the uninterrupted run -------------------------------------------------
+continuous = workload.monitor("incremental")
+continuous_report = continuous.run(stream)
+
+# --- the interrupted run ---------------------------------------------------
+first_half = workload.monitor("incremental")
+first_report = first_half.run(stream[:half])
+
+checkpoint = os.path.join(tempfile.mkdtemp(), "monitor.json")
+first_half.save(checkpoint)
+size = os.path.getsize(checkpoint)
+print(f"checkpoint after {half} states: {size} bytes "
+      f"({first_half.checker.aux_tuple_count()} aux tuples, "
+      f"{first_half.checker.state.total_rows} current rows)")
+
+resumed = Monitor.resume(checkpoint)
+print(f"resumed monitor: {resumed}")
+second_report = resumed.run(stream[half:])
+
+# --- equivalence -----------------------------------------------------------
+split_violations = first_report.violations + second_report.violations
+assert len(split_violations) == continuous_report.violation_count
+for got, want in zip(split_violations, continuous_report.violations):
+    assert got.constraint == want.constraint
+    assert got.time == want.time
+    assert got.witnesses == want.witnesses
+
+print(f"\nverdicts identical: {continuous_report.violation_count} "
+      f"violation(s) found by both the continuous and the resumed run")
+
+# the checkpoint stays small because the encoding is bounded: compare
+# with what a full-history checkpoint would have to carry
+from repro import History  # noqa: E402
+
+history = History.replay(workload.schema, stream[:half])
+history_tuples = sum(snapshot.state.total_rows for snapshot in history)
+carried = (
+    first_half.checker.aux_tuple_count()
+    + first_half.checker.state.total_rows
+)
+print(f"a full-history checkpoint would carry {history_tuples} tuples; "
+      f"this one carries {carried}")

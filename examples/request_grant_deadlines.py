@@ -1,0 +1,76 @@
+"""Bounded-future constraints: deadlines with delayed verdicts.
+
+"Every request must be granted within 10 time units" is a *future*
+constraint — at the moment of the request the verdict is genuinely
+unknown.  With a bounded window it becomes checkable online with a
+finite delay: the verdict for time t is emitted once the clock passes
+t + 10.  This example drives a request/grant stream through the
+DelayedChecker and shows the emission lag, the violation witnesses,
+and the bounded buffer.
+
+Run: python examples/request_grant_deadlines.py
+"""
+
+import random
+
+from repro import Constraint, DatabaseSchema, DelayedChecker, Transaction
+
+schema = (
+    DatabaseSchema.builder()
+    .relation("request", [("ticket", "int")])
+    .relation("grant", [("ticket", "int")])
+    .build()
+)
+
+constraint = Constraint(
+    "grant-deadline",
+    # requests and grants are event-style here: a request must be
+    # granted within 10 units, and must not have been pre-granted
+    "request(t) -> EVENTUALLY[1,10] grant(t) AND NOT ONCE[0,20] grant(t)",
+)
+checker = DelayedChecker(schema, [constraint])
+print(f"constraint: {constraint.formula}")
+print(f"verdict delay (future horizon): {checker.horizon} clock units\n")
+
+# --- a scripted run with one late grant -----------------------------------
+rng = random.Random(4)
+pending = {}          # ticket -> request time
+next_ticket = 0
+events = []
+
+time = 0
+for _ in range(30):
+    txn = Transaction.builder()
+    # clear last step's events
+    for ticket, at in list(pending.items()):
+        grant_after = 12 if ticket == 3 else rng.randint(2, 9)  # ticket 3 is late
+        if time - at >= grant_after:
+            txn.delete("request", (ticket,))
+            txn.insert("grant", (ticket,))
+            del pending[ticket]
+    for row in events:
+        txn.delete("grant", row)
+    if rng.random() < 0.5:
+        txn.insert("request", (next_ticket,))
+        pending[next_ticket] = time
+        next_ticket += 1
+    built = txn.build()
+    events = list(built.inserts.get("grant", ()))
+    emitted = checker.step(time, built)
+    for report in emitted:
+        lag = time - report.time
+        status = "ok" if report.ok else "VIOLATION"
+        extra = ""
+        if not report.ok:
+            witnesses = report.violations[0].witness_dicts()
+            extra = f"  tickets {sorted(w['t'] for w in witnesses)}"
+        print(f"verdict for t={report.time:>3} emitted at t={time:>3} "
+              f"(lag {lag:>2}): {status}{extra}")
+    time += rng.randint(1, 3)
+
+print(f"\npending verdicts at end of stream: {checker.pending_states}")
+for report in checker.finish():
+    status = "ok" if report.ok else "VIOLATION"
+    print(f"flush verdict for t={report.time:>3}: {status}")
+print(f"\npast auxiliary tuples: {checker.aux_tuple_count()} "
+      f"(bounded encoding, unchanged by stream length)")

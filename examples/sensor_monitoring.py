@@ -1,0 +1,66 @@
+"""Sensor monitoring: metric rules over a live reading stream.
+
+Three alarm-discipline rules (justification window, sustained-high
+SINCE, maintenance cooldown) checked against a simulated plant, plus a
+look inside the checker: which auxiliary relations exist, what the
+formula analysis predicts about their size, and what they actually
+hold after the run.
+
+Run: python examples/sensor_monitoring.py
+"""
+
+from repro.analysis import print_table
+from repro.core.bounds import profile
+from repro.workloads import sensors_workload
+
+workload = sensors_workload(
+    sensors=6, justify_window=10, sustain_for=5, cooldown=3,
+    violation_rate=0.03,
+)
+print(f"workload: {workload.description}")
+
+# --- static analysis before running anything ------------------------------
+rows = []
+for constraint in workload.constraints:
+    prof = profile(constraint.violation_formula)
+    rows.append(
+        [
+            constraint.name,
+            prof.temporal_nodes,
+            "*" if prof.horizon is None else prof.horizon,
+            prof.max_window,
+            prof.unbounded_nodes,
+        ]
+    )
+print_table(
+    ["constraint", "temporal nodes", "clock horizon", "max window",
+     "unbounded"],
+    rows,
+    title="compile-time space analysis",
+)
+
+# --- run -------------------------------------------------------------------
+checker = workload.checker()
+report = checker.run(workload.stream(500, seed=9))
+
+false_alarms = report.by_constraint()
+print(f"checked {len(report)} states; {report.violation_count} rule "
+      f"breach(es):")
+for name, violations in sorted(false_alarms.items()):
+    sensors = sorted(
+        {w.get("s") for v in violations for w in v.witness_dicts()}
+    )
+    print(f"  {name}: {len(violations)} breach(es), sensors {sensors}")
+
+# --- the auxiliary relations after 500 states ------------------------------
+rows = [
+    [node, count]
+    for node, count in sorted(checker.aux_profile().items())
+]
+print_table(
+    ["auxiliary relation for", "stored entries"],
+    rows,
+    title=f"auxiliary state after {checker.steps_processed} states "
+          f"(total {checker.aux_tuple_count()} entries - bounded, "
+          f"not growing)",
+)

@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+Environments with the `wheel` package use pyproject.toml directly; this
+file lets pip's legacy (non-PEP-517) editable path work offline:
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

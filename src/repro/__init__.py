@@ -1,0 +1,108 @@
+"""repro — real-time integrity constraints with bounded history encoding.
+
+A from-scratch reproduction of Chomicki's *Real-Time Integrity
+Constraints* (PODS 1992): metric past first-order temporal logic
+constraints over database histories, checked incrementally in space
+independent of the history length.
+
+Quickstart::
+
+    from repro import DatabaseSchema, Monitor, Transaction
+
+    schema = (DatabaseSchema.builder()
+              .relation("borrowed", [("patron", "str"), ("book", "int")])
+              .relation("returned", [("patron", "str"), ("book", "int")])
+              .build())
+
+    monitor = Monitor(schema)
+    monitor.add_constraint(
+        "return-window",
+        "FORALL p, b. returned(p, b) -> ONCE[0,14] borrowed(p, b)",
+    )
+    report = monitor.step(
+        1, Transaction.builder().insert("borrowed", ("ann", 7)).build()
+    )
+    assert report.ok
+
+See ``examples/`` for runnable end-to-end scenarios and DESIGN.md for
+the system inventory.
+"""
+
+from repro.core import (
+    ActiveDomainChecker,
+    Constraint,
+    DelayedChecker,
+    HistoryEvaluator,
+    IncrementalChecker,
+    Interval,
+    Monitor,
+    NaiveChecker,
+    RunReport,
+    StepReport,
+    Violation,
+    builder,
+    check_safe,
+    is_safe,
+    normalize,
+    parse,
+    parse_constraints,
+)
+from repro.db import (
+    DatabaseSchema,
+    DatabaseState,
+    Domain,
+    Relation,
+    RelationSchema,
+    Table,
+    Transaction,
+    TransactionBuilder,
+)
+from repro.errors import (
+    MonitorError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    TimeError,
+    UnsafeFormulaError,
+)
+from repro.temporal import Clock, History, StreamGenerator, UpdateStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveDomainChecker",
+    "Clock",
+    "Constraint",
+    "DatabaseSchema",
+    "DelayedChecker",
+    "DatabaseState",
+    "Domain",
+    "History",
+    "HistoryEvaluator",
+    "IncrementalChecker",
+    "Interval",
+    "Monitor",
+    "MonitorError",
+    "NaiveChecker",
+    "ParseError",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "RunReport",
+    "SchemaError",
+    "StepReport",
+    "StreamGenerator",
+    "Table",
+    "TimeError",
+    "Transaction",
+    "TransactionBuilder",
+    "UnsafeFormulaError",
+    "UpdateStream",
+    "Violation",
+    "builder",
+    "check_safe",
+    "is_safe",
+    "normalize",
+    "parse",
+    "parse_constraints",
+]

@@ -1,0 +1,17 @@
+"""Active database substrate: events, ECA rules, engine, and the
+constraint-to-trigger compiler (the Chomicki–Toman implementation
+route for temporal integrity constraints)."""
+
+from repro.active.compiler import ActiveChecker
+from repro.active.engine import ActiveDatabase
+from repro.active.events import Event, EventPattern, events_of
+from repro.active.rules import Rule
+
+__all__ = [
+    "ActiveChecker",
+    "ActiveDatabase",
+    "Event",
+    "EventPattern",
+    "Rule",
+    "events_of",
+]

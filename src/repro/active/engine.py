@@ -1,0 +1,122 @@
+"""The active database engine: commits fire rules.
+
+:class:`ActiveDatabase` wraps a database state and a rule set.  Each
+:meth:`~ActiveDatabase.commit` applies the user transaction, expands it
+into events, and fires every triggered rule in (priority, registration)
+order.  Rule actions mutate the database through
+:meth:`~ActiveDatabase.apply` — such internal updates do *not* raise
+further events (no cascading), which is the discipline the constraint
+compiler needs: auxiliary-table maintenance must see exactly one commit
+per history state.
+
+A firing log is kept per commit for inspection and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.active.events import Event, events_of
+from repro.active.rules import Rule
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import MonitorError
+from repro.temporal.clock import Timestamp, validate_successor
+
+
+class ActiveDatabase:
+    """A database state plus an ECA rule set."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        initial: Optional[DatabaseState] = None,
+    ):
+        self.schema = schema
+        self.state = (
+            initial if initial is not None else DatabaseState.empty(schema)
+        )
+        if self.state.schema != schema:
+            raise MonitorError("initial state does not match schema")
+        self._rules: List[Rule] = []
+        self._now: Optional[Timestamp] = None
+        self._in_commit = False
+        self.last_fired: List[str] = []
+
+    # ------------------------------------------------------------------
+    # rule management
+    # ------------------------------------------------------------------
+
+    def register(self, rule: Rule) -> Rule:
+        """Add a rule; returns it for convenience."""
+        if any(r.name == rule.name for r in self._rules):
+            raise MonitorError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: r.priority)
+        return rule
+
+    def rule(self, name: str) -> Rule:
+        """Look up a rule by name."""
+        for r in self._rules:
+            if r.name == name:
+                return r
+        raise MonitorError(f"no rule named {name!r}")
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        """Registered rules in firing order."""
+        return tuple(self._rules)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Optional[Timestamp]:
+        """Time of the last commit (None before any)."""
+        return self._now
+
+    def apply(self, txn: Transaction) -> None:
+        """Apply an internal update without raising events.
+
+        Only legal inside a commit (i.e. from rule actions); user
+        updates must go through :meth:`commit`.
+        """
+        if not self._in_commit:
+            raise MonitorError(
+                "apply() is for rule actions; use commit() for user updates"
+            )
+        self.state = self.state.apply(txn)
+
+    def commit(self, time: Timestamp, txn: Transaction) -> List[str]:
+        """Apply a user transaction at ``time`` and fire triggered rules.
+
+        Returns:
+            Names of the rules that fired, in firing order.
+        """
+        validate_successor(self._now, time)
+        if self._in_commit:
+            raise MonitorError("nested commits are not allowed")
+        txn.validate(self.schema)
+        self._now = time
+        self.state = self.state.apply(txn)
+        events = events_of(time, txn)
+        fired: List[str] = []
+        self._in_commit = True
+        try:
+            for rule in list(self._rules):
+                for event in events:
+                    if rule.triggered_by(event, self.state):
+                        rule.fire(self, event)
+                        fired.append(rule.name)
+        finally:
+            self._in_commit = False
+        self.last_fired = fired
+        return fired
+
+    def __repr__(self) -> str:
+        return (
+            f"ActiveDatabase({len(self._rules)} rule(s), "
+            f"now={self._now})"
+        )

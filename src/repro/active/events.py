@@ -1,0 +1,101 @@
+"""Event model of the active database substrate.
+
+Mirrors the event vocabulary of early active DBMSs (Starburst-style),
+which is what the Chomicki–Toman implementation of temporal constraints
+targeted: rules can react to the commit of a transaction as a whole, or
+to individual tuple insertions/deletions it performed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.db.transactions import Transaction
+from repro.db.types import Row
+from repro.temporal.clock import Timestamp
+
+
+class Event:
+    """One event raised during a commit."""
+
+    __slots__ = ("kind", "time", "relation", "row", "transaction")
+
+    COMMIT = "commit"
+    INSERT = "insert"
+    DELETE = "delete"
+
+    def __init__(
+        self,
+        kind: str,
+        time: Timestamp,
+        relation: Optional[str] = None,
+        row: Optional[Row] = None,
+        transaction: Optional[Transaction] = None,
+    ):
+        self.kind = kind
+        self.time = time
+        self.relation = relation
+        self.row = row
+        self.transaction = transaction
+
+    def __repr__(self) -> str:
+        if self.kind == Event.COMMIT:
+            return f"Event(commit at t={self.time})"
+        return f"Event({self.kind} {self.relation}{self.row} at t={self.time})"
+
+
+def events_of(time: Timestamp, txn: Transaction) -> List[Event]:
+    """Expand a committed transaction into its event sequence.
+
+    The commit event comes first (rules maintaining state typically
+    hang off it), followed by per-tuple insert then delete events in a
+    deterministic order.
+    """
+    out: List[Event] = [
+        Event(Event.COMMIT, time, transaction=txn)
+    ]
+    for relation in sorted(txn.inserts):
+        for row in sorted(txn.inserts[relation], key=repr):
+            out.append(Event(Event.INSERT, time, relation, row, txn))
+    for relation in sorted(txn.deletes):
+        for row in sorted(txn.deletes[relation], key=repr):
+            out.append(Event(Event.DELETE, time, relation, row, txn))
+    return out
+
+
+class EventPattern:
+    """What events a rule reacts to."""
+
+    __slots__ = ("kind", "relation")
+
+    def __init__(self, kind: str, relation: Optional[str] = None):
+        if kind not in (Event.COMMIT, Event.INSERT, Event.DELETE):
+            raise ValueError(f"unknown event kind: {kind!r}")
+        self.kind = kind
+        self.relation = relation
+
+    @classmethod
+    def on_commit(cls) -> "EventPattern":
+        """React once per committed transaction."""
+        return cls(Event.COMMIT)
+
+    @classmethod
+    def on_insert(cls, relation: str) -> "EventPattern":
+        """React to each tuple inserted into ``relation``."""
+        return cls(Event.INSERT, relation)
+
+    @classmethod
+    def on_delete(cls, relation: str) -> "EventPattern":
+        """React to each tuple deleted from ``relation``."""
+        return cls(Event.DELETE, relation)
+
+    def matches(self, event: Event) -> bool:
+        """Whether ``event`` triggers this pattern."""
+        if event.kind != self.kind:
+            return False
+        return self.relation is None or self.relation == event.relation
+
+    def __repr__(self) -> str:
+        if self.kind == Event.COMMIT:
+            return "on_commit"
+        return f"on_{self.kind}({self.relation})"

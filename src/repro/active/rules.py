@@ -1,0 +1,60 @@
+"""ECA (event–condition–action) rules.
+
+A rule names an :class:`~repro.active.events.EventPattern`, an optional
+condition over the post-commit database state, and an action executed
+with the engine and the triggering event.  Rules carry a priority;
+lower numbers fire first, which is how the constraint compiler encodes
+the bottom-up ordering of auxiliary-table maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.active.events import Event, EventPattern
+from repro.db.database import DatabaseState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.active.engine import ActiveDatabase
+
+Condition = Callable[[DatabaseState, Event], bool]
+Action = Callable[["ActiveDatabase", Event], None]
+
+
+class Rule:
+    """One event–condition–action rule."""
+
+    __slots__ = ("name", "pattern", "condition", "action", "priority", "enabled")
+
+    def __init__(
+        self,
+        name: str,
+        pattern: EventPattern,
+        action: Action,
+        condition: Optional[Condition] = None,
+        priority: int = 100,
+    ):
+        self.name = name
+        self.pattern = pattern
+        self.action = action
+        self.condition = condition
+        self.priority = priority
+        self.enabled = True
+
+    def triggered_by(self, event: Event, state: DatabaseState) -> bool:
+        """Whether this rule should fire for ``event`` in ``state``."""
+        if not self.enabled or not self.pattern.matches(event):
+            return False
+        if self.condition is None:
+            return True
+        return self.condition(state, event)
+
+    def fire(self, engine: "ActiveDatabase", event: Event) -> None:
+        """Execute the rule's action."""
+        self.action(engine, event)
+
+    def __repr__(self) -> str:
+        return (
+            f"Rule({self.name!r}, {self.pattern!r}, "
+            f"priority={self.priority})"
+        )

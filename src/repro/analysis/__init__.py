@@ -1,0 +1,26 @@
+"""Experiment instrumentation and report formatting."""
+
+from repro.analysis.ascii_plot import bar_chart, series_chart
+from repro.analysis.metrics import RunMetrics, measure_run, space_of
+from repro.analysis.report import format_table, print_table, ratio
+from repro.analysis.shapes import (
+    crossover_index,
+    growth_order,
+    is_flat,
+    linear_fit,
+)
+
+__all__ = [
+    "RunMetrics",
+    "bar_chart",
+    "crossover_index",
+    "format_table",
+    "growth_order",
+    "is_flat",
+    "linear_fit",
+    "measure_run",
+    "print_table",
+    "ratio",
+    "series_chart",
+    "space_of",
+]

@@ -1,0 +1,81 @@
+"""ASCII bar charts for experiment series.
+
+The paper-reproduction workflow is terminal-first: every experiment's
+"figure" is regenerated as a monospace bar chart next to its table in
+``benchmarks/results/``, so shape changes are visible in a diff without
+any plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+BAR = "█"
+HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 42,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, linearly scaled to the maximum value.
+
+    Args:
+        labels: row labels (rendered with ``str``).
+        values: non-negative magnitudes, one per label.
+        width: maximum bar width in characters.
+        title: optional heading line.
+        unit: suffix shown after each value.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values differ in length")
+    if not labels:
+        return title
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        if peak == 0:
+            bar = ""
+        else:
+            cells = value / peak * width
+            bar = BAR * int(cells)
+            if cells - int(cells) >= 0.5:
+                bar += HALF
+        shown = (
+            f"{value:.4g}" if isinstance(value, float) else str(value)
+        )
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {shown}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    xs: Sequence[object],
+    series: Sequence[tuple],
+    width: int = 42,
+    title: str = "",
+) -> str:
+    """Several named series as stacked bar charts sharing an x-axis.
+
+    ``series`` is a list of ``(name, values)`` pairs; each series is
+    scaled independently (shapes matter here, not cross-series
+    magnitudes).
+    """
+    parts = []
+    if title:
+        parts.append(title)
+    for name, values in series:
+        parts.append(bar_chart(xs, values, width=width, title=f"- {name}"))
+    return "\n".join(parts)

@@ -1,0 +1,101 @@
+"""Instrumentation for the experiments.
+
+Wraps a checker run with per-step wall-clock timing and space sampling,
+returning a :class:`RunMetrics` the benchmark harness turns into the
+tables recorded in EXPERIMENTS.md.  "Space" is measured in *stored
+tuples*, the unit of the paper's claims: auxiliary-relation entries for
+the incremental/active checkers, retained history tuples for the naive
+checker — deliberately not bytes, which would measure the Python
+runtime rather than the algorithm.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.violations import RunReport
+
+
+def space_of(checker) -> int:
+    """The checker's current stored-tuple count, engine-agnostic."""
+    if hasattr(checker, "aux_tuple_count"):
+        return checker.aux_tuple_count()
+    if hasattr(checker, "stored_tuples"):
+        return checker.stored_tuples()
+    raise TypeError(f"cannot measure space of {type(checker).__name__}")
+
+
+class RunMetrics:
+    """Per-step timings and space samples of one checker run."""
+
+    def __init__(
+        self,
+        step_seconds: Sequence[float],
+        space_samples: Sequence[int],
+        report: RunReport,
+    ):
+        self.step_seconds = list(step_seconds)
+        self.space_samples = list(space_samples)
+        self.report = report
+
+    @property
+    def steps(self) -> int:
+        """Number of steps measured."""
+        return len(self.step_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total checking time over the run."""
+        return sum(self.step_seconds)
+
+    @property
+    def mean_step_seconds(self) -> float:
+        """Mean per-step checking time."""
+        return self.total_seconds / max(1, self.steps)
+
+    @property
+    def peak_space(self) -> int:
+        """Maximum stored tuples observed at any step."""
+        return max(self.space_samples, default=0)
+
+    @property
+    def final_space(self) -> int:
+        """Stored tuples after the last step."""
+        return self.space_samples[-1] if self.space_samples else 0
+
+    def tail_mean_step_seconds(self, fraction: float = 0.25) -> float:
+        """Mean step time over the last ``fraction`` of the run.
+
+        The interesting number for growth detection: a checker whose
+        cost grows with history length has a tail mean well above its
+        overall mean.
+        """
+        k = max(1, int(len(self.step_seconds) * fraction))
+        tail = self.step_seconds[-k:]
+        return sum(tail) / len(tail)
+
+    def median_step_seconds(self) -> float:
+        """Median per-step checking time (robust to GC noise)."""
+        return statistics.median(self.step_seconds) if self.step_seconds else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RunMetrics({self.steps} steps, "
+            f"total {self.total_seconds * 1e3:.2f} ms, "
+            f"peak space {self.peak_space})"
+        )
+
+
+def measure_run(checker, stream) -> RunMetrics:
+    """Drive ``checker`` through ``stream``, measuring every step."""
+    step_seconds: List[float] = []
+    space_samples: List[int] = []
+    report = RunReport()
+    for when, txn in stream:
+        started = time.perf_counter()
+        report.add(checker.step(when, txn))
+        step_seconds.append(time.perf_counter() - started)
+        space_samples.append(space_of(checker))
+    return RunMetrics(step_seconds, space_samples, report)

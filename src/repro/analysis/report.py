@@ -1,0 +1,96 @@
+"""Plain-text experiment tables.
+
+The benchmark harness prints its results as aligned monospace tables —
+the same rows recorded in EXPERIMENTS.md — so a reader can diff a rerun
+against the committed numbers without any plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001 or abs(value) >= 100_000:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; a rule separates the
+    header.  Returns the table as a string (callers print it).
+    """
+    rendered: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, i: int, numeric: bool) -> str:
+        return cell.rjust(widths[i]) if numeric else cell.ljust(widths[i])
+
+    numeric_cols = [
+        all(
+            _is_numberish(row[i])
+            for row in rendered
+            if i < len(row) and row[i] != "-"
+        )
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(align(h, i, numeric_cols[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                align(cell, i, numeric_cols[i]) for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _is_numberish(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def ratio(numerator: float, denominator: float) -> Optional[float]:
+    """Safe ratio (None when the denominator is zero)."""
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> None:
+    """Print an aligned table (convenience wrapper)."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,78 @@
+"""Shape tests for experiment series.
+
+The experiments' claims are *shapes* — "flat in history length",
+"grows linearly", "crossover then divergence".  This module turns those
+into assertions: least-squares slope fitting (in log-log space for
+growth-order claims) plus tolerance-based flatness checks, so the
+benchmark suite fails if a code change breaks a claim rather than just
+printing different numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = slope * x + intercept``.
+
+    Raises:
+        ValueError: with fewer than two points or zero x-variance.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("x values are constant")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x
+
+
+def growth_order(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The exponent ``k`` of the best fit ``y ~ x^k`` (log-log slope).
+
+    ``k ≈ 0`` means flat, ``k ≈ 1`` linear, ``k ≈ 2`` quadratic.  Zero
+    or negative values are clamped to a small epsilon before the log.
+    """
+    eps = 1e-12
+    log_xs = [math.log(max(x, eps)) for x in xs]
+    log_ys = [math.log(max(y, eps)) for y in ys]
+    slope, _ = linear_fit(log_xs, log_ys)
+    return slope
+
+
+def is_flat(
+    ys: Sequence[float], tolerance_ratio: float = 3.0
+) -> bool:
+    """Whether a positive series stays within a max/min ratio.
+
+    The right flatness notion for tuple counts and step times, which
+    fluctuate with the data but must not trend with the swept
+    parameter.
+    """
+    positive = [y for y in ys if y > 0]
+    if not positive:
+        return True
+    return max(positive) / min(positive) <= tolerance_ratio
+
+
+def crossover_index(
+    first: Sequence[float], second: Sequence[float]
+) -> Optional[int]:
+    """First index from which ``first`` stays <= ``second``.
+
+    Returns None if ``first`` never permanently drops below ``second``.
+    """
+    if len(first) != len(second):
+        raise ValueError("series lengths differ")
+    for i in range(len(first)):
+        if all(a <= b for a, b in zip(first[i:], second[i:])):
+            return i
+    return None

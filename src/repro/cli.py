@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-check check    --schema s.json --constraints c.txt --history h.jsonl
+    repro-check generate --workload library --length 200 --seed 1 --out DIR
+    repro-check analyze  --constraints c.txt
+
+``check`` replays a JSONL update stream against a constraint file and
+reports violations (exit status 1 if any).  ``generate`` materialises a
+workload into the on-disk format ``check`` consumes.  ``analyze``
+prints each constraint's compilation profile — safety verdict, clock
+horizon, temporal node counts — without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.bounds import profile
+from repro.core.checker import Constraint
+from repro.core.monitor import ENGINES, Monitor
+from repro.core.parser import parse_constraints
+from repro.db.storage import dump_schema, dump_stream, load_schema, load_stream
+from repro.errors import ReproError
+from repro.workloads import (
+    library_workload,
+    orders_workload,
+    payments_workload,
+    random_workload,
+    sensors_workload,
+)
+
+WORKLOADS = {
+    "library": library_workload,
+    "orders": orders_workload,
+    "payments": payments_workload,
+    "sensors": sensors_workload,
+    "random": random_workload,
+}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for doc generation/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Real-time integrity constraint checking "
+        "(Chomicki, PODS 1992 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="check a history against constraints"
+    )
+    check.add_argument(
+        "--schema", default=None,
+        help="schema JSON file (required unless --resume-from)",
+    )
+    check.add_argument(
+        "--constraints", default=None,
+        help="constraint text file (required unless --resume-from)",
+    )
+    check.add_argument(
+        "--history", required=True, help="JSONL update stream"
+    )
+    check.add_argument(
+        "--engine", choices=ENGINES, default="incremental",
+        help="checking engine (default: incremental)",
+    )
+    check.add_argument(
+        "--max-violations", type=int, default=20,
+        help="stop printing after this many violations",
+    )
+    check.add_argument(
+        "--quiet", action="store_true", help="exit status only"
+    )
+    check.add_argument(
+        "--resume-from", default=None,
+        help="checkpoint file to resume monitoring from "
+             "(constraints come from the checkpoint; incremental only)",
+    )
+    check.add_argument(
+        "--save-checkpoint", default=None,
+        help="write a checkpoint after processing the stream "
+             "(incremental engine only)",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="materialise a workload to disk"
+    )
+    generate.add_argument(
+        "--workload", choices=sorted(WORKLOADS), required=True
+    )
+    generate.add_argument("--length", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--violation-rate", type=float, default=0.05,
+        help="misbehaviour rate for domain workloads",
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+
+    analyze = commands.add_parser(
+        "analyze", help="print constraint compilation profiles"
+    )
+    analyze.add_argument("--constraints", required=True)
+    analyze.add_argument(
+        "--verbose", action="store_true",
+        help="full per-constraint compilation report",
+    )
+    return parser
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    stream = load_stream(args.history)
+    if args.resume_from:
+        monitor = Monitor.resume(args.resume_from)
+    else:
+        if not args.schema or not args.constraints:
+            raise ReproError(
+                "--schema and --constraints are required unless "
+                "--resume-from is given"
+            )
+        schema = load_schema(args.schema)
+        monitor = Monitor(schema, engine=args.engine)
+        monitor.add_constraints_text(Path(args.constraints).read_text())
+    report = monitor.run(stream)
+    if args.save_checkpoint:
+        monitor.save(args.save_checkpoint)
+    if args.quiet:
+        return 0 if report.ok else 1
+    print(
+        f"checked {len(report)} states with "
+        f"{len(monitor.constraints)} constraint(s) "
+        f"[engine: {args.engine}]"
+    )
+    if report.ok:
+        print("no violations")
+        return 0
+    rows = []
+    for violation in report.violations[: args.max_violations]:
+        witnesses = "; ".join(
+            ", ".join(f"{k}={v!r}" for k, v in w.items()) or "(closed)"
+            for w in violation.witness_dicts()[:3]
+        )
+        rows.append(
+            [violation.constraint, violation.time, violation.index, witnesses]
+        )
+    print(
+        format_table(
+            ["constraint", "time", "state", "witnesses"],
+            rows,
+            title=f"{report.violation_count} violation(s)",
+        )
+    )
+    remaining = report.violation_count - args.max_violations
+    if remaining > 0:
+        print(f"... and {remaining} more")
+    return 1
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    factory = WORKLOADS[args.workload]
+    if args.workload == "random":
+        workload = factory()
+    else:
+        workload = factory(violation_rate=args.violation_rate)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    dump_schema(workload.schema, out / "schema.json")
+    dump_stream(
+        workload.stream(args.length, seed=args.seed), out / "history.jsonl"
+    )
+    constraint_text = "\n".join(
+        f"{c.name}: {c.formula};" for c in workload.constraints
+    )
+    (out / "constraints.txt").write_text(constraint_text + "\n")
+    print(
+        f"wrote {args.workload} workload ({args.length} transitions, "
+        f"seed {args.seed}) to {out}/"
+    )
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    text = Path(args.constraints).read_text()
+    rows = []
+    for name, formula in parse_constraints(text):
+        try:
+            constraint = Constraint(name, formula)
+        except ReproError as exc:
+            rows.append([name, "UNSAFE", None, None, None, str(exc)[:60]])
+            continue
+        if args.verbose:
+            from repro.core.explain import explain
+
+            print(explain(constraint))
+            print()
+            continue
+        prof = profile(constraint.violation_formula)
+        horizon = "*" if prof.horizon is None else prof.horizon
+        rows.append(
+            [
+                name,
+                "ok",
+                prof.temporal_nodes,
+                prof.temporal_depth,
+                horizon,
+                str(formula)[:60],
+            ]
+        )
+    if rows or not args.verbose:
+        print(
+            format_table(
+                ["constraint", "status", "nodes", "depth", "horizon",
+                 "formula"],
+                rows,
+            )
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_arg_parser().parse_args(argv)
+    try:
+        if args.command == "check":
+            return _command_check(args)
+        if args.command == "generate":
+            return _command_generate(args)
+        return _command_analyze(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

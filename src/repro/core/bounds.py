@@ -1,0 +1,190 @@
+"""Space-bound analysis of constraints (the paper's boundedness claims).
+
+For a constraint in the supported fragment, the auxiliary space of the
+incremental checker is bounded by a function of the *data* (how many
+valuations satisfy the temporal operands) and the constraint's *metric
+horizon* — never of the history length.  This module computes the
+static side of that bound:
+
+* :func:`clock_horizon` — how far back, in clock units, the formula can
+  ever "see".  Metric windows compose additively under nesting:
+  ``ONCE[0,5] ONCE[0,7] p`` inspects up to 12 clock units of the past.
+  ``None`` means unbounded (some operator has an infinite window — the
+  encoding is still finite via the min-timestamp collapse, but the
+  horizon is not a constant).
+
+* :func:`max_anchor_window` — the largest finite upper bound among the
+  formula's own temporal operators: each ``ONCE``/``SINCE`` node stores
+  at most ``window + 1`` timestamps per valuation.
+
+* :func:`profile` — a :class:`FormulaProfile` bundling these with node
+  counts, used by the experiment harness to print predicted-vs-measured
+  space tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.core.formulas import (
+    Eventually,
+    Formula,
+    Next,
+    Once,
+    Prev,
+    Since,
+    Until,
+)
+
+
+def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """Addition over horizons where ``None`` means infinity."""
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _max(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """Maximum over horizons where ``None`` means infinity."""
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def clock_horizon(formula: Formula) -> Optional[int]:
+    """Maximum clock lookback of ``formula`` (None = unbounded).
+
+    A checker for the formula never needs information about states more
+    than this many clock units old (``PREV`` additionally needs exactly
+    one state of lookback regardless of clock distance).
+    """
+    if isinstance(formula, Prev):
+        own = formula.interval.high  # None = unbounded gap allowed
+        return _add(own, clock_horizon(formula.operand))
+    if isinstance(formula, Once):
+        return _add(
+            formula.interval.high, clock_horizon(formula.operand)
+        )
+    if isinstance(formula, Since):
+        children = _max(
+            clock_horizon(formula.left), clock_horizon(formula.right)
+        )
+        return _add(formula.interval.high, children)
+    result: Optional[int] = 0
+    for child in formula.children():
+        result = _max(result, clock_horizon(child))
+    return result
+
+
+def future_horizon(formula: Formula) -> Optional[int]:
+    """Maximum clock lookahead of ``formula`` (None = unbounded).
+
+    The delayed checker can emit the verdict for a state once the
+    clock has advanced this far beyond it.  Pure-past formulas have
+    horizon 0; future windows compound additively under nesting, and
+    an unbounded future operator (rejected by the safety check) makes
+    the horizon None.
+    """
+    if isinstance(formula, (Next, Eventually)):
+        return _add(formula.interval.high, future_horizon(formula.operand))
+    if isinstance(formula, Until):
+        children = _max(
+            future_horizon(formula.left), future_horizon(formula.right)
+        )
+        return _add(formula.interval.high, children)
+    result: Optional[int] = 0
+    for child in formula.children():
+        result = _max(result, future_horizon(child))
+    return result
+
+
+def max_anchor_window(formula: Formula) -> int:
+    """Largest finite interval upper bound among temporal subformulas.
+
+    Per valuation, a bounded ``ONCE``/``SINCE`` auxiliary relation holds
+    at most this many + 1 timestamps (timestamps are integers, so a
+    window of width ``w`` contains at most ``w + 1`` distinct values).
+    """
+    best = 0
+    for node in formula.temporal_subformulas():
+        if isinstance(node, (Once, Since)) and node.interval.is_bounded:
+            best = max(best, node.interval.high)  # type: ignore[arg-type]
+    return best
+
+
+def has_unbounded_operator(formula: Formula) -> bool:
+    """Whether any ``ONCE``/``SINCE`` node has an infinite window.
+
+    Such nodes use the min-timestamp encoding: exactly one timestamp
+    per valuation, never pruned (valuations themselves may still be
+    dropped when a ``SINCE`` survival test fails).
+    """
+    return any(
+        isinstance(node, (Once, Since)) and not node.interval.is_bounded
+        for node in formula.temporal_subformulas()
+    )
+
+
+class FormulaProfile(NamedTuple):
+    """Static space-relevant characteristics of one formula."""
+
+    temporal_nodes: int
+    prev_nodes: int
+    once_nodes: int
+    since_nodes: int
+    temporal_depth: int
+    horizon: Optional[int]
+    max_window: int
+    unbounded_nodes: int
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        horizon = "unbounded" if self.horizon is None else str(self.horizon)
+        return (
+            f"{self.temporal_nodes} temporal node(s) "
+            f"(prev={self.prev_nodes}, once={self.once_nodes}, "
+            f"since={self.since_nodes}), depth {self.temporal_depth}, "
+            f"clock horizon {horizon}, max window {self.max_window}, "
+            f"{self.unbounded_nodes} unbounded"
+        )
+
+
+def profile(formula: Formula) -> FormulaProfile:
+    """Compute the static space profile of a kernel formula."""
+    nodes = list(formula.temporal_subformulas())
+    return FormulaProfile(
+        temporal_nodes=len(nodes),
+        prev_nodes=sum(1 for n in nodes if isinstance(n, Prev)),
+        once_nodes=sum(1 for n in nodes if isinstance(n, Once)),
+        since_nodes=sum(1 for n in nodes if isinstance(n, Since)),
+        temporal_depth=formula.temporal_depth,
+        horizon=clock_horizon(formula),
+        max_window=max_anchor_window(formula),
+        unbounded_nodes=sum(
+            1
+            for n in nodes
+            if isinstance(n, (Once, Since)) and not n.interval.is_bounded
+        ),
+    )
+
+
+def predicted_tuple_bound(
+    formula: Formula, valuations_per_node: int
+) -> Optional[int]:
+    """A coarse upper bound on auxiliary tuples for the whole formula.
+
+    Assumes at most ``valuations_per_node`` distinct valuations per
+    temporal node (data-dependent); bounded nodes contribute
+    ``valuations * (window + 1)`` timestamps, unbounded nodes and PREV
+    contribute ``valuations``.
+    """
+    total = 0
+    for node in formula.temporal_subformulas():
+        if isinstance(node, Prev):
+            total += valuations_per_node
+        elif isinstance(node, (Once, Since)):
+            if node.interval.is_bounded:
+                total += valuations_per_node * (node.interval.high + 1)  # type: ignore[operator]
+            else:
+                total += valuations_per_node
+    return total

@@ -1,0 +1,207 @@
+"""Programmatic builder DSL for constraint formulas.
+
+The parser (:mod:`repro.core.parser`) is the usual front end; this
+module is for code that constructs formulas directly — tests, workload
+generators, and users who prefer Python over the concrete syntax::
+
+    from repro.core import builder as b
+
+    ret = b.atom("returned", b.var("p"), b.var("bk"))
+    bor = b.atom("borrowed", b.var("p"), b.var("bk"))
+    constraint = b.forall("p", "bk")(ret >> b.once(bor, (0, 14)))
+
+Formulas also support ``&``, ``|``, ``~`` and ``>>`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+from repro.core.formulas import (
+    Aggregate,
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    Forall,
+    Formula,
+    Hist,
+    Iff,
+    Implies,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Term,
+    TermLike,
+    Var,
+)
+from repro.core.intervals import Interval
+
+#: Anything accepted where an interval is expected: an :class:`Interval`,
+#: a ``(low, high)`` pair with ``high`` ``None``/``"*"`` for infinity, or
+#: ``None`` for the trivial interval ``[0,*]``.
+IntervalLike = Union[Interval, Tuple[int, Union[int, None, str]], None]
+
+
+def interval(spec: IntervalLike) -> Optional[Interval]:
+    """Coerce an interval-like spec into an :class:`Interval` (or None)."""
+    if spec is None or isinstance(spec, Interval):
+        return spec
+    low, high = spec
+    if high == "*":
+        high = None
+    return Interval(low, high)
+
+
+def var(name: str) -> Var:
+    """A variable term."""
+    return Var(name)
+
+
+def variables(names: str) -> Tuple[Var, ...]:
+    """Several variable terms from a space-separated string."""
+    return tuple(Var(n) for n in names.split())
+
+
+def const(value) -> Const:
+    """A constant term."""
+    return Const(value)
+
+
+def atom(relation: str, *terms: TermLike) -> Atom:
+    """A relational atom; raw Python values become constants."""
+    return Atom(relation, terms)
+
+
+def eq(left: TermLike, right: TermLike) -> Comparison:
+    """The comparison ``left = right``."""
+    return Comparison(left, "=", right)
+
+
+def ne(left: TermLike, right: TermLike) -> Comparison:
+    """The comparison ``left != right``."""
+    return Comparison(left, "!=", right)
+
+
+def lt(left: TermLike, right: TermLike) -> Comparison:
+    """The comparison ``left < right``."""
+    return Comparison(left, "<", right)
+
+
+def le(left: TermLike, right: TermLike) -> Comparison:
+    """The comparison ``left <= right``."""
+    return Comparison(left, "<=", right)
+
+
+def gt(left: TermLike, right: TermLike) -> Comparison:
+    """The comparison ``left > right``."""
+    return Comparison(left, ">", right)
+
+
+def ge(left: TermLike, right: TermLike) -> Comparison:
+    """The comparison ``left >= right``."""
+    return Comparison(left, ">=", right)
+
+
+def conj(formulas: Sequence[Formula]) -> Formula:
+    """Conjunction of a possibly short list (1 → identity, 0 → TRUE)."""
+    from repro.core.formulas import TRUE
+
+    if not formulas:
+        return TRUE
+    if len(formulas) == 1:
+        return formulas[0]
+    return And(*formulas)
+
+
+def disj(formulas: Sequence[Formula]) -> Formula:
+    """Disjunction of a possibly short list (1 → identity, 0 → FALSE)."""
+    from repro.core.formulas import FALSE
+
+    if not formulas:
+        return FALSE
+    if len(formulas) == 1:
+        return formulas[0]
+    return Or(*formulas)
+
+
+def neg(operand: Formula) -> Not:
+    """Negation."""
+    return Not(operand)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Implies:
+    """Implication."""
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Iff:
+    """Bi-implication."""
+    return Iff(left, right)
+
+
+def exists(*names: Union[str, Var]) -> Callable[[Formula], Exists]:
+    """Curried existential quantifier: ``exists("x", "y")(f)``."""
+    plain = tuple(n.name if isinstance(n, Var) else n for n in names)
+
+    def bind(operand: Formula) -> Exists:
+        return Exists(plain, operand)
+
+    return bind
+
+
+def forall(*names: Union[str, Var]) -> Callable[[Formula], Forall]:
+    """Curried universal quantifier: ``forall("x", "y")(f)``."""
+    plain = tuple(n.name if isinstance(n, Var) else n for n in names)
+
+    def bind(operand: Formula) -> Forall:
+        return Forall(plain, operand)
+
+    return bind
+
+
+def aggregate(
+    op: str,
+    result: Union[str, Var],
+    over: Sequence[Union[str, Var]],
+    body: Formula,
+) -> Aggregate:
+    """A grouped aggregation atom ``result = OP(over; body)``."""
+    plain_result = result.name if isinstance(result, Var) else result
+    plain_over = [v.name if isinstance(v, Var) else v for v in over]
+    return Aggregate(op.upper(), plain_result, plain_over, body)
+
+
+def count(result, over, body: Formula) -> Aggregate:
+    """``result = CNT(over; body)``."""
+    return aggregate("CNT", result, over, body)
+
+
+def sum_of(result, over, body: Formula) -> Aggregate:
+    """``result = SUM(over; body)`` (first over-variable is summed)."""
+    return aggregate("SUM", result, over, body)
+
+
+def prev(operand: Formula, within: IntervalLike = None) -> Prev:
+    """``PREV[within] operand``."""
+    return Prev(operand, interval(within))
+
+
+def once(operand: Formula, within: IntervalLike = None) -> Once:
+    """``ONCE[within] operand``."""
+    return Once(operand, interval(within))
+
+
+def hist(operand: Formula, within: IntervalLike = None) -> Hist:
+    """``HIST[within] operand``."""
+    return Hist(operand, interval(within))
+
+
+def since(
+    left: Formula, right: Formula, within: IntervalLike = None
+) -> Since:
+    """``left SINCE[within] right``."""
+    return Since(left, right, interval(within))

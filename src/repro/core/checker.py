@@ -1,0 +1,318 @@
+"""The incremental constraint checker (the paper's algorithm).
+
+:class:`IncrementalChecker` monitors a set of real-time integrity
+constraints over an evolving database *without ever storing the
+history*.  Its per-step work is:
+
+1. apply the transaction to obtain the new current state;
+2. walk all temporal subformulas bottom-up (deduplicated structurally
+   across constraints), letting each auxiliary state
+   (:mod:`repro.core.auxiliary`) fold the new state into its bounded
+   history encoding and emit its *virtual table* — the subformula's
+   satisfying valuations at the new time;
+3. evaluate every constraint's violation formula over the new state
+   plus the virtual tables, reporting witnesses for non-empty answers.
+
+A constraint with free variables is implicitly universally closed; its
+*violation formula* is ``normalize(NOT f)``, whose answers at a state
+are exactly the violating valuations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.auxiliary import AuxiliaryState, make_auxiliary
+from repro.core.foeval import (
+    AtomProvider,
+    evaluate,
+    match_atom,
+    relation_atom_table,
+)
+from repro.core.formulas import Atom, Formula, Not
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+from repro.core.safety import check_node_conditions, check_safe
+from repro.core.violations import RunReport, StepReport, Violation
+from repro.db.algebra import Table
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import MonitorError, SchemaError
+from repro.temporal.clock import Timestamp, validate_successor
+from repro.temporal.stream import UpdateStream
+
+
+class Constraint:
+    """A named integrity constraint.
+
+    Args:
+        name: report label.
+        formula: the constraint formula (text in the concrete syntax or
+            a :class:`~repro.core.formulas.Formula`); free variables are
+            implicitly universally quantified.
+    """
+
+    __slots__ = ("name", "formula", "violation_formula")
+
+    def __init__(
+        self,
+        name: str,
+        formula: Union[str, Formula],
+        require_safe: bool = True,
+    ):
+        """Args:
+            name: report label.
+            formula: constraint formula (text or AST).
+            require_safe: verify the safe-range conditions (default).
+                The active-domain engine (:mod:`repro.core.adom`) sets
+                this to False — it evaluates outside the safe fragment.
+        """
+        if isinstance(formula, str):
+            formula = parse(formula)
+        self.name = name
+        self.formula = formula
+        from repro.core.optimize import optimize
+
+        kernel = normalize(Not(formula))
+        if require_safe:
+            # node well-formedness is checked before optimisation so
+            # constant folding cannot hide mistakes in dead branches;
+            # overall evaluability is checked after, so folding may
+            # legitimately rescue e.g. a constant-FALSE disjunct
+            check_node_conditions(kernel)
+        self.violation_formula = optimize(kernel)
+        if require_safe:
+            check_safe(self.violation_formula)
+
+    def validate_schema(self, schema: DatabaseSchema) -> None:
+        """Check that every atom matches the schema's relations/arities."""
+        for sub in self.formula.walk():
+            if isinstance(sub, Atom):
+                rel = schema.relation(sub.relation)
+                if rel.arity != len(sub.terms):
+                    raise SchemaError(
+                        f"constraint {self.name!r}: atom {sub} has "
+                        f"{len(sub.terms)} argument(s) but relation "
+                        f"{sub.relation!r} has arity {rel.arity}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name!r}: {self.formula})"
+
+
+def reject_future_constraints(constraints, engine: str) -> None:
+    """Guard for pure-past engines: future operators need the delayed
+    checker, whose verdicts lag the input by the future horizon."""
+    for c in constraints:
+        if c.violation_formula.has_future:
+            raise MonitorError(
+                f"constraint {c.name!r} uses future temporal operators; "
+                f"the {engine} engine is pure-past — use "
+                f"repro.core.future.DelayedChecker"
+            )
+
+
+class _StateProvider(AtomProvider):
+    """Resolves atoms from the current state and temporal nodes from
+    the virtual tables computed earlier in the same step."""
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        virtual: Dict[Formula, Table],
+    ):
+        self.state = state
+        self.virtual = virtual
+        self._atom_cache: Dict[Atom, Table] = {}
+
+    def atom_table(self, atom: Atom) -> Table:
+        cached = self._atom_cache.get(atom)
+        if cached is None:
+            cached = relation_atom_table(
+                self.state.relation(atom.relation), atom
+            )
+            self._atom_cache[atom] = cached
+        return cached
+
+    def temporal_table(self, formula: Formula) -> Table:
+        try:
+            return self.virtual[formula]
+        except KeyError:
+            raise MonitorError(
+                f"virtual table missing for {formula}; temporal nodes "
+                f"must be advanced bottom-up"
+            ) from None
+
+
+class IncrementalChecker:
+    """Checks constraints over an update stream in bounded space."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        constraints: Sequence[Constraint],
+        initial: Optional[DatabaseState] = None,
+        collapse_unbounded: bool = True,
+    ):
+        """Args:
+            schema: the database schema.
+            constraints: compiled constraints to monitor.
+            initial: base state the first transaction applies to.
+            collapse_unbounded: use the min-timestamp encoding for
+                unbounded intervals (default; ``False`` is an ablation
+                that stores every anchor — see benchmark E9).
+        """
+        self.schema = schema
+        self.constraints = list(constraints)
+        for c in self.constraints:
+            c.validate_schema(schema)
+        reject_future_constraints(self.constraints, "incremental")
+        self.state = (
+            initial if initial is not None else DatabaseState.empty(schema)
+        )
+        if self.state.schema != schema:
+            raise MonitorError("initial state does not match schema")
+        self.collapse_unbounded = collapse_unbounded
+        # one auxiliary state per *structurally distinct* temporal node,
+        # shared across constraints; insertion order is bottom-up
+        self._aux: Dict[Formula, AuxiliaryState] = {}
+        for c in self.constraints:
+            for node in c.violation_formula.temporal_subformulas():
+                if node not in self._aux:
+                    self._aux[node] = make_auxiliary(
+                        node, collapse_unbounded
+                    )
+        self._time: Optional[Timestamp] = None
+        self._index = -1
+        #: virtual tables of the most recent step (for diagnose())
+        self._last_virtual: Dict[Formula, Table] = {}
+        # verdict caching for *state-local* constraints: a constraint
+        # with no temporal operators can only change verdict when a
+        # relation it reads changes, so untouched ones reuse their last
+        # witnesses.  Temporal constraints always re-evaluate — metric
+        # windows expire by clock passage alone.
+        self._state_local = {
+            c.name: c.violation_formula.relations_used()
+            for c in self.constraints
+            if not any(True for _ in c.violation_formula.temporal_subformulas())
+        }
+        self._cached_witnesses: Dict[str, Table] = {}
+        self._touched: Optional[frozenset] = None
+        #: constraint evaluations actually performed (instrumentation)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Optional[Timestamp]:
+        """Timestamp of the last processed state (None before any)."""
+        return self._time
+
+    @property
+    def steps_processed(self) -> int:
+        """Number of states processed so far."""
+        return self._index + 1
+
+    def step(self, time: Timestamp, txn: Transaction) -> StepReport:
+        """Apply ``txn`` at ``time`` and check all constraints.
+
+        Timestamps must strictly increase across calls.
+
+        Returns:
+            A :class:`StepReport` with any violations at the new state.
+        """
+        validate_successor(self._time, time)
+        self.state = self.state.apply(txn)
+        self._time = time
+        self._index += 1
+        self._touched = txn.touched_relations()
+        return self._check_current()
+
+    def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
+        """Like :meth:`step`, but with the successor state given directly."""
+        validate_successor(self._time, time)
+        if state.schema != self.schema:
+            raise MonitorError("state does not match checker schema")
+        self.state = state
+        self._time = time
+        self._index += 1
+        self._touched = None  # unknown delta: no verdict reuse
+        return self._check_current()
+
+    def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
+        """Process a whole update stream; return the aggregate report."""
+        report = RunReport()
+        for time, txn in stream:
+            report.add(self.step(time, txn))
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _check_current(self) -> StepReport:
+        assert self._time is not None
+        time = self._time
+        virtual: Dict[Formula, Table] = {}
+        self._last_virtual = virtual  # retained for diagnose()
+        provider = _StateProvider(self.state, virtual)
+
+        def evaluate_now(formula: Formula, context: Optional[Table] = None) -> Table:
+            return evaluate(formula, provider, context)
+
+        # bottom-up: registration order is post-order per constraint, so
+        # any node's children were registered (hence advanced) before it
+        for node, aux in self._aux.items():
+            virtual[node] = aux.advance(time, evaluate_now)
+
+        violations: List[Violation] = []
+        for c in self.constraints:
+            witnesses = self._witnesses_for(c, provider)
+            if not witnesses.is_empty:
+                violations.append(
+                    Violation(c.name, time, self._index, witnesses)
+                )
+        return StepReport(time, self._index, violations)
+
+    def _witnesses_for(self, constraint: Constraint, provider) -> Table:
+        reads = self._state_local.get(constraint.name)
+        if reads is not None:
+            cached = self._cached_witnesses.get(constraint.name)
+            if (
+                cached is not None
+                and self._touched is not None
+                and not (self._touched & reads)
+            ):
+                return cached
+        self.evaluations += 1
+        witnesses = evaluate(constraint.violation_formula, provider)
+        if reads is not None:
+            self._cached_witnesses[constraint.name] = witnesses
+        return witnesses
+
+    # ------------------------------------------------------------------
+    # instrumentation (used by the experiments)
+    # ------------------------------------------------------------------
+
+    def aux_tuple_count(self) -> int:
+        """Total (valuation, timestamp) entries across all auxiliary
+        relations — the paper's space measure."""
+        return sum(a.tuple_count() for a in self._aux.values())
+
+    def aux_valuation_count(self) -> int:
+        """Total distinct valuations across all auxiliary relations."""
+        return sum(a.valuation_count() for a in self._aux.values())
+
+    def aux_profile(self) -> Dict[str, int]:
+        """Per-temporal-subformula stored-entry counts."""
+        return {
+            str(node): aux.tuple_count() for node, aux in self._aux.items()
+        }
+
+    @property
+    def temporal_node_count(self) -> int:
+        """Number of distinct temporal subformulas being tracked."""
+        return len(self._aux)

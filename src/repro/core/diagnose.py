@@ -1,0 +1,152 @@
+"""Violation forensics: *why* did this constraint fail here?
+
+``diagnose(checker, violation)`` re-examines a violation against the
+checker's state right after the step that produced it, and explains,
+per witness:
+
+* which conjunct of the violation formula each witness satisfies (the
+  violation formula is the *negation* of the constraint, so these are
+  the constraint's failing obligations);
+* for each temporal subformula, the auxiliary evidence for the
+  witness's valuation — the stored anchor timestamps and how far the
+  nearest one is from the window.
+
+Must be called before the next ``step`` (the virtual tables and
+auxiliary relations it reads are those of the reported state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.auxiliary import OnceState, PrevState, SinceState
+from repro.core.checker import IncrementalChecker, _StateProvider
+from repro.core.foeval import evaluate
+from repro.core.formulas import And, Formula, Not
+from repro.core.violations import Violation
+from repro.db.algebra import Table
+from repro.db.types import Value
+from repro.errors import MonitorError
+
+
+def _witness_context(
+    witness: Dict[str, Value], needed: "frozenset[str]"
+) -> Table:
+    binding = {k: v for k, v in witness.items() if k in needed}
+    if not binding:
+        return Table.nullary(True)
+    return Table.unit(binding)
+
+
+def _anchor_evidence(
+    checker: IncrementalChecker,
+    node: Formula,
+    witness: Dict[str, Value],
+) -> str:
+    """Describe the stored auxiliary evidence for one witness."""
+    aux = checker._aux.get(node)
+    now = checker.now
+    if aux is None or now is None:
+        return "no auxiliary state"
+    columns = tuple(sorted(node.free_vars))
+    if not all(c in witness for c in columns):
+        return "witness does not bind this subformula"
+    key = tuple(witness[c] for c in columns)
+    if isinstance(aux, PrevState):
+        held = key in aux._last_table.rows if columns else bool(
+            len(aux._last_table)
+        )
+        return (
+            "operand holds at the current state (visible next step)"
+            if held
+            else "operand does not hold at the current state"
+        )
+    assert isinstance(aux, (OnceState, SinceState))
+    times = aux._anchors.anchors.get(key)
+    interval = node.interval  # type: ignore[attr-defined]
+    if not times:
+        return "no anchors stored for this valuation"
+    ages = [now - t for t in times]
+    in_window = [a for a in ages if interval.contains(a)]
+    if in_window:
+        return (
+            f"anchor(s) at distance {sorted(in_window)} inside "
+            f"{interval}"
+        )
+    nearest = min(ages, key=lambda a: abs(a - interval.low))
+    return (
+        f"{len(times)} anchor(s) stored but none inside {interval}; "
+        f"nearest is {nearest} units old"
+    )
+
+
+def diagnose(
+    checker: IncrementalChecker,
+    violation: Violation,
+    max_witnesses: int = 3,
+) -> str:
+    """A multi-line report explaining a violation's witnesses.
+
+    Args:
+        checker: the incremental checker that produced the violation,
+            *not yet stepped further*.
+        violation: one entry of the step report's ``violations``.
+        max_witnesses: cap on witnesses examined.
+
+    Returns:
+        The report text.
+    """
+    if checker.now != violation.time:
+        raise MonitorError(
+            "diagnose() must run before the checker steps past the "
+            f"violating state (checker at t={checker.now}, violation "
+            f"at t={violation.time})"
+        )
+    constraint = next(
+        (c for c in checker.constraints if c.name == violation.constraint),
+        None,
+    )
+    if constraint is None:
+        raise MonitorError(
+            f"checker has no constraint named {violation.constraint!r}"
+        )
+    formula = constraint.violation_formula
+    provider = _StateProvider(checker.state, checker._last_virtual)
+    conjuncts = (
+        list(formula.operands) if isinstance(formula, And) else [formula]
+    )
+
+    lines: List[str] = [
+        f"violation of {violation.constraint!r} at t={violation.time} "
+        f"(state {violation.index})",
+        f"  constraint: {constraint.formula}",
+    ]
+    witnesses = violation.witness_dicts()[:max_witnesses]
+    for witness in witnesses:
+        shown = (
+            ", ".join(f"{k}={v!r}" for k, v in witness.items())
+            or "(closed constraint)"
+        )
+        lines.append(f"  witness {shown}:")
+        for part in conjuncts:
+            context = _witness_context(witness, part.free_vars)
+            try:
+                satisfied = not evaluate(part, provider, context).is_empty
+            except Exception:
+                satisfied = None
+            if satisfied is None:
+                verdict = "needs other bindings"
+            else:
+                verdict = "holds" if satisfied else "fails"
+            lines.append(f"    {verdict:<6} {part}")
+            inner = part.operand if isinstance(part, Not) else part
+            for node in inner.temporal_subformulas():
+                lines.append(
+                    f"             {type(node).__name__.upper()}"
+                    f"{node.interval}: "
+                    + _anchor_evidence(checker, node, witness)
+                )
+    hidden = violation.witness_count - len(witnesses)
+    if hidden > 0:
+        lines.append(f"  ... and {hidden} more witness(es)")
+    return "\n".join(lines)

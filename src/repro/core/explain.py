@@ -1,0 +1,86 @@
+"""Human-readable compilation reports for constraints.
+
+``explain(constraint)`` describes what the checker will actually do
+for a constraint: the normalised violation formula, every temporal
+subformula with the auxiliary encoding chosen for it, and the horizon
+analysis — the first thing to reach for when a constraint behaves
+unexpectedly or stores more than anticipated.  Exposed on the CLI as
+``repro-check analyze --verbose``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.bounds import clock_horizon, future_horizon
+from repro.core.checker import Constraint
+from repro.core.formulas import (
+    Eventually,
+    Formula,
+    Next,
+    Once,
+    Prev,
+    Since,
+    Until,
+)
+
+
+def describe_encoding(node: Formula) -> str:
+    """One line describing the auxiliary encoding of a temporal node."""
+    if isinstance(node, Prev):
+        return "one state of lookback (previous satisfying valuations)"
+    if isinstance(node, Next):
+        return "one state of lookahead (buffered, delayed verdict)"
+    if isinstance(node, (Once, Since)):
+        kind = "anchors" if isinstance(node, Since) else "timestamps"
+        if node.interval.is_bounded:
+            return (
+                f"per-valuation {kind}, pruned beyond "
+                f"{node.interval.high} clock units"
+            )
+        return f"per-valuation minimal timestamp ({kind} collapse)"
+    if isinstance(node, (Eventually, Until)):
+        return (
+            f"buffer scan up to {node.interval.high} clock units ahead "
+            f"(delayed verdict)"
+        )
+    return "unknown"
+
+
+def explain(constraint: Constraint) -> str:
+    """A multi-line compilation report for one constraint."""
+    violation = constraint.violation_formula
+    lines: List[str] = [
+        f"constraint {constraint.name!r}",
+        f"  formula:   {constraint.formula}",
+        f"  violation: {violation}",
+    ]
+    nodes = list(dict.fromkeys(violation.temporal_subformulas()))
+    if not nodes:
+        lines.append("  temporal nodes: none (state-local constraint)")
+    else:
+        lines.append(f"  temporal nodes ({len(nodes)}, bottom-up):")
+        for i, node in enumerate(nodes):
+            fv = ", ".join(sorted(node.free_vars)) or "(closed)"
+            lines.append(
+                f"    [{i}] {type(node).__name__.upper()}{node.interval} "
+                f"over ({fv})"
+            )
+            lines.append(f"        encoding: {describe_encoding(node)}")
+    past = clock_horizon(violation)
+    future = future_horizon(violation)
+    lines.append(
+        "  clock lookback: "
+        + (
+            "unbounded in clock units (space still bounded per encoding)"
+            if past is None
+            else f"{past} units"
+        )
+    )
+    if violation.has_future:
+        lines.append(
+            "  verdict delay:  "
+            + ("unbounded — NOT monitorable" if future is None
+               else f"{future} units (DelayedChecker required)")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Metric intervals for real-time temporal operators.
+
+Every temporal operator of the constraint language carries an interval
+``[low, high]`` of clock distances: ``ONCE[2,5] f`` holds now when ``f``
+held at some past state between 2 and 5 clock units ago.  ``high`` may
+be infinite (written ``*`` in the concrete syntax), giving the purely
+qualitative operators of past temporal logic as the special case
+``[0,*]``.
+
+The interval's upper bound is what makes *bounded history encoding*
+possible: a finite ``high`` means observations older than ``high`` clock
+units can never matter again and are pruned from the auxiliary
+relations (:mod:`repro.core.auxiliary`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class IntervalError(ReproError):
+    """The interval bounds are ill-formed (negative, or low > high)."""
+
+
+class Interval:
+    """A metric interval ``[low, high]`` over clock distances.
+
+    Attributes:
+        low: inclusive lower bound, a non-negative integer.
+        high: inclusive upper bound, a non-negative integer, or ``None``
+            meaning infinity.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: int = 0, high: Optional[int] = None):
+        if isinstance(low, bool) or not isinstance(low, int) or low < 0:
+            raise IntervalError(
+                f"interval lower bound must be a non-negative int, got {low!r}"
+            )
+        if high is not None:
+            if isinstance(high, bool) or not isinstance(high, int):
+                raise IntervalError(
+                    f"interval upper bound must be an int or None, got {high!r}"
+                )
+            if high < low:
+                raise IntervalError(
+                    f"empty interval: [{low},{high}]"
+                )
+        self.low = low
+        self.high = high
+
+    @classmethod
+    def unbounded(cls, low: int = 0) -> "Interval":
+        """The interval ``[low, *]``."""
+        return cls(low, None)
+
+    @classmethod
+    def point(cls, at: int) -> "Interval":
+        """The singleton interval ``[at, at]``."""
+        return cls(at, at)
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether the upper bound is finite."""
+        return self.high is not None
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether this is ``[0,*]`` (the non-metric case)."""
+        return self.low == 0 and self.high is None
+
+    def contains(self, delta: int) -> bool:
+        """Whether clock distance ``delta`` lies in the interval."""
+        if delta < self.low:
+            return False
+        return self.high is None or delta <= self.high
+
+    def bounded_by(self, delta: int) -> bool:
+        """Whether ``delta`` already exceeds the upper bound.
+
+        ``True`` means an observation ``delta`` units old can never
+        satisfy this interval at any *future* time either (distances
+        only grow), so it is safe to prune.
+        """
+        return self.high is not None and delta > self.high
+
+    def horizon(self) -> Optional[int]:
+        """The pruning horizon: ``high`` if bounded, else ``None``.
+
+        An auxiliary relation for an operator with this interval needs
+        to remember observations at most ``horizon()`` clock units old
+        (``None`` = needs the min-timestamp encoding instead).
+        """
+        return self.high
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.low}, {self.high})"
+
+    def __str__(self) -> str:
+        hi = "*" if self.high is None else str(self.high)
+        return f"[{self.low},{hi}]"
+
+
+#: The default interval ``[0,*]`` — plain (non-metric) past operators.
+TRIVIAL = Interval(0, None)

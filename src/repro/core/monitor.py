@@ -1,0 +1,216 @@
+"""The `Monitor` façade — the library's main entry point.
+
+Wraps constraint registration, parsing, compilation, safety checking,
+and an exchangeable checking engine behind one object::
+
+    from repro import Monitor, Transaction
+
+    monitor = Monitor(schema)
+    monitor.add_constraint(
+        "return-window",
+        "FORALL p, b. returned(p, b) -> ONCE[0,14] borrowed(p, b)",
+    )
+    report = monitor.step(3, Transaction.builder()
+                              .insert("borrowed", ("ann", 7)).build())
+    assert report.ok
+
+Engines:
+
+* ``"incremental"`` (default) — the paper's bounded-history checker;
+* ``"naive"`` — stores the history, re-evaluates from scratch each step;
+* ``"naive-memo"`` — stores the history with cross-step memoisation;
+* ``"active"`` — the ECA-rule (trigger) implementation over the active
+  database substrate (:mod:`repro.active`);
+* ``"adom"`` — prefix-active-domain semantics (:mod:`repro.core.adom`),
+  which accepts constraints outside the safe-range fragment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.formulas import Formula
+from repro.core.naive import NaiveChecker
+from repro.core.parser import parse_constraints
+from repro.core.violations import RunReport, StepReport
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import MonitorError
+from repro.temporal.clock import Timestamp
+from repro.temporal.stream import UpdateStream
+
+ENGINES = ("incremental", "naive", "naive-memo", "active", "adom")
+
+
+class Monitor:
+    """Registers constraints and checks them over an update stream."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        engine: str = "incremental",
+        initial: Optional[DatabaseState] = None,
+    ):
+        if engine not in ENGINES:
+            raise MonitorError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        self.schema = schema
+        self.engine = engine
+        self.initial = initial
+        self.constraints: List[Constraint] = []
+        self._checker = None
+        self._violation_handlers: List = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def add_constraint(
+        self, name: str, formula: Union[str, Formula]
+    ) -> Constraint:
+        """Register one constraint (text or formula) before stepping.
+
+        Compilation (normalisation + safety check + schema validation)
+        happens immediately, so unsafe or mistyped constraints fail
+        fast with a diagnostic rather than at the first step.
+        """
+        if self._checker is not None:
+            raise MonitorError(
+                "constraints must be registered before the first step"
+            )
+        if any(c.name == name for c in self.constraints):
+            raise MonitorError(f"duplicate constraint name {name!r}")
+        constraint = Constraint(
+            name, formula, require_safe=self.engine != "adom"
+        )
+        constraint.validate_schema(self.schema)
+        if self.engine == "adom":
+            from repro.core.adom import check_adom_compatible
+
+            check_adom_compatible(constraint.violation_formula)
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_constraints_text(self, text: str) -> List[Constraint]:
+        """Register a whole constraint file (``[name :] formula ; ...``)."""
+        return [
+            self.add_constraint(name, formula)
+            for name, formula in parse_constraints(text)
+        ]
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+
+    @property
+    def checker(self):
+        """The underlying engine (created lazily at first use)."""
+        if self._checker is None:
+            self._checker = self._build_checker()
+        return self._checker
+
+    def _build_checker(self):
+        if self.engine == "incremental":
+            return IncrementalChecker(
+                self.schema, self.constraints, initial=self.initial
+            )
+        if self.engine == "naive":
+            return NaiveChecker(
+                self.schema, self.constraints, initial=self.initial,
+                memoize=False,
+            )
+        if self.engine == "naive-memo":
+            return NaiveChecker(
+                self.schema, self.constraints, initial=self.initial,
+                memoize=True,
+            )
+        if self.engine == "active":
+            from repro.active.compiler import ActiveChecker
+
+            return ActiveChecker(
+                self.schema, self.constraints, initial=self.initial
+            )
+        from repro.core.adom import ActiveDomainChecker
+
+        return ActiveDomainChecker(
+            self.schema, self.constraints, initial=self.initial
+        )
+
+    def on_violation(self, handler) -> None:
+        """Register ``handler(violation)`` to run on every violation.
+
+        Handlers fire synchronously inside :meth:`step`/:meth:`run`, in
+        registration order — the hook for alerting, journaling, or
+        compensation logic.  A handler exception propagates to the
+        caller (monitoring must not silently drop reactions).
+        """
+        self._violation_handlers.append(handler)
+
+    def _dispatch(self, report: StepReport) -> StepReport:
+        if self._violation_handlers:
+            for violation in report.violations:
+                for handler in self._violation_handlers:
+                    handler(violation)
+        return report
+
+    def step(self, time: Timestamp, txn: Transaction) -> StepReport:
+        """Apply one transaction at ``time`` and check all constraints."""
+        return self._dispatch(self.checker.step(time, txn))
+
+    def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
+        """Record a full successor state at ``time`` and check."""
+        return self._dispatch(self.checker.step_state(time, state))
+
+    def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
+        """Process a whole update stream; return the aggregate report."""
+        if not self._violation_handlers:
+            return self.checker.run(stream)
+        report = RunReport()
+        for time, txn in stream:
+            report.add(self.step(time, txn))
+        return report
+
+    @property
+    def now(self) -> Optional[Timestamp]:
+        """Timestamp of the last processed state (None before any)."""
+        return self.checker.now if self._checker is not None else None
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a checkpoint of the monitoring run to ``path``.
+
+        Only the incremental engine supports checkpointing (its state
+        is the small bounded encoding; the naive engines' state is the
+        whole history, which defeats the point).
+        """
+        from repro.core.persist import save_checker
+
+        if self.engine != "incremental":
+            raise MonitorError(
+                f"checkpointing requires the incremental engine, "
+                f"not {self.engine!r}"
+            )
+        save_checker(self.checker, path)
+
+    @classmethod
+    def resume(cls, path) -> "Monitor":
+        """Restore a monitor from a checkpoint written by :meth:`save`."""
+        from repro.core.persist import load_checker
+
+        checker = load_checker(path)
+        monitor = cls(checker.schema, engine="incremental")
+        monitor.constraints = list(checker.constraints)
+        monitor._checker = checker
+        return monitor
+
+    def __repr__(self) -> str:
+        return (
+            f"Monitor({len(self.constraints)} constraint(s), "
+            f"engine={self.engine!r})"
+        )

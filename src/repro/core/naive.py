@@ -1,0 +1,110 @@
+"""Naive full-history baseline checkers.
+
+The point of comparison for the paper's method: store the entire
+history and evaluate the reference semantics at each new state.  Two
+variants are provided:
+
+* ``NaiveChecker(memoize=False)`` — the true naive baseline: each step
+  re-evaluates from scratch with a fresh evaluator, so per-step time
+  grows with the history (and space grows because states accumulate).
+
+* ``NaiveChecker(memoize=True)`` — a *materialised* middle point that
+  keeps one evaluator (and its per-snapshot caches) for the whole run:
+  per-step time is amortised, but space still grows linearly with the
+  history.  This is the ablation between "recompute everything" and
+  the paper's bounded encoding.
+
+Both expose the same stepping API as
+:class:`~repro.core.checker.IncrementalChecker`, so benchmarks and
+property tests drive them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.checker import Constraint, reject_future_constraints
+from repro.core.semantics import HistoryEvaluator
+from repro.core.violations import RunReport, StepReport, Violation
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import MonitorError
+from repro.temporal.clock import Timestamp
+from repro.temporal.history import History
+from repro.temporal.stream import UpdateStream
+
+
+class NaiveChecker:
+    """Checks constraints by materialising the history."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        constraints: Sequence[Constraint],
+        initial: Optional[DatabaseState] = None,
+        memoize: bool = False,
+    ):
+        self.schema = schema
+        self.constraints = list(constraints)
+        for c in self.constraints:
+            c.validate_schema(schema)
+        reject_future_constraints(self.constraints, "naive")
+        self.history = History(schema)
+        self._base = (
+            initial if initial is not None else DatabaseState.empty(schema)
+        )
+        if self._base.schema != schema:
+            raise MonitorError("initial state does not match schema")
+        self.memoize = memoize
+        self._evaluator: Optional[HistoryEvaluator] = (
+            HistoryEvaluator(self.history) if memoize else None
+        )
+
+    @property
+    def now(self) -> Optional[Timestamp]:
+        """Timestamp of the last processed state (None before any)."""
+        return None if self.history.is_empty else self.history.last.time
+
+    @property
+    def steps_processed(self) -> int:
+        """Number of states processed so far."""
+        return self.history.length
+
+    def step(self, time: Timestamp, txn: Transaction) -> StepReport:
+        """Apply ``txn`` at ``time`` and check all constraints."""
+        base = (
+            self.history.last.state if not self.history.is_empty else self._base
+        )
+        return self.step_state(time, base.apply(txn))
+
+    def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
+        """Like :meth:`step`, but with the successor state given directly."""
+        self.history.append(time, state)
+        index = self.history.length - 1
+        evaluator = (
+            self._evaluator
+            if self._evaluator is not None
+            else HistoryEvaluator(self.history)
+        )
+        violations: List[Violation] = []
+        for c in self.constraints:
+            witnesses = evaluator.table_at(c.violation_formula, index)
+            if not witnesses.is_empty:
+                violations.append(Violation(c.name, time, index, witnesses))
+        return StepReport(time, index, violations)
+
+    def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
+        """Process a whole update stream; return the aggregate report."""
+        report = RunReport()
+        for time, txn in stream:
+            report.add(self.step(time, txn))
+        return report
+
+    def stored_states(self) -> int:
+        """States retained — the naive space measure (grows forever)."""
+        return self.history.length
+
+    def stored_tuples(self) -> int:
+        """Total tuples across all retained states (space in tuples)."""
+        return sum(snap.state.total_rows for snap in self.history)

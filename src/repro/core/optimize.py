@@ -1,0 +1,163 @@
+"""Semantics-preserving formula simplification.
+
+Rewrites applied to kernel formulas before compilation.  Every rule
+here is *valid in sampled metric time* — a stricter bar than it looks:
+the tempting window-arithmetic rules are wrong under sampling (e.g.
+``ONCE[0,5] ONCE[0,5] f`` is **not** ``ONCE[0,10] f``: the intermediate
+state the composition needs may simply not exist), so only rules with
+a proof sketch in their docstring are included.  The optimiser's
+soundness is property-tested by checking random formulas against their
+optimised forms on random streams.
+
+Rules:
+
+* constant folding through the connectives (``TRUE``/``FALSE`` as the
+  nullary comparisons);
+* duplicate and absorbed operands of ``AND``/``OR``;
+* temporal operators over constants (``ONCE[0,b] TRUE`` with ``0`` in
+  the interval is ``TRUE``, over ``FALSE`` is ``FALSE``, ...);
+* idempotent collapse of *trivial* ``ONCE``/``EVENTUALLY`` chains
+  (``ONCE[0,*] ONCE[0,b] f  →  ONCE[0,*] f``: any inner witness state
+  is itself an outer witness at distance 0).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.formulas import (
+    Aggregate,
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Eventually,
+    Exists,
+    Formula,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Until,
+)
+
+
+def _truth_of(formula: Formula) -> Optional[bool]:
+    """The constant truth value of a formula, if it has one."""
+    if isinstance(formula, Comparison) and isinstance(
+        formula.left, Const
+    ) and isinstance(formula.right, Const):
+        try:
+            return formula.evaluate(formula.left.value, formula.right.value)
+        except Exception:
+            return False
+    return None
+
+
+def _const(value: bool) -> Formula:
+    from repro.core.formulas import FALSE, TRUE
+
+    return TRUE if value else FALSE
+
+
+def optimize(formula: Formula) -> Formula:
+    """Apply the valid rewrites bottom-up; returns a kernel formula."""
+    if isinstance(formula, Atom):
+        return formula
+
+    if isinstance(formula, Comparison):
+        truth = _truth_of(formula)
+        if truth is not None:
+            return _const(truth)  # canonicalise constant comparisons
+        return formula
+
+    if isinstance(formula, Not):
+        inner = optimize(formula.operand)
+        truth = _truth_of(inner)
+        if truth is not None:
+            return _const(not truth)
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+
+    if isinstance(formula, (And, Or)):
+        return _optimize_nary(formula)
+
+    if isinstance(formula, Exists):
+        inner = optimize(formula.operand)
+        truth = _truth_of(inner)
+        if truth is not None:
+            return _const(truth)  # body constant: quantifier vacuous
+        return Exists(formula.variables, inner)
+
+    if isinstance(formula, Aggregate):
+        return Aggregate(
+            formula.op, formula.result, formula.over,
+            optimize(formula.body),
+        )
+
+    if isinstance(formula, (Once, Eventually)):
+        inner = optimize(formula.operand)
+        truth = _truth_of(inner)
+        if truth is False:
+            return _const(False)  # no state ever satisfies the operand
+        if truth is True and formula.interval.low == 0:
+            # the current state is a witness at distance 0
+            return _const(True)
+        if (
+            formula.interval.is_trivial
+            and isinstance(inner, type(formula))
+            and inner.interval.low == 0
+        ):
+            # ONCE[0,*] ONCE[0,b] f == ONCE[0,*] f: any state where the
+            # inner f holds witnesses the inner operator at distance 0,
+            # hence the outer at any distance (mirror for EVENTUALLY)
+            return type(formula)(inner.operand, formula.interval)
+        return type(formula)(inner, formula.interval)
+
+    if isinstance(formula, (Prev, Next)):
+        inner = optimize(formula.operand)
+        if _truth_of(inner) is False:
+            return _const(False)
+        return type(formula)(inner, formula.interval)
+
+    if isinstance(formula, (Since, Until)):
+        left = optimize(formula.left)
+        right = optimize(formula.right)
+        if _truth_of(right) is False:
+            return _const(False)  # no anchor can ever exist
+        if _truth_of(right) is True and formula.interval.low == 0:
+            return _const(True)  # the current state anchors itself
+        if _truth_of(left) is True:
+            # survival is vacuous: f SINCE g == ONCE g (same interval)
+            wrapper = Once if isinstance(formula, Since) else Eventually
+            return wrapper(right, formula.interval)
+        return type(formula)(left, right, formula.interval)
+
+    raise TypeError(
+        f"optimize expects kernel formulas, got {type(formula).__name__}"
+    )
+
+
+def _optimize_nary(formula: Formula) -> Formula:
+    is_and = isinstance(formula, And)
+    absorbing = False if is_and else True      # FALSE kills AND, TRUE kills OR
+    parts: List[Formula] = []
+    for operand in formula.operands:  # type: ignore[attr-defined]
+        opt = optimize(operand)
+        truth = _truth_of(opt)
+        if truth is absorbing:
+            return _const(absorbing)
+        if truth is not None:
+            continue  # neutral element, drop
+        if isinstance(opt, type(formula)):
+            parts.extend(opt.operands)  # re-flatten after rewrites
+        elif opt not in parts:
+            parts.append(opt)
+    if not parts:
+        return _const(not absorbing)
+    if len(parts) == 1:
+        return parts[0]
+    return (And if is_and else Or)(*parts)

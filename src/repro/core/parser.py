@@ -1,0 +1,423 @@
+"""Concrete syntax for real-time integrity constraints.
+
+Grammar (loosest to tightest binding)::
+
+    formula  := iff
+    iff      := implies ('<->' implies)*            (left associative)
+    implies  := or ('->' implies)?                  (right associative)
+    or       := and (OR and)*                       (n-ary)
+    and      := since (AND since)*                  (n-ary)
+    since    := unary ((SINCE|UNTIL) interval? unary)*  (left associative)
+    unary    := NOT unary
+              | EXISTS vars '.' formula             (maximal scope)
+              | FORALL vars '.' formula
+              | PREV interval? unary  | ONCE interval? unary
+              | HIST interval? unary  | NEXT interval? unary
+              | EVENTUALLY interval? unary | ALWAYS interval? unary
+              | primary
+    primary  := '(' formula ')' | TRUE | FALSE
+              | IDENT '(' term (',' term)* ')'      (relational atom)
+              | IDENT '(' ')'                       (nullary atom)
+              | term cmp term                       (comparison)
+    term     := IDENT | INT | FLOAT | STRING | '-' INT | '-' FLOAT
+    cmp      := '=' | '!=' | '<' | '<=' | '>' | '>='
+    interval := '[' INT ',' (INT | '*') ']'
+    vars     := IDENT (',' IDENT)*
+
+Keywords are case-insensitive and reserved (an identifier spelled like a
+keyword cannot name a relation or variable).  ``&`` / ``|`` are accepted
+as synonyms of ``AND`` / ``OR``.  Comments run from ``#`` or ``--`` to
+end of line.  Strings are single-quoted with backslash escapes.
+
+A *constraint file* is a sequence of constraints separated by ``;``;
+each may carry a label: ``name : formula``.
+
+``parse(str(f))`` returns a formula equal to ``f`` for every formula
+``f`` (round-trip property, tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.formulas import (
+    AGGREGATE_OPS,
+    Aggregate,
+    Always,
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Eventually,
+    Exists,
+    Forall,
+    Formula,
+    Hist,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Term,
+    Until,
+    Var,
+)
+from repro.core.intervals import Interval
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "NOT",
+    "AND",
+    "OR",
+    "EXISTS",
+    "FORALL",
+    "PREV",
+    "ONCE",
+    "HIST",
+    "SINCE",
+    "NEXT",
+    "EVENTUALLY",
+    "ALWAYS",
+    "UNTIL",
+    "CNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "TRUE",
+    "FALSE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>(\#|--)[^\n]*)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:\\.|[^'\\])*')
+  | (?P<op><->|->|!=|<=|>=|[=<>()\[\],.;:*&|-])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    """One lexical token with source position (1-based)."""
+
+    kind: str  # 'int' | 'float' | 'ident' | 'keyword' | 'string' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens (keywords recognised case-insensitively).
+
+    Raises:
+        ParseError: on any character no rule matches.
+    """
+    tokens: List[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line, col)
+        kind = m.lastgroup or ""
+        value = m.group()
+        col = pos - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + value.rindex("\n") + 1
+        elif kind == "ident" and value.upper() in KEYWORDS:
+            tokens.append(Token("keyword", value.upper(), line, col))
+        else:
+            tokens.append(Token(kind, value, line, col))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, len(text) - line_start + 1))
+    return tokens
+
+
+def _unescape(raw: str) -> str:
+    """Decode a quoted string token (strip quotes, process backslashes)."""
+    body = raw[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(body[i + 1])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        tok = self.current
+        shown = tok.text or "end of input"
+        return ParseError(f"{message} (found {shown!r})", tok.line, tok.column)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.current
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._match(kind, text)
+        if tok is None:
+            want = text if text is not None else kind
+            raise self._error(f"expected {want!r}")
+        return tok
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        """Parse one formula (the ``iff`` level)."""
+        left = self._parse_implies()
+        while self._match("op", "<->"):
+            right = self._parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def _parse_implies(self) -> Formula:
+        left = self._parse_or()
+        if self._match("op", "->"):
+            right = self._parse_implies()
+            return Implies(left, right)
+        return left
+
+    def _parse_or(self) -> Formula:
+        parts = [self._parse_and()]
+        while self._match("keyword", "OR") or self._match("op", "|"):
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else Or(*parts)
+
+    def _parse_and(self) -> Formula:
+        parts = [self._parse_since()]
+        while self._match("keyword", "AND") or self._match("op", "&"):
+            parts.append(self._parse_since())
+        return parts[0] if len(parts) == 1 else And(*parts)
+
+    def _parse_since(self) -> Formula:
+        left = self._parse_unary()
+        while True:
+            if self._match("keyword", "SINCE"):
+                node = Since
+            elif self._match("keyword", "UNTIL"):
+                node = Until
+            else:
+                return left
+            interval = self._parse_optional_interval()
+            right = self._parse_unary()
+            left = node(left, right, interval)
+
+    def _parse_unary(self) -> Formula:
+        if self._match("keyword", "NOT"):
+            return Not(self._parse_unary())
+        unary_words = (
+            ("PREV", Prev),
+            ("ONCE", Once),
+            ("HIST", Hist),
+            ("NEXT", Next),
+            ("EVENTUALLY", Eventually),
+            ("ALWAYS", Always),
+        )
+        for word, node in unary_words:
+            if self._match("keyword", word):
+                interval = self._parse_optional_interval()
+                return node(self._parse_unary(), interval)
+        for word, node in (("EXISTS", Exists), ("FORALL", Forall)):
+            if self._match("keyword", word):
+                names = self._parse_varlist()
+                self._expect("op", ".")
+                body = self.parse_formula()
+                return node(names, body)
+        return self._parse_primary()
+
+    def _parse_varlist(self) -> List[str]:
+        names = [self._expect("ident").text]
+        while self._match("op", ","):
+            names.append(self._expect("ident").text)
+        return names
+
+    def _parse_optional_interval(self) -> Optional[Interval]:
+        if not self._match("op", "["):
+            return None
+        low = int(self._expect("int").text)
+        self._expect("op", ",")
+        if self._match("op", "*"):
+            high: Optional[int] = None
+        else:
+            high = int(self._expect("int").text)
+        self._expect("op", "]")
+        return Interval(low, high)
+
+    def _parse_primary(self) -> Formula:
+        if self._match("op", "("):
+            inner = self.parse_formula()
+            self._expect("op", ")")
+            return inner
+        if self._match("keyword", "TRUE"):
+            from repro.core.formulas import TRUE
+
+            return TRUE
+        if self._match("keyword", "FALSE"):
+            from repro.core.formulas import FALSE
+
+            return FALSE
+        # relational atom: IDENT '(' ... ')'
+        if (
+            self.current.kind == "ident"
+            and self._peek_next_is_open_paren()
+        ):
+            name = self._advance().text
+            self._expect("op", "(")
+            terms: List[Term] = []
+            if not self._match("op", ")"):
+                terms.append(self._parse_term())
+                while self._match("op", ","):
+                    terms.append(self._parse_term())
+                self._expect("op", ")")
+            return Atom(name, terms)
+        # otherwise: a comparison or an aggregation atom
+        left = self._parse_term()
+        op_tok = self.current
+        if (
+            op_tok.kind == "op"
+            and op_tok.text == "="
+            and self._tokens[self._pos + 1].kind == "keyword"
+            and self._tokens[self._pos + 1].text in AGGREGATE_OPS
+        ):
+            if not isinstance(left, Var):
+                raise self._error(
+                    "aggregate result must be a variable"
+                )
+            self._advance()  # '='
+            agg_op = self._advance().text
+            self._expect("op", "(")
+            over = self._parse_varlist()
+            self._expect("op", ";")
+            body = self.parse_formula()
+            self._expect("op", ")")
+            return Aggregate(agg_op, left.name, over, body)
+        if op_tok.kind == "op" and op_tok.text in ("=", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._parse_term()
+            return Comparison(left, op_tok.text, right)
+        raise self._error("expected a formula")
+
+    def _peek_next_is_open_paren(self) -> bool:
+        nxt = self._tokens[self._pos + 1]
+        return nxt.kind == "op" and nxt.text == "("
+
+    def _parse_term(self) -> Term:
+        tok = self.current
+        if tok.kind == "ident":
+            self._advance()
+            return Var(tok.text)
+        if tok.kind == "int":
+            self._advance()
+            return Const(int(tok.text))
+        if tok.kind == "float":
+            self._advance()
+            return Const(float(tok.text))
+        if tok.kind == "string":
+            self._advance()
+            return Const(_unescape(tok.text))
+        if tok.kind == "op" and tok.text == "-":
+            self._advance()
+            num = self.current
+            if num.kind == "int":
+                self._advance()
+                return Const(-int(num.text))
+            if num.kind == "float":
+                self._advance()
+                return Const(-float(num.text))
+            raise self._error("expected a number after '-'")
+        raise self._error("expected a term")
+
+    def at_end(self) -> bool:
+        """Whether all input has been consumed."""
+        return self.current.kind == "eof"
+
+
+def parse(text: str) -> Formula:
+    """Parse a single formula; the whole input must be consumed."""
+    parser = Parser(tokenize(text))
+    formula = parser.parse_formula()
+    if not parser.at_end():
+        raise parser._error("unexpected trailing input")
+    return formula
+
+
+def parse_constraints(text: str) -> List[Tuple[str, Formula]]:
+    """Parse a constraint file: ``[name :] formula`` separated by ``;``.
+
+    Unlabelled constraints are named ``c1``, ``c2``, ... by position.
+
+    Returns:
+        ``(name, formula)`` pairs in file order.
+    """
+    parser = Parser(tokenize(text))
+    out: List[Tuple[str, Formula]] = []
+    index = 0
+    while not parser.at_end():
+        index += 1
+        name = _try_label(parser) or f"c{index}"
+        out.append((name, parser.parse_formula()))
+        if not parser._match("op", ";") and not parser.at_end():
+            raise parser._error("expected ';' between constraints")
+    return out
+
+
+def _try_label(parser: Parser) -> Optional[str]:
+    """Consume a ``name :`` label if present; names may contain ``-``.
+
+    No formula can start with ``ident :`` (nor ``ident - ident ... :``),
+    so scanning ahead for the colon and rewinding otherwise is safe.
+    """
+    if parser.current.kind != "ident":
+        return None
+    saved = parser._pos
+    parts = [parser._advance().text]
+    while (
+        parser.current.kind == "op"
+        and parser.current.text == "-"
+        and parser._tokens[parser._pos + 1].kind in ("ident", "keyword")
+    ):
+        parser._advance()
+        parts.append(parser._advance().text)
+    if parser._match("op", ":"):
+        return "-".join(parts)
+    parser._pos = saved
+    return None

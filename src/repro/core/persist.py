@@ -1,0 +1,155 @@
+"""Checkpoint / restore for the incremental checker.
+
+A monitor that never stores the history is exactly the kind of process
+one wants to stop and resume: the whole checkpoint is the (small)
+auxiliary state plus the current database state.  This module
+serialises an :class:`~repro.core.checker.IncrementalChecker` to a
+versioned JSON document and restores it to a checker that continues
+the run *exactly* where the original left off — the round-trip
+property ``resume(save(checker)) ≡ checker`` is verified by property
+tests.
+
+Constraints are stored as their concrete syntax (``str(formula)``),
+which the parser round-trips; auxiliary relations are stored in the
+checker's bottom-up registration order, which reconstruction
+reproduces deterministically from the constraints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.auxiliary import OnceState, PrevState, SinceState
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.parser import parse
+from repro.db.algebra import Table
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.errors import MonitorError
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def checkpoint_dict(checker: IncrementalChecker) -> dict:
+    """Serialise a checker to a JSON-able checkpoint document."""
+    aux_states: List[dict] = []
+    for node, aux in checker._aux.items():
+        if isinstance(aux, PrevState):
+            aux_states.append(
+                {
+                    "type": "prev",
+                    "last_time": aux._last_time,
+                    "columns": list(aux._last_table.columns),
+                    "rows": sorted(
+                        [list(r) for r in aux._last_table.rows], key=repr
+                    ),
+                }
+            )
+        elif isinstance(aux, (OnceState, SinceState)):
+            aux_states.append(
+                {
+                    "type": "once" if isinstance(aux, OnceState) else "since",
+                    "anchors": sorted(
+                        (
+                            [list(valuation), list(times)]
+                            for valuation, times in aux._anchors.anchors.items()
+                        ),
+                        key=repr,
+                    ),
+                }
+            )
+        else:  # pragma: no cover - no other aux kinds exist
+            raise MonitorError(f"cannot checkpoint {type(aux).__name__}")
+    return {
+        "version": FORMAT_VERSION,
+        "schema": checker.schema.to_dict(),
+        "constraints": [
+            {"name": c.name, "formula": str(c.formula)}
+            for c in checker.constraints
+        ],
+        "collapse_unbounded": checker.collapse_unbounded,
+        "time": checker._time,
+        "index": checker._index,
+        "state": checker.state.to_dict(),
+        "aux": aux_states,
+    }
+
+
+def restore_checker(document: dict) -> IncrementalChecker:
+    """Rebuild a checker from a checkpoint document."""
+    if document.get("version") != FORMAT_VERSION:
+        raise MonitorError(
+            f"unsupported checkpoint version: {document.get('version')!r}"
+        )
+    schema = DatabaseSchema.from_dict(
+        {
+            name: [tuple(a) for a in attrs]
+            for name, attrs in document["schema"].items()
+        }
+    )
+    constraints = [
+        Constraint(entry["name"], parse(entry["formula"]))
+        for entry in document["constraints"]
+    ]
+    state = DatabaseState.from_rows(
+        schema,
+        {
+            name: [tuple(row) for row in rows]
+            for name, rows in document["state"].items()
+        },
+    )
+    checker = IncrementalChecker(
+        schema,
+        constraints,
+        initial=state,
+        collapse_unbounded=document["collapse_unbounded"],
+    )
+    checker._time = document["time"]
+    checker._index = document["index"]
+
+    saved = document["aux"]
+    nodes = list(checker._aux)
+    if len(saved) != len(nodes):
+        raise MonitorError(
+            f"checkpoint has {len(saved)} auxiliary states but the "
+            f"constraints define {len(nodes)} temporal nodes"
+        )
+    for node, entry in zip(nodes, saved):
+        aux = checker._aux[node]
+        if isinstance(aux, PrevState):
+            if entry["type"] != "prev":
+                raise MonitorError("auxiliary state kind mismatch")
+            aux._last_time = entry["last_time"]
+            aux._last_table = Table(
+                tuple(entry["columns"]),
+                [tuple(r) for r in entry["rows"]],
+            )
+        else:
+            expected = "once" if isinstance(aux, OnceState) else "since"
+            if entry["type"] != expected:
+                raise MonitorError("auxiliary state kind mismatch")
+            aux._anchors.anchors = {
+                tuple(valuation): list(times)
+                for valuation, times in entry["anchors"]
+            }
+    return checker
+
+
+def save_checker(checker: IncrementalChecker, path: PathLike) -> None:
+    """Write a checker checkpoint to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(checkpoint_dict(checker), sort_keys=True) + "\n"
+    )
+
+
+def load_checker(path: PathLike) -> IncrementalChecker:
+    """Restore a checker from a checkpoint file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise MonitorError(f"malformed checkpoint: {exc}") from None
+    return restore_checker(document)

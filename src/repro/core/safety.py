@@ -1,0 +1,286 @@
+"""Safe-range (monitorability) analysis.
+
+A constraint can be checked against finite database states only if its
+answers are determined by the data — the classical *safe-range*
+requirement, extended here to the temporal operators the way the
+bounded-history encoding needs:
+
+* ``PREV[I] f`` and ``ONCE[I] f``: ``f`` must itself be safe, because
+  the auxiliary relation materialises ``f``'s satisfying valuations.
+* ``f SINCE[I] g``: ``g`` must be safe (anchors are created from its
+  answers), ``fv(f) ⊆ fv(g)`` (anchors must bind every variable the
+  survival test needs), and ``f`` must be evaluable *given* ``fv(g)``
+  bound — so ``NOT p(x) SINCE q(x)`` is fine.
+* a negated conjunct is evaluable once the positive conjuncts have
+  bound its free variables; order comparisons need both sides bound;
+  an equality binds one side from the other.
+
+The central routine is :func:`analyze`, a planner that decides whether
+a kernel formula is evaluable given a set of already-bound variables,
+and in what order a conjunction's parts must be processed.  The
+evaluators (:mod:`repro.core.foeval`) execute exactly the plans this
+module produces, so "passes :func:`check_safe`" and "evaluates without
+error" coincide by construction.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.formulas import (
+    Aggregate,
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Eventually,
+    Exists,
+    Formula,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Until,
+    Var,
+)
+from repro.errors import UnsafeFormulaError
+
+EMPTY: FrozenSet[str] = frozenset()
+
+
+def analyze(formula: Formula, bound: FrozenSet[str] = EMPTY) -> Optional[FrozenSet[str]]:
+    """Decide evaluability of a kernel ``formula`` given ``bound`` variables.
+
+    Returns:
+        The set of variables bound *after* evaluating the formula in a
+        context binding ``bound`` (always a superset of ``bound``), or
+        ``None`` if the formula cannot be evaluated yet in that context
+        (it may become evaluable once more variables are bound, which
+        is how conjunction planning uses this function).
+    """
+    if isinstance(formula, Atom):
+        return bound | formula.free_vars
+    if isinstance(formula, (Prev, Once, Since, Next, Eventually, Until)):
+        # internal safety is checked once, in check_safe(); as a
+        # conjunct, a temporal node behaves like an atom over its
+        # virtual relation.
+        return bound | formula.free_vars
+    if isinstance(formula, Aggregate):
+        # body safety is checked once, in check_safe(); as a conjunct
+        # the aggregation produces (group vars + result) bindings
+        return bound | formula.free_vars
+    if isinstance(formula, Comparison):
+        return _analyze_comparison(formula, bound)
+    if isinstance(formula, Not):
+        inner_fv = formula.operand.free_vars
+        if not inner_fv <= bound:
+            return None
+        if analyze(formula.operand, bound) is None:
+            return None
+        return bound
+    if isinstance(formula, And):
+        order = order_conjuncts(formula.operands, bound)
+        if order is None:
+            return None
+        result = bound
+        for index in order:
+            step = analyze(formula.operands[index], result)
+            assert step is not None, "planner accepted an unprocessable conjunct"
+            result = step
+        return result
+    if isinstance(formula, Or):
+        results = []
+        for branch in formula.operands:
+            r = analyze(branch, bound)
+            if r is None:
+                return None
+            results.append(r)
+        if len(set(results)) != 1:
+            return None
+        return results[0]
+    if isinstance(formula, Exists):
+        inner = analyze(formula.operand, bound)
+        if inner is None:
+            return None
+        missing = frozenset(formula.variables) - inner
+        if missing:
+            return None
+        return inner - frozenset(formula.variables)
+    raise UnsafeFormulaError(
+        f"formula is not in kernel form (found {type(formula).__name__}): "
+        f"{formula} — run normalize() first"
+    )
+
+
+def _analyze_comparison(
+    cmp: Comparison, bound: FrozenSet[str]
+) -> Optional[FrozenSet[str]]:
+    left_var = cmp.left.name if isinstance(cmp.left, Var) else None
+    right_var = cmp.right.name if isinstance(cmp.right, Var) else None
+    left_bound = left_var is None or left_var in bound
+    right_bound = right_var is None or right_var in bound
+    if cmp.op == "=":
+        if left_bound or right_bound:
+            return bound | cmp.free_vars
+        return None
+    if left_bound and right_bound:
+        return bound
+    return None
+
+
+def order_conjuncts(
+    conjuncts: Sequence[Formula], bound: FrozenSet[str] = EMPTY
+) -> Optional[List[int]]:
+    """Plan a processing order for a conjunction.
+
+    Greedy rounds: repeatedly process the first conjunct evaluable under
+    the variables bound so far.  Returns the order as a list of indices,
+    or ``None`` if some conjuncts can never be scheduled.
+    """
+    remaining = list(range(len(conjuncts)))
+    order: List[int] = []
+    current = bound
+    while remaining:
+        progressed = False
+        for index in list(remaining):
+            result = analyze(conjuncts[index], current)
+            if result is not None:
+                order.append(index)
+                remaining.remove(index)
+                current = result
+                progressed = True
+                break
+        if not progressed:
+            return None
+    return order
+
+
+def explain_unsafe(formula: Formula, bound: FrozenSet[str] = EMPTY) -> str:
+    """Produce a human-readable reason why ``formula`` is unevaluable."""
+    if isinstance(formula, Not):
+        loose = formula.operand.free_vars - bound
+        if loose:
+            return (
+                f"negation {formula} has free variables {sorted(loose)} "
+                f"not bound by any positive conjunct"
+            )
+        return explain_unsafe(formula.operand, bound)
+    if isinstance(formula, Comparison):
+        return (
+            f"comparison {formula} needs its variables bound by other "
+            f"conjuncts (bound here: {sorted(bound) or '{}'})"
+        )
+    if isinstance(formula, And):
+        order = order_conjuncts(formula.operands, bound)
+        if order is None:
+            stuck = [
+                str(c)
+                for c in formula.operands
+                if analyze(c, bound) is None
+            ]
+            return (
+                f"conjunction cannot be ordered; stuck conjuncts: "
+                f"{'; '.join(stuck)}"
+            )
+    if isinstance(formula, Or):
+        for branch in formula.operands:
+            if analyze(branch, bound) is None:
+                return f"disjunct {branch} is unsafe: " + explain_unsafe(
+                    branch, bound
+                )
+        results = {analyze(b, bound) for b in formula.operands}
+        if len(results) > 1:
+            return (
+                f"disjuncts of {formula} bind different variable sets; "
+                f"each disjunct must bind the same free variables"
+            )
+    if isinstance(formula, Exists):
+        inner = analyze(formula.operand, bound)
+        if inner is None:
+            return explain_unsafe(formula.operand, bound)
+        missing = frozenset(formula.variables) - inner
+        if missing:
+            return (
+                f"quantified variables {sorted(missing)} of {formula} are "
+                f"not bound by the body"
+            )
+    return f"subformula {formula} is not evaluable"
+
+
+def check_safe(formula: Formula) -> None:
+    """Verify a kernel formula is safely evaluable from scratch.
+
+    Checks the internal conditions of every temporal subformula, then
+    overall evaluability.  Raises :class:`UnsafeFormulaError` with an
+    explanation on failure; returns ``None`` on success.
+    """
+    check_node_conditions(formula)
+    if analyze(formula, EMPTY) is None:
+        raise UnsafeFormulaError(explain_unsafe(formula, EMPTY))
+
+
+def check_node_conditions(formula: Formula) -> None:
+    """The per-node half of :func:`check_safe`: temporal-operand and
+    aggregation well-formedness, everywhere in the formula — including
+    branches an optimiser might later fold away."""
+    for sub in formula.walk():
+        if sub.is_future and not getattr(sub, "interval").is_bounded:
+            raise UnsafeFormulaError(
+                f"future operator {sub} has an unbounded interval; "
+                f"bounded-future constraints are monitorable with "
+                f"finite delay only when every future window is finite"
+            )
+        if isinstance(sub, Aggregate):
+            if analyze(sub.body, EMPTY) is None:
+                raise UnsafeFormulaError(
+                    "aggregate body must be safe on its own: "
+                    + explain_unsafe(sub.body, EMPTY)
+                )
+            loose = frozenset(sub.over) - sub.body.free_vars
+            if loose:
+                raise UnsafeFormulaError(
+                    f"aggregated variables {sorted(loose)} do not occur "
+                    f"in the aggregate body (in {sub})"
+                )
+            if sub.result in sub.body.free_vars:
+                raise UnsafeFormulaError(
+                    f"result variable {sub.result!r} also occurs in the "
+                    f"aggregate body (in {sub}); use a fresh name"
+                )
+        elif isinstance(sub, (Prev, Once, Next, Eventually)):
+            if analyze(sub.operand, EMPTY) is None:
+                raise UnsafeFormulaError(
+                    f"operand of {type(sub).__name__} must be safe on its "
+                    f"own: " + explain_unsafe(sub.operand, EMPTY)
+                )
+        elif isinstance(sub, (Since, Until)):
+            word = type(sub).__name__.upper()
+            if analyze(sub.right, EMPTY) is None:
+                raise UnsafeFormulaError(
+                    f"right operand of {word} must be safe on its own: "
+                    + explain_unsafe(sub.right, EMPTY)
+                )
+            extra = sub.left.free_vars - sub.right.free_vars
+            if extra:
+                raise UnsafeFormulaError(
+                    f"left operand of {word} uses variables "
+                    f"{sorted(extra)} that its right operand does not "
+                    f"bind (in {sub})"
+                )
+            if analyze(sub.left, frozenset(sub.right.free_vars)) is None:
+                raise UnsafeFormulaError(
+                    f"left operand of {word} is not evaluable even with "
+                    "the right operand's variables bound: "
+                    + explain_unsafe(sub.left, frozenset(sub.right.free_vars))
+                )
+
+
+def is_safe(formula: Formula) -> bool:
+    """Boolean form of :func:`check_safe`."""
+    try:
+        check_safe(formula)
+    except UnsafeFormulaError:
+        return False
+    return True

@@ -1,0 +1,224 @@
+"""Reference point-semantics of Past MFOTL over materialised histories.
+
+This module is the *specification* against which both checkers are
+validated: it evaluates a kernel formula at an arbitrary snapshot of a
+:class:`~repro.temporal.history.History`, looking at the whole history
+with no auxiliary encoding.  It is deliberately simple and direct; the
+naive baseline checker wraps it, and the property-based tests assert
+that the incremental checker agrees with it on random inputs.
+
+Temporal operators are resolved by explicit recursion over past
+snapshots (with memoisation per (subformula, index) inside one
+evaluator, so repeated queries stay polynomial).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.foeval import AtomProvider, evaluate, relation_atom_table
+from repro.core.formulas import (
+    Atom,
+    Eventually,
+    Formula,
+    Next,
+    Once,
+    Prev,
+    Since,
+    Until,
+)
+from repro.db.algebra import Table
+from repro.errors import HistoryError
+from repro.temporal.history import History
+
+
+def _header(formula: Formula) -> Tuple[str, ...]:
+    """Canonical column order for a formula's satisfaction table."""
+    return tuple(sorted(formula.free_vars))
+
+
+class HistoryEvaluator:
+    """Evaluates kernel formulas at snapshots of one history.
+
+    The evaluator may be kept while the history is appended to; caches
+    are keyed by snapshot index, which never changes meaning because
+    histories are append-only.
+    """
+
+    def __init__(self, history: History):
+        self.history = history
+        self._cache: Dict[Tuple[Formula, int], Table] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def table_at(self, formula: Formula, index: int) -> Table:
+        """Satisfying valuations of ``formula`` at snapshot ``index``.
+
+        Args:
+            formula: a kernel formula (see :mod:`repro.core.normalize`).
+            index: 0-based snapshot index into the history.
+
+        Returns:
+            A table over the formula's free variables.
+        """
+        self._check_index(index)
+        key = (formula, index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        provider = _PointProvider(self, index)
+        result = evaluate(formula, provider)
+        self._cache[key] = result
+        return result
+
+    def holds_at(self, formula: Formula, index: int) -> bool:
+        """Truth of a *closed* kernel formula at snapshot ``index``."""
+        table = self.table_at(formula, index)
+        if table.columns:
+            raise HistoryError(
+                f"holds_at needs a closed formula; {formula} has free "
+                f"variables {sorted(formula.free_vars)}"
+            )
+        return table.truth
+
+    # ------------------------------------------------------------------
+    # temporal operators
+    # ------------------------------------------------------------------
+
+    def temporal_table(self, formula: Formula, index: int) -> Table:
+        """Satisfying valuations of a temporal node at ``index``."""
+        key = (formula, index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(formula, Prev):
+            result = self._prev_table(formula, index)
+        elif isinstance(formula, Once):
+            result = self._once_table(formula, index)
+        elif isinstance(formula, Since):
+            result = self._since_table(formula, index)
+        elif isinstance(formula, Next):
+            result = self._next_table(formula, index)
+        elif isinstance(formula, Eventually):
+            result = self._eventually_table(formula, index)
+        elif isinstance(formula, Until):
+            result = self._until_table(formula, index)
+        else:
+            raise HistoryError(
+                f"not a temporal node: {type(formula).__name__}"
+            )
+        self._cache[key] = result
+        return result
+
+    def _prev_table(self, formula: Prev, index: int) -> Table:
+        if index == 0:
+            return Table.empty(_header(formula))
+        gap = self.history.time_at(index) - self.history.time_at(index - 1)
+        if not formula.interval.contains(gap):
+            return Table.empty(_header(formula))
+        return self.table_at(formula.operand, index - 1)
+
+    def _once_table(self, formula: Once, index: int) -> Table:
+        now = self.history.time_at(index)
+        result = Table.empty(_header(formula))
+        for j in range(index, -1, -1):
+            delta = now - self.history.time_at(j)
+            if formula.interval.bounded_by(delta):
+                break  # older snapshots are even further away
+            if formula.interval.contains(delta):
+                result = result.union(self.table_at(formula.operand, j))
+        return result
+
+    def _since_table(self, formula: Since, index: int) -> Table:
+        """Anchor-accumulation evaluation of SINCE.
+
+        Sweeping snapshots oldest-to-newest: filter surviving anchors by
+        the left operand at each state (strictly-after semantics: filter
+        *before* adding that state's own anchors), and add the right
+        operand's valuations as new anchors whenever the state's clock
+        distance from ``index`` lies in the interval.
+        """
+        now = self.history.time_at(index)
+        pending = Table.empty(tuple(sorted(formula.right.free_vars)))
+        for j in range(0, index + 1):
+            if j > 0 and not pending.is_empty:
+                provider = _PointProvider(self, j)
+                pending = evaluate(formula.left, provider, pending)
+            delta = now - self.history.time_at(j)
+            if formula.interval.contains(delta):
+                pending = pending.union(
+                    self.table_at(formula.right, j)
+                )
+        return pending.project(_header(formula))
+
+    # -- future operators (over the materialised part of the history;
+    #    a history that has ended gives the closed-world future the
+    #    delayed checker's finish() also assumes) -----------------------
+
+    def _next_table(self, formula: Next, index: int) -> Table:
+        if index + 1 >= self.history.length:
+            return Table.empty(_header(formula))
+        gap = self.history.time_at(index + 1) - self.history.time_at(index)
+        if not formula.interval.contains(gap):
+            return Table.empty(_header(formula))
+        return self.table_at(formula.operand, index + 1)
+
+    def _eventually_table(self, formula: Eventually, index: int) -> Table:
+        now = self.history.time_at(index)
+        result = Table.empty(_header(formula))
+        for j in range(index, self.history.length):
+            delta = self.history.time_at(j) - now
+            if formula.interval.bounded_by(delta):
+                break  # later snapshots are even further ahead
+            if formula.interval.contains(delta):
+                result = result.union(self.table_at(formula.operand, j))
+        return result
+
+    def _until_table(self, formula: Until, index: int) -> Table:
+        """Mirror of :meth:`_since_table`, scanning newest-to-oldest.
+
+        Visiting ``j`` descending: anchors already collected come from
+        states after ``j`` and therefore require the left operand at
+        ``j`` (strictly-before semantics) — filter first, then add
+        ``j``'s own anchors, which need nothing at ``j`` itself.
+        """
+        now = self.history.time_at(index)
+        pending = Table.empty(tuple(sorted(formula.right.free_vars)))
+        last = self.history.length - 1
+        for j in range(last, index - 1, -1):
+            delta = self.history.time_at(j) - now
+            if formula.interval.bounded_by(delta):
+                pending = Table.empty(pending.columns)
+                continue
+            if j < last and not pending.is_empty:
+                provider = _PointProvider(self, j)
+                pending = evaluate(formula.left, provider, pending)
+            if formula.interval.contains(delta):
+                pending = pending.union(self.table_at(formula.right, j))
+        return pending.project(_header(formula))
+
+    # ------------------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.history.length:
+            raise HistoryError(
+                f"snapshot index {index} out of range "
+                f"(history has {self.history.length} snapshots)"
+            )
+
+
+class _PointProvider(AtomProvider):
+    """Resolves atoms/temporal nodes at a fixed snapshot of a history."""
+
+    def __init__(self, evaluator: HistoryEvaluator, index: int):
+        self.evaluator = evaluator
+        self.index = index
+
+    def atom_table(self, atom: Atom) -> Table:
+        state = self.evaluator.history.state_at(self.index)
+        return relation_atom_table(state.relation(atom.relation), atom)
+
+    def temporal_table(self, formula: Formula) -> Table:
+        return self.evaluator.temporal_table(formula, self.index)

@@ -1,0 +1,148 @@
+"""Violation reporting.
+
+A constraint is an (implicitly universally closed) formula that must
+hold at every state of the history.  When it fails, the checker reports
+a :class:`Violation` carrying the *witnesses*: the valuations of the
+constraint's free variables for which the formula is false at that
+state (an empty-tuple witness for closed constraints).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.db.algebra import Table
+from repro.db.types import Value
+from repro.temporal.clock import Timestamp
+
+
+class Violation:
+    """One constraint failure at one history state."""
+
+    __slots__ = ("constraint", "time", "index", "witnesses")
+
+    def __init__(
+        self,
+        constraint: str,
+        time: Timestamp,
+        index: int,
+        witnesses: Table,
+    ):
+        self.constraint = constraint
+        self.time = time
+        self.index = index
+        self.witnesses = witnesses
+
+    @property
+    def witness_count(self) -> int:
+        """Number of violating valuations (1 for closed constraints)."""
+        return max(1, len(self.witnesses))
+
+    def witness_dicts(self) -> List[Dict[str, Value]]:
+        """Witnesses as ``{variable: value}`` dicts (deterministic order)."""
+        return list(self.witnesses.assignments())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Violation)
+            and self.constraint == other.constraint
+            and self.time == other.time
+            and self.index == other.index
+            and self.witnesses == other.witnesses
+        )
+
+    def __repr__(self) -> str:
+        if self.witnesses.columns:
+            detail = f"{len(self.witnesses)} witness(es)"
+        else:
+            detail = "closed"
+        return (
+            f"Violation({self.constraint!r} at t={self.time} "
+            f"[state {self.index}], {detail})"
+        )
+
+
+class StepReport:
+    """Outcome of checking all constraints at one new state."""
+
+    __slots__ = ("time", "index", "violations")
+
+    def __init__(
+        self, time: Timestamp, index: int, violations: Sequence[Violation]
+    ):
+        self.time = time
+        self.index = index
+        self.violations = list(violations)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every constraint held at this state."""
+        return not self.violations
+
+    def violated_constraints(self) -> List[str]:
+        """Names of constraints that failed at this state."""
+        return [v.constraint for v in self.violations]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"StepReport(t={self.time}, ok)"
+        names = ", ".join(self.violated_constraints())
+        return f"StepReport(t={self.time}, violated: {names})"
+
+
+class RunReport:
+    """Aggregated outcome of checking a whole update stream."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[StepReport] = ()):
+        self.steps = list(steps)
+
+    def add(self, step: StepReport) -> None:
+        """Append one step's report."""
+        self.steps.append(step)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the whole run was violation-free."""
+        return all(s.ok for s in self.steps)
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All violations, in history order."""
+        return [v for s in self.steps for v in s.violations]
+
+    @property
+    def violation_count(self) -> int:
+        """Total number of violations over the run."""
+        return sum(len(s.violations) for s in self.steps)
+
+    def first_violation(self) -> Violation:
+        """The earliest violation.
+
+        Raises:
+            IndexError: if the run was clean.
+        """
+        return self.violations[0]
+
+    def by_constraint(self) -> Dict[str, List[Violation]]:
+        """Group violations by constraint name."""
+        grouped: Dict[str, List[Violation]] = {}
+        for v in self.violations:
+            grouped.setdefault(v.constraint, []).append(v)
+        return grouped
+
+    def __iter__(self) -> Iterator[StepReport]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunReport({len(self.steps)} steps, "
+            f"{self.violation_count} violation(s))"
+        )

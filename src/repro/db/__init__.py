@@ -1,0 +1,50 @@
+"""Relational database substrate.
+
+Everything the constraint checker needs from a database engine, built
+from scratch: typed schemas, immutable relation instances with lazy
+hash indexes, immutable database states with copy-on-write transitions,
+atomic insert/delete transactions, a pure relational algebra
+(:class:`~repro.db.algebra.Table`), and JSON persistence of schemas and
+update streams.
+"""
+
+from repro.db.algebra import Table
+from repro.db.database import DatabaseState
+from repro.db.relation import Relation
+from repro.db.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    SchemaBuilder,
+)
+from repro.db.storage import (
+    dump_schema,
+    dump_stream,
+    load_schema,
+    load_stream,
+    read_stream,
+    write_stream,
+)
+from repro.db.transactions import Transaction, TransactionBuilder
+from repro.db.types import Domain, Row, Value
+
+__all__ = [
+    "Attribute",
+    "DatabaseSchema",
+    "DatabaseState",
+    "Domain",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "SchemaBuilder",
+    "Table",
+    "Transaction",
+    "TransactionBuilder",
+    "Value",
+    "dump_schema",
+    "dump_stream",
+    "load_schema",
+    "load_stream",
+    "read_stream",
+    "write_stream",
+]

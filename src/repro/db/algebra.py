@@ -1,0 +1,383 @@
+"""Relational algebra over in-memory tables.
+
+:class:`Table` is the workhorse of the whole library: relations, query
+answers, binding sets of the constraint checker, and auxiliary-relation
+snapshots are all tables — an ordered tuple of column names plus a set
+of equal-length value rows.  All operations are pure: they return new
+tables and never mutate their operands.
+
+The operation set is exactly what safe-range first-order evaluation
+needs: natural join, union (with column alignment), set difference,
+anti-/semi-join, projection, selection, renaming, column extension, and
+cartesian product.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.db.types import Row, Value
+from repro.errors import AlgebraError
+
+
+class Table:
+    """An immutable set of rows under an ordered column header.
+
+    Two tables are equal when they have the same columns *as a set* and
+    contain the same rows once aligned to a common column order; this is
+    the right notion of equality for query answers.
+    """
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()):
+        cols = tuple(columns)
+        if len(set(cols)) != len(cols):
+            raise AlgebraError(f"duplicate column names: {cols}")
+        self.columns: Tuple[str, ...] = cols
+        frozen = frozenset(tuple(r) for r in rows)
+        for r in frozen:
+            if len(r) != len(cols):
+                raise AlgebraError(
+                    f"row {r!r} does not match columns {cols}"
+                )
+        self.rows: FrozenSet[Row] = frozen
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def nullary(true: bool) -> "Table":
+        """The two zero-column tables: ``{()}`` (true) and ``{}`` (false).
+
+        Zero-column tables represent truth values of closed formulas.
+        """
+        return Table((), [()] if true else [])
+
+    @staticmethod
+    def empty(columns: Sequence[str]) -> "Table":
+        """An empty table with the given header."""
+        return Table(columns, ())
+
+    @staticmethod
+    def unit(assignment: Mapping[str, Value]) -> "Table":
+        """A one-row table from a ``{column: value}`` mapping."""
+        cols = tuple(assignment)
+        return Table(cols, [tuple(assignment[c] for c in cols)])
+
+    # ------------------------------------------------------------------
+    # basic interrogation
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the table has no rows."""
+        return not self.rows
+
+    @property
+    def truth(self) -> bool:
+        """Truth value of a zero-column table.
+
+        Raises:
+            AlgebraError: if the table has columns.
+        """
+        if self.columns:
+            raise AlgebraError(
+                f"truth undefined for table with columns {self.columns}"
+            )
+        return bool(self.rows)
+
+    def column_index(self, column: str) -> int:
+        """0-based position of ``column``."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise AlgebraError(
+                f"no column {column!r} in {self.columns}"
+            ) from None
+
+    def values(self, column: str) -> FrozenSet[Value]:
+        """The set of values appearing in ``column``."""
+        i = self.column_index(column)
+        return frozenset(r[i] for r in self.rows)
+
+    def assignments(self) -> Iterator[Dict[str, Value]]:
+        """Iterate rows as ``{column: value}`` dicts (for reporting)."""
+        for r in sorted(self.rows, key=repr):
+            yield dict(zip(self.columns, r))
+
+    # ------------------------------------------------------------------
+    # unary operations
+    # ------------------------------------------------------------------
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Project onto ``columns`` (duplicates removed, order as given)."""
+        idx = [self.column_index(c) for c in columns]
+        return Table(columns, (tuple(r[i] for i in idx) for r in self.rows))
+
+    def drop(self, *columns: str) -> "Table":
+        """Project away the named columns."""
+        keep = [c for c in self.columns if c not in columns]
+        return self.project(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns; names absent from ``mapping`` are kept."""
+        new_cols = tuple(mapping.get(c, c) for c in self.columns)
+        if len(set(new_cols)) != len(new_cols):
+            raise AlgebraError(
+                f"rename {dict(mapping)} collapses columns {self.columns}"
+            )
+        return Table(new_cols, self.rows)
+
+    def select(self, predicate: Callable[[Dict[str, Value]], bool]) -> "Table":
+        """Keep rows on which ``predicate`` (over a row dict) is true."""
+        cols = self.columns
+        kept = [
+            r for r in self.rows if predicate(dict(zip(cols, r)))
+        ]
+        return Table(cols, kept)
+
+    def select_eq(self, column: str, value: Value) -> "Table":
+        """Keep rows whose ``column`` equals ``value``."""
+        i = self.column_index(column)
+        return Table(self.columns, (r for r in self.rows if r[i] == value))
+
+    def select_cols_eq(self, left: str, right: str) -> "Table":
+        """Keep rows where two columns carry the same value."""
+        i, j = self.column_index(left), self.column_index(right)
+        return Table(self.columns, (r for r in self.rows if r[i] == r[j]))
+
+    def extend_copy(self, source: str, new: str) -> "Table":
+        """Add column ``new`` carrying a copy of column ``source``.
+
+        Implements the equality atom ``x = y`` when only one side is
+        bound: every binding of ``source`` is propagated to ``new``.
+        """
+        if new in self.columns:
+            raise AlgebraError(f"column {new!r} already present")
+        i = self.column_index(source)
+        return Table(
+            self.columns + (new,), (r + (r[i],) for r in self.rows)
+        )
+
+    def extend_const(self, new: str, value: Value) -> "Table":
+        """Add a constant column."""
+        if new in self.columns:
+            raise AlgebraError(f"column {new!r} already present")
+        return Table(self.columns + (new,), (r + (value,) for r in self.rows))
+
+    def aggregate(
+        self,
+        group: Sequence[str],
+        over: Sequence[str],
+        op: str,
+        result: str,
+    ) -> "Table":
+        """Grouped aggregation.
+
+        Rows are grouped by the ``group`` columns; within each group
+        the distinct ``over``-tuples are aggregated: ``cnt`` counts
+        them, ``sum``/``min``/``max``/``avg`` fold the *first* ``over``
+        column's values (one value per distinct tuple, so a non-measure
+        column in ``over`` keeps duplicates apart).  The result has
+        columns ``group + (result,)`` — one row per non-empty group.
+
+        Raises:
+            AlgebraError: on unknown ``op``, column problems, or
+                non-numeric values under a numeric aggregate.
+        """
+        if op not in ("cnt", "sum", "min", "max", "avg"):
+            raise AlgebraError(f"unknown aggregate op: {op!r}")
+        if not over:
+            raise AlgebraError("aggregate needs at least one over-column")
+        if result in group:
+            raise AlgebraError(
+                f"result column {result!r} collides with a group column"
+            )
+        g_idx = [self.column_index(c) for c in group]
+        o_idx = [self.column_index(c) for c in over]
+        groups: Dict[Row, set] = {}
+        for r in self.rows:
+            key = tuple(r[i] for i in g_idx)
+            groups.setdefault(key, set()).add(tuple(r[i] for i in o_idx))
+        out_rows: List[Row] = []
+        for key, tuples in groups.items():
+            if op == "cnt":
+                value: Value = len(tuples)
+            else:
+                measures = [t[0] for t in tuples]
+                if not all(
+                    isinstance(m, (int, float)) and not isinstance(m, bool)
+                    for m in measures
+                ):
+                    raise AlgebraError(
+                        f"aggregate {op} over non-numeric values: "
+                        f"{sorted(measures, key=repr)[:3]}"
+                    )
+                if op == "sum":
+                    value = sum(measures)
+                elif op == "min":
+                    value = min(measures)
+                elif op == "max":
+                    value = max(measures)
+                else:
+                    value = sum(measures) / len(measures)
+            out_rows.append(key + (value,))
+        return Table(tuple(group) + (result,), out_rows)
+
+    # ------------------------------------------------------------------
+    # binary operations
+    # ------------------------------------------------------------------
+
+    def _aligned_rows(self, order: Sequence[str]) -> Iterator[Row]:
+        idx = [self.column_index(c) for c in order]
+        for r in self.rows:
+            yield tuple(r[i] for i in idx)
+
+    def union(self, other: "Table") -> "Table":
+        """Set union; requires equal column *sets* (order may differ)."""
+        if set(self.columns) != set(other.columns):
+            raise AlgebraError(
+                f"union of incompatible headers {self.columns} / "
+                f"{other.columns}"
+            )
+        return Table(
+            self.columns,
+            list(self.rows) + list(other._aligned_rows(self.columns)),
+        )
+
+    def difference(self, other: "Table") -> "Table":
+        """Set difference; requires equal column sets."""
+        if set(self.columns) != set(other.columns):
+            raise AlgebraError(
+                f"difference of incompatible headers {self.columns} / "
+                f"{other.columns}"
+            )
+        gone = set(other._aligned_rows(self.columns))
+        return Table(self.columns, (r for r in self.rows if r not in gone))
+
+    def intersection(self, other: "Table") -> "Table":
+        """Set intersection; requires equal column sets."""
+        if set(self.columns) != set(other.columns):
+            raise AlgebraError(
+                f"intersection of incompatible headers {self.columns} / "
+                f"{other.columns}"
+            )
+        keep = set(other._aligned_rows(self.columns))
+        return Table(self.columns, (r for r in self.rows if r in keep))
+
+    def join(self, other: "Table") -> "Table":
+        """Natural join on all shared columns.
+
+        With no shared columns this is the cartesian product; with equal
+        column sets it is the intersection.  The result header is this
+        table's columns followed by ``other``'s private columns.
+        """
+        shared = [c for c in self.columns if c in other.columns]
+        right_private = [c for c in other.columns if c not in shared]
+        out_cols = self.columns + tuple(right_private)
+
+        if not shared:
+            rows = [
+                lr + rr for lr in self.rows for rr in other.rows
+            ]
+            return Table(out_cols, rows)
+
+        l_idx = [self.column_index(c) for c in shared]
+        r_idx = [other.column_index(c) for c in shared]
+        rp_idx = [other.column_index(c) for c in right_private]
+
+        index: Dict[Row, List[Row]] = {}
+        for rr in other.rows:
+            key = tuple(rr[i] for i in r_idx)
+            index.setdefault(key, []).append(tuple(rr[i] for i in rp_idx))
+
+        rows_out: List[Row] = []
+        for lr in self.rows:
+            key = tuple(lr[i] for i in l_idx)
+            for tail in index.get(key, ()):
+                rows_out.append(lr + tail)
+        return Table(out_cols, rows_out)
+
+    def semijoin(self, other: "Table") -> "Table":
+        """Keep rows that join with at least one row of ``other``."""
+        shared = [c for c in self.columns if c in other.columns]
+        if not shared:
+            return self if not other.is_empty else Table.empty(self.columns)
+        l_idx = [self.column_index(c) for c in shared]
+        keys = set(other._aligned_rows(shared))
+        return Table(
+            self.columns,
+            (r for r in self.rows if tuple(r[i] for i in l_idx) in keys),
+        )
+
+    def antijoin(self, other: "Table") -> "Table":
+        """Keep rows that join with *no* row of ``other``.
+
+        This is how negated conjuncts are evaluated: the negated
+        subformula's answer table is anti-joined against the bindings
+        accumulated by the positive conjuncts.
+        """
+        shared = [c for c in self.columns if c in other.columns]
+        if not shared:
+            return Table.empty(self.columns) if not other.is_empty else self
+        l_idx = [self.column_index(c) for c in shared]
+        keys = set(other._aligned_rows(shared))
+        return Table(
+            self.columns,
+            (r for r in self.rows if tuple(r[i] for i in l_idx) not in keys),
+        )
+
+    def product(self, other: "Table") -> "Table":
+        """Cartesian product; requires disjoint headers."""
+        if set(self.columns) & set(other.columns):
+            raise AlgebraError(
+                f"product of overlapping headers {self.columns} / "
+                f"{other.columns}"
+            )
+        return self.join(other)
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if set(self.columns) != set(other.columns):
+            return False
+        return self.rows == frozenset(other._aligned_rows(self.columns))
+
+    def __hash__(self) -> int:
+        order = tuple(sorted(self.columns))
+        idx = [self.column_index(c) for c in order]
+        return hash(
+            (order, frozenset(tuple(r[i] for i in idx) for r in self.rows))
+        )
+
+    def __repr__(self) -> str:
+        shown = sorted(self.rows, key=repr)[:6]
+        suffix = ", ..." if len(self.rows) > 6 else ""
+        return f"Table({list(self.columns)}, {shown}{suffix})"

@@ -1,0 +1,153 @@
+"""Database states.
+
+A :class:`DatabaseState` is one snapshot of the database: every relation
+of the schema with its current rows.  States are immutable; applying a
+:class:`~repro.db.transactions.Transaction` yields a new state that
+shares the relation objects the transaction did not touch, so keeping a
+window of recent states (as the naive checker does) costs memory only
+proportional to the changes between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.db.relation import Relation
+from repro.db.schema import DatabaseSchema, RelationSchema
+from repro.db.transactions import Transaction
+from repro.db.types import Row, Value
+from repro.errors import UnknownRelationError
+
+
+class DatabaseState:
+    """One immutable snapshot of all relations declared by a schema."""
+
+    __slots__ = ("schema", "_relations")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Optional[Mapping[str, Relation]] = None,
+    ):
+        rels: Dict[str, Relation] = {}
+        provided = dict(relations or {})
+        for rs in schema:
+            rel = provided.pop(rs.name, None)
+            if rel is None:
+                rel = Relation(rs)
+            elif rel.schema != rs:
+                raise UnknownRelationError(
+                    f"relation {rs.name!r} instance does not match schema"
+                )
+            rels[rs.name] = rel
+        if provided:
+            raise UnknownRelationError(
+                f"relations not in schema: {sorted(provided)}"
+            )
+        self.schema = schema
+        self._relations = rels
+
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "DatabaseState":
+        """The state in which every relation is empty."""
+        return cls(schema)
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: DatabaseSchema,
+        contents: Mapping[str, Iterable[Row]],
+    ) -> "DatabaseState":
+        """Build a state from ``{relation: rows}``; absent relations empty."""
+        rels = {
+            name: Relation(schema.relation(name), rows)
+            for name, rows in contents.items()
+        }
+        return cls(schema, rels)
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation instance by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"state has no relation {name!r}"
+            ) from None
+
+    def apply(self, txn: Transaction) -> "DatabaseState":
+        """Return the successor state after ``txn``.
+
+        Untouched relations are shared between the two states.
+        """
+        txn.validate(self.schema)
+        if txn.is_noop:
+            return self
+        new_rels = dict(self._relations)
+        for name in txn.touched_relations():
+            new_rels[name] = self._relations[name].with_changes(
+                inserts=txn.inserts.get(name, ()),
+                deletes=txn.deletes.get(name, ()),
+            )
+        return DatabaseState(self.schema, new_rels)
+
+    def diff(self, successor: "DatabaseState") -> Transaction:
+        """The transaction turning this state into ``successor``."""
+        inserts: Dict[str, Set[Row]] = {}
+        deletes: Dict[str, Set[Row]] = {}
+        for name, rel in self._relations.items():
+            other = successor.relation(name)
+            if rel.rows is other.rows:
+                continue
+            added = other.rows - rel.rows
+            removed = rel.rows - other.rows
+            if added:
+                inserts[name] = set(added)
+            if removed:
+                deletes[name] = set(removed)
+        return Transaction(inserts, deletes)
+
+    def active_domain(self) -> FrozenSet[Value]:
+        """All values appearing anywhere in the state."""
+        values: Set[Value] = set()
+        for rel in self._relations.values():
+            for row in rel.rows:
+                values.update(row)
+        return frozenset(values)
+
+    @property
+    def total_rows(self) -> int:
+        """Total tuple count across all relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def cardinalities(self) -> Dict[str, int]:
+        """Per-relation row counts."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def to_dict(self) -> Dict[str, list]:
+        """Serialise contents to ``{relation: sorted row lists}``."""
+        return {
+            name: sorted([list(r) for r in rel.rows])
+            for name, rel in self._relations.items()
+            if rel.rows
+        }
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseState)
+            and self.schema == other.schema
+            and self._relations == other._relations
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.schema, frozenset(self._relations.items()))
+        )
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{n}:{len(r)}" for n, r in sorted(self._relations.items())
+        )
+        return f"DatabaseState({counts})"

@@ -1,0 +1,100 @@
+"""Relation instances: immutable sets of rows plus lazy hash indexes.
+
+A :class:`Relation` couples a :class:`~repro.db.schema.RelationSchema`
+with a set of rows.  Instances are immutable; updates produce new
+relations sharing row storage where possible.  Because instances never
+change, per-attribute hash indexes can be built lazily and cached
+forever, which keeps selective lookups (the common case in constraint
+checking) constant-time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.db.algebra import Table
+from repro.db.schema import RelationSchema
+from repro.db.types import Row, Value
+from repro.errors import SchemaError
+
+
+class Relation:
+    """An immutable relation instance."""
+
+    __slots__ = ("schema", "rows", "_indexes")
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()):
+        frozen = frozenset(tuple(r) for r in rows)
+        for r in frozen:
+            schema.validate_row(r)
+        self.schema = schema
+        self.rows: FrozenSet[Row] = frozen
+        self._indexes: Dict[int, Dict[Value, FrozenSet[Row]]] = {}
+
+    @property
+    def name(self) -> str:
+        """The relation's name (from its schema)."""
+        return self.schema.name
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows."""
+        return len(self.rows)
+
+    def index_on(self, position: int) -> Dict[Value, FrozenSet[Row]]:
+        """Return (building if needed) the hash index on ``position``."""
+        cached = self._indexes.get(position)
+        if cached is not None:
+            return cached
+        buckets: Dict[Value, Set[Row]] = {}
+        for r in self.rows:
+            buckets.setdefault(r[position], set()).add(r)
+        frozen = {v: frozenset(rs) for v, rs in buckets.items()}
+        self._indexes[position] = frozen
+        return frozen
+
+    def lookup(self, position: int, value: Value) -> FrozenSet[Row]:
+        """Rows whose attribute at ``position`` equals ``value``."""
+        return self.index_on(position).get(value, frozenset())
+
+    def with_changes(
+        self,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> "Relation":
+        """Return a new relation with ``deletes`` removed, ``inserts`` added.
+
+        Deletes of absent rows and inserts of present rows are silently
+        idempotent, matching set semantics.
+        """
+        ins = frozenset(tuple(r) for r in inserts)
+        dels = frozenset(tuple(r) for r in deletes)
+        if not ins and not dels:
+            return self
+        return Relation(self.schema, (self.rows - dels) | ins)
+
+    def to_table(self) -> Table:
+        """View this relation as an algebra table (columns = attributes)."""
+        return Table(self.schema.attribute_names, self.rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.schema == other.schema
+            and self.rows == other.rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, {len(self.rows)} rows)"

@@ -1,0 +1,96 @@
+"""Persistence of schemas and update streams as JSON / JSON-lines.
+
+The on-disk format is the one consumed by the CLI:
+
+* ``schema.json`` — the :meth:`DatabaseSchema.to_dict` form,
+  ``{"relation": [["attr", "domain"], ...], ...}``;
+* ``history.jsonl`` — one JSON object per line, each
+  ``{"t": <timestamp>, "insert": {rel: [rows]}, "delete": {rel: [rows]}}``,
+  timestamps strictly increasing.
+
+Only the *stream* (timestamps + transactions) is stored; states are
+reconstructed by replay, which is both smaller on disk and exactly the
+input shape of the incremental checker.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Tuple, Union
+
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import HistoryError
+
+PathLike = Union[str, Path]
+
+#: One element of an update stream: (timestamp, transaction).
+TimedTransaction = Tuple[int, Transaction]
+
+
+def dump_schema(schema: DatabaseSchema, path: PathLike) -> None:
+    """Write ``schema`` to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(schema.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_schema(path: PathLike) -> DatabaseSchema:
+    """Read a schema written by :func:`dump_schema`."""
+    data = json.loads(Path(path).read_text())
+    return DatabaseSchema.from_dict(
+        {name: [tuple(a) for a in attrs] for name, attrs in data.items()}
+    )
+
+
+def dump_stream(stream: Iterable[TimedTransaction], path: PathLike) -> None:
+    """Write an update stream to ``path`` as JSON lines."""
+    with open(path, "w") as fh:
+        write_stream(stream, fh)
+
+
+def write_stream(stream: Iterable[TimedTransaction], fh: IO[str]) -> None:
+    """Write an update stream to an open text file."""
+    for t, txn in stream:
+        record = {"t": t}
+        record.update(txn.to_dict())
+        fh.write(json.dumps(record, sort_keys=True))
+        fh.write("\n")
+
+
+def load_stream(path: PathLike) -> List[TimedTransaction]:
+    """Read the whole update stream from ``path``.
+
+    Raises:
+        HistoryError: on malformed lines or non-increasing timestamps.
+    """
+    with open(path) as fh:
+        return list(read_stream(fh))
+
+
+def read_stream(fh: IO[str]) -> Iterator[TimedTransaction]:
+    """Lazily read an update stream from an open text file."""
+    previous_t = None
+    for lineno, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+            t = record["t"]
+            txn = Transaction.from_dict(record)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise HistoryError(f"line {lineno}: malformed record: {exc}")
+        if not isinstance(t, int) or t < 0:
+            raise HistoryError(
+                f"line {lineno}: timestamp must be a non-negative int, "
+                f"got {t!r}"
+            )
+        if previous_t is not None and t <= previous_t:
+            raise HistoryError(
+                f"line {lineno}: timestamp {t} not greater than "
+                f"predecessor {previous_t}"
+            )
+        previous_t = t
+        yield t, txn

@@ -1,0 +1,102 @@
+"""Value types and attribute domains for the relational substrate.
+
+The engine is deliberately first-order and function-free, as in the
+paper: attribute values are immutable Python scalars.  Three domains are
+supported — integers, strings, and floats — plus ``ANY`` for untyped
+attributes.  Timestamps are plain non-negative integers and are *not* a
+relation domain; they appear only in the auxiliary relations maintained
+by the checker.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple, Union
+
+from repro.errors import ValueTypeError
+
+#: A single attribute value.
+Value = Union[int, str, float]
+
+#: An immutable database tuple (one row of a relation).
+Row = Tuple[Value, ...]
+
+
+class Domain(enum.Enum):
+    """Domain (type) of a relation attribute."""
+
+    INT = "int"
+    STR = "str"
+    FLOAT = "float"
+    ANY = "any"
+
+    def contains(self, value: Value) -> bool:
+        """Return whether ``value`` belongs to this domain.
+
+        Booleans are rejected from ``INT`` even though ``bool`` subclasses
+        ``int`` in Python, because a boolean attribute value is almost
+        always a bug in workload code.
+        """
+        if isinstance(value, bool):
+            return False
+        if self is Domain.INT:
+            return isinstance(value, int)
+        if self is Domain.STR:
+            return isinstance(value, str)
+        if self is Domain.FLOAT:
+            return isinstance(value, (int, float))
+        return isinstance(value, (int, str, float))
+
+    def check(self, value: Value, context: str = "") -> Value:
+        """Return ``value`` if it belongs to the domain, else raise.
+
+        Args:
+            value: the candidate value.
+            context: optional text naming the attribute, used in errors.
+
+        Raises:
+            ValueTypeError: if the value is outside the domain.
+        """
+        if not self.contains(value):
+            where = f" for {context}" if context else ""
+            raise ValueTypeError(
+                f"value {value!r} is not in domain {self.value}{where}"
+            )
+        return value
+
+    @classmethod
+    def of(cls, value: Value) -> "Domain":
+        """Return the narrowest domain containing ``value``."""
+        if isinstance(value, bool):
+            raise ValueTypeError("boolean values are not supported")
+        if isinstance(value, int):
+            return cls.INT
+        if isinstance(value, str):
+            return cls.STR
+        if isinstance(value, float):
+            return cls.FLOAT
+        raise ValueTypeError(f"unsupported value type: {type(value).__name__}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Domain":
+        """Parse a domain name (``"int"``, ``"str"``, ``"float"``, ``"any"``)."""
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ValueTypeError(f"unknown domain name: {text!r}") from None
+
+
+def is_value(obj: object) -> bool:
+    """Return whether ``obj`` is a legal attribute value."""
+    return not isinstance(obj, bool) and isinstance(obj, (int, str, float))
+
+
+def check_row(values: Tuple[Value, ...]) -> Row:
+    """Validate that every element of ``values`` is a legal value.
+
+    Returns the tuple unchanged so callers can validate inline.
+    """
+    for v in values:
+        if not is_value(v):
+            raise ValueTypeError(f"illegal attribute value: {v!r}")
+    return values

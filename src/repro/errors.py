@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+The hierarchy mirrors the package layout: schema/value errors come from
+the database substrate, parse and safety errors from the constraint
+compiler, and monitoring errors from the checker front end.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute, or database schema is ill-formed or violated.
+
+    Raised for duplicate relation names, arity mismatches, references to
+    undeclared relations, and tuples whose values do not fit the declared
+    attribute types.
+    """
+
+
+class ValueTypeError(SchemaError):
+    """A value does not belong to the domain declared for its attribute."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query or transaction referenced a relation the schema lacks."""
+
+
+class TransactionError(ReproError):
+    """A transaction is inconsistent (e.g. inserts and deletes overlap)."""
+
+
+class AlgebraError(ReproError):
+    """A relational-algebra operation received incompatible operands."""
+
+
+class QueryError(ReproError):
+    """A first-order query could not be evaluated."""
+
+
+class UnsafeFormulaError(QueryError):
+    """A formula falls outside the safe-range (monitorable) fragment.
+
+    The message explains which subformula is unsafe and why, e.g. a
+    negation whose free variables are not bound by a positive conjunct, or
+    a ``SINCE`` whose left operand uses variables its right operand does
+    not bind.
+    """
+
+
+class ParseError(ReproError):
+    """The constraint text could not be parsed.
+
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 1, column: int = 1):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TimeError(ReproError):
+    """A timestamp violates the time model (e.g. clock moved backwards)."""
+
+
+class MonitorError(ReproError):
+    """The monitor was driven incorrectly (e.g. stepped before begun)."""
+
+
+class HistoryError(ReproError):
+    """A history is malformed (non-increasing timestamps, schema drift)."""

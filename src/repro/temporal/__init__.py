@@ -1,0 +1,25 @@
+"""Time substrate: clocks, histories, update streams, and generators."""
+
+from repro.temporal.clock import (
+    Clock,
+    Timestamp,
+    validate_successor,
+    validate_timestamp,
+)
+from repro.temporal.generators import StreamGenerator, random_schema
+from repro.temporal.history import History, Snapshot
+from repro.temporal.stream import TimedTransaction, UpdateStream, merge_streams
+
+__all__ = [
+    "Clock",
+    "History",
+    "Snapshot",
+    "StreamGenerator",
+    "TimedTransaction",
+    "Timestamp",
+    "UpdateStream",
+    "merge_streams",
+    "random_schema",
+    "validate_successor",
+    "validate_timestamp",
+]

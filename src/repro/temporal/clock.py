@@ -1,0 +1,89 @@
+"""The discrete real-time clock of the paper's history model.
+
+Timestamps are non-negative integers.  Successive database states carry
+*strictly increasing* timestamps, but arbitrary gaps are allowed — this
+is what makes the logic *metric* (real-time) rather than merely
+step-counting: ``ONCE[0,14] borrowed(b)`` talks about 14 clock units,
+not 14 state transitions.
+
+:class:`Clock` is a tiny mutable helper that enforces monotonicity for
+code that produces streams; checkers validate timestamps independently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TimeError
+
+#: A point on the discrete time axis.
+Timestamp = int
+
+
+def validate_timestamp(t: object) -> Timestamp:
+    """Check that ``t`` is a legal timestamp and return it.
+
+    Raises:
+        TimeError: if ``t`` is not a non-negative integer.
+    """
+    if isinstance(t, bool) or not isinstance(t, int):
+        raise TimeError(f"timestamp must be an int, got {t!r}")
+    if t < 0:
+        raise TimeError(f"timestamp must be non-negative, got {t}")
+    return t
+
+
+def validate_successor(previous: Optional[Timestamp], t: Timestamp) -> Timestamp:
+    """Check strict monotonicity of ``t`` after ``previous``; return ``t``."""
+    validate_timestamp(t)
+    if previous is not None and t <= previous:
+        raise TimeError(
+            f"clock moved backwards: {t} follows {previous}"
+        )
+    return t
+
+
+class Clock:
+    """A strictly increasing discrete clock.
+
+    Example::
+
+        clock = Clock(start=0)
+        t0 = clock.now          # 0
+        t1 = clock.advance(5)   # 5
+        t2 = clock.tick()       # 6
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Timestamp = 0):
+        self._now = validate_timestamp(start)
+
+    @property
+    def now(self) -> Timestamp:
+        """The current time."""
+        return self._now
+
+    def tick(self) -> Timestamp:
+        """Advance by one unit and return the new time."""
+        return self.advance(1)
+
+    def advance(self, delta: int) -> Timestamp:
+        """Advance by ``delta`` (>= 1) units and return the new time.
+
+        Raises:
+            TimeError: if ``delta`` < 1 (the clock must strictly advance).
+        """
+        if not isinstance(delta, int) or isinstance(delta, bool) or delta < 1:
+            raise TimeError(f"clock must advance by a positive int, got {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, t: Timestamp) -> Timestamp:
+        """Jump forward to absolute time ``t`` (> now) and return it."""
+        validate_successor(self._now, t)
+        self._now = t
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"

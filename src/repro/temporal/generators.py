@@ -1,0 +1,122 @@
+"""Seeded random history/stream generators.
+
+Used by the property-based tests and as the substrate of the parametric
+random workload.  Everything is driven by an explicit
+:class:`random.Random` instance so that test failures and benchmark
+configurations are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema, RelationSchema
+from repro.db.transactions import Transaction
+from repro.db.types import Row, Value
+from repro.temporal.clock import Timestamp
+from repro.temporal.stream import UpdateStream
+
+
+class StreamGenerator:
+    """Generates random update streams against a schema.
+
+    Each transition inserts and deletes a few random tuples drawn from a
+    small value universe, and advances the clock by a random gap.  Small
+    universes maximise tuple collisions across time, which is what makes
+    temporal formulas take interesting truth values.
+
+    Args:
+        schema: the database schema to generate against.
+        universe: value pool per domain position; defaults to small
+            integer ranges so generated rows collide across states.
+        max_inserts: max tuples inserted per transition per relation.
+        max_deletes: max tuples deleted per transition per relation.
+        max_gap: max clock advance per transition (min 1).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        universe: Optional[Sequence[Value]] = None,
+        max_inserts: int = 3,
+        max_deletes: int = 2,
+        max_gap: int = 4,
+        seed: int = 0,
+    ):
+        if max_gap < 1:
+            raise ValueError("max_gap must be >= 1")
+        self.schema = schema
+        self.universe: List[Value] = list(
+            universe if universe is not None else range(4)
+        )
+        self.max_inserts = max_inserts
+        self.max_deletes = max_deletes
+        self.max_gap = max_gap
+        self.rng = random.Random(seed)
+
+    def random_row(self, rel: RelationSchema) -> Row:
+        """A random row for ``rel`` drawn from the universe.
+
+        The universe is assumed compatible with every attribute domain
+        (the default integer universe works with INT and ANY columns).
+        """
+        return tuple(
+            self.rng.choice(self.universe) for _ in range(rel.arity)
+        )
+
+    def random_transaction(self, current: DatabaseState) -> Transaction:
+        """A random transaction valid against ``current``.
+
+        Deletions are drawn from tuples actually present, so the stream
+        exercises genuine state shrinkage, not just growth.
+        """
+        inserts: Dict[str, Set[Row]] = {}
+        deletes: Dict[str, Set[Row]] = {}
+        for rel_schema in self.schema:
+            name = rel_schema.name
+            n_ins = self.rng.randint(0, self.max_inserts)
+            if n_ins:
+                inserts[name] = {
+                    self.random_row(rel_schema) for _ in range(n_ins)
+                }
+            existing = list(current.relation(name).rows)
+            n_del = min(self.rng.randint(0, self.max_deletes), len(existing))
+            if n_del:
+                chosen = set(self.rng.sample(existing, n_del))
+                chosen -= inserts.get(name, set())
+                if chosen:
+                    deletes[name] = chosen
+        return Transaction(inserts, deletes)
+
+    def stream(
+        self, length: int, start_time: Timestamp = 0
+    ) -> UpdateStream:
+        """Generate a stream of ``length`` random transitions."""
+        items: List[Tuple[Timestamp, Transaction]] = []
+        state = DatabaseState.empty(self.schema)
+        t = start_time + self.rng.randint(0, self.max_gap - 1)
+        for _ in range(length):
+            txn = self.random_transaction(state)
+            state = state.apply(txn)
+            items.append((t, txn))
+            t += self.rng.randint(1, self.max_gap)
+        return UpdateStream(items)
+
+
+def random_schema(
+    rng: random.Random,
+    n_relations: int = 2,
+    max_arity: int = 2,
+) -> DatabaseSchema:
+    """A random schema ``p0, p1, ...`` with arities in ``1..max_arity``."""
+    rels = [
+        RelationSchema(
+            f"p{i}",
+            [f"a{j}" for j in range(rng.randint(1, max_arity))],
+        )
+        for i in range(n_relations)
+    ]
+    return DatabaseSchema(rels)

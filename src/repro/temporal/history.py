@@ -1,0 +1,193 @@
+"""Materialised database histories.
+
+A :class:`History` is the paper's central semantic object: a finite
+sequence of database states, each with a strictly increasing timestamp.
+The reference semantics (:mod:`repro.core.semantics`) and the naive
+baseline checker evaluate formulas directly over a ``History``; the
+incremental checker never materialises one — demonstrating the paper's
+point is precisely the gap between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import HistoryError
+from repro.temporal.clock import Timestamp, validate_successor
+
+
+class Snapshot:
+    """One element of a history: a timestamp and a database state."""
+
+    __slots__ = ("time", "state")
+
+    def __init__(self, time: Timestamp, state: DatabaseState):
+        self.time = time
+        self.state = state
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Snapshot)
+            and self.time == other.time
+            and self.state == other.state
+        )
+
+    def __repr__(self) -> str:
+        return f"Snapshot(t={self.time}, {self.state!r})"
+
+
+class History:
+    """An append-only timestamped sequence of database states."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self._snapshots: List[Snapshot] = []
+        self._evaluator = None  # lazy HistoryEvaluator for query()
+
+    @classmethod
+    def replay(
+        cls,
+        schema: DatabaseSchema,
+        stream: Iterable[Tuple[Timestamp, Transaction]],
+        initial: Optional[DatabaseState] = None,
+        start_time: Optional[Timestamp] = None,
+    ) -> "History":
+        """Materialise a history by replaying an update stream.
+
+        Args:
+            schema: the database schema.
+            stream: ``(timestamp, transaction)`` pairs, times increasing.
+            initial: optional state preceding the stream; when given, it
+                is recorded as the first snapshot at ``start_time``
+                (default 0) and the stream's transactions apply on top.
+                When omitted, the first stream element produces the first
+                snapshot starting from the empty state.
+            start_time: timestamp for ``initial``.
+
+        Returns:
+            The fully materialised history.
+        """
+        history = cls(schema)
+        state = initial if initial is not None else DatabaseState.empty(schema)
+        if initial is not None:
+            history.append(0 if start_time is None else start_time, state)
+        for t, txn in stream:
+            state = state.apply(txn)
+            history.append(t, state)
+        return history
+
+    def append(self, time: Timestamp, state: DatabaseState) -> Snapshot:
+        """Append a snapshot; the timestamp must exceed the last one."""
+        if state.schema != self.schema:
+            raise HistoryError("snapshot state does not match history schema")
+        previous = self._snapshots[-1].time if self._snapshots else None
+        validate_successor(previous, time)
+        snap = Snapshot(time, state)
+        self._snapshots.append(snap)
+        # future-operator answers at old snapshots can change when the
+        # history grows, so the lazy query evaluator is rebuilt
+        self._evaluator = None
+        return snap
+
+    def append_transaction(
+        self, time: Timestamp, txn: Transaction
+    ) -> Snapshot:
+        """Apply ``txn`` to the latest state and append the result.
+
+        On an empty history the transaction applies to the empty state.
+        """
+        base = (
+            self._snapshots[-1].state
+            if self._snapshots
+            else DatabaseState.empty(self.schema)
+        )
+        return self.append(time, base.apply(txn))
+
+    @property
+    def length(self) -> int:
+        """Number of snapshots."""
+        return len(self._snapshots)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no snapshot has been recorded yet."""
+        return not self._snapshots
+
+    @property
+    def last(self) -> Snapshot:
+        """The most recent snapshot.
+
+        Raises:
+            HistoryError: on an empty history.
+        """
+        if not self._snapshots:
+            raise HistoryError("history is empty")
+        return self._snapshots[-1]
+
+    def time_at(self, index: int) -> Timestamp:
+        """Timestamp of the snapshot at ``index``."""
+        return self._snapshots[index].time
+
+    def state_at(self, index: int) -> DatabaseState:
+        """Database state of the snapshot at ``index``."""
+        return self._snapshots[index].state
+
+    def span(self) -> int:
+        """Clock span ``last.time - first.time`` (0 for short histories)."""
+        if len(self._snapshots) < 2:
+            return 0
+        return self._snapshots[-1].time - self._snapshots[0].time
+
+    def query(self, formula, at: Optional[int] = None):
+        """Time-travel query: satisfying valuations at a snapshot.
+
+        Evaluates a formula (text in the constraint syntax, or a
+        :class:`~repro.core.formulas.Formula`) at snapshot index ``at``
+        (default: the latest), with full temporal-operator support —
+        including the future operators, interpreted over the
+        materialised part of the history.
+
+        Returns:
+            A :class:`~repro.db.algebra.Table` over the formula's free
+            variables (zero-column truth table for closed formulas).
+        """
+        from repro.core.normalize import normalize
+        from repro.core.parser import parse
+        from repro.core.semantics import HistoryEvaluator
+
+        if isinstance(formula, str):
+            formula = parse(formula)
+        kernel = normalize(formula)
+        if self._evaluator is None:
+            self._evaluator = HistoryEvaluator(self)
+        index = self.length - 1 if at is None else at
+        return self._evaluator.table_at(kernel, index)
+
+    def to_stream(self) -> List[Tuple[Timestamp, Transaction]]:
+        """Recover the update stream whose replay (from empty) yields me."""
+        stream: List[Tuple[Timestamp, Transaction]] = []
+        previous = DatabaseState.empty(self.schema)
+        for snap in self._snapshots:
+            stream.append((snap.time, previous.diff(snap.state)))
+            previous = snap.state
+        return stream
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        return iter(self._snapshots)
+
+    def __getitem__(self, index: int) -> Snapshot:
+        return self._snapshots[index]
+
+    def __repr__(self) -> str:
+        if not self._snapshots:
+            return "History(empty)"
+        return (
+            f"History({len(self._snapshots)} states, "
+            f"t={self._snapshots[0].time}..{self._snapshots[-1].time})"
+        )

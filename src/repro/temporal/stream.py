@@ -1,0 +1,130 @@
+"""Update streams: the input shape of the incremental checker.
+
+An update stream is a sequence of ``(timestamp, transaction)`` pairs
+with strictly increasing timestamps.  :class:`UpdateStream` is a thin
+validated container offering the handful of manipulations the
+workloads, benchmarks, and tests need (concatenation, slicing, time
+shifting, replay to a history).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import DatabaseState
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import HistoryError
+from repro.temporal.clock import Timestamp, validate_successor
+from repro.temporal.history import History
+
+TimedTransaction = Tuple[Timestamp, Transaction]
+
+
+def merge_streams(*streams: "UpdateStream") -> "UpdateStream":
+    """Merge independently produced streams into one, by time.
+
+    Transactions landing on the same timestamp are composed with
+    net-effect semantics (:meth:`repro.db.transactions.Transaction.merged`),
+    in argument order — the multi-source shape of real monitoring,
+    where each subsystem reports its own updates.
+
+    Raises:
+        TransactionError: if same-timestamp transactions conflict
+            (compose to an insert-and-delete of one tuple).
+    """
+    merged: dict = {}
+    for stream in streams:
+        for t, txn in stream:
+            if t in merged:
+                merged[t] = merged[t].merged(txn)
+            else:
+                merged[t] = txn
+    return UpdateStream(sorted(merged.items()))
+
+
+class UpdateStream:
+    """A validated, immutable sequence of timed transactions."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[TimedTransaction] = ()):
+        validated: List[TimedTransaction] = []
+        previous: Optional[Timestamp] = None
+        for t, txn in items:
+            validate_successor(previous, t)
+            if not isinstance(txn, Transaction):
+                raise HistoryError(
+                    f"stream element at t={t} is not a Transaction"
+                )
+            validated.append((t, txn))
+            previous = t
+        self._items = tuple(validated)
+
+    @property
+    def length(self) -> int:
+        """Number of transitions."""
+        return len(self._items)
+
+    @property
+    def span(self) -> int:
+        """Clock distance between first and last transition (0 if short)."""
+        if len(self._items) < 2:
+            return 0
+        return self._items[-1][0] - self._items[0][0]
+
+    @property
+    def total_changes(self) -> int:
+        """Sum of transaction sizes (inserted + deleted tuples)."""
+        return sum(txn.size for _, txn in self._items)
+
+    def concat(self, other: "UpdateStream") -> "UpdateStream":
+        """Concatenate; ``other`` must start after this stream ends."""
+        return UpdateStream(list(self._items) + list(other._items))
+
+    def shifted(self, delta: int) -> "UpdateStream":
+        """Shift every timestamp by ``delta`` (result must stay >= 0)."""
+        return UpdateStream((t + delta, txn) for t, txn in self._items)
+
+    def prefix(self, n: int) -> "UpdateStream":
+        """The first ``n`` transitions."""
+        return UpdateStream(self._items[:n])
+
+    def replay(
+        self,
+        schema: DatabaseSchema,
+        initial: Optional[DatabaseState] = None,
+    ) -> History:
+        """Materialise the history this stream produces from ``initial``."""
+        return History.replay(schema, self._items, initial=initial)
+
+    def final_state(
+        self,
+        schema: DatabaseSchema,
+        initial: Optional[DatabaseState] = None,
+    ) -> DatabaseState:
+        """Apply all transactions and return only the final state."""
+        state = initial if initial is not None else DatabaseState.empty(schema)
+        for _, txn in self._items:
+            state = state.apply(txn)
+        return state
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[TimedTransaction]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> TimedTransaction:
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UpdateStream) and self._items == other._items
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "UpdateStream(empty)"
+        return (
+            f"UpdateStream({len(self._items)} txns, "
+            f"t={self._items[0][0]}..{self._items[-1][0]})"
+        )

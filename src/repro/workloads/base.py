@@ -1,0 +1,59 @@
+"""Workload bundles: schema + constraints + a stream simulator.
+
+A :class:`Workload` packages everything an experiment needs: the
+database schema, the registered constraints, and a seeded generator of
+update streams whose compliance can be degraded with an explicit
+``violation_rate`` — experiments need violating runs to prove checkers
+actually detect, and clean runs to measure steady-state cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.monitor import Monitor
+from repro.db.schema import DatabaseSchema
+from repro.temporal.stream import UpdateStream
+
+#: Builds a stream: (length, seed) -> UpdateStream
+StreamFactory = Callable[[int, int], UpdateStream]
+
+
+class Workload:
+    """A named, reproducible experimental workload."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        constraints: Sequence[Constraint],
+        stream_factory: StreamFactory,
+        description: str = "",
+    ):
+        self.name = name
+        self.schema = schema
+        self.constraints = list(constraints)
+        self._stream_factory = stream_factory
+        self.description = description
+
+    def stream(self, length: int, seed: int = 0) -> UpdateStream:
+        """Generate a stream of ``length`` transitions."""
+        return self._stream_factory(length, seed)
+
+    def monitor(self, engine: str = "incremental") -> Monitor:
+        """A monitor pre-loaded with this workload's constraints."""
+        monitor = Monitor(self.schema, engine=engine)
+        for c in self.constraints:
+            monitor.add_constraint(c.name, c.formula)
+        return monitor
+
+    def checker(self) -> IncrementalChecker:
+        """A bare incremental checker for this workload."""
+        return IncrementalChecker(self.schema, self.constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, {len(self.constraints)} "
+            f"constraint(s))"
+        )

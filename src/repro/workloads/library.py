@@ -1,0 +1,213 @@
+"""Library-loans workload.
+
+The running example of the temporal-integrity literature: patrons
+reserve, borrow, and return books, under three real-time constraints:
+
+* ``return-window`` — a return must happen within ``loan_days`` clock
+  units of the *checkout event*;
+* ``reservation-first`` — a checkout must be preceded by a reservation
+  by the same patron within ``reserve_days`` units;
+* ``one-holder`` — a book has at most one borrower at a time
+  (a non-temporal functional constraint, included to exercise the
+  first-order machinery alongside the temporal ones).
+
+Relation styles matter for metric constraints: ``reserved`` and
+``borrowed`` are *state* relations (they persist until withdrawn),
+while ``checkout`` and ``returned`` are *event* relations, present only
+at the state where they occur — which is exactly what makes the
+``ONCE[0,loan_days]`` window expire.
+
+The simulator produces mostly-compliant activity and injects late
+returns and unreserved checkouts at a configurable ``violation_rate``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.core.checker import Constraint
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.temporal.stream import UpdateStream
+from repro.workloads.base import Workload
+
+#: Event relations cleared automatically on the following transition.
+EVENT_RELATIONS = ("checkout", "returned")
+
+SCHEMA = (
+    DatabaseSchema.builder()
+    .relation("reserved", [("patron", "str"), ("book", "int")])
+    .relation("borrowed", [("patron", "str"), ("book", "int")])
+    .relation("checkout", [("patron", "str"), ("book", "int")])
+    .relation("returned", [("patron", "str"), ("book", "int")])
+    .build()
+)
+
+
+def constraints(loan_days: int = 14, reserve_days: int = 7) -> List[Constraint]:
+    """The library constraint set, parameterised by its windows."""
+    return [
+        Constraint(
+            "return-window",
+            f"returned(p, b) -> ONCE[0,{loan_days}] checkout(p, b)",
+        ),
+        Constraint(
+            "reservation-first",
+            f"checkout(p, b) -> ONCE[0,{reserve_days}] reserved(p, b)",
+        ),
+        Constraint(
+            "one-holder",
+            "borrowed(p, b) AND borrowed(q, b) -> p = q",
+        ),
+    ]
+
+
+class _Simulator:
+    """Stochastic patron activity respecting (mostly) the constraints."""
+
+    def __init__(
+        self,
+        patrons: int,
+        books: int,
+        loan_days: int,
+        violation_rate: float,
+        rng: random.Random,
+    ):
+        self.patron_names = [f"p{i}" for i in range(patrons)]
+        self.books = list(range(books))
+        self.loan_days = loan_days
+        self.violation_rate = violation_rate
+        self.rng = rng
+        # live state mirrored by the generated stream
+        self.reserved: Dict[int, str] = {}        # book -> patron
+        self.borrowed: Dict[int, Tuple[str, int]] = {}  # book -> (patron, since)
+        self._touched: Set[int] = set()           # books acted on this step
+
+    def _misbehave(self) -> bool:
+        return self.rng.random() < self.violation_rate
+
+    def transition(self, time: int) -> Transaction:
+        builder = Transaction.builder()
+        # a book acts at most once per transition, so a reservation is
+        # visible for at least one state before its checkout, etc.
+        self._touched: Set[int] = set()
+        for _ in range(self.rng.randint(1, 3)):
+            self._one_action(builder, time)
+        return builder.build()
+
+    def _one_action(self, builder, time: int) -> None:
+        roll = self.rng.random()
+        free_books = [
+            b
+            for b in self.books
+            if b not in self.borrowed
+            and b not in self.reserved
+            and b not in self._touched
+        ]
+        reservable = sorted(
+            (b, p) for b, p in self.reserved.items()
+            if b not in self._touched
+        )
+        returnable = sorted(
+            (b, ps) for b, ps in self.borrowed.items()
+            if b not in self._touched
+        )
+        if roll < 0.35 and free_books:
+            book = self.rng.choice(free_books)
+            patron = self.rng.choice(self.patron_names)
+            builder.insert("reserved", (patron, book))
+            self.reserved[book] = patron
+            self._touched.add(book)
+        elif roll < 0.65 and (reservable or free_books):
+            if self._misbehave() and free_books:
+                # violation: checkout without reservation
+                book = self.rng.choice(free_books)
+                patron = self.rng.choice(self.patron_names)
+                builder.insert("borrowed", (patron, book))
+                builder.insert("checkout", (patron, book))
+                self.borrowed[book] = (patron, time)
+                self._touched.add(book)
+            elif reservable:
+                book, patron = self.rng.choice(reservable)
+                builder.delete("reserved", (patron, book))
+                builder.insert("borrowed", (patron, book))
+                builder.insert("checkout", (patron, book))
+                del self.reserved[book]
+                self.borrowed[book] = (patron, time)
+                self._touched.add(book)
+        elif returnable:
+            book, (patron, since) = self.rng.choice(returnable)
+            self._touched.add(book)
+            overdue = time - since > self.loan_days
+            if overdue and not self._misbehave():
+                # a compliant library writes the book off instead of
+                # recording an out-of-window return
+                del self.borrowed[book]
+                builder.delete("borrowed", (patron, book))
+                return
+            builder.delete("borrowed", (patron, book))
+            builder.insert("returned", (patron, book))
+            del self.borrowed[book]
+
+
+def _stream_factory(
+    patrons: int,
+    books: int,
+    loan_days: int,
+    violation_rate: float,
+    max_gap: int,
+):
+    def build(length: int, seed: int) -> UpdateStream:
+        rng = random.Random(seed)
+        simulator = _Simulator(
+            patrons, books, loan_days, violation_rate, rng
+        )
+        items = []
+        time = 0
+        pending_clear: Dict[str, Set[Tuple[str, int]]] = {}
+        for _ in range(length):
+            txn = simulator.transition(time)
+            if any(pending_clear.values()):
+                txn = Transaction({}, pending_clear).merged(txn)
+            items.append((time, txn))
+            pending_clear = {
+                rel: set(txn.inserts.get(rel, ()))
+                for rel in EVENT_RELATIONS
+            }
+            time += rng.randint(1, max_gap)
+        return UpdateStream(items)
+
+    return build
+
+
+def library_workload(
+    patrons: int = 6,
+    books: int = 12,
+    loan_days: int = 14,
+    reserve_days: int = 7,
+    violation_rate: float = 0.05,
+    max_gap: int = 3,
+) -> Workload:
+    """Build the library workload.
+
+    Args:
+        patrons: number of distinct patrons.
+        books: number of distinct books.
+        loan_days: the return-window bound.
+        reserve_days: the reservation-window bound.
+        violation_rate: probability that an action misbehaves.
+        max_gap: maximum clock advance between transitions.
+    """
+    return Workload(
+        name="library",
+        schema=SCHEMA,
+        constraints=constraints(loan_days, reserve_days),
+        stream_factory=_stream_factory(
+            patrons, books, loan_days, violation_rate, max_gap
+        ),
+        description=(
+            f"{patrons} patrons x {books} books, loan window "
+            f"{loan_days}, violation rate {violation_rate}"
+        ),
+    )

@@ -1,0 +1,174 @@
+"""Order-fulfilment workload.
+
+Exercises the ``SINCE`` operator as a *deadline* detector, the pattern
+real-time integrity constraints were designed for:
+
+* ``ship-deadline`` — no order may remain pending for more than
+  ``ship_days`` clock units after its placement event.  Written as
+  ``NOT (pending(o) SINCE[ship_days+1,*] place(o))``: the moment the
+  pending flag has survived continuously for longer than the deadline,
+  the constraint fails.
+* ``ship-requires-order`` — a ship event must be for an order placed
+  at some time in the past;
+* ``no-ship-after-cancel`` — a cancelled order is never shipped.
+
+Relations: ``pending(order)`` is a state relation held from placement
+to shipment/cancellation; ``place``, ``ship`` and ``cancel`` are event
+relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.core.checker import Constraint
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.temporal.stream import UpdateStream
+from repro.workloads.base import Workload
+
+EVENT_RELATIONS = ("place", "ship", "cancel")
+
+SCHEMA = (
+    DatabaseSchema.builder()
+    .relation("pending", [("o", "int")])
+    .relation("place", [("o", "int")])
+    .relation("ship", [("o", "int")])
+    .relation("cancel", [("o", "int")])
+    .build()
+)
+
+
+def constraints(ship_days: int = 30) -> List[Constraint]:
+    """The order constraint set, parameterised by the deadline."""
+    return [
+        Constraint(
+            "ship-deadline",
+            f"NOT (EXISTS o. pending(o) SINCE[{ship_days + 1},*] place(o))",
+        ),
+        Constraint(
+            "ship-requires-order",
+            "ship(o) -> ONCE place(o)",
+        ),
+        Constraint(
+            "no-ship-after-cancel",
+            "ship(o) -> NOT ONCE cancel(o)",
+        ),
+    ]
+
+
+class _Simulator:
+    """Order lifecycle simulator with deadline slippage injection."""
+
+    def __init__(
+        self,
+        ship_days: int,
+        violation_rate: float,
+        rng: random.Random,
+    ):
+        self.ship_days = ship_days
+        self.violation_rate = violation_rate
+        self.rng = rng
+        self.next_order = 0
+        self.open_orders: Dict[int, int] = {}  # order -> placed_at
+        self.sloppy: Set[int] = set()  # orders allowed to miss deadlines
+        self.cancelled: Set[int] = set()
+        self._touched: Set[int] = set()  # orders acted on this step
+
+    def transition(self, time: int) -> Transaction:
+        builder = Transaction.builder()
+        # an order acts at most once per transition, so placement is
+        # visible for at least one state before shipment/cancellation
+        self._touched = set()
+        for _ in range(self.rng.randint(1, 3)):
+            self._one_action(builder, time)
+        # deadline discipline: compliant orders ship before expiring
+        for order, placed_at in sorted(self.open_orders.items()):
+            if order in self.sloppy or order in self._touched:
+                continue
+            if time - placed_at >= self.ship_days - 1:
+                self._ship(builder, order)
+        return builder.build()
+
+    def _one_action(self, builder, time: int) -> None:
+        roll = self.rng.random()
+        # sloppy orders are "forgotten": nobody ships or cancels them,
+        # so they are guaranteed to miss the deadline
+        actionable = sorted(
+            o
+            for o in self.open_orders
+            if o not in self._touched and o not in self.sloppy
+        )
+        if roll < 0.45:
+            order = self.next_order
+            self.next_order += 1
+            builder.insert("place", (order,))
+            builder.insert("pending", (order,))
+            self.open_orders[order] = time
+            self._touched.add(order)
+            if self.rng.random() < self.violation_rate:
+                self.sloppy.add(order)
+        elif roll < 0.75 and actionable:
+            self._ship(builder, self.rng.choice(actionable))
+        elif actionable:
+            order = self.rng.choice(actionable)
+            builder.insert("cancel", (order,))
+            builder.delete("pending", (order,))
+            del self.open_orders[order]
+            self.cancelled.add(order)
+            self._touched.add(order)
+
+    def _ship(self, builder, order: int) -> None:
+        if order not in self.open_orders:
+            return
+        self._touched.add(order)
+        builder.insert("ship", (order,))
+        builder.delete("pending", (order,))
+        del self.open_orders[order]
+        self.sloppy.discard(order)
+
+
+def _stream_factory(ship_days: int, violation_rate: float, max_gap: int):
+    def build(length: int, seed: int) -> UpdateStream:
+        rng = random.Random(seed)
+        simulator = _Simulator(ship_days, violation_rate, rng)
+        items: List[Tuple[int, Transaction]] = []
+        time = 0
+        pending_clear: Dict[str, Set[Tuple[int, ...]]] = {}
+        for _ in range(length):
+            txn = simulator.transition(time)
+            if any(pending_clear.values()):
+                txn = Transaction({}, pending_clear).merged(txn)
+            items.append((time, txn))
+            pending_clear = {
+                rel: set(txn.inserts.get(rel, ()))
+                for rel in EVENT_RELATIONS
+            }
+            time += rng.randint(1, max_gap)
+        return UpdateStream(items)
+
+    return build
+
+
+def orders_workload(
+    ship_days: int = 30,
+    violation_rate: float = 0.05,
+    max_gap: int = 4,
+) -> Workload:
+    """Build the order-fulfilment workload.
+
+    Args:
+        ship_days: the shipping deadline in clock units.
+        violation_rate: fraction of orders allowed to miss it.
+        max_gap: maximum clock advance between transitions.
+    """
+    return Workload(
+        name="orders",
+        schema=SCHEMA,
+        constraints=constraints(ship_days),
+        stream_factory=_stream_factory(ship_days, violation_rate, max_gap),
+        description=(
+            f"ship deadline {ship_days}, violation rate {violation_rate}"
+        ),
+    )

@@ -1,0 +1,192 @@
+"""Payments workload: aggregation meets metric windows.
+
+Banking-style rules that need *counting and summing over time*:
+
+* ``outflow-limit`` — the sum of an account's debit events inside the
+  trailing ``window`` clock units stays within ``limit`` (a windowed
+  ``SUM`` over ``ONCE``);
+* ``velocity-limit`` — at most ``max_debits`` distinct debit events per
+  account inside the same window (a windowed ``CNT``);
+* ``no-dormant-debit`` — a debit requires the account to have been
+  active (opened, not yet closed) continuously since its opening event
+  (a ``SINCE``).
+
+``debit`` rows are events ``(acct, txid, amount)``; ``active`` is a
+state relation; ``openevt``/``closeevt`` are events.  The simulator
+produces compliant traffic and injects over-limit bursts at
+``violation_rate``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.core.checker import Constraint
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.temporal.stream import UpdateStream
+from repro.workloads.base import Workload
+
+EVENT_RELATIONS = ("debit", "openevt", "closeevt")
+
+SCHEMA = (
+    DatabaseSchema.builder()
+    .relation("active", [("acct", "int")])
+    .relation("openevt", [("acct", "int")])
+    .relation("closeevt", [("acct", "int")])
+    .relation("debit", [("acct", "int"), ("txid", "int"), ("amount", "int")])
+    .build()
+)
+
+
+def constraints(
+    window: int = 24, limit: int = 500, max_debits: int = 5
+) -> List[Constraint]:
+    """The payments constraint set, parameterised by its knobs."""
+    return [
+        Constraint(
+            "outflow-limit",
+            f"s = SUM(amount, txid; "
+            f"ONCE[0,{window}] debit(a, txid, amount)) -> s <= {limit}",
+        ),
+        Constraint(
+            "velocity-limit",
+            f"n = CNT(txid; EXISTS amount. "
+            f"ONCE[0,{window}] debit(a, txid, amount)) -> n <= {max_debits}",
+        ),
+        Constraint(
+            "no-dormant-debit",
+            "debit(a, t, m) -> (active(a) SINCE openevt(a))",
+        ),
+    ]
+
+
+class _Bank:
+    """Account lifecycle + spending simulator with burst injection."""
+
+    def __init__(
+        self,
+        accounts: int,
+        window: int,
+        limit: int,
+        max_debits: int,
+        violation_rate: float,
+        rng: random.Random,
+    ):
+        self.rng = rng
+        self.window = window
+        self.limit = limit
+        self.max_debits = max_debits
+        self.violation_rate = violation_rate
+        self.accounts = list(range(accounts))
+        self.active: Set[int] = set()
+        self.next_tx = 0
+        # (time, amount) per account, pruned outside the window
+        self.recent: Dict[int, List[Tuple[int, int]]] = {
+            a: [] for a in self.accounts
+        }
+
+    def _headroom(self, acct: int, time: int) -> Tuple[int, int]:
+        recent = [
+            (t, m) for t, m in self.recent[acct]
+            if time - t <= self.window
+        ]
+        self.recent[acct] = recent
+        spent = sum(m for _, m in recent)
+        return self.limit - spent, self.max_debits - len(recent)
+
+    def transition(self, time: int) -> Transaction:
+        builder = Transaction.builder()
+        # lifecycle events
+        for acct in self.accounts:
+            roll = self.rng.random()
+            if acct not in self.active and roll < 0.10:
+                builder.insert("openevt", (acct,))
+                builder.insert("active", (acct,))
+                self.active.add(acct)
+            elif acct in self.active and roll > 0.985:
+                builder.insert("closeevt", (acct,))
+                builder.delete("active", (acct,))
+                self.active.discard(acct)
+        # spending
+        for acct in sorted(self.active):
+            if self.rng.random() > 0.5:
+                continue
+            money_left, debits_left = self._headroom(acct, time)
+            if self.rng.random() < self.violation_rate:
+                amount = self.limit + 1  # burst: blow the window limit
+            elif debits_left <= 0 or money_left <= 0:
+                continue
+            else:
+                amount = self.rng.randint(
+                    1, max(1, money_left // max(1, debits_left))
+                )
+            txid = self.next_tx
+            self.next_tx += 1
+            builder.insert("debit", (acct, txid, amount))
+            self.recent[acct].append((time, amount))
+        return builder.build()
+
+
+def _stream_factory(
+    accounts: int,
+    window: int,
+    limit: int,
+    max_debits: int,
+    violation_rate: float,
+    max_gap: int,
+):
+    def build(length: int, seed: int) -> UpdateStream:
+        rng = random.Random(seed)
+        bank = _Bank(
+            accounts, window, limit, max_debits, violation_rate, rng
+        )
+        items: List[Tuple[int, Transaction]] = []
+        time = 0
+        pending_clear: Dict[str, Set[tuple]] = {}
+        for _ in range(length):
+            txn = bank.transition(time)
+            if any(pending_clear.values()):
+                txn = Transaction({}, pending_clear).merged(txn)
+            items.append((time, txn))
+            pending_clear = {
+                rel: set(txn.inserts.get(rel, ()))
+                for rel in EVENT_RELATIONS
+            }
+            time += rng.randint(1, max_gap)
+        return UpdateStream(items)
+
+    return build
+
+
+def payments_workload(
+    accounts: int = 5,
+    window: int = 24,
+    limit: int = 500,
+    max_debits: int = 5,
+    violation_rate: float = 0.02,
+    max_gap: int = 3,
+) -> Workload:
+    """Build the payments workload.
+
+    Args:
+        accounts: number of accounts.
+        window: trailing window for the outflow/velocity rules.
+        limit: maximum summed outflow inside the window.
+        max_debits: maximum debit events inside the window.
+        violation_rate: probability a debit is an over-limit burst.
+        max_gap: maximum clock advance between transitions.
+    """
+    return Workload(
+        name="payments",
+        schema=SCHEMA,
+        constraints=constraints(window, limit, max_debits),
+        stream_factory=_stream_factory(
+            accounts, window, limit, max_debits, violation_rate, max_gap
+        ),
+        description=(
+            f"{accounts} accounts, window {window}, limit {limit}, "
+            f"violation rate {violation_rate}"
+        ),
+    )

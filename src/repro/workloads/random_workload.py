@@ -1,0 +1,125 @@
+"""Parametric random workload for scaling experiments.
+
+The domain workloads are realistic but fix their schema and constraint
+shapes; the experiments that sweep *structural* parameters (state size,
+window width, formula depth, number of constraints) need a workload
+whose knobs are exactly those parameters.  This module provides it:
+
+* a generic schema ``event/1 .. event/k`` + ``flag/1`` relations;
+* constraint templates of tunable window and temporal nesting depth;
+* streams from :class:`~repro.temporal.generators.StreamGenerator` with
+  a tunable value universe (which controls state cardinality).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.builder import atom, conj, implies, once, since, var
+from repro.core.checker import Constraint
+from repro.core.formulas import Formula
+from repro.db.schema import DatabaseSchema
+from repro.temporal.generators import StreamGenerator
+from repro.temporal.stream import UpdateStream
+from repro.workloads.base import Workload
+
+SCHEMA = DatabaseSchema.from_dict(
+    {
+        "event": ["a"],
+        "flag": ["a"],
+        "link": ["a", "b"],
+    }
+)
+
+
+def window_constraint(window: Optional[int], name: str = "window") -> Constraint:
+    """``flag(x) -> ONCE[0,w] event(x)`` — the canonical metric rule."""
+    suffix = f"[0,{window}]" if window is not None else ""
+    return Constraint(name, f"flag(x) -> ONCE{suffix} event(x)")
+
+
+def nested_constraint(depth: int, window: int = 4, name: str = "nested") -> Constraint:
+    """A constraint whose ``ONCE`` nesting depth is exactly ``depth``.
+
+    ``flag(x) -> ONCE[0,w] ONCE[0,w] ... event(x)`` — used by the
+    formula-depth scaling experiment (E5).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    body: Formula = atom("event", var("x"))
+    for _ in range(depth):
+        body = once(body, (0, window))
+    return Constraint(name, implies(atom("flag", var("x")), body))
+
+
+def since_constraint(window: int = 6, name: str = "deadline") -> Constraint:
+    """``flag(x) -> event(x) SINCE[0,w] event(x)`` — survival-heavy."""
+    ev = atom("event", var("x"))
+    return Constraint(
+        name, implies(atom("flag", var("x")), since(ev, ev, (0, window)))
+    )
+
+
+def join_constraint(name: str = "join") -> Constraint:
+    """``link(x,y) -> ONCE[0,8] (event(x) AND event(y))`` — join-heavy."""
+    return Constraint(
+        name, "link(x, y) -> ONCE[0,8] (event(x) AND event(y))"
+    )
+
+
+def random_workload(
+    universe_size: int = 8,
+    window: Optional[int] = 8,
+    constraint_count: int = 2,
+    max_inserts: int = 3,
+    max_deletes: int = 2,
+    max_gap: int = 3,
+) -> Workload:
+    """Build the parametric random workload.
+
+    Args:
+        universe_size: number of distinct values (controls state size
+            and auxiliary-valuation counts).
+        window: metric window of the template constraints (None = ``*``).
+        constraint_count: how many constraints (cycled from the four
+            templates, renamed apart).
+        max_inserts: per-relation inserts per transition.
+        max_deletes: per-relation deletes per transition.
+        max_gap: maximum clock advance between transitions.
+    """
+    templates = [
+        lambda i: window_constraint(window, name=f"window-{i}"),
+        lambda i: since_constraint(
+            window if window is not None else 6, name=f"deadline-{i}"
+        ),
+        lambda i: join_constraint(name=f"join-{i}"),
+        lambda i: nested_constraint(
+            2, window if window is not None else 4, name=f"nested-{i}"
+        ),
+    ]
+    chosen: List[Constraint] = [
+        templates[i % len(templates)](i) for i in range(constraint_count)
+    ]
+
+    def build(length: int, seed: int) -> UpdateStream:
+        generator = StreamGenerator(
+            SCHEMA,
+            universe=list(range(universe_size)),
+            max_inserts=max_inserts,
+            max_deletes=max_deletes,
+            max_gap=max_gap,
+            seed=seed,
+        )
+        return generator.stream(length)
+
+    return Workload(
+        name="random",
+        schema=SCHEMA,
+        constraints=chosen,
+        stream_factory=build,
+        description=(
+            f"universe {universe_size}, window {window}, "
+            f"{constraint_count} constraint(s)"
+        ),
+    )

@@ -1,0 +1,216 @@
+"""Process-monitoring (sensor) workload.
+
+Models the "real-time" flavour of the paper most directly: a plant of
+sensors emits leveled readings every transition, and alarms must obey
+metric rules relating them to the recent reading history:
+
+* ``alarm-justified`` — an alarm requires a critical reading (level 2)
+  within the last ``justify_window`` units;
+* ``sustained-high`` — an alarm requires the readings to have been at
+  least "high" (level >= 1) continuously since a critical reading at
+  least ``sustain_for`` units ago (a metric ``SINCE`` with an
+  existential left operand);
+* ``cooldown`` — no alarm within ``cooldown`` units of a maintenance
+  event (negated metric ``ONCE``).
+
+``reading`` and ``alarm`` are refreshed every transition (each state
+carries the current readings); ``maintenance`` is an event relation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.core.checker import Constraint
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.temporal.stream import UpdateStream
+from repro.workloads.base import Workload
+
+SCHEMA = (
+    DatabaseSchema.builder()
+    .relation("reading", [("sensor", "int"), ("level", "int")])
+    .relation("alarm", [("sensor", "int")])
+    .relation("maintenance", [("sensor", "int")])
+    .build()
+)
+
+
+def constraints(
+    justify_window: int = 10,
+    sustain_for: int = 5,
+    cooldown: int = 3,
+) -> List[Constraint]:
+    """The sensor constraint set, parameterised by its windows."""
+    return [
+        Constraint(
+            "alarm-justified",
+            f"alarm(s) -> ONCE[0,{justify_window}] reading(s, 2)",
+        ),
+        Constraint(
+            "sustained-high",
+            f"alarm(s) -> (EXISTS l. reading(s, l) AND l >= 1) "
+            f"SINCE[{sustain_for},*] reading(s, 2)",
+        ),
+        Constraint(
+            "cooldown",
+            f"alarm(s) -> NOT ONCE[1,{cooldown}] maintenance(s)",
+        ),
+    ]
+
+
+class _Plant:
+    """Markov-ish sensor levels with occasional spurious alarms."""
+
+    def __init__(
+        self,
+        sensors: int,
+        justify_window: int,
+        sustain_for: int,
+        cooldown: int,
+        violation_rate: float,
+        rng: random.Random,
+    ):
+        self.sensors = list(range(sensors))
+        self.justify_window = justify_window
+        self.sustain_for = sustain_for
+        self.cooldown = cooldown
+        self.violation_rate = violation_rate
+        self.rng = rng
+        self.level: Dict[int, int] = {s: 0 for s in self.sensors}
+        self.critical_since: Dict[int, int] = {}   # sensor -> first critical t
+        self.last_critical: Dict[int, int] = {}    # sensor -> latest critical t
+        self.continuously_high_since: Dict[int, int] = {}
+        self.last_maintenance: Dict[int, int] = {}
+
+    def transition(self, time: int) -> Tuple[Dict[int, int], Set[int], Set[int]]:
+        """Advance one step; returns (levels, alarms, maintenance)."""
+        maintenance: Set[int] = set()
+        alarms: Set[int] = set()
+        for s in self.sensors:
+            lvl = self.level[s]
+            roll = self.rng.random()
+            if lvl == 0:
+                lvl = 1 if roll < 0.30 else 0
+            elif lvl == 1:
+                lvl = 2 if roll < 0.35 else (0 if roll > 0.85 else 1)
+            else:
+                lvl = 2 if roll < 0.55 else 1
+            self.level[s] = lvl
+            if lvl >= 1:
+                self.continuously_high_since.setdefault(s, time)
+                if lvl == 2:
+                    self.critical_since.setdefault(s, time)
+                    self.last_critical[s] = time
+            else:
+                self.continuously_high_since.pop(s, None)
+                self.critical_since.pop(s, None)
+            if self.rng.random() < 0.05:
+                maintenance.add(s)
+                self.last_maintenance[s] = time
+
+        for s in self.sensors:
+            if self.rng.random() < self.violation_rate:
+                alarms.add(s)  # spurious alarm, may break any rule
+                continue
+            crit = self.critical_since.get(s)
+            high = self.continuously_high_since.get(s)
+            cooled = (
+                s not in self.last_maintenance
+                or time - self.last_maintenance[s] > self.cooldown
+            )
+            recent_critical = self.last_critical.get(s)
+            justified = (
+                crit is not None
+                and high is not None
+                and high <= crit
+                and time - crit >= self.sustain_for
+                and recent_critical is not None
+                and time - recent_critical <= self.justify_window
+                and self.level[s] >= 1
+            )
+            if justified and cooled and s not in maintenance:
+                alarms.add(s)
+        return dict(self.level), alarms, maintenance
+
+
+def _stream_factory(
+    sensors: int,
+    justify_window: int,
+    sustain_for: int,
+    cooldown: int,
+    violation_rate: float,
+    max_gap: int,
+):
+    def build(length: int, seed: int) -> UpdateStream:
+        rng = random.Random(seed)
+        plant = _Plant(
+            sensors, justify_window, sustain_for, cooldown,
+            violation_rate, rng,
+        )
+        items: List[Tuple[int, Transaction]] = []
+        time = 0
+        prev_readings: Set[Tuple[int, int]] = set()
+        prev_alarms: Set[Tuple[int]] = set()
+        prev_maint: Set[Tuple[int]] = set()
+        for _ in range(length):
+            levels, alarms, maintenance = plant.transition(time)
+            readings = {(s, lvl) for s, lvl in levels.items()}
+            alarm_rows = {(s,) for s in alarms}
+            maint_rows = {(s,) for s in maintenance}
+            txn = Transaction(
+                {
+                    "reading": readings - prev_readings,
+                    "alarm": alarm_rows - prev_alarms,
+                    "maintenance": maint_rows - prev_maint,
+                },
+                {
+                    "reading": prev_readings - readings,
+                    "alarm": prev_alarms - alarm_rows,
+                    "maintenance": prev_maint - maint_rows,
+                },
+            )
+            items.append((time, txn))
+            prev_readings, prev_alarms, prev_maint = (
+                readings,
+                alarm_rows,
+                maint_rows,
+            )
+            time += rng.randint(1, max_gap)
+        return UpdateStream(items)
+
+    return build
+
+
+def sensors_workload(
+    sensors: int = 5,
+    justify_window: int = 10,
+    sustain_for: int = 5,
+    cooldown: int = 3,
+    violation_rate: float = 0.02,
+    max_gap: int = 2,
+) -> Workload:
+    """Build the sensor-monitoring workload.
+
+    Args:
+        sensors: number of sensors in the plant.
+        justify_window: window for the alarm-justification rule.
+        sustain_for: minimum sustained-high duration before an alarm.
+        cooldown: no-alarm window after maintenance.
+        violation_rate: per-sensor spurious-alarm probability.
+        max_gap: maximum clock advance between transitions.
+    """
+    return Workload(
+        name="sensors",
+        schema=SCHEMA,
+        constraints=constraints(justify_window, sustain_for, cooldown),
+        stream_factory=_stream_factory(
+            sensors, justify_window, sustain_for, cooldown,
+            violation_rate, max_gap,
+        ),
+        description=(
+            f"{sensors} sensors, sustain {sustain_for}, cooldown "
+            f"{cooldown}, violation rate {violation_rate}"
+        ),
+    )

@@ -1,0 +1,149 @@
+"""Unit tests for the constraint-to-trigger compiler (ActiveChecker)."""
+
+import pytest
+
+from repro.active.compiler import ActiveChecker
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+from repro.errors import MonitorError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+def delete(rel, *rows):
+    return Transaction({}, {rel: list(rows)})
+
+
+class TestCompilation:
+    def test_aux_tables_created(self, schema):
+        checker = ActiveChecker(
+            schema,
+            [Constraint("c", "p(x) -> ONCE[0,5] q(x) AND PREV p(x)")],
+        )
+        names = checker.schema.relation_names()
+        assert "aux0" in names or "aux1" in names
+        assert any(n.startswith("prevv") for n in names)
+        assert "auxmeta" in names
+
+    def test_rules_registered_bottom_up_plus_check(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,5] ONCE[0,2] q(x)")]
+        )
+        names = [r.name for r in checker.engine.rules]
+        assert names[-1] == "check-constraints"
+        assert len(names) == 3  # two ONCE nodes + check
+
+    def test_shared_nodes_share_tables(self, schema):
+        c1 = Constraint("c1", "p(x) -> ONCE[0,5] q(x)")
+        c2 = Constraint("c2", "q(x) -> ONCE[0,5] q(x)")
+        checker = ActiveChecker(schema, [c1, c2])
+        assert checker.temporal_node_count == 1
+
+    def test_user_cannot_touch_aux_tables(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,5] q(x)")]
+        )
+        with pytest.raises(Exception):
+            checker.step(0, Transaction({"aux0": [(1, 0)]}))
+
+
+class TestScenarios:
+    def test_once_window(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,5] q(x)")]
+        )
+        assert checker.step(0, ins("q", (1,))).ok
+        assert checker.step(1, delete("q", (1,))).ok
+        assert checker.step(3, ins("p", (1,))).ok
+        report = checker.step(7, Transaction.noop())
+        assert not report.ok, "q last held at t=0, 7 > 5 units ago"
+
+    def test_prev(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> PREV q(x)")]
+        )
+        assert checker.step(0, ins("q", (1,))).ok
+        assert checker.step(1, ins("p", (1,))).ok
+        report = checker.step(2, ins("p", (2,)))
+        assert not report.ok
+
+    def test_since_survival(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> (p(x) SINCE q(x))")]
+        )
+        assert checker.step(0, ins("q", (1,))).ok
+        assert checker.step(1, ins("p", (1,))).ok
+        assert checker.step(2, delete("q", (1,))).ok
+        assert checker.step(3, delete("p", (1,))).ok
+        assert not checker.step(4, ins("p", (1,))).ok
+
+    def test_initial_state(self, schema):
+        initial = DatabaseState.from_rows(schema, {"q": [(1,)]})
+        checker = ActiveChecker(
+            schema,
+            [Constraint("c", "p(x) -> ONCE q(x)")],
+            initial=initial,
+        )
+        assert checker.step(0, ins("p", (1,))).ok
+
+    def test_step_state(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> q(x)")]
+        )
+        bad = DatabaseState.from_rows(schema, {"p": [(1,)]})
+        assert not checker.step_state(0, bad).ok
+
+    def test_aux_pruning_bounds_storage(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,4] q(x)")]
+        )
+        for t in range(0, 40, 2):
+            checker.step(t, ins("q", (1,)))
+        assert checker.aux_tuple_count() <= 3
+
+    def test_unbounded_min_collapse(self, schema):
+        checker = ActiveChecker(
+            schema, [Constraint("c", "p(x) -> ONCE q(x)")]
+        )
+        for t in range(20):
+            checker.step(t, ins("q", (1,)))
+        assert checker.aux_tuple_count() == 1
+
+
+class TestAgreementWithIncremental:
+    """Scripted cross-validation (the property test covers random cases)."""
+
+    def test_step_by_step_agreement(self, schema):
+        constraint_texts = [
+            "p(x) -> ONCE[0,3] q(x)",
+            "q(x) -> (NOT p(x)) SINCE[0,10] p(x)",
+            "FORALL x. p(x) -> PREV[1,2] q(x)",
+        ]
+        script = [
+            (0, ins("q", (1,), (2,))),
+            (2, ins("p", (1,))),
+            (3, delete("q", (1,))),
+            (5, ins("p", (2,))),
+            (6, Transaction.noop()),
+            (9, delete("p", (1,))),
+            (10, ins("q", (1,))),
+        ]
+        for text in constraint_texts:
+            active = ActiveChecker(schema, [Constraint("c", text)])
+            incremental = IncrementalChecker(
+                schema, [Constraint("c", text)]
+            )
+            for t, txn in script:
+                ra = active.step(t, txn)
+                ri = incremental.step(t, txn)
+                assert ra.ok == ri.ok, (text, t)
+                assert [v.witnesses for v in ra.violations] == [
+                    v.witnesses for v in ri.violations
+                ], (text, t)

@@ -1,0 +1,148 @@
+"""Unit tests for events, rules, and the active database engine."""
+
+import pytest
+
+from repro.active.engine import ActiveDatabase
+from repro.active.events import Event, EventPattern, events_of
+from repro.active.rules import Rule
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import MonitorError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"r": [("a", "int")], "log": [("a", "int")]})
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+class TestEvents:
+    def test_commit_event_first(self):
+        events = events_of(3, ins("r", (1,)))
+        assert events[0].kind == Event.COMMIT
+        assert events[0].time == 3
+
+    def test_per_tuple_events(self):
+        txn = Transaction({"r": [(1,), (2,)]}, {"log": [(9,)]})
+        events = events_of(0, txn)
+        kinds = [(e.kind, e.relation) for e in events]
+        assert kinds == [
+            ("commit", None),
+            ("insert", "r"),
+            ("insert", "r"),
+            ("delete", "log"),
+        ]
+
+    def test_pattern_matching(self):
+        insert_r = EventPattern.on_insert("r")
+        assert insert_r.matches(Event(Event.INSERT, 0, "r", (1,)))
+        assert not insert_r.matches(Event(Event.INSERT, 0, "s", (1,)))
+        assert not insert_r.matches(Event(Event.DELETE, 0, "r", (1,)))
+        assert EventPattern.on_commit().matches(Event(Event.COMMIT, 0))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventPattern("update")
+
+
+class TestEngine:
+    def test_rule_fires_on_matching_event(self, schema):
+        db = ActiveDatabase(schema)
+        db.register(
+            Rule(
+                "audit",
+                EventPattern.on_insert("r"),
+                action=lambda engine, e: engine.apply(
+                    ins("log", (e.row[0],))
+                ),
+            )
+        )
+        db.commit(0, ins("r", (7,)))
+        assert (7,) in db.state.relation("log")
+        assert db.last_fired == ["audit"]
+
+    def test_priority_order(self, schema):
+        db = ActiveDatabase(schema)
+        order = []
+        db.register(
+            Rule("late", EventPattern.on_commit(),
+                 lambda e, ev: order.append("late"), priority=50)
+        )
+        db.register(
+            Rule("early", EventPattern.on_commit(),
+                 lambda e, ev: order.append("early"), priority=1)
+        )
+        db.commit(0, Transaction.noop())
+        assert order == ["early", "late"]
+
+    def test_condition_gates_firing(self, schema):
+        db = ActiveDatabase(schema)
+        fired = []
+        db.register(
+            Rule(
+                "big-only",
+                EventPattern.on_insert("r"),
+                condition=lambda state, e: e.row[0] > 10,
+                action=lambda engine, e: fired.append(e.row),
+            )
+        )
+        db.commit(0, ins("r", (5,)))
+        db.commit(1, ins("r", (15,)))
+        assert fired == [(15,)]
+
+    def test_disabled_rule_does_not_fire(self, schema):
+        db = ActiveDatabase(schema)
+        rule = db.register(
+            Rule("x", EventPattern.on_commit(),
+                 lambda e, ev: pytest.fail("should not fire"))
+        )
+        rule.enabled = False
+        db.commit(0, Transaction.noop())
+
+    def test_internal_updates_do_not_cascade(self, schema):
+        db = ActiveDatabase(schema)
+        count = []
+        db.register(
+            Rule(
+                "once-per-commit",
+                EventPattern.on_insert("log"),
+                action=lambda engine, e: count.append(1),
+            )
+        )
+        db.register(
+            Rule(
+                "writer",
+                EventPattern.on_insert("r"),
+                action=lambda engine, e: engine.apply(ins("log", (1,))),
+            )
+        )
+        db.commit(0, ins("r", (1,)))
+        assert count == [], "rule-made inserts raise no events"
+
+    def test_apply_outside_commit_rejected(self, schema):
+        db = ActiveDatabase(schema)
+        with pytest.raises(MonitorError):
+            db.apply(ins("r", (1,)))
+
+    def test_duplicate_rule_name_rejected(self, schema):
+        db = ActiveDatabase(schema)
+        db.register(Rule("x", EventPattern.on_commit(), lambda e, ev: None))
+        with pytest.raises(MonitorError):
+            db.register(Rule("x", EventPattern.on_commit(), lambda e, ev: None))
+
+    def test_rule_lookup(self, schema):
+        db = ActiveDatabase(schema)
+        rule = db.register(
+            Rule("x", EventPattern.on_commit(), lambda e, ev: None)
+        )
+        assert db.rule("x") is rule
+        with pytest.raises(MonitorError):
+            db.rule("y")
+
+    def test_commit_times_must_increase(self, schema):
+        db = ActiveDatabase(schema)
+        db.commit(5, Transaction.noop())
+        with pytest.raises(Exception):
+            db.commit(5, Transaction.noop())

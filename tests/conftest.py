@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+
+
+@pytest.fixture
+def library_schema():
+    """The library-loans schema used throughout the docs and tests."""
+    return (
+        DatabaseSchema.builder()
+        .relation("borrowed", [("patron", "str"), ("book", "int")])
+        .relation("returned", [("patron", "str"), ("book", "int")])
+        .relation("overdue", [("book", "int")])
+        .build()
+    )
+
+
+@pytest.fixture
+def tiny_schema():
+    """Two untyped relations p/1 and q/1 for logic-level tests."""
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+@pytest.fixture
+def pair_schema():
+    """Relations r/2 and s/1 for join-flavoured logic tests."""
+    return DatabaseSchema.from_dict({"r": ["a", "b"], "s": ["a"]})
+
+
+def txn(insert=None, delete=None):
+    """Shorthand transaction constructor used across test modules."""
+    return Transaction.of(insert, delete)

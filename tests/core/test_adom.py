@@ -1,0 +1,255 @@
+"""Tests for the active-domain semantics engine.
+
+Three layers: hand-computed scenarios (including constraints the safe
+fragment rejects), the incremental-vs-reference equivalence property,
+and agreement with the safe-range engines on safe (hence
+domain-independent) constraints.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adom import (
+    ActiveDomainChecker,
+    AdomHistoryEvaluator,
+    check_adom_compatible,
+    evaluate_adom,
+    formula_constants,
+)
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+from repro.db.algebra import Table
+from repro.errors import UnsafeFormulaError
+from repro.temporal import History, StreamGenerator
+
+from tests.core.strategies import SCHEMA, adom_constraints
+
+relaxed = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+def delete(rel, *rows):
+    return Transaction({}, {rel: list(rows)})
+
+
+class TestEvaluateAdom:
+    """Single-state evaluation against an explicit domain."""
+
+    class Provider:
+        def __init__(self, contents):
+            self.contents = contents
+
+        def atom_table(self, atom):
+            from repro.core.foeval import match_atom
+
+            return match_atom(self.contents.get(atom.relation, ()), atom)
+
+        def temporal_table(self, formula):
+            raise AssertionError("non-temporal tests")
+
+    def ev(self, text, contents, domain):
+        return evaluate_adom(
+            normalize(parse(text)), self.Provider(contents), frozenset(domain)
+        )
+
+    def test_bare_negation_complements_domain(self):
+        result = self.ev("NOT p(x)", {"p": [(1,)]}, {1, 2, 3})
+        assert result == Table(("x",), [(2,), (3,)])
+
+    def test_unbound_comparison_enumerates(self):
+        result = self.ev("x < y", {}, {1, 2, 3})
+        assert result == Table(("x", "y"), [(1, 2), (1, 3), (2, 3)])
+
+    def test_mismatched_disjunction_pads(self):
+        # (p(x) x domain) union (domain x q(y))
+        result = self.ev("p(x) OR q(y)", {"p": [(1,)], "q": [(9,)]}, {1, 9})
+        assert result == Table(
+            ("x", "y"), [(1, 1), (1, 9), (9, 9)]
+        )
+
+    def test_incomparable_values_never_satisfy_order(self):
+        result = self.ev("x < y", {}, {1, "a"})
+        assert result == Table(("x", "y"), [])
+
+    def test_forall_over_domain(self):
+        # FORALL x. p(x) quantifies over the active domain
+        everyone = self.ev("FORALL x. p(x)", {"p": [(1,), (2,)]}, {1, 2})
+        assert everyone.truth
+        someone_missing = self.ev("FORALL x. p(x)", {"p": [(1,)]}, {1, 2})
+        assert not someone_missing.truth
+
+    def test_matches_safe_evaluator_on_safe_formula(self):
+        # domain-independence: answers agree with the safe evaluator
+        from repro.core.foeval import evaluate
+        contents = {"p": [(1,), (2,)], "q": [(2,)]}
+        f = normalize(parse("p(x) AND NOT q(x)"))
+        adom_answer = evaluate_adom(
+            f, self.Provider(contents), frozenset({1, 2, 3, 4})
+        )
+        safe_answer = evaluate(f, self.Provider(contents))
+        assert adom_answer == safe_answer
+
+
+class TestScenarios:
+    def test_open_hist(self, schema):
+        checker = ActiveDomainChecker(
+            schema,
+            [Constraint("c", "p(x) -> HIST[0,10] q(x)", require_safe=False)],
+        )
+        assert checker.step(0, ins("q", (1,))).ok
+        assert checker.step(3, ins("p", (1,))).ok
+        report = checker.step(5, delete("q", (1,)))
+        assert not report.ok, "q(1) gone at t=5 while p(1) holds"
+
+    def test_prefix_domain_semantics(self, schema):
+        # a value first seen at t=5 did not satisfy NOT p before t=5
+        # under anchor-time evaluation
+        checker = ActiveDomainChecker(
+            schema,
+            [
+                Constraint(
+                    "c", "q(x) -> NOT ONCE[2,*] NOT p(x)", require_safe=False
+                )
+            ],
+        )
+        assert checker.step(0, ins("p", (1,))).ok
+        assert checker.step(5, ins("q", (7,), (1,))).ok  # 7 is brand new
+        # at t=8: for value 7, NOT p(7) anchored at t=5 (first seen),
+        # 3 >= 2 units ago -> ONCE holds -> violation for 7, not for 1
+        report = checker.step(8, Transaction.noop())
+        assert not report.ok
+        witnesses = report.violations[0].witness_dicts()
+        assert witnesses == [{"x": 7}]
+
+    def test_domain_grows_monotonically(self, schema):
+        checker = ActiveDomainChecker(
+            schema, [Constraint("c", "TRUE", require_safe=False)]
+        )
+        checker.step(0, ins("p", (1,)))
+        checker.step(1, delete("p", (1,)))
+        checker.step(2, ins("p", (2,)))
+        assert checker.domain_size() >= 2  # 1 stays in the domain
+
+    def test_constants_in_domain_from_start(self, schema):
+        checker = ActiveDomainChecker(
+            schema,
+            [Constraint("c", "NOT p(5)", require_safe=False)],
+        )
+        report = checker.step(0, ins("p", (5,)))
+        assert not report.ok
+
+    def test_since_variable_condition_still_enforced(self, schema):
+        with pytest.raises(UnsafeFormulaError, match="SINCE"):
+            check_adom_compatible(
+                normalize(parse("NOT (q(y) SINCE p(x))"))
+            )
+
+
+class TestHelpers:
+    def test_formula_constants(self):
+        f = normalize(parse("p(3) AND x = 'a' AND q(x)"))
+        assert formula_constants(f) == {3, "a"}
+
+
+def history_of(stream):
+    return History.replay(SCHEMA, stream)
+
+
+@relaxed
+@given(
+    constraint=adom_constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_adom_incremental_agrees_with_adom_reference(
+    constraint, seed, length
+):
+    """Incremental prefix-adom checking equals the reference semantics."""
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    checker = ActiveDomainChecker(SCHEMA, [constraint])
+    history = history_of(stream)
+    reference = AdomHistoryEvaluator(
+        history,
+        extra_constants=formula_constants(constraint.violation_formula),
+    )
+    for index, (time, txn) in enumerate(stream):
+        report = checker.step(time, txn)
+        expected = reference.table_at(constraint.violation_formula, index)
+        got = (
+            report.violations[0].witnesses
+            if report.violations
+            else Table.empty(expected.columns)
+        )
+        assert got == expected, str(constraint.formula)
+
+
+@relaxed
+@given(
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_adom_agrees_with_safe_engine_on_safe_constraints(seed, length):
+    """Safe constraints are domain-independent, so the two semantics
+    coincide on them."""
+    safe_texts = [
+        "p(x) -> ONCE[0,4] q(x)",
+        "r(x, y) -> (NOT p(x)) SINCE r(x, y)",
+        "q(x) -> PREV[1,3] (p(x) OR q(x))",
+    ]
+    stream = list(
+        StreamGenerator(
+            SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+        ).stream(length)
+    )
+    for text in safe_texts:
+        adom = ActiveDomainChecker(
+            SCHEMA, [Constraint("c", text, require_safe=False)]
+        )
+        safe = IncrementalChecker(SCHEMA, [Constraint("c", text)])
+        for time, txn in stream:
+            ra = adom.step(time, txn)
+            rs = safe.step(time, txn)
+            assert ra.ok == rs.ok, text
+            assert [v.witnesses for v in ra.violations] == [
+                v.witnesses for v in rs.violations
+            ], text
+
+
+class TestApiParity:
+    def test_step_state(self, schema):
+        from repro.db import DatabaseState
+
+        checker = ActiveDomainChecker(
+            schema, [Constraint("c", "q(x) -> p(x)", require_safe=False)]
+        )
+        bad = DatabaseState.from_rows(schema, {"q": [(1,)]})
+        report = checker.step_state(0, bad)
+        assert not report.ok
+        good = DatabaseState.from_rows(schema, {"q": [(1,)], "p": [(1,)]})
+        assert checker.step_state(1, good).ok
+
+    def test_monitor_step_state_with_adom_engine(self, schema):
+        from repro.db import DatabaseState
+        from repro.core.monitor import Monitor
+
+        monitor = Monitor(schema, engine="adom")
+        monitor.add_constraint("c", "q(x) -> NOT p(x)")
+        state = DatabaseState.from_rows(schema, {"q": [(1,)], "p": [(1,)]})
+        assert not monitor.step_state(0, state).ok

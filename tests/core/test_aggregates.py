@@ -1,0 +1,259 @@
+"""Tests for aggregation in constraints (result = OP(vars; body))."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.formulas import Aggregate, FormulaError
+from repro.core.naive import NaiveChecker
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+from repro.db import DatabaseSchema, Transaction
+from repro.db.algebra import Table
+from repro.errors import AlgebraError, UnsafeFormulaError
+from repro.temporal import StreamGenerator
+
+from tests.core.strategies import SCHEMA
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"borrowed": ["p", "b"], "order2": ["c", "o", "amount"]}
+    )
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+def delete(rel, *rows):
+    return Transaction({}, {rel: list(rows)})
+
+
+class TestAlgebraAggregate:
+    TABLE = Table(
+        ("c", "o", "amount"),
+        [("ann", 1, 10), ("ann", 2, 10), ("ann", 3, 5), ("bob", 4, 7)],
+    )
+
+    def test_cnt(self):
+        got = self.TABLE.aggregate(["c"], ["o"], "cnt", "n")
+        assert got == Table(("c", "n"), [("ann", 3), ("bob", 1)])
+
+    def test_sum_with_key_keeps_duplicates_apart(self):
+        got = self.TABLE.aggregate(["c"], ["amount", "o"], "sum", "total")
+        assert got == Table(("c", "total"), [("ann", 25), ("bob", 7)])
+
+    def test_sum_without_key_collapses_equal_measures(self):
+        got = self.TABLE.aggregate(["c"], ["amount"], "sum", "total")
+        assert got == Table(("c", "total"), [("ann", 15), ("bob", 7)])
+
+    def test_min_max_avg(self):
+        assert self.TABLE.aggregate(["c"], ["amount"], "min", "m") == Table(
+            ("c", "m"), [("ann", 5), ("bob", 7)]
+        )
+        assert self.TABLE.aggregate(["c"], ["amount"], "max", "m") == Table(
+            ("c", "m"), [("ann", 10), ("bob", 7)]
+        )
+        avg = self.TABLE.aggregate(["c"], ["amount"], "avg", "m")
+        assert avg == Table(("c", "m"), [("ann", 7.5), ("bob", 7.0)])
+
+    def test_global_aggregate_no_group(self):
+        got = self.TABLE.aggregate([], ["o"], "cnt", "n")
+        assert got == Table(("n",), [(4,)])
+
+    def test_empty_table_yields_no_groups(self):
+        empty = Table(("c", "o"), [])
+        assert empty.aggregate(["c"], ["o"], "cnt", "n").is_empty
+
+    def test_non_numeric_sum_rejected(self):
+        bad = Table(("c", "v"), [("ann", "oops")])
+        with pytest.raises(AlgebraError, match="non-numeric"):
+            bad.aggregate(["c"], ["v"], "sum", "n")
+
+    def test_bad_op_and_collision(self):
+        with pytest.raises(AlgebraError):
+            self.TABLE.aggregate(["c"], ["o"], "median", "n")
+        with pytest.raises(AlgebraError):
+            self.TABLE.aggregate(["c"], ["o"], "cnt", "c")
+
+
+class TestAst:
+    def test_free_vars(self):
+        f = parse("n = CNT(b; borrowed(p, b))")
+        assert f.free_vars == {"p", "n"}
+        assert isinstance(f, Aggregate)
+        assert f.group_vars == {"p"}
+
+    def test_validation(self):
+        body = parse("borrowed(p, b)")
+        with pytest.raises(FormulaError):
+            Aggregate("CNT", "n", ["b", "b"], body)
+        with pytest.raises(FormulaError):
+            Aggregate("CNT", "b", ["b"], body)
+        with pytest.raises(FormulaError):
+            Aggregate("MEDIAN", "n", ["b"], body)
+
+    def test_round_trip(self):
+        texts = [
+            "n = CNT(b; borrowed(p, b))",
+            "(total = SUM(amount, o; order2(c, o, amount)) AND total > 100)",
+            "m = MAX(amount; EXISTS o. order2(c, o, amount))",
+        ]
+        for text in texts:
+            f = parse(text)
+            assert parse(str(f)) == f
+
+    def test_rename_apart_over_vars(self):
+        # the aggregated variable is a binder: it must not capture an
+        # outer variable of the same name
+        f = normalize(parse("borrowed(b, x) AND n = CNT(b; borrowed(p, b))"))
+        aggs = [g for g in f.walk() if isinstance(g, Aggregate)]
+        assert len(aggs) == 1
+        assert aggs[0].over[0] != "b", "aggregated b renamed apart"
+        assert f.free_vars == {"b", "x", "n", "p"}
+
+
+class TestSafety:
+    def test_unsafe_body_rejected(self):
+        with pytest.raises(UnsafeFormulaError, match="aggregate body"):
+            Constraint("c", "n = CNT(b; NOT borrowed(p, b)) -> n < 5")
+
+    def test_over_var_must_occur(self):
+        with pytest.raises(UnsafeFormulaError, match="do not occur"):
+            Constraint("c", "n = CNT(z; borrowed(p, b)) -> n < 5")
+
+    def test_result_fresh(self):
+        with pytest.raises(UnsafeFormulaError, match="fresh name"):
+            Constraint("c", "p = CNT(b; borrowed(p, b)) -> TRUE")
+
+    def test_result_usable_in_comparisons(self):
+        Constraint("c", "n = CNT(b; borrowed(p, b)) -> n <= 5")
+
+
+class TestChecking:
+    def test_holding_limit(self, schema):
+        checker = IncrementalChecker(
+            schema,
+            [Constraint("limit", "n = CNT(b; borrowed(p, b)) -> n <= 2")],
+        )
+        assert checker.step(0, ins("borrowed", ("ann", 1), ("ann", 2))).ok
+        report = checker.step(1, ins("borrowed", ("ann", 3)))
+        assert not report.ok
+        assert report.violations[0].witness_dicts() == [{"n": 3, "p": "ann"}]
+        assert checker.step(2, delete("borrowed", ("ann", 1))).ok
+
+    def test_sum_limit(self, schema):
+        checker = IncrementalChecker(
+            schema,
+            [
+                Constraint(
+                    "credit",
+                    "t = SUM(amount, o; order2(c, o, amount)) -> t <= 100",
+                )
+            ],
+        )
+        assert checker.step(0, ins("order2", ("ann", 1, 60))).ok
+        report = checker.step(1, ins("order2", ("ann", 2, 60)))
+        assert not report.ok
+        assert report.violations[0].witness_dicts() == [
+            {"c": "ann", "t": 120}
+        ]
+
+    def test_aggregate_under_temporal(self, schema):
+        # "no patron ever held 3+ books within the last 10 units"
+        checker = IncrementalChecker(
+            schema,
+            [
+                Constraint(
+                    "historical-limit",
+                    "NOT ONCE[0,10] (EXISTS n. "
+                    "n = CNT(b; borrowed(p, b)) AND n >= 3)",
+                )
+            ],
+        )
+        assert checker.step(0, ins("borrowed", ("ann", 1), ("ann", 2))).ok
+        assert not checker.step(
+            1, ins("borrowed", ("ann", 3))
+        ).ok
+        # dropping below the limit does not clear history: the burst
+        # stays visible for 10 units
+        report = checker.step(5, delete("borrowed", ("ann", 3)))
+        assert not report.ok
+        assert checker.step(20, Transaction.noop()).ok
+
+    def test_temporal_inside_aggregate_body(self, schema):
+        # "count of books checked out in the last 5 units stays <= 2"
+        checker = IncrementalChecker(
+            schema,
+            [
+                Constraint(
+                    "burst",
+                    "n = CNT(b; ONCE[0,5] borrowed(p, b)) -> n <= 2",
+                )
+            ],
+        )
+        assert checker.step(0, ins("borrowed", ("ann", 1))).ok
+        assert checker.step(1, delete("borrowed", ("ann", 1))).ok
+        assert checker.step(
+            2, ins("borrowed", ("ann", 2))
+        ).ok
+        report = checker.step(
+            3,
+            Transaction(
+                {"borrowed": [("ann", 3)]}, {"borrowed": [("ann", 2)]}
+            ),
+        )
+        assert not report.ok, "books 1,2,3 all within the 5-unit window"
+
+    def test_adom_engine_supports_aggregates(self, schema):
+        from repro.core.adom import ActiveDomainChecker
+
+        checker = ActiveDomainChecker(
+            schema,
+            [
+                Constraint(
+                    "limit",
+                    "n = CNT(b; borrowed(p, b)) -> n <= 1",
+                    require_safe=False,
+                )
+            ],
+        )
+        assert checker.step(0, ins("borrowed", ("ann", 1))).ok
+        assert not checker.step(1, ins("borrowed", ("ann", 2))).ok
+
+
+AGG_TEXTS = [
+    "n = CNT(a; p(a)) -> n <= 2",
+    "n = CNT(b; r(x, b)) -> n < 2",
+    "NOT (EXISTS n. n = CNT(a; ONCE[0,4] p(a)) AND n > 2)",
+    "m = MAX(a; q(a)) -> m <= 1",
+    "s = SUM(a; p(a)) -> s < 4",
+]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    text=st.sampled_from(AGG_TEXTS),
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 10),
+)
+def test_aggregate_constraints_agree_across_engines(text, seed, length):
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    incremental = IncrementalChecker(SCHEMA, [Constraint("c", text)])
+    naive = NaiveChecker(SCHEMA, [Constraint("c", text)])
+    for time, txn in stream:
+        ri = incremental.step(time, txn)
+        rn = naive.step(time, txn)
+        assert ri.ok == rn.ok, text
+        assert [v.witnesses for v in ri.violations] == [
+            v.witnesses for v in rn.violations
+        ], text

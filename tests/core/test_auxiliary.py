@@ -1,0 +1,160 @@
+"""Unit tests for the auxiliary-relation encodings.
+
+These drive the aux states directly with a scripted ``evaluate_now`` to
+verify the bounded-history encodings in isolation: window pruning,
+min-timestamp collapse, and SINCE survival.
+"""
+
+import pytest
+
+from repro.core.auxiliary import (
+    OnceState,
+    PrevState,
+    SinceState,
+    make_auxiliary,
+)
+from repro.core.builder import atom, once, prev, since, var
+from repro.core.intervals import Interval
+from repro.db.algebra import Table
+from repro.errors import MonitorError
+
+
+def feed(table_by_formula):
+    """An evaluate_now that serves fixed tables per operand formula."""
+
+    def evaluate_now(formula, context=None):
+        table = table_by_formula[formula]
+        if context is not None:
+            return context.join(table)
+        return table
+
+    return evaluate_now
+
+
+P = atom("p", var("x"))
+Q = atom("q", var("x"))
+
+
+def xs(*values):
+    return Table(("x",), [(v,) for v in values])
+
+
+class TestPrevState:
+    def test_first_step_is_empty(self):
+        aux = PrevState(prev(P))
+        assert aux.advance(5, feed({P: xs(1)})).is_empty
+
+    def test_second_step_returns_previous(self):
+        aux = PrevState(prev(P))
+        aux.advance(5, feed({P: xs(1)}))
+        assert aux.advance(6, feed({P: xs(2)})) == xs(1)
+        assert aux.advance(7, feed({P: xs()})) == xs(2)
+
+    def test_gap_filter(self):
+        aux = PrevState(prev(P, (1, 2)))
+        aux.advance(0, feed({P: xs(1)}))
+        assert aux.advance(5, feed({P: xs(1)})).is_empty, "gap 5 > 2"
+        assert aux.advance(6, feed({P: xs(2)})) == xs(1), "gap 1 in [1,2]"
+
+    def test_tuple_count_tracks_last_table(self):
+        aux = PrevState(prev(P))
+        aux.advance(0, feed({P: xs(1, 2, 3)}))
+        assert aux.tuple_count() == 3
+
+
+class TestOnceStateBounded:
+    def test_window_satisfaction(self):
+        aux = OnceState(once(P, (0, 4)))
+        assert aux.advance(10, feed({P: xs(1)})) == xs(1)
+        assert aux.advance(12, feed({P: xs()})) == xs(1)
+        assert aux.advance(14, feed({P: xs()})) == xs(1)
+        assert aux.advance(15, feed({P: xs()})).is_empty, "now 5 units old"
+
+    def test_pruning_bounds_storage(self):
+        aux = OnceState(once(P, (0, 3)))
+        for t in range(0, 20, 2):
+            aux.advance(t, feed({P: xs(7)}))
+        # window of 3 with gap 2 keeps at most 2 timestamps
+        assert aux.tuple_count() <= 2
+
+    def test_low_bound_delays_satisfaction(self):
+        aux = OnceState(once(P, (2, 10)))
+        assert aux.advance(0, feed({P: xs(1)})).is_empty
+        assert aux.advance(1, feed({P: xs()})).is_empty
+        assert aux.advance(2, feed({P: xs()})) == xs(1)
+
+    def test_distinct_valuations_tracked_separately(self):
+        aux = OnceState(once(P, (0, 2)))
+        aux.advance(0, feed({P: xs(1)}))
+        result = aux.advance(2, feed({P: xs(2)}))
+        assert result == xs(1, 2)
+        assert aux.advance(3, feed({P: xs()})) == xs(2), "1 fell out"
+
+
+class TestOnceStateUnbounded:
+    def test_min_timestamp_only(self):
+        aux = OnceState(once(P, (0, "*")))
+        aux.advance(0, feed({P: xs(1)}))
+        for t in range(1, 30):
+            aux.advance(t, feed({P: xs(1)}))
+        assert aux.tuple_count() == 1, "unbounded keeps one anchor"
+
+    def test_low_bound_with_unbounded_high(self):
+        aux = OnceState(once(P, (5, "*")))
+        aux.advance(0, feed({P: xs(1)}))
+        assert aux.advance(4, feed({P: xs()})).is_empty
+        assert aux.advance(5, feed({P: xs()})) == xs(1)
+        assert aux.advance(100, feed({P: xs()})) == xs(1), "never forgets"
+
+
+class TestSinceState:
+    L = atom("p", var("x"))
+    R = atom("q", var("x"))
+
+    def make(self, interval=None):
+        return SinceState(since(self.L, self.R, interval))
+
+    def test_anchor_then_survival(self):
+        aux = self.make()
+        # q(1) anchors; p not needed at the anchor state
+        assert aux.advance(0, feed({self.L: xs(), self.R: xs(1)})) == xs(1)
+        # p(1) holds -> survives
+        assert aux.advance(1, feed({self.L: xs(1), self.R: xs()})) == xs(1)
+        # p(1) fails -> anchor dies
+        assert aux.advance(2, feed({self.L: xs(), self.R: xs()})).is_empty
+        assert aux.valuation_count() == 0
+
+    def test_window_pruning(self):
+        aux = self.make((0, 2))
+        aux.advance(0, feed({self.L: xs(1), self.R: xs(1)}))
+        assert aux.advance(2, feed({self.L: xs(1), self.R: xs()})) == xs(1)
+        assert aux.advance(3, feed({self.L: xs(1), self.R: xs()})).is_empty
+
+    def test_re_anchoring_after_death(self):
+        aux = self.make()
+        aux.advance(0, feed({self.L: xs(), self.R: xs(1)}))
+        aux.advance(1, feed({self.L: xs(), self.R: xs()}))  # dies
+        assert aux.advance(2, feed({self.L: xs(), self.R: xs(1)})) == xs(1)
+
+    def test_unbounded_collapses_to_min(self):
+        aux = self.make((0, "*"))
+        for t in range(0, 10):
+            aux.advance(t, feed({self.L: xs(1), self.R: xs(1)}))
+        assert aux.tuple_count() == 1
+
+    def test_low_bound(self):
+        aux = self.make((2, "*"))
+        aux.advance(0, feed({self.L: xs(1), self.R: xs(1)}))
+        assert aux.advance(1, feed({self.L: xs(1), self.R: xs()})).is_empty
+        assert aux.advance(2, feed({self.L: xs(1), self.R: xs()})) == xs(1)
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert isinstance(make_auxiliary(prev(P)), PrevState)
+        assert isinstance(make_auxiliary(once(P)), OnceState)
+        assert isinstance(make_auxiliary(since(P, Q)), SinceState)
+
+    def test_non_temporal_rejected(self):
+        with pytest.raises(MonitorError):
+            make_auxiliary(P)

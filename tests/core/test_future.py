@@ -1,0 +1,233 @@
+"""Tests for bounded-future constraints and the delayed checker.
+
+Scenario tests pin down NEXT/EVENTUALLY/ALWAYS/UNTIL semantics; the
+property test asserts that the delayed checker's verdicts (including
+the closed-world flush) equal the reference semantics evaluated over
+the completed history.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import future_horizon
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.future import DelayedChecker
+from repro.core.naive import NaiveChecker
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+from repro.core.semantics import HistoryEvaluator
+from repro.db import DatabaseSchema, Transaction
+from repro.db.algebra import Table
+from repro.errors import MonitorError, UnsafeFormulaError
+from repro.temporal import History, StreamGenerator
+
+from tests.core.strategies import SCHEMA
+
+LIB = DatabaseSchema.from_dict({"request": ["r"], "grant": ["r"]})
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+def delete(rel, *rows):
+    return Transaction({}, {rel: list(rows)})
+
+
+class TestCompilation:
+    def test_unbounded_future_rejected(self):
+        with pytest.raises(UnsafeFormulaError, match="unbounded"):
+            Constraint("c", "request(x) -> EVENTUALLY grant(x)")
+
+    def test_bounded_future_accepted(self):
+        c = Constraint("c", "request(x) -> EVENTUALLY[0,10] grant(x)")
+        assert c.violation_formula.has_future
+        assert future_horizon(c.violation_formula) == 10
+
+    def test_nested_future_horizons_add(self):
+        c = Constraint(
+            "c", "request(x) -> EVENTUALLY[0,4] NEXT[0,3] grant(x)"
+        )
+        assert future_horizon(c.violation_formula) == 7
+
+    def test_until_condition(self):
+        with pytest.raises(UnsafeFormulaError, match="UNTIL"):
+            Constraint("c", "NOT (grant(y) UNTIL[0,5] request(x))")
+
+    def test_past_engines_reject_future(self):
+        c = Constraint("c", "request(x) -> EVENTUALLY[0,5] grant(x)")
+        for engine_cls in (IncrementalChecker, NaiveChecker):
+            with pytest.raises(MonitorError, match="DelayedChecker"):
+                engine_cls(LIB, [c])
+
+    def test_future_inside_past_rejected(self):
+        c = Constraint("c", "request(x) -> ONCE[0,5] EVENTUALLY[0,3] grant(x)")
+        with pytest.raises(MonitorError, match="nested inside past"):
+            DelayedChecker(LIB, [c])
+
+
+class TestDelayMechanics:
+    def test_verdicts_lag_by_horizon(self):
+        checker = DelayedChecker(
+            LIB, [Constraint("c", "request(x) -> EVENTUALLY[0,10] grant(x)")]
+        )
+        assert checker.horizon == 10
+        assert checker.step(0, ins("request", (1,))) == []
+        assert checker.pending_states == 1
+        assert checker.step(10, Transaction.noop()) == []
+        emitted = checker.step(11, Transaction.noop())
+        assert [r.time for r in emitted] == [0]
+        assert checker.pending_states == 2
+
+    def test_pure_past_constraint_has_no_delay(self):
+        checker = DelayedChecker(
+            LIB, [Constraint("c", "grant(x) -> ONCE[0,5] request(x)")]
+        )
+        assert checker.horizon == 0
+        assert checker.step(0, ins("request", (1,))) == []
+        # with horizon 0 the verdict for t=0 comes at the next arrival
+        assert [r.time for r in checker.step(1, Transaction.noop())] == [0]
+
+    def test_finish_flushes_in_order(self):
+        checker = DelayedChecker(
+            LIB, [Constraint("c", "request(x) -> EVENTUALLY[0,10] grant(x)")]
+        )
+        checker.step(0, ins("request", (1,)))
+        checker.step(3, Transaction.noop())
+        flushed = checker.finish()
+        assert [r.time for r in flushed] == [0, 3]
+        with pytest.raises(MonitorError):
+            checker.step(9, Transaction.noop())
+
+    def test_run_covers_every_state(self):
+        checker = DelayedChecker(
+            LIB, [Constraint("c", "request(x) -> EVENTUALLY[0,4] grant(x)")]
+        )
+        stream = [(t, Transaction.noop()) for t in range(7)]
+        report = checker.run(stream)
+        assert [s.time for s in report.steps] == list(range(7))
+
+
+class TestSemantics:
+    def make(self, text):
+        return DelayedChecker(LIB, [Constraint("c", text)])
+
+    def test_eventually_satisfied(self):
+        checker = self.make("request(x) -> EVENTUALLY[0,10] grant(x)")
+        checker.step(0, ins("request", (1,)))
+        checker.step(7, ins("grant", (1,)))
+        report = checker.run([(20, delete("request", (1,)))])
+        by_time = {s.time: s.ok for s in report.steps}
+        assert by_time[0] is True
+
+    def test_eventually_deadline_missed(self):
+        checker = self.make("request(x) -> EVENTUALLY[0,10] grant(x)")
+        checker.step(0, ins("request", (1,)))
+        report = checker.run([(15, ins("grant", (1,)))])
+        by_time = {s.time: s.ok for s in report.steps}
+        assert by_time[0] is False, "granted at 15 > deadline 10"
+
+    def test_next_gap_semantics(self):
+        checker = self.make("request(x) -> NEXT[0,2] grant(x)")
+        checker.step(0, ins("request", (1,)))
+        report = checker.run([(5, ins("grant", (1,)))])
+        by_time = {s.time: s.ok for s in report.steps}
+        assert by_time[0] is False, "next state is 5 units away, > 2"
+
+    def test_until(self):
+        # every request keeps being requested until its grant, within 6
+        checker = self.make(
+            "request(x) -> (request(x) UNTIL[0,6] grant(x))"
+        )
+        checker.step(0, ins("request", (1,)))
+        checker.step(2, Transaction.noop())
+        checker.step(4, ins("grant", (1,)))
+        report = checker.run([(11, Transaction.noop())])
+        by_time = {s.time: s.ok for s in report.steps}
+        assert by_time[0] is True
+        assert by_time[2] is True
+
+    def test_until_left_fails(self):
+        checker = self.make(
+            "request(x) -> (request(x) UNTIL[0,6] grant(x))"
+        )
+        checker.step(0, ins("request", (1,)))
+        checker.step(2, delete("request", (1,)))  # request withdrawn
+        report = checker.run([(4, ins("grant", (1,)))])
+        by_time = {s.time: s.ok for s in report.steps}
+        assert by_time[0] is False, "request(1) gone at t=2, before grant"
+
+    def test_always_guarded(self):
+        # after a grant, the request must stay gone for 5 units
+        checker = self.make(
+            "grant(x) -> ALWAYS[1,5] (grant(x) -> NOT request(x))"
+        )
+        assert checker.horizon == 5
+
+    def test_mixed_past_and_future(self):
+        # a grant must match a past request and not be re-requested
+        # within 3 units
+        checker = self.make(
+            "grant(x) -> (ONCE[0,20] request(x)) "
+            "AND NOT EVENTUALLY[1,3] request(x)"
+        )
+        checker.step(0, ins("request", (1,)))
+        checker.step(2, delete("request", (1,)))
+        checker.step(5, ins("grant", (1,)))
+        report = checker.run([(7, ins("request", (1,)))])
+        by_time = {s.time: s.ok for s in report.steps}
+        assert by_time[5] is False, "re-requested 2 units after grant"
+
+    def test_space_stays_bounded(self):
+        checker = self.make("request(x) -> EVENTUALLY[0,4] grant(x)")
+        for t in range(0, 200, 2):
+            checker.step(t, ins("request", (t % 3,)))
+        assert checker.pending_states <= 4, "buffer bounded by horizon"
+
+
+# ---------------------------------------------------------------------------
+# property: delayed verdicts == reference semantics on the full history
+# ---------------------------------------------------------------------------
+
+FUTURE_TEXTS = [
+    "p(x) -> EVENTUALLY[0,5] q(x)",
+    "p(x) -> NEXT[1,3] (p(x) OR q(x))",
+    "p(x) -> (p(x) UNTIL[0,6] q(x))",
+    "p(x) -> ALWAYS[1,4] (p(x) -> ONCE[0,2] q(x))",
+    "q(x) -> (NOT p(x)) UNTIL[2,7] p(x)",
+    "r(x, y) -> EVENTUALLY[0,4] (q(x) AND ONCE[0,3] p(y))",
+]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    text=st.sampled_from(FUTURE_TEXTS),
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 10),
+)
+def test_delayed_checker_matches_reference(text, seed, length):
+    constraint = Constraint("c", text)
+    stream = list(
+        StreamGenerator(
+            SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+        ).stream(length)
+    )
+    checker = DelayedChecker(SCHEMA, [constraint])
+    report = checker.run(stream)
+
+    history = History.replay(SCHEMA, stream)
+    reference = HistoryEvaluator(history)
+    assert len(report.steps) == history.length
+    for index, step in enumerate(report.steps):
+        expected = reference.table_at(constraint.violation_formula, index)
+        got = (
+            step.violations[0].witnesses
+            if step.violations
+            else Table.empty(expected.columns)
+        )
+        assert got == expected, (text, index)

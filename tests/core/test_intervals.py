@@ -1,0 +1,73 @@
+"""Unit tests for metric intervals."""
+
+import pytest
+
+from repro.core.intervals import TRIVIAL, Interval, IntervalError
+
+
+class TestConstruction:
+    def test_defaults_to_trivial(self):
+        assert Interval() == TRIVIAL
+        assert TRIVIAL.is_trivial
+
+    def test_point(self):
+        p = Interval.point(5)
+        assert p.contains(5)
+        assert not p.contains(4)
+        assert not p.contains(6)
+
+    def test_unbounded(self):
+        u = Interval.unbounded(3)
+        assert not u.is_bounded
+        assert u.low == 3
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(-1, 5)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(5, 4)
+
+    def test_bool_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(True, 5)
+        with pytest.raises(IntervalError):
+            Interval(0, True)
+
+
+class TestMembership:
+    def test_contains_bounded(self):
+        i = Interval(2, 5)
+        assert not i.contains(1)
+        assert i.contains(2)
+        assert i.contains(5)
+        assert not i.contains(6)
+
+    def test_contains_unbounded(self):
+        i = Interval(2, None)
+        assert not i.contains(1)
+        assert i.contains(2)
+        assert i.contains(10**9)
+
+    def test_bounded_by(self):
+        i = Interval(2, 5)
+        assert not i.bounded_by(5)
+        assert i.bounded_by(6)
+        assert not Interval(2, None).bounded_by(10**9)
+
+    def test_horizon(self):
+        assert Interval(2, 5).horizon() == 5
+        assert Interval(2, None).horizon() is None
+
+
+class TestDisplay:
+    def test_str(self):
+        assert str(Interval(2, 5)) == "[2,5]"
+        assert str(Interval(0, None)) == "[0,*]"
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+        assert Interval(1, 2) != Interval(1, 3)
+        assert Interval(1, None) != Interval(1, 2)

@@ -1,0 +1,112 @@
+"""Unit tests for the Monitor façade."""
+
+import pytest
+
+from repro import Monitor, Transaction, UnsafeFormulaError
+from repro.core import builder as b
+from repro.errors import MonitorError, SchemaError
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+class TestRegistration:
+    def test_text_and_formula_constraints(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("t1", "p(x) -> q(x)")
+        formula = b.implies(b.atom("q", b.var("x")), b.atom("p", b.var("x")))
+        monitor.add_constraint("t2", formula)
+        assert len(monitor.constraints) == 2
+
+    def test_duplicate_names_rejected(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "TRUE")
+        with pytest.raises(MonitorError, match="duplicate"):
+            monitor.add_constraint("c", "TRUE")
+
+    def test_unsafe_rejected_eagerly(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        with pytest.raises(UnsafeFormulaError):
+            monitor.add_constraint("bad", "ONCE NOT p(x)")
+
+    def test_schema_mismatch_rejected_eagerly(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        with pytest.raises(SchemaError):
+            monitor.add_constraint("bad", "p(x, y) -> q(x)")
+
+    def test_constraint_file(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        added = monitor.add_constraints_text(
+            "a: p(x) -> q(x);\nq(x) -> ONCE p(x)"
+        )
+        assert [c.name for c in added] == ["a", "c2"]
+
+    def test_registration_frozen_after_first_step(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "TRUE")
+        monitor.step(0, Transaction.noop())
+        with pytest.raises(MonitorError, match="before the first step"):
+            monitor.add_constraint("late", "TRUE")
+
+    def test_unknown_engine(self, tiny_schema):
+        with pytest.raises(MonitorError, match="unknown engine"):
+            Monitor(tiny_schema, engine="quantum")
+
+
+class TestEngines:
+    @pytest.mark.parametrize("engine", ["incremental", "naive", "naive-memo", "active"])
+    def test_engines_agree_on_scenario(self, tiny_schema, engine):
+        monitor = Monitor(tiny_schema, engine=engine)
+        monitor.add_constraint("c", "q(x) -> ONCE[0,3] p(x)")
+        assert monitor.step(0, ins("p", (1,))).ok
+        assert monitor.step(2, ins("q", (1,))).ok
+        assert not monitor.step(3, ins("q", (2,))).ok
+        assert monitor.now == 3
+
+    def test_run(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "q(x) -> p(x)")
+        report = monitor.run([(0, ins("q", (1,))), (1, ins("p", (1,)))])
+        assert report.violation_count == 1
+        assert report.first_violation().time == 0
+        assert report.by_constraint() == {"c": report.violations}
+
+
+class TestViolationHandlers:
+    def test_handler_fires_per_violation(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "q(x) -> p(x)")
+        seen = []
+        monitor.on_violation(lambda v: seen.append((v.time, v.constraint)))
+        monitor.step(0, ins("q", (1,)))
+        monitor.step(1, ins("p", (1,)))
+        assert seen == [(0, "c")]
+
+    def test_handlers_fire_during_run(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "q(x) -> p(x)")
+        seen = []
+        monitor.on_violation(lambda v: seen.append(v.time))
+        monitor.run([(0, ins("q", (1,))), (3, ins("q", (2,)))])
+        assert seen == [0, 3]
+
+    def test_handler_exception_propagates(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "q(x) -> p(x)")
+
+        def boom(violation):
+            raise RuntimeError("alerting failed")
+
+        monitor.on_violation(boom)
+        with pytest.raises(RuntimeError, match="alerting failed"):
+            monitor.step(0, ins("q", (1,)))
+
+    def test_multiple_handlers_in_order(self, tiny_schema):
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "q(x) -> p(x)")
+        order = []
+        monitor.on_violation(lambda v: order.append("first"))
+        monitor.on_violation(lambda v: order.append("second"))
+        monitor.step(0, ins("q", (1,)))
+        assert order == ["first", "second"]

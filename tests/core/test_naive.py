@@ -1,0 +1,63 @@
+"""Unit tests for the naive full-history baseline."""
+
+import pytest
+
+from repro.core.checker import Constraint
+from repro.core.naive import NaiveChecker
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+class TestNaiveChecker:
+    def test_detects_violation(self, schema):
+        checker = NaiveChecker(schema, [Constraint("c", "p(x) -> ONCE q(x)")])
+        assert checker.step(0, ins("q", (1,))).ok
+        assert checker.step(1, ins("p", (1,))).ok
+        report = checker.step(2, ins("p", (2,)))
+        assert not report.ok
+        assert report.violations[0].witness_dicts() == [{"x": 2}]
+
+    def test_space_grows_with_history(self, schema):
+        checker = NaiveChecker(schema, [Constraint("c", "TRUE")])
+        for t in range(10):
+            checker.step(t, ins("p", (t,)))
+        assert checker.stored_states() == 10
+        assert checker.stored_tuples() == sum(range(1, 11))
+
+    def test_initial_state(self, schema):
+        initial = DatabaseState.from_rows(schema, {"q": [(1,)]})
+        checker = NaiveChecker(
+            schema, [Constraint("c", "p(x) -> ONCE q(x)")], initial=initial
+        )
+        # the base state persists: q(1) is in the first snapshot
+        assert checker.step(0, ins("p", (1,))).ok
+
+    def test_memoized_variant_same_answers(self, schema):
+        plain = NaiveChecker(schema, [Constraint("c", "p(x) -> PREV q(x)")])
+        memo = NaiveChecker(
+            schema, [Constraint("c", "p(x) -> PREV q(x)")], memoize=True
+        )
+        txns = [(0, ins("q", (1,))), (1, ins("p", (1,))), (2, ins("p", (2,)))]
+        for t, txn in txns:
+            assert plain.step(t, txn).ok == memo.step(t, txn).ok
+
+    def test_now_and_steps(self, schema):
+        checker = NaiveChecker(schema, [Constraint("c", "TRUE")])
+        assert checker.now is None
+        checker.step(5, Transaction.noop())
+        assert checker.now == 5
+        assert checker.steps_processed == 1
+
+    def test_run(self, schema):
+        checker = NaiveChecker(schema, [Constraint("c", "p(x) -> q(x)")])
+        report = checker.run([(0, ins("p", (1,))), (1, ins("q", (1,)))])
+        assert report.violation_count == 1
+        assert not report.ok

@@ -1,0 +1,150 @@
+"""Unit tests for formula normalisation."""
+
+import pytest
+
+from repro.core.formulas import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    Not,
+    Once,
+    Or,
+    Since,
+    Var,
+)
+from repro.core.normalize import (
+    is_kernel,
+    normalize,
+    rename_apart,
+    rename_variables,
+)
+from repro.core.parser import parse
+
+
+def norm(text):
+    return normalize(parse(text))
+
+
+class TestDesugaring:
+    def test_implies(self):
+        f = norm("p(x) -> q(x)")
+        assert f == parse("NOT p(x) OR q(x)")
+
+    def test_forall(self):
+        f = norm("FORALL x. p(x)")
+        assert f == Not(Exists(["x"], Not(Atom("p", [Var("x")]))))
+
+    def test_hist_becomes_not_once_not(self):
+        f = norm("HIST[0,5] p(x)")
+        assert isinstance(f, Not)
+        assert isinstance(f.operand, Once)
+        assert f.operand.interval.high == 5
+        assert f.operand.operand == Not(Atom("p", [Var("x")]))
+
+    def test_iff(self):
+        f = norm("p(x) <-> q(x)")
+        assert isinstance(f, And)
+        assert all(isinstance(op, Or) for op in f.operands)
+
+    def test_kernel_property(self):
+        for text in (
+            "FORALL x. p(x) -> (q(x) <-> NOT p(x))",
+            "HIST[0,3] (p(x) -> PREV q(x))",
+            "p(x) SINCE (q(x) AND TRUE)",
+        ):
+            assert is_kernel(norm(text))
+
+
+class TestNegationPushing:
+    def test_de_morgan_and(self):
+        f = norm("NOT (p(x) AND q(x))")
+        assert isinstance(f, Or)
+        assert f == Or(Not(Atom("p", [Var("x")])), Not(Atom("q", [Var("x")])))
+
+    def test_de_morgan_or(self):
+        f = norm("NOT (p(x) OR q(x))")
+        assert isinstance(f, And)
+
+    def test_double_negation(self):
+        assert norm("NOT NOT p(x)") == Atom("p", [Var("x")])
+
+    def test_negated_comparison_flips(self):
+        assert norm("NOT x < 3") == Comparison(Var("x"), ">=", 3)
+        assert norm("NOT x = y") == Comparison(Var("x"), "!=", Var("y"))
+
+    def test_negation_stops_at_temporal(self):
+        f = norm("NOT ONCE p(x)")
+        assert isinstance(f, Not)
+        assert isinstance(f.operand, Once)
+
+    def test_negated_implication_becomes_conjunction(self):
+        f = norm("NOT (p(x) -> q(x))")
+        assert f == And(Atom("p", [Var("x")]), Not(Atom("q", [Var("x")])))
+
+
+class TestFlattening:
+    def test_nested_and_flattens(self):
+        f = norm("(p(x) AND q(x)) AND (p(x) AND x = 1)")
+        assert isinstance(f, And)
+        assert len(f.operands) == 4
+
+    def test_nested_exists_merge(self):
+        f = norm("EXISTS x. EXISTS y. r(x, y)")
+        assert isinstance(f, Exists)
+        assert set(f.variables) == {"x", "y"}
+
+
+class TestRenameVariables:
+    def test_free_occurrences_renamed(self):
+        f = parse("p(x) AND EXISTS y. r(x, y)")
+        g = rename_variables(f, {"x": "z"})
+        assert g == parse("p(z) AND EXISTS y. r(z, y)")
+
+    def test_shadowed_not_renamed(self):
+        f = parse("EXISTS x. p(x)")
+        assert rename_variables(f, {"x": "z"}) == f
+
+
+class TestRenameApart:
+    def test_repeated_quantifier_names(self):
+        f = normalize(parse("(EXISTS x. p(x)) AND (EXISTS x. q(x))"))
+        names = [
+            sub.variables[0]
+            for sub in f.walk()
+            if isinstance(sub, Exists)
+        ]
+        assert len(set(names)) == 2
+
+    def test_bound_never_collides_with_free(self):
+        f = normalize(parse("p(x) AND EXISTS x. q(x)"))
+        quantified = [
+            v
+            for sub in f.walk()
+            if isinstance(sub, Exists)
+            for v in sub.variables
+        ]
+        assert "x" not in quantified
+        assert f.free_vars == {"x"}
+
+    def test_idempotent_when_already_apart(self):
+        f = normalize(parse("EXISTS y. r(x, y)"))
+        assert rename_apart(f) == f
+
+
+class TestSemanticsPreservation:
+    """Normalisation must not change free variables."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(x) -> q(x)",
+            "FORALL x. p(x) -> ONCE[0,5] q(x)",
+            "HIST[0,3] p(x)",
+            "NOT (p(x) AND NOT q(x))",
+            "(p(x) SINCE[1,7] q(x)) <-> p(x)",
+        ],
+    )
+    def test_free_vars_preserved(self, text):
+        f = parse(text)
+        assert normalize(f).free_vars == f.free_vars

@@ -1,0 +1,132 @@
+"""Tests for the semantics-preserving formula optimiser."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas import FALSE, TRUE, Not, Once, Or
+from repro.core.normalize import normalize
+from repro.core.optimize import optimize
+from repro.core.parser import parse
+from repro.core.safety import is_safe
+from repro.core.semantics import HistoryEvaluator
+from repro.temporal import History, StreamGenerator
+
+from tests.core.strategies import SCHEMA, constraint_formulas
+
+
+def opt(text):
+    return optimize(normalize(parse(text)))
+
+
+class TestConstantFolding:
+    def test_boolean_constants(self):
+        assert opt("p(x) AND TRUE") == normalize(parse("p(x)"))
+        assert opt("p(x) AND FALSE") == FALSE
+        assert opt("p(x) OR TRUE") == TRUE
+        assert opt("p(x) OR FALSE") == normalize(parse("p(x)"))
+        assert opt("NOT TRUE") == FALSE
+
+    def test_nested_folding(self):
+        assert opt("(p(x) AND TRUE) OR (FALSE AND q(x))") == normalize(
+            parse("p(x)")
+        )
+
+    def test_exists_over_constant(self):
+        assert opt("EXISTS x. FALSE") == FALSE
+        assert opt("EXISTS x. TRUE") == TRUE
+
+
+class TestDeduplication:
+    def test_duplicate_conjuncts(self):
+        result = opt("p(x) AND p(x) AND q(x)")
+        assert result == normalize(parse("p(x) AND q(x)"))
+
+    def test_duplicate_disjuncts(self):
+        assert opt("p(x) OR p(x)") == normalize(parse("p(x)"))
+
+    def test_all_duplicates_collapse_to_single(self):
+        assert opt("p(x) AND p(x)") == normalize(parse("p(x)"))
+
+
+class TestTemporalRules:
+    def test_once_false(self):
+        assert opt("ONCE[0,5] FALSE") == FALSE
+
+    def test_once_true_with_zero_low(self):
+        assert opt("ONCE[0,5] TRUE") == TRUE
+        assert opt("EVENTUALLY[0,5] TRUE") == TRUE
+
+    def test_once_true_with_positive_low_kept(self):
+        result = opt("ONCE[2,5] TRUE")
+        assert isinstance(result, Once)
+
+    def test_prev_false(self):
+        assert opt("PREV FALSE") == FALSE
+        assert opt("PREV TRUE") != TRUE  # first state has no PREV
+
+    def test_since_constants(self):
+        assert opt("p(x) SINCE FALSE") == FALSE
+        assert opt("p(x) SINCE TRUE") == TRUE
+
+    def test_since_with_true_left_becomes_once(self):
+        result = opt("TRUE SINCE[1,4] q(x)")
+        assert isinstance(result, Once)
+        assert result.interval.low == 1 and result.interval.high == 4
+
+    def test_trivial_once_chain_collapses(self):
+        assert opt("ONCE ONCE[0,5] p(x)") == opt("ONCE p(x)")
+        assert opt("ONCE ONCE p(x)") == opt("ONCE p(x)")
+
+    def test_bounded_once_chain_not_collapsed(self):
+        # ONCE[0,5] ONCE[0,5] f is NOT ONCE[0,10] f in sampled time
+        result = opt("ONCE[0,5] ONCE[0,5] p(x)")
+        assert isinstance(result, Once)
+        assert isinstance(result.operand, Once)
+
+
+class TestPreservation:
+    def test_optimisation_never_loses_safety(self):
+        for text in (
+            "p(x) AND NOT q(x)",
+            "ONCE[0,5] (p(x) AND TRUE)",
+            "p(x) SINCE (q(x) OR FALSE)",
+        ):
+            kernel = normalize(parse(text))
+            if is_safe(kernel):
+                assert is_safe(optimize(kernel))
+
+    def test_optimisation_can_rescue_safety(self):
+        # a constant-FALSE disjunct breaks the "disjuncts bind the same
+        # variables" rule; folding it away rescues the formula
+        kernel = normalize(parse("p(x) SINCE (q(x) OR FALSE)"))
+        assert not is_safe(kernel)
+        assert is_safe(optimize(kernel))
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    formula=constraint_formulas,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 6),
+)
+def test_optimize_preserves_semantics(formula, seed, length):
+    """Random formulas keep their satisfying valuations at every state."""
+    kernel = normalize(formula)
+    if not is_safe(kernel):
+        return
+    optimized = optimize(kernel)
+    assert is_safe(optimized), str(kernel)
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    history = History.replay(SCHEMA, stream)
+    evaluator = HistoryEvaluator(history)
+    for index in range(history.length):
+        want = evaluator.table_at(kernel, index)
+        got = evaluator.table_at(optimized, index)
+        assert want == got, f"{kernel}  vs  {optimized} at {index}"

@@ -1,0 +1,238 @@
+"""Unit tests for the constraint-language parser."""
+
+import pytest
+
+from repro.core.formulas import (
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    Forall,
+    Hist,
+    Iff,
+    Implies,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Var,
+)
+from repro.core.intervals import Interval
+from repro.core.parser import parse, parse_constraints, tokenize
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("once ONCE Once")]
+        assert kinds == ["keyword", "keyword", "keyword", "eof"]
+
+    def test_positions(self):
+        tokens = tokenize("p(x)\n  AND")
+        and_tok = tokens[-2]
+        assert (and_tok.line, and_tok.column) == (2, 3)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("p(x) # comment\n-- another\nAND q(x)")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert "AND" in texts
+        assert not any("comment" in t for t in texts)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            tokenize("p(x) @ q(x)")
+
+
+class TestAtomsAndTerms:
+    def test_atom(self):
+        assert parse("r(x, 3, 'hi')") == Atom(
+            "r", [Var("x"), Const(3), Const("hi")]
+        )
+
+    def test_nullary_atom(self):
+        assert parse("alarm()") == Atom("alarm", [])
+
+    def test_negative_numbers(self):
+        assert parse("x = -3") == Comparison(Var("x"), "=", Const(-3))
+        assert parse("x = -2.5") == Comparison(Var("x"), "=", Const(-2.5))
+
+    def test_floats(self):
+        assert parse("temp(x) AND x > 98.6").operands[1] == Comparison(
+            Var("x"), ">", Const(98.6)
+        )
+
+    def test_string_escapes(self):
+        assert parse(r"name(x) AND x = 'it\'s'").operands[1].right == Const(
+            "it's"
+        )
+
+    def test_comparisons(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert parse(f"x {op} y").op == op
+
+
+class TestConnectives:
+    def test_and_flattens(self):
+        f = parse("p(x) AND q(x) AND p(x)")
+        assert isinstance(f, And)
+        assert len(f.operands) == 3
+
+    def test_symbol_synonyms(self):
+        assert parse("p(x) & q(x)") == parse("p(x) AND q(x)")
+        assert parse("p(x) | q(x)") == parse("p(x) OR q(x)")
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse("p(x) OR q(x) AND p(x)")
+        assert isinstance(f, Or)
+        assert isinstance(f.operands[1], And)
+
+    def test_implies_right_associative(self):
+        f = parse("p(x) -> q(x) -> p(x)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse("p(x) <-> q(x)"), Iff)
+
+    def test_not(self):
+        f = parse("NOT p(x) AND q(x)")
+        assert isinstance(f, And)
+        assert isinstance(f.operands[0], Not)
+
+    def test_parentheses(self):
+        f = parse("NOT (p(x) AND q(x))")
+        assert isinstance(f, Not)
+
+    def test_true_false(self):
+        assert parse("TRUE").is_closed
+        assert parse("FALSE").is_closed
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        f = parse("EXISTS x, y. r(x, y)")
+        assert f == Exists(["x", "y"], Atom("r", [Var("x"), Var("y")]))
+
+    def test_forall_maximal_scope(self):
+        f = parse("FORALL x. p(x) -> q(x)")
+        assert isinstance(f, Forall)
+        assert isinstance(f.operand, Implies)
+
+    def test_quantifier_inside_conjunction(self):
+        f = parse("p(x) AND (EXISTS y. r(x, y))")
+        assert isinstance(f, And)
+
+
+class TestTemporal:
+    def test_once_with_interval(self):
+        f = parse("ONCE[0,14] borrowed(p, b)")
+        assert f == Once(
+            Atom("borrowed", [Var("p"), Var("b")]), Interval(0, 14)
+        )
+
+    def test_default_interval_is_trivial(self):
+        assert parse("ONCE p(x)").interval.is_trivial
+
+    def test_unbounded_interval(self):
+        assert parse("ONCE[3,*] p(x)").interval == Interval(3, None)
+
+    def test_prev_hist(self):
+        assert isinstance(parse("PREV[1,1] p(x)"), Prev)
+        assert isinstance(parse("HIST[0,5] p(x)"), Hist)
+
+    def test_since(self):
+        f = parse("p(x) SINCE[2,9] q(x)")
+        assert f == Since(
+            Atom("p", [Var("x")]), Atom("q", [Var("x")]), Interval(2, 9)
+        )
+
+    def test_since_left_associative(self):
+        f = parse("p(x) SINCE q(x) SINCE p(x)")
+        assert isinstance(f, Since)
+        assert isinstance(f.left, Since)
+
+    def test_temporal_binds_tighter_than_and(self):
+        f = parse("ONCE p(x) AND q(x)")
+        assert isinstance(f, And)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(Exception):
+            parse("ONCE[5,2] p(x)")
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("p(x) q(x)")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse("p(x")
+
+    def test_bare_term_is_not_formula(self):
+        with pytest.raises(ParseError):
+            parse("x")
+
+    def test_error_carries_position(self):
+        try:
+            parse("p(x) AND\n   AND")
+        except ParseError as e:
+            assert e.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestConstraintFiles:
+    def test_named_and_unnamed(self):
+        text = """
+        ret: returned(p) -> ONCE[0,14] borrowed(p);
+        EXISTS x. p(x) ;
+        q(y) -> PREV q(y)
+        """
+        parsed = parse_constraints(text)
+        assert [name for name, _ in parsed] == ["ret", "c2", "c3"]
+
+    def test_empty_file(self):
+        assert parse_constraints("  # nothing here\n") == []
+
+    def test_missing_separator(self):
+        with pytest.raises(ParseError, match=";"):
+            parse_constraints("p(x) q(x)")
+
+
+class TestRoundTrip:
+    CASES = [
+        "r(x, 3, 'hi')",
+        "(p(x) AND q(x) AND x = 3)",
+        "(p(x) OR (q(x) AND NOT p(x)))",
+        "EXISTS x. (p(x) AND ONCE[0,5] q(x))",
+        "FORALL p_1, b. (returned(p_1, b) -> ONCE[0,14] borrowed(p_1, b))",
+        "(p(x) SINCE[2,*] q(x))",
+        "HIST[1,4] NOT alarm()",
+        "PREV (p(x) <-> q(x))",
+        "(x != 'a\\'b' AND p(x))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse(self, text):
+        first = parse(text)
+        assert parse(str(first)) == first
+
+
+from hypothesis import HealthCheck, given, settings
+
+from tests.core.strategies import constraint_formulas
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(formula=constraint_formulas)
+def test_round_trip_property(formula):
+    """parse(str(f)) == f for random formulas (checkpointing relies
+    on this to rebuild constraints from their printed form)."""
+    assert parse(str(formula)) == formula

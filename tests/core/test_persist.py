@@ -1,0 +1,150 @@
+"""Tests for checker checkpoint/restore.
+
+The central property: saving after k steps and restoring yields a
+checker whose remaining run is indistinguishable from the original's —
+same verdicts, same witnesses, same auxiliary sizes.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.persist import (
+    checkpoint_dict,
+    load_checker,
+    restore_checker,
+    save_checker,
+)
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import MonitorError
+from repro.temporal import StreamGenerator
+
+from tests.core.strategies import SCHEMA, constraints
+
+LIB = DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def make_checker(**kwargs):
+    return IncrementalChecker(
+        LIB,
+        [
+            Constraint("window", "p(x) -> ONCE[0,5] q(x)"),
+            Constraint("deadline", "p(x) -> q(x) SINCE[0,*] q(x)"),
+            Constraint("prev", "p(x) -> PREV (q(x) OR p(x))"),
+        ],
+        **kwargs,
+    )
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+class TestRoundTrip:
+    def test_fresh_checker(self, tmp_path):
+        checker = make_checker()
+        save_checker(checker, tmp_path / "c.json")
+        restored = load_checker(tmp_path / "c.json")
+        assert restored.now is None
+        assert restored.steps_processed == 0
+
+    def test_mid_run_resume_matches_continuous_run(self, tmp_path):
+        script = [
+            (0, ins("q", (1,), (2,))),
+            (2, ins("p", (1,))),
+            (5, Transaction({}, {"q": [(1,)]})),
+            (9, ins("p", (2,))),
+            (12, Transaction.noop()),
+            (20, ins("p", (3,))),
+        ]
+        continuous = make_checker()
+        resumed = make_checker()
+        for i, (t, txn) in enumerate(script):
+            expected = continuous.step(t, txn)
+            got = resumed.step(t, txn)
+            assert [v.witnesses for v in expected.violations] == [
+                v.witnesses for v in got.violations
+            ]
+            # checkpoint/restore between every pair of steps
+            save_checker(resumed, tmp_path / "c.json")
+            resumed = load_checker(tmp_path / "c.json")
+        assert resumed.now == continuous.now
+        assert resumed.aux_tuple_count() == continuous.aux_tuple_count()
+        assert resumed.state == continuous.state
+
+    def test_collapse_flag_preserved(self, tmp_path):
+        checker = make_checker(collapse_unbounded=False)
+        save_checker(checker, tmp_path / "c.json")
+        assert load_checker(tmp_path / "c.json").collapse_unbounded is False
+
+    def test_checkpoint_is_small(self, tmp_path):
+        checker = make_checker()
+        for t in range(0, 40, 2):
+            checker.step(t, ins("q", (t % 3,)))
+        doc = checkpoint_dict(checker)
+        # bounded encoding: the checkpoint carries aux + current state,
+        # nowhere near 20 states worth of history
+        assert len(json.dumps(doc)) < 4000
+
+
+class TestErrors:
+    def test_version_check(self):
+        with pytest.raises(MonitorError, match="version"):
+            restore_checker({"version": 99})
+
+    def test_aux_count_mismatch(self):
+        checker = make_checker()
+        doc = checkpoint_dict(checker)
+        doc["aux"] = doc["aux"][:-1]
+        with pytest.raises(MonitorError, match="auxiliary states"):
+            restore_checker(doc)
+
+    def test_kind_mismatch(self):
+        checker = make_checker()
+        doc = checkpoint_dict(checker)
+        doc["aux"][0]["type"] = (
+            "since" if doc["aux"][0]["type"] != "since" else "once"
+        )
+        with pytest.raises(MonitorError, match="kind mismatch"):
+            restore_checker(doc)
+
+    def test_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(MonitorError, match="malformed"):
+            load_checker(bad)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    split=st.integers(1, 6),
+)
+def test_resume_property(constraint, seed, split):
+    """save-at-k / resume equals the continuous run, on random inputs."""
+    stream = list(
+        StreamGenerator(SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed)
+        .stream(8)
+    )
+    continuous = IncrementalChecker(SCHEMA, [constraint])
+    first_half = IncrementalChecker(SCHEMA, [constraint])
+
+    expected = [continuous.step(t, txn) for t, txn in stream]
+    for t, txn in stream[:split]:
+        first_half.step(t, txn)
+    resumed = restore_checker(checkpoint_dict(first_half))
+    got = [resumed.step(t, txn) for t, txn in stream[split:]]
+
+    for want, have in zip(expected[split:], got):
+        assert want.ok == have.ok, str(constraint.formula)
+        assert [v.witnesses for v in want.violations] == [
+            v.witnesses for v in have.violations
+        ], str(constraint.formula)

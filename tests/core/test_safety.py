@@ -1,0 +1,130 @@
+"""Unit tests for the safe-range / monitorability analysis."""
+
+import pytest
+
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+from repro.core.safety import (
+    analyze,
+    check_safe,
+    is_safe,
+    order_conjuncts,
+)
+from repro.errors import UnsafeFormulaError
+
+
+def norm(text):
+    return normalize(parse(text))
+
+
+def safe(text):
+    return is_safe(norm(text))
+
+
+class TestSafeCases:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(x)",
+            "p(x) AND q(x)",
+            "p(x) AND NOT q(x)",
+            "p(x) AND x != 3",
+            "p(x) AND x = y",           # y bound via equality
+            "x = 3 AND q(x)",           # constant binds
+            "p(x) OR q(x)",
+            "EXISTS x. p(x)",
+            "FORALL x. p(x) -> q(x)",   # closure is safe
+            "ONCE[0,5] p(x)",
+            "p(x) SINCE q(x)",
+            "NOT p(x) SINCE q(x)",      # negated left operand is fine
+            "(p(x) AND x < 5) SINCE (q(x) AND p(x))",
+            "r(x, y) AND NOT (p(x) AND q(y))",
+            "p(x) AND NOT ONCE[1,4] q(x)",
+            "HIST[0,5] NOT alarm()",    # closed operand
+            "p(x) AND (HIST[0,5] (q(x) -> p(x)))",  # guarded hist
+        ],
+    )
+    def test_accepted(self, text):
+        assert safe(text), text
+
+
+class TestUnsafeCases:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("NOT p(x)", "free variables"),
+            ("x = y", "needs its variables bound"),
+            ("x < 3", "needs its variables bound"),
+            ("p(x) OR q(y)", "different variable sets"),
+            ("p(x) AND NOT q(y)", "stuck"),
+            ("ONCE[0,5] NOT p(x)", "must be safe on its own"),
+            ("q(x) SINCE NOT p(x)", "right operand of SINCE must be safe"),
+            ("r(x, y) SINCE q(x)", "does not bind"),
+            ("HIST[0,5] p(x)", ""),  # NOT ONCE NOT p(x): inner unsafe
+        ],
+    )
+    def test_rejected_with_reason(self, text, fragment):
+        f = norm(text)
+        with pytest.raises(UnsafeFormulaError, match=fragment or None):
+            check_safe(f)
+
+
+class TestAnalyze:
+    def test_atom_binds_vars(self):
+        f = norm("r(x, y)")
+        assert analyze(f) == {"x", "y"}
+
+    def test_context_propagates(self):
+        f = norm("NOT p(x)")
+        assert analyze(f) is None
+        assert analyze(f, frozenset({"x"})) == {"x"}
+
+    def test_equality_binds_one_side(self):
+        f = norm("x = y")
+        assert analyze(f, frozenset({"x"})) == {"x", "y"}
+
+    def test_order_comparison_needs_both(self):
+        f = norm("x < y")
+        assert analyze(f, frozenset({"x"})) is None
+        assert analyze(f, frozenset({"x", "y"})) == {"x", "y"}
+
+
+class TestPlanner:
+    def test_reorders_negation_after_binder(self):
+        conjuncts = norm("NOT q(x) AND p(x)").operands
+        order = order_conjuncts(conjuncts)
+        assert order == [1, 0]
+
+    def test_chained_equalities(self):
+        conjuncts = norm("x = y AND y = z AND p(x)").operands
+        order = order_conjuncts(conjuncts)
+        assert order is not None
+        assert order[0] == 2  # p(x) first, then equalities cascade
+
+    def test_unorderable_returns_none(self):
+        conjuncts = norm("NOT q(x) AND NOT p(x)").operands
+        assert order_conjuncts(conjuncts) is None
+
+    def test_initial_bound_helps(self):
+        conjuncts = norm("NOT q(x) AND NOT p(x)").operands
+        assert order_conjuncts(conjuncts, frozenset({"x"})) == [0, 1]
+
+
+class TestConstraintLevelSafety:
+    """Violation formulas of typical constraints must be safe."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "returned(p, b) -> ONCE[0,14] borrowed(p, b)",
+            # HIST over an open atom is not domain-independent; the
+            # guarded idiom (guard -> body) is the monitorable form:
+            "FORALL x. alarm2(x) -> HIST[0,10] (alarm2(x) -> warning(x))",
+            "p(x) -> (NOT q(x)) SINCE[0,30] r(x, x)",
+        ],
+    )
+    def test_violation_form_is_safe(self, text):
+        from repro.core.formulas import Not
+
+        violation = normalize(Not(parse(text)))
+        check_safe(violation)

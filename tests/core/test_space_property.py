@@ -1,0 +1,80 @@
+"""Property: auxiliary space never exceeds the analysed bound.
+
+The paper's space theorem, as a runtime invariant: for every temporal
+node, the stored entries are at most ``|universe|^k`` valuations times
+``window + 1`` timestamps (bounded window), or one timestamp per
+valuation (unbounded / PREV) — checked after *every* step of random
+runs, not just at the end.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxiliary import PrevState
+from repro.core.checker import IncrementalChecker
+from repro.temporal import StreamGenerator
+
+from tests.core.strategies import SCHEMA, constraints
+
+UNIVERSE = [0, 1, 2]
+
+
+def node_bound(node) -> int:
+    k = len(node.free_vars)
+    valuations = len(UNIVERSE) ** k
+    interval = getattr(node, "interval", None)
+    if interval is not None and interval.is_bounded:
+        return valuations * (interval.high + 1)
+    return valuations
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 25),
+)
+def test_aux_space_within_analysed_bound(constraint, seed, length):
+    stream = StreamGenerator(
+        SCHEMA, universe=UNIVERSE, max_gap=2, seed=seed
+    ).stream(length)
+    checker = IncrementalChecker(SCHEMA, [constraint])
+    for time, txn in stream:
+        checker.step(time, txn)
+        for node, aux in checker._aux.items():
+            if isinstance(aux, PrevState):
+                bound = len(UNIVERSE) ** len(node.free_vars)
+            else:
+                bound = node_bound(node)
+            assert aux.tuple_count() <= bound, (
+                f"{node} stores {aux.tuple_count()} > bound {bound}"
+            )
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+)
+def test_aux_space_does_not_track_history_length(constraint, seed):
+    """Peak aux over a long run stays within the same per-node bound —
+    running 4x longer must not raise the ceiling."""
+    total_bound = sum(
+        node_bound(node)
+        for node in constraint.violation_formula.temporal_subformulas()
+    )
+    generator = StreamGenerator(SCHEMA, universe=UNIVERSE, max_gap=2, seed=seed)
+    checker = IncrementalChecker(SCHEMA, [constraint])
+    peak = 0
+    for time, txn in generator.stream(60):
+        checker.step(time, txn)
+        peak = max(peak, checker.aux_tuple_count())
+    assert peak <= total_bound

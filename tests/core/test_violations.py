@@ -1,0 +1,52 @@
+"""Unit tests for violation reports."""
+
+from repro.core.violations import RunReport, StepReport, Violation
+from repro.db.algebra import Table
+
+
+def violation(name="c", time=0, index=0, rows=((1,),)):
+    return Violation(name, time, index, Table(("x",), rows))
+
+
+class TestViolation:
+    def test_witness_dicts_deterministic(self):
+        v = violation(rows=[(2,), (1,)])
+        assert v.witness_dicts() == [{"x": 1}, {"x": 2}]
+
+    def test_witness_count_closed(self):
+        v = Violation("c", 0, 0, Table.nullary(True))
+        assert v.witness_count == 1
+
+    def test_equality(self):
+        assert violation() == violation()
+        assert violation() != violation(time=9)
+
+    def test_repr(self):
+        assert "witness" in repr(violation())
+        assert "closed" in repr(Violation("c", 1, 0, Table.nullary(True)))
+
+
+class TestStepReport:
+    def test_ok_and_bool(self):
+        good = StepReport(0, 0, [])
+        bad = StepReport(0, 0, [violation()])
+        assert good.ok and bool(good)
+        assert not bad.ok and not bool(bad)
+
+    def test_violated_constraints(self):
+        report = StepReport(0, 0, [violation("a"), violation("b")])
+        assert report.violated_constraints() == ["a", "b"]
+
+
+class TestRunReport:
+    def test_aggregation(self):
+        run = RunReport()
+        run.add(StepReport(0, 0, []))
+        run.add(StepReport(1, 1, [violation("a", 1, 1)]))
+        run.add(StepReport(2, 2, [violation("a", 2, 2), violation("b", 2, 2)]))
+        assert not run.ok
+        assert run.violation_count == 3
+        assert run.first_violation().time == 1
+        assert len(run.by_constraint()["a"]) == 2
+        assert len(run) == 3
+        assert [s.time for s in run] == [0, 1, 2]

@@ -1,0 +1,88 @@
+"""Property-based laws for the grouped aggregation operator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.algebra import Table
+
+rows = st.frozensets(
+    st.tuples(
+        st.integers(0, 3),   # group key g
+        st.integers(0, 3),   # tuple key k
+        st.integers(0, 9),   # measure m
+    ),
+    max_size=12,
+)
+
+
+def table(row_set):
+    return Table(("g", "k", "m"), row_set)
+
+
+@given(rows)
+def test_cnt_matches_manual_grouping(row_set):
+    got = table(row_set).aggregate(["g"], ["k", "m"], "cnt", "n")
+    manual = {}
+    for g, k, m in row_set:
+        manual.setdefault(g, set()).add((k, m))
+    assert got == Table(
+        ("g", "n"), [(g, len(members)) for g, members in manual.items()]
+    )
+
+
+@given(rows)
+def test_sum_with_key_matches_manual(row_set):
+    got = table(row_set).aggregate(["g"], ["m", "k"], "sum", "s")
+    manual = {}
+    for g, k, m in row_set:
+        manual.setdefault(g, set()).add((m, k))
+    expected = Table(
+        ("g", "s"),
+        [(g, sum(m for m, _ in members)) for g, members in manual.items()],
+    )
+    assert got == expected
+
+
+@given(rows)
+def test_min_max_bracket_every_group_member(row_set):
+    t = table(row_set)
+    lows = dict(r for r in t.aggregate(["g"], ["m"], "min", "v").rows)
+    highs = dict(r for r in t.aggregate(["g"], ["m"], "max", "v").rows)
+    for g, _, m in row_set:
+        assert lows[g] <= m <= highs[g]
+
+
+@given(rows)
+def test_avg_between_min_and_max(row_set):
+    t = table(row_set)
+    avgs = dict(t.aggregate(["g"], ["m"], "avg", "v").rows)
+    lows = dict(t.aggregate(["g"], ["m"], "min", "v").rows)
+    highs = dict(t.aggregate(["g"], ["m"], "max", "v").rows)
+    for g, value in avgs.items():
+        assert lows[g] - 1e-9 <= value <= highs[g] + 1e-9
+
+
+@given(rows)
+def test_groups_are_exactly_the_projection(row_set):
+    t = table(row_set)
+    got = t.aggregate(["g"], ["k"], "cnt", "n")
+    assert got.project(["g"]) == t.project(["g"])
+
+
+@given(rows)
+def test_global_cnt_counts_distinct_over_tuples(row_set):
+    t = table(row_set)
+    got = t.aggregate([], ["k", "m"], "cnt", "n")
+    distinct = {(k, m) for _, k, m in row_set}
+    if not row_set:
+        assert got.is_empty
+    else:
+        assert got == Table(("n",), [(len(distinct),)])
+
+
+@given(rows)
+def test_aggregate_invariant_under_irrelevant_row_order(row_set):
+    a = table(row_set).aggregate(["g"], ["m", "k"], "sum", "s")
+    b = table(sorted(row_set)).aggregate(["g"], ["m", "k"], "sum", "s")
+    assert a == b

@@ -1,0 +1,217 @@
+"""Unit and property tests for the relational algebra (Table)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.algebra import Table
+from repro.errors import AlgebraError
+
+
+def t(columns, rows):
+    return Table(columns, rows)
+
+
+class TestConstruction:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(AlgebraError):
+            Table(("a", "a"), [])
+
+    def test_row_arity_checked(self):
+        with pytest.raises(AlgebraError):
+            Table(("a",), [(1, 2)])
+
+    def test_nullary_truth(self):
+        assert Table.nullary(True).truth
+        assert not Table.nullary(False).truth
+
+    def test_truth_requires_nullary(self):
+        with pytest.raises(AlgebraError):
+            t(("a",), [(1,)]).truth
+
+    def test_unit(self):
+        table = Table.unit({"x": 1, "y": "a"})
+        assert len(table) == 1
+        assert table.values("y") == {"a"}
+
+    def test_rows_deduplicate(self):
+        assert len(t(("a",), [(1,), (1,)])) == 1
+
+
+class TestEquality:
+    def test_column_order_irrelevant(self):
+        left = t(("a", "b"), [(1, 2)])
+        right = t(("b", "a"), [(2, 1)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_rows_not_equal(self):
+        assert t(("a",), [(1,)]) != t(("a",), [(2,)])
+
+    def test_different_columns_not_equal(self):
+        assert t(("a",), [(1,)]) != t(("b",), [(1,)])
+
+
+class TestUnaryOps:
+    def test_project(self):
+        table = t(("a", "b"), [(1, 2), (1, 3)])
+        assert table.project(["a"]) == t(("a",), [(1,)])
+
+    def test_project_reorders(self):
+        table = t(("a", "b"), [(1, 2)])
+        assert table.project(["b", "a"]).columns == ("b", "a")
+
+    def test_drop(self):
+        table = t(("a", "b", "c"), [(1, 2, 3)])
+        assert table.drop("b") == t(("a", "c"), [(1, 3)])
+
+    def test_rename(self):
+        table = t(("a", "b"), [(1, 2)])
+        renamed = table.rename({"a": "x"})
+        assert renamed.columns == ("x", "b")
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(AlgebraError):
+            t(("a", "b"), []).rename({"a": "b"})
+
+    def test_select(self):
+        table = t(("a",), [(1,), (2,), (3,)])
+        assert table.select(lambda r: r["a"] > 1) == t(("a",), [(2,), (3,)])
+
+    def test_select_eq(self):
+        table = t(("a", "b"), [(1, 2), (1, 3), (2, 2)])
+        assert table.select_eq("a", 1) == t(("a", "b"), [(1, 2), (1, 3)])
+
+    def test_select_cols_eq(self):
+        table = t(("a", "b"), [(1, 1), (1, 2)])
+        assert table.select_cols_eq("a", "b") == t(("a", "b"), [(1, 1)])
+
+    def test_extend_copy(self):
+        table = t(("a",), [(1,), (2,)])
+        assert table.extend_copy("a", "b") == t(("a", "b"), [(1, 1), (2, 2)])
+
+    def test_extend_const(self):
+        table = t(("a",), [(1,)])
+        assert table.extend_const("k", 9) == t(("a", "k"), [(1, 9)])
+
+    def test_extend_existing_column_rejected(self):
+        with pytest.raises(AlgebraError):
+            t(("a",), []).extend_const("a", 1)
+
+
+class TestBinaryOps:
+    def test_union_aligns_columns(self):
+        left = t(("a", "b"), [(1, 2)])
+        right = t(("b", "a"), [(9, 8)])
+        assert left.union(right) == t(("a", "b"), [(1, 2), (8, 9)])
+
+    def test_union_requires_same_columns(self):
+        with pytest.raises(AlgebraError):
+            t(("a",), []).union(t(("b",), []))
+
+    def test_difference(self):
+        left = t(("a",), [(1,), (2,)])
+        right = t(("a",), [(2,), (3,)])
+        assert left.difference(right) == t(("a",), [(1,)])
+
+    def test_intersection(self):
+        left = t(("a",), [(1,), (2,)])
+        right = t(("a",), [(2,), (3,)])
+        assert left.intersection(right) == t(("a",), [(2,)])
+
+    def test_natural_join_shared_column(self):
+        left = t(("a", "b"), [(1, 2), (2, 3)])
+        right = t(("b", "c"), [(2, "x"), (2, "y"), (9, "z")])
+        expected = t(("a", "b", "c"), [(1, 2, "x"), (1, 2, "y")])
+        assert left.join(right) == expected
+
+    def test_join_no_shared_is_product(self):
+        left = t(("a",), [(1,), (2,)])
+        right = t(("b",), [(9,)])
+        assert left.join(right) == t(("a", "b"), [(1, 9), (2, 9)])
+
+    def test_join_same_columns_is_intersection(self):
+        left = t(("a",), [(1,), (2,)])
+        right = t(("a",), [(2,)])
+        assert left.join(right) == t(("a",), [(2,)])
+
+    def test_join_with_nullary_true(self):
+        table = t(("a",), [(1,)])
+        assert Table.nullary(True).join(table) == table
+        assert Table.nullary(False).join(table).is_empty
+
+    def test_semijoin(self):
+        left = t(("a", "b"), [(1, 2), (3, 4)])
+        right = t(("b", "c"), [(2, "x")])
+        assert left.semijoin(right) == t(("a", "b"), [(1, 2)])
+
+    def test_semijoin_disjoint_columns(self):
+        left = t(("a",), [(1,)])
+        assert left.semijoin(t(("b",), [(9,)])) == left
+        assert left.semijoin(t(("b",), [])).is_empty
+
+    def test_antijoin(self):
+        left = t(("a", "b"), [(1, 2), (3, 4)])
+        right = t(("b",), [(2,)])
+        assert left.antijoin(right) == t(("a", "b"), [(3, 4)])
+
+    def test_antijoin_disjoint_columns(self):
+        left = t(("a",), [(1,)])
+        assert left.antijoin(t(("b",), [(9,)])).is_empty
+        assert left.antijoin(t(("b",), [])) == left
+
+    def test_product_rejects_overlap(self):
+        with pytest.raises(AlgebraError):
+            t(("a",), []).product(t(("a",), []))
+
+
+# ---------------------------------------------------------------------------
+# property-based algebraic laws
+# ---------------------------------------------------------------------------
+
+values = st.integers(min_value=0, max_value=3)
+
+
+def tables(columns):
+    row = st.tuples(*[values] * len(columns))
+    return st.frozensets(row, max_size=8).map(
+        lambda rows: Table(columns, rows)
+    )
+
+
+@given(tables(("a", "b")), tables(("a", "b")))
+def test_union_commutes(x, y):
+    assert x.union(y) == y.union(x)
+
+
+@given(tables(("a", "b")), tables(("a", "b")), tables(("a", "b")))
+def test_union_associates(x, y, z):
+    assert x.union(y).union(z) == x.union(y.union(z))
+
+
+@given(tables(("a", "b")), tables(("b", "c")))
+def test_join_commutes_up_to_column_set(x, y):
+    assert x.join(y) == y.join(x)
+
+
+@given(tables(("a", "b")), tables(("b", "c")))
+def test_semijoin_antijoin_partition(x, y):
+    semi = x.semijoin(y)
+    anti = x.antijoin(y)
+    assert semi.union(anti) == x
+    assert semi.intersection(anti).is_empty
+
+
+@given(tables(("a", "b")), tables(("a", "b")))
+def test_difference_against_union(x, y):
+    assert x.difference(y).union(x.intersection(y)) == x
+
+
+@given(tables(("a", "b")))
+def test_join_identity(x):
+    assert x.join(Table.nullary(True)) == x
+
+
+@given(tables(("a", "b")), tables(("b", "c")))
+def test_join_project_is_semijoin(x, y):
+    assert x.join(y).project(x.columns) == x.semijoin(y)

@@ -1,0 +1,74 @@
+"""Unit tests for database states."""
+
+import pytest
+
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+from repro.errors import UnknownRelationError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"r": [("a", "int")], "s": [("a", "int"), ("b", "str")]}
+    )
+
+
+class TestStates:
+    def test_empty_state_has_all_relations(self, schema):
+        state = DatabaseState.empty(schema)
+        assert state.relation("r").cardinality == 0
+        assert state.relation("s").cardinality == 0
+
+    def test_from_rows(self, schema):
+        state = DatabaseState.from_rows(schema, {"r": [(1,), (2,)]})
+        assert state.relation("r").cardinality == 2
+        assert state.relation("s").cardinality == 0
+
+    def test_unknown_relation_rejected(self, schema):
+        with pytest.raises(UnknownRelationError):
+            DatabaseState.from_rows(schema, {"zzz": [(1,)]})
+
+    def test_apply_produces_new_state(self, schema):
+        state = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        txn = Transaction({"r": [(2,)]}, {"r": [(1,)]})
+        after = state.apply(txn)
+        assert set(after.relation("r").rows) == {(2,)}
+        assert set(state.relation("r").rows) == {(1,)}
+
+    def test_apply_shares_untouched_relations(self, schema):
+        state = DatabaseState.from_rows(schema, {"s": [(1, "x")]})
+        after = state.apply(Transaction({"r": [(5,)]}))
+        assert after.relation("s") is state.relation("s")
+
+    def test_apply_noop_returns_self(self, schema):
+        state = DatabaseState.empty(schema)
+        assert state.apply(Transaction.noop()) is state
+
+    def test_diff_recovers_transaction(self, schema):
+        state = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        txn = Transaction({"r": [(2,)], "s": [(1, "x")]}, {"r": [(1,)]})
+        after = state.apply(txn)
+        assert state.diff(after) == txn
+
+    def test_active_domain(self, schema):
+        state = DatabaseState.from_rows(
+            schema, {"r": [(1,)], "s": [(2, "x")]}
+        )
+        assert state.active_domain() == {1, 2, "x"}
+
+    def test_total_rows_and_cardinalities(self, schema):
+        state = DatabaseState.from_rows(
+            schema, {"r": [(1,), (2,)], "s": [(3, "x")]}
+        )
+        assert state.total_rows == 3
+        assert state.cardinalities() == {"r": 2, "s": 1}
+
+    def test_equality(self, schema):
+        a = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        b = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_to_dict_skips_empty(self, schema):
+        state = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        assert state.to_dict() == {"r": [[1]]}

@@ -1,0 +1,59 @@
+"""Unit tests for relation instances."""
+
+import pytest
+
+from repro.db import Relation, RelationSchema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def rs():
+    return RelationSchema("r", [("a", "int"), ("b", "str")])
+
+
+class TestRelation:
+    def test_rows_validated(self, rs):
+        with pytest.raises(SchemaError):
+            Relation(rs, [(1, 2)])
+
+    def test_cardinality_and_membership(self, rs):
+        rel = Relation(rs, [(1, "x"), (2, "y")])
+        assert rel.cardinality == 2
+        assert (1, "x") in rel
+        assert (9, "z") not in rel
+
+    def test_with_changes(self, rs):
+        rel = Relation(rs, [(1, "x")])
+        updated = rel.with_changes(inserts=[(2, "y")], deletes=[(1, "x")])
+        assert set(updated.rows) == {(2, "y")}
+        assert set(rel.rows) == {(1, "x")}, "original untouched"
+
+    def test_with_changes_idempotent_cases(self, rs):
+        rel = Relation(rs, [(1, "x")])
+        same = rel.with_changes(inserts=[(1, "x")], deletes=[(9, "z")])
+        assert set(same.rows) == {(1, "x")}
+
+    def test_noop_change_returns_self(self, rs):
+        rel = Relation(rs, [(1, "x")])
+        assert rel.with_changes() is rel
+
+    def test_index_lookup(self, rs):
+        rel = Relation(rs, [(1, "x"), (1, "y"), (2, "x")])
+        assert rel.lookup(0, 1) == {(1, "x"), (1, "y")}
+        assert rel.lookup(1, "x") == {(1, "x"), (2, "x")}
+        assert rel.lookup(0, 99) == frozenset()
+
+    def test_index_is_cached(self, rs):
+        rel = Relation(rs, [(1, "x")])
+        first = rel.index_on(0)
+        assert rel.index_on(0) is first
+
+    def test_to_table(self, rs):
+        rel = Relation(rs, [(1, "x")])
+        table = rel.to_table()
+        assert table.columns == ("a", "b")
+        assert (1, "x") in table
+
+    def test_equality(self, rs):
+        assert Relation(rs, [(1, "x")]) == Relation(rs, [(1, "x")])
+        assert Relation(rs, [(1, "x")]) != Relation(rs, [])

@@ -1,0 +1,86 @@
+"""Round-trip and composition properties of the storage/transaction layer."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+from repro.db.storage import read_stream, write_stream
+
+SCHEMA = DatabaseSchema.from_dict({"r": ["a", "b"], "s": ["a"]})
+
+row2 = st.tuples(st.integers(0, 3), st.integers(0, 3))
+row1 = st.tuples(st.integers(0, 3))
+
+
+@st.composite
+def transactions(draw):
+    ins_r = draw(st.frozensets(row2, max_size=4))
+    del_r = draw(st.frozensets(row2, max_size=3)) - ins_r
+    ins_s = draw(st.frozensets(row1, max_size=3))
+    del_s = draw(st.frozensets(row1, max_size=2)) - ins_s
+    return Transaction({"r": ins_r, "s": ins_s}, {"r": del_r, "s": del_s})
+
+
+@st.composite
+def streams(draw):
+    txns = draw(st.lists(transactions(), max_size=6))
+    t = 0
+    out = []
+    for txn in txns:
+        t += draw(st.integers(1, 5))
+        out.append((t, txn))
+    return out
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=streams())
+def test_jsonl_round_trip(stream, tmp_path_factory):
+    path = tmp_path_factory.mktemp("rt") / "h.jsonl"
+    with open(path, "w") as fh:
+        write_stream(stream, fh)
+    with open(path) as fh:
+        assert list(read_stream(fh)) == stream
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=streams())
+def test_serialised_stream_is_plain_json(stream, tmp_path_factory):
+    path = tmp_path_factory.mktemp("rt") / "h.jsonl"
+    with open(path, "w") as fh:
+        write_stream(stream, fh)
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert set(record) <= {"t", "insert", "delete"}
+
+
+@settings(max_examples=80, deadline=None)
+@given(first=transactions(), second=transactions())
+def test_merged_transaction_equals_sequential_application(first, second):
+    """`a.merged(b)` applied once equals applying a then b."""
+    state = DatabaseState.empty(SCHEMA)
+    sequential = state.apply(first).apply(second)
+    merged = state.apply(first.merged(second))
+    assert sequential == merged
+
+
+@settings(max_examples=80, deadline=None)
+@given(first=transactions(), second=transactions(), third=transactions())
+def test_merge_is_associative_in_effect(first, second, third):
+    state = DatabaseState.empty(SCHEMA)
+    left = state.apply(first.merged(second).merged(third))
+    right = state.apply(first.merged(second.merged(third)))
+    assert left == right
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=streams())
+def test_diff_inverts_apply(stream):
+    """state.diff(next) recovers a transaction replaying to next."""
+    state = DatabaseState.empty(SCHEMA)
+    for _, txn in stream:
+        successor = state.apply(txn)
+        recovered = state.diff(successor)
+        assert state.apply(recovered) == successor
+        state = successor

@@ -1,0 +1,110 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.db import Attribute, DatabaseSchema, Domain, RelationSchema
+from repro.errors import SchemaError, UnknownRelationError
+
+
+class TestAttribute:
+    def test_default_domain_is_any(self):
+        assert Attribute("x").domain is Domain.ANY
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+        with pytest.raises(SchemaError):
+            Attribute("a b")
+
+    def test_equality(self):
+        assert Attribute("x", Domain.INT) == Attribute("x", Domain.INT)
+        assert Attribute("x", Domain.INT) != Attribute("x", Domain.STR)
+
+
+class TestRelationSchema:
+    def test_shorthand_attribute_forms(self):
+        rs = RelationSchema("r", ["a", ("b", "int"), Attribute("c", Domain.STR)])
+        assert rs.attribute_names == ("a", "b", "c")
+        assert rs.attributes[1].domain is Domain.INT
+
+    def test_arity_and_positions(self):
+        rs = RelationSchema("r", ["a", "b"])
+        assert rs.arity == 2
+        assert rs.position("b") == 1
+
+    def test_position_unknown_attribute(self):
+        rs = RelationSchema("r", ["a"])
+        with pytest.raises(SchemaError):
+            rs.position("zz")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ["a", "a"])
+
+    def test_validate_row_arity(self):
+        rs = RelationSchema("r", ["a", "b"])
+        with pytest.raises(SchemaError):
+            rs.validate_row((1,))
+
+    def test_validate_row_domain(self):
+        rs = RelationSchema("r", [("a", "int")])
+        rs.validate_row((3,))
+        with pytest.raises(SchemaError):
+            rs.validate_row(("no",))
+
+    def test_nullary_relation_allowed(self):
+        rs = RelationSchema("flag", [])
+        assert rs.arity == 0
+        rs.validate_row(())
+
+
+class TestDatabaseSchema:
+    def test_builder_and_lookup(self):
+        schema = (
+            DatabaseSchema.builder()
+            .relation("r", ["a"])
+            .relation("s", ["a", "b"])
+            .build()
+        )
+        assert schema.relation("s").arity == 2
+        assert "r" in schema
+        assert "zz" not in schema
+        assert len(schema) == 2
+
+    def test_from_dict(self):
+        schema = DatabaseSchema.from_dict({"r": [("a", "int")]})
+        assert schema.relation("r").attributes[0].domain is Domain.INT
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                [RelationSchema("r", ["a"]), RelationSchema("r", ["b"])]
+            )
+
+    def test_unknown_relation_error_lists_known(self):
+        schema = DatabaseSchema.from_dict({"r": ["a"]})
+        with pytest.raises(UnknownRelationError, match="'r'"):
+            schema.relation("s")
+
+    def test_extended_does_not_mutate(self):
+        schema = DatabaseSchema.from_dict({"r": ["a"]})
+        bigger = schema.extended(RelationSchema("aux", ["v", "ts"]))
+        assert "aux" in bigger
+        assert "aux" not in schema
+
+    def test_round_trip_to_dict(self):
+        schema = DatabaseSchema.from_dict(
+            {"r": [("a", "int"), ("b", "str")], "s": [("c", "any")]}
+        )
+        assert DatabaseSchema.from_dict(
+            {k: [tuple(a) for a in v] for k, v in schema.to_dict().items()}
+        ) == schema
+
+    def test_iteration_order_is_declaration_order(self):
+        schema = (
+            DatabaseSchema.builder()
+            .relation("z", ["a"])
+            .relation("a", ["a"])
+            .build()
+        )
+        assert [r.name for r in schema] == ["z", "a"]

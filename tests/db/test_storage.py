@@ -1,0 +1,68 @@
+"""Unit tests for JSON persistence of schemas and streams."""
+
+import pytest
+
+from repro.db import (
+    DatabaseSchema,
+    Transaction,
+    dump_schema,
+    dump_stream,
+    load_schema,
+    load_stream,
+)
+from repro.errors import HistoryError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"r": [("a", "int"), ("b", "str")], "s": [("c", "any")]}
+    )
+
+
+class TestSchemaPersistence:
+    def test_round_trip(self, tmp_path, schema):
+        path = tmp_path / "schema.json"
+        dump_schema(schema, path)
+        assert load_schema(path) == schema
+
+
+class TestStreamPersistence:
+    def test_round_trip(self, tmp_path):
+        stream = [
+            (1, Transaction({"r": [(1, "x")]})),
+            (5, Transaction({}, {"r": [(1, "x")]})),
+            (6, Transaction.noop()),
+        ]
+        path = tmp_path / "history.jsonl"
+        dump_stream(stream, path)
+        assert load_stream(path) == stream
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('\n# comment\n{"t": 3}\n\n')
+        assert load_stream(path) == [(3, Transaction.noop())]
+
+    def test_non_increasing_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"t": 3}\n{"t": 3}\n')
+        with pytest.raises(HistoryError, match="not greater"):
+            load_stream(path)
+
+    def test_negative_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"t": -1}\n')
+        with pytest.raises(HistoryError):
+            load_stream(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(HistoryError, match="line 1"):
+            load_stream(path)
+
+    def test_missing_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"insert": {}}\n')
+        with pytest.raises(HistoryError):
+            load_stream(path)

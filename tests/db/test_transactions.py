@@ -1,0 +1,91 @@
+"""Unit tests for transactions."""
+
+import pytest
+
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import SchemaError, TransactionError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"r": [("a", "int")], "s": [("a", "int")]})
+
+
+class TestConstruction:
+    def test_noop(self):
+        assert Transaction.noop().is_noop
+        assert Transaction.noop().size == 0
+
+    def test_builder(self):
+        txn = (
+            Transaction.builder()
+            .insert("r", (1,), (2,))
+            .delete("s", (3,))
+            .build()
+        )
+        assert txn.inserts["r"] == {(1,), (2,)}
+        assert txn.deletes["s"] == {(3,)}
+        assert txn.size == 3
+
+    def test_insert_delete_overlap_rejected(self):
+        with pytest.raises(TransactionError):
+            Transaction({"r": [(1,)]}, {"r": [(1,)]})
+
+    def test_overlap_in_different_relations_ok(self):
+        txn = Transaction({"r": [(1,)]}, {"s": [(1,)]})
+        assert txn.touched_relations() == {"r", "s"}
+
+    def test_empty_entries_dropped(self):
+        txn = Transaction({"r": []}, {})
+        assert txn.is_noop
+
+    def test_validate_against_schema(self, schema):
+        Transaction({"r": [(1,)]}).validate(schema)
+        with pytest.raises(SchemaError):
+            Transaction({"r": [("x",)]}).validate(schema)
+        with pytest.raises(SchemaError):
+            Transaction({"zz": [(1,)]}).validate(schema)
+
+
+class TestMerge:
+    def test_insert_then_delete_nets_to_delete(self):
+        # the tuple may have pre-existed in the base state, so the net
+        # effect of insert-then-delete must be "absent afterwards"
+        first = Transaction({"r": [(1,)]})
+        second = Transaction({}, {"r": [(1,)]})
+        merged = first.merged(second)
+        assert merged.deletes == {"r": frozenset({(1,)})}
+        assert not merged.inserts
+
+    def test_delete_then_insert_nets_to_insert(self):
+        first = Transaction({}, {"r": [(1,)]})
+        second = Transaction({"r": [(1,)]})
+        merged = first.merged(second)
+        assert merged.inserts == {"r": frozenset({(1,)})}
+        assert not merged.deletes
+
+    def test_disjoint_merge(self):
+        first = Transaction({"r": [(1,)]})
+        second = Transaction({"s": [(2,)]})
+        merged = first.merged(second)
+        assert merged.inserts == {
+            "r": frozenset({(1,)}),
+            "s": frozenset({(2,)}),
+        }
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        txn = Transaction({"r": [(1,), (2,)]}, {"s": [(3,)]})
+        assert Transaction.from_dict(txn.to_dict()) == txn
+
+    def test_equality_and_hash(self):
+        a = Transaction({"r": [(1,)]})
+        b = Transaction({"r": [(1,)]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_counts(self):
+        txn = Transaction({"r": [(1,)]}, {"s": [(2,)]})
+        assert "+r:1" in repr(txn)
+        assert "-s:1" in repr(txn)

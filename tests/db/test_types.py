@@ -1,0 +1,78 @@
+"""Unit tests for value types and domains."""
+
+import pytest
+
+from repro.db.types import Domain, check_row, is_value
+from repro.errors import ValueTypeError
+
+
+class TestDomainMembership:
+    def test_int_domain_accepts_ints(self):
+        assert Domain.INT.contains(0)
+        assert Domain.INT.contains(-17)
+
+    def test_int_domain_rejects_strings_and_floats(self):
+        assert not Domain.INT.contains("3")
+        assert not Domain.INT.contains(3.0)
+
+    def test_bool_is_never_a_value(self):
+        for domain in Domain:
+            assert not domain.contains(True)
+            assert not domain.contains(False)
+
+    def test_str_domain(self):
+        assert Domain.STR.contains("hello")
+        assert not Domain.STR.contains(1)
+
+    def test_float_domain_accepts_ints_too(self):
+        assert Domain.FLOAT.contains(2.5)
+        assert Domain.FLOAT.contains(2)
+
+    def test_any_domain_accepts_all_scalars(self):
+        for value in (1, "x", 2.5):
+            assert Domain.ANY.contains(value)
+
+
+class TestDomainCheck:
+    def test_check_returns_value(self):
+        assert Domain.INT.check(5) == 5
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(ValueTypeError, match="r.attr"):
+            Domain.INT.check("bad", context="r.attr")
+
+    def test_of_classifies(self):
+        assert Domain.of(3) is Domain.INT
+        assert Domain.of("s") is Domain.STR
+        assert Domain.of(1.5) is Domain.FLOAT
+
+    def test_of_rejects_bool_and_none(self):
+        with pytest.raises(ValueTypeError):
+            Domain.of(True)
+        with pytest.raises(ValueTypeError):
+            Domain.of(None)
+
+    def test_parse(self):
+        assert Domain.parse("int") is Domain.INT
+        assert Domain.parse("STR") is Domain.STR
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueTypeError):
+            Domain.parse("decimal")
+
+
+class TestRowHelpers:
+    def test_is_value(self):
+        assert is_value(3)
+        assert is_value("a")
+        assert not is_value(None)
+        assert not is_value(True)
+        assert not is_value([1])
+
+    def test_check_row_passes_good_rows(self):
+        row = (1, "a", 2.0)
+        assert check_row(row) == row
+
+    def test_check_row_rejects_bad_values(self):
+        with pytest.raises(ValueTypeError):
+            check_row((1, None))

@@ -1,0 +1,53 @@
+"""Unit tests for the discrete clock and timestamp validation."""
+
+import pytest
+
+from repro.errors import TimeError
+from repro.temporal import Clock, validate_successor, validate_timestamp
+
+
+class TestValidation:
+    def test_valid_timestamps(self):
+        assert validate_timestamp(0) == 0
+        assert validate_timestamp(10**9) == 10**9
+
+    def test_negative_rejected(self):
+        with pytest.raises(TimeError):
+            validate_timestamp(-1)
+
+    def test_non_int_rejected(self):
+        for bad in (1.5, "3", True, None):
+            with pytest.raises(TimeError):
+                validate_timestamp(bad)
+
+    def test_successor_must_increase(self):
+        assert validate_successor(None, 0) == 0
+        assert validate_successor(3, 4) == 4
+        with pytest.raises(TimeError, match="backwards"):
+            validate_successor(5, 5)
+        with pytest.raises(TimeError):
+            validate_successor(5, 2)
+
+
+class TestClock:
+    def test_tick(self):
+        clock = Clock()
+        assert clock.now == 0
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_advance(self):
+        clock = Clock(start=10)
+        assert clock.advance(5) == 15
+
+    def test_advance_requires_positive(self):
+        clock = Clock()
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(TimeError):
+                clock.advance(bad)
+
+    def test_advance_to(self):
+        clock = Clock(start=3)
+        assert clock.advance_to(9) == 9
+        with pytest.raises(TimeError):
+            clock.advance_to(9)

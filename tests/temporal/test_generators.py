@@ -1,0 +1,67 @@
+"""Unit tests for the random stream generators."""
+
+import random
+
+import pytest
+
+from repro.db import DatabaseSchema
+from repro.temporal import StreamGenerator, random_schema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"r": ["a", "b"], "s": ["a"]})
+
+
+class TestStreamGenerator:
+    def test_deterministic_from_seed(self, schema):
+        a = StreamGenerator(schema, seed=7).stream(20)
+        b = StreamGenerator(schema, seed=7).stream(20)
+        assert a == b
+
+    def test_seed_changes_output(self, schema):
+        a = StreamGenerator(schema, seed=1).stream(20)
+        b = StreamGenerator(schema, seed=2).stream(20)
+        assert a != b
+
+    def test_length(self, schema):
+        assert StreamGenerator(schema, seed=0).stream(15).length == 15
+
+    def test_timestamps_strictly_increase(self, schema):
+        stream = StreamGenerator(schema, seed=3, max_gap=3).stream(50)
+        times = [t for t, _ in stream]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_transactions_valid_against_schema(self, schema):
+        stream = StreamGenerator(schema, seed=5).stream(30)
+        # replay raises if any transaction is invalid
+        history = stream.replay(schema)
+        assert history.length == 30
+
+    def test_deletes_happen(self, schema):
+        stream = StreamGenerator(schema, seed=11, max_deletes=3).stream(80)
+        assert any(txn.deletes for _, txn in stream)
+
+    def test_universe_respected(self, schema):
+        gen = StreamGenerator(schema, universe=["u", "v"], seed=0)
+        stream = gen.stream(20)
+        final = stream.final_state(schema)
+        assert final.active_domain() <= {"u", "v"}
+
+    def test_max_gap_respected(self, schema):
+        stream = StreamGenerator(schema, seed=9, max_gap=2).stream(40)
+        times = [t for t, _ in stream]
+        assert all(b - a <= 2 for a, b in zip(times, times[1:]))
+
+    def test_bad_max_gap_rejected(self, schema):
+        with pytest.raises(ValueError):
+            StreamGenerator(schema, max_gap=0)
+
+
+class TestRandomSchema:
+    def test_shape(self):
+        rng = random.Random(0)
+        schema = random_schema(rng, n_relations=3, max_arity=2)
+        assert len(schema) == 3
+        for rel in schema:
+            assert 1 <= rel.arity <= 2

@@ -1,0 +1,127 @@
+"""Unit tests for materialised histories."""
+
+import pytest
+
+from repro.db import DatabaseSchema, DatabaseState, Transaction
+from repro.errors import HistoryError, TimeError
+from repro.temporal import History
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"r": [("a", "int")]})
+
+
+class TestAppend:
+    def test_append_and_access(self, schema):
+        history = History(schema)
+        s0 = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        history.append(2, s0)
+        assert history.length == 1
+        assert history.time_at(0) == 2
+        assert history.state_at(0) == s0
+        assert history.last.time == 2
+
+    def test_timestamps_must_increase(self, schema):
+        history = History(schema)
+        history.append(2, DatabaseState.empty(schema))
+        with pytest.raises(TimeError):
+            history.append(2, DatabaseState.empty(schema))
+
+    def test_schema_mismatch_rejected(self, schema):
+        other = DatabaseSchema.from_dict({"q": [("a", "int")]})
+        history = History(schema)
+        with pytest.raises(HistoryError):
+            history.append(0, DatabaseState.empty(other))
+
+    def test_last_on_empty_raises(self, schema):
+        with pytest.raises(HistoryError):
+            History(schema).last
+
+    def test_append_transaction(self, schema):
+        history = History(schema)
+        history.append_transaction(1, Transaction({"r": [(1,)]}))
+        history.append_transaction(4, Transaction({"r": [(2,)]}))
+        assert set(history.state_at(1).relation("r").rows) == {(1,), (2,)}
+
+
+class TestReplay:
+    def test_replay_from_empty(self, schema):
+        stream = [
+            (1, Transaction({"r": [(1,)]})),
+            (3, Transaction({}, {"r": [(1,)]})),
+        ]
+        history = History.replay(schema, stream)
+        assert history.length == 2
+        assert history.state_at(0).relation("r").cardinality == 1
+        assert history.state_at(1).relation("r").cardinality == 0
+
+    def test_replay_with_initial_state(self, schema):
+        initial = DatabaseState.from_rows(schema, {"r": [(9,)]})
+        history = History.replay(
+            schema, [(5, Transaction({"r": [(1,)]}))], initial=initial,
+            start_time=2,
+        )
+        assert history.length == 2
+        assert history.time_at(0) == 2
+        assert set(history.state_at(1).relation("r").rows) == {(1,), (9,)}
+
+    def test_to_stream_round_trip(self, schema):
+        stream = [
+            (1, Transaction({"r": [(1,), (2,)]})),
+            (4, Transaction({"r": [(3,)]}, {"r": [(1,)]})),
+        ]
+        history = History.replay(schema, stream)
+        assert history.to_stream() == stream
+
+    def test_span(self, schema):
+        history = History.replay(
+            schema, [(2, Transaction.noop()), (9, Transaction.noop())]
+        )
+        assert history.span() == 7
+        assert History(schema).span() == 0
+
+    def test_iteration(self, schema):
+        history = History.replay(
+            schema, [(1, Transaction.noop()), (2, Transaction.noop())]
+        )
+        assert [snap.time for snap in history] == [1, 2]
+        assert history[1].time == 2
+
+
+class TestTimeTravelQuery:
+    def test_query_latest_and_past(self, schema):
+        history = History.replay(
+            schema,
+            [
+                (0, Transaction({"r": [(1,)]})),
+                (5, Transaction({"r": [(2,)]}, {"r": [(1,)]})),
+            ],
+        )
+        latest = history.query("r(x)")
+        assert latest.values("x") == {2}
+        first = history.query("r(x)", at=0)
+        assert first.values("x") == {1}
+
+    def test_query_with_temporal_operators(self, schema):
+        history = History.replay(
+            schema,
+            [
+                (0, Transaction({"r": [(1,)]})),
+                (3, Transaction({}, {"r": [(1,)]})),
+                (9, Transaction.noop()),
+            ],
+        )
+        assert history.query("ONCE[0,7] r(x)", at=1).values("x") == {1}
+        assert history.query("ONCE[0,7] r(x)", at=2).is_empty
+
+    def test_query_future_answers_update_on_append(self, schema):
+        history = History.replay(schema, [(0, Transaction.noop())])
+        assert history.query("EVENTUALLY[0,9] r(x)", at=0).is_empty
+        history.append_transaction(4, Transaction({"r": [(7,)]}))
+        assert history.query("EVENTUALLY[0,9] r(x)", at=0).values("x") == {7}
+
+    def test_query_closed_formula(self, schema):
+        history = History.replay(schema, [(0, Transaction({"r": [(1,)]}))])
+        assert history.query("EXISTS x. r(x)").truth
+        assert not history.query("FORALL x. r(x) -> x > 5").truth

@@ -1,0 +1,124 @@
+"""Unit tests for update streams."""
+
+import pytest
+
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import HistoryError, TimeError
+from repro.temporal import UpdateStream
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"r": [("a", "int")]})
+
+
+def make(items):
+    return UpdateStream(items)
+
+
+class TestValidation:
+    def test_monotone_required(self):
+        with pytest.raises(TimeError):
+            make([(1, Transaction.noop()), (1, Transaction.noop())])
+
+    def test_elements_must_be_transactions(self):
+        with pytest.raises(HistoryError):
+            make([(1, {"insert": {}})])
+
+
+class TestProperties:
+    def test_length_and_span(self):
+        stream = make(
+            [(2, Transaction.noop()), (5, Transaction.noop()),
+             (11, Transaction.noop())]
+        )
+        assert stream.length == 3
+        assert stream.span == 9
+        assert len(stream) == 3
+
+    def test_total_changes(self):
+        stream = make(
+            [(1, Transaction({"r": [(1,), (2,)]})),
+             (2, Transaction({}, {"r": [(1,)]}))]
+        )
+        assert stream.total_changes == 3
+
+    def test_indexing(self):
+        stream = make([(1, Transaction.noop()), (2, Transaction.noop())])
+        assert stream[1][0] == 2
+
+
+class TestManipulation:
+    def test_concat(self):
+        a = make([(1, Transaction.noop())])
+        b = make([(5, Transaction.noop())])
+        assert a.concat(b).length == 2
+
+    def test_concat_overlapping_rejected(self):
+        a = make([(5, Transaction.noop())])
+        b = make([(5, Transaction.noop())])
+        with pytest.raises(TimeError):
+            a.concat(b)
+
+    def test_shifted(self):
+        stream = make([(1, Transaction.noop()), (3, Transaction.noop())])
+        assert [t for t, _ in stream.shifted(10)] == [11, 13]
+
+    def test_prefix(self):
+        stream = make([(1, Transaction.noop()), (3, Transaction.noop())])
+        assert stream.prefix(1).length == 1
+
+
+class TestReplay:
+    def test_replay_and_final_state(self, schema):
+        stream = make(
+            [(1, Transaction({"r": [(1,)]})),
+             (2, Transaction({"r": [(2,)]}, {"r": [(1,)]}))]
+        )
+        history = stream.replay(schema)
+        assert history.length == 2
+        final = stream.final_state(schema)
+        assert set(final.relation("r").rows) == {(2,)}
+        assert final == history.last.state
+
+
+class TestMergeStreams:
+    def test_interleaves_by_time(self, schema):
+        from repro.temporal import merge_streams
+
+        a = make([(1, Transaction({"r": [(1,)]})), (5, Transaction({"r": [(5,)]}))])
+        b = make([(3, Transaction({"r": [(3,)]}))])
+        merged = merge_streams(a, b)
+        assert [t for t, _ in merged] == [1, 3, 5]
+
+    def test_same_timestamp_composes(self, schema):
+        from repro.temporal import merge_streams
+
+        a = make([(2, Transaction({"r": [(1,)]}))])
+        b = make([(2, Transaction({"r": [(2,)]}))])
+        merged = merge_streams(a, b)
+        assert merged.length == 1
+        assert merged[0][1].inserts["r"] == {(1,), (2,)}
+
+    def test_net_effect_on_same_timestamp(self, schema):
+        from repro.temporal import merge_streams
+
+        # insert from source a composed with delete from source b:
+        # the tuple must be absent afterwards whatever the base state,
+        # so the composition is a delete
+        a = make([(2, Transaction({"r": [(1,)]}))])
+        b = make([(2, Transaction({}, {"r": [(1,)]}))])
+        merged = merge_streams(a, b)
+        assert merged[0][1].deletes == {"r": frozenset({(1,)})}
+        assert not merged[0][1].inserts
+
+    def test_merged_stream_is_checkable(self, schema):
+        from repro.temporal import StreamGenerator, merge_streams
+
+        # shift one stream to odd offsets so timestamps interleave
+        a = StreamGenerator(schema, seed=1, max_gap=4).stream(10)
+        b = StreamGenerator(schema, seed=2, max_gap=4).stream(10).shifted(1)
+        merged = merge_streams(a, b)
+        times = [t for t, _ in merged]
+        assert times == sorted(times)
+        assert merged.replay(schema).length == merged.length

@@ -1,0 +1,111 @@
+"""Tests for the analysis (metrics + report) helpers."""
+
+import pytest
+
+from repro.analysis import format_table, measure_run, ratio, space_of
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.naive import NaiveChecker
+from repro.db import DatabaseSchema, Transaction
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def stream(n):
+    return [(t, Transaction({"q": [(t % 3,)]})) for t in range(n)]
+
+
+class TestMetrics:
+    def test_measure_run_shapes(self, schema):
+        checker = IncrementalChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,2] q(x)")]
+        )
+        metrics = measure_run(checker, stream(10))
+        assert metrics.steps == 10
+        assert len(metrics.space_samples) == 10
+        assert metrics.total_seconds > 0
+        assert metrics.peak_space >= metrics.space_samples[0]
+        assert metrics.report.ok
+
+    def test_space_of_dispatch(self, schema):
+        inc = IncrementalChecker(schema, [Constraint("c", "TRUE")])
+        nai = NaiveChecker(schema, [Constraint("c", "TRUE")])
+        inc.step(0, Transaction.noop())
+        nai.step(0, Transaction({"q": [(1,)]}))
+        assert space_of(inc) == 0
+        assert space_of(nai) == 1
+        with pytest.raises(TypeError):
+            space_of(object())
+
+    def test_tail_mean(self, schema):
+        checker = IncrementalChecker(schema, [Constraint("c", "TRUE")])
+        metrics = measure_run(checker, stream(8))
+        assert metrics.tail_mean_step_seconds(0.25) > 0
+        assert metrics.median_step_seconds() > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "n"],
+            [["alpha", 1], ["b", 200]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert lines[4].endswith("200")
+
+    def test_format_cell_styles(self):
+        text = format_table(["x"], [[0.00001], [None], [1.5]])
+        assert "1.00e-05" in text
+        assert "-" in text
+        assert "1.5" in text
+
+    def test_ratio(self):
+        assert ratio(4, 2) == 2
+        assert ratio(1, 0) is None
+
+
+class TestAsciiPlot:
+    def test_bar_chart_scales_to_peak(self):
+        from repro.analysis import bar_chart
+
+        chart = bar_chart(["a", "b"], [10, 20], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_bar_chart_half_cells(self):
+        from repro.analysis import bar_chart
+
+        chart = bar_chart(["a", "b"], [1, 4], width=2)
+        assert "▌" in chart  # 1/4 of 2 cells = 0.5 -> a half block
+
+    def test_bar_chart_zero_and_title(self):
+        from repro.analysis import bar_chart
+
+        chart = bar_chart(["x"], [0], title="t")
+        assert chart.splitlines()[0] == "t"
+        assert "█" not in chart
+
+    def test_bar_chart_validation(self):
+        from repro.analysis import bar_chart
+
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1])
+
+    def test_series_chart(self):
+        from repro.analysis import series_chart
+
+        chart = series_chart(
+            [1, 2], [("inc", [5, 5]), ("naive", [5, 50])], title="T"
+        )
+        assert "- inc" in chart and "- naive" in chart
+        assert chart.splitlines()[0] == "T"

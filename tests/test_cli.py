@@ -1,0 +1,180 @@
+"""End-to-end tests for the CLI (generate -> analyze -> check)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def generated(tmp_path):
+    out = tmp_path / "wl"
+    status = main(
+        [
+            "generate",
+            "--workload", "library",
+            "--length", "60",
+            "--seed", "3",
+            "--violation-rate", "0.4",
+            "--out", str(out),
+        ]
+    )
+    assert status == 0
+    return out
+
+
+class TestGenerate:
+    def test_writes_all_files(self, generated):
+        assert (generated / "schema.json").exists()
+        assert (generated / "history.jsonl").exists()
+        assert (generated / "constraints.txt").exists()
+
+    def test_all_workloads_generate(self, tmp_path):
+        for name in ("library", "orders", "sensors", "random"):
+            status = main(
+                [
+                    "generate", "--workload", name,
+                    "--length", "10", "--out", str(tmp_path / name),
+                ]
+            )
+            assert status == 0
+
+
+class TestCheck:
+    def test_detects_violations(self, generated, capsys):
+        status = main(
+            [
+                "check",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "violation(s)" in out
+        assert "checked 60 states" in out
+
+    def test_quiet_mode(self, generated, capsys):
+        status = main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+            ]
+        )
+        assert status == 1
+        assert capsys.readouterr().out == ""
+
+    def test_clean_history_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "clean"
+        main(
+            [
+                "generate", "--workload", "library", "--length", "40",
+                "--violation-rate", "0.0", "--out", str(out),
+            ]
+        )
+        status = main(
+            [
+                "check",
+                "--schema", str(out / "schema.json"),
+                "--constraints", str(out / "constraints.txt"),
+                "--history", str(out / "history.jsonl"),
+            ]
+        )
+        assert status == 0
+        assert "no violations" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["naive", "active"])
+    def test_other_engines(self, generated, engine):
+        status = main(
+            [
+                "check", "--quiet", "--engine", engine,
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+            ]
+        )
+        assert status == 1
+
+    def test_missing_file_reports_cleanly(self, generated, capsys):
+        bad = generated / "history.jsonl"
+        bad.write_text('{"t": 5}\n{"t": 4}\n')
+        status = main(
+            [
+                "check",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(bad),
+            ]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_profiles(self, tmp_path, capsys):
+        constraints = tmp_path / "c.txt"
+        constraints.write_text(
+            "ret: returned(p, b) -> ONCE[0,14] checkout(p, b);\n"
+            "bad: ONCE NOT returned(p, b)\n"
+        )
+        status = main(["analyze", "--constraints", str(constraints)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "ret" in out
+        assert "UNSAFE" in out
+        assert "14" in out
+
+
+class TestCheckpointFlow:
+    def test_split_run_equals_full_run(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(
+            [
+                "generate", "--workload", "library", "--length", "80",
+                "--seed", "5", "--violation-rate", "0.3", "--out", str(out),
+            ]
+        )
+        # split the history in two files
+        lines = (out / "history.jsonl").read_text().splitlines()
+        (out / "h1.jsonl").write_text("\n".join(lines[:40]) + "\n")
+        (out / "h2.jsonl").write_text("\n".join(lines[40:]) + "\n")
+
+        full = main(
+            [
+                "check", "--quiet",
+                "--schema", str(out / "schema.json"),
+                "--constraints", str(out / "constraints.txt"),
+                "--history", str(out / "history.jsonl"),
+            ]
+        )
+        first = main(
+            [
+                "check", "--quiet",
+                "--schema", str(out / "schema.json"),
+                "--constraints", str(out / "constraints.txt"),
+                "--history", str(out / "h1.jsonl"),
+                "--save-checkpoint", str(out / "ck.json"),
+            ]
+        )
+        second = main(
+            [
+                "check",
+                "--resume-from", str(out / "ck.json"),
+                "--history", str(out / "h2.jsonl"),
+            ]
+        )
+        capsys.readouterr()
+        # a violation anywhere makes the full run fail; the split run
+        # must catch the same second-half violations
+        assert full == 1
+        assert second in (0, 1)
+        assert (first == 1) or (second == 1)
+
+    def test_check_requires_schema_without_resume(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        history.write_text('{"t": 0}\n')
+        status = main(["check", "--history", str(history)])
+        assert status == 2
+        assert "required" in capsys.readouterr().err

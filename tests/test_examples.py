@@ -1,0 +1,102 @@
+"""The examples are part of the documentation: they must keep running.
+
+Each script is executed in a subprocess; a non-zero exit or a traceback
+fails the build.  Light output assertions pin the story each example
+tells (a violation is actually shown, the space table actually prints).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Traceback" not in result.stderr
+    return result.stdout
+
+
+def test_examples_directory_is_complete():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    expected = {
+        "quickstart.py",
+        "library_loans.py",
+        "order_deadlines.py",
+        "sensor_monitoring.py",
+        "request_grant_deadlines.py",
+        "checkpoint_resume.py",
+        "active_domain_semantics.py",
+        "aggregation_limits.py",
+        "active_rules_repair.py",
+    }
+    assert expected <= present
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "VIOLATION" in out
+    assert "'p': 'bob'" in out
+    assert "auxiliary tuples retained" in out
+
+
+def test_library_loans():
+    out = run_example("library_loans.py")
+    assert "violation(s) detected" in out
+    assert "space vs history length" in out
+    assert "incremental total check time" in out
+
+
+def test_order_deadlines():
+    out = run_example("order_deadlines.py")
+    assert "deadline misses detected" in out
+    assert "naive/incremental" in out
+
+
+def test_sensor_monitoring():
+    out = run_example("sensor_monitoring.py")
+    assert "compile-time space analysis" in out
+    assert "auxiliary state after" in out
+
+
+def test_request_grant_deadlines():
+    out = run_example("request_grant_deadlines.py")
+    assert "verdict delay (future horizon): 10" in out
+    assert "VIOLATION" in out
+    assert "flush verdict" in out
+
+
+def test_checkpoint_resume():
+    out = run_example("checkpoint_resume.py")
+    assert "verdicts identical" in out
+    assert "bytes" in out
+
+
+def test_active_domain_semantics():
+    out = run_example("active_domain_semantics.py")
+    assert "default engine rejects it" in out
+    assert "VIOLATION" in out
+    assert "cumulative active domain" in out
+
+
+def test_aggregation_limits():
+    out = run_example("aggregation_limits.py")
+    assert "holding-limit: {'p': 'ann', 'n': 4}" in out
+    assert "burst-limit" in out
+    assert "credit-limit: {'c': 'bob', 't': 120}" in out
+
+
+def test_active_rules_repair():
+    out = run_example("active_rules_repair.py")
+    assert "one-holder-repair" in out
+    assert "evicted" in out
+    assert "cyd holds book 7" in out

@@ -1,0 +1,104 @@
+"""Fuzz tests: hostile input must fail cleanly, never crash.
+
+The parser gets random text (it must either return a formula or raise
+`ParseError` with a position); the storage layer gets corrupted JSONL;
+compiled constraints get driven with every value type the schema
+allows.  These tests guard the library's error discipline: everything
+deliberate derives from `ReproError`.
+"""
+
+import json
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import Constraint
+from repro.core.formulas import Formula
+from repro.core.parser import parse, parse_constraints, tokenize
+from repro.db.storage import load_stream
+from repro.errors import HistoryError, ParseError, ReproError
+
+relaxed = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# characters the lexer knows, plus some it does not
+SOUP = (
+    string.ascii_letters + string.digits +
+    " ()[],.;:*&|<>=!-'\"\\\n\t@#$%"
+)
+
+
+@relaxed
+@given(text=st.text(alphabet=SOUP, max_size=60))
+def test_parser_never_crashes(text):
+    try:
+        result = parse(text)
+    except ParseError as exc:
+        assert exc.line >= 1 and exc.column >= 1
+    else:
+        assert isinstance(result, Formula)
+
+
+@relaxed
+@given(text=st.text(alphabet=SOUP, max_size=80))
+def test_constraint_files_never_crash(text):
+    try:
+        parsed = parse_constraints(text)
+    except ParseError:
+        return
+    for name, formula in parsed:
+        assert isinstance(name, str)
+        assert isinstance(formula, Formula)
+
+
+@relaxed
+@given(text=st.text(max_size=40))
+def test_tokenizer_handles_arbitrary_unicode(text):
+    try:
+        tokens = tokenize(text)
+    except ParseError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@relaxed
+@given(text=st.text(alphabet=SOUP, max_size=60))
+def test_constraint_compilation_raises_only_repro_errors(text):
+    try:
+        Constraint("fuzz", text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lines=st.lists(
+        st.one_of(
+            st.text(alphabet=SOUP, max_size=30),
+            st.builds(
+                lambda t, rel, row: json.dumps(
+                    {"t": t, "insert": {rel: [row]}}
+                ),
+                st.integers(-5, 100),
+                st.sampled_from(["p", "q"]),
+                st.lists(st.integers(0, 3), min_size=1, max_size=2),
+            ),
+        ),
+        max_size=6,
+    )
+)
+def test_stream_loader_never_crashes(tmp_path_factory, lines):
+    path = tmp_path_factory.mktemp("fuzz") / "h.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    try:
+        stream = load_stream(path)
+    except HistoryError as exc:
+        assert "line" in str(exc)
+    else:
+        times = [t for t, _ in stream]
+        assert times == sorted(set(times))

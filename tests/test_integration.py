@@ -1,0 +1,115 @@
+"""End-to-end integration: long workload runs across engines, the
+full persistence loop, and combined feature scenarios."""
+
+import pytest
+
+from repro import (
+    Constraint,
+    DatabaseSchema,
+    DelayedChecker,
+    IncrementalChecker,
+    Monitor,
+    Transaction,
+)
+from repro.core.persist import checkpoint_dict, restore_checker
+from repro.db.storage import dump_schema, dump_stream, load_schema, load_stream
+from repro.workloads import library_workload, orders_workload, sensors_workload
+
+
+class TestLongRunsAcrossEngines:
+    @pytest.mark.parametrize(
+        "build",
+        [library_workload, orders_workload, sensors_workload],
+        ids=["library", "orders", "sensors"],
+    )
+    def test_five_hundred_states_agree(self, build):
+        workload = build(violation_rate=0.1)
+        stream = workload.stream(500, seed=77)
+        incremental = workload.monitor("incremental")
+        naive_memo = workload.monitor("naive-memo")
+        mismatches = []
+        for time, txn in stream:
+            ri = incremental.step(time, txn)
+            rn = naive_memo.step(time, txn)
+            if ri.ok != rn.ok:
+                mismatches.append(time)
+        assert not mismatches
+        # and the run was not degenerate
+        assert incremental.checker.steps_processed == 500
+
+    def test_library_space_stays_bounded_over_long_run(self):
+        workload = library_workload(violation_rate=0.05)
+        checker = workload.checker()
+        peaks = []
+        for chunk in range(4):
+            stream = workload.stream(250, seed=chunk).shifted(
+                chunk * 10_000
+            )
+            for time, txn in stream:
+                checker.step(time, txn)
+            peaks.append(checker.aux_tuple_count())
+        # four chunks of 250 states: the final chunk's aux footprint
+        # must not exceed the first's by more than noise
+        assert peaks[-1] <= max(10, peaks[0] * 3 + 10)
+
+
+class TestPersistenceLoop:
+    def test_disk_round_trip_then_resume(self, tmp_path):
+        workload = library_workload(violation_rate=0.2)
+        stream = list(workload.stream(120, seed=5))
+        dump_schema(workload.schema, tmp_path / "schema.json")
+        dump_stream(stream, tmp_path / "history.jsonl")
+
+        schema = load_schema(tmp_path / "schema.json")
+        loaded = load_stream(tmp_path / "history.jsonl")
+        assert loaded == stream
+
+        checker = IncrementalChecker(schema, workload.constraints)
+        for time, txn in loaded[:60]:
+            checker.step(time, txn)
+        resumed = restore_checker(checkpoint_dict(checker))
+        tail_direct = [checker.step(t, txn).ok for t, txn in loaded[60:]]
+        tail_resumed = [resumed.step(t, txn).ok for t, txn in loaded[60:]]
+        assert tail_direct == tail_resumed
+
+
+class TestCombinedFeatures:
+    def test_aggregate_plus_future_plus_past(self):
+        """One constraint mixing aggregation, past, and bounded future."""
+        schema = DatabaseSchema.from_dict(
+            {"job": ["j"], "worker": ["w", "j"], "done": ["j"]}
+        )
+        constraint = Constraint(
+            "staffed-and-finished",
+            # every job with 2+ workers must finish within 20 units
+            "n = CNT(w; worker(w, j)) AND n >= 2 -> "
+            "EVENTUALLY[0,20] done(j)",
+        )
+        checker = DelayedChecker(schema, [constraint])
+        t = Transaction.builder
+        checker.step(0, t().insert("job", (1,))
+                          .insert("worker", ("a", 1), ("b", 1)).build())
+        checker.step(10, t().insert("done", (1,)).build())
+        checker.step(15, t().insert("job", (2,))
+                           .insert("worker", ("a", 2), ("b", 2)).build())
+        emitted = checker.step(40, Transaction.noop())
+        verdicts = {r.time: r.ok for r in emitted}
+        assert verdicts[0] is True, "job 1 done within 20"
+        for report in checker.finish():
+            verdicts[report.time] = report.ok
+        assert verdicts[15] is False, "job 2 never done"
+
+    def test_all_engines_on_one_scenario(self, tiny_schema):
+        text = "q(x) -> (NOT q(x)) SINCE[0,9] p(x)"
+        script = [
+            (0, Transaction({"p": [(1,)]})),
+            (2, Transaction({"q": [(1,)]}, {"p": [(1,)]})),
+            (4, Transaction({"q": [(2,)]})),
+            (13, Transaction.noop()),
+        ]
+        verdicts = {}
+        for engine in ("incremental", "naive", "naive-memo", "active", "adom"):
+            monitor = Monitor(tiny_schema, engine=engine)
+            monitor.add_constraint("c", text)
+            verdicts[engine] = [monitor.step(t, txn).ok for t, txn in script]
+        assert len(set(map(tuple, verdicts.values()))) == 1, verdicts

@@ -1,0 +1,93 @@
+"""Tests for the shape-fitting helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.shapes import (
+    crossover_index,
+    growth_order,
+    is_flat,
+    linear_fit,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([1, 2, 3], [5, 7, 9])
+        assert slope == pytest.approx(2)
+        assert intercept == pytest.approx(3)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2], [1, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+
+class TestGrowthOrder:
+    def test_linear_series(self):
+        xs = [50, 100, 200, 400]
+        assert growth_order(xs, [3 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_quadratic_series(self):
+        xs = [10, 20, 40, 80]
+        assert growth_order(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_flat_series(self):
+        assert abs(growth_order([10, 100, 1000], [7, 7, 7])) < 0.01
+
+    def test_noisy_flat_is_near_zero(self):
+        xs = [50, 100, 200, 400, 800]
+        ys = [52, 48, 55, 50, 49]
+        assert abs(growth_order(xs, ys)) < 0.2
+
+
+class TestIsFlat:
+    def test_flat(self):
+        assert is_flat([50, 60, 55, 70])
+
+    def test_growing(self):
+        assert not is_flat([10, 40, 160, 640])
+
+    def test_empty_and_zero(self):
+        assert is_flat([])
+        assert is_flat([0, 0])
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        first = [5, 4, 3, 2, 1]
+        second = [1, 2, 3, 4, 5]
+        assert crossover_index(first, second) == 2
+
+    def test_never(self):
+        assert crossover_index([5, 5], [1, 1]) is None
+
+    def test_immediately(self):
+        assert crossover_index([1, 1], [2, 2]) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_index([1], [1, 2])
+
+
+@given(
+    slope=st.floats(min_value=-5, max_value=5),
+    intercept=st.floats(min_value=-100, max_value=100),
+    xs=st.lists(
+        st.integers(min_value=-50, max_value=50).map(float),
+        min_size=3, max_size=10, unique=True,
+    ),
+)
+def test_fit_recovers_exact_lines(slope, intercept, xs):
+    ys = [slope * x + intercept for x in xs]
+    got_slope, got_intercept = linear_fit(xs, ys)
+    assert got_slope == pytest.approx(slope, abs=1e-6)
+    assert got_intercept == pytest.approx(intercept, abs=1e-4)
