@@ -8,7 +8,16 @@ last quarter of each run (the steady-state figure).
 
 Expected shape: incremental column flat; naive column growing roughly
 linearly in the history length.
+
+Set ``REPRO_E2_METRICS=/path/metrics.prom`` (or ``.json``) to also
+stream every per-step sample through a :mod:`repro.obs` metrics
+registry and dump it when the sweep completes — the same
+``repro_step_seconds`` families runtime instrumentation emits, for
+diffing benchmark runs against live telemetry.  The recorded
+``results/e2.txt`` table is unaffected either way.
 """
+
+import os
 
 import pytest
 
@@ -20,6 +29,13 @@ from repro.workloads import random_workload
 
 LENGTHS = [25, 50, 100, 200, 400]
 SEED = 202
+
+_METRICS_PATH = os.environ.get("REPRO_E2_METRICS")
+_REGISTRY = None
+if _METRICS_PATH:
+    from repro.obs import MetricsRegistry
+
+    _REGISTRY = MetricsRegistry()
 
 # window=None makes the first template constraint ONCE[0,*] (unbounded)
 WORKLOAD = random_workload(
@@ -35,7 +51,7 @@ def test_e2_incremental_step_time(benchmark, length):
     stream = WORKLOAD.stream(length, seed=SEED)
 
     def run():
-        return measure_run(WORKLOAD.checker(), stream)
+        return measure_run(WORKLOAD.checker(), stream, registry=_REGISTRY)
 
     metrics = benchmark.pedantic(run, rounds=1, iterations=1)
     _tail_us[("inc", length)] = metrics.tail_mean_step_seconds() * 1e6
@@ -48,7 +64,7 @@ def test_e2_naive_step_time(benchmark, length):
 
     def run():
         checker = NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints)
-        return measure_run(checker, stream)
+        return measure_run(checker, stream, registry=_REGISTRY)
 
     metrics = benchmark.pedantic(run, rounds=1, iterations=1)
     naive_us = metrics.tail_mean_step_seconds() * 1e6
@@ -81,3 +97,7 @@ def test_e2_naive_step_time(benchmark, length):
         assert growth_order(LENGTHS, naive) > 0.6, (
             "naive per-step time must grow with history length"
         )
+        if _REGISTRY is not None:
+            from repro.obs import write_metrics
+
+            write_metrics(_REGISTRY, _METRICS_PATH)

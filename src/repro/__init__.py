@@ -57,6 +57,12 @@ from repro.db import (
     Transaction,
     TransactionBuilder,
 )
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    MonitorInstrumentation,
+    Tracer,
+)
 from repro.errors import (
     MonitorError,
     ParseError,
@@ -80,9 +86,12 @@ __all__ = [
     "History",
     "HistoryEvaluator",
     "IncrementalChecker",
+    "Instrumentation",
     "Interval",
+    "MetricsRegistry",
     "Monitor",
     "MonitorError",
+    "MonitorInstrumentation",
     "NaiveChecker",
     "ParseError",
     "Relation",
@@ -94,6 +103,7 @@ __all__ = [
     "StreamGenerator",
     "Table",
     "TimeError",
+    "Tracer",
     "Transaction",
     "TransactionBuilder",
     "UnsafeFormulaError",

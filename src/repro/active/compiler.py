@@ -23,6 +23,7 @@ last and records violations.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.active.engine import ActiveDatabase
@@ -106,17 +107,23 @@ class ActiveChecker:
     :class:`~repro.core.checker.IncrementalChecker`.
     """
 
+    #: engine label used in telemetry series and by ``space_of``
+    engine_label = "active"
+
     def __init__(
         self,
         schema: DatabaseSchema,
         constraints: Sequence[Constraint],
         initial: Optional[DatabaseState] = None,
+        instrumentation=None,
     ):
         self.user_schema = schema
         self.constraints = list(constraints)
         for c in self.constraints:
             c.validate_schema(schema)
         reject_future_constraints(self.constraints, "active")
+        #: hook sink (None = disabled; see repro.obs.instrument)
+        self.instrumentation = instrumentation
 
         # assign one plan per structurally distinct temporal node,
         # registered bottom-up (post-order per constraint)
@@ -129,9 +136,22 @@ class ActiveChecker:
         self.schema = self._extend_schema(schema)
         base = self._lift_state(initial)
         self.engine = ActiveDatabase(self.schema, initial=base)
+        # rule firings reported under this checker's engine label
+        self.engine.instrumentation = instrumentation
+        self.engine.instrumentation_label = self.engine_label
         self._register_rules()
         self._index = -1
         self._step_violations: List[Violation] = []
+        # telemetry attribution: each constraint's node plans
+        self._constraint_plans = {
+            c.name: tuple(
+                {
+                    node: self._plans[node]
+                    for node in c.violation_formula.temporal_subformulas()
+                }.values()
+            )
+            for c in self.constraints
+        }
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -334,9 +354,21 @@ class ActiveChecker:
 
     def _check_action(self, engine: ActiveDatabase, event) -> None:
         provider = _ActiveProvider(self)
+        obs = self.instrumentation
         violations: List[Violation] = []
         for c in self.constraints:
-            witnesses = evaluate(c.violation_formula, provider)
+            if obs is not None:
+                started = perf_counter()
+                witnesses = evaluate(c.violation_formula, provider)
+                obs.constraint_checked(
+                    self.engine_label,
+                    c.name,
+                    perf_counter() - started,
+                    0 if witnesses.is_empty else max(1, len(witnesses)),
+                    self._plan_tuples(self._constraint_plans[c.name]),
+                )
+            else:
+                witnesses = evaluate(c.violation_formula, provider)
             if not witnesses.is_empty:
                 violations.append(
                     Violation(c.name, event.time, self._index, witnesses)
@@ -362,8 +394,22 @@ class ActiveChecker:
         txn.validate(self.user_schema)  # users may not touch aux tables
         self._index += 1
         self._step_violations = []
+        obs = self.instrumentation
+        if obs is None:
+            self.engine.commit(time, txn)
+            return StepReport(time, self._index, self._step_violations)
+        started = perf_counter()
+        obs.step_begin(self.engine_label, time, txn.size)
         self.engine.commit(time, txn)
-        return StepReport(time, self._index, self._step_violations)
+        report = StepReport(time, self._index, self._step_violations)
+        obs.step_end(
+            self.engine_label,
+            time,
+            perf_counter() - started,
+            len(report.violations),
+            self.aux_tuple_count(),
+        )
+        return report
 
     def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
         """Like :meth:`step` with the successor user state given directly."""
@@ -391,16 +437,23 @@ class ActiveChecker:
     # instrumentation
     # ------------------------------------------------------------------
 
-    def aux_tuple_count(self) -> int:
-        """Stored auxiliary rows (anchors + PREV carry-over tables)."""
-        total = 0
+    def _plan_tuples(self, plans: Sequence[_NodePlan]) -> int:
         state = self.engine.state
-        for plan in self._plans.values():
+        total = 0
+        for plan in plans:
             if isinstance(plan.node, Prev):
                 total += state.relation(plan.prev_operand_table).cardinality
             else:
                 total += state.relation(plan.aux_table).cardinality
         return total
+
+    def aux_tuple_count(self) -> int:
+        """Stored auxiliary rows (anchors + PREV carry-over tables)."""
+        return self._plan_tuples(list(self._plans.values()))
+
+    def space_tuples(self) -> int:
+        """Uniform space hook (stored tuples); every engine has one."""
+        return self.aux_tuple_count()
 
     @property
     def temporal_node_count(self) -> int:

@@ -14,6 +14,7 @@ A firing log is kept per commit for inspection and tests.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.active.events import Event, events_of
@@ -43,6 +44,10 @@ class ActiveDatabase:
         self._now: Optional[Timestamp] = None
         self._in_commit = False
         self.last_fired: List[str] = []
+        #: hook sink for rule firings (None = disabled); the owner may
+        #: also override the engine label reported with each firing
+        self.instrumentation = None
+        self.instrumentation_label = "active-db"
 
     # ------------------------------------------------------------------
     # rule management
@@ -104,11 +109,22 @@ class ActiveDatabase:
         events = events_of(time, txn)
         fired: List[str] = []
         self._in_commit = True
+        obs = self.instrumentation
         try:
             for rule in list(self._rules):
                 for event in events:
                     if rule.triggered_by(event, self.state):
-                        rule.fire(self, event)
+                        if obs is not None:
+                            started = perf_counter()
+                            rule.fire(self, event)
+                            obs.rule_fired(
+                                self.instrumentation_label,
+                                rule.name,
+                                time,
+                                perf_counter() - started,
+                            )
+                        else:
+                            rule.fire(self, event)
                         fired.append(rule.name)
         finally:
             self._in_commit = False

@@ -19,11 +19,25 @@ from repro.core.violations import RunReport
 
 
 def space_of(checker) -> int:
-    """The checker's current stored-tuple count, engine-agnostic."""
-    if hasattr(checker, "aux_tuple_count"):
-        return checker.aux_tuple_count()
-    if hasattr(checker, "stored_tuples"):
-        return checker.stored_tuples()
+    """The checker's current stored-tuple count, engine-agnostic.
+
+    Every engine (and :class:`~repro.core.monitor.Monitor`, via its
+    built checker) exposes the uniform ``space_tuples()`` hook; the
+    legacy per-engine method names are probed as a fallback so
+    third-party checkers that predate the hook stay measurable.
+    """
+    probe = getattr(checker, "space_tuples", None)
+    if probe is None:
+        # a Monitor façade measures its underlying engine
+        inner = getattr(checker, "checker", None)
+        if inner is not None:
+            probe = getattr(inner, "space_tuples", None)
+    if probe is not None:
+        return probe()
+    for legacy in ("aux_tuple_count", "stored_tuples"):
+        method = getattr(checker, legacy, None)
+        if method is not None:
+            return method()
     raise TypeError(f"cannot measure space of {type(checker).__name__}")
 
 
@@ -88,14 +102,43 @@ class RunMetrics:
         )
 
 
-def measure_run(checker, stream) -> RunMetrics:
-    """Drive ``checker`` through ``stream``, measuring every step."""
+def measure_run(checker, stream, registry=None) -> RunMetrics:
+    """Drive ``checker`` through ``stream``, measuring every step.
+
+    Args:
+        checker: any stepping engine.
+        stream: ``(time, transaction)`` pairs.
+        registry: optional :class:`repro.obs.metrics.MetricsRegistry`;
+            when given, every per-step sample is also emitted into the
+            same metric families runtime instrumentation uses
+            (``repro_step_seconds`` histogram, ``repro_aux_tuples_total``
+            gauge, labelled by engine), so benchmark measurements and
+            live telemetry share one pipeline and one naming scheme.
+    """
     step_seconds: List[float] = []
     space_samples: List[int] = []
+    step_hist = space_gauge = None
+    if registry is not None:
+        from repro.obs.instrument import AUX_TUPLES_TOTAL, STEP_SECONDS
+
+        label = getattr(checker, "engine_label", type(checker).__name__)
+        step_hist = registry.histogram(
+            STEP_SECONDS, help="End-to-end step time", engine=label
+        )
+        space_gauge = registry.gauge(
+            AUX_TUPLES_TOTAL,
+            help="Total stored tuples (engine space measure)",
+            engine=label,
+        )
     report = RunReport()
     for when, txn in stream:
         started = time.perf_counter()
         report.add(checker.step(when, txn))
-        step_seconds.append(time.perf_counter() - started)
-        space_samples.append(space_of(checker))
+        elapsed = time.perf_counter() - started
+        step_seconds.append(elapsed)
+        space = space_of(checker)
+        space_samples.append(space)
+        if step_hist is not None:
+            step_hist.observe(elapsed)
+            space_gauge.set(space)
     return RunMetrics(step_seconds, space_samples, report)

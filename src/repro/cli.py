@@ -1,16 +1,22 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check generate --workload library --length 200 --seed 1 --out DIR
-    repro-check analyze  --constraints c.txt
+    repro-check analyze  --constraints c.txt [--trace t.jsonl]
+    repro-check stats    --trace t.jsonl
 
 ``check`` replays a JSONL update stream against a constraint file and
-reports violations (exit status 1 if any).  ``generate`` materialises a
-workload into the on-disk format ``check`` consumes.  ``analyze``
-prints each constraint's compilation profile — safety verdict, clock
-horizon, temporal node counts — without running anything.
+reports violations (exit status 1 if any); ``--trace``/``--metrics``
+attach runtime observability (:mod:`repro.obs`) and write a JSONL span
+trace / a metrics dump (Prometheus text, or JSON for ``.json`` paths).
+``generate`` materialises a workload into the on-disk format ``check``
+consumes.  ``analyze`` prints each constraint's compilation profile —
+safety verdict, clock horizon, temporal node counts — and, given a
+trace, joins in the observed per-constraint runtime figures.  ``stats``
+summarises a trace: step/evaluate latencies per constraint and an
+ASCII step-latency histogram.
 """
 
 from __future__ import annotations
@@ -88,6 +94,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write a checkpoint after processing the stream "
              "(incremental engine only)",
     )
+    check.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a structured JSONL span trace of the run",
+    )
+    check.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a metrics dump (Prometheus text; JSON if the "
+             "file ends in .json)",
+    )
 
     generate = commands.add_parser(
         "generate", help="materialise a workload to disk"
@@ -111,13 +126,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="full per-constraint compilation report",
     )
+    analyze.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="JSONL trace from 'check --trace'; adds observed "
+             "per-constraint runtime columns",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="summarise a JSONL trace from 'check --trace'"
+    )
+    stats.add_argument(
+        "--trace", required=True, metavar="FILE",
+        help="JSONL trace written by 'check --trace'",
+    )
+    stats.add_argument(
+        "--width", type=int, default=42,
+        help="bar width of the latency histogram",
+    )
     return parser
+
+
+def _build_instrumentation(args):
+    """Tracer/registry wiring for ``check --trace/--metrics``."""
+    if not (args.trace or args.metrics):
+        return None, None, None
+    from repro.obs import MetricsRegistry, MonitorInstrumentation, Tracer
+
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
+    return MonitorInstrumentation(tracer, registry), tracer, registry
 
 
 def _command_check(args: argparse.Namespace) -> int:
     stream = load_stream(args.history)
+    instrumentation, tracer, registry = _build_instrumentation(args)
     if args.resume_from:
         monitor = Monitor.resume(args.resume_from)
+        monitor.instrument(instrumentation)
     else:
         if not args.schema or not args.constraints:
             raise ReproError(
@@ -125,11 +170,22 @@ def _command_check(args: argparse.Namespace) -> int:
                 "--resume-from is given"
             )
         schema = load_schema(args.schema)
-        monitor = Monitor(schema, engine=args.engine)
+        monitor = Monitor(
+            schema, engine=args.engine, instrumentation=instrumentation
+        )
         monitor.add_constraints_text(Path(args.constraints).read_text())
     report = monitor.run(stream)
     if args.save_checkpoint:
         monitor.save(args.save_checkpoint)
+    try:
+        if tracer is not None:
+            tracer.dump_jsonl(args.trace)
+        if registry is not None:
+            from repro.obs import write_metrics
+
+            write_metrics(registry, args.metrics)
+    except OSError as exc:
+        raise ReproError(f"cannot write telemetry: {exc}") from exc
     if args.quiet:
         return 0 if report.ok else 1
     print(
@@ -185,8 +241,38 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _constraint_trace_stats(events) -> dict:
+    """Per-constraint observed figures from ``evaluate`` spans."""
+    stats: dict = {}
+    for event in events:
+        if event.get("name") != "evaluate":
+            continue
+        entry = stats.setdefault(
+            event.get("constraint"),
+            {"evals": 0, "seconds": 0.0, "max": 0.0, "violations": 0},
+        )
+        entry["evals"] += 1
+        entry["seconds"] += event.get("duration", 0.0)
+        entry["max"] = max(entry["max"], event.get("duration", 0.0))
+        entry["violations"] += event.get("violations", 0)
+    return stats
+
+
+def _load_trace(path) -> list:
+    """Read a JSONL trace, mapping I/O and parse failures to ReproError."""
+    from repro.obs import read_trace
+
+    try:
+        return read_trace(path)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read trace {path}: {exc}") from exc
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     text = Path(args.constraints).read_text()
+    observed = {}
+    if args.trace:
+        observed = _constraint_trace_stats(_load_trace(args.trace))
     rows = []
     for name, formula in parse_constraints(text):
         try:
@@ -202,24 +288,120 @@ def _command_analyze(args: argparse.Namespace) -> int:
             continue
         prof = profile(constraint.violation_formula)
         horizon = "*" if prof.horizon is None else prof.horizon
-        rows.append(
+        row = [
+            name,
+            "ok",
+            prof.temporal_nodes,
+            prof.temporal_depth,
+            horizon,
+            str(formula)[:60],
+        ]
+        if args.trace:
+            entry = observed.get(name)
+            row += (
+                [
+                    entry["evals"],
+                    round(entry["seconds"] / entry["evals"] * 1e6, 1),
+                    entry["violations"],
+                ]
+                if entry
+                else [0, None, None]
+            )
+        rows.append(row)
+    if rows or not args.verbose:
+        headers = ["constraint", "status", "nodes", "depth", "horizon",
+                   "formula"]
+        if args.trace:
+            headers += ["evals", "mean us", "violations"]
+        print(format_table(headers, rows))
+    return 0
+
+
+def _format_seconds(seconds: float) -> str:
+    """Human-scale duration for histogram bucket labels."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:g}ms"
+    return f"{seconds:g}s"
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_plot import bar_chart
+    from repro.obs import DEFAULT_LATENCY_BUCKETS
+
+    events = _load_trace(args.trace)
+    steps = [e for e in events if e.get("name") == "step"]
+    if not steps:
+        print(f"no step spans in {args.trace}")
+        return 1
+    durations = sorted(e.get("duration", 0.0) for e in steps)
+    total = sum(durations)
+    engines = sorted({e.get("engine") for e in steps if e.get("engine")})
+    violations = sum(e.get("violations", 0) for e in steps)
+    print(
+        format_table(
+            ["steps", "engine", "total ms", "mean us", "p50 us", "p95 us",
+             "max us", "violating steps"],
+            [[
+                len(durations),
+                ",".join(engines) or "-",
+                round(total * 1e3, 2),
+                round(total / len(durations) * 1e6, 1),
+                round(durations[len(durations) // 2] * 1e6, 1),
+                round(durations[int(len(durations) * 0.95)
+                                if len(durations) > 1 else 0] * 1e6, 1),
+                round(durations[-1] * 1e6, 1),
+                sum(1 for e in steps if e.get("violations", 0)),
+            ]],
+            title=f"trace summary ({violations} violation(s) reported)",
+        )
+    )
+
+    per_constraint = _constraint_trace_stats(events)
+    if per_constraint:
+        rows = [
             [
                 name,
-                "ok",
-                prof.temporal_nodes,
-                prof.temporal_depth,
-                horizon,
-                str(formula)[:60],
+                entry["evals"],
+                round(entry["seconds"] / entry["evals"] * 1e6, 1),
+                round(entry["max"] * 1e6, 1),
+                entry["violations"],
             ]
-        )
-    if rows or not args.verbose:
+            for name, entry in sorted(per_constraint.items())
+        ]
+        print()
         print(
             format_table(
-                ["constraint", "status", "nodes", "depth", "horizon",
-                 "formula"],
+                ["constraint", "evals", "mean us", "max us", "violations"],
                 rows,
+                title="per-constraint evaluation",
             )
         )
+
+    # fixed-bucket latency histogram over the non-empty range
+    counts = [0] * (len(DEFAULT_LATENCY_BUCKETS) + 1)
+    for duration in durations:
+        for i, bound in enumerate(DEFAULT_LATENCY_BUCKETS):
+            if duration <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = [
+        "<=" + _format_seconds(b) for b in DEFAULT_LATENCY_BUCKETS
+    ] + [">" + _format_seconds(DEFAULT_LATENCY_BUCKETS[-1])]
+    populated = [i for i, c in enumerate(counts) if c]
+    lo, hi = populated[0], populated[-1]
+    print()
+    print(
+        bar_chart(
+            labels[lo:hi + 1],
+            counts[lo:hi + 1],
+            width=args.width,
+            title="step latency distribution",
+        )
+    )
     return 0
 
 
@@ -231,6 +413,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_check(args)
         if args.command == "generate":
             return _command_generate(args)
+        if args.command == "stats":
+            return _command_stats(args)
         return _command_analyze(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -37,6 +37,7 @@ this engine trades efficiency for expressiveness, by design.
 from __future__ import annotations
 
 import itertools
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.auxiliary import AuxiliaryState, make_auxiliary
@@ -335,11 +336,15 @@ class ActiveDomainChecker:
     ``Constraint(name, formula, require_safe=False)``).
     """
 
+    #: engine label used in telemetry series and by ``space_of``
+    engine_label = "adom"
+
     def __init__(
         self,
         schema: DatabaseSchema,
         constraints: Sequence[Constraint],
         initial: Optional[DatabaseState] = None,
+        instrumentation=None,
     ):
         self.schema = schema
         self.constraints = list(constraints)
@@ -347,6 +352,8 @@ class ActiveDomainChecker:
             c.validate_schema(schema)
             check_adom_compatible(c.violation_formula)
         reject_future_constraints(self.constraints, "adom")
+        #: hook sink (None = disabled; see repro.obs.instrument)
+        self.instrumentation = instrumentation
         self.state = (
             initial if initial is not None else DatabaseState.empty(schema)
         )
@@ -362,6 +369,17 @@ class ActiveDomainChecker:
                     self._aux[node] = make_auxiliary(node)
         self._time: Optional[Timestamp] = None
         self._index = -1
+        # telemetry attribution (see IncrementalChecker)
+        self._constraint_aux = {
+            c.name: tuple(
+                {
+                    node: self._aux[node]
+                    for node in c.violation_formula.temporal_subformulas()
+                }.values()
+            )
+            for c in self.constraints
+        }
+        self._node_labels = {node: str(node) for node in self._aux}
 
     @property
     def now(self) -> Optional[Timestamp]:
@@ -376,13 +394,30 @@ class ActiveDomainChecker:
     def step(self, time: Timestamp, txn: Transaction) -> StepReport:
         """Apply ``txn`` at ``time`` and check all constraints."""
         validate_successor(self._time, time)
+        obs = self.instrumentation
+        if obs is not None:
+            started = perf_counter()
+            obs.step_begin(self.engine_label, time, txn.size)
         self.state = self.state.apply(txn)
         for rows in txn.inserts.values():
             for row in rows:
                 self.domain.update(row)
+        if obs is not None:
+            obs.apply_done(
+                self.engine_label, time, perf_counter() - started
+            )
         self._time = time
         self._index += 1
-        return self._check_current()
+        report = self._check_current()
+        if obs is not None:
+            obs.step_end(
+                self.engine_label,
+                time,
+                perf_counter() - started,
+                len(report.violations),
+                self.aux_tuple_count(),
+            )
+        return report
 
     def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
         """Like :meth:`step`, but with the successor state given directly."""
@@ -412,14 +447,41 @@ class ActiveDomainChecker:
                 return table
             return context.join(table)
 
+        obs = self.instrumentation
         for node, aux in self._aux.items():
-            virtual[node] = aux.advance(time, evaluate_now)
+            if obs is not None:
+                started = perf_counter()
+                virtual[node] = aux.advance(time, evaluate_now)
+                obs.aux_advanced(
+                    self.engine_label,
+                    self._node_labels[node],
+                    perf_counter() - started,
+                    aux.tuple_count(),
+                )
+            else:
+                virtual[node] = aux.advance(time, evaluate_now)
 
         violations: List[Violation] = []
         for c in self.constraints:
-            witnesses = evaluate_adom(
-                c.violation_formula, provider, domain
-            )
+            if obs is not None:
+                started = perf_counter()
+                witnesses = evaluate_adom(
+                    c.violation_formula, provider, domain
+                )
+                obs.constraint_checked(
+                    self.engine_label,
+                    c.name,
+                    perf_counter() - started,
+                    0 if witnesses.is_empty else max(1, len(witnesses)),
+                    sum(
+                        a.tuple_count()
+                        for a in self._constraint_aux[c.name]
+                    ),
+                )
+            else:
+                witnesses = evaluate_adom(
+                    c.violation_formula, provider, domain
+                )
             if not witnesses.is_empty:
                 violations.append(
                     Violation(c.name, time, self._index, witnesses)
@@ -436,6 +498,10 @@ class ActiveDomainChecker:
     def domain_size(self) -> int:
         """Cumulative active-domain cardinality (grows monotonically)."""
         return len(self.domain)
+
+    def space_tuples(self) -> int:
+        """Uniform space hook (stored tuples); every engine has one."""
+        return self.aux_tuple_count()
 
     @property
     def temporal_node_count(self) -> int:

@@ -20,6 +20,7 @@ are exactly the violating valuations.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.auxiliary import AuxiliaryState, make_auxiliary
@@ -148,12 +149,16 @@ class _StateProvider(AtomProvider):
 class IncrementalChecker:
     """Checks constraints over an update stream in bounded space."""
 
+    #: engine label used in telemetry series and by ``space_of``
+    engine_label = "incremental"
+
     def __init__(
         self,
         schema: DatabaseSchema,
         constraints: Sequence[Constraint],
         initial: Optional[DatabaseState] = None,
         collapse_unbounded: bool = True,
+        instrumentation=None,
     ):
         """Args:
             schema: the database schema.
@@ -162,6 +167,10 @@ class IncrementalChecker:
             collapse_unbounded: use the min-timestamp encoding for
                 unbounded intervals (default; ``False`` is an ablation
                 that stores every anchor — see benchmark E9).
+            instrumentation: optional
+                :class:`repro.obs.instrument.Instrumentation` receiving
+                step/aux/constraint telemetry; ``None`` (default) keeps
+                the hot path hook-free.
         """
         self.schema = schema
         self.constraints = list(constraints)
@@ -201,6 +210,21 @@ class IncrementalChecker:
         self._touched: Optional[frozenset] = None
         #: constraint evaluations actually performed (instrumentation)
         self.evaluations = 0
+        #: hook sink (None = disabled; see repro.obs.instrument)
+        self.instrumentation = instrumentation
+        # telemetry attribution, precomputed so enabled-path lookups
+        # are dict reads: each constraint's aux states and each node's
+        # printable label
+        self._constraint_aux = {
+            c.name: tuple(
+                {
+                    node: self._aux[node]
+                    for node in c.violation_formula.temporal_subformulas()
+                }.values()
+            )
+            for c in self.constraints
+        }
+        self._node_labels = {node: str(node) for node in self._aux}
 
     # ------------------------------------------------------------------
     # stepping
@@ -225,22 +249,52 @@ class IncrementalChecker:
             A :class:`StepReport` with any violations at the new state.
         """
         validate_successor(self._time, time)
+        obs = self.instrumentation
+        if obs is not None:
+            started = perf_counter()
+            obs.step_begin(self.engine_label, time, txn.size)
         self.state = self.state.apply(txn)
+        if obs is not None:
+            obs.apply_done(
+                self.engine_label, time, perf_counter() - started
+            )
         self._time = time
         self._index += 1
         self._touched = txn.touched_relations()
-        return self._check_current()
+        report = self._check_current()
+        if obs is not None:
+            obs.step_end(
+                self.engine_label,
+                time,
+                perf_counter() - started,
+                len(report.violations),
+                self.aux_tuple_count(),
+            )
+        return report
 
     def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
         """Like :meth:`step`, but with the successor state given directly."""
         validate_successor(self._time, time)
         if state.schema != self.schema:
             raise MonitorError("state does not match checker schema")
+        obs = self.instrumentation
+        if obs is not None:
+            started = perf_counter()
+            obs.step_begin(self.engine_label, time, None)
         self.state = state
         self._time = time
         self._index += 1
         self._touched = None  # unknown delta: no verdict reuse
-        return self._check_current()
+        report = self._check_current()
+        if obs is not None:
+            obs.step_end(
+                self.engine_label,
+                time,
+                perf_counter() - started,
+                len(report.violations),
+                self.aux_tuple_count(),
+            )
+        return report
 
     def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
         """Process a whole update stream; return the aggregate report."""
@@ -263,14 +317,39 @@ class IncrementalChecker:
         def evaluate_now(formula: Formula, context: Optional[Table] = None) -> Table:
             return evaluate(formula, provider, context)
 
+        obs = self.instrumentation
         # bottom-up: registration order is post-order per constraint, so
         # any node's children were registered (hence advanced) before it
         for node, aux in self._aux.items():
-            virtual[node] = aux.advance(time, evaluate_now)
+            if obs is not None:
+                started = perf_counter()
+                virtual[node] = aux.advance(time, evaluate_now)
+                obs.aux_advanced(
+                    self.engine_label,
+                    self._node_labels[node],
+                    perf_counter() - started,
+                    aux.tuple_count(),
+                )
+            else:
+                virtual[node] = aux.advance(time, evaluate_now)
 
         violations: List[Violation] = []
         for c in self.constraints:
-            witnesses = self._witnesses_for(c, provider)
+            if obs is not None:
+                started = perf_counter()
+                witnesses = self._witnesses_for(c, provider)
+                obs.constraint_checked(
+                    self.engine_label,
+                    c.name,
+                    perf_counter() - started,
+                    0 if witnesses.is_empty else max(1, len(witnesses)),
+                    sum(
+                        a.tuple_count()
+                        for a in self._constraint_aux[c.name]
+                    ),
+                )
+            else:
+                witnesses = self._witnesses_for(c, provider)
             if not witnesses.is_empty:
                 violations.append(
                     Violation(c.name, time, self._index, witnesses)
@@ -301,6 +380,10 @@ class IncrementalChecker:
         """Total (valuation, timestamp) entries across all auxiliary
         relations — the paper's space measure."""
         return sum(a.tuple_count() for a in self._aux.values())
+
+    def space_tuples(self) -> int:
+        """Uniform space hook (stored tuples); every engine has one."""
+        return self.aux_tuple_count()
 
     def aux_valuation_count(self) -> int:
         """Total distinct valuations across all auxiliary relations."""

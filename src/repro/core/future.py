@@ -330,6 +330,10 @@ class DelayedChecker:
         """Tuples held by the finite verdict-delay buffer."""
         return sum(entry.state.total_rows for entry in self._window)
 
+    def space_tuples(self) -> int:
+        """Uniform space hook: past aux entries plus the delay buffer."""
+        return self.aux_tuple_count() + self.buffered_tuples()
+
 
 class _ArrivalProvider(AtomProvider):
     """Provider used while advancing past aux at arrival time."""

@@ -52,7 +52,18 @@ class Monitor:
         schema: DatabaseSchema,
         engine: str = "incremental",
         initial: Optional[DatabaseState] = None,
+        instrumentation=None,
     ):
+        """Args:
+            schema: the database schema.
+            engine: one of :data:`ENGINES`.
+            initial: base state the first transaction applies to.
+            instrumentation: optional
+                :class:`repro.obs.instrument.Instrumentation` (e.g. a
+                :class:`repro.obs.instrument.MonitorInstrumentation`)
+                receiving runtime telemetry from the engine; ``None``
+                (default) disables all hooks.
+        """
         if engine not in ENGINES:
             raise MonitorError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
@@ -60,6 +71,7 @@ class Monitor:
         self.schema = schema
         self.engine = engine
         self.initial = initial
+        self.instrumentation = instrumentation
         self.constraints: List[Constraint] = []
         self._checker = None
         self._violation_handlers: List = []
@@ -115,29 +127,46 @@ class Monitor:
     def _build_checker(self):
         if self.engine == "incremental":
             return IncrementalChecker(
-                self.schema, self.constraints, initial=self.initial
+                self.schema, self.constraints, initial=self.initial,
+                instrumentation=self.instrumentation,
             )
         if self.engine == "naive":
             return NaiveChecker(
                 self.schema, self.constraints, initial=self.initial,
-                memoize=False,
+                memoize=False, instrumentation=self.instrumentation,
             )
         if self.engine == "naive-memo":
             return NaiveChecker(
                 self.schema, self.constraints, initial=self.initial,
-                memoize=True,
+                memoize=True, instrumentation=self.instrumentation,
             )
         if self.engine == "active":
             from repro.active.compiler import ActiveChecker
 
             return ActiveChecker(
-                self.schema, self.constraints, initial=self.initial
+                self.schema, self.constraints, initial=self.initial,
+                instrumentation=self.instrumentation,
             )
         from repro.core.adom import ActiveDomainChecker
 
         return ActiveDomainChecker(
-            self.schema, self.constraints, initial=self.initial
+            self.schema, self.constraints, initial=self.initial,
+            instrumentation=self.instrumentation,
         )
+
+    def instrument(self, instrumentation) -> None:
+        """Attach (or detach, with ``None``) runtime instrumentation.
+
+        Takes effect immediately, including on an already-built engine —
+        the hook for resuming from a checkpoint and for toggling
+        telemetry mid-run.
+        """
+        self.instrumentation = instrumentation
+        if self._checker is not None:
+            self._checker.instrumentation = instrumentation
+            engine = getattr(self._checker, "engine", None)
+            if engine is not None and hasattr(engine, "instrumentation"):
+                engine.instrumentation = instrumentation
 
     def on_violation(self, handler) -> None:
         """Register ``handler(violation)`` to run on every violation.

@@ -21,6 +21,7 @@ property tests drive them interchangeably.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence, Union
 
 from repro.core.checker import Constraint, reject_future_constraints
@@ -44,6 +45,7 @@ class NaiveChecker:
         constraints: Sequence[Constraint],
         initial: Optional[DatabaseState] = None,
         memoize: bool = False,
+        instrumentation=None,
     ):
         self.schema = schema
         self.constraints = list(constraints)
@@ -60,6 +62,13 @@ class NaiveChecker:
         self._evaluator: Optional[HistoryEvaluator] = (
             HistoryEvaluator(self.history) if memoize else None
         )
+        #: engine label used in telemetry series and by ``space_of``
+        self.engine_label = "naive-memo" if memoize else "naive"
+        #: hook sink (None = disabled; see repro.obs.instrument)
+        self.instrumentation = instrumentation
+        # row count of the transaction currently being stepped, handed
+        # from step() to step_state() for the step_begin hook
+        self._txn_rows: Optional[int] = None
 
     @property
     def now(self) -> Optional[Timestamp]:
@@ -76,11 +85,22 @@ class NaiveChecker:
         base = (
             self.history.last.state if not self.history.is_empty else self._base
         )
+        if self.instrumentation is not None:
+            self._txn_rows = txn.size
         return self.step_state(time, base.apply(txn))
 
     def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
         """Like :meth:`step`, but with the successor state given directly."""
+        obs = self.instrumentation
+        if obs is not None:
+            started = perf_counter()
+            obs.step_begin(self.engine_label, time, self._txn_rows)
+            self._txn_rows = None
         self.history.append(time, state)
+        if obs is not None:
+            obs.apply_done(
+                self.engine_label, time, perf_counter() - started
+            )
         index = self.history.length - 1
         evaluator = (
             self._evaluator
@@ -89,10 +109,32 @@ class NaiveChecker:
         )
         violations: List[Violation] = []
         for c in self.constraints:
-            witnesses = evaluator.table_at(c.violation_formula, index)
+            if obs is not None:
+                eval_started = perf_counter()
+                witnesses = evaluator.table_at(c.violation_formula, index)
+                # the naive engines have no per-constraint auxiliary
+                # store, so no aux_tuples attribution (None)
+                obs.constraint_checked(
+                    self.engine_label,
+                    c.name,
+                    perf_counter() - eval_started,
+                    0 if witnesses.is_empty else max(1, len(witnesses)),
+                    None,
+                )
+            else:
+                witnesses = evaluator.table_at(c.violation_formula, index)
             if not witnesses.is_empty:
                 violations.append(Violation(c.name, time, index, witnesses))
-        return StepReport(time, index, violations)
+        report = StepReport(time, index, violations)
+        if obs is not None:
+            obs.step_end(
+                self.engine_label,
+                time,
+                perf_counter() - started,
+                len(violations),
+                self.stored_tuples(),
+            )
+        return report
 
     def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
         """Process a whole update stream; return the aggregate report."""
@@ -108,3 +150,7 @@ class NaiveChecker:
     def stored_tuples(self) -> int:
         """Total tuples across all retained states (space in tuples)."""
         return sum(snap.state.total_rows for snap in self.history)
+
+    def space_tuples(self) -> int:
+        """Uniform space hook (stored tuples); every engine has one."""
+        return self.stored_tuples()

@@ -1,0 +1,57 @@
+"""Runtime observability: structured tracing and metrics.
+
+The paper's claims are quantitative (bounded space, constant step
+time), so the monitor carries always-on-capable telemetry: engines call
+the narrow :class:`~repro.obs.instrument.Instrumentation` hooks, and
+:class:`~repro.obs.instrument.MonitorInstrumentation` routes them to a
+:class:`~repro.obs.tracer.Tracer` (JSONL span traces) and/or a
+:class:`~repro.obs.metrics.MetricsRegistry` (Prometheus-exportable
+counters, gauges, latency histograms)::
+
+    from repro import Monitor
+    from repro.obs import MetricsRegistry, MonitorInstrumentation, Tracer
+
+    tracer, registry = Tracer(), MetricsRegistry()
+    monitor = Monitor(
+        schema,
+        instrumentation=MonitorInstrumentation(tracer, registry),
+    )
+    ...  # step / run as usual
+    tracer.dump_jsonl("trace.jsonl")
+    print(render_prometheus(registry))
+
+With no instrumentation attached, every hook site is a single ``None``
+check — see ``docs/observability.md`` for the overhead discussion.
+"""
+
+from repro.obs.export import (
+    render_json,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.instrument import Instrumentation, MonitorInstrumentation
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "MonitorInstrumentation",
+    "Tracer",
+    "read_trace",
+    "render_json",
+    "render_prometheus",
+    "write_metrics",
+]

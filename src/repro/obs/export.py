@@ -1,0 +1,140 @@
+"""Exporters for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two wire formats:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, labelled samples, cumulative
+  ``_bucket`` series with ``le`` labels plus ``_sum``/``_count``), so a
+  dump can be scraped, ``promtool``-checked, or diffed;
+* :func:`render_json` — the same content as a JSON document, for
+  programmatic consumers (``repro stats``, tests, dashboards without a
+  Prometheus stack).
+
+Both iterate the registry in its deterministic family/label order, so
+identical runs produce byte-identical output — which is what the
+golden-file tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+PathLike = Union[str, Path]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_number(value: float) -> str:
+    """Render a sample value: integers bare, floats via ``repr``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_string(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{key}="{escape_label_value(val)}"'
+        for key, val in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, kind, help_text, series in registry.families():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, child in series:
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_label_string(labels)} "
+                    f"{format_number(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                bounds = [format_number(b) for b in child.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    le = f'le="{bound}"'
+                    lines.append(
+                        f"{name}_bucket{_label_string(labels, le)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_string(labels)} "
+                    f"{format_number(child.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_label_string(labels)} {child.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry) -> Dict:
+    """The registry as a JSON-able document (stable ordering).
+
+    Layout::
+
+        {"metrics": [
+            {"name": ..., "type": ..., "help": ...,
+             "series": [{"labels": {...}, "value": ...} |
+                        {"labels": {...}, "count": n, "sum": s,
+                         "buckets": [{"le": bound, "count": c}, ...]}]}
+        ]}
+    """
+    families = []
+    for name, kind, help_text, series in registry.families():
+        rendered = []
+        for labels, child in series:
+            entry: Dict = {"labels": dict(sorted(labels.items()))}
+            if isinstance(child, Histogram):
+                entry["count"] = child.count
+                entry["sum"] = child.sum
+                bounds = list(child.buckets) + ["+Inf"]
+                entry["buckets"] = [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(
+                        bounds, child.cumulative_counts()
+                    )
+                ]
+            else:
+                entry["value"] = child.value
+            rendered.append(entry)
+        families.append(
+            {
+                "name": name,
+                "type": kind,
+                "help": help_text,
+                "series": rendered,
+            }
+        )
+    return {"metrics": families}
+
+
+def write_metrics(registry: MetricsRegistry, path: PathLike) -> None:
+    """Write the registry to ``path``: JSON if the suffix is ``.json``,
+    Prometheus text otherwise."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(
+            json.dumps(render_json(registry), indent=2) + "\n",
+            encoding="utf-8",
+        )
+    else:
+        path.write_text(render_prometheus(registry), encoding="utf-8")

@@ -1,0 +1,220 @@
+"""The hook protocol between checking engines and telemetry backends.
+
+Engines call a narrow set of hooks; what the hooks *do* is the
+backend's business.  Two implementations ship:
+
+* :class:`Instrumentation` — the no-op base/protocol.  Engines keep a
+  plain ``instrumentation`` attribute defaulting to ``None`` and guard
+  every hook site with ``if obs is not None``, so the disabled path
+  costs one attribute load + comparison per site and allocates nothing.
+* :class:`MonitorInstrumentation` — bridges hooks onto a
+  :class:`~repro.obs.tracer.Tracer` (structured spans) and/or a
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  latency histograms), either of which may be omitted.
+
+Hook vocabulary (all durations in seconds, all times the *monitored*
+stream's logical timestamps):
+
+========================  ============================================
+``step_begin``            a transaction is about to be applied
+``apply_done``            the successor state has been computed
+``aux_advanced``          one auxiliary relation folded in the new state
+``rule_fired``            one ECA rule ran (active engine only)
+``constraint_checked``    one constraint's violation formula evaluated
+``step_end``              the step's report is complete
+========================  ============================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Tracer
+
+# Metric family names — shared with repro.analysis.metrics so benchmark
+# samples and runtime telemetry land in the same series.
+STEPS_TOTAL = "repro_steps_total"
+STEP_SECONDS = "repro_step_seconds"
+APPLY_SECONDS = "repro_apply_seconds"
+TXN_ROWS = "repro_txn_rows"
+EVAL_SECONDS = "repro_constraint_eval_seconds"
+VIOLATIONS_TOTAL = "repro_violations_total"
+AUX_TUPLES = "repro_aux_tuples"
+AUX_TUPLES_TOTAL = "repro_aux_tuples_total"
+AUX_NODE_TUPLES = "repro_aux_node_tuples"
+RULES_FIRED_TOTAL = "repro_rules_fired_total"
+
+
+class Instrumentation:
+    """No-op base class for engine hooks (the protocol).
+
+    Subclass and override the hooks you care about; every method has an
+    empty body here, so a partial override is safe.  Engines never call
+    hooks on a ``None`` instrumentation — passing no instrumentation
+    keeps the hot path free of even these no-op calls.
+    """
+
+    __slots__ = ()
+
+    def step_begin(self, engine, time, txn_rows) -> None:
+        """A step is starting: ``txn_rows`` is the transaction's row
+        count (inserts + deletes), or ``None`` when the successor state
+        was given directly."""
+
+    def apply_done(self, engine, time, seconds) -> None:
+        """The transaction has been applied to produce the new state."""
+
+    def aux_advanced(self, engine, node, seconds, tuples) -> None:
+        """One temporal node's auxiliary relation has been advanced;
+        ``tuples`` is its stored-entry count afterwards."""
+
+    def rule_fired(self, engine, rule, time, seconds) -> None:
+        """One ECA rule fired during a commit (active engine)."""
+
+    def constraint_checked(
+        self, engine, constraint, seconds, violations, aux_tuples
+    ) -> None:
+        """One constraint's violation formula was evaluated;
+        ``violations`` is the witness count (0 when satisfied) and
+        ``aux_tuples`` the constraint's auxiliary footprint, or ``None``
+        for engines without a per-constraint store."""
+
+    def step_end(self, engine, time, seconds, violations, aux_tuples) -> None:
+        """The step finished: total duration, violation count across
+        all constraints, and the engine's total stored-tuple space."""
+
+
+class MonitorInstrumentation(Instrumentation):
+    """Routes engine hooks to a tracer and/or a metrics registry.
+
+    Args:
+        tracer: receives one ``step`` span per step enclosing
+            ``apply`` / ``aux`` / ``rule`` / ``evaluate`` child spans.
+        metrics: receives the standard metric families (step and
+            per-constraint latency histograms, violation counters,
+            aux-tuple gauges, transaction-size histograms).
+
+    Either backend may be ``None``.  One instance may serve several
+    engines concurrently — series are split by the ``engine`` label —
+    but tracer span nesting assumes single-threaded stepping.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def step_begin(self, engine, time, txn_rows) -> None:
+        """Open the step span; count the step and its transaction size."""
+        if self.tracer is not None:
+            self.tracer.begin("step", engine=engine, time=time)
+        if self.metrics is not None:
+            self.metrics.counter(
+                STEPS_TOTAL, help="Steps processed", engine=engine
+            ).inc()
+            if txn_rows is not None:
+                self.metrics.histogram(
+                    TXN_ROWS,
+                    buckets=DEFAULT_SIZE_BUCKETS,
+                    help="Transaction size in rows",
+                    engine=engine,
+                ).observe(txn_rows)
+
+    def apply_done(self, engine, time, seconds) -> None:
+        """Record the transaction-apply child span and latency."""
+        if self.tracer is not None:
+            self.tracer.event("apply", seconds, engine=engine, time=time)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                APPLY_SECONDS,
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                help="Transaction apply time",
+                engine=engine,
+            ).observe(seconds)
+
+    def aux_advanced(self, engine, node, seconds, tuples) -> None:
+        """Record the aux-update child span; gauge the node's size."""
+        if self.tracer is not None:
+            self.tracer.event(
+                "aux", seconds, engine=engine, node=node, tuples=tuples
+            )
+        if self.metrics is not None:
+            self.metrics.gauge(
+                AUX_NODE_TUPLES,
+                help="Stored entries per temporal subformula",
+                engine=engine,
+                node=node,
+            ).set(tuples)
+
+    def rule_fired(self, engine, rule, time, seconds) -> None:
+        """Record the rule-firing child span; count firings per rule."""
+        if self.tracer is not None:
+            self.tracer.event("rule", seconds, engine=engine, rule=rule)
+        if self.metrics is not None:
+            self.metrics.counter(
+                RULES_FIRED_TOTAL,
+                help="ECA rule firings",
+                engine=engine,
+                rule=rule,
+            ).inc()
+
+    def constraint_checked(
+        self, engine, constraint, seconds, violations, aux_tuples
+    ) -> None:
+        """Record the evaluate child span and per-constraint series."""
+        if self.tracer is not None:
+            self.tracer.event(
+                "evaluate",
+                seconds,
+                engine=engine,
+                constraint=constraint,
+                violations=violations,
+            )
+        if self.metrics is not None:
+            self.metrics.histogram(
+                EVAL_SECONDS,
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                help="Per-constraint evaluation time",
+                engine=engine,
+                constraint=constraint,
+            ).observe(seconds)
+            self.metrics.counter(
+                VIOLATIONS_TOTAL,
+                help="Violations reported",
+                engine=engine,
+                constraint=constraint,
+            ).inc(violations)
+            if aux_tuples is not None:
+                self.metrics.gauge(
+                    AUX_TUPLES,
+                    help="Auxiliary tuples attributable to the constraint",
+                    engine=engine,
+                    constraint=constraint,
+                ).set(aux_tuples)
+
+    def step_end(self, engine, time, seconds, violations, aux_tuples) -> None:
+        """Close the step span; record step latency and total space."""
+        if self.tracer is not None:
+            self.tracer.end(violations=violations)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                STEP_SECONDS,
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                help="End-to-end step time",
+                engine=engine,
+            ).observe(seconds)
+            self.metrics.gauge(
+                AUX_TUPLES_TOTAL,
+                help="Total stored tuples (engine space measure)",
+                engine=engine,
+            ).set(aux_tuples)

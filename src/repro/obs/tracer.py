@@ -1,0 +1,163 @@
+"""Structured tracing for monitor runs.
+
+A :class:`Tracer` records *spans* — named intervals with a monotonic
+start time, a duration, and arbitrary attributes — nested via an
+explicit begin/end stack, so a ``step`` span encloses the ``apply``,
+``aux``, and ``evaluate`` spans produced while checking that step.
+Completed spans are emitted in completion order (children before their
+parent, as in every mainstream trace format) and can be written out as
+JSON Lines, one span per line, with a stable field order::
+
+    {"name": "evaluate", "span": 3, "parent": 1, "depth": 1,
+     "start": 0.000813, "duration": 0.000212,
+     "constraint": "return-window", "violations": 0}
+
+Timestamps are seconds since the tracer was created, taken from a
+monotonic clock (``time.perf_counter`` by default; tests inject a fake
+clock for deterministic golden files).
+
+The tracer is deliberately dumb: it does not know about engines or
+constraints.  :class:`repro.obs.instrument.MonitorInstrumentation`
+maps checker hook calls onto spans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Fixed leading fields of every span record, in emission order.
+SPAN_FIELDS = ("name", "span", "parent", "depth", "start", "duration")
+
+
+class Tracer:
+    """Collects nested span records with monotonic timestamps.
+
+    Args:
+        clock: monotonic time source (seconds as float); the default is
+            :func:`time.perf_counter`.  Tests pass a deterministic fake.
+        sink: optional file-like object; completed spans are streamed to
+            it immediately as JSONL lines (the caller owns the file).
+        retain: keep completed spans in :attr:`events` (default).  Long
+            runs streaming to a ``sink`` can pass ``False`` to keep the
+            tracer's memory constant.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = perf_counter,
+        sink=None,
+        retain: bool = True,
+    ):
+        self._clock = clock
+        self._origin = clock()
+        self._sink = sink
+        self._retain = retain
+        #: completed span records, in completion order
+        self.events: List[Dict[str, Any]] = []
+        self._stack: List[tuple] = []  # (id, name, start, attrs)
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds elapsed since the tracer was created (monotonic)."""
+        return self._clock() - self._origin
+
+    def begin(self, name: str, **attrs) -> int:
+        """Open a span; returns its id.  Close it with :meth:`end`."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append((span_id, name, self.now(), attrs))
+        return span_id
+
+    def end(self, **extra) -> Dict[str, Any]:
+        """Close the innermost open span, merging ``extra`` attributes."""
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        span_id, name, start, attrs = self._stack.pop()
+        if extra:
+            attrs = {**attrs, **extra}
+        return self._emit(name, span_id, start, self.now() - start, attrs)
+
+    def event(self, name: str, seconds: float = 0.0, **attrs) -> Dict[str, Any]:
+        """Record a completed leaf span of the given duration.
+
+        Hook implementations receive durations after the fact, so leaf
+        work (a constraint evaluation, an auxiliary-relation update) is
+        recorded in one call; ``start`` is back-dated by ``seconds``.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        return self._emit(name, span_id, self.now() - seconds, seconds, attrs)
+
+    def _emit(self, name, span_id, start, duration, attrs) -> Dict[str, Any]:
+        parent = self._stack[-1][0] if self._stack else None
+        record: Dict[str, Any] = {
+            "name": name,
+            "span": span_id,
+            "parent": parent,
+            "depth": len(self._stack),
+            "start": round(start, 9),
+            "duration": round(duration, 9),
+        }
+        for key in sorted(attrs):
+            record[key] = attrs[key]
+        if self._retain:
+            self.events.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record) + "\n")
+        return record
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+
+    @property
+    def open_spans(self) -> int:
+        """Depth of the currently open span stack (0 when balanced)."""
+        return len(self._stack)
+
+    def dump_jsonl(self, path: PathLike) -> None:
+        """Write all retained spans to ``path`` as JSON Lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.events:
+                handle.write(json.dumps(record) + "\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.events)} span(s), "
+            f"{len(self._stack)} open)"
+        )
+
+
+def read_trace(source: Union[PathLike, "TextIO"]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace (path or open file) back into span dicts.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number, so truncated traces fail loudly.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(record, dict) or "name" not in record:
+            raise ValueError(f"trace line {lineno} is not a span record")
+        records.append(record)
+    return records

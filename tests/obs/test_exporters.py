@@ -1,0 +1,114 @@
+"""Golden-file tests pinning the exporter wire formats.
+
+The goldens under ``tests/obs/golden/`` are the contract: stable family
+and label ordering, Prometheus label-value escaping, cumulative
+histogram buckets ending in ``+Inf``.  Regenerate them (after a
+*deliberate* format change) with::
+
+    PYTHONPATH=src:tests python -c "from obs.test_exporters import regenerate; regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    read_trace,
+    render_json,
+    render_prometheus,
+)
+
+from .test_tracer import fake_clock
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def sample_registry():
+    """A small registry exercising every metric kind and the escapes."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_violations_total",
+        help="Constraint violations observed.",
+        engine="incremental",
+        constraint='win"dow\\1',
+    ).inc(3)
+    registry.counter(
+        "repro_violations_total",
+        engine="incremental",
+        constraint="audit\nnote",
+    ).inc(0)
+    registry.gauge(
+        "repro_aux_tuples", help="Auxiliary tuples stored.",
+        engine="incremental",
+    ).set(17)
+    hist = registry.histogram(
+        "repro_step_seconds",
+        buckets=(0.001, 0.01, 0.1),
+        help="Step latency.",
+        engine="incremental",
+    )
+    for value in (0.001, 0.004, 0.05, 2.5):  # ==bound, mid, mid, overflow
+        hist.observe(value)
+    return registry
+
+
+def sample_tracer():
+    """A deterministic two-level trace (fake clock, 1s ticks)."""
+    tracer = Tracer(clock=fake_clock())
+    tracer.begin("step", engine="incremental", time=1)
+    tracer.event("apply", 0.25, rows=2)
+    tracer.event("evaluate", 0.5, constraint='win"dow\\1', violations=1)
+    tracer.end(violations=1)
+    return tracer
+
+
+def trace_jsonl(tracer):
+    return "".join(
+        json.dumps(record, separators=(", ", ": ")) + "\n"
+        for record in tracer.events
+    )
+
+
+def regenerate():
+    GOLDEN.mkdir(exist_ok=True)
+    registry = sample_registry()
+    (GOLDEN / "metrics.prom").write_text(render_prometheus(registry))
+    (GOLDEN / "metrics.json").write_text(
+        json.dumps(render_json(registry), indent=2) + "\n"
+    )
+    (GOLDEN / "trace.jsonl").write_text(trace_jsonl(sample_tracer()))
+
+
+def test_prometheus_text_matches_golden():
+    expected = (GOLDEN / "metrics.prom").read_text()
+    assert render_prometheus(sample_registry()) == expected
+
+
+def test_json_export_matches_golden():
+    expected = json.loads((GOLDEN / "metrics.json").read_text())
+    assert render_json(sample_registry()) == expected
+
+
+def test_trace_jsonl_matches_golden():
+    golden = GOLDEN / "trace.jsonl"
+    assert read_trace(golden) == sample_tracer().events
+
+
+def test_prometheus_escaping_pinned():
+    text = (GOLDEN / "metrics.prom").read_text()
+    assert 'constraint="win\\"dow\\\\1"' in text
+    assert 'constraint="audit\\nnote"' in text
+
+
+def test_histogram_buckets_cumulative_with_inf():
+    text = render_prometheus(sample_registry())
+    lines = [l for l in text.splitlines() if l.startswith("repro_step_seconds")]
+    assert lines == [
+        'repro_step_seconds_bucket{engine="incremental",le="0.001"} 1',
+        'repro_step_seconds_bucket{engine="incremental",le="0.01"} 2',
+        'repro_step_seconds_bucket{engine="incremental",le="0.1"} 3',
+        'repro_step_seconds_bucket{engine="incremental",le="+Inf"} 4',
+        'repro_step_seconds_sum{engine="incremental"} 2.555',
+        'repro_step_seconds_count{engine="incremental"} 4',
+    ]

@@ -1,0 +1,98 @@
+"""Metric primitives and the registry's family/label model."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", engine="incremental")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_zero_inc_creates_series(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", constraint="c1").inc(0)
+        [(_, _, _, series)] = list(registry.families())
+        assert series[0][0] == {"constraint": "c1"}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("aux_tuples")
+        gauge.set(7)
+        gauge.inc(-2)
+        assert gauge.value == 5
+
+
+class TestHistogram:
+    def test_bucketing_is_le(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.0)   # == bound -> first bucket (le semantics)
+        hist.observe(1.5)
+        hist.observe(9.0)   # above all bounds -> only +Inf
+        assert hist.bucket_counts == [1, 1]
+        assert hist.cumulative_counts() == [1, 2, 3]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(11.5)
+        assert hist.mean == pytest.approx(11.5 / 3)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_default_latency_buckets(self):
+        hist = MetricsRegistry().histogram("step_seconds")
+        assert hist.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", engine="naive")
+        b = registry.counter("x", engine="naive")
+        c = registry.counter("x", engine="active")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("x", engine="naive", constraint="c")
+        b = registry.gauge("x", constraint="c", engine="naive")
+        assert a is b
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("x")
+
+    def test_bucket_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        # omitting buckets reuses the family's
+        assert registry.histogram("h").buckets == (1.0, 2.0)
+
+    def test_families_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        names = [name for name, *_ in registry.families()]
+        assert names == ["aa", "zz"]

@@ -1,0 +1,103 @@
+"""Tracer: nesting, clocking, JSONL round-trips."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Tracer, read_trace
+
+
+def fake_clock(step=1.0):
+    """A deterministic monotonic clock advancing ``step`` per call."""
+    state = {"t": 0.0}
+
+    def tick():
+        value = state["t"]
+        state["t"] += step
+        return value
+
+    return tick
+
+
+class TestSpans:
+    def test_nesting_and_parentage(self):
+        tracer = Tracer(clock=fake_clock())
+        outer = tracer.begin("step", engine="incremental")
+        inner = tracer.event("evaluate", 0.5, constraint="c1")
+        tracer.end(violations=0)
+        assert inner["parent"] == outer
+        assert inner["depth"] == 1
+        [evaluate, step] = tracer.events
+        assert evaluate["name"] == "evaluate"  # children close first
+        assert step["name"] == "step"
+        assert step["parent"] is None
+        assert step["depth"] == 0
+        assert step["violations"] == 0
+
+    def test_monotonic_relative_timestamps(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.begin("step")  # clock init consumed tick 0 -> start 1.0
+        record = tracer.end()
+        assert record["start"] == 1.0
+        assert record["duration"] == 1.0
+
+    def test_event_backdates_start(self):
+        tracer = Tracer(clock=fake_clock())
+        record = tracer.event("apply", 0.25)
+        assert record["duration"] == 0.25
+        assert record["start"] == pytest.approx(1.0 - 0.25)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end()
+
+    def test_open_spans_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.open_spans == 0
+        tracer.begin("a")
+        tracer.begin("b")
+        assert tracer.open_spans == 2
+        tracer.end()
+        tracer.end()
+        assert tracer.open_spans == 0
+
+    def test_attrs_sorted_after_fixed_fields(self):
+        tracer = Tracer(clock=fake_clock())
+        record = tracer.event("x", zeta=1, alpha=2)
+        keys = list(record)
+        assert keys[:6] == ["name", "span", "parent", "depth",
+                            "start", "duration"]
+        assert keys[6:] == ["alpha", "zeta"]
+
+
+class TestJsonl:
+    def test_dump_and_read_roundtrip(self, tmp_path):
+        tracer = Tracer(clock=fake_clock())
+        tracer.begin("step", time=3)
+        tracer.event("evaluate", 0.5, constraint="c1", violations=2)
+        tracer.end()
+        path = tmp_path / "trace.jsonl"
+        tracer.dump_jsonl(path)
+        assert read_trace(path) == tracer.events
+
+    def test_sink_streams_without_retaining(self):
+        sink = io.StringIO()
+        tracer = Tracer(clock=fake_clock(), sink=sink, retain=False)
+        tracer.event("apply", 0.1)
+        tracer.event("apply", 0.2)
+        assert tracer.events == []
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "apply"
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "start": 0, "duration": 0}\nnope\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+
+    def test_read_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n{"name": "a", "start": 0, "duration": 0}\n\n')
+        assert len(read_trace(path)) == 1

@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis import format_table, measure_run, ratio, space_of
 from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.monitor import ENGINES
 from repro.core.naive import NaiveChecker
 from repro.db import DatabaseSchema, Transaction
 
@@ -44,6 +45,35 @@ class TestMetrics:
         metrics = measure_run(checker, stream(8))
         assert metrics.tail_mean_step_seconds(0.25) > 0
         assert metrics.median_step_seconds() > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_space_of_every_engine(self, engine):
+        """Every engine in ENGINES is measurable via the uniform hook."""
+        from repro.workloads import library_workload
+
+        workload = library_workload(violation_rate=0.1)
+        monitor = workload.monitor(engine)
+        for time, txn in workload.stream(20, seed=3):
+            monitor.step(time, txn)
+        value = space_of(monitor.checker)
+        assert isinstance(value, int) and value >= 0
+        assert value == monitor.checker.space_tuples()
+        assert space_of(monitor) == value  # unwraps the facade
+
+    def test_measure_run_feeds_registry(self, schema):
+        from repro.obs import MetricsRegistry
+        from repro.obs.instrument import AUX_TUPLES_TOTAL, STEP_SECONDS
+
+        registry = MetricsRegistry()
+        checker = IncrementalChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,2] q(x)")]
+        )
+        metrics = measure_run(checker, stream(10), registry=registry)
+        hist = registry.histogram(STEP_SECONDS, engine="incremental")
+        assert hist.count == metrics.steps == 10
+        assert hist.sum == pytest.approx(sum(metrics.step_seconds))
+        gauge = registry.gauge(AUX_TUPLES_TOTAL, engine="incremental")
+        assert gauge.value == metrics.space_samples[-1]
 
 
 class TestReport:

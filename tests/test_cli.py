@@ -112,6 +112,88 @@ class TestCheck:
         assert "error:" in capsys.readouterr().err
 
 
+class TestObservabilityFlags:
+    def check_args(self, generated, *extra):
+        return [
+            "check", "--quiet",
+            "--schema", str(generated / "schema.json"),
+            "--constraints", str(generated / "constraints.txt"),
+            "--history", str(generated / "history.jsonl"),
+            *extra,
+        ]
+
+    def test_trace_is_parseable_jsonl(self, generated, tmp_path):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        status = main(self.check_args(generated, "--trace", str(trace)))
+        assert status == 1
+        events = read_trace(trace)
+        steps = [e for e in events if e["name"] == "step"]
+        assert len(steps) == 60
+        assert {e["engine"] for e in steps} == {"incremental"}
+        assert any(e["name"] == "evaluate" for e in events)
+
+    def test_metrics_prometheus_text(self, generated, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        status = main(self.check_args(generated, "--metrics", str(metrics)))
+        assert status == 1
+        text = metrics.read_text()
+        assert "# TYPE repro_step_seconds histogram" in text
+        assert 'repro_steps_total{engine="incremental"} 60' in text
+        assert "repro_violations_total" in text
+
+    def test_metrics_json(self, generated, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        status = main(self.check_args(generated, "--metrics", str(metrics)))
+        assert status == 1
+        doc = json.loads(metrics.read_text())
+        names = {family["name"] for family in doc["metrics"]}
+        assert "repro_step_seconds" in names
+        assert "repro_violations_total" in names
+
+    def test_trace_flag_with_other_engine(self, generated, tmp_path):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        status = main(
+            self.check_args(
+                generated, "--engine", "adom", "--trace", str(trace)
+            )
+        )
+        assert status == 1
+        steps = [e for e in read_trace(trace) if e["name"] == "step"]
+        assert {e["engine"] for e in steps} == {"adom"}
+
+
+class TestStats:
+    def test_stats_summarises_trace(self, generated, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        status = main(["stats", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "steps" in out
+        assert "incremental" in out
+        assert "step latency" in out
+
+    def test_stats_rejects_missing_file(self, tmp_path, capsys):
+        status = main(["stats", "--trace", str(tmp_path / "nope.jsonl")])
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestAnalyze:
     def test_profiles(self, tmp_path, capsys):
         constraints = tmp_path / "c.txt"
@@ -125,6 +207,32 @@ class TestAnalyze:
         assert "ret" in out
         assert "UNSAFE" in out
         assert "14" in out
+
+    def test_trace_join_adds_runtime_columns(
+        self, generated, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        status = main(
+            [
+                "analyze",
+                "--constraints", str(generated / "constraints.txt"),
+                "--trace", str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "evals" in out
+        assert "60" in out  # every constraint evaluated once per state
 
 
 class TestCheckpointFlow:

@@ -38,6 +38,7 @@ def test_examples_directory_is_complete():
         "active_domain_semantics.py",
         "aggregation_limits.py",
         "active_rules_repair.py",
+        "observability.py",
     }
     assert expected <= present
 
@@ -93,6 +94,14 @@ def test_aggregation_limits():
     assert "holding-limit: {'p': 'ann', 'n': 4}" in out
     assert "burst-limit" in out
     assert "credit-limit: {'c': 'bob', 't': 120}" in out
+
+
+def test_observability():
+    out = run_example("observability.py")
+    assert "step spans" in out
+    assert "per-constraint evaluation cost" in out
+    assert "repro_violations_total{constraint=" in out
+    assert "trace and metrics agree" in out
 
 
 def test_active_rules_repair():
