@@ -1,77 +1,251 @@
-"""Shared infrastructure for the experiment benchmarks.
+"""The experiment runner: one code path for tables, charts, and JSON.
 
-Each ``bench_eN_*.py`` module regenerates one experiment of
-EXPERIMENTS.md.  Timing goes through pytest-benchmark as usual; the
-experiment *tables* (space counts, ratios, crossovers) are accumulated
-here via :func:`record_row` and written to ``benchmarks/results/eN.txt``
-at session end — so ``pytest benchmarks/ --benchmark-only`` leaves both
-the timing tables (stdout) and the experiment tables (files) behind.
+Each ``bench_eN_*.py`` module exposes ``run(recorder, profile)`` — a
+plain function that sweeps its parameter, records table rows and raw
+samples into a :class:`Recorder`, and *declares* the paper-shape
+expectations its experiment must uphold.  The runner then renders the
+human-readable table + ASCII charts (``benchmarks/results/eN.txt``),
+evaluates the declared shapes, and (on request) writes the
+machine-readable ``BENCH_<exp>.json`` artifact — all from the same
+recorded data, so the three outputs can never drift apart.
+
+Two sweep profiles ship: ``full`` (the EXPERIMENTS.md sweeps) and
+``short`` (a trimmed sweep for the CI perf-smoke gate).
+
+Entry points:
+
+* ``python -m repro bench --all --json`` — the CLI front end;
+* ``pytest benchmarks/`` — each module's ``test_eN`` wrapper calls
+  :func:`run_for_pytest`, which runs the experiment, regenerates the
+  results files, and asserts every declared shape
+  (``REPRO_BENCH_PROFILE=short`` trims the sweeps).
 """
 
 from __future__ import annotations
 
+import importlib
+import os
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.ascii_plot import bar_chart
 from repro.analysis.report import format_table
+from repro.obs.bench import (
+    artifact_path,
+    build_artifact,
+    evaluate_shape,
+    write_artifact,
+)
 
-RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
 
-_TABLES: "Dict[str, dict]" = {}
+#: experiment id -> module implementing ``run(recorder, profile)``
+EXPERIMENTS: Dict[str, str] = {
+    "e1": "bench_e1_space",
+    "e2": "bench_e2_step_time",
+    "e3": "bench_e3_crossover",
+    "e4": "bench_e4_state_size",
+    "e5": "bench_e5_formula_depth",
+    "e6": "bench_e6_window",
+    "e7": "bench_e7_active",
+    "e8": "bench_e8_unbounded",
+    "e9": "bench_e9_ablation",
+    "e10": "bench_e10_future",
+    "e11": "bench_e11_planner",
+    "e12": "bench_e12_aggregates",
+}
 
-
-def record_row(
-    experiment: str,
-    headers: Sequence[str],
-    row: Sequence,
-    title: str = "",
-) -> None:
-    """Append one row to an experiment's result table."""
-    table = _TABLES.setdefault(
-        experiment, {"headers": list(headers), "rows": [], "title": title}
-    )
-    if title:
-        table["title"] = title
-    table["rows"].append(list(row))
-
-
-def _charts_for(table) -> str:
-    """ASCII bar charts (the experiment's 'figures'): every numeric
-    column charted against the first column's labels."""
-    rows = table["rows"]
-    if len(rows) < 2:
-        return ""
-    labels = [row[0] for row in rows]
-    charts = []
-    for col in range(1, len(table["headers"])):
-        values = [row[col] for row in rows]
-        if not all(
-            isinstance(v, (int, float)) and not isinstance(v, bool)
-            and v >= 0
-            for v in values
-        ):
-            continue
-        charts.append(
-            bar_chart(labels, values, title=table["headers"][col])
-        )
-    return "\n\n".join(charts)
+PROFILES = ("short", "full")
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Write accumulated experiment tables + charts to benchmarks/results/."""
-    if not _TABLES:
-        return
-    RESULTS_DIR.mkdir(exist_ok=True)
-    print("\n")
-    for experiment in sorted(_TABLES):
-        table = _TABLES[experiment]
+class Recorder:
+    """Accumulates one experiment's rows, samples, and expectations."""
+
+    def __init__(self, experiment: str, profile: str = "full",
+                 registry=None):
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}")
+        self.experiment = experiment
+        self.profile = profile
+        self.registry = registry
+        self.title = ""
+        self.headers: Optional[List[str]] = None
+        self.rows: List[List[Any]] = []
+        self.samples: Dict[str, List[float]] = {}
+        self._expectations: List[Dict[str, Any]] = []
+        self._adhoc: List[Dict[str, Any]] = []
+
+    # -- recording -----------------------------------------------------
+
+    def row(self, headers: Sequence[str], row: Sequence[Any],
+            title: str = "") -> None:
+        """Append one table row (headers are fixed by the first call)."""
+        if self.headers is None:
+            self.headers = list(headers)
+        elif list(headers) != self.headers:
+            raise ValueError(
+                f"{self.experiment}: headers changed mid-experiment"
+            )
+        if title:
+            self.title = title
+        self.rows.append(list(row))
+
+    def sample_series(self, name: str, values: Sequence[float]) -> None:
+        """Attach raw per-step samples (kept verbatim in the artifact)."""
+        self.samples[name] = [float(v) for v in values]
+
+    # -- shape expectations (evaluated over the recorded table) --------
+
+    def expect_flat(self, name: str, series: str,
+                    tolerance_ratio: float = 3.0) -> None:
+        """The column must stay within a max/min ratio (no trend)."""
+        self._expectations.append({
+            "name": name, "kind": "flat", "series": series,
+            "tolerance_ratio": tolerance_ratio,
+        })
+
+    def expect_growth(self, name: str, series: str,
+                      min_order: Optional[float] = None,
+                      max_order: Optional[float] = None) -> None:
+        """The column's log-log slope must lie within the bounds."""
+        self._expectations.append({
+            "name": name, "kind": "growth", "series": series,
+            "min_order": min_order, "max_order": max_order,
+        })
+
+    def expect_max(self, name: str, series: str, limit: float) -> None:
+        """Every value of the column must stay <= limit."""
+        self._expectations.append({
+            "name": name, "kind": "max", "series": series,
+            "limit": limit,
+        })
+
+    def check(self, name: str, ok: bool, detail: str = "") -> None:
+        """Record an ad-hoc verdict (verdict equality, lag bounds, ...)
+        that cannot be recomputed from the table alone."""
+        self._adhoc.append({
+            "name": name, "kind": "check", "ok": bool(ok),
+            "value": None, "detail": detail,
+        })
+
+    # -- evaluation / output -------------------------------------------
+
+    def shape_results(self) -> List[Dict[str, Any]]:
+        """Every expectation evaluated against the recorded table."""
+        headers = self.headers or []
+        results = [
+            evaluate_shape(spec, headers, self.rows)
+            for spec in self._expectations
+        ]
+        return [r for r in results if r is not None] + list(self._adhoc)
+
+    def failures(self) -> List[Dict[str, Any]]:
+        return [r for r in self.shape_results() if not r["ok"]]
+
+    def assert_shapes(self) -> None:
+        """Raise AssertionError naming every failed expectation."""
+        failures = self.failures()
+        if failures:
+            summary = "; ".join(
+                f"{f['name']} ({f.get('detail', '')})" for f in failures
+            )
+            raise AssertionError(
+                f"{self.experiment}: shape expectation(s) failed: {summary}"
+            )
+
+    def table_text(self) -> str:
+        """The results file content: aligned table + ASCII charts."""
+        headers = self.headers or []
         text = format_table(
-            table["headers"], table["rows"],
-            title=f"[{experiment}] {table['title']}",
+            headers, self.rows,
+            title=f"[{self.experiment}] {self.title}",
         )
-        charts = _charts_for(table)
-        output = text + ("\n\n" + charts if charts else "") + "\n"
-        (RESULTS_DIR / f"{experiment}.txt").write_text(output)
-        print(text)
-        print()
+        charts = self._charts(headers)
+        return text + ("\n\n" + charts if charts else "") + "\n"
+
+    def _charts(self, headers: Sequence[str]) -> str:
+        """Every numeric column charted against the sweep column."""
+        if len(self.rows) < 2:
+            return ""
+        labels = [row[0] for row in self.rows]
+        charts = []
+        for col in range(1, len(headers)):
+            values = [row[col] for row in self.rows]
+            if not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                and v >= 0
+                for v in values
+            ):
+                continue
+            charts.append(bar_chart(labels, values, title=headers[col]))
+        return "\n\n".join(charts)
+
+    def artifact(self) -> Dict[str, Any]:
+        """The experiment as a validated ``BENCH_<exp>.json`` document."""
+        metrics = None
+        if self.registry is not None:
+            from repro.obs import render_json
+
+            metrics = render_json(self.registry)
+        return build_artifact(
+            self.experiment,
+            self.title,
+            self.profile,
+            self.headers or [],
+            self.rows,
+            shapes=self.shape_results(),
+            samples=self.samples,
+            metrics=metrics,
+        )
+
+    def write(self, out_dir: Path, json_artifact: bool = False) -> None:
+        """Write ``<exp>.txt`` (and optionally the JSON artifact)."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{self.experiment}.txt").write_text(self.table_text())
+        if json_artifact:
+            write_artifact(
+                self.artifact(), artifact_path(out_dir, self.experiment)
+            )
+
+
+def run_experiment(
+    experiment: str,
+    profile: str = "full",
+    out_dir: Optional[Path] = None,
+    json_artifact: bool = False,
+    metrics: bool = False,
+) -> Recorder:
+    """Run one experiment and write its outputs; returns the recorder.
+
+    Args:
+        experiment: id from :data:`EXPERIMENTS`.
+        profile: sweep profile (``short`` / ``full``).
+        out_dir: results directory (default ``benchmarks/results``);
+            pass the same directory for every experiment of a run.
+        json_artifact: also write ``BENCH_<exp>.json``.
+        metrics: attach a fresh :class:`~repro.obs.MetricsRegistry` the
+            experiment streams per-step samples into; its dump is
+            embedded in the artifact (implies nothing without
+            ``json_artifact``).
+    """
+    module_name = EXPERIMENTS[experiment]
+    module = importlib.import_module(module_name)
+    registry = None
+    if metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    recorder = Recorder(experiment, profile, registry=registry)
+    module.run(recorder, profile)
+    recorder.write(out_dir or RESULTS_DIR, json_artifact=json_artifact)
+    return recorder
+
+
+def run_for_pytest(experiment: str) -> Recorder:
+    """Pytest entry: run, regenerate results + artifact, assert shapes."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "full")
+    recorder = run_experiment(experiment, profile, json_artifact=True)
+    recorder.assert_shapes()
+    return recorder

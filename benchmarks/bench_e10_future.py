@@ -12,29 +12,36 @@ future horizon.  Sweeping the deadline window of
   but not with history length.
 """
 
-import pytest
-
-from _experiments import record_row
 from repro.core.checker import Constraint
 from repro.core.future import DelayedChecker
 from repro.workloads import random_workload
 
 LENGTH = 200
 SEED = 1010
-WINDOWS = [2, 4, 8, 16, 32]
+
+PROFILES = {
+    "short": [2, 8, 32],
+    "full": [2, 4, 8, 16, 32],
+}
 
 WORKLOAD = random_workload(universe_size=5)
 
+HEADERS = [
+    "future window",
+    "max verdict lag (clock)",
+    "max buffered states",
+    "verdicts emitted",
+]
 
-@pytest.mark.benchmark(group="e10-future")
-@pytest.mark.parametrize("window", WINDOWS)
-def test_e10_delay_and_buffer_vs_horizon(benchmark, window):
-    constraint = Constraint(
-        "deadline", f"event(x) -> EVENTUALLY[0,{window}] flag(x)"
-    )
-    stream = list(WORKLOAD.stream(LENGTH, seed=SEED))
 
-    def run():
+def run(recorder, profile="full"):
+    lag_bounded = True
+    all_emitted = True
+    for window in PROFILES[profile]:
+        constraint = Constraint(
+            "deadline", f"event(x) -> EVENTUALLY[0,{window}] flag(x)"
+        )
+        stream = list(WORKLOAD.stream(LENGTH, seed=SEED))
         checker = DelayedChecker(WORKLOAD.schema, [constraint])
         max_lag = 0
         max_pending = 0
@@ -45,22 +52,29 @@ def test_e10_delay_and_buffer_vs_horizon(benchmark, window):
                 emitted += 1
             max_pending = max(max_pending, checker.pending_states)
         emitted += len(checker.finish())
-        return max_lag, max_pending, emitted
+        lag_bounded = lag_bounded and max_lag <= window + 4
+        all_emitted = all_emitted and emitted == LENGTH
+        recorder.row(
+            HEADERS,
+            [window, max_lag, max_pending, emitted],
+            title=f"delayed checking vs future horizon "
+                  f"(history length {LENGTH}, seed {SEED})",
+        )
+    recorder.check(
+        "every state gets exactly one verdict",
+        all_emitted,
+        detail=f"{LENGTH} verdicts per sweep point" if all_emitted
+               else "a sweep point dropped or duplicated verdicts",
+    )
+    recorder.check(
+        "verdict lag bounded by horizon + one gap",
+        lag_bounded,
+        detail="max lag <= window + 4 at every sweep point"
+               if lag_bounded else "lag exceeded the horizon bound",
+    )
 
-    max_lag, max_pending, emitted = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
-    assert emitted == LENGTH, "every state gets exactly one verdict"
-    assert max_lag <= window + 4, "lag bounded by horizon + one gap"
-    record_row(
-        "e10",
-        [
-            "future window",
-            "max verdict lag (clock)",
-            "max buffered states",
-            "verdicts emitted",
-        ],
-        [window, max_lag, max_pending, emitted],
-        title=f"delayed checking vs future horizon "
-              f"(history length {LENGTH}, seed {SEED})",
-    )
+
+def test_e10():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e10")

@@ -13,16 +13,17 @@ starts from the biggest relation).
 
 import time
 
-import pytest
-
-from _experiments import record_row
 from repro.core import foeval
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.workloads import random_workload
 
 SEED = 1111
 LENGTH = 120
-UNIVERSES = [4, 8, 16, 32]
+
+PROFILES = {
+    "short": [4, 8, 16],
+    "full": [4, 8, 16, 32],
+}
 
 # a three-way join chain whose textual order is pessimal: the static
 # greedy plan evaluates link(x,y) then the *disconnected* link(z,w) —
@@ -33,6 +34,13 @@ CONSTRAINT_TEXT = (
     "flag(x) -> ONCE[0,6] "
     "(EXISTS y, z, w. link(x, y) AND link(z, w) AND link(y, z))"
 )
+
+HEADERS = [
+    "universe",
+    "selective (ms)",
+    "greedy (ms)",
+    "greedy/selective",
+]
 
 
 def _run(workload, stream, selective: bool):
@@ -49,39 +57,39 @@ def _run(workload, stream, selective: bool):
         foeval.SELECTIVE_PLANNING = previous
 
 
-@pytest.mark.benchmark(group="e11-planner")
-@pytest.mark.parametrize("universe", UNIVERSES)
-def test_e11_planner_ablation(benchmark, universe):
-    workload = random_workload(
-        universe_size=universe, max_inserts=4, max_deletes=1
-    )
-    stream = workload.stream(LENGTH, seed=SEED)
-
-    def run_both():
+def run(recorder, profile="full"):
+    verdicts_agree = True
+    for universe in PROFILES[profile]:
+        workload = random_workload(
+            universe_size=universe, max_inserts=4, max_deletes=1
+        )
+        stream = workload.stream(LENGTH, seed=SEED)
         selective_s, selective_report = _run(workload, stream, True)
         greedy_s, greedy_report = _run(workload, stream, False)
-        return selective_s, greedy_s, selective_report, greedy_report
+        verdicts_agree = verdicts_agree and (
+            [v.witnesses for v in selective_report.violations]
+            == [v.witnesses for v in greedy_report.violations]
+        )
+        recorder.row(
+            HEADERS,
+            [
+                universe,
+                round(selective_s * 1e3, 1),
+                round(greedy_s * 1e3, 1),
+                round(greedy_s / selective_s, 2),
+            ],
+            title=f"conjunct-ordering ablation, join-heavy constraint "
+                  f"(history length {LENGTH}, seed {SEED})",
+        )
+    recorder.check(
+        "planning must not change answers",
+        verdicts_agree,
+        detail="identical violation witnesses for both planners"
+               if verdicts_agree else "the planners disagreed",
+    )
 
-    selective_s, greedy_s, selective_report, greedy_report = (
-        benchmark.pedantic(run_both, rounds=1, iterations=1)
-    )
-    assert [v.witnesses for v in selective_report.violations] == [
-        v.witnesses for v in greedy_report.violations
-    ], "planning must not change answers"
-    record_row(
-        "e11",
-        [
-            "universe",
-            "selective (ms)",
-            "greedy (ms)",
-            "greedy/selective",
-        ],
-        [
-            universe,
-            round(selective_s * 1e3, 1),
-            round(greedy_s * 1e3, 1),
-            round(greedy_s / selective_s, 2),
-        ],
-        title=f"conjunct-ordering ablation, join-heavy constraint "
-              f"(history length {LENGTH}, seed {SEED})",
-    )
+
+def test_e11():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e11")

@@ -7,16 +7,16 @@ and a windowed-COUNT constraint; per-step time must stay flat and the
 auxiliary space bounded.
 """
 
-import pytest
-
-from _experiments import record_row
 from repro.analysis.metrics import measure_run
-from repro.analysis.shapes import is_flat
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.workloads import random_workload
 
-LENGTHS = [100, 200, 400, 800]
 SEED = 1212
+
+PROFILES = {
+    "short": [100, 200, 400],
+    "full": [100, 200, 400, 800],
+}
 
 WORKLOAD = random_workload(universe_size=6)
 
@@ -28,38 +28,44 @@ CONSTRAINTS = [
     ),
 ]
 
-_tails = {}
+HEADERS = [
+    "history length",
+    "us/step (tail)",
+    "peak aux tuples",
+    "violations",
+]
 
 
-@pytest.mark.benchmark(group="e12-aggregates")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e12_aggregate_step_cost(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
-
-    def run():
+def run(recorder, profile="full"):
+    for length in PROFILES[profile]:
+        stream = WORKLOAD.stream(length, seed=SEED)
         checker = IncrementalChecker(WORKLOAD.schema, CONSTRAINTS)
-        return measure_run(checker, stream)
-
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_row(
-        "e12",
-        [
-            "history length",
-            "us/step (tail)",
-            "peak aux tuples",
-            "violations",
-        ],
-        [
-            length,
-            round(metrics.tail_mean_step_seconds() * 1e6, 1),
-            metrics.peak_space,
-            metrics.report.violation_count,
-        ],
-        title=f"aggregation constraints: per-step cost vs history "
-              f"(universe 6, seed {SEED})",
+        metrics = measure_run(checker, stream)
+        recorder.row(
+            HEADERS,
+            [
+                length,
+                round(metrics.tail_mean_step_seconds() * 1e6, 1),
+                metrics.peak_space,
+                metrics.report.violation_count,
+            ],
+            title=f"aggregation constraints: per-step cost vs history "
+                  f"(universe 6, seed {SEED})",
+        )
+    recorder.expect_flat(
+        "aggregate checking must stay O(1) per step",
+        "us/step (tail)", tolerance_ratio=4.0,
     )
-    _tails[length] = metrics.tail_mean_step_seconds()
-    if len(_tails) == len(LENGTHS):
-        assert is_flat(
-            [_tails[n] for n in LENGTHS], tolerance_ratio=4.0
-        ), "aggregate checking must stay O(1) per step"
+    # peak aux is an extremum: observed over more steps it creeps up
+    # even when the underlying state is stationary, so the bound is
+    # "well below linear", not "flat"
+    recorder.expect_growth(
+        "aggregate aux space stays well below linear in the history",
+        "peak aux tuples", max_order=0.6,
+    )
+
+
+def test_e12():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e12")

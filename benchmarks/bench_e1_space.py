@@ -2,30 +2,35 @@
 
 The paper's headline claim: the incremental checker's stored state
 depends on the data and the constraint's metric horizon, not on how
-long the history is.  We sweep the history length over a 32x range on
-the parametric random workload (whose active domain is capped, so state
-sizes are stationary) and record the incremental checker's peak and
-final auxiliary tuple counts against the tuple count a full-history
-store retains.
+long the history is.  We sweep the history length on the parametric
+random workload (whose active domain is capped, so state sizes are
+stationary) and record the incremental checker's peak and final
+auxiliary tuple counts against the tuple count a full-history store
+retains.
 
 Expected shape: the incremental columns are flat (within noise); the
 full-history column grows linearly; the ratio diverges.
 """
 
-import pytest
-
-from _experiments import record_row
-from repro.analysis.shapes import growth_order
 from repro.analysis.metrics import measure_run
 from repro.workloads import random_workload
 
-LENGTHS = [50, 100, 200, 400, 800, 1600]
 SEED = 101
+
+PROFILES = {
+    "short": [50, 100, 200, 400],
+    "full": [50, 100, 200, 400, 800, 1600],
+}
 
 WORKLOAD = random_workload(universe_size=6, window=8, constraint_count=2)
 
-
-_series = {}
+HEADERS = [
+    "history length",
+    "incremental peak aux",
+    "incremental final aux",
+    "full-history tuples",
+    "full/incremental",
+]
 
 
 def _naive_stored_tuples(stream):
@@ -34,44 +39,40 @@ def _naive_stored_tuples(stream):
     return sum(snapshot.state.total_rows for snapshot in history)
 
 
-@pytest.mark.benchmark(group="e1-space")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e1_space_vs_history_length(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
-
-    def run():
-        checker = WORKLOAD.checker()
-        return measure_run(checker, stream)
-
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    stored = _naive_stored_tuples(stream)
-    record_row(
-        "e1",
-        [
-            "history length",
-            "incremental peak aux",
-            "incremental final aux",
-            "full-history tuples",
-            "full/incremental",
-        ],
-        [
-            length,
-            metrics.peak_space,
-            metrics.final_space,
-            stored,
-            round(stored / max(1, metrics.peak_space), 1),
-        ],
-        title="auxiliary space vs history length "
-              f"(random workload, window 8, seed {SEED})",
+def run(recorder, profile="full"):
+    lengths = PROFILES[profile]
+    for length in lengths:
+        stream = WORKLOAD.stream(length, seed=SEED)
+        metrics = measure_run(WORKLOAD.checker(), stream)
+        stored = _naive_stored_tuples(stream)
+        recorder.row(
+            HEADERS,
+            [
+                length,
+                metrics.peak_space,
+                metrics.final_space,
+                stored,
+                round(stored / max(1, metrics.peak_space), 1),
+            ],
+            title="auxiliary space vs history length "
+                  f"(random workload, window 8, seed {SEED})",
+        )
+        if length == lengths[-1]:
+            recorder.sample_series(
+                "incremental space samples (longest run)",
+                metrics.space_samples,
+            )
+    recorder.expect_growth(
+        "incremental aux space must not grow with history length",
+        "incremental peak aux", max_order=0.3,
     )
-    _series[length] = (metrics.peak_space, stored)
-    if len(_series) == len(LENGTHS):
-        lengths = sorted(_series)
-        peaks = [_series[n][0] for n in lengths]
-        naive = [_series[n][1] for n in lengths]
-        assert growth_order(lengths, peaks) < 0.3, (
-            "incremental aux space must not grow with history length"
-        )
-        assert growth_order(lengths, naive) > 0.8, (
-            "the full-history store must grow linearly"
-        )
+    recorder.expect_growth(
+        "the full-history store must grow linearly",
+        "full-history tuples", min_order=0.8,
+    )
+
+
+def test_e1():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e1")

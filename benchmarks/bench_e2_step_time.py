@@ -9,95 +9,81 @@ last quarter of each run (the steady-state figure).
 Expected shape: incremental column flat; naive column growing roughly
 linearly in the history length.
 
-Set ``REPRO_E2_METRICS=/path/metrics.prom`` (or ``.json``) to also
-stream every per-step sample through a :mod:`repro.obs` metrics
-registry and dump it when the sweep completes — the same
-``repro_step_seconds`` families runtime instrumentation emits, for
-diffing benchmark runs against live telemetry.  The recorded
-``results/e2.txt`` table is unaffected either way.
+When the runner attaches a metrics registry (``repro bench
+--metrics``), every per-step sample also streams through the same
+``repro_step_seconds`` families runtime instrumentation emits, and the
+registry dump is embedded in the ``BENCH_e2.json`` artifact — for
+diffing benchmark runs against live telemetry.
 """
 
-import os
-
-import pytest
-
-from _experiments import record_row
-from repro.analysis.shapes import growth_order, is_flat
 from repro.analysis.metrics import measure_run
 from repro.core.naive import NaiveChecker
 from repro.workloads import random_workload
 
-LENGTHS = [25, 50, 100, 200, 400]
 SEED = 202
 
-_METRICS_PATH = os.environ.get("REPRO_E2_METRICS")
-_REGISTRY = None
-if _METRICS_PATH:
-    from repro.obs import MetricsRegistry
-
-    _REGISTRY = MetricsRegistry()
+PROFILES = {
+    "short": [50, 100, 200],
+    "full": [25, 50, 100, 200, 400],
+}
 
 # window=None makes the first template constraint ONCE[0,*] (unbounded)
 WORKLOAD = random_workload(
     universe_size=5, window=None, constraint_count=2
 )
 
-_tail_us = {}
+HEADERS = [
+    "history length",
+    "incremental us/step (tail)",
+    "naive us/step (tail)",
+    "naive/incremental",
+]
 
 
-@pytest.mark.benchmark(group="e2-incremental")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e2_incremental_step_time(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
-
-    def run():
-        return measure_run(WORKLOAD.checker(), stream, registry=_REGISTRY)
-
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    _tail_us[("inc", length)] = metrics.tail_mean_step_seconds() * 1e6
-
-
-@pytest.mark.benchmark(group="e2-naive")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e2_naive_step_time(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
-
-    def run():
-        checker = NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints)
-        return measure_run(checker, stream, registry=_REGISTRY)
-
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    naive_us = metrics.tail_mean_step_seconds() * 1e6
-    inc_us = _tail_us.get(("inc", length))
-    record_row(
-        "e2",
-        [
-            "history length",
-            "incremental us/step (tail)",
-            "naive us/step (tail)",
-            "naive/incremental",
-        ],
-        [
-            length,
-            None if inc_us is None else round(inc_us, 1),
-            round(naive_us, 1),
-            None if not inc_us else round(naive_us / inc_us, 1),
-        ],
-        title="steady-state per-step check time, unbounded ONCE "
-              f"(seed {SEED})",
+def run(recorder, profile="full"):
+    lengths = PROFILES[profile]
+    for length in lengths:
+        stream = WORKLOAD.stream(length, seed=SEED)
+        incremental = measure_run(
+            WORKLOAD.checker(), stream, registry=recorder.registry
+        )
+        naive = measure_run(
+            NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints),
+            stream,
+            registry=recorder.registry,
+        )
+        inc_us = incremental.tail_mean_step_seconds() * 1e6
+        naive_us = naive.tail_mean_step_seconds() * 1e6
+        recorder.row(
+            HEADERS,
+            [
+                length,
+                round(inc_us, 1),
+                round(naive_us, 1),
+                round(naive_us / inc_us, 1) if inc_us else None,
+            ],
+            title="steady-state per-step check time, unbounded ONCE "
+                  f"(seed {SEED})",
+        )
+        if length == lengths[-1]:
+            recorder.sample_series(
+                "incremental step seconds (longest run)",
+                incremental.step_seconds,
+            )
+            recorder.sample_series(
+                "naive step seconds (longest run)", naive.step_seconds
+            )
+    recorder.expect_flat(
+        "incremental per-step time must not trend with history length",
+        "incremental us/step (tail)", tolerance_ratio=4.0,
     )
-    _tail_us[("naive", length)] = naive_us
-    done = [n for n in LENGTHS if ("naive", n) in _tail_us]
-    if len(done) == len(LENGTHS):
-        inc = [_tail_us[("inc", n)] for n in LENGTHS]
-        naive = [_tail_us[("naive", n)] for n in LENGTHS]
-        assert is_flat(inc, tolerance_ratio=4.0), (
-            "incremental per-step time must not trend with history length"
-        )
-        assert growth_order(LENGTHS, naive) > 0.6, (
-            "naive per-step time must grow with history length"
-        )
-        if _REGISTRY is not None:
-            from repro.obs import write_metrics
+    recorder.expect_growth(
+        "naive per-step time must grow with history length",
+        "naive us/step (tail)", min_order=0.6,
+    )
 
-            write_metrics(_REGISTRY, _METRICS_PATH)
+
+def test_e2():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e2")

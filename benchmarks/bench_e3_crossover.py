@@ -12,18 +12,27 @@ first few lengths, then losing by a growing factor.
 
 import time
 
-import pytest
-
-from _experiments import record_row
 from repro.core.naive import NaiveChecker
 from repro.workloads import random_workload
 
-LENGTHS = [4, 8, 16, 32, 64, 128, 256, 512]
 SEED = 303
+
+PROFILES = {
+    "short": [4, 8, 16, 32, 64, 128],
+    "full": [4, 8, 16, 32, 64, 128, 256, 512],
+}
 
 WORKLOAD = random_workload(
     universe_size=5, window=None, constraint_count=2
 )
+
+HEADERS = [
+    "history length",
+    "incremental total (ms)",
+    "naive total (ms)",
+    "winner",
+    "factor",
+]
 
 
 def _total_seconds(make_checker, stream) -> float:
@@ -33,37 +42,38 @@ def _total_seconds(make_checker, stream) -> float:
     return time.perf_counter() - started
 
 
-@pytest.mark.benchmark(group="e3-crossover")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e3_total_time_crossover(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
+def run(recorder, profile="full"):
+    for length in PROFILES[profile]:
+        stream = WORKLOAD.stream(length, seed=SEED)
+        incremental_s = _total_seconds(WORKLOAD.checker, stream)
+        naive_s = _total_seconds(
+            lambda: NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints),
+            stream,
+        )
+        recorder.row(
+            HEADERS,
+            [
+                length,
+                round(incremental_s * 1e3, 2),
+                round(naive_s * 1e3, 2),
+                "incremental" if incremental_s <= naive_s else "naive",
+                round(
+                    max(incremental_s, naive_s)
+                    / max(1e-9, min(incremental_s, naive_s)),
+                    2,
+                ),
+            ],
+            title=f"total checking time, unbounded ONCE (seed {SEED})",
+        )
+    # beyond the crossover the naive *total* compounds the growing
+    # per-step cost: super-linear in the history length
+    recorder.expect_growth(
+        "naive total time compounds super-linearly",
+        "naive total (ms)", min_order=1.1,
+    )
 
-    incremental_s = benchmark.pedantic(
-        lambda: _total_seconds(WORKLOAD.checker, stream),
-        rounds=1, iterations=1,
-    )
-    naive_s = _total_seconds(
-        lambda: NaiveChecker(WORKLOAD.schema, WORKLOAD.constraints), stream
-    )
-    record_row(
-        "e3",
-        [
-            "history length",
-            "incremental total (ms)",
-            "naive total (ms)",
-            "winner",
-            "factor",
-        ],
-        [
-            length,
-            round(incremental_s * 1e3, 2),
-            round(naive_s * 1e3, 2),
-            "incremental" if incremental_s <= naive_s else "naive",
-            round(
-                max(incremental_s, naive_s)
-                / max(1e-9, min(incremental_s, naive_s)),
-                2,
-            ),
-        ],
-        title=f"total checking time, unbounded ONCE (seed {SEED})",
-    )
+
+def test_e3():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e3")

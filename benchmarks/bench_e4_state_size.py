@@ -7,48 +7,62 @@ joins are over one shared variable), while remaining independent of
 the history before it (E2 established the latter).
 """
 
-import pytest
-
-from _experiments import record_row
 from repro.analysis.metrics import measure_run
 from repro.workloads import random_workload
 
 LENGTH = 150
 SEED = 404
-UNIVERSES = [2, 4, 8, 16, 32]
+
+PROFILES = {
+    "short": [2, 4, 8],
+    "full": [2, 4, 8, 16, 32],
+}
+
+HEADERS = [
+    "universe",
+    "avg state rows",
+    "incremental us/step",
+    "peak aux tuples",
+]
 
 
-@pytest.mark.benchmark(group="e4-state-size")
-@pytest.mark.parametrize("universe", UNIVERSES)
-def test_e4_step_time_vs_state_size(benchmark, universe):
-    workload = random_workload(
-        universe_size=universe, window=8, constraint_count=2,
-        max_inserts=4, max_deletes=1,
+def run(recorder, profile="full"):
+    for universe in PROFILES[profile]:
+        workload = random_workload(
+            universe_size=universe, window=8, constraint_count=2,
+            max_inserts=4, max_deletes=1,
+        )
+        stream = workload.stream(LENGTH, seed=SEED)
+        history = stream.replay(workload.schema)
+        avg_state_rows = (
+            sum(s.state.total_rows for s in history) / history.length
+        )
+        metrics = measure_run(workload.checker(), stream)
+        recorder.row(
+            HEADERS,
+            [
+                universe,
+                round(avg_state_rows, 1),
+                round(metrics.mean_step_seconds * 1e6, 1),
+                metrics.peak_space,
+            ],
+            title=f"per-step cost vs state size (history length {LENGTH}, "
+                  f"seed {SEED})",
+        )
+    # the sweep must actually grow the states the checker queries
+    recorder.expect_growth(
+        "average state cardinality grows with the universe",
+        "avg state rows", min_order=0.3,
     )
-    stream = workload.stream(LENGTH, seed=SEED)
-    history = stream.replay(workload.schema)
-    avg_state_rows = (
-        sum(s.state.total_rows for s in history) / history.length
+    # ... and per-step cost must not blow up faster than quadratically
+    # in it (the constraint joins over one shared variable)
+    recorder.expect_growth(
+        "per-step cost bounded by a low polynomial of the state",
+        "incremental us/step", max_order=2.0,
     )
 
-    def run():
-        return measure_run(workload.checker(), stream)
 
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_row(
-        "e4",
-        [
-            "universe",
-            "avg state rows",
-            "incremental us/step",
-            "peak aux tuples",
-        ],
-        [
-            universe,
-            round(avg_state_rows, 1),
-            round(metrics.mean_step_seconds * 1e6, 1),
-            metrics.peak_space,
-        ],
-        title=f"per-step cost vs state size (history length {LENGTH}, "
-              f"seed {SEED})",
-    )
+def test_e4():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e4")

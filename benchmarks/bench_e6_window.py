@@ -8,47 +8,66 @@ unbounded window, which switches to the min-timestamp encoding, should
 cost no more than the *smallest* window despite looking back forever.
 """
 
-import pytest
-
-from _experiments import record_row
 from repro.analysis.metrics import measure_run
 from repro.core.checker import IncrementalChecker
 from repro.workloads import random_workload, window_constraint
 
 LENGTH = 300
 SEED = 606
-WINDOWS = [2, 4, 8, 16, 32, 64, None]
+
+PROFILES = {
+    "short": [2, 8, 32, None],
+    "full": [2, 4, 8, 16, 32, 64, None],
+}
 
 WORKLOAD = random_workload(universe_size=6)
 
+HEADERS = [
+    "window",
+    "peak aux tuples",
+    "final aux tuples",
+    "incremental us/step",
+]
 
-@pytest.mark.benchmark(group="e6-window")
-@pytest.mark.parametrize(
-    "window", WINDOWS, ids=[str(w) for w in WINDOWS]
-)
-def test_e6_aux_size_vs_window(benchmark, window):
-    constraint = window_constraint(window)
-    stream = WORKLOAD.stream(LENGTH, seed=SEED)
 
-    def run():
+def run(recorder, profile="full"):
+    peaks = {}
+    for window in PROFILES[profile]:
+        constraint = window_constraint(window)
+        stream = WORKLOAD.stream(LENGTH, seed=SEED)
         checker = IncrementalChecker(WORKLOAD.schema, [constraint])
-        return measure_run(checker, stream)
-
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_row(
-        "e6",
-        [
-            "window",
-            "peak aux tuples",
-            "final aux tuples",
-            "incremental us/step",
-        ],
-        [
-            "*" if window is None else window,
-            metrics.peak_space,
-            metrics.final_space,
-            round(metrics.mean_step_seconds * 1e6, 1),
-        ],
-        title=f"auxiliary size vs metric window (history length {LENGTH}, "
-              f"seed {SEED})",
+        metrics = measure_run(checker, stream)
+        peaks[window] = metrics.peak_space
+        recorder.row(
+            HEADERS,
+            [
+                "*" if window is None else window,
+                metrics.peak_space,
+                metrics.final_space,
+                round(metrics.mean_step_seconds * 1e6, 1),
+            ],
+            title=f"auxiliary size vs metric window (history length "
+                  f"{LENGTH}, seed {SEED})",
+        )
+    smallest = min(w for w in peaks if w is not None)
+    recorder.check(
+        "unbounded window costs no more than the smallest window",
+        peaks[None] <= peaks[smallest],
+        detail=f"peak aux: unbounded {peaks[None]} vs "
+               f"window {smallest} -> {peaks[smallest]}",
     )
+    bounded = sorted(w for w in peaks if w is not None)
+    recorder.check(
+        "widening a bounded window never shrinks the auxiliary state",
+        all(
+            peaks[a] <= peaks[b] for a, b in zip(bounded, bounded[1:])
+        ),
+        detail="peaks by window: "
+               + ", ".join(f"{w}->{peaks[w]}" for w in bounded),
+    )
+
+
+def test_e6():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e6")

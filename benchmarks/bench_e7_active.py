@@ -12,57 +12,67 @@ state; every engine reports the same violations.
 
 import time
 
-import pytest
-
-from _experiments import record_row
 from repro.analysis.metrics import space_of
 from repro.workloads import library_workload
 
-LENGTH = 250
 SEED = 707
 
+PROFILES = {
+    "short": 100,
+    "full": 250,
+}
+
 WORKLOAD = library_workload(violation_rate=0.08)
-STREAM = WORKLOAD.stream(LENGTH, seed=SEED)
 
 ENGINES = ["incremental", "active", "naive", "naive-memo"]
 
-_verdicts = {}
+HEADERS = [
+    "engine",
+    "total (ms)",
+    "us/step",
+    "stored tuples",
+    "violations",
+]
 
 
-@pytest.mark.benchmark(group="e7-implementations")
-@pytest.mark.parametrize("engine", ENGINES)
-def test_e7_implementation_routes(benchmark, engine):
-    def run():
+def run(recorder, profile="full"):
+    length = PROFILES[profile]
+    stream = WORKLOAD.stream(length, seed=SEED)
+    verdicts = {}
+    for engine in ENGINES:
         monitor = WORKLOAD.monitor(engine)
         started = time.perf_counter()
-        report = monitor.run(STREAM)
+        report = monitor.run(stream)
         elapsed = time.perf_counter() - started
-        return report, elapsed, space_of(monitor.checker)
-
-    report, elapsed, space = benchmark.pedantic(run, rounds=1, iterations=1)
-    _verdicts[engine] = [
-        (v.constraint, v.time, v.witnesses) for v in report.violations
-    ]
-    if "incremental" in _verdicts:
-        assert _verdicts[engine] == _verdicts["incremental"], (
-            f"{engine} disagrees with the incremental checker"
+        verdicts[engine] = [
+            (v.constraint, v.time, v.witnesses) for v in report.violations
+        ]
+        recorder.row(
+            HEADERS,
+            [
+                engine,
+                round(elapsed * 1e3, 1),
+                round(elapsed / length * 1e6, 1),
+                space_of(monitor.checker),
+                report.violation_count,
+            ],
+            title=f"implementation routes, library workload "
+                  f"({length} states, seed {SEED})",
         )
-    record_row(
-        "e7",
-        [
-            "engine",
-            "total (ms)",
-            "us/step",
-            "stored tuples",
-            "violations",
-        ],
-        [
-            engine,
-            round(elapsed * 1e3, 1),
-            round(elapsed / LENGTH * 1e6, 1),
-            space,
-            report.violation_count,
-        ],
-        title=f"implementation routes, library workload "
-              f"({LENGTH} states, seed {SEED})",
+    disagreeing = [
+        engine for engine in ENGINES
+        if verdicts[engine] != verdicts["incremental"]
+    ]
+    recorder.check(
+        "all four engines report identical violations",
+        not disagreeing,
+        detail="disagrees with incremental: " + ", ".join(disagreeing)
+               if disagreeing else
+               f"{len(verdicts['incremental'])} violations from each engine",
     )
+
+
+def test_e7():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e7")

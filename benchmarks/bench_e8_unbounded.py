@@ -8,60 +8,63 @@ history length with both operators active and record auxiliary size
 history length) and steady-state step time (flat).
 """
 
-import pytest
-
-from _experiments import record_row
-from repro.analysis.shapes import is_flat
 from repro.analysis.metrics import measure_run
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.workloads import random_workload
 
-LENGTHS = [100, 200, 400, 800]
 SEED = 808
 UNIVERSE = 6
 
-WORKLOAD = random_workload(universe_size=UNIVERSE)
+PROFILES = {
+    "short": [100, 200, 400],
+    "full": [100, 200, 400, 800],
+}
 
-_tails = {}
+WORKLOAD = random_workload(universe_size=UNIVERSE)
 
 CONSTRAINTS = [
     Constraint("once-unbounded", "flag(x) -> ONCE[2,*] event(x)"),
     Constraint("since-unbounded", "flag(x) -> event(x) SINCE[3,*] event(x)"),
 ]
 
+HEADERS = [
+    "history length",
+    "peak aux tuples",
+    "theoretical bound",
+    "us/step (tail)",
+]
 
-@pytest.mark.benchmark(group="e8-unbounded")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e8_unbounded_encoding(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
+# two unbounded nodes, each at most one tuple per universe value
+BOUND = 2 * UNIVERSE
 
-    def run():
+
+def run(recorder, profile="full"):
+    for length in PROFILES[profile]:
+        stream = WORKLOAD.stream(length, seed=SEED)
         checker = IncrementalChecker(WORKLOAD.schema, CONSTRAINTS)
-        return measure_run(checker, stream)
-
-    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    # two unbounded nodes, each at most one tuple per universe value
-    bound = 2 * UNIVERSE
-    record_row(
-        "e8",
-        [
-            "history length",
-            "peak aux tuples",
-            "theoretical bound",
-            "us/step (tail)",
-        ],
-        [
-            length,
-            metrics.peak_space,
-            bound,
-            round(metrics.tail_mean_step_seconds() * 1e6, 1),
-        ],
-        title=f"unbounded operators: min-timestamp encoding "
-              f"(universe {UNIVERSE}, seed {SEED})",
+        metrics = measure_run(checker, stream)
+        recorder.row(
+            HEADERS,
+            [
+                length,
+                metrics.peak_space,
+                BOUND,
+                round(metrics.tail_mean_step_seconds() * 1e6, 1),
+            ],
+            title=f"unbounded operators: min-timestamp encoding "
+                  f"(universe {UNIVERSE}, seed {SEED})",
+        )
+    recorder.expect_max(
+        "peak aux space bounded by one tuple per valuation",
+        "peak aux tuples", limit=BOUND,
     )
-    assert metrics.peak_space <= bound
-    _tails[length] = metrics.tail_mean_step_seconds()
-    if len(_tails) == len(LENGTHS):
-        assert is_flat(
-            [_tails[n] for n in LENGTHS], tolerance_ratio=4.0
-        ), "per-step time must stay flat with unbounded operators"
+    recorder.expect_flat(
+        "per-step time stays flat with unbounded operators",
+        "us/step (tail)", tolerance_ratio=4.0,
+    )
+
+
+def test_e8():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e8")

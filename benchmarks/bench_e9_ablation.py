@@ -10,68 +10,79 @@ it, aux growing roughly linearly with history length; identical
 verdicts either way.
 """
 
-import pytest
-
-from _experiments import record_row
-from repro.analysis.shapes import growth_order, is_flat
 from repro.analysis.metrics import measure_run
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.workloads import random_workload
 
-LENGTHS = [100, 200, 400, 800]
 SEED = 909
+
+PROFILES = {
+    "short": [100, 200, 400],
+    "full": [100, 200, 400, 800],
+}
 
 WORKLOAD = random_workload(universe_size=6)
 CONSTRAINT = Constraint("once-unbounded", "flag(x) -> ONCE[0,*] event(x)")
 
-_peaks = {}
+HEADERS = [
+    "history length",
+    "aux tuples (collapse on)",
+    "aux tuples (collapse off)",
+    "off/on",
+]
 
 
-@pytest.mark.benchmark(group="e9-ablation")
-@pytest.mark.parametrize("length", LENGTHS)
-def test_e9_collapse_ablation(benchmark, length):
-    stream = WORKLOAD.stream(length, seed=SEED)
-
-    def run_both():
-        with_collapse = IncrementalChecker(
-            WORKLOAD.schema, [CONSTRAINT], collapse_unbounded=True
+def run(recorder, profile="full"):
+    verdicts_agree = True
+    for length in PROFILES[profile]:
+        stream = WORKLOAD.stream(length, seed=SEED)
+        collapsed = measure_run(
+            IncrementalChecker(
+                WORKLOAD.schema, [CONSTRAINT], collapse_unbounded=True
+            ),
+            stream,
         )
-        without_collapse = IncrementalChecker(
-            WORKLOAD.schema, [CONSTRAINT], collapse_unbounded=False
+        uncollapsed = measure_run(
+            IncrementalChecker(
+                WORKLOAD.schema, [CONSTRAINT], collapse_unbounded=False
+            ),
+            stream,
         )
-        return (
-            measure_run(with_collapse, stream),
-            measure_run(without_collapse, stream),
+        verdicts_agree = verdicts_agree and (
+            [v.witnesses for v in collapsed.report.violations]
+            == [v.witnesses for v in uncollapsed.report.violations]
         )
-
-    collapsed, uncollapsed = benchmark.pedantic(
-        run_both, rounds=1, iterations=1
+        recorder.row(
+            HEADERS,
+            [
+                length,
+                collapsed.peak_space,
+                uncollapsed.peak_space,
+                round(
+                    uncollapsed.peak_space
+                    / max(1, collapsed.peak_space),
+                    1,
+                ),
+            ],
+            title=f"min-timestamp collapse ablation, ONCE[0,*] "
+                  f"(universe 6, seed {SEED})",
+        )
+    recorder.check(
+        "the collapse must not change semantics",
+        verdicts_agree,
+        detail="identical violation witnesses at every length"
+               if verdicts_agree else "verdicts diverged",
     )
-    assert [v.witnesses for v in collapsed.report.violations] == [
-        v.witnesses for v in uncollapsed.report.violations
-    ], "the collapse must not change semantics"
-    record_row(
-        "e9",
-        [
-            "history length",
-            "aux tuples (collapse on)",
-            "aux tuples (collapse off)",
-            "off/on",
-        ],
-        [
-            length,
-            collapsed.peak_space,
-            uncollapsed.peak_space,
-            round(uncollapsed.peak_space / max(1, collapsed.peak_space), 1),
-        ],
-        title=f"min-timestamp collapse ablation, ONCE[0,*] "
-              f"(universe 6, seed {SEED})",
+    recorder.expect_flat(
+        "collapse keeps aux flat", "aux tuples (collapse on)"
     )
-    _peaks[length] = (collapsed.peak_space, uncollapsed.peak_space)
-    if len(_peaks) == len(LENGTHS):
-        on = [_peaks[n][0] for n in LENGTHS]
-        off = [_peaks[n][1] for n in LENGTHS]
-        assert is_flat(on), "collapse must keep aux flat"
-        assert growth_order(LENGTHS, off) > 0.8, (
-            "without the collapse, aux must grow with the history"
-        )
+    recorder.expect_growth(
+        "without the collapse, aux grows with the history",
+        "aux tuples (collapse off)", min_order=0.8,
+    )
+
+
+def test_e9():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e9")

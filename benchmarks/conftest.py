@@ -1,3 +1,9 @@
-"""Pytest hooks for the benchmark suite (see _experiments.py)."""
+"""Pytest hooks for the benchmark suite.
 
-from _experiments import pytest_sessionfinish  # noqa: F401
+The experiments live in plain ``run(recorder, profile)`` functions
+(see ``_experiments.py``); each ``bench_eN_*.py`` carries a thin
+``test_eN`` wrapper, so ``pytest benchmarks/`` regenerates
+``results/eN.txt`` + ``BENCH_<exp>.json`` and asserts every declared
+paper shape.  Set ``REPRO_BENCH_PROFILE=short`` for the trimmed CI
+sweeps.
+"""

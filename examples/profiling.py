@@ -1,0 +1,59 @@
+"""Profiling: where does a monitored run actually spend its time?
+
+The :class:`~repro.obs.Profiler` rides the same instrumentation hooks
+as tracing and metrics, but aggregates flame-style: one ``step`` root
+with ``apply`` / ``aux <OP>`` / ``evaluate <constraint>`` children,
+collapsed per operator.  It takes no clock readings of its own — every
+duration was measured by the engine — so two runs over the same stream
+produce the same profile *structure* (paths and call counts), which is
+what makes profiler output diffable across commits.
+
+The same aggregation can be rebuilt offline from a recorded JSONL
+trace (:meth:`Profile.from_trace`), so a live profiler and a saved
+``--trace`` file tell one story.
+
+Run: python examples/profiling.py
+"""
+
+from repro.obs import MonitorInstrumentation, Profile, Profiler, Tracer
+from repro.workloads import library_workload
+
+# --- profile a live run ----------------------------------------------------
+workload = library_workload(violation_rate=0.15)
+monitor = workload.monitor("incremental")
+
+profiler = Profiler()
+monitor.instrument(profiler)
+for time, txn in workload.stream(300, seed=42):
+    monitor.step(time, txn)
+
+print("hottest operations by self time:")
+print(profiler.top(limit=6))
+
+print("\nthe full aggregation tree:")
+print(profiler.tree())
+
+# --- the deterministic skeleton: what regression diffs key on --------------
+counts = profiler.profile.call_counts()
+print("\ncall counts (structure only, identical across reruns):")
+for path in sorted(counts):
+    print(f"  {path:<40} {counts[path]:>6}")
+
+# every constraint was evaluated at every step
+steps = counts["step"]
+evaluate_paths = [p for p in counts if p.startswith("step/evaluate ")]
+assert all(counts[p] == steps for p in evaluate_paths)
+
+# --- the same profile, rebuilt from a recorded trace -----------------------
+tracer = Tracer()
+replay = workload.monitor("incremental")
+replay.instrument(MonitorInstrumentation(tracer=tracer))
+for time, txn in workload.stream(300, seed=42):
+    replay.step(time, txn)
+
+from_trace = Profile.from_trace(tracer.events)
+assert from_trace.call_counts()["step"] == steps
+for path in evaluate_paths:
+    assert from_trace.call_counts()[path] == counts[path]
+print("\nlive profiler and trace replay agree on the skeleton "
+      f"({steps} steps, {len(evaluate_paths)} constraint leaves)")

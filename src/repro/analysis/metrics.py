@@ -102,7 +102,7 @@ class RunMetrics:
         )
 
 
-def measure_run(checker, stream, registry=None) -> RunMetrics:
+def measure_run(checker, stream, registry=None, warmup=0) -> RunMetrics:
     """Drive ``checker`` through ``stream``, measuring every step.
 
     Args:
@@ -114,7 +114,15 @@ def measure_run(checker, stream, registry=None) -> RunMetrics:
             (``repro_step_seconds`` histogram, ``repro_aux_tuples_total``
             gauge, labelled by engine), so benchmark measurements and
             live telemetry share one pipeline and one naming scheme.
+        warmup: number of leading steps to run *unmeasured*.  Warmup
+            steps still advance the checker (and their violations stay
+            in the returned report — verdicts are not a perf figure),
+            but their samples are excluded from the step/space series
+            **and from the registry**, so cold-start allocations never
+            leak into histogram buckets.
     """
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
     step_seconds: List[float] = []
     space_samples: List[int] = []
     step_hist = space_gauge = None
@@ -131,7 +139,12 @@ def measure_run(checker, stream, registry=None) -> RunMetrics:
             engine=label,
         )
     report = RunReport()
+    remaining_warmup = warmup
     for when, txn in stream:
+        if remaining_warmup > 0:
+            remaining_warmup -= 1
+            report.add(checker.step(when, txn))
+            continue
         started = time.perf_counter()
         report.add(checker.step(when, txn))
         elapsed = time.perf_counter() - started

@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check generate --workload library --length 200 --seed 1 --out DIR
     repro-check analyze  --constraints c.txt [--trace t.jsonl]
-    repro-check stats    --trace t.jsonl
+    repro-check stats    --trace t.jsonl [--percentiles]
+    repro-check bench    --all --json [--profile short|full]
+    repro-check perf     --check benchmarks/baselines [--candidate DIR]
 
 ``check`` replays a JSONL update stream against a constraint file and
 reports violations (exit status 1 if any); ``--trace``/``--metrics``
@@ -16,7 +18,13 @@ consumes.  ``analyze`` prints each constraint's compilation profile —
 safety verdict, clock horizon, temporal node counts — and, given a
 trace, joins in the observed per-constraint runtime figures.  ``stats``
 summarises a trace: step/evaluate latencies per constraint and an
-ASCII step-latency histogram.
+ASCII step-latency histogram (``--percentiles`` adds p50/p90/p99).
+``bench`` runs the paper's experiments through the structured runner
+in ``benchmarks/_experiments.py``, regenerating ``results/eN.txt`` and
+(with ``--json``) the machine-readable ``BENCH_<exp>.json`` artifacts.
+``perf`` compares a candidate run against committed baselines and
+exits non-zero when a paper *shape* breaks (timing deltas warn only,
+or gate with ``--strict``).
 """
 
 from __future__ import annotations
@@ -143,6 +151,81 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=42,
         help="bar width of the latency histogram",
     )
+    stats.add_argument(
+        "--percentiles", action="store_true",
+        help="report p50/p90/p99 latency columns from the trace spans",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="run the paper's experiments (structured runner)"
+    )
+    bench.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    bench.add_argument(
+        "-e", "--experiment", action="append", default=None,
+        metavar="EXP", help="experiment id (e1..e12); repeatable",
+    )
+    bench.add_argument(
+        "--profile", choices=("short", "full"), default="full",
+        help="sweep profile (default: full; CI smoke uses short)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="also write a BENCH_<exp>.json artifact per experiment",
+    )
+    bench.add_argument(
+        "--metrics", action="store_true",
+        help="embed a per-run metrics-registry dump in each artifact",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory (default: <bench-dir>/results)",
+    )
+    bench.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="directory holding the bench_e*.py experiments "
+             "(default: ./benchmarks, or the repo checkout's)",
+    )
+    bench.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any shape expectation fails",
+    )
+
+    perf = commands.add_parser(
+        "perf", help="compare benchmark artifacts against baselines"
+    )
+    perf.add_argument(
+        "--check", required=True, metavar="DIR",
+        help="baseline directory of committed BENCH_*.json artifacts",
+    )
+    perf.add_argument(
+        "--candidate", default=None, metavar="DIR",
+        help="candidate artifact directory (default: run the baseline "
+             "experiments fresh)",
+    )
+    perf.add_argument(
+        "--profile", choices=("short", "full"), default="short",
+        help="sweep profile for fresh candidate runs (default: short)",
+    )
+    perf.add_argument(
+        "--noise", type=float, default=0.25,
+        help="multiplicative noise band for series deltas "
+             "(default: 0.25)",
+    )
+    perf.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="keep fresh candidate artifacts here (default: temp dir)",
+    )
+    perf.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="directory holding the bench_e*.py experiments",
+    )
+    perf.add_argument(
+        "--strict", action="store_true",
+        help="also exit non-zero on timing regressions (not just "
+             "broken shapes)",
+    )
     return parser
 
 
@@ -249,12 +332,16 @@ def _constraint_trace_stats(events) -> dict:
             continue
         entry = stats.setdefault(
             event.get("constraint"),
-            {"evals": 0, "seconds": 0.0, "max": 0.0, "violations": 0},
+            {
+                "evals": 0, "seconds": 0.0, "max": 0.0,
+                "violations": 0, "durations": [],
+            },
         )
         entry["evals"] += 1
         entry["seconds"] += event.get("duration", 0.0)
         entry["max"] = max(entry["max"], event.get("duration", 0.0))
         entry["violations"] += event.get("violations", 0)
+        entry["durations"].append(event.get("duration", 0.0))
     return stats
 
 
@@ -328,29 +415,35 @@ def _format_seconds(seconds: float) -> str:
 
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.analysis.ascii_plot import bar_chart
-    from repro.obs import DEFAULT_LATENCY_BUCKETS
+    from repro.obs import DEFAULT_LATENCY_BUCKETS, percentile
 
     events = _load_trace(args.trace)
+    if not events:
+        # an empty trace is a valid (if dull) run record, not an error
+        print(f"no spans recorded in {args.trace}")
+        return 0
     steps = [e for e in events if e.get("name") == "step"]
     if not steps:
         print(f"no step spans in {args.trace}")
-        return 1
+        return 0
     durations = sorted(e.get("duration", 0.0) for e in steps)
     total = sum(durations)
     engines = sorted({e.get("engine") for e in steps if e.get("engine")})
     violations = sum(e.get("violations", 0) for e in steps)
+    quantiles = (50, 90, 99) if args.percentiles else (50, 95)
     print(
         format_table(
-            ["steps", "engine", "total ms", "mean us", "p50 us", "p95 us",
-             "max us", "violating steps"],
+            ["steps", "engine", "total ms", "mean us"]
+            + [f"p{q} us" for q in quantiles]
+            + ["max us", "violating steps"],
             [[
                 len(durations),
                 ",".join(engines) or "-",
                 round(total * 1e3, 2),
                 round(total / len(durations) * 1e6, 1),
-                round(durations[len(durations) // 2] * 1e6, 1),
-                round(durations[int(len(durations) * 0.95)
-                                if len(durations) > 1 else 0] * 1e6, 1),
+            ] + [
+                round(percentile(durations, q) * 1e6, 1) for q in quantiles
+            ] + [
                 round(durations[-1] * 1e6, 1),
                 sum(1 for e in steps if e.get("violations", 0)),
             ]],
@@ -360,20 +453,28 @@ def _command_stats(args: argparse.Namespace) -> int:
 
     per_constraint = _constraint_trace_stats(events)
     if per_constraint:
-        rows = [
-            [
+        headers = ["constraint", "evals", "mean us"]
+        if args.percentiles:
+            headers += [f"p{q} us" for q in (50, 90, 99)]
+        headers += ["max us", "violations"]
+        rows = []
+        for name, entry in sorted(per_constraint.items()):
+            row = [
                 name,
                 entry["evals"],
                 round(entry["seconds"] / entry["evals"] * 1e6, 1),
-                round(entry["max"] * 1e6, 1),
-                entry["violations"],
             ]
-            for name, entry in sorted(per_constraint.items())
-        ]
+            if args.percentiles:
+                row += [
+                    round(percentile(entry["durations"], q) * 1e6, 1)
+                    for q in (50, 90, 99)
+                ]
+            row += [round(entry["max"] * 1e6, 1), entry["violations"]]
+            rows.append(row)
         print()
         print(
             format_table(
-                ["constraint", "evals", "mean us", "max us", "violations"],
+                headers,
                 rows,
                 title="per-constraint evaluation",
             )
@@ -405,6 +506,156 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _find_bench_dir(override: Optional[str]) -> Path:
+    """Locate the directory holding ``_experiments.py`` + bench modules."""
+    candidates = (
+        [Path(override)]
+        if override
+        else [
+            Path.cwd() / "benchmarks",
+            Path(__file__).resolve().parents[2] / "benchmarks",
+        ]
+    )
+    for candidate in candidates:
+        if (candidate / "_experiments.py").is_file():
+            return candidate.resolve()
+    raise ReproError(
+        "cannot locate the benchmarks directory "
+        "(run from the repo root or pass --bench-dir)"
+    )
+
+
+def _bench_runner(bench_dir: Path):
+    """Import ``benchmarks/_experiments.py`` as the experiment runner."""
+    import importlib
+
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    module = importlib.import_module("_experiments")
+    loaded = Path(getattr(module, "__file__", "")).resolve().parent
+    if loaded != bench_dir:
+        raise ReproError(
+            f"a different _experiments module is already loaded "
+            f"(from {loaded}); cannot run {bench_dir}"
+        )
+    return module
+
+
+def _experiment_order(ids) -> List[str]:
+    """Experiment ids in numeric order (e1, e2, ..., e12)."""
+    def key(exp: str):
+        digits = "".join(ch for ch in exp if ch.isdigit())
+        return (int(digits) if digits else 0, exp)
+
+    return sorted(ids, key=key)
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    bench_dir = _find_bench_dir(args.bench_dir)
+    runner = _bench_runner(bench_dir)
+    known = _experiment_order(runner.EXPERIMENTS)
+    if args.all:
+        selected = known
+    elif args.experiment:
+        unknown = [e for e in args.experiment if e not in runner.EXPERIMENTS]
+        if unknown:
+            raise ReproError(
+                f"unknown experiment(s): {', '.join(unknown)} "
+                f"(known: {', '.join(known)})"
+            )
+        selected = _experiment_order(set(args.experiment))
+    else:
+        raise ReproError(
+            f"pass --all or -e <exp> (known: {', '.join(known)})"
+        )
+    out_dir = Path(args.out) if args.out else bench_dir / "results"
+    failures = []
+    for exp in selected:
+        recorder = runner.run_experiment(
+            exp,
+            profile=args.profile,
+            out_dir=out_dir,
+            json_artifact=args.json,
+            metrics=args.metrics,
+        )
+        written = f"{out_dir / (exp + '.txt')}"
+        if args.json:
+            from repro.obs.bench import artifact_path
+
+            written += f", {artifact_path(out_dir, exp)}"
+        print(f"[{exp}] {recorder.title} -> {written}")
+        for failure in recorder.failures():
+            failures.append((exp, failure))
+            print(
+                f"[{exp}] SHAPE FAILED: {failure['name']} "
+                f"({failure.get('detail', '')})"
+            )
+    print(
+        f"ran {len(selected)} experiment(s), profile={args.profile}, "
+        f"{len(failures)} shape failure(s)"
+    )
+    if failures and args.strict:
+        return 1
+    return 0
+
+
+def _command_perf(args: argparse.Namespace) -> int:
+    from repro.obs.bench import read_artifact_dir
+    from repro.obs.regress import compare_dirs, format_report
+
+    baseline_dir = Path(args.check)
+    try:
+        baselines = read_artifact_dir(baseline_dir)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read baselines: {exc}") from exc
+    if not baselines:
+        raise ReproError(f"no BENCH_*.json artifacts in {baseline_dir}")
+
+    if args.candidate:
+        candidate_dir = Path(args.candidate)
+    else:
+        import tempfile
+
+        bench_dir = _find_bench_dir(args.bench_dir)
+        runner = _bench_runner(bench_dir)
+        candidate_dir = Path(
+            args.out or tempfile.mkdtemp(prefix="repro-perf-")
+        )
+        for exp in _experiment_order(baselines):
+            if exp not in runner.EXPERIMENTS:
+                print(f"note: no experiment module for baseline {exp}")
+                continue
+            print(f"[{exp}] running candidate sweep ({args.profile}) ...")
+            runner.run_experiment(
+                exp,
+                profile=args.profile,
+                out_dir=candidate_dir,
+                json_artifact=True,
+            )
+    try:
+        comparisons, notes = compare_dirs(
+            baseline_dir, candidate_dir, noise=args.noise
+        )
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot compare artifacts: {exc}") from exc
+    print(format_report(comparisons, notes))
+    broken = [c.experiment for c in comparisons if c.shape_broken]
+    regressed = [c.experiment for c in comparisons if c.regressions]
+    if broken:
+        print(
+            f"\nFAIL: paper shape(s) broken in {', '.join(broken)}",
+            file=sys.stderr,
+        )
+        return 1
+    if regressed:
+        message = f"timing regression(s) in {', '.join(regressed)}"
+        if args.strict:
+            print(f"\nFAIL: {message}", file=sys.stderr)
+            return 1
+        print(f"\nwarning: {message} (within shape bounds; not gating)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_arg_parser().parse_args(argv)
@@ -415,6 +666,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_generate(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "bench":
+            return _command_bench(args)
+        if args.command == "perf":
+            return _command_perf(args)
         return _command_analyze(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -22,8 +22,23 @@ counters, gauges, latency histograms)::
 
 With no instrumentation attached, every hook site is a single ``None``
 check — see ``docs/observability.md`` for the overhead discussion.
+
+Performance observability rides the same hooks:
+:class:`~repro.obs.profiler.Profiler` aggregates per-operator
+cumulative/self time (``top``/``tree`` reports),
+:mod:`repro.obs.bench` defines the machine-readable ``BENCH_<exp>.json``
+benchmark artifact, and :mod:`repro.obs.regress` compares fresh
+artifacts against committed baselines (the ``repro perf`` gate).
 """
 
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    build_artifact,
+    percentile,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
 from repro.obs.export import (
     render_json,
     render_prometheus,
@@ -38,9 +53,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiler import Profile, Profiler
+from repro.obs.regress import (
+    compare_artifacts,
+    compare_dirs,
+    format_report,
+)
 from repro.obs.tracer import Tracer, read_trace
 
 __all__ = [
+    "BENCH_SCHEMA",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
@@ -49,9 +71,19 @@ __all__ = [
     "Instrumentation",
     "MetricsRegistry",
     "MonitorInstrumentation",
+    "Profile",
+    "Profiler",
     "Tracer",
+    "build_artifact",
+    "compare_artifacts",
+    "compare_dirs",
+    "format_report",
+    "percentile",
+    "read_artifact",
     "read_trace",
     "render_json",
     "render_prometheus",
+    "validate_artifact",
+    "write_artifact",
     "write_metrics",
 ]

@@ -1,0 +1,318 @@
+"""Deterministic op-level profiler riding the instrumentation hooks.
+
+:class:`Profiler` is an :class:`~repro.obs.instrument.Instrumentation`
+subclass, so it attaches anywhere a tracer or metrics registry does —
+engines keep their single ``if instrumentation is not None`` guard and
+the disabled path stays allocation- and call-free.  Unlike a sampling
+profiler it takes **no clock readings of its own**: every duration it
+aggregates was measured by the engine and delivered through a hook, so
+two runs over the same stream produce the same profile *structure*
+(operator paths, call counts) with only the timings differing.
+
+The aggregation is flame-style: a tree keyed by the tracer's span
+stack, collapsed per operator rather than per occurrence::
+
+    step                          one node per engine step
+    ├── apply                     transaction application
+    ├── aux ONCE[0,8]             auxiliary updates, one node per
+    ├── aux SINCE[2,*]              temporal operator (PREV/ONCE/SINCE
+    ├── rule <name>                 with their intervals)
+    └── evaluate <constraint>     per-constraint formula evaluation
+
+Each node carries cumulative seconds, *self* seconds (cumulative minus
+children — for ``step`` that is the checker's own bookkeeping around
+the hooked operations), and call counts.  :meth:`Profile.top` renders
+a flat hottest-first table; :meth:`Profile.tree` the indented tree in
+deterministic (lexicographic) child order.
+
+A :class:`Profile` can also be rebuilt offline from a recorded JSONL
+trace via :meth:`Profile.from_trace`, keyed the same way, so ``check
+--trace`` output and a live profiler agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs.instrument import Instrumentation
+
+#: hook-event names that become profile nodes under ``step``
+_CHILD_QUALIFIERS = {
+    "aux": "node",
+    "evaluate": "constraint",
+    "rule": "rule",
+}
+
+
+def operator_of(node_label: str) -> str:
+    """The operator key of an auxiliary node label.
+
+    Node labels are formula renderings such as ``"ONCE[0,8] event(x)"``
+    or ``"PREV flag(x)"``; the per-operator aggregation keys on the
+    leading operator token (interval included), collapsing all nodes of
+    the same operator shape into one profile row.
+    """
+    return str(node_label).split(" ", 1)[0]
+
+
+class OpStats:
+    """Aggregated figures for one profile node."""
+
+    __slots__ = ("calls", "seconds", "child_seconds", "children")
+
+    def __init__(self):
+        self.calls = 0
+        self.seconds = 0.0
+        self.child_seconds = 0.0
+        self.children: Dict[str, OpStats] = {}
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.seconds += seconds
+
+    @property
+    def self_seconds(self) -> float:
+        """Cumulative time minus time attributed to children (>= 0)."""
+        return max(0.0, self.seconds - self.child_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+    def child(self, key: str) -> "OpStats":
+        node = self.children.get(key)
+        if node is None:
+            node = OpStats()
+            self.children[key] = node
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"OpStats(calls={self.calls}, cum={self.seconds:.6f}s, "
+            f"self={self.self_seconds:.6f}s, "
+            f"{len(self.children)} child(ren))"
+        )
+
+
+class Profile:
+    """A flame-style aggregation of hook-measured operations."""
+
+    def __init__(self):
+        self.roots: Dict[str, OpStats] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def root(self, key: str) -> OpStats:
+        """The root node for ``key``, created on first use."""
+        node = self.roots.get(key)
+        if node is None:
+            node = OpStats()
+            self.roots[key] = node
+        return node
+
+    @classmethod
+    def from_trace(cls, events: Iterable[Dict[str, Any]]) -> "Profile":
+        """Aggregate recorded spans (see :func:`repro.obs.read_trace`).
+
+        Spans are keyed exactly as the live profiler keys hook calls:
+        ``step`` spans become roots; ``apply``/``aux``/``rule``/
+        ``evaluate`` children collapse per operator, constraint, or
+        rule.  Spans with unknown names aggregate under their own name
+        so third-party traces stay visible.
+        """
+        profile = cls()
+        by_id: Dict[Any, Dict[str, Any]] = {}
+        for event in events:
+            by_id[event.get("span")] = event
+        for event in events:
+            name = event.get("name")
+            duration = float(event.get("duration", 0.0))
+            parent = by_id.get(event.get("parent"))
+            if parent is None:
+                profile.root(str(name)).add(duration)
+                continue
+            # only one nesting level is produced by the stock hooks;
+            # deeper traces still collapse onto (root, leaf) pairs
+            root = profile.root(str(parent.get("name")))
+            root.child(cls._leaf_key(name, event)).add(duration)
+            root.child_seconds += duration
+        return profile
+
+    @staticmethod
+    def _leaf_key(name: str, attrs: Dict[str, Any]) -> str:
+        qualifier = _CHILD_QUALIFIERS.get(name)
+        if qualifier is None:
+            return str(name)
+        value = attrs.get(qualifier)
+        if value is None:
+            return str(name)
+        if name == "aux":
+            return f"aux {operator_of(value)}"
+        return f"{name} {value}"
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def walk(self) -> Iterator[Tuple[Tuple[str, ...], OpStats]]:
+        """Yield ``(path, stats)`` depth-first in lexicographic order."""
+        for key in sorted(self.roots):
+            yield from self._walk_node((key,), self.roots[key])
+
+    def _walk_node(self, path, node) -> Iterator[Tuple[Tuple[str, ...], OpStats]]:
+        yield path, node
+        for key in sorted(node.children):
+            yield from self._walk_node(path + (key,), node.children[key])
+
+    @property
+    def total_seconds(self) -> float:
+        """Cumulative seconds across root nodes."""
+        return sum(node.seconds for node in self.roots.values())
+
+    def call_counts(self) -> Dict[str, int]:
+        """``{"path/leaf": calls}`` — the deterministic skeleton two
+        identical runs must agree on (timings excluded)."""
+        return {"/".join(path): node.calls for path, node in self.walk()}
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-able dump: per path calls / cumulative / self seconds."""
+        return {
+            "/".join(path): {
+                "calls": node.calls,
+                "cum_seconds": node.seconds,
+                "self_seconds": node.self_seconds,
+            }
+            for path, node in self.walk()
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def top(self, limit: int = 10) -> str:
+        """The hottest operations by *self* time, flat, one per row."""
+        from repro.analysis.report import format_table
+
+        total = self.total_seconds
+        rows = sorted(
+            self.walk(),
+            key=lambda item: (-item[1].self_seconds, item[0]),
+        )[: max(1, limit)]
+        return format_table(
+            ["op", "calls", "cum ms", "self ms", "mean us", "% self"],
+            [
+                [
+                    "/".join(path),
+                    node.calls,
+                    round(node.seconds * 1e3, 3),
+                    round(node.self_seconds * 1e3, 3),
+                    round(node.mean_seconds * 1e6, 1),
+                    round(node.self_seconds / total * 100, 1)
+                    if total
+                    else 0.0,
+                ]
+                for path, node in rows
+            ],
+            title=f"top operations by self time "
+                  f"(total {total * 1e3:.2f} ms)",
+        )
+
+    def tree(self) -> str:
+        """The indented aggregation tree, children sorted by key."""
+        lines: List[str] = []
+        width = max(
+            (2 * (len(path) - 1) + len(path[-1]) for path, _ in self.walk()),
+            default=4,
+        )
+        for path, node in self.walk():
+            label = "  " * (len(path) - 1) + path[-1]
+            lines.append(
+                f"{label.ljust(width)}  "
+                f"calls {node.calls:>7}  "
+                f"cum {node.seconds * 1e3:>10.3f} ms  "
+                f"self {node.self_seconds * 1e3:>10.3f} ms  "
+                f"mean {node.mean_seconds * 1e6:>8.1f} us"
+            )
+        return "\n".join(lines) if lines else "(empty profile)"
+
+    def __repr__(self) -> str:
+        nodes = sum(1 for _ in self.walk())
+        return (
+            f"Profile({nodes} node(s), "
+            f"{self.total_seconds * 1e3:.2f} ms cumulative)"
+        )
+
+
+class Profiler(Instrumentation):
+    """Builds a :class:`Profile` from live engine hooks.
+
+    Attach via ``Monitor.instrument(Profiler())`` or the engine's
+    ``instrumentation=`` argument.  One profiler may serve several
+    engines; their steps merge under the shared ``step`` root (series
+    that must stay separable should use one profiler per engine).
+
+    The profiler allocates only on the enabled path; it takes no clock
+    readings (all durations arrive through the hooks), which is what
+    makes its reports deterministic in structure.
+    """
+
+    __slots__ = ("profile", "_step_node", "_pending_child_seconds")
+
+    def __init__(self):
+        self.profile = Profile()
+        self._step_node: Optional[OpStats] = None
+        self._pending_child_seconds = 0.0
+
+    # -- hook protocol -------------------------------------------------
+
+    def step_begin(self, engine, time, txn_rows) -> None:
+        self._step_node = self.profile.root("step")
+        self._pending_child_seconds = 0.0
+
+    def _leaf(self, key: str, seconds: float) -> None:
+        node = self._step_node
+        if node is None:
+            # hooks arriving outside a step aggregate at the root
+            self.profile.root(key).add(seconds)
+            return
+        node.child(key).add(seconds)
+        self._pending_child_seconds += seconds
+
+    def apply_done(self, engine, time, seconds) -> None:
+        self._leaf("apply", seconds)
+
+    def aux_advanced(self, engine, node, seconds, tuples) -> None:
+        self._leaf(f"aux {operator_of(node)}", seconds)
+
+    def rule_fired(self, engine, rule, time, seconds) -> None:
+        self._leaf(f"rule {rule}", seconds)
+
+    def constraint_checked(
+        self, engine, constraint, seconds, violations, aux_tuples
+    ) -> None:
+        self._leaf(f"evaluate {constraint}", seconds)
+
+    def step_end(self, engine, time, seconds, violations, aux_tuples) -> None:
+        node = self._step_node
+        if node is None:  # unbalanced caller; tolerate
+            self.profile.root("step").add(seconds)
+            return
+        node.add(seconds)
+        node.child_seconds += self._pending_child_seconds
+        self._step_node = None
+        self._pending_child_seconds = 0.0
+
+    # -- conveniences --------------------------------------------------
+
+    def top(self, limit: int = 10) -> str:
+        """Shortcut for ``profiler.profile.top(...)``."""
+        return self.profile.top(limit)
+
+    def tree(self) -> str:
+        """Shortcut for ``profiler.profile.tree()``."""
+        return self.profile.tree()
+
+    def __repr__(self) -> str:
+        return f"Profiler({self.profile!r})"

@@ -1,0 +1,313 @@
+"""Performance-regression gating over benchmark artifacts.
+
+Compares a *candidate* run (fresh ``BENCH_<exp>.json`` artifacts) with
+a committed *baseline*, at two severities:
+
+* **shape verdicts** — the baseline's declared shape expectations
+  (flat / growth / max entries, see
+  :func:`repro.obs.bench.evaluate_shape`) are **re-evaluated against
+  the candidate's table**.  A broken shape means a paper claim no
+  longer reproduces (e.g. the incremental per-step column gained a
+  naive-like slope): this is a hard failure regardless of how noisy
+  the machine is.
+* **metric deltas** — per-series summary statistics are compared
+  within a multiplicative noise band; outside it the series is
+  flagged ``regressed`` (or ``improved``).  Timing deltas on shared CI
+  runners are advisory by default — callers decide whether they gate.
+
+Comparisons across different sweep profiles (``short`` vs ``full``)
+skip the delta stage (the sweeps measure different points) but still
+re-check shapes, which are scale-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.bench import (
+    RECOMPUTABLE_SHAPES,
+    evaluate_shape,
+    read_artifact_dir,
+)
+
+PathLike = Union[str, Path]
+
+#: series-delta verdicts
+IMPROVED = "improved"
+WITHIN_NOISE = "within-noise"
+REGRESSED = "regressed"
+
+#: default multiplicative noise band for metric deltas (25%)
+DEFAULT_NOISE = 0.25
+
+#: the scalar each series is compared on
+DELTA_STAT = "mean"
+
+
+class SeriesDelta:
+    """One series' baseline-vs-candidate comparison."""
+
+    __slots__ = ("series", "baseline", "candidate", "ratio", "verdict")
+
+    def __init__(self, series, baseline, candidate, ratio, verdict):
+        self.series = series
+        self.baseline = baseline
+        self.candidate = candidate
+        self.ratio = ratio
+        self.verdict = verdict
+
+    def __repr__(self) -> str:
+        return f"SeriesDelta({self.series!r}: {self.verdict}, x{self.ratio})"
+
+
+class ShapeVerdict:
+    """One shape expectation re-evaluated on the candidate."""
+
+    __slots__ = ("name", "kind", "ok", "value", "detail", "recomputed")
+
+    def __init__(self, name, kind, ok, value, detail, recomputed):
+        self.name = name
+        self.kind = kind
+        self.ok = ok
+        self.value = value
+        self.detail = detail
+        self.recomputed = recomputed
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "BROKEN"
+        return f"ShapeVerdict({self.name!r}: {status})"
+
+
+class Comparison:
+    """The full baseline-vs-candidate report for one experiment."""
+
+    def __init__(
+        self,
+        experiment: str,
+        deltas: Sequence[SeriesDelta],
+        shapes: Sequence[ShapeVerdict],
+        notes: Sequence[str] = (),
+    ):
+        self.experiment = experiment
+        self.deltas = list(deltas)
+        self.shapes = list(shapes)
+        self.notes = list(notes)
+
+    @property
+    def shape_broken(self) -> bool:
+        """Any paper-shape expectation failing on the candidate."""
+        return any(not shape.ok for shape in self.shapes)
+
+    @property
+    def regressions(self) -> List[SeriesDelta]:
+        return [d for d in self.deltas if d.verdict == REGRESSED]
+
+    @property
+    def verdict(self) -> str:
+        """Worst outcome: shape-broken > regressed > improved > within."""
+        if self.shape_broken:
+            return "shape-broken"
+        if self.regressions:
+            return REGRESSED
+        if any(d.verdict == IMPROVED for d in self.deltas):
+            return IMPROVED
+        return WITHIN_NOISE
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.experiment}: {self.verdict})"
+
+
+def _delta_verdict(base: float, cand: float, noise: float) -> Tuple[float, str]:
+    """``(ratio, verdict)`` for one scalar pair under a noise band."""
+    if base <= 0:
+        return (0.0 if cand <= 0 else float("inf")), WITHIN_NOISE
+    ratio = cand / base
+    if ratio > 1.0 + noise:
+        return ratio, REGRESSED
+    if ratio < 1.0 - noise:
+        return ratio, IMPROVED
+    return ratio, WITHIN_NOISE
+
+
+def compare_artifacts(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    noise: float = DEFAULT_NOISE,
+) -> Comparison:
+    """Compare one candidate artifact against its baseline."""
+    experiment = baseline.get("experiment", "?")
+    notes: List[str] = []
+    if candidate.get("experiment") != experiment:
+        notes.append(
+            f"candidate is for experiment "
+            f"{candidate.get('experiment')!r}, baseline for {experiment!r}"
+        )
+
+    # shapes: re-evaluate the baseline's expectations on candidate data
+    table = candidate.get("table", {})
+    headers = table.get("headers", [])
+    rows = table.get("rows", [])
+    cand_shapes = {
+        s.get("name"): s for s in candidate.get("shapes", [])
+    }
+    shapes: List[ShapeVerdict] = []
+    for spec in baseline.get("shapes", []):
+        name = spec.get("name", spec.get("series", "?"))
+        kind = spec.get("kind", "check")
+        if kind in RECOMPUTABLE_SHAPES:
+            result = evaluate_shape(spec, headers, rows)
+            shapes.append(
+                ShapeVerdict(
+                    name, kind,
+                    bool(result and result["ok"]),
+                    result.get("value") if result else None,
+                    result.get("detail", "") if result else "",
+                    recomputed=True,
+                )
+            )
+        else:
+            recorded = cand_shapes.get(name)
+            if recorded is None:
+                shapes.append(
+                    ShapeVerdict(
+                        name, kind, False, None,
+                        "candidate did not record this check",
+                        recomputed=False,
+                    )
+                )
+            else:
+                shapes.append(
+                    ShapeVerdict(
+                        name, kind, bool(recorded.get("ok")),
+                        recorded.get("value"),
+                        recorded.get("detail", ""),
+                        recomputed=False,
+                    )
+                )
+
+    # metric deltas: only between runs of the same sweep profile
+    deltas: List[SeriesDelta] = []
+    if baseline.get("profile") != candidate.get("profile"):
+        notes.append(
+            f"sweep profiles differ "
+            f"({baseline.get('profile')!r} vs {candidate.get('profile')!r}); "
+            f"metric deltas skipped, shapes still checked"
+        )
+    else:
+        base_series = baseline.get("series", {})
+        cand_series = candidate.get("series", {})
+        for name in base_series:
+            if name not in cand_series:
+                notes.append(f"series {name!r} missing from candidate")
+                continue
+            base_value = base_series[name].get("stats", {}).get(DELTA_STAT, 0)
+            cand_value = cand_series[name].get("stats", {}).get(DELTA_STAT, 0)
+            ratio, verdict = _delta_verdict(base_value, cand_value, noise)
+            deltas.append(
+                SeriesDelta(name, base_value, cand_value, ratio, verdict)
+            )
+    return Comparison(experiment, deltas, shapes, notes)
+
+
+def compare_dirs(
+    baseline_dir: PathLike,
+    candidate_dir: PathLike,
+    noise: float = DEFAULT_NOISE,
+) -> Tuple[List[Comparison], List[str]]:
+    """Compare every baseline artifact with its candidate counterpart.
+
+    Returns ``(comparisons, notes)``; a baseline with no candidate
+    artifact produces a note (the caller decides whether missing
+    coverage gates).
+    """
+    baselines = read_artifact_dir(baseline_dir)
+    if not baselines:
+        raise ValueError(f"no BENCH_*.json artifacts in {baseline_dir}")
+    candidates = read_artifact_dir(candidate_dir)
+    comparisons: List[Comparison] = []
+    notes: List[str] = []
+    for experiment in sorted(baselines):
+        candidate = candidates.get(experiment)
+        if candidate is None:
+            notes.append(f"no candidate artifact for {experiment}")
+            continue
+        comparisons.append(
+            compare_artifacts(baselines[experiment], candidate, noise)
+        )
+    return comparisons, notes
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """One experiment's comparison as aligned text tables."""
+    from repro.analysis.report import format_table
+
+    parts: List[str] = []
+    if comparison.shapes:
+        parts.append(
+            format_table(
+                ["shape", "kind", "verdict", "value", "detail"],
+                [
+                    [
+                        shape.name,
+                        shape.kind,
+                        "ok" if shape.ok else "BROKEN",
+                        None if shape.value is None
+                        else round(float(shape.value), 3),
+                        shape.detail,
+                    ]
+                    for shape in comparison.shapes
+                ],
+                title=f"[{comparison.experiment}] shape expectations",
+            )
+        )
+    if comparison.deltas:
+        parts.append(
+            format_table(
+                ["series", "baseline", "candidate", "ratio", "verdict"],
+                [
+                    [
+                        delta.series,
+                        round(delta.baseline, 6),
+                        round(delta.candidate, 6),
+                        round(delta.ratio, 2),
+                        delta.verdict,
+                    ]
+                    for delta in comparison.deltas
+                ],
+                title=f"[{comparison.experiment}] series deltas "
+                      f"({DELTA_STAT}, noise band)",
+            )
+        )
+    for note in comparison.notes:
+        parts.append(f"note: {note}")
+    parts.append(f"[{comparison.experiment}] verdict: {comparison.verdict}")
+    return "\n\n".join(parts)
+
+
+def format_report(
+    comparisons: Sequence[Comparison], notes: Sequence[str] = ()
+) -> str:
+    """The whole run's comparisons plus a one-line-per-exp summary."""
+    from repro.analysis.report import format_table
+
+    parts = [format_comparison(c) for c in comparisons]
+    parts.append(
+        format_table(
+            ["experiment", "verdict", "shapes", "broken", "regressed"],
+            [
+                [
+                    c.experiment,
+                    c.verdict,
+                    len(c.shapes),
+                    sum(1 for s in c.shapes if not s.ok),
+                    len(c.regressions),
+                ]
+                for c in comparisons
+            ],
+            title="perf gate summary",
+        )
+    )
+    for note in notes:
+        parts.append(f"note: {note}")
+    return "\n\n".join(parts)

@@ -1,0 +1,209 @@
+"""Benchmark artifacts: stats, shape evaluation, schema round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    artifact_path,
+    build_artifact,
+    derive_series,
+    environment_fingerprint,
+    evaluate_shape,
+    fit_slope,
+    percentile,
+    read_artifact,
+    read_artifact_dir,
+    series_stats,
+    table_column,
+    validate_artifact,
+    write_artifact,
+)
+
+HEADERS = ["history length", "flat col", "linear col", "label col"]
+ROWS = [
+    [100, 10.0, 100, "a"],
+    [200, 11.0, 200, "b"],
+    [400, 10.5, 400, "c"],
+    [800, 10.2, 800, "d"],
+]
+
+
+class TestPercentile:
+    def test_interpolates_linearly(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSeriesStats:
+    def test_all_keys_present(self):
+        stats = series_stats([1.0, 2.0, 3.0, 4.0])
+        assert set(stats) == {
+            "n", "mean", "min", "max", "p50", "p90", "p99", "tail_mean"
+        }
+        assert stats["n"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        # tail = last quarter (here: the last value)
+        assert stats["tail_mean"] == 4.0
+
+    def test_empty_series(self):
+        assert series_stats([])["n"] == 0
+
+
+class TestTableColumn:
+    def test_pairs_against_sweep_column(self):
+        xs, ys = table_column(HEADERS, ROWS, "linear col")
+        assert xs == [100.0, 200.0, 400.0, 800.0]
+        assert ys == [100.0, 200.0, 400.0, 800.0]
+
+    def test_non_numeric_x_falls_back_to_row_index(self):
+        headers = ["engine", "ms"]
+        rows = [["incremental", 5.0], ["naive", 9.0]]
+        xs, ys = table_column(headers, rows, "ms")
+        assert xs == [0.0, 1.0]
+        assert ys == [5.0, 9.0]
+
+    def test_unknown_column_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            table_column(HEADERS, ROWS, "no such column")
+
+    def test_derive_series_skips_non_numeric_columns(self):
+        series = derive_series(HEADERS, ROWS)
+        assert "label col" not in series
+        assert series["linear col"]["slope"] == pytest.approx(1.0)
+        assert series["flat col"]["stats"]["n"] == 4
+
+
+class TestFitSlope:
+    def test_linear_growth(self):
+        assert fit_slope([1, 2, 4, 8], [3, 6, 12, 24]) == pytest.approx(1.0)
+
+    def test_too_short_is_none(self):
+        assert fit_slope([1], [1]) is None
+        assert fit_slope([1, 2], [1]) is None
+
+
+class TestEvaluateShape:
+    def test_flat_within_tolerance(self):
+        result = evaluate_shape(
+            {"name": "f", "kind": "flat", "series": "flat col",
+             "tolerance_ratio": 3.0},
+            HEADERS, ROWS,
+        )
+        assert result["ok"] is True
+        assert result["value"] == pytest.approx(11.0 / 10.0)
+
+    def test_flat_broken_by_trend(self):
+        result = evaluate_shape(
+            {"name": "f", "kind": "flat", "series": "linear col",
+             "tolerance_ratio": 3.0},
+            HEADERS, ROWS,
+        )
+        assert result["ok"] is False
+
+    def test_growth_bounds(self):
+        ok = evaluate_shape(
+            {"name": "g", "kind": "growth", "series": "linear col",
+             "min_order": 0.8, "max_order": 1.2},
+            HEADERS, ROWS,
+        )
+        assert ok["ok"] is True and ok["value"] == pytest.approx(1.0)
+        broken = evaluate_shape(
+            {"name": "g", "kind": "growth", "series": "flat col",
+             "min_order": 0.8},
+            HEADERS, ROWS,
+        )
+        assert broken["ok"] is False
+
+    def test_max_limit(self):
+        ok = evaluate_shape(
+            {"name": "m", "kind": "max", "series": "flat col", "limit": 11.0},
+            HEADERS, ROWS,
+        )
+        assert ok["ok"] is True and ok["value"] == 11.0
+        broken = evaluate_shape(
+            {"name": "m", "kind": "max", "series": "flat col", "limit": 10.0},
+            HEADERS, ROWS,
+        )
+        assert broken["ok"] is False
+
+    def test_check_kind_is_not_recomputable(self):
+        assert evaluate_shape(
+            {"name": "c", "kind": "check", "ok": True}, HEADERS, ROWS
+        ) is None
+
+    def test_missing_series_fails_loudly(self):
+        result = evaluate_shape(
+            {"name": "f", "kind": "flat", "series": "gone"}, HEADERS, ROWS
+        )
+        assert result["ok"] is False
+        assert "gone" in result["detail"]
+
+
+class TestArtifact:
+    def _build(self):
+        return build_artifact(
+            "e1", "a title", "short", HEADERS, ROWS,
+            shapes=[{"name": "f", "kind": "flat", "series": "flat col",
+                     "ok": True, "value": 1.1, "detail": ""}],
+            samples={"step seconds": [0.001, 0.002, 0.004]},
+        )
+
+    def test_build_validates_and_derives(self):
+        doc = self._build()
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["series"]["linear col"]["slope"] == pytest.approx(1.0)
+        assert doc["samples"]["step seconds"]["stats"]["n"] == 3
+        assert doc["environment"]["python"]
+        validate_artifact(doc)
+
+    def test_round_trip_through_disk(self, tmp_path):
+        doc = self._build()
+        path = write_artifact(doc, artifact_path(tmp_path, "e1"))
+        assert path.name == "BENCH_e1.json"
+        assert read_artifact(path) == doc
+        assert read_artifact_dir(tmp_path) == {"e1": doc}
+
+    def test_validation_rejects_missing_keys(self):
+        doc = self._build()
+        del doc["series"]
+        with pytest.raises(ValueError, match="missing key"):
+            validate_artifact(doc)
+
+    def test_validation_rejects_wrong_schema(self):
+        doc = self._build()
+        doc["schema"] = "repro-bench/999"
+        with pytest.raises(ValueError, match="schema"):
+            validate_artifact(doc)
+
+    def test_validation_rejects_ragged_rows(self):
+        doc = self._build()
+        doc["table"]["rows"][0] = [1]
+        with pytest.raises(ValueError, match="rows"):
+            validate_artifact(doc)
+
+    def test_read_rejects_truncated_json(self, tmp_path):
+        path = tmp_path / "BENCH_e1.json"
+        path.write_text('{"schema": "repro-bench/1", ')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_artifact(path)
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert {"python", "platform", "machine", "cpus", "created"} <= set(env)
+
+    def test_artifact_is_plain_json(self):
+        json.dumps(self._build())

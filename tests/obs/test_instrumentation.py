@@ -130,13 +130,17 @@ class TestEveryEngine:
 
 class TestOverhead:
     def test_disabled_monitor_emits_nothing(self):
+        from repro.obs import Profiler
+
         tracer = Tracer()
         registry = MetricsRegistry()
+        profiler = Profiler()
         # instrumentation built but never attached
         MonitorInstrumentation(tracer=tracer, metrics=registry)
         run_engine("incremental", None)
         assert tracer.events == []
         assert len(registry) == 0
+        assert profiler.profile.call_counts() == {}
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_hook_traffic_per_step_is_bounded(self, engine):

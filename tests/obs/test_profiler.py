@@ -1,0 +1,199 @@
+"""The op-level profiler: deterministic structure, faithful aggregation.
+
+Pinned contracts:
+
+* two identical runs produce the same profile *structure* — operator
+  paths, call counts, and number-stripped renderings agree exactly
+  (only timings may differ);
+* the flame aggregation keys match the span vocabulary the tracer
+  records, so :meth:`Profile.from_trace` over a recorded trace and a
+  live :class:`Profiler` agree on the skeleton;
+* self time is cumulative minus children, clamped at zero;
+* the profiler emits nothing (and costs one attribute check) when not
+  attached — the same disabled-path guarantee the other sinks pin.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.monitor import ENGINES
+from repro.obs import Profile, Profiler
+from repro.obs.profiler import OpStats, operator_of
+
+from .test_instrumentation import STEPS, run_engine
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def strip_numbers(text):
+    """Rendering with every numeric field blanked (structure only).
+
+    Numbers are right-justified, so runs of padding spaces collapse
+    with them — what remains is the pure structure.
+    """
+    return re.sub(r" *\d+(\.\d+)?", "#", text)
+
+
+class TestOperatorKey:
+    def test_leading_token_with_interval(self):
+        assert operator_of("ONCE[0,8] event(x)") == "ONCE[0,8]"
+        assert operator_of("SINCE[2,*]") == "SINCE[2,*]"
+        assert operator_of("PREV flag(x)") == "PREV"
+
+
+class TestOpStats:
+    def test_self_time_clamped_non_negative(self):
+        node = OpStats()
+        node.add(0.5)
+        node.child_seconds = 0.75  # clock skew between hook readings
+        assert node.self_seconds == 0.0
+
+    def test_mean_of_no_calls_is_zero(self):
+        assert OpStats().mean_seconds == 0.0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestLiveProfiler:
+    def test_structure_is_deterministic_across_runs(self, engine):
+        first, second = Profiler(), Profiler()
+        run_engine(engine, first)
+        run_engine(engine, second)
+        counts = first.profile.call_counts()
+        assert counts == second.profile.call_counts()
+        assert counts  # a run always profiles something
+        assert strip_numbers(first.tree()) == strip_numbers(second.tree())
+
+    def test_step_root_and_constraint_leaves(self, engine):
+        profiler = Profiler()
+        run_engine(engine, profiler)
+        counts = profiler.profile.call_counts()
+        assert counts["step"] == STEPS
+        evaluates = {
+            path: calls for path, calls in counts.items()
+            if path.startswith("step/evaluate ")
+        }
+        assert evaluates  # one leaf per constraint
+        assert all(calls == STEPS for calls in evaluates.values())
+
+    def test_self_never_exceeds_cumulative(self, engine):
+        profiler = Profiler()
+        run_engine(engine, profiler)
+        for _, node in profiler.profile.walk():
+            assert 0.0 <= node.self_seconds <= node.seconds + 1e-12
+
+
+class TestRendering:
+    def _profile(self):
+        profiler = Profiler()
+        run_engine("incremental", profiler)
+        return profiler.profile
+
+    def test_top_is_sorted_by_self_time(self):
+        profile = self._profile()
+        ranked = sorted(
+            profile.walk(),
+            key=lambda item: (-item[1].self_seconds, item[0]),
+        )
+        rendered = profile.top(limit=3)
+        lines = [l for l in rendered.splitlines() if l.startswith(("s", " "))]
+        for path, _ in ranked[:3]:
+            assert "/".join(path) in rendered
+        assert "top operations by self time" in rendered
+
+    def test_top_respects_limit(self):
+        profile = self._profile()
+        node_count = sum(1 for _ in profile.walk())
+        assert node_count > 2
+        rendered = profile.top(limit=2)
+        listed = sum(
+            1 for path, _ in profile.walk()
+            if f"\n{'/'.join(path)} " in rendered
+            or rendered.startswith("/".join(path) + " ")
+        )
+        assert listed <= 2
+
+    def test_tree_indents_children_under_step(self):
+        rendered = self._profile().tree()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("step")
+        assert any(line.startswith("  apply") for line in lines)
+        assert any(line.startswith("  evaluate ") for line in lines)
+
+    def test_empty_profile_renders_placeholder(self):
+        assert Profile().tree() == "(empty profile)"
+        assert "top operations" in Profile().top()
+
+    def test_as_dict_round_trips_to_json(self):
+        dumped = json.dumps(self._profile().as_dict())
+        assert "step/apply" in json.loads(dumped)
+
+
+class TestFromTrace:
+    def test_golden_trace_aggregates_by_leaf_key(self):
+        events = [
+            json.loads(line)
+            for line in (GOLDEN / "trace.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        profile = Profile.from_trace(events)
+        counts = profile.call_counts()
+        assert counts["step"] == 1
+        assert counts["step/apply"] == 1
+        assert counts['step/evaluate win"dow\\1'] == 1
+        step = profile.roots["step"]
+        assert step.seconds == pytest.approx(3.0)
+        assert step.child_seconds == pytest.approx(0.75)
+        assert step.self_seconds == pytest.approx(2.25)
+
+    def test_live_and_trace_profiles_share_a_skeleton(self):
+        from repro.obs import MonitorInstrumentation, Tracer
+
+        from .test_tracer import fake_clock
+
+        tracer = Tracer(clock=fake_clock(step=0.001))
+        profiler = Profiler()
+        run_engine(
+            "incremental",
+            MonitorInstrumentation(tracer=tracer),
+        )
+        run_engine("incremental", profiler)
+        from_trace = Profile.from_trace(tracer.events).call_counts()
+        live = profiler.profile.call_counts()
+        # the trace also records aux spans only when nodes advance, and
+        # keys them identically; the skeletons must agree wherever both
+        # observed the operation
+        assert live["step"] == from_trace["step"]
+        for path in live:
+            if path.startswith("step/evaluate "):
+                assert from_trace[path] == live[path]
+
+    def test_unknown_span_names_stay_visible(self):
+        events = [
+            {"name": "custom", "span": 1, "parent": None, "duration": 1.0},
+            {"name": "inner", "span": 2, "parent": 1, "duration": 0.25},
+        ]
+        counts = Profile.from_trace(events).call_counts()
+        assert counts == {"custom": 1, "custom/inner": 1}
+
+
+class TestDisabledPath:
+    def test_unattached_profiler_profiles_nothing(self):
+        profiler = Profiler()
+        run_engine("incremental", None)
+        assert profiler.profile.call_counts() == {}
+        assert profiler.profile.total_seconds == 0.0
+
+    def test_profiler_has_no_dict(self):
+        # __slots__ keeps the per-hook attribute touches cheap
+        assert not hasattr(Profiler(), "__dict__")
+
+    def test_hooks_outside_a_step_are_tolerated(self):
+        profiler = Profiler()
+        profiler.constraint_checked("e", "c1", 0.5, 0, 0)
+        profiler.step_end("e", 1, 1.0, 0, 0)
+        counts = profiler.profile.call_counts()
+        assert counts["evaluate c1"] == 1
+        assert counts["step"] == 1

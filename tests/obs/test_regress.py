@@ -1,0 +1,171 @@
+"""Regression gating: verdicts on synthetic baseline/candidate pairs."""
+
+import pytest
+
+from repro.obs.bench import artifact_path, build_artifact, write_artifact
+from repro.obs.regress import (
+    IMPROVED,
+    REGRESSED,
+    WITHIN_NOISE,
+    compare_artifacts,
+    compare_dirs,
+    format_comparison,
+    format_report,
+)
+
+HEADERS = ["history length", "us/step (tail)", "peak aux"]
+
+FLAT_SHAPE = {
+    "name": "per-step time stays flat",
+    "kind": "flat",
+    "series": "us/step (tail)",
+    "tolerance_ratio": 3.0,
+}
+
+
+def artifact(rows, profile="short", shapes=(FLAT_SHAPE,), experiment="e2",
+             adhoc=None):
+    """A minimal but schema-valid artifact around the given table."""
+    from repro.obs.bench import evaluate_shape
+
+    evaluated = [
+        evaluate_shape(dict(s), HEADERS, rows) for s in shapes
+    ]
+    evaluated = [e for e in evaluated if e is not None]
+    if adhoc:
+        evaluated.extend(adhoc)
+    return build_artifact(
+        experiment, "synthetic", profile, HEADERS, rows, shapes=evaluated
+    )
+
+
+BASE_ROWS = [[100, 10.0, 12], [200, 10.5, 12], [400, 10.2, 12]]
+BASELINE = artifact(BASE_ROWS)
+
+
+class TestVerdicts:
+    def test_within_noise(self):
+        candidate = artifact(
+            [[100, 10.8, 12], [200, 10.1, 12], [400, 11.0, 12]]
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        assert comparison.verdict == WITHIN_NOISE
+        assert not comparison.shape_broken
+
+    def test_improved(self):
+        candidate = artifact(
+            [[100, 5.0, 12], [200, 5.2, 12], [400, 5.1, 12]]
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        assert comparison.verdict == IMPROVED
+
+    def test_regressed_but_shape_intact(self):
+        candidate = artifact(
+            [[100, 20.0, 12], [200, 21.0, 12], [400, 20.5, 12]]
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        assert comparison.verdict == REGRESSED
+        assert not comparison.shape_broken
+        assert [d.series for d in comparison.regressions] == [
+            "us/step (tail)"
+        ]
+
+    def test_shape_broken_dominates(self):
+        # per-step time now trends with history length: the paper claim
+        # (flatness) is gone even though the absolute numbers start lower
+        candidate = artifact(
+            [[100, 5.0, 12], [200, 20.0, 12], [400, 80.0, 12]]
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        assert comparison.shape_broken
+        assert comparison.verdict == "shape-broken"
+
+    def test_shapes_are_recomputed_not_trusted(self):
+        # the candidate *claims* its shapes pass, but its table says
+        # otherwise: the baseline's expectation is re-evaluated on the
+        # candidate's data, so the lie does not survive
+        candidate = artifact(
+            [[100, 5.0, 12], [200, 20.0, 12], [400, 80.0, 12]],
+            shapes=(),
+            adhoc=[{**FLAT_SHAPE, "ok": True, "value": 1.0, "detail": ""}],
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        recomputed = [s for s in comparison.shapes if s.recomputed]
+        assert recomputed and not recomputed[0].ok
+
+
+class TestAdhocChecks:
+    BASE = artifact(
+        BASE_ROWS,
+        shapes=(),
+        adhoc=[{"name": "verdicts agree", "kind": "check", "ok": True,
+                "value": None, "detail": ""}],
+    )
+
+    def test_candidate_recorded_verdict_is_used(self):
+        bad = artifact(
+            BASE_ROWS,
+            shapes=(),
+            adhoc=[{"name": "verdicts agree", "kind": "check", "ok": False,
+                    "value": None, "detail": "diverged"}],
+        )
+        comparison = compare_artifacts(self.BASE, bad)
+        assert comparison.shape_broken
+
+    def test_missing_check_counts_as_broken(self):
+        comparison = compare_artifacts(self.BASE, artifact(BASE_ROWS, shapes=()))
+        assert comparison.shape_broken
+        assert "did not record" in comparison.shapes[0].detail
+
+
+class TestProfileMismatch:
+    def test_deltas_skipped_but_shapes_checked(self):
+        candidate = artifact(
+            [[100, 5.0, 12], [200, 20.0, 12], [400, 80.0, 12]],
+            profile="full",
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        assert comparison.deltas == []
+        assert any("profiles differ" in note for note in comparison.notes)
+        assert comparison.shape_broken  # shapes are scale-free
+
+
+class TestCompareDirs:
+    def _write(self, directory, doc):
+        write_artifact(doc, artifact_path(directory, doc["experiment"]))
+
+    def test_pairs_by_experiment_and_notes_missing(self, tmp_path):
+        base_dir = tmp_path / "base"
+        cand_dir = tmp_path / "cand"
+        self._write(base_dir, BASELINE)
+        self._write(base_dir, artifact(BASE_ROWS, experiment="e8"))
+        self._write(cand_dir, artifact(BASE_ROWS))
+        comparisons, notes = compare_dirs(base_dir, cand_dir)
+        assert [c.experiment for c in comparisons] == ["e2"]
+        assert notes == ["no candidate artifact for e8"]
+
+    def test_empty_baseline_dir_raises(self, tmp_path):
+        (tmp_path / "cand").mkdir()
+        with pytest.raises(ValueError, match="no BENCH"):
+            compare_dirs(tmp_path, tmp_path / "cand")
+
+
+class TestFormatting:
+    def test_report_mentions_broken_shape_and_summary(self):
+        candidate = artifact(
+            [[100, 5.0, 12], [200, 20.0, 12], [400, 80.0, 12]]
+        )
+        comparison = compare_artifacts(BASELINE, candidate)
+        text = format_report([comparison], notes=["extra note"])
+        assert "BROKEN" in text
+        assert "perf gate summary" in text
+        assert "shape-broken" in text
+        assert "note: extra note" in text
+
+    def test_single_comparison_lists_deltas(self):
+        candidate = artifact(
+            [[100, 20.0, 12], [200, 21.0, 12], [400, 20.5, 12]]
+        )
+        text = format_comparison(compare_artifacts(BASELINE, candidate))
+        assert "us/step (tail)" in text
+        assert REGRESSED in text

@@ -75,6 +75,45 @@ class TestMetrics:
         gauge = registry.gauge(AUX_TUPLES_TOTAL, engine="incremental")
         assert gauge.value == metrics.space_samples[-1]
 
+    def test_measure_run_warmup_excluded_everywhere(self, schema):
+        """Warmup steps advance the checker but must not leak into the
+        recorded series or the registry histogram buckets."""
+        from repro.obs import MetricsRegistry
+        from repro.obs.instrument import STEP_SECONDS
+
+        registry = MetricsRegistry()
+        checker = IncrementalChecker(
+            schema, [Constraint("c", "p(x) -> ONCE[0,2] q(x)")]
+        )
+        metrics = measure_run(
+            checker, stream(10), registry=registry, warmup=3
+        )
+        assert metrics.steps == 7
+        assert len(metrics.step_seconds) == 7
+        assert len(metrics.space_samples) == 7
+        hist = registry.histogram(STEP_SECONDS, engine="incremental")
+        assert hist.count == 7  # not 10: warmup stays out of the buckets
+        assert hist.sum == pytest.approx(sum(metrics.step_seconds))
+        # ... while the checker itself saw every state
+        assert checker.now == 9
+
+    def test_measure_run_warmup_keeps_violations(self, schema):
+        checker = IncrementalChecker(
+            schema, [Constraint("c", "q(x) -> p(x)")]
+        )
+        warm = measure_run(checker, stream(10), warmup=4)
+        cold = measure_run(
+            IncrementalChecker(schema, [Constraint("c", "q(x) -> p(x)")]),
+            stream(10),
+        )
+        # violations during warmup are still reported (semantics first)
+        assert warm.report.violation_count == cold.report.violation_count
+
+    def test_measure_run_rejects_negative_warmup(self, schema):
+        checker = IncrementalChecker(schema, [Constraint("c", "TRUE")])
+        with pytest.raises(ValueError):
+            measure_run(checker, stream(4), warmup=-1)
+
 
 class TestReport:
     def test_format_table_alignment(self):

@@ -39,6 +39,7 @@ def test_examples_directory_is_complete():
         "aggregation_limits.py",
         "active_rules_repair.py",
         "observability.py",
+        "profiling.py",
     }
     assert expected <= present
 
@@ -102,6 +103,13 @@ def test_observability():
     assert "per-constraint evaluation cost" in out
     assert "repro_violations_total{constraint=" in out
     assert "trace and metrics agree" in out
+
+
+def test_profiling():
+    out = run_example("profiling.py")
+    assert "hottest operations by self time" in out
+    assert "step/evaluate" in out
+    assert "agree on the skeleton" in out
 
 
 def test_active_rules_repair():
