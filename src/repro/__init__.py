@@ -64,13 +64,16 @@ from repro.obs import (
     Tracer,
 )
 from repro.errors import (
+    HandlerError,
     MonitorError,
     ParseError,
+    RecoveryError,
     ReproError,
     SchemaError,
     TimeError,
     UnsafeFormulaError,
 )
+from repro.resilience import FaultPolicy, QuarantineLog, StepBudget
 from repro.temporal import Clock, History, StreamGenerator, UpdateStream
 
 __version__ = "1.0.0"
@@ -83,6 +86,8 @@ __all__ = [
     "DelayedChecker",
     "DatabaseState",
     "Domain",
+    "FaultPolicy",
+    "HandlerError",
     "History",
     "HistoryEvaluator",
     "IncrementalChecker",
@@ -94,11 +99,14 @@ __all__ = [
     "MonitorInstrumentation",
     "NaiveChecker",
     "ParseError",
+    "QuarantineLog",
+    "RecoveryError",
     "Relation",
     "RelationSchema",
     "ReproError",
     "RunReport",
     "SchemaError",
+    "StepBudget",
     "StepReport",
     "StreamGenerator",
     "Table",

@@ -396,11 +396,24 @@ class ActiveChecker:
         self._step_violations = []
         obs = self.instrumentation
         if obs is None:
-            self.engine.commit(time, txn)
+            try:
+                self.engine.commit(time, txn)
+            except Exception:
+                # a rejected commit (e.g. clock fault) must not consume
+                # a step index — skip-policy monitors rely on indices
+                # advancing only for applied steps
+                self._index -= 1
+                self._step_violations = []
+                raise
             return StepReport(time, self._index, self._step_violations)
         started = perf_counter()
         obs.step_begin(self.engine_label, time, txn.size)
-        self.engine.commit(time, txn)
+        try:
+            self.engine.commit(time, txn)
+        except Exception:
+            self._index -= 1
+            self._step_violations = []
+            raise
         report = StepReport(time, self._index, self._step_violations)
         obs.step_end(
             self.engine_label,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check generate --workload library --length 200 --seed 1 --out DIR
@@ -8,6 +8,7 @@ Six subcommands::
     repro-check stats    --trace t.jsonl [--percentiles]
     repro-check bench    --all --json [--profile short|full]
     repro-check perf     --check benchmarks/baselines [--candidate DIR]
+    repro-check recover  --journal DIR [--history h.jsonl]
 
 ``check`` replays a JSONL update stream against a constraint file and
 reports violations (exit status 1 if any); ``--trace``/``--metrics``
@@ -24,7 +25,15 @@ in ``benchmarks/_experiments.py``, regenerating ``results/eN.txt`` and
 (with ``--json``) the machine-readable ``BENCH_<exp>.json`` artifacts.
 ``perf`` compares a candidate run against committed baselines and
 exits non-zero when a paper *shape* breaks (timing deltas warn only,
-or gate with ``--strict``).
+or gate with ``--strict``).  ``recover`` restores a crashed ``check
+--journal`` run from its checkpoint + journal directory and optionally
+continues over the remaining history (see ``docs/robustness.md``).
+
+``check`` grows a fault boundary: ``--fault-policy skip|quarantine``
+keeps monitoring through malformed lines, schema violations, and clock
+faults (``--quarantine-log`` dead-letters them as JSONL);
+``--step-deadline`` sheds non-urgent constraint evaluations when a step
+blows its budget; ``--journal DIR`` makes the run crash-recoverable.
 """
 
 from __future__ import annotations
@@ -110,6 +119,61 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="FILE",
         help="write a metrics dump (Prometheus text; JSON if the "
              "file ends in .json)",
+    )
+    check.add_argument(
+        "--fault-policy", default=None,
+        choices=("fail_fast", "skip", "quarantine"),
+        help="what to do with faulty stream records (default: "
+             "fail_fast, i.e. abort on the first fault)",
+    )
+    check.add_argument(
+        "--quarantine-log", default=None, metavar="FILE",
+        help="dead-letter JSONL file for quarantined records "
+             "(implies --fault-policy quarantine)",
+    )
+    check.add_argument(
+        "--step-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-step evaluation budget; blown budgets shed "
+             "non-urgent constraints and mark the step degraded",
+    )
+    check.add_argument(
+        "--urgent", action="append", default=None, metavar="NAME",
+        help="constraint never shed under --step-deadline (repeatable)",
+    )
+    check.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal every applied step under DIR with periodic "
+             "checkpoints, making the run recoverable via 'recover' "
+             "(incremental engine only)",
+    )
+    check.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="auto-checkpoint cadence for --journal (default: 64)",
+    )
+
+    recover = commands.add_parser(
+        "recover", help="restore a crashed --journal run and continue"
+    )
+    recover.add_argument(
+        "--journal", required=True, metavar="DIR",
+        help="journal directory written by 'check --journal'",
+    )
+    recover.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="full JSONL history; records after the recovered point "
+             "are replayed to finish the interrupted run",
+    )
+    recover.add_argument(
+        "--fault-policy", default=None,
+        choices=("fail_fast", "skip", "quarantine"),
+        help="fault policy for the continued run (as in 'check')",
+    )
+    recover.add_argument(
+        "--max-violations", type=int, default=20,
+        help="stop printing after this many violations",
+    )
+    recover.add_argument(
+        "--quiet", action="store_true", help="exit status only"
     )
 
     generate = commands.add_parser(
@@ -240,12 +304,93 @@ def _build_instrumentation(args):
     return MonitorInstrumentation(tracer, registry), tracer, registry
 
 
+def _run_monitor_stream(monitor: Monitor, history):
+    """Drive ``monitor`` over a history file.
+
+    With a non-fail-fast fault policy, the file is read *leniently*:
+    undecodable lines are routed through the monitor's fault boundary
+    (counted, quarantined) instead of aborting the read, and decodable
+    records flow on so one bad line costs one step, not the run.
+    """
+    resilience = monitor.resilience
+    if resilience is None or resilience.policy.value == "fail_fast":
+        return monitor.run(load_stream(history))
+    from repro.core.violations import RunReport
+    from repro.db.storage import StreamFault, iter_stream_lenient
+
+    report = RunReport()
+    for item in iter_stream_lenient(history):
+        if isinstance(item, StreamFault):
+            report.add(
+                monitor.record_fault(
+                    "decode",
+                    f"line {item.lineno}: {item.reason}",
+                    payload=item.line,
+                )
+            )
+        else:
+            report.add(monitor.step(item[0], item[1]))
+    return report
+
+
+def _print_resilience_summary(monitor: Monitor, quarantine_path) -> None:
+    resilience = monitor.resilience
+    if resilience is None:
+        return
+    summary = resilience.summary()
+    faults = summary["faults"]
+    if not faults and not summary["degraded_steps"]:
+        return
+    parts = [f"{count} {kind}" for kind, count in faults.items()]
+    line = (
+        f"faults: {', '.join(parts) if parts else 'none'} "
+        f"(policy: {summary['policy']}, skipped {summary['skipped']} "
+        f"step(s))"
+    )
+    if summary["quarantined"]:
+        line += f"; quarantined {summary['quarantined']} record(s)"
+        if quarantine_path:
+            line += f" -> {quarantine_path}"
+    if summary["degraded_steps"]:
+        line += f"; degraded {summary['degraded_steps']} step(s)"
+    print(line)
+
+
+def _print_violations(report, max_violations: int) -> None:
+    rows = []
+    for violation in report.violations[:max_violations]:
+        witnesses = "; ".join(
+            ", ".join(f"{k}={v!r}" for k, v in w.items()) or "(closed)"
+            for w in violation.witness_dicts()[:3]
+        )
+        rows.append(
+            [violation.constraint, violation.time, violation.index, witnesses]
+        )
+    print(
+        format_table(
+            ["constraint", "time", "state", "witnesses"],
+            rows,
+            title=f"{report.violation_count} violation(s)",
+        )
+    )
+    remaining = report.violation_count - max_violations
+    if remaining > 0:
+        print(f"... and {remaining} more")
+
+
 def _command_check(args: argparse.Namespace) -> int:
-    stream = load_stream(args.history)
     instrumentation, tracer, registry = _build_instrumentation(args)
     if args.resume_from:
         monitor = Monitor.resume(args.resume_from)
         monitor.instrument(instrumentation)
+        if args.fault_policy or args.quarantine_log:
+            monitor._configure_fault_policy(
+                args.fault_policy, args.quarantine_log
+            )
+        if args.step_deadline is not None:
+            monitor._configure_deadline(
+                args.step_deadline, args.urgent or ()
+            )
     else:
         if not args.schema or not args.constraints:
             raise ReproError(
@@ -254,10 +399,29 @@ def _command_check(args: argparse.Namespace) -> int:
             )
         schema = load_schema(args.schema)
         monitor = Monitor(
-            schema, engine=args.engine, instrumentation=instrumentation
+            schema,
+            engine=args.engine,
+            instrumentation=instrumentation,
+            fault_policy=args.fault_policy,
+            quarantine_log=args.quarantine_log,
+            step_deadline=args.step_deadline,
+            urgent=args.urgent or (),
         )
         monitor.add_constraints_text(Path(args.constraints).read_text())
-    report = monitor.run(stream)
+    if args.journal:
+        monitor.enable_journal(
+            args.journal, checkpoint_every=args.checkpoint_every
+        )
+    try:
+        report = _run_monitor_stream(monitor, args.history)
+    finally:
+        if monitor.journal is not None:
+            monitor.journal.close()
+        if (
+            monitor.resilience is not None
+            and monitor.resilience.quarantine is not None
+        ):
+            monitor.resilience.quarantine.close()
     if args.save_checkpoint:
         monitor.save(args.save_checkpoint)
     try:
@@ -276,28 +440,52 @@ def _command_check(args: argparse.Namespace) -> int:
         f"{len(monitor.constraints)} constraint(s) "
         f"[engine: {args.engine}]"
     )
+    _print_resilience_summary(monitor, args.quarantine_log)
     if report.ok:
         print("no violations")
         return 0
-    rows = []
-    for violation in report.violations[: args.max_violations]:
-        witnesses = "; ".join(
-            ", ".join(f"{k}={v!r}" for k, v in w.items()) or "(closed)"
-            for w in violation.witness_dicts()[:3]
+    _print_violations(report, args.max_violations)
+    return 1
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    monitor, result = Monitor.recover(args.journal)
+    if args.fault_policy:
+        monitor._configure_fault_policy(args.fault_policy, None)
+    if not args.quiet:
+        print(
+            f"recovered from {args.journal}: checkpoint at "
+            f"t={result.checkpoint_time}, replayed "
+            f"{result.journal_entries} journal record(s), "
+            f"now at t={monitor.now}"
         )
-        rows.append(
-            [violation.constraint, violation.time, violation.index, witnesses]
+    # replayed violations were already reported before the crash; the
+    # verdict covers only states checked for the first time here
+    if not args.history:
+        if monitor.journal is not None:
+            monitor.journal.close()
+        return 0
+    resumed_at = monitor.now
+    from repro.core.violations import RunReport
+
+    continued = RunReport()
+    for t, txn in load_stream(args.history):
+        if resumed_at is not None and t <= resumed_at:
+            continue  # already covered by checkpoint + journal
+        continued.add(monitor.step(t, txn))
+    if monitor.journal is not None:
+        monitor.journal.close()
+    if not args.quiet:
+        print(
+            f"continued over {len(continued)} remaining state(s) "
+            f"from {args.history}"
         )
-    print(
-        format_table(
-            ["constraint", "time", "state", "witnesses"],
-            rows,
-            title=f"{report.violation_count} violation(s)",
-        )
-    )
-    remaining = report.violation_count - args.max_violations
-    if remaining > 0:
-        print(f"... and {remaining} more")
+    if args.quiet:
+        return 0 if continued.ok else 1
+    if continued.ok:
+        print("no new violations")
+        return 0
+    _print_violations(continued, args.max_violations)
     return 1
 
 
@@ -670,6 +858,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bench(args)
         if args.command == "perf":
             return _command_perf(args)
+        if args.command == "recover":
+            return _command_recover(args)
         return _command_analyze(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

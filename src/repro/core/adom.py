@@ -339,6 +339,10 @@ class ActiveDomainChecker:
     #: engine label used in telemetry series and by ``space_of``
     engine_label = "adom"
 
+    #: optional per-step :class:`~repro.resilience.degrade.StepBudget`
+    #: (set by the monitor; ``None`` keeps the hot path budget-free)
+    budget = None
+
     def __init__(
         self,
         schema: DatabaseSchema,
@@ -394,6 +398,8 @@ class ActiveDomainChecker:
     def step(self, time: Timestamp, txn: Transaction) -> StepReport:
         """Apply ``txn`` at ``time`` and check all constraints."""
         validate_successor(self._time, time)
+        if self.budget is not None:
+            self.budget.arm()
         obs = self.instrumentation
         if obs is not None:
             started = perf_counter()
@@ -462,7 +468,10 @@ class ActiveDomainChecker:
                 virtual[node] = aux.advance(time, evaluate_now)
 
         violations: List[Violation] = []
+        budget = self.budget
         for c in self.constraints:
+            if budget is not None and budget.should_defer(c.name):
+                continue
             if obs is not None:
                 started = perf_counter()
                 witnesses = evaluate_adom(
@@ -486,7 +495,12 @@ class ActiveDomainChecker:
                 violations.append(
                     Violation(c.name, time, self._index, witnesses)
                 )
-        return StepReport(time, self._index, violations)
+        return StepReport(
+            time,
+            self._index,
+            violations,
+            deferred=tuple(budget.deferred) if budget is not None else (),
+        )
 
     # instrumentation (same shape as IncrementalChecker)
 

@@ -152,6 +152,10 @@ class IncrementalChecker:
     #: engine label used in telemetry series and by ``space_of``
     engine_label = "incremental"
 
+    #: optional per-step :class:`~repro.resilience.degrade.StepBudget`
+    #: (set by the monitor; ``None`` keeps the hot path budget-free)
+    budget = None
+
     def __init__(
         self,
         schema: DatabaseSchema,
@@ -249,6 +253,8 @@ class IncrementalChecker:
             A :class:`StepReport` with any violations at the new state.
         """
         validate_successor(self._time, time)
+        if self.budget is not None:
+            self.budget.arm()
         obs = self.instrumentation
         if obs is not None:
             started = perf_counter()
@@ -277,6 +283,8 @@ class IncrementalChecker:
         validate_successor(self._time, time)
         if state.schema != self.schema:
             raise MonitorError("state does not match checker schema")
+        if self.budget is not None:
+            self.budget.arm()
         obs = self.instrumentation
         if obs is not None:
             started = perf_counter()
@@ -334,7 +342,13 @@ class IncrementalChecker:
                 virtual[node] = aux.advance(time, evaluate_now)
 
         violations: List[Violation] = []
+        budget = self.budget
         for c in self.constraints:
+            if budget is not None and budget.should_defer(c.name):
+                # shed this evaluation; drop any cached verdict so the
+                # constraint is re-evaluated (not served stale) later
+                self._cached_witnesses.pop(c.name, None)
+                continue
             if obs is not None:
                 started = perf_counter()
                 witnesses = self._witnesses_for(c, provider)
@@ -354,7 +368,12 @@ class IncrementalChecker:
                 violations.append(
                     Violation(c.name, time, self._index, witnesses)
                 )
-        return StepReport(time, self._index, violations)
+        return StepReport(
+            time,
+            self._index,
+            violations,
+            deferred=tuple(budget.deferred) if budget is not None else (),
+        )
 
     def _witnesses_for(self, constraint: Constraint, provider) -> Table:
         reads = self._state_local.get(constraint.name)

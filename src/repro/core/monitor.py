@@ -27,7 +27,7 @@ Engines:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.core.formulas import Formula
@@ -37,11 +37,15 @@ from repro.core.violations import RunReport, StepReport
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema
 from repro.db.transactions import Transaction
-from repro.errors import MonitorError
+from repro.errors import HandlerError, HistoryError, MonitorError
 from repro.temporal.clock import Timestamp
 from repro.temporal.stream import UpdateStream
 
 ENGINES = ("incremental", "naive", "naive-memo", "active", "adom")
+
+#: Engines whose per-constraint evaluation loop supports deadline
+#: shedding (the active engine evaluates inside rule firings).
+SHEDDING_ENGINES = ("incremental", "naive", "naive-memo", "adom")
 
 
 class Monitor:
@@ -53,6 +57,10 @@ class Monitor:
         engine: str = "incremental",
         initial: Optional[DatabaseState] = None,
         instrumentation=None,
+        fault_policy=None,
+        quarantine_log=None,
+        step_deadline=None,
+        urgent: Sequence[str] = (),
     ):
         """Args:
             schema: the database schema.
@@ -63,6 +71,23 @@ class Monitor:
                 :class:`repro.obs.instrument.MonitorInstrumentation`)
                 receiving runtime telemetry from the engine; ``None``
                 (default) disables all hooks.
+            fault_policy: optional
+                :class:`~repro.resilience.FaultPolicy` (or its string
+                name): ``"fail_fast"``, ``"skip"``, or ``"quarantine"``.
+                ``None`` (default) disables the fault boundary entirely
+                — faults raise, and the step hot path carries no guard.
+            quarantine_log: optional
+                :class:`~repro.resilience.QuarantineLog` or a path for
+                one; implies ``fault_policy="quarantine"`` when no
+                policy is given.
+            step_deadline: optional per-step evaluation budget — either
+                seconds (a float) or a prepared
+                :class:`~repro.resilience.StepBudget`.  When a step
+                exceeds it, non-urgent constraint evaluations are shed
+                and the step is reported ``degraded``.  Supported by
+                the :data:`SHEDDING_ENGINES`.
+            urgent: constraint names never shed under deadline pressure
+                (only meaningful with ``step_deadline`` seconds).
         """
         if engine not in ENGINES:
             raise MonitorError(
@@ -75,6 +100,66 @@ class Monitor:
         self.constraints: List[Constraint] = []
         self._checker = None
         self._violation_handlers: List = []
+        self._journal = None
+        self._budget = None
+        self._resilience = None
+        if step_deadline is not None:
+            self._configure_deadline(step_deadline, urgent)
+        if fault_policy is not None or quarantine_log is not None:
+            self._configure_fault_policy(fault_policy, quarantine_log)
+
+    # ------------------------------------------------------------------
+    # resilience configuration
+    # ------------------------------------------------------------------
+
+    def _metrics(self):
+        """The metrics registry behind the instrumentation, if any."""
+        return getattr(self.instrumentation, "metrics", None)
+
+    def _configure_fault_policy(self, fault_policy, quarantine_log) -> None:
+        from repro.resilience import FaultPolicy, QuarantineLog, ResilienceRuntime
+
+        if quarantine_log is not None and not isinstance(
+            quarantine_log, QuarantineLog
+        ):
+            quarantine_log = QuarantineLog(quarantine_log)
+        if fault_policy is None:
+            fault_policy = FaultPolicy.QUARANTINE
+        self._resilience = ResilienceRuntime(
+            fault_policy,
+            quarantine=quarantine_log,
+            metrics=self._metrics(),
+            engine=self.engine,
+        )
+
+    def _configure_deadline(self, step_deadline, urgent) -> None:
+        from repro.resilience import StepBudget
+
+        if self.engine not in SHEDDING_ENGINES:
+            raise MonitorError(
+                f"step deadlines require an engine with a sheddable "
+                f"evaluation loop {SHEDDING_ENGINES}, not {self.engine!r}"
+            )
+        if not isinstance(step_deadline, StepBudget):
+            step_deadline = StepBudget(step_deadline, urgent=urgent)
+        self._budget = step_deadline
+        if self._checker is not None:
+            self._checker.budget = step_deadline
+
+    @property
+    def resilience(self):
+        """The fault-handling runtime (None when no policy is set)."""
+        return self._resilience
+
+    @property
+    def journal(self):
+        """The attached :class:`~repro.core.persist.RunJournal`, if any."""
+        return self._journal
+
+    @property
+    def budget(self):
+        """The per-step :class:`~repro.resilience.StepBudget`, if any."""
+        return self._budget
 
     # ------------------------------------------------------------------
     # registration
@@ -122,6 +207,8 @@ class Monitor:
         """The underlying engine (created lazily at first use)."""
         if self._checker is None:
             self._checker = self._build_checker()
+            if self._budget is not None:
+                self._checker.budget = self._budget
         return self._checker
 
     def _build_checker(self):
@@ -162,6 +249,8 @@ class Monitor:
         telemetry mid-run.
         """
         self.instrumentation = instrumentation
+        if self._resilience is not None:
+            self._resilience.metrics = self._metrics()
         if self._checker is not None:
             self._checker.instrumentation = instrumentation
             engine = getattr(self._checker, "engine", None)
@@ -173,34 +262,173 @@ class Monitor:
 
         Handlers fire synchronously inside :meth:`step`/:meth:`run`, in
         registration order — the hook for alerting, journaling, or
-        compensation logic.  A handler exception propagates to the
-        caller (monitoring must not silently drop reactions).
+        compensation logic.  Each handler call is isolated: a raising
+        handler can neither mask the step's report nor skip the
+        handlers after it.  Collected failures are re-raised as one
+        :class:`~repro.errors.HandlerError` after dispatch (monitoring
+        must not silently drop reactions) — unless a ``skip`` or
+        ``quarantine`` fault policy is active, in which case they are
+        counted and dead-lettered instead.
         """
         self._violation_handlers.append(handler)
 
     def _dispatch(self, report: StepReport) -> StepReport:
-        if self._violation_handlers:
-            for violation in report.violations:
-                for handler in self._violation_handlers:
+        if not self._violation_handlers:
+            return report
+        failures = []
+        for violation in report.violations:
+            for handler in self._violation_handlers:
+                try:
                     handler(violation)
+                except Exception as exc:  # noqa: BLE001 — isolation point
+                    failures.append((violation, exc))
+        if failures:
+            resilience = self._resilience
+            if resilience is not None and resilience.policy.value != "fail_fast":
+                resilience.handle_handler_failures(report, failures)
+            else:
+                raise HandlerError(report, failures) from failures[0][1]
         return report
 
     def step(self, time: Timestamp, txn: Transaction) -> StepReport:
-        """Apply one transaction at ``time`` and check all constraints."""
-        return self._dispatch(self.checker.step(time, txn))
+        """Apply one transaction at ``time`` and check all constraints.
+
+        With a fault policy configured, input faults (schema,
+        transaction, clock, malformed payloads) are intercepted here —
+        the step boundary — and skipped or quarantined instead of
+        raising; the checker is untouched by a faulted step because
+        every engine validates before mutating.
+        """
+        if self._resilience is None and self._journal is None:
+            return self._note(self._dispatch(self.checker.step(time, txn)))
+        return self._guarded_step(time, txn)
+
+    def _note(self, report: StepReport) -> StepReport:
+        if self._budget is None or not report.degraded:
+            return report
+        if self._resilience is not None:
+            self._resilience.note_step(report)
+            return report
+        metrics = self._metrics()
+        if metrics is not None:
+            from repro.resilience.policy import (
+                DEFERRED_EVALS_TOTAL,
+                DEGRADED_STEPS_TOTAL,
+            )
+
+            metrics.counter(
+                DEGRADED_STEPS_TOTAL,
+                help="Steps that shed evaluations",
+                engine=self.engine,
+            ).inc()
+            for name in report.deferred:
+                metrics.counter(
+                    DEFERRED_EVALS_TOTAL,
+                    constraint=name,
+                    help="Constraint evaluations shed under deadline",
+                    engine=self.engine,
+                ).inc()
+        return report
+
+    def _guarded_step(self, time: Timestamp, txn) -> StepReport:
+        from repro.resilience import FAULT_ERRORS, classify_fault
+
+        resilience = self._resilience
+        checker = self.checker
+        tracer = getattr(self.instrumentation, "tracer", None)
+        depth = tracer.open_spans if tracer is not None else 0
+        try:
+            if resilience is not None and not isinstance(txn, Transaction):
+                raise HistoryError(
+                    f"stream element at t={time!r} is not a Transaction "
+                    f"but {type(txn).__name__}"
+                )
+            report = checker.step(time, txn)
+        except FAULT_ERRORS as exc:
+            # abandon any trace spans the failed step left open
+            if tracer is not None:
+                while tracer.open_spans > depth:
+                    tracer.end(error=type(exc).__name__)
+            if resilience is None:
+                raise
+            return resilience.handle(
+                classify_fault(exc), exc, time, txn, checker.steps_processed
+            )
+        if self._journal is not None:
+            self._journal_record(time, txn)
+        return self._note(self._dispatch(report))
+
+    def _journal_record(self, time: Timestamp, txn: Transaction) -> None:
+        from repro.resilience.policy import (
+            CHECKPOINTS_TOTAL,
+            JOURNAL_RECORDS_TOTAL,
+        )
+
+        checkpointed = self._journal.record(time, txn, self.checker)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter(
+                JOURNAL_RECORDS_TOTAL,
+                help="Steps appended to the run journal",
+                engine=self.engine,
+            ).inc()
+            if checkpointed:
+                metrics.counter(
+                    CHECKPOINTS_TOTAL,
+                    help="Automatic checkpoints written",
+                    engine=self.engine,
+                ).inc()
 
     def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
         """Record a full successor state at ``time`` and check."""
-        return self._dispatch(self.checker.step_state(time, state))
+        if self._journal is not None:
+            raise MonitorError(
+                "step_state cannot be journaled (the journal records "
+                "transactions); derive a transaction and use step()"
+            )
+        return self._note(self._dispatch(self.checker.step_state(time, state)))
 
     def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
         """Process a whole update stream; return the aggregate report."""
-        if not self._violation_handlers:
+        if (
+            not self._violation_handlers
+            and self._resilience is None
+            and self._journal is None
+            and self._budget is None
+        ):
             return self.checker.run(stream)
         report = RunReport()
         for time, txn in stream:
             report.add(self.step(time, txn))
         return report
+
+    def record_fault(
+        self,
+        kind: str,
+        reason: str,
+        time: Optional[Timestamp] = None,
+        payload=None,
+    ) -> StepReport:
+        """Report an out-of-band fault (e.g. an unparseable stream line).
+
+        For callers that decode the stream themselves — such as the CLI
+        reading a history file leniently — and hit records that never
+        become a transaction at all.  Routed through the same fault
+        policy as step-boundary faults, so it raises under ``fail_fast``
+        (or with no policy configured).
+        """
+        error = HistoryError(reason)
+        if self._resilience is None:
+            raise error
+        from repro.resilience import classify_fault
+
+        return self._resilience.handle(
+            classify_fault(error) if kind is None else kind,
+            error,
+            time,
+            payload,
+            self.checker.steps_processed,
+        )
 
     @property
     def now(self) -> Optional[Timestamp]:
@@ -210,6 +438,64 @@ class Monitor:
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
+
+    def enable_journal(self, directory, checkpoint_every: int = 64):
+        """Journal every applied step under ``directory``.
+
+        Writes an initial checkpoint immediately, appends each
+        successfully applied ``(time, transaction)`` to a JSONL journal,
+        and rewrites the checkpoint (atomically) every
+        ``checkpoint_every`` steps.  After a crash,
+        :meth:`Monitor.recover` restores the last checkpoint and
+        replays the journal tail.  Incremental engine only, like
+        :meth:`save`.
+        """
+        from repro.core.persist import RunJournal
+
+        if self.engine != "incremental":
+            raise MonitorError(
+                f"journaling requires the incremental engine, "
+                f"not {self.engine!r}"
+            )
+        if self._journal is not None:
+            raise MonitorError("a journal is already attached")
+        journal = RunJournal(directory, checkpoint_every=checkpoint_every)
+        journal.attach(self.checker)
+        self._journal = journal
+        return journal
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint now (requires :meth:`enable_journal`)."""
+        if self._journal is None:
+            raise MonitorError("no journal attached; call enable_journal()")
+        self._journal.checkpoint(self.checker)
+
+    @classmethod
+    def recover(cls, directory, resume_journal: bool = True):
+        """Rebuild a monitor after a crash from checkpoint + journal.
+
+        Restores the newest checkpoint under ``directory``, replays the
+        journal tail on top, and (by default) re-attaches the journal so
+        monitoring continues exactly where the killed process stopped.
+
+        Returns:
+            ``(monitor, result)`` where ``result`` is the
+            :class:`~repro.core.persist.RecoveryResult` describing what
+            was restored and replayed.
+        """
+        from repro.core.persist import RunJournal
+        from repro.core.persist import recover as recover_run
+
+        result = recover_run(directory)
+        checker = result.checker
+        monitor = cls(checker.schema, engine="incremental")
+        monitor.constraints = list(checker.constraints)
+        monitor._checker = checker
+        if resume_journal:
+            journal = RunJournal(directory)
+            journal.attach(checker)
+            monitor._journal = journal
+        return monitor, result
 
     def save(self, path) -> None:
         """Write a checkpoint of the monitoring run to ``path``.

@@ -39,6 +39,10 @@ from repro.temporal.stream import UpdateStream
 class NaiveChecker:
     """Checks constraints by materialising the history."""
 
+    #: optional per-step :class:`~repro.resilience.degrade.StepBudget`
+    #: (set by the monitor; ``None`` keeps the hot path budget-free)
+    budget = None
+
     def __init__(
         self,
         schema: DatabaseSchema,
@@ -91,6 +95,9 @@ class NaiveChecker:
 
     def step_state(self, time: Timestamp, state: DatabaseState) -> StepReport:
         """Like :meth:`step`, but with the successor state given directly."""
+        budget = self.budget
+        if budget is not None:
+            budget.arm()
         obs = self.instrumentation
         if obs is not None:
             started = perf_counter()
@@ -109,6 +116,8 @@ class NaiveChecker:
         )
         violations: List[Violation] = []
         for c in self.constraints:
+            if budget is not None and budget.should_defer(c.name):
+                continue
             if obs is not None:
                 eval_started = perf_counter()
                 witnesses = evaluator.table_at(c.violation_formula, index)
@@ -125,7 +134,12 @@ class NaiveChecker:
                 witnesses = evaluator.table_at(c.violation_formula, index)
             if not witnesses.is_empty:
                 violations.append(Violation(c.name, time, index, witnesses))
-        report = StepReport(time, index, violations)
+        report = StepReport(
+            time,
+            index,
+            violations,
+            deferred=tuple(budget.deferred) if budget is not None else (),
+        )
         if obs is not None:
             obs.step_end(
                 self.engine_label,

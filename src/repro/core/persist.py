@@ -1,4 +1,4 @@
-"""Checkpoint / restore for the incremental checker.
+"""Checkpoint / restore / crash recovery for the incremental checker.
 
 A monitor that never stores the history is exactly the kind of process
 one wants to stop and resume: the whole checkpoint is the (small)
@@ -13,23 +13,51 @@ Constraints are stored as their concrete syntax (``str(formula)``),
 which the parser round-trips; auxiliary relations are stored in the
 checker's bottom-up registration order, which reconstruction
 reproduces deterministically from the constraints.
+
+Crash safety is layered on top:
+
+* :func:`save_checker` writes **atomically** (temp file + rename), so
+  a crash mid-checkpoint can never leave a torn checkpoint behind;
+* :class:`RunJournal` keeps a **journal** of every applied
+  ``(timestamp, transaction)`` pair between periodic automatic
+  checkpoints (one JSONL record per step, flushed immediately);
+* :func:`recover` restores the last checkpoint and replays the journal,
+  resuming a killed monitor at exactly the last completed step.
+
+The journal directory layout is two files::
+
+    <dir>/checkpoint.json   # last atomic checkpoint
+    <dir>/journal.jsonl     # steps applied since that checkpoint
+
+Records are appended *after* a step commits, so a quarantined or
+faulted input never reaches the journal and a crash mid-step loses at
+most that one uncommitted step.  A journal tail torn by a crash is
+detected during recovery and reported as
+:class:`~repro.errors.RecoveryError`, never as a raw parse exception.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.core.auxiliary import OnceState, PrevState, SinceState
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.core.parser import parse
+from repro.core.violations import RunReport
 from repro.db.algebra import Table
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema
-from repro.errors import MonitorError
+from repro.db.transactions import Transaction
+from repro.errors import MonitorError, RecoveryError, ReproError
 
 FORMAT_VERSION = 1
+
+#: File names inside a journal directory.
+CHECKPOINT_NAME = "checkpoint.json"
+JOURNAL_NAME = "journal.jsonl"
 
 PathLike = Union[str, Path]
 
@@ -81,9 +109,16 @@ def checkpoint_dict(checker: IncrementalChecker) -> dict:
 
 def restore_checker(document: dict) -> IncrementalChecker:
     """Rebuild a checker from a checkpoint document."""
-    if document.get("version") != FORMAT_VERSION:
+    version = document.get("version")
+    if isinstance(version, int) and version > FORMAT_VERSION:
         raise MonitorError(
-            f"unsupported checkpoint version: {document.get('version')!r}"
+            f"checkpoint format version {version} is newer than this "
+            f"build supports (<= {FORMAT_VERSION}); upgrade the library "
+            f"to restore it"
+        )
+    if version != FORMAT_VERSION:
+        raise MonitorError(
+            f"unsupported checkpoint version: {version!r}"
         )
     schema = DatabaseSchema.from_dict(
         {
@@ -140,16 +175,261 @@ def restore_checker(document: dict) -> IncrementalChecker:
 
 
 def save_checker(checker: IncrementalChecker, path: PathLike) -> None:
-    """Write a checker checkpoint to ``path`` as JSON."""
-    Path(path).write_text(
-        json.dumps(checkpoint_dict(checker), sort_keys=True) + "\n"
-    )
+    """Write a checker checkpoint to ``path`` as JSON, atomically.
+
+    The document is written to a sibling temp file and renamed into
+    place, so readers (and crash recovery) only ever see either the
+    previous complete checkpoint or the new complete one — never a
+    torn write.
+    """
+    path = Path(path)
+    payload = json.dumps(checkpoint_dict(checker), sort_keys=True) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
 
 
 def load_checker(path: PathLike) -> IncrementalChecker:
-    """Restore a checker from a checkpoint file."""
+    """Restore a checker from a checkpoint file.
+
+    Raises:
+        MonitorError: if the file is missing, unreadable, not valid
+            JSON, structurally incomplete, or written by an unsupported
+            (including newer) format version — always with the path
+            and reason; raw ``FileNotFoundError``/``JSONDecodeError``/
+            ``KeyError`` never escape.
+    """
+    path = Path(path)
     try:
-        document = json.loads(Path(path).read_text())
+        text = path.read_text()
+    except FileNotFoundError:
+        raise MonitorError(
+            f"checkpoint {path} does not exist"
+        ) from None
+    except OSError as exc:
+        raise MonitorError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from None
+    try:
+        document = json.loads(text)
     except ValueError as exc:
-        raise MonitorError(f"malformed checkpoint: {exc}") from None
-    return restore_checker(document)
+        raise MonitorError(
+            f"malformed checkpoint {path}: not valid JSON ({exc})"
+        ) from None
+    if not isinstance(document, dict):
+        raise MonitorError(
+            f"malformed checkpoint {path}: expected a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    try:
+        return restore_checker(document)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise MonitorError(
+            f"malformed checkpoint {path}: missing or ill-typed field "
+            f"({type(exc).__name__}: {exc})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# journaled auto-checkpointing
+# ----------------------------------------------------------------------
+
+
+class RunJournal:
+    """Write-ahead journal + periodic atomic checkpoints for one run.
+
+    Attach it to a checker, then call :meth:`record` after every
+    committed step: the pair is appended to ``journal.jsonl`` and
+    flushed; every ``checkpoint_every`` records a fresh atomic
+    checkpoint is written and the journal truncated.  The directory is
+    therefore always recoverable to the last *completed* step via
+    :func:`recover`.
+    """
+
+    def __init__(self, directory: PathLike, checkpoint_every: int = 64):
+        if not isinstance(checkpoint_every, int) or checkpoint_every < 1:
+            raise MonitorError(
+                f"checkpoint_every must be a positive int, "
+                f"got {checkpoint_every!r}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = checkpoint_every
+        self.records_written = 0
+        self.checkpoints_written = 0
+        self._since_checkpoint = 0
+        self._fh = None
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """Path of the checkpoint file inside the journal directory."""
+        return self.directory / CHECKPOINT_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        """Path of the journal file inside the journal directory."""
+        return self.directory / JOURNAL_NAME
+
+    def attach(self, checker: IncrementalChecker) -> None:
+        """Write an initial checkpoint of ``checker`` and open the journal."""
+        self.checkpoint(checker)
+
+    def record(
+        self,
+        time: int,
+        txn: Transaction,
+        checker: IncrementalChecker,
+    ) -> bool:
+        """Journal one applied step; maybe auto-checkpoint.
+
+        Returns:
+            True when this record triggered an automatic checkpoint.
+        """
+        if self._fh is None:
+            self._fh = open(self.journal_path, "a")
+        entry = {"t": time}
+        entry.update(txn.to_dict())
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint(checker)
+            return True
+        return False
+
+    def checkpoint(self, checker: IncrementalChecker) -> None:
+        """Write an atomic checkpoint now and truncate the journal.
+
+        The checkpoint is renamed into place *before* the journal is
+        truncated; a crash between the two leaves journal records that
+        are already covered by the checkpoint, which :func:`recover`
+        detects by timestamp and skips.
+        """
+        save_checker(checker, self.checkpoint_path)
+        self.checkpoints_written += 1
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = open(self.journal_path, "w")
+        self._since_checkpoint = 0
+
+    def close(self) -> None:
+        """Flush and close the journal file."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RunJournal({self.directory}, "
+            f"every={self.checkpoint_every}, "
+            f"{self.records_written} record(s), "
+            f"{self.checkpoints_written} checkpoint(s))"
+        )
+
+
+def read_journal(path: PathLike) -> Iterator[Tuple[int, Transaction]]:
+    """Parse a journal file, mapping any damage to ``RecoveryError``.
+
+    A record that fails to parse — typically the tail of a journal torn
+    by a crash mid-write — is reported with its line number; recovery
+    must stop there rather than silently skip, because later records
+    would replay against the wrong state.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise RecoveryError(
+            f"cannot read journal {path}: {exc}"
+        ) from None
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            time = record["t"]
+            txn = Transaction.from_dict(record)
+        except (ValueError, KeyError, TypeError, ReproError) as exc:
+            tail = " (torn tail from a crash mid-write?)" if (
+                lineno == len(lines)
+            ) else ""
+            raise RecoveryError(
+                f"{path}:{lineno}: corrupted journal record"
+                f"{tail}: {type(exc).__name__}: {exc}"
+            ) from None
+        if not isinstance(time, int):
+            raise RecoveryError(
+                f"{path}:{lineno}: corrupted journal record: "
+                f"timestamp must be an int, got {time!r}"
+            )
+        yield time, txn
+
+
+class RecoveryResult:
+    """Outcome of :func:`recover`: the restored checker plus replay facts."""
+
+    __slots__ = (
+        "checker", "replayed", "checkpoint_time", "journal_entries"
+    )
+
+    def __init__(
+        self,
+        checker: IncrementalChecker,
+        replayed: RunReport,
+        checkpoint_time: Optional[int],
+        journal_entries: int,
+    ):
+        #: the restored checker, positioned at the last completed step
+        self.checker = checker
+        #: step reports produced while replaying the journal
+        self.replayed = replayed
+        #: checker time as of the restored checkpoint (before replay)
+        self.checkpoint_time = checkpoint_time
+        #: journal records replayed on top of the checkpoint
+        self.journal_entries = journal_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryResult(checkpoint t={self.checkpoint_time}, "
+            f"replayed {self.journal_entries} journal record(s), "
+            f"now at t={self.checker.now})"
+        )
+
+
+def recover(directory: PathLike) -> RecoveryResult:
+    """Restore a crashed run from its journal directory.
+
+    Loads ``checkpoint.json``, then replays every ``journal.jsonl``
+    record whose timestamp lies after the checkpoint (records at or
+    before it are left-overs of a crash between checkpoint-write and
+    journal-truncate, and are skipped).  The returned checker is
+    bit-for-bit the checker of an uninterrupted run over the same
+    prefix — the chaos suite asserts this across crash points.
+
+    Raises:
+        RecoveryError: if the checkpoint or journal is missing,
+            corrupt, or inconsistent with the restored state.
+    """
+    directory = Path(directory)
+    try:
+        checker = load_checker(directory / CHECKPOINT_NAME)
+    except MonitorError as exc:
+        raise RecoveryError(f"cannot recover from {directory}: {exc}") from None
+    checkpoint_time = checker.now
+    replayed = RunReport()
+    entries = 0
+    journal = directory / JOURNAL_NAME
+    if journal.exists():
+        for time, txn in read_journal(journal):
+            if checker.now is not None and time <= checker.now:
+                continue  # already covered by the checkpoint
+            try:
+                replayed.add(checker.step(time, txn))
+            except ReproError as exc:
+                raise RecoveryError(
+                    f"{journal}: journal record at t={time} does not "
+                    f"replay against the restored checkpoint: {exc}"
+                ) from None
+            entries += 1
+    return RecoveryResult(checker, replayed, checkpoint_time, entries)

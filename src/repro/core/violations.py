@@ -9,7 +9,7 @@ state (an empty-tuple witness for closed constraints).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.db.algebra import Table
 from repro.db.types import Value
@@ -63,21 +63,49 @@ class Violation:
 
 
 class StepReport:
-    """Outcome of checking all constraints at one new state."""
+    """Outcome of checking all constraints at one new state.
 
-    __slots__ = ("time", "index", "violations")
+    Besides the violations, a report can carry two resilience markers:
+
+    * ``deferred`` — constraints whose evaluation was shed because the
+      step exceeded its deadline budget (the step is *degraded*: the
+      verdicts it does carry are sound, but the deferred constraints
+      were not checked at this state);
+    * ``fault`` — set when a fault policy *skipped* the step entirely
+      (the input was quarantined or dropped; no state transition
+      happened).  A faulted report carries no violations.
+    """
+
+    __slots__ = ("time", "index", "violations", "deferred", "fault")
 
     def __init__(
-        self, time: Timestamp, index: int, violations: Sequence[Violation]
+        self,
+        time: Timestamp,
+        index: int,
+        violations: Sequence[Violation],
+        deferred: Sequence[str] = (),
+        fault: Optional[object] = None,
     ):
         self.time = time
         self.index = index
         self.violations = list(violations)
+        self.deferred = tuple(deferred)
+        self.fault = fault
 
     @property
     def ok(self) -> bool:
         """Whether every constraint held at this state."""
         return not self.violations
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any constraint evaluation was shed at this state."""
+        return bool(self.deferred)
+
+    @property
+    def skipped(self) -> bool:
+        """Whether a fault policy skipped this step (no state change)."""
+        return self.fault is not None
 
     def violated_constraints(self) -> List[str]:
         """Names of constraints that failed at this state."""
@@ -86,11 +114,24 @@ class StepReport:
     def __bool__(self) -> bool:
         return self.ok
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StepReport)
+            and self.time == other.time
+            and self.index == other.index
+            and self.violations == other.violations
+            and self.deferred == other.deferred
+            and self.fault == other.fault
+        )
+
     def __repr__(self) -> str:
+        if self.skipped:
+            return f"StepReport(t={self.time}, skipped: {self.fault})"
+        marks = f", {len(self.deferred)} deferred" if self.deferred else ""
         if self.ok:
-            return f"StepReport(t={self.time}, ok)"
+            return f"StepReport(t={self.time}, ok{marks})"
         names = ", ".join(self.violated_constraints())
-        return f"StepReport(t={self.time}, violated: {names})"
+        return f"StepReport(t={self.time}, violated: {names}{marks})"
 
 
 class RunReport:
@@ -120,6 +161,21 @@ class RunReport:
         """Total number of violations over the run."""
         return sum(len(s.violations) for s in self.steps)
 
+    @property
+    def degraded_steps(self) -> List[StepReport]:
+        """Steps whose constraint evaluation was partially shed."""
+        return [s for s in self.steps if s.degraded]
+
+    @property
+    def skipped_steps(self) -> List[StepReport]:
+        """Steps a fault policy skipped (inputs that never applied)."""
+        return [s for s in self.steps if s.skipped]
+
+    @property
+    def checked_steps(self) -> List[StepReport]:
+        """Steps that actually transitioned the database (not skipped)."""
+        return [s for s in self.steps if not s.skipped]
+
     def first_violation(self) -> Violation:
         """The earliest violation.
 
@@ -141,8 +197,18 @@ class RunReport:
     def __len__(self) -> int:
         return len(self.steps)
 
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RunReport) and self.steps == other.steps
+
     def __repr__(self) -> str:
+        marks = ""
+        skipped = len(self.skipped_steps)
+        degraded = len(self.degraded_steps)
+        if skipped:
+            marks += f", {skipped} skipped"
+        if degraded:
+            marks += f", {degraded} degraded"
         return (
             f"RunReport({len(self.steps)} steps, "
-            f"{self.violation_count} violation(s))"
+            f"{self.violation_count} violation(s){marks})"
         )

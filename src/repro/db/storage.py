@@ -94,3 +94,53 @@ def read_stream(fh: IO[str]) -> Iterator[TimedTransaction]:
             )
         previous_t = t
         yield t, txn
+
+
+class StreamFault:
+    """A stream line that could not be decoded (lenient reading only)."""
+
+    __slots__ = ("lineno", "reason", "line")
+
+    def __init__(self, lineno: int, reason: str, line: str):
+        self.lineno = lineno
+        self.reason = reason
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"StreamFault(line {self.lineno}: {self.reason})"
+
+
+def iter_stream_lenient(
+    path: PathLike,
+) -> Iterator[Union[TimedTransaction, StreamFault]]:
+    """Read an update stream without dying on the first bad line.
+
+    Yields ``(t, txn)`` pairs for decodable records and
+    :class:`StreamFault` markers for undecodable ones, in file order.
+    Unlike :func:`read_stream`, timestamps are *not* checked for
+    monotonicity here — that is the monitor's clock validation, and
+    under a fault policy it must reach the monitor to be counted and
+    quarantined rather than abort the read.
+    """
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                record = json.loads(stripped)
+                t = record["t"]
+                txn = Transaction.from_dict(record)
+            except (ValueError, KeyError, TypeError) as exc:
+                yield StreamFault(
+                    lineno, f"malformed record: {exc}", stripped
+                )
+                continue
+            if not isinstance(t, int):
+                yield StreamFault(
+                    lineno,
+                    f"timestamp must be an int, got {t!r}",
+                    stripped,
+                )
+                continue
+            yield t, txn

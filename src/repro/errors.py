@@ -75,5 +75,42 @@ class MonitorError(ReproError):
     """The monitor was driven incorrectly (e.g. stepped before begun)."""
 
 
+class RecoveryError(MonitorError):
+    """A checkpoint or journal could not be restored.
+
+    Raised when crash recovery (:func:`repro.core.persist.recover`)
+    finds a missing/corrupt checkpoint, a journal record that cannot be
+    parsed (e.g. a tail torn by a crash mid-write), or journal content
+    the restored checker rejects.  The message always carries the path
+    and the reason; raw ``JSONDecodeError``/``KeyError`` never escape.
+    """
+
+
+class HandlerError(MonitorError):
+    """One or more violation handlers raised during dispatch.
+
+    Every registered handler still runs for every violation — a raising
+    handler can neither mask the step's report nor starve handlers
+    registered after it.  The collected failures are re-raised as one
+    exception after dispatch completes.
+
+    Attributes:
+        report: the :class:`~repro.core.violations.StepReport` whose
+            dispatch failed (the verdicts are valid; only reactions
+            failed).
+        failures: list of ``(violation, exception)`` pairs, in dispatch
+            order.
+    """
+
+    def __init__(self, report, failures):
+        first = failures[0][1] if failures else None
+        super().__init__(
+            f"{len(failures)} violation handler call(s) failed "
+            f"(first: {first!r}); step report: {report!r}"
+        )
+        self.report = report
+        self.failures = list(failures)
+
+
 class HistoryError(ReproError):
     """A history is malformed (non-increasing timestamps, schema drift)."""

@@ -1,0 +1,75 @@
+"""Fault tolerance for long-running monitors.
+
+The paper pitches the bounded-history checker as a *long-running*
+process — precisely the process that must survive bad inputs, crashes,
+and overload without losing its (deliberately small) auxiliary state.
+This package supplies the three layers, all threaded through
+:class:`~repro.core.monitor.Monitor`:
+
+* **fault policies** (:mod:`repro.resilience.policy`) — ``fail_fast`` /
+  ``skip`` / ``quarantine`` handling of schema, transaction, and clock
+  faults (and raising violation handlers) at the step boundary, with a
+  JSONL dead-letter :class:`QuarantineLog` and fault counters in the
+  standard metrics registry::
+
+      monitor = Monitor(schema, fault_policy="quarantine")
+      monitor.run(dirty_stream)            # never raises on bad input
+      monitor.resilience.summary()         # what was skipped and why
+
+* **overload degradation** (:mod:`repro.resilience.degrade`) — a
+  per-step deadline budget (:class:`StepBudget`) that sheds non-urgent
+  constraint evaluations and marks steps ``degraded``;
+
+* **chaos engineering** (:mod:`repro.resilience.chaos`) — seeded fault
+  injection (:func:`inject_faults`) and simulated kills
+  (:func:`run_until_crash`), used by the chaos test suite to prove
+  ``recover ∘ crash ≡ uninterrupted run``.
+
+Journaled auto-checkpointing and crash recovery live next to the
+checkpoint format in :mod:`repro.core.persist`
+(:class:`~repro.core.persist.RunJournal`,
+:func:`~repro.core.persist.recover`); ``Monitor.enable_journal`` and
+``Monitor.recover`` wire them up.  See ``docs/robustness.md`` for the
+full walkthrough.
+"""
+
+from repro.core.persist import RecoveryResult, RunJournal, read_journal, recover
+from repro.resilience.chaos import (
+    FAULT_KINDS,
+    FaultyStream,
+    InjectedFault,
+    SimulatedCrash,
+    crash_after,
+    inject_faults,
+    run_until_crash,
+)
+from repro.resilience.degrade import StepBudget
+from repro.resilience.policy import (
+    FAULT_ERRORS,
+    FaultPolicy,
+    FaultRecord,
+    QuarantineLog,
+    ResilienceRuntime,
+    classify_fault,
+)
+
+__all__ = [
+    "FAULT_ERRORS",
+    "FAULT_KINDS",
+    "FaultPolicy",
+    "FaultRecord",
+    "FaultyStream",
+    "InjectedFault",
+    "QuarantineLog",
+    "RecoveryResult",
+    "ResilienceRuntime",
+    "RunJournal",
+    "SimulatedCrash",
+    "StepBudget",
+    "classify_fault",
+    "crash_after",
+    "inject_faults",
+    "read_journal",
+    "recover",
+    "run_until_crash",
+]

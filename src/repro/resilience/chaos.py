@@ -1,0 +1,170 @@
+"""Deterministic fault injection: the chaos harness.
+
+Perturbs a clean update stream with *seeded* faults — duplicated
+timestamps, backwards clocks, schema-violating transactions, outright
+garbage — and simulates a process kill at step N.  Everything is
+driven by one :class:`random.Random` seed, so a chaos run is exactly
+reproducible: the test suite proves, for every engine, that the
+``quarantine`` policy on a faulty stream yields the same verdicts as a
+clean run, and that ``recover`` after a kill reproduces the
+uninterrupted run bit-for-bit.
+
+Faults are *injected between* the clean transitions (the originals are
+never altered), so the clean stream is a subsequence of the faulty one
+and the expected verdicts are exactly the clean run's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.violations import RunReport
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+
+#: Fault kinds the injector can produce.
+FAULT_KINDS = ("duplicate", "skew", "corrupt", "garbage")
+
+
+class InjectedFault:
+    """Provenance of one injected fault (position in the faulty list)."""
+
+    __slots__ = ("position", "kind", "time")
+
+    def __init__(self, position: int, kind: str, time: object):
+        self.position = position
+        self.kind = kind
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"InjectedFault({self.kind!r} at #{self.position}, t={self.time})"
+
+
+class FaultyStream(list):
+    """A perturbed stream: a plain list of pairs plus fault provenance.
+
+    Deliberately *not* an :class:`~repro.temporal.stream.UpdateStream`
+    — that class validates its input, which is exactly what a faulty
+    stream must evade to reach the monitor's fault boundary.
+    """
+
+    def __init__(self, items: Iterable, faults: Sequence[InjectedFault]):
+        super().__init__(items)
+        #: injected faults, in stream order
+        self.faults = list(faults)
+
+    @property
+    def fault_count(self) -> int:
+        """Number of injected faulty records."""
+        return len(self.faults)
+
+    def kinds(self) -> List[str]:
+        """The injected fault kinds, in stream order."""
+        return [f.kind for f in self.faults]
+
+
+def _corrupt_transaction(
+    rng: random.Random, schema: Optional[DatabaseSchema]
+) -> Transaction:
+    """A transaction the schema must reject (unknown relation or arity)."""
+    if schema is not None and rng.random() < 0.5:
+        relation = rng.choice(sorted(r.name for r in schema))
+        arity = schema.relation(relation).arity
+        # one column too many: rejected by row validation, and
+        # impossible to confuse with a legitimate update
+        bad_row = tuple(["chaos"] * (arity + 1))
+        return Transaction({relation: [bad_row]})
+    return Transaction({"__chaos_unknown__": [("boom",)]})
+
+
+def inject_faults(
+    stream: Iterable[Tuple[int, Transaction]],
+    seed: int = 0,
+    rate: float = 0.2,
+    kinds: Sequence[str] = FAULT_KINDS,
+    schema: Optional[DatabaseSchema] = None,
+) -> FaultyStream:
+    """Weave seeded faulty records between the transitions of ``stream``.
+
+    Args:
+        stream: the clean timed transactions (any iterable of pairs).
+        seed: PRNG seed; equal seeds produce identical perturbations.
+        rate: per-gap probability of injecting one faulty record.
+        kinds: fault kinds to draw from (see :data:`FAULT_KINDS`).
+        schema: when given, ``corrupt`` faults also produce realistic
+            arity violations, not only unknown relations.
+
+    Returns:
+        A :class:`FaultyStream` containing every clean transition in
+        order, with faulty records interleaved.  Each faulty record
+        fails engine validation *before* any state mutates, so a
+        ``skip``/``quarantine`` monitor recovers the clean verdicts.
+    """
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+            )
+    rng = random.Random(seed)
+    items: List = []
+    faults: List[InjectedFault] = []
+    previous: Optional[Tuple[int, Transaction]] = None
+    for time, txn in stream:
+        if previous is not None and rng.random() < rate:
+            kind = rng.choice(list(kinds))
+            prev_time, prev_txn = previous
+            if kind == "duplicate":
+                # re-delivery of the previous record: clock stalls
+                bad = (prev_time, prev_txn)
+            elif kind == "skew":
+                # the clock jumps backwards (possibly below zero)
+                bad = (prev_time - rng.randint(1, 5), prev_txn)
+            elif kind == "corrupt":
+                # schema-violating payload on an otherwise valid tick
+                bad = (time, _corrupt_transaction(rng, schema))
+            else:  # garbage: not a Transaction at all
+                bad = (time, {"not": "a transaction"})
+            faults.append(InjectedFault(len(items), kind, bad[0]))
+            items.append(bad)
+        items.append((time, txn))
+        previous = (time, txn)
+    return FaultyStream(items, faults)
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by :func:`crash_after` to imitate a process kill.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a crash is
+    not an input fault, and no fault policy may swallow it.
+    """
+
+
+def crash_after(stream: Iterable, steps: int):
+    """Yield ``steps`` items of ``stream``, then raise a crash.
+
+    Models ``kill -9`` between steps: everything up to the crash point
+    was fully processed (and, with journaling on, durably recorded);
+    nothing after it ever reaches the monitor.
+    """
+    for index, item in enumerate(stream):
+        if index >= steps:
+            raise SimulatedCrash(f"simulated crash before step {index}")
+        yield item
+
+
+def run_until_crash(monitor, stream: Iterable, crash_at: int) -> RunReport:
+    """Drive ``monitor`` until a simulated kill at step ``crash_at``.
+
+    Returns the report of the steps completed before the crash.  The
+    monitor object is left exactly as a killed process would leave its
+    on-disk artifacts: journal and checkpoint written through the last
+    completed step, in-memory state abandoned.
+    """
+    report = RunReport()
+    try:
+        for time, txn in crash_after(stream, crash_at):
+            report.add(monitor.step(time, txn))
+    except SimulatedCrash:
+        pass
+    return report

@@ -1,0 +1,84 @@
+"""Overload degradation: per-step deadline budgets with shedding.
+
+A real-time monitor that falls behind must degrade *predictably*: the
+paper's setting gives every state transition a deadline, so when a step
+threatens to blow its budget the monitor sheds work it can recover
+from — it defers the evaluation of non-urgent constraints (their
+auxiliary state still advances, so no later verdict is corrupted) and
+marks the step ``degraded`` in its :class:`~repro.core.violations.StepReport`.
+
+:class:`StepBudget` is the tiny object the engines consult: armed at
+the start of each step, queried once per constraint.  Engines with a
+per-constraint evaluation loop (``incremental``, ``naive``,
+``naive-memo``, ``adom``) support shedding; the ``active`` engine
+evaluates inside rule firings and does not.
+
+Auxiliary-state updates are never shed: they fold each state into the
+bounded history encoding exactly once, so skipping one would corrupt
+every later verdict.  Shedding only ever skips the final
+witness-evaluation of a constraint at one state — the verdicts a
+degraded step does report remain sound.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Iterable, List
+
+from repro.errors import MonitorError
+
+
+class StepBudget:
+    """A per-step evaluation deadline with constraint shedding.
+
+    Args:
+        deadline: seconds each step may spend before shedding begins.
+        urgent: constraint names that are never deferred (they are
+            evaluated even on a blown budget — deadlines degrade the
+            monitor, they must not silence its critical constraints).
+        clock: monotonic time source (tests inject a fake for
+            deterministic shedding).
+    """
+
+    __slots__ = ("deadline", "urgent", "deferred", "_clock", "_started")
+
+    def __init__(
+        self,
+        deadline: float,
+        urgent: Iterable[str] = (),
+        clock: Callable[[], float] = perf_counter,
+    ):
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise MonitorError(
+                f"step deadline must be a positive number of seconds, "
+                f"got {deadline!r}"
+            )
+        self.deadline = float(deadline)
+        self.urgent = frozenset(urgent)
+        self._clock = clock
+        self._started: float = 0.0
+        #: constraints shed in the step being checked (engine-owned)
+        self.deferred: List[str] = []
+
+    def arm(self) -> None:
+        """Start the clock for a new step (engines call this per step)."""
+        self._started = self._clock()
+        self.deferred = []
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the current step has spent its whole budget."""
+        return (self._clock() - self._started) > self.deadline
+
+    def should_defer(self, constraint: str) -> bool:
+        """Decide (and record) whether to shed one evaluation."""
+        if constraint in self.urgent:
+            return False
+        if self.exhausted:
+            self.deferred.append(constraint)
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        urgent = f", {len(self.urgent)} urgent" if self.urgent else ""
+        return f"StepBudget({self.deadline}s{urgent})"

@@ -27,11 +27,11 @@ def merge_streams(*streams: "UpdateStream") -> "UpdateStream":
     Transactions landing on the same timestamp are composed with
     net-effect semantics (:meth:`repro.db.transactions.Transaction.merged`),
     in argument order — the multi-source shape of real monitoring,
-    where each subsystem reports its own updates.
-
-    Raises:
-        TransactionError: if same-timestamp transactions conflict
-            (compose to an insert-and-delete of one tuple).
+    where each subsystem reports its own updates.  Sources that touch
+    the same tuple with opposite intent therefore never *conflict*:
+    the later source in argument order wins (insert-then-delete nets
+    to a delete, delete-then-insert to an insert).  Called with no
+    arguments, the merge is the empty stream.
     """
     merged: dict = {}
     for stream in streams:

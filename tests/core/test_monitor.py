@@ -92,6 +92,8 @@ class TestViolationHandlers:
         assert seen == [0, 3]
 
     def test_handler_exception_propagates(self, tiny_schema):
+        from repro.errors import HandlerError
+
         monitor = Monitor(tiny_schema)
         monitor.add_constraint("c", "q(x) -> p(x)")
 
@@ -99,8 +101,43 @@ class TestViolationHandlers:
             raise RuntimeError("alerting failed")
 
         monitor.on_violation(boom)
-        with pytest.raises(RuntimeError, match="alerting failed"):
+        with pytest.raises(HandlerError, match="alerting failed"):
             monitor.step(0, ins("q", (1,)))
+
+    def test_handler_isolation_runs_all_and_carries_report(self, tiny_schema):
+        # one raising handler must neither mask the report nor skip
+        # the handlers registered after it
+        from repro.errors import HandlerError
+
+        monitor = Monitor(tiny_schema)
+        monitor.add_constraint("c", "q(x) -> p(x)")
+        seen = []
+
+        def boom(violation):
+            raise RuntimeError("alerting failed")
+
+        monitor.on_violation(boom)
+        monitor.on_violation(lambda v: seen.append(v.constraint))
+        with pytest.raises(HandlerError) as excinfo:
+            monitor.step(0, ins("q", (1,)))
+        assert seen == ["c"]
+        err = excinfo.value
+        assert err.report.violated_constraints() == ["c"]
+        assert len(err.failures) == 1
+        assert isinstance(err.failures[0][1], RuntimeError)
+
+    def test_handler_failures_absorbed_by_fault_policy(self, tiny_schema):
+        monitor = Monitor(tiny_schema, fault_policy="quarantine")
+        monitor.add_constraint("c", "q(x) -> p(x)")
+
+        def boom(violation):
+            raise RuntimeError("alerting failed")
+
+        monitor.on_violation(boom)
+        report = monitor.step(0, ins("q", (1,)))
+        assert report.violated_constraints() == ["c"]  # verdict intact
+        assert monitor.resilience.handler_failures == 1
+        assert [r.kind for r in monitor.resilience.quarantine] == ["handler"]
 
     def test_multiple_handlers_in_order(self, tiny_schema):
         monitor = Monitor(tiny_schema)

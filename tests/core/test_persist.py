@@ -117,6 +117,45 @@ class TestErrors:
         with pytest.raises(MonitorError, match="malformed"):
             load_checker(bad)
 
+    def test_missing_file_names_path(self, tmp_path):
+        # FileNotFoundError never escapes raw
+        with pytest.raises(MonitorError, match="does not exist") as excinfo:
+            load_checker(tmp_path / "nowhere.json")
+        assert "nowhere.json" in str(excinfo.value)
+
+    def test_non_object_document(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(MonitorError, match="expected a JSON object"):
+            load_checker(bad)
+
+    def test_missing_field_wrapped(self, tmp_path):
+        # structurally incomplete documents surface as MonitorError
+        # with the path, never as a raw KeyError
+        checker = make_checker()
+        doc = checkpoint_dict(checker)
+        del doc["state"]
+        bad = tmp_path / "partial.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(MonitorError, match="missing or ill-typed"):
+            load_checker(bad)
+
+    def test_future_version_rejected_explicitly(self, tmp_path):
+        checker = make_checker()
+        doc = checkpoint_dict(checker)
+        doc["version"] = doc["version"] + 1
+        bad = tmp_path / "future.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(MonitorError, match="newer than this build"):
+            load_checker(bad)
+
+    def test_save_is_atomic_no_temp_leftover(self, tmp_path):
+        checker = make_checker()
+        checker.step(0, ins("q", (1,)))
+        save_checker(checker, tmp_path / "c.json")
+        save_checker(checker, tmp_path / "c.json")  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+
 
 @settings(
     max_examples=40,

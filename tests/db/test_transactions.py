@@ -89,3 +89,51 @@ class TestSerialisation:
         txn = Transaction({"r": [(1,)]}, {"s": [(2,)]})
         assert "+r:1" in repr(txn)
         assert "-s:1" in repr(txn)
+
+
+class TestMergedNetEffectEdges:
+    def test_insert_then_delete_across_sources_of_same_tuple(self):
+        # the multi-source shape: source A inserts (1,) and an
+        # unrelated row; source B deletes (1,).  The merge must keep
+        # A's unrelated row and carry the delete for the clash.
+        first = Transaction({"r": [(1,), (2,)]})
+        second = Transaction({}, {"r": [(1,)]})
+        merged = first.merged(second)
+        assert merged.inserts == {"r": frozenset({(2,)})}
+        assert merged.deletes == {"r": frozenset({(1,)})}
+
+    def test_merge_never_raises_conflict(self):
+        # insert and delete of one tuple compose (later wins); only a
+        # *single* transaction may not contain both at once
+        first = Transaction({"r": [(1,)]})
+        second = Transaction({}, {"r": [(1,)]})
+        first.merged(second)  # fine
+        second.merged(first)  # fine
+        with pytest.raises(TransactionError):
+            Transaction({"r": [(1,)]}, {"r": [(1,)]})
+
+    def test_merge_with_noop_is_identity(self):
+        txn = Transaction({"r": [(1,)]}, {"s": [(2,)]})
+        assert txn.merged(Transaction.noop()) == txn
+        assert Transaction.noop().merged(txn) == txn
+
+    def test_apply_equivalence_on_clashing_merge(self, schema):
+        # base.apply(a.merged(b)) == base.apply(a).apply(b), including
+        # when a inserts what b deletes and the tuple pre-existed
+        from repro.db import DatabaseState
+
+        base = DatabaseState.from_rows(schema, {"r": [(1,)]})
+        a = Transaction({"r": [(1,), (3,)]})
+        b = Transaction({}, {"r": [(1,)]})
+        assert base.apply(a.merged(b)) == base.apply(a).apply(b)
+
+    def test_merged_is_associative_in_effect(self, schema):
+        from repro.db import DatabaseState
+
+        base = DatabaseState.from_rows(schema, {"r": [(2,)]})
+        a = Transaction({"r": [(1,)]})
+        b = Transaction({}, {"r": [(1,), (2,)]})
+        c = Transaction({"r": [(2,)]})
+        left = base.apply(a.merged(b).merged(c))
+        right = base.apply(a.merged(b.merged(c)))
+        assert left == right == base.apply(a).apply(b).apply(c)

@@ -142,6 +142,33 @@ class TestOverhead:
         assert len(registry) == 0
         assert profiler.profile.call_counts() == {}
 
+    def test_disabled_resilience_adds_no_series_or_hooks(self):
+        # with no fault policy, budget, or journal configured, a run
+        # through Monitor.step must add zero resilience metric series
+        # and keep the pristine fast path (runtime objects all unset)
+        registry = MetricsRegistry()
+        monitor = run_engine(
+            "incremental", MonitorInstrumentation(metrics=registry)
+        )
+        assert monitor.resilience is None
+        assert monitor.journal is None
+        assert monitor.budget is None
+        assert monitor.checker.budget is None
+        families = {name for name, _, _, _ in registry.families()}
+        assert not any(
+            name.startswith(prefix)
+            for name in families
+            for prefix in (
+                "repro_faults",
+                "repro_quarantined",
+                "repro_handler_failures",
+                "repro_degraded",
+                "repro_deferred",
+                "repro_journal",
+                "repro_checkpoints",
+            )
+        )
+
     @pytest.mark.parametrize("engine", ENGINES)
     def test_hook_traffic_per_step_is_bounded(self, engine):
         counting = CountingInstrumentation()

@@ -1,0 +1,153 @@
+"""Chaos harness: seeded injection, and the central equivalence —
+a quarantine monitor on a faulty stream reproduces the clean run.
+"""
+
+import pytest
+
+from repro.core.monitor import ENGINES, Monitor
+from repro.db import DatabaseSchema, Transaction
+from repro.resilience import (
+    FaultyStream,
+    SimulatedCrash,
+    crash_after,
+    inject_faults,
+    run_until_crash,
+)
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def clean_stream(length=30):
+    """A deterministic stream with real violations mixed in."""
+    items = []
+    t = 0
+    for i in range(length):
+        t += 1 + (i % 3)
+        if i % 4 == 0:
+            txn = Transaction({"p": [(i % 5,)]})
+        elif i % 4 == 2:
+            txn = Transaction({"q": [(i % 5,)]})  # sometimes violating
+        else:
+            txn = Transaction({}, {"p": [((i - 4) % 5,)]})
+        items.append((t, txn))
+    return items
+
+
+def make_monitor(schema, engine, **kwargs):
+    monitor = Monitor(schema, engine=engine, **kwargs)
+    monitor.add_constraint("window", "q(x) -> ONCE[0,3] p(x)")
+    monitor.add_constraint("prev", "q(x) -> PREV (p(x) OR q(x))")
+    return monitor
+
+
+class TestInjection:
+    def test_same_seed_same_faults(self, schema):
+        a = inject_faults(clean_stream(), seed=7, schema=schema)
+        b = inject_faults(clean_stream(), seed=7, schema=schema)
+        assert a.kinds() == b.kinds()
+        assert [f.position for f in a.faults] == [
+            f.position for f in b.faults
+        ]
+        assert len(a) == len(b)
+
+    def test_different_seed_different_faults(self, schema):
+        a = inject_faults(clean_stream(), seed=1, rate=0.5, schema=schema)
+        b = inject_faults(clean_stream(), seed=2, rate=0.5, schema=schema)
+        assert a.kinds() != b.kinds() or [
+            f.position for f in a.faults
+        ] != [f.position for f in b.faults]
+
+    def test_clean_stream_is_subsequence(self, schema):
+        faulty = inject_faults(clean_stream(), seed=3, rate=0.6,
+                               schema=schema)
+        assert isinstance(faulty, FaultyStream)
+        assert faulty.fault_count > 0
+        fault_positions = {f.position for f in faulty.faults}
+        survivors = [
+            item
+            for i, item in enumerate(faulty)
+            if i not in fault_positions
+        ]
+        assert survivors == clean_stream()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            inject_faults(clean_stream(), kinds=("meteor",))
+
+    def test_rate_zero_injects_nothing(self, schema):
+        faulty = inject_faults(clean_stream(), seed=5, rate=0.0)
+        assert faulty.fault_count == 0
+        assert list(faulty) == clean_stream()
+
+
+class TestQuarantineEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_quarantine_run_matches_clean_run(self, schema, engine, seed):
+        """The chaos contract: faults are absorbed, verdicts preserved.
+
+        The clean stream is a subsequence of the faulty one and every
+        injected record fails validation before mutating state, so the
+        quarantine monitor's non-skipped step reports must equal the
+        clean monitor's — timestamps, indices, witnesses, all of it.
+        """
+        faulty = inject_faults(
+            clean_stream(), seed=seed, rate=0.4, schema=schema
+        )
+        assert faulty.fault_count > 0
+
+        clean = make_monitor(schema, engine).run(clean_stream())
+        dirty_monitor = make_monitor(schema, engine,
+                                     fault_policy="quarantine")
+        dirty = dirty_monitor.run(faulty)
+
+        assert len(dirty.skipped_steps) == faulty.fault_count
+        assert dirty.checked_steps == clean.steps
+        assert (
+            dirty_monitor.resilience.skipped == faulty.fault_count
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_fault_kinds_are_classified(self, schema, engine):
+        faulty = inject_faults(
+            clean_stream(60), seed=11, rate=0.5,
+            schema=schema,
+        )
+        monitor = make_monitor(schema, engine, fault_policy="quarantine")
+        monitor.run(faulty)
+        counts = monitor.resilience.fault_counts
+        assert sum(counts.values()) == faulty.fault_count
+        # duplicates and skews are clock faults; corrupt is schema;
+        # garbage is history — each injected kind lands somewhere
+        kinds = set(faulty.kinds())
+        if "duplicate" in kinds or "skew" in kinds:
+            assert counts.get("clock")
+        if "garbage" in kinds:
+            assert counts.get("history")
+
+
+class TestCrashSimulation:
+    def test_crash_after_raises_mid_stream(self):
+        it = crash_after(clean_stream(), 2)
+        assert next(it) == clean_stream()[0]
+        assert next(it) == clean_stream()[1]
+        with pytest.raises(SimulatedCrash):
+            next(it)
+
+    def test_run_until_crash_returns_partial_report(self, schema):
+        monitor = make_monitor(schema, "incremental")
+        report = run_until_crash(monitor, clean_stream(), crash_at=5)
+        assert len(report) == 5
+        assert monitor.checker.steps_processed == 5
+
+    def test_crash_is_not_swallowed_by_fault_policy(self, schema):
+        # a SimulatedCrash is not an input fault: even quarantine
+        # monitors die, exactly like a real kill
+        monitor = make_monitor(schema, "incremental",
+                               fault_policy="quarantine")
+        with pytest.raises(SimulatedCrash):
+            for t, txn in crash_after(clean_stream(), 3):
+                monitor.step(t, txn)

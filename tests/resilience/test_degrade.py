@@ -1,0 +1,157 @@
+"""Overload degradation: deadline budgets and constraint shedding."""
+
+import pytest
+
+from repro.core.monitor import SHEDDING_ENGINES, Monitor
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import MonitorError
+from repro.obs import MetricsRegistry, MonitorInstrumentation
+from repro.resilience import StepBudget
+
+
+class FakeClock:
+    """A controllable monotonic clock.
+
+    Advance it manually via ``t``, or set ``tick`` to make every
+    reading jump forward — the deterministic stand-in for a slow step.
+    """
+
+    def __init__(self):
+        self.t = 0.0
+        self.tick = 0.0
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+class TestStepBudget:
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(MonitorError, match="positive"):
+            StepBudget(0)
+        with pytest.raises(MonitorError, match="positive"):
+            StepBudget(-1.5)
+
+    def test_within_budget_defers_nothing(self):
+        clock = FakeClock()
+        budget = StepBudget(1.0, clock=clock)
+        budget.arm()
+        clock.t += 0.5
+        assert not budget.should_defer("a")
+        assert budget.deferred == []
+
+    def test_exhausted_budget_defers(self):
+        clock = FakeClock()
+        budget = StepBudget(1.0, clock=clock)
+        budget.arm()
+        clock.t += 2.0
+        assert budget.should_defer("a")
+        assert budget.should_defer("b")
+        assert budget.deferred == ["a", "b"]
+
+    def test_urgent_constraints_never_deferred(self):
+        clock = FakeClock()
+        budget = StepBudget(1.0, urgent=["alarm"], clock=clock)
+        budget.arm()
+        clock.t += 2.0
+        assert not budget.should_defer("alarm")
+        assert budget.should_defer("best-effort")
+        assert budget.deferred == ["best-effort"]
+
+    def test_arm_resets_the_deferred_list(self):
+        clock = FakeClock()
+        budget = StepBudget(1.0, clock=clock)
+        budget.arm()
+        clock.t += 2.0
+        budget.should_defer("a")
+        budget.arm()
+        assert budget.deferred == []
+
+
+def sheddable_monitor(schema, engine, budget):
+    monitor = Monitor(schema, engine=engine, step_deadline=budget)
+    monitor.add_constraint("alarm", "q(x) -> ONCE[0,3] p(x)")
+    monitor.add_constraint("audit", "q(x) -> p(x)")
+    return monitor
+
+
+class TestMonitorShedding:
+    def test_active_engine_rejects_deadlines(self, schema):
+        with pytest.raises(MonitorError, match="sheddable"):
+            Monitor(schema, engine="active", step_deadline=0.1)
+
+    @pytest.mark.parametrize("engine", SHEDDING_ENGINES)
+    def test_blown_budget_degrades_step(self, schema, engine):
+        clock = FakeClock()
+        budget = StepBudget(1.0, urgent=["alarm"], clock=clock)
+        monitor = sheddable_monitor(schema, engine, budget)
+        ok = monitor.step(1, ins("p", (1,)))
+        assert not ok.degraded
+        clock.tick = 10.0  # every clock reading now blows the budget
+        degraded = monitor.step(2, ins("q", (9,)))
+        assert degraded.degraded
+        assert degraded.deferred == ("audit",)
+        # urgent constraint still evaluated — and it fires
+        assert degraded.violated_constraints() == ["alarm"]
+
+    def test_deferred_constraint_reevaluated_after_recovery(self, schema):
+        # shedding skips one evaluation; it must not poison the
+        # incremental engine's verdict cache for the next step
+        clock = FakeClock()
+        budget = StepBudget(1.0, clock=clock)
+        monitor = sheddable_monitor(schema, "incremental", budget)
+        monitor.step(1, ins("p", (1,)))
+        clock.tick = 10.0
+        # q(9) violates "audit", but the step sheds everything
+        shed = monitor.step(2, ins("q", (9,)))
+        assert shed.deferred == ("alarm", "audit")
+        assert shed.ok
+        clock.tick = 0.0  # pressure gone; next step is on time again
+        recovered = monitor.step(3, Transaction.noop())
+        assert not recovered.degraded
+        # the violation surfaces as soon as the monitor catches up
+        assert "audit" in recovered.violated_constraints()
+
+    def test_degraded_steps_counted_in_metrics(self, schema):
+        clock = FakeClock()
+        budget = StepBudget(1.0, clock=clock)
+        registry = MetricsRegistry()
+        monitor = Monitor(
+            schema,
+            step_deadline=budget,
+            instrumentation=MonitorInstrumentation(None, registry),
+        )
+        monitor.add_constraint("audit", "q(x) -> p(x)")
+        monitor.step(1, ins("p", (1,)))
+        clock.tick = 10.0
+        monitor.step(2, ins("p", (2,)))
+        families = dict(
+            (name, series)
+            for name, _, _, series in registry.families()
+        )
+        assert "repro_degraded_steps_total" in families
+        assert "repro_deferred_evaluations_total" in families
+
+    def test_seconds_shorthand_builds_budget(self, schema):
+        monitor = Monitor(schema, step_deadline=0.5, urgent=["a"])
+        assert isinstance(monitor.budget, StepBudget)
+        assert monitor.budget.deadline == 0.5
+        assert monitor.budget.urgent == frozenset(["a"])
+
+    def test_run_reports_degraded_steps(self, schema):
+        clock = FakeClock()
+        budget = StepBudget(1.0, clock=clock)
+        monitor = sheddable_monitor(schema, "incremental", budget)
+        monitor.step(1, ins("p", (1,)))
+        clock.tick = 10.0
+        report = monitor.run([(2, ins("p", (2,))), (3, ins("p", (3,)))])
+        assert len(report.degraded_steps) == 2

@@ -1,0 +1,214 @@
+"""Journaled auto-checkpointing and crash recovery.
+
+The central chaos property: for every crash point N,
+``recover(journal_dir)`` after a kill at step N yields a monitor whose
+continued run is bit-for-bit the uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.core.persist import (
+    CHECKPOINT_NAME,
+    JOURNAL_NAME,
+    read_journal,
+    recover,
+)
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import MonitorError, RecoveryError
+from repro.resilience import run_until_crash
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def stream(length=12):
+    items = []
+    t = 0
+    for i in range(length):
+        t += 1 + (i % 2)
+        rel = "p" if i % 3 else "q"
+        items.append((t, Transaction({rel: [(i % 4,)]})))
+    return items
+
+
+def make_monitor(schema, **kwargs):
+    monitor = Monitor(schema, **kwargs)
+    monitor.add_constraint("window", "q(x) -> ONCE[0,3] p(x)")
+    return monitor
+
+
+class TestRunJournal:
+    def test_attach_writes_initial_checkpoint(self, schema, tmp_path):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j")
+        assert (tmp_path / "j" / CHECKPOINT_NAME).exists()
+        assert monitor.journal.checkpoints_written == 1
+
+    def test_steps_are_journaled(self, schema, tmp_path):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=100)
+        for t, txn in stream(5):
+            monitor.step(t, txn)
+        entries = list(read_journal(tmp_path / "j" / JOURNAL_NAME))
+        assert [t for t, _ in entries] == [t for t, _ in stream(5)]
+        assert monitor.journal.records_written == 5
+
+    def test_auto_checkpoint_truncates_journal(self, schema, tmp_path):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=3)
+        for t, txn in stream(7):
+            monitor.step(t, txn)
+        # 7 steps at cadence 3: initial + 2 automatic checkpoints,
+        # journal holds only the single step since the last one
+        assert monitor.journal.checkpoints_written == 3
+        monitor.journal.close()
+        tail = list(read_journal(tmp_path / "j" / JOURNAL_NAME))
+        assert len(tail) == 1
+
+    def test_faulted_steps_never_reach_the_journal(self, schema, tmp_path):
+        monitor = make_monitor(schema, fault_policy="skip")
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=100)
+        monitor.step(1, Transaction({"p": [(1,)]}))
+        monitor.step(0, Transaction({"p": [(2,)]}))  # clock fault
+        monitor.step(2, Transaction({"nope": [(1,)]}))  # schema fault
+        monitor.step(3, Transaction({"q": [(1,)]}))
+        monitor.journal.close()
+        entries = list(read_journal(tmp_path / "j" / JOURNAL_NAME))
+        assert [t for t, _ in entries] == [1, 3]
+
+    def test_non_incremental_engine_rejected(self, schema, tmp_path):
+        monitor = make_monitor(schema, engine="naive")
+        with pytest.raises(MonitorError, match="incremental"):
+            monitor.enable_journal(tmp_path / "j")
+
+    def test_step_state_refused_under_journal(self, schema, tmp_path):
+        from repro.db import DatabaseState
+
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j")
+        with pytest.raises(MonitorError, match="journaled"):
+            monitor.step_state(1, DatabaseState.empty(schema))
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("crash_at", [0, 1, 3, 5, 8, 11])
+    @pytest.mark.parametrize("checkpoint_every", [1, 3, 100])
+    def test_recover_reproduces_uninterrupted_run(
+        self, schema, tmp_path, crash_at, checkpoint_every
+    ):
+        full = stream(12)
+        uninterrupted = make_monitor(schema).run(full)
+
+        crashed = make_monitor(schema)
+        crashed.enable_journal(
+            tmp_path / "j", checkpoint_every=checkpoint_every
+        )
+        partial = run_until_crash(crashed, full, crash_at)
+
+        monitor, result = Monitor.recover(tmp_path / "j")
+        assert monitor.now == (full[crash_at - 1][0] if crash_at else None)
+        continued = monitor.run(full[crash_at:])
+
+        resumed_steps = list(partial.steps) + list(continued.steps)
+        assert resumed_steps == list(uninterrupted.steps)
+
+    def test_recovery_result_reports_replay(self, schema, tmp_path):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=4)
+        for t, txn in stream(6):
+            monitor.step(t, txn)
+        monitor.journal.close()
+        result = recover(tmp_path / "j")
+        # checkpoint after step 4; journal replays steps 5 and 6
+        assert result.journal_entries == 2
+        assert len(result.replayed) == 2
+        assert result.checker.now == stream(6)[-1][0]
+        assert result.checkpoint_time == stream(6)[3][0]
+
+    def test_recovered_monitor_keeps_journaling(self, schema, tmp_path):
+        crashed = make_monitor(schema)
+        crashed.enable_journal(tmp_path / "j", checkpoint_every=100)
+        run_until_crash(crashed, stream(6), 4)
+        monitor, _ = Monitor.recover(tmp_path / "j")
+        assert monitor.journal is not None
+        for t, txn in stream(6)[4:]:
+            monitor.step(t, txn)
+        # recovery checkpointed; only post-recovery steps in the journal
+        monitor.journal.close()
+        tail = list(read_journal(tmp_path / "j" / JOURNAL_NAME))
+        assert [t for t, _ in tail] == [t for t, _ in stream(6)[4:]]
+
+    def test_missing_checkpoint_is_recovery_error(self, tmp_path):
+        with pytest.raises(RecoveryError, match="cannot recover"):
+            recover(tmp_path / "empty")
+
+    def test_corrupted_journal_tail_is_recovery_error(
+        self, schema, tmp_path
+    ):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=100)
+        for t, txn in stream(3):
+            monitor.step(t, txn)
+        monitor.journal.close()
+        journal = tmp_path / "j" / JOURNAL_NAME
+        # tear the tail, as a crash mid-write would
+        journal.write_text(journal.read_text() + '{"t": 99, "ins')
+        with pytest.raises(RecoveryError, match="torn tail") as excinfo:
+            recover(tmp_path / "j")
+        assert JOURNAL_NAME in str(excinfo.value)  # path + line number
+
+    def test_corrupted_middle_record_is_recovery_error(
+        self, schema, tmp_path
+    ):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=100)
+        for t, txn in stream(3):
+            monitor.step(t, txn)
+        monitor.journal.close()
+        journal = tmp_path / "j" / JOURNAL_NAME
+        lines = journal.read_text().splitlines()
+        lines[1] = "not json at all"
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError, match=":2: corrupted"):
+            recover(tmp_path / "j")
+
+    def test_stale_journal_records_are_skipped(self, schema, tmp_path):
+        # a crash between checkpoint-write and journal-truncate leaves
+        # records the checkpoint already covers; recovery must skip
+        # them by timestamp, not replay them twice
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=100)
+        for t, txn in stream(4):
+            monitor.step(t, txn)
+        monitor.journal.checkpoint(monitor.checker)
+        monitor.journal.close()
+        # resurrect the pre-checkpoint journal (all covered records)
+        journal = tmp_path / "j" / JOURNAL_NAME
+        stale = ""
+        for t, txn in stream(4):
+            record = {"t": t}
+            record.update(txn.to_dict())
+            stale += json.dumps(record, sort_keys=True) + "\n"
+        journal.write_text(stale)
+        result = recover(tmp_path / "j")
+        assert result.journal_entries == 0
+        assert result.checker.now == stream(4)[-1][0]
+
+    def test_unreplayable_journal_is_recovery_error(self, schema, tmp_path):
+        monitor = make_monitor(schema)
+        monitor.enable_journal(tmp_path / "j", checkpoint_every=100)
+        monitor.step(1, Transaction({"p": [(1,)]}))
+        monitor.journal.close()
+        journal = tmp_path / "j" / JOURNAL_NAME
+        # a record that parses but violates the schema on replay
+        journal.write_text(
+            journal.read_text()
+            + json.dumps({"t": 5, "insert": {"ghost": [[1]]}}) + "\n"
+        )
+        with pytest.raises(RecoveryError, match="does not replay"):
+            recover(tmp_path / "j")

@@ -122,3 +122,52 @@ class TestMergeStreams:
         times = [t for t, _ in merged]
         assert times == sorted(times)
         assert merged.replay(schema).length == merged.length
+
+
+class TestMergeStreamsEdges:
+    def test_no_arguments_yields_empty_stream(self):
+        from repro.temporal import merge_streams
+
+        merged = merge_streams()
+        assert merged.length == 0
+        assert list(merged) == []
+
+    def test_single_stream_passes_through(self, schema):
+        from repro.temporal import merge_streams
+
+        only = make([(1, Transaction({"r": [(1,)]})),
+                     (4, Transaction({"r": [(2,)]}))])
+        merged = merge_streams(only)
+        assert list(merged) == list(only)
+
+    def test_empty_streams_are_neutral(self, schema):
+        from repro.temporal import merge_streams
+
+        a = make([(2, Transaction({"r": [(1,)]}))])
+        assert list(merge_streams(a, make([]), make([]))) == list(a)
+
+    def test_conflicting_sources_resolve_by_argument_order(self, schema):
+        from repro.temporal import merge_streams
+
+        # both sources touch the same tuple at the same timestamp with
+        # opposite intent; composition is net-effect in argument
+        # order, so the later source wins — never a TransactionError
+        ins = make([(3, Transaction({"r": [(1,)]}))])
+        dels = make([(3, Transaction({}, {"r": [(1,)]}))])
+        delete_wins = merge_streams(ins, dels)[0][1]
+        assert delete_wins.deletes == {"r": frozenset({(1,)})}
+        assert not delete_wins.inserts
+        insert_wins = merge_streams(dels, ins)[0][1]
+        assert insert_wins.inserts == {"r": frozenset({(1,)})}
+        assert not insert_wins.deletes
+
+    def test_three_way_same_timestamp_composition(self, schema):
+        from repro.temporal import merge_streams
+
+        a = make([(5, Transaction({"r": [(1,)]}))])
+        b = make([(5, Transaction({}, {"r": [(1,)]}))])
+        c = make([(5, Transaction({"r": [(1,), (2,)]}))])
+        merged = merge_streams(a, b, c)[0][1]
+        # insert, delete, re-insert: the tuple ends present
+        assert merged.inserts == {"r": frozenset({(1,), (2,)})}
+        assert not merged.deletes

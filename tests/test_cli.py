@@ -425,3 +425,162 @@ class TestCheckpointFlow:
         status = main(["check", "--history", str(history)])
         assert status == 2
         assert "required" in capsys.readouterr().err
+
+
+class TestCheckResilience:
+    def _dirty_history(self, generated):
+        """Corrupt the generated history in place: one unparseable
+        line, and one schema-violating record on a valid timestamp."""
+        import json
+
+        history = generated / "history.jsonl"
+        lines = history.read_text().splitlines()
+        lines.insert(3, "this is not json")
+        t = json.loads(lines[10])["t"]
+        lines[10] = json.dumps({"t": t, "insert": {"ghost": [[1]]}})
+        history.write_text("\n".join(lines) + "\n")
+        return history
+
+    def test_dirty_history_aborts_without_policy(self, generated, capsys):
+        self._dirty_history(generated)
+        status = main(
+            [
+                "check",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+            ]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_quarantine_policy_survives_dirty_history(
+        self, generated, tmp_path, capsys
+    ):
+        self._dirty_history(generated)
+        dead = tmp_path / "dead.jsonl"
+        status = main(
+            [
+                "check",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--fault-policy", "quarantine",
+                "--quarantine-log", str(dead),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status in (0, 1)  # survived to a verdict
+        assert "faults:" in out
+        assert "quarantined" in out
+        from repro.resilience import QuarantineLog
+
+        kinds = {r["kind"] for r in QuarantineLog.read(dead)}
+        assert "decode" in kinds  # the unparseable line
+        assert "schema" in kinds  # the ghost relation
+
+    def test_fault_counters_reach_metrics_dump(
+        self, generated, tmp_path, capsys
+    ):
+        self._dirty_history(generated)
+        metrics = tmp_path / "metrics.json"
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--fault-policy", "skip",
+                "--metrics", str(metrics),
+            ]
+        )
+        assert "repro_faults_total" in metrics.read_text()
+
+    def test_step_deadline_flag_smoke(self, generated, capsys):
+        status = main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--step-deadline", "30",
+            ]
+        )
+        assert status in (0, 1)
+
+
+class TestRecoverCommand:
+    def test_journal_then_recover_continues_run(
+        self, generated, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal"
+        full = main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--journal", str(journal),
+                "--checkpoint-every", "7",
+            ]
+        )
+        capsys.readouterr()
+        status = main(
+            [
+                "recover",
+                "--journal", str(journal),
+                "--history", str(generated / "history.jsonl"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "recovered from" in out
+        # the whole history was already processed: nothing to continue,
+        # and no violations remain unreported
+        assert "continued over 0 remaining state(s)" in out
+        assert status == 0
+        assert full in (0, 1)
+
+    def test_recover_after_partial_run_finds_tail_violations(
+        self, generated, tmp_path, capsys
+    ):
+        import json as json_module
+
+        journal = tmp_path / "journal"
+        history = generated / "history.jsonl"
+        lines = [
+            line
+            for line in history.read_text().splitlines()
+            if line.strip()
+        ]
+        half = tmp_path / "half.jsonl"
+        half.write_text("\n".join(lines[:30]) + "\n")
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(half),
+                "--journal", str(journal),
+            ]
+        )
+        capsys.readouterr()
+        status = main(
+            [
+                "recover",
+                "--journal", str(journal),
+                "--history", str(history),
+            ]
+        )
+        out = capsys.readouterr().out
+        remaining = len(lines) - 30
+        assert f"continued over {remaining} remaining state(s)" in out
+        assert status in (0, 1)
+        last_t = json_module.loads(lines[-1])["t"]
+        assert f"now at t=" in out
+
+    def test_recover_missing_journal_reports_cleanly(
+        self, tmp_path, capsys
+    ):
+        status = main(["recover", "--journal", str(tmp_path / "nope")])
+        assert status == 2
+        assert "error:" in capsys.readouterr().err

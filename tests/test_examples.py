@@ -81,6 +81,8 @@ def test_checkpoint_resume():
     out = run_example("checkpoint_resume.py")
     assert "verdicts identical" in out
     assert "bytes" in out
+    assert "crash-and-recover run identical" in out
+    assert "journal record(s)" in out
 
 
 def test_active_domain_semantics():
