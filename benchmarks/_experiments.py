@@ -58,6 +58,34 @@ EXPERIMENTS: Dict[str, str] = {
 
 PROFILES = ("short", "full")
 
+_WORKLOADS_LINTED = False
+
+
+def ensure_workloads_lint_clean() -> None:
+    """Pre-flight gate: every shipped workload must be lint-clean.
+
+    Benchmarks draw constraint sets from :mod:`repro.workloads`; a
+    workload carrying lint errors or warnings would silently skew the
+    measured shapes (e.g. a vacuous constraint is free to monitor).
+    Runs once per process.
+    """
+    global _WORKLOADS_LINTED
+    if _WORKLOADS_LINTED:
+        return
+    from repro.resilience import assert_lint_clean
+    from repro.workloads import (
+        library_workload,
+        orders_workload,
+        payments_workload,
+        random_workload,
+        sensors_workload,
+    )
+
+    for factory in (library_workload, orders_workload, payments_workload,
+                    sensors_workload, random_workload):
+        assert_lint_clean(factory())
+    _WORKLOADS_LINTED = True
+
 
 class Recorder:
     """Accumulates one experiment's rows, samples, and expectations."""
@@ -230,6 +258,7 @@ def run_experiment(
             embedded in the artifact (implies nothing without
             ``json_artifact``).
     """
+    ensure_workloads_lint_clean()
     module_name = EXPERIMENTS[experiment]
     module = importlib.import_module(module_name)
     registry = None

@@ -38,7 +38,7 @@ from repro.db.database import DatabaseState
 from repro.db.relation import Relation
 from repro.db.schema import DatabaseSchema, RelationSchema
 from repro.db.transactions import Transaction
-from repro.db.types import Domain, Row
+from repro.db.types import Domain
 from repro.errors import MonitorError
 from repro.temporal.clock import Timestamp
 from repro.temporal.stream import UpdateStream

@@ -15,9 +15,9 @@ A firing log is kept per commit for inspection and tests.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.active.events import Event, events_of
+from repro.active.events import events_of
 from repro.active.rules import Rule
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema

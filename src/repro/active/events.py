@@ -8,7 +8,7 @@ to individual tuple insertions/deletions it performed.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.db.transactions import Transaction
 from repro.db.types import Row

@@ -9,7 +9,7 @@ the bottom-up ordering of auxiliary-table maintenance.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Tuple
 
 from repro.active.events import Event, EventPattern
 from repro.db.database import DatabaseState
@@ -22,9 +22,17 @@ Action = Callable[["ActiveDatabase", Event], None]
 
 
 class Rule:
-    """One event–condition–action rule."""
+    """One event–condition–action rule.
 
-    __slots__ = ("name", "pattern", "condition", "action", "priority", "enabled")
+    Actions are opaque callables, so static analysis cannot discover
+    what they touch; the optional ``reads``/``writes`` metadata lets
+    rule authors *declare* the relations an action reads and writes.
+    The linter's interference analysis (RTC010) operates on these
+    declarations and skips rules that omit them.
+    """
+
+    __slots__ = ("name", "pattern", "condition", "action", "priority",
+                 "enabled", "reads", "writes")
 
     def __init__(
         self,
@@ -33,6 +41,8 @@ class Rule:
         action: Action,
         condition: Optional[Condition] = None,
         priority: int = 100,
+        reads: Optional[Iterable[str]] = None,
+        writes: Optional[Iterable[str]] = None,
     ):
         self.name = name
         self.pattern = pattern
@@ -40,6 +50,12 @@ class Rule:
         self.condition = condition
         self.priority = priority
         self.enabled = True
+        self.reads: Optional[Tuple[str, ...]] = (
+            None if reads is None else tuple(reads)
+        )
+        self.writes: Optional[Tuple[str, ...]] = (
+            None if writes is None else tuple(writes)
+        )
 
     def triggered_by(self, event: Event, state: DatabaseState) -> bool:
         """Whether this rule should fire for ``event`` in ``state``."""

@@ -8,7 +8,7 @@ any plotting stack.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 BAR = "█"
 HALF = "▌"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import statistics
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.violations import RunReport
 

@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
+    repro-check lint     --constraints c.txt [--schema s.json] [--format json]
     repro-check generate --workload library --length 200 --seed 1 --out DIR
     repro-check analyze  --constraints c.txt [--trace t.jsonl]
     repro-check stats    --trace t.jsonl [--percentiles]
@@ -14,6 +15,11 @@ Seven subcommands::
 reports violations (exit status 1 if any); ``--trace``/``--metrics``
 attach runtime observability (:mod:`repro.obs`) and write a JSONL span
 trace / a metrics dump (Prometheus text, or JSON for ``.json`` paths).
+Before monitoring, the constraint set is linted and any diagnostics
+are printed (``--no-lint`` opts out).  ``lint`` runs the same static
+analyses (:mod:`repro.lint`) standalone: text or ``--format json``
+output, exit status mirroring the worst severity (2 errors, 1
+warnings, 0 clean/advisory) — see ``docs/linting.md``.
 ``generate`` materialises a workload into the on-disk format ``check``
 consumes.  ``analyze`` prints each constraint's compilation profile —
 safety verdict, clock horizon, temporal node counts — and, given a
@@ -147,8 +153,58 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "(incremental engine only)",
     )
     check.add_argument(
-        "--checkpoint-every", type=int, default=64, metavar="N",
+        "--checkpoint-every", type=int, default=None, metavar="N",
         help="auto-checkpoint cadence for --journal (default: 64)",
+    )
+    check.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the pre-monitoring lint pass over the constraints",
+    )
+
+    lint = commands.add_parser(
+        "lint", help="statically analyse a constraint set"
+    )
+    lint.add_argument(
+        "--constraints", default=None,
+        help="constraint text file (required unless --list-rules)",
+    )
+    lint.add_argument(
+        "--schema", default=None,
+        help="schema JSON file; enables relation/arity/type rules",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--disable", action="append", default=None, metavar="RULE",
+        help="disable a rule by code (RTC004) or name "
+             "(unsafe-formula); repeatable",
+    )
+    lint.add_argument(
+        "--granularity", type=int, default=1, metavar="G",
+        help="clock granularity for interval reachability (RTC006)",
+    )
+    lint.add_argument(
+        "--require-bounded", action="store_true",
+        help="treat unbounded past windows (RTC007) as errors",
+    )
+    lint.add_argument(
+        "--urgent", action="append", default=None, metavar="NAME",
+        help="urgent-set entry to validate against the constraint "
+             "set (RTC011); repeatable",
+    )
+    lint.add_argument(
+        "--journal", action="store_true",
+        help="declare that the deployment journals steps (RTC011)",
+    )
+    lint.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="declared checkpoint cadence to validate (RTC011)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
     )
 
     recover = commands.add_parser(
@@ -378,6 +434,68 @@ def _print_violations(report, max_violations: int) -> None:
         print(f"... and {remaining} more")
 
 
+def _lint_constraint_file(
+    constraints_path,
+    schema=None,
+    config=None,
+    urgent: Sequence[str] = (),
+    journal: bool = False,
+    checkpoint_every: Optional[int] = None,
+):
+    """Lint a constraint file plus optional monitor configuration.
+
+    The one code path shared by the ``lint`` subcommand and the
+    pre-monitoring pass of ``check``.
+    """
+    from repro.lint import Linter
+
+    linter = Linter(schema, config)
+    report, parsed = linter.lint_text(Path(constraints_path).read_text())
+    if urgent or checkpoint_every is not None:
+        names = [name for name, _formula in parsed]
+        report = report.extend(linter.lint_monitor_config(
+            names, urgent=urgent, journal=journal,
+            checkpoint_every=checkpoint_every,
+        ).diagnostics)
+    return report
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint import RULES, LintConfig
+
+    if args.list_rules:
+        print(format_table(
+            ["code", "name", "severity", "description"],
+            [[r.code, r.name, str(r.default_severity), r.description]
+             for r in RULES],
+        ))
+        return 0
+    if not args.constraints:
+        raise ReproError("--constraints is required unless --list-rules")
+    try:
+        config = LintConfig.build(
+            disable=args.disable or (),
+            clock_granularity=args.granularity,
+            require_bounded=args.require_bounded,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    schema = load_schema(args.schema) if args.schema else None
+    report = _lint_constraint_file(
+        args.constraints,
+        schema=schema,
+        config=config,
+        urgent=args.urgent or (),
+        journal=args.journal,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _command_check(args: argparse.Namespace) -> int:
     instrumentation, tracer, registry = _build_instrumentation(args)
     if args.resume_from:
@@ -398,6 +516,17 @@ def _command_check(args: argparse.Namespace) -> int:
                 "--resume-from is given"
             )
         schema = load_schema(args.schema)
+        if not args.no_lint:
+            lint_report = _lint_constraint_file(
+                args.constraints,
+                schema=schema,
+                urgent=args.urgent or (),
+                journal=bool(args.journal),
+                checkpoint_every=args.checkpoint_every,
+            )
+            if lint_report and not args.quiet:
+                print(f"lint ({len(lint_report)} diagnostic(s)):")
+                print(lint_report.render_text())
         monitor = Monitor(
             schema,
             engine=args.engine,
@@ -410,7 +539,11 @@ def _command_check(args: argparse.Namespace) -> int:
         monitor.add_constraints_text(Path(args.constraints).read_text())
     if args.journal:
         monitor.enable_journal(
-            args.journal, checkpoint_every=args.checkpoint_every
+            args.journal,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None else 64
+            ),
         )
     try:
         report = _run_monitor_stream(monitor, args.history)
@@ -509,6 +642,12 @@ def _command_generate(args: argparse.Namespace) -> int:
         f"wrote {args.workload} workload ({args.length} transitions, "
         f"seed {args.seed}) to {out}/"
     )
+    # generated sets must be lint-clean; surface anything that is not
+    lint_report = workload.lint()
+    if lint_report.warnings or lint_report.errors:
+        print(f"lint ({len(lint_report)} diagnostic(s)):")
+        print(lint_report.render_text())
+        return lint_report.exit_code
     return 0
 
 
@@ -850,6 +989,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "check":
             return _command_check(args)
+        if args.command == "lint":
+            return _command_lint(args)
         if args.command == "generate":
             return _command_generate(args)
         if args.command == "stats":

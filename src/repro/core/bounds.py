@@ -24,7 +24,7 @@ static side of that bound:
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+from typing import NamedTuple, Optional
 
 from repro.core.formulas import (
     Eventually,

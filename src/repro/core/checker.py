@@ -21,15 +21,10 @@ are exactly the violating valuations.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.auxiliary import AuxiliaryState, make_auxiliary
-from repro.core.foeval import (
-    AtomProvider,
-    evaluate,
-    match_atom,
-    relation_atom_table,
-)
+from repro.core.foeval import AtomProvider, evaluate, relation_atom_table
 from repro.core.formulas import Atom, Formula, Not
 from repro.core.normalize import normalize
 from repro.core.parser import parse
@@ -163,6 +158,7 @@ class IncrementalChecker:
         initial: Optional[DatabaseState] = None,
         collapse_unbounded: bool = True,
         instrumentation=None,
+        strict: bool = False,
     ):
         """Args:
             schema: the database schema.
@@ -175,9 +171,18 @@ class IncrementalChecker:
                 :class:`repro.obs.instrument.Instrumentation` receiving
                 step/aux/constraint telemetry; ``None`` (default) keeps
                 the hot path hook-free.
+            strict: lint the constraint set at construction and raise
+                :class:`~repro.errors.LintError` on error-severity
+                diagnostics (see :mod:`repro.lint`).
         """
         self.schema = schema
         self.constraints = list(constraints)
+        if strict:
+            from repro.lint.linter import reject_lint_errors
+
+            reject_lint_errors(
+                schema, [(c.name, c.formula) for c in self.constraints]
+            )
         for c in self.constraints:
             c.validate_schema(schema)
         reject_future_constraints(self.constraints, "incremental")

@@ -17,7 +17,7 @@ auxiliary relations it reads are those of the reported state).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.auxiliary import OnceState, PrevState, SinceState
 from repro.core.checker import IncrementalChecker, _StateProvider

@@ -13,16 +13,7 @@ eliminated by :mod:`repro.core.normalize` before compilation.
 
 from __future__ import annotations
 
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterator,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Dict, FrozenSet, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.intervals import TRIVIAL, Interval
 from repro.db.types import Value, is_value

@@ -27,12 +27,12 @@ Engines:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.core.formulas import Formula
 from repro.core.naive import NaiveChecker
-from repro.core.parser import parse_constraints
+from repro.core.parser import parse, parse_constraints
 from repro.core.violations import RunReport, StepReport
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema
@@ -61,6 +61,8 @@ class Monitor:
         quarantine_log=None,
         step_deadline=None,
         urgent: Sequence[str] = (),
+        strict: bool = False,
+        lint_config=None,
     ):
         """Args:
             schema: the database schema.
@@ -88,6 +90,15 @@ class Monitor:
                 the :data:`SHEDDING_ENGINES`.
             urgent: constraint names never shed under deadline pressure
                 (only meaningful with ``step_deadline`` seconds).
+            strict: lint each constraint at registration and reject it
+                with :class:`~repro.errors.LintError` when the linter
+                reports an error-severity diagnostic (see
+                :mod:`repro.lint`).
+            lint_config: optional
+                :class:`~repro.lint.LintConfig` used by ``strict``
+                registration; defaults to the standard configuration
+                (with the safe-range rule disabled for the ``adom``
+                engine, which evaluates outside the safe fragment).
         """
         if engine not in ENGINES:
             raise MonitorError(
@@ -98,6 +109,8 @@ class Monitor:
         self.initial = initial
         self.instrumentation = instrumentation
         self.constraints: List[Constraint] = []
+        self.strict = strict
+        self.lint_config = lint_config
         self._checker = None
         self._violation_handlers: List = []
         self._journal = None
@@ -180,6 +193,10 @@ class Monitor:
             )
         if any(c.name == name for c in self.constraints):
             raise MonitorError(f"duplicate constraint name {name!r}")
+        if isinstance(formula, str):
+            formula = parse(formula)
+        if self.strict:
+            self._lint_registration(name, formula)
         constraint = Constraint(
             name, formula, require_safe=self.engine != "adom"
         )
@@ -190,6 +207,24 @@ class Monitor:
             check_adom_compatible(constraint.violation_formula)
         self.constraints.append(constraint)
         return constraint
+
+    def _lint_registration(self, name: str, formula: Formula) -> None:
+        """Strict-mode gate: reject ``formula`` on lint errors.
+
+        The whole registered set plus the newcomer is linted so
+        cross-constraint rules (duplicates) see the new constraint in
+        context; previously accepted constraints cannot re-fail, since
+        they passed the same gate.
+        """
+        from repro.lint import LintConfig
+        from repro.lint.linter import reject_lint_errors
+
+        config = self.lint_config
+        if config is None and self.engine == "adom":
+            config = LintConfig(disabled=frozenset({"RTC004"}))
+        pairs = [(c.name, c.formula) for c in self.constraints]
+        pairs.append((name, formula))
+        reject_lint_errors(self.schema, pairs, config)
 
     def add_constraints_text(self, text: str) -> List[Constraint]:
         """Register a whole constraint file (``[name :] formula ; ...``)."""

@@ -26,7 +26,7 @@ The kernel language is: ``Atom``, ``Comparison``, ``Not``, ``And``,
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Set
+from typing import Dict, List, Mapping, Set
 
 from repro.core.formulas import (
     Aggregate,

@@ -39,7 +39,7 @@ each may carry a label: ``name : formula``.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.formulas import (
     AGGREGATE_OPS,
@@ -405,6 +405,8 @@ def _try_label(parser: Parser) -> Optional[str]:
 
     No formula can start with ``ident :`` (nor ``ident - ident ... :``),
     so scanning ahead for the colon and rewinding otherwise is safe.
+    Hyphenated segments may be identifiers, keywords, or numbers
+    (``window-0`` — the workload generators emit numbered labels).
     """
     if parser.current.kind != "ident":
         return None
@@ -413,7 +415,8 @@ def _try_label(parser: Parser) -> Optional[str]:
     while (
         parser.current.kind == "op"
         and parser.current.text == "-"
-        and parser._tokens[parser._pos + 1].kind in ("ident", "keyword")
+        and parser._tokens[parser._pos + 1].kind
+        in ("ident", "keyword", "int")
     ):
         parser._advance()
         parts.append(parser._advance().text)

@@ -1,0 +1,146 @@
+"""Paths into formula trees.
+
+A :class:`FormulaPath` addresses one subformula of a root formula as
+the sequence of child indices leading to it — the stable, structural
+analogue of a line/column position in source text.  The safety analysis
+(:mod:`repro.core.safety`) uses paths to report the *innermost*
+offending subformula, and the static analyzer (:mod:`repro.lint`)
+carries them on every diagnostic so tools can point at the exact node.
+
+Paths are immutable, hashable, and cheap; ``path.resolve(root)``
+returns the addressed node, ``path.render(root)`` a human-readable
+breadcrumb such as ``NOT > AND[1] > ONCE[0,5]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.core.formulas import (
+    Aggregate,
+    Atom,
+    Comparison,
+    Formula,
+    FormulaError,
+    Iff,
+    Implies,
+    Not,
+    Since,
+    Until,
+    _Nary,
+    _Quantifier,
+    _Unary_Temporal,
+)
+
+
+def node_label(formula: Formula) -> str:
+    """A short label for one node, used in breadcrumb rendering."""
+    if isinstance(formula, (Atom, Comparison)):
+        return str(formula)
+    if isinstance(formula, Not):
+        return "NOT"
+    if isinstance(formula, _Nary):
+        return formula._word
+    if isinstance(formula, _Quantifier):
+        return f"{formula._word} {', '.join(formula.variables)}"
+    if isinstance(formula, Implies):
+        return "->"
+    if isinstance(formula, Iff):
+        return "<->"
+    if isinstance(formula, _Unary_Temporal):
+        suffix = "" if formula.interval.is_trivial else str(formula.interval)
+        return f"{formula._word}{suffix}"
+    if isinstance(formula, (Since, Until)):
+        word = type(formula).__name__.upper()
+        suffix = "" if formula.interval.is_trivial else str(formula.interval)
+        return f"{word}{suffix}"
+    if isinstance(formula, Aggregate):
+        return f"{formula.result} = {formula.op}(...)"
+    return type(formula).__name__.upper()
+
+
+class FormulaPath:
+    """A path from a root formula to one of its subformulas.
+
+    The empty path addresses the root itself.  Paths are ordered
+    tuples of 0-based child indices; they remain valid as long as the
+    addressed tree is not rebuilt with a different shape.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Tuple[int, ...] = ()):
+        self.steps: Tuple[int, ...] = tuple(steps)
+
+    def child(self, index: int) -> "FormulaPath":
+        """The path one level deeper, through child ``index``."""
+        return FormulaPath(self.steps + (index,))
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this path addresses the root formula itself."""
+        return not self.steps
+
+    def resolve(self, root: Formula) -> Formula:
+        """Return the subformula of ``root`` this path addresses.
+
+        Raises:
+            FormulaError: if a step is out of range for the tree.
+        """
+        node = root
+        for step in self.steps:
+            children = node.children()
+            if step >= len(children):
+                raise FormulaError(
+                    f"path {self} does not exist in {root}"
+                )
+            node = children[step]
+        return node
+
+    def render(self, root: Formula) -> str:
+        """Human-readable breadcrumb of the nodes along this path.
+
+        Sibling indices are shown only where a node has several
+        children, e.g. ``NOT > AND[1] > ONCE[0,5] > q(x)``.
+        """
+        parts = []
+        node = root
+        for step in self.steps:
+            children = node.children()
+            label = node_label(node)
+            if len(children) > 1:
+                label += f"[{step}]"
+            parts.append(label)
+            node = children[step]
+        parts.append(node_label(node))
+        return " > ".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FormulaPath) and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return f"FormulaPath({self.steps!r})"
+
+    def __str__(self) -> str:
+        if not self.steps:
+            return "<root>"
+        return ".".join(str(s) for s in self.steps)
+
+
+#: The empty path (addresses the root).
+ROOT = FormulaPath()
+
+
+def walk_with_paths(
+    root: Formula, _path: FormulaPath = ROOT
+) -> Iterator[Tuple[FormulaPath, Formula]]:
+    """Pre-order traversal of ``root`` yielding ``(path, node)`` pairs."""
+    yield _path, root
+    for index, child in enumerate(root.children()):
+        yield from walk_with_paths(child, _path.child(index))

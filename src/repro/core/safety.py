@@ -32,7 +32,6 @@ from repro.core.formulas import (
     And,
     Atom,
     Comparison,
-    Const,
     Eventually,
     Exists,
     Formula,
@@ -45,6 +44,7 @@ from repro.core.formulas import (
     Until,
     Var,
 )
+from repro.core.paths import ROOT, FormulaPath, walk_with_paths
 from repro.errors import UnsafeFormulaError
 
 EMPTY: FrozenSet[str] = frozenset()
@@ -157,56 +157,98 @@ def order_conjuncts(
     return order
 
 
-def explain_unsafe(formula: Formula, bound: FrozenSet[str] = EMPTY) -> str:
-    """Produce a human-readable reason why ``formula`` is unevaluable."""
+def locate_unsafe(
+    formula: Formula,
+    bound: FrozenSet[str] = EMPTY,
+    path: FormulaPath = ROOT,
+) -> Tuple[FormulaPath, Formula, str]:
+    """Find the *innermost* subformula responsible for unevaluability.
+
+    Descends through negations, stuck conjuncts, unsafe disjuncts, and
+    quantifier bodies until no further blame can be assigned.  Returns
+    ``(path, node, reason)`` where ``path`` addresses ``node`` within
+    the ``formula`` passed at the top of the recursion.  Only
+    meaningful when ``analyze(formula, bound)`` is ``None``.
+    """
     if isinstance(formula, Not):
         loose = formula.operand.free_vars - bound
         if loose:
-            return (
+            return path, formula, (
                 f"negation {formula} has free variables {sorted(loose)} "
                 f"not bound by any positive conjunct"
             )
-        return explain_unsafe(formula.operand, bound)
+        return locate_unsafe(formula.operand, bound, path.child(0))
     if isinstance(formula, Comparison):
-        return (
+        return path, formula, (
             f"comparison {formula} needs its variables bound by other "
             f"conjuncts (bound here: {sorted(bound) or '{}'})"
         )
     if isinstance(formula, And):
         order = order_conjuncts(formula.operands, bound)
         if order is None:
-            stuck = [
-                str(c)
-                for c in formula.operands
-                if analyze(c, bound) is None
-            ]
-            return (
-                f"conjunction cannot be ordered; stuck conjuncts: "
-                f"{'; '.join(stuck)}"
+            # replay the greedy planner to find the bindings actually
+            # available when the first conjunct gets stuck, then blame
+            # inside that conjunct
+            remaining = list(range(len(formula.operands)))
+            current = bound
+            progressed = True
+            while progressed and remaining:
+                progressed = False
+                for index in list(remaining):
+                    result = analyze(formula.operands[index], current)
+                    if result is not None:
+                        remaining.remove(index)
+                        current = result
+                        progressed = True
+                        break
+            stuck = [str(formula.operands[i]) for i in remaining]
+            first = remaining[0]
+            inner_path, inner_node, inner_reason = locate_unsafe(
+                formula.operands[first], current, path.child(first)
+            )
+            return inner_path, inner_node, (
+                f"{inner_reason} (conjunction cannot be ordered; stuck "
+                f"conjuncts: {'; '.join(stuck)})"
             )
     if isinstance(formula, Or):
-        for branch in formula.operands:
+        for index, branch in enumerate(formula.operands):
             if analyze(branch, bound) is None:
-                return f"disjunct {branch} is unsafe: " + explain_unsafe(
-                    branch, bound
+                inner_path, inner_node, inner_reason = locate_unsafe(
+                    branch, bound, path.child(index)
+                )
+                return inner_path, inner_node, (
+                    f"disjunct {branch} is unsafe: " + inner_reason
                 )
         results = {analyze(b, bound) for b in formula.operands}
         if len(results) > 1:
-            return (
+            return path, formula, (
                 f"disjuncts of {formula} bind different variable sets; "
                 f"each disjunct must bind the same free variables"
             )
     if isinstance(formula, Exists):
         inner = analyze(formula.operand, bound)
         if inner is None:
-            return explain_unsafe(formula.operand, bound)
+            return locate_unsafe(formula.operand, bound, path.child(0))
         missing = frozenset(formula.variables) - inner
         if missing:
-            return (
+            return path, formula, (
                 f"quantified variables {sorted(missing)} of {formula} are "
                 f"not bound by the body"
             )
-    return f"subformula {formula} is not evaluable"
+    return path, formula, f"subformula {formula} is not evaluable"
+
+
+def explain_unsafe(formula: Formula, bound: FrozenSet[str] = EMPTY) -> str:
+    """Produce a human-readable reason why ``formula`` is unevaluable.
+
+    The reason blames the *innermost* offending subformula (found by
+    :func:`locate_unsafe`); when that subformula is not the whole
+    formula, its path is appended as an ``[at ...]`` breadcrumb.
+    """
+    path, _node, reason = locate_unsafe(formula, bound)
+    if path.is_root:
+        return reason
+    return f"{reason} [at {path.render(formula)}]"
 
 
 def check_safe(formula: Formula) -> None:
@@ -275,6 +317,84 @@ def check_node_conditions(formula: Formula) -> None:
                     "the right operand's variables bound: "
                     + explain_unsafe(sub.left, frozenset(sub.right.free_vars))
                 )
+
+
+def collect_unsafe(
+    formula: Formula,
+) -> List[Tuple[FormulaPath, Formula, str]]:
+    """All safety problems of a kernel formula, each with a path.
+
+    The exception-based :func:`check_safe` stops at the first problem;
+    this variant (used by the linter) gathers every per-node condition
+    violation, then — only if the nodes themselves are fine — the
+    top-level evaluability failure.  Paths address the innermost node
+    to blame where one can be found.
+    """
+
+    def deeper(base: FormulaPath, operand: Formula,
+               bound: FrozenSet[str]) -> FormulaPath:
+        inner_path, _node, _reason = locate_unsafe(operand, bound)
+        return FormulaPath(base.steps + inner_path.steps)
+
+    problems: List[Tuple[FormulaPath, Formula, str]] = []
+    for path, sub in walk_with_paths(formula):
+        if sub.is_future and not getattr(sub, "interval").is_bounded:
+            problems.append((path, sub, (
+                f"future operator {sub} has an unbounded interval; "
+                f"bounded-future constraints are monitorable with "
+                f"finite delay only when every future window is finite"
+            )))
+        if isinstance(sub, Aggregate):
+            if analyze(sub.body, EMPTY) is None:
+                problems.append((deeper(path.child(0), sub.body, EMPTY),
+                                 sub.body,
+                                 "aggregate body must be safe on its own: "
+                                 + explain_unsafe(sub.body, EMPTY)))
+            loose = frozenset(sub.over) - sub.body.free_vars
+            if loose:
+                problems.append((path, sub, (
+                    f"aggregated variables {sorted(loose)} do not occur "
+                    f"in the aggregate body (in {sub})"
+                )))
+            if sub.result in sub.body.free_vars:
+                problems.append((path, sub, (
+                    f"result variable {sub.result!r} also occurs in the "
+                    f"aggregate body (in {sub}); use a fresh name"
+                )))
+        elif isinstance(sub, (Prev, Once, Next, Eventually)):
+            if analyze(sub.operand, EMPTY) is None:
+                problems.append((deeper(path.child(0), sub.operand, EMPTY),
+                                 sub.operand,
+                                 f"operand of {type(sub).__name__} must be "
+                                 f"safe on its own: "
+                                 + explain_unsafe(sub.operand, EMPTY)))
+        elif isinstance(sub, (Since, Until)):
+            word = type(sub).__name__.upper()
+            right_fv = frozenset(sub.right.free_vars)
+            if analyze(sub.right, EMPTY) is None:
+                problems.append((deeper(path.child(1), sub.right, EMPTY),
+                                 sub.right,
+                                 f"right operand of {word} must be safe on "
+                                 f"its own: "
+                                 + explain_unsafe(sub.right, EMPTY)))
+            extra = sub.left.free_vars - sub.right.free_vars
+            if extra:
+                problems.append((path, sub, (
+                    f"left operand of {word} uses variables "
+                    f"{sorted(extra)} that its right operand does not "
+                    f"bind (in {sub})"
+                )))
+            elif analyze(sub.left, right_fv) is None:
+                problems.append((deeper(path.child(0), sub.left, right_fv),
+                                 sub.left,
+                                 f"left operand of {word} is not evaluable "
+                                 f"even with the right operand's variables "
+                                 f"bound: "
+                                 + explain_unsafe(sub.left, right_fv)))
+    if not problems and analyze(formula, EMPTY) is None:
+        located_path, located_node, reason = locate_unsafe(formula, EMPTY)
+        problems.append((located_path, located_node, reason))
+    return problems
 
 
 def is_safe(formula: Formula) -> bool:

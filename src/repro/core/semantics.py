@@ -14,7 +14,7 @@ evaluator, so repeated queries stay polynomial).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.foeval import AtomProvider, evaluate, relation_atom_table
 from repro.core.formulas import (

@@ -9,7 +9,7 @@ state (an empty-tuple witness for closed constraints).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.db.algebra import Table
 from repro.db.types import Value

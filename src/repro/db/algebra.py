@@ -15,7 +15,6 @@ cartesian product.
 from __future__ import annotations
 
 from typing import (
-    AbstractSet,
     Callable,
     Dict,
     FrozenSet,
@@ -23,7 +22,6 @@ from typing import (
     Iterator,
     List,
     Mapping,
-    Optional,
     Sequence,
     Tuple,
 )

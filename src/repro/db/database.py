@@ -10,10 +10,10 @@ proportional to the changes between them.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set
 
 from repro.db.relation import Relation
-from repro.db.schema import DatabaseSchema, RelationSchema
+from repro.db.schema import DatabaseSchema
 from repro.db.transactions import Transaction
 from repro.db.types import Row, Value
 from repro.errors import UnknownRelationError

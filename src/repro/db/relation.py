@@ -10,12 +10,11 @@ checking) constant-time.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Set
 
 from repro.db.algebra import Table
 from repro.db.schema import RelationSchema
 from repro.db.types import Row, Value
-from repro.errors import SchemaError
 
 
 class Relation:

@@ -10,9 +10,18 @@ construction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.db.types import Domain, Row, Value
+from repro.db.types import Domain, Row
 from repro.errors import SchemaError, UnknownRelationError
 
 

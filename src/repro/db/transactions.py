@@ -10,10 +10,10 @@ and deleted from the same relation.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
 
 from repro.db.schema import DatabaseSchema
-from repro.db.types import Row, Value, check_row
+from repro.db.types import Row, check_row
 from repro.errors import TransactionError
 
 

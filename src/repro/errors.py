@@ -112,5 +112,22 @@ class HandlerError(MonitorError):
         self.failures = list(failures)
 
 
+class LintError(MonitorError):
+    """A constraint was rejected by static analysis in strict mode.
+
+    Raised by :meth:`Monitor.add_constraint` (and checker construction)
+    when ``strict=True`` and the linter reports at least one
+    error-severity diagnostic for the constraint being registered.
+
+    Attributes:
+        diagnostics: the :class:`repro.lint.Diagnostic` list that
+            caused the rejection (errors first).
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class HistoryError(ReproError):
     """A history is malformed (non-increasing timestamps, schema drift)."""

@@ -1,0 +1,87 @@
+"""Static analysis (linting) for real-time integrity constraints.
+
+The bounded-history result pays off only when every deployed
+constraint is *statically known* to be safe, well-typed, and
+window-bounded before the monitor sees a state.  This package turns
+the analyses the checker runs piecemeal at registration time into a
+first-class lint pass with stable diagnostic codes:
+
+======= ===================== ========= =============================
+Code    Name                  Severity  Checks
+======= ===================== ========= =============================
+RTC001  unknown-relation      error     atoms vs. schema relations
+RTC002  arity-mismatch        error     atom arity vs. declaration
+RTC003  type-conflict         error     constants/comparisons vs. domains
+RTC004  unsafe-formula        error     safe-range analysis
+RTC005  ill-formed-interval   error     empty/negative intervals
+RTC006  suspicious-interval   warning   zero-width, granularity gaps
+RTC007  unbounded-history     info      unbounded past windows
+RTC008  vacuous-constraint    warning   constant/contradictory parts
+RTC009  duplicate-constraint  warning   duplicates up to renaming
+RTC010  rule-interference     warning   ECA retrigger cycles, dead writes
+RTC011  config-mismatch       warning   urgent set, checkpoint cadence
+RTC012  parse-error           error     unparseable constraint text
+======= ===================== ========= =============================
+
+Entry points: :class:`Linter` (the facade), ``repro lint`` on the
+command line, and ``Monitor(..., strict=True)`` which rejects
+constraints carrying error diagnostics at registration.
+"""
+
+from repro.lint.diagnostics import (
+    JSON_SCHEMA_VERSION,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+from repro.lint.linter import (
+    Linter,
+    lint_paths,
+    reject_lint_errors,
+    split_constraint_chunks,
+)
+from repro.lint.registry import (
+    DEFAULT_CONFIG,
+    RULES,
+    LintConfig,
+    LintRule,
+    resolve_rule,
+)
+from repro.lint.rules import (
+    canonical_form,
+    check_bounded_history,
+    check_duplicates,
+    check_interference,
+    check_intervals,
+    check_monitor_config,
+    check_safety,
+    check_schema,
+    check_types,
+    check_vacuity,
+)
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "JSON_SCHEMA_VERSION",
+    "LintRule",
+    "LintConfig",
+    "RULES",
+    "DEFAULT_CONFIG",
+    "resolve_rule",
+    "Linter",
+    "lint_paths",
+    "reject_lint_errors",
+    "split_constraint_chunks",
+    "canonical_form",
+    "check_schema",
+    "check_types",
+    "check_safety",
+    "check_intervals",
+    "check_bounded_history",
+    "check_vacuity",
+    "check_duplicates",
+    "check_interference",
+    "check_monitor_config",
+]

@@ -23,7 +23,7 @@ re-check shapes, which are scale-free.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from repro.obs.bench import (
     RECOMPUTABLE_SHAPES,

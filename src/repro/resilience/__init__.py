@@ -39,6 +39,7 @@ from repro.resilience.chaos import (
     FaultyStream,
     InjectedFault,
     SimulatedCrash,
+    assert_lint_clean,
     crash_after,
     inject_faults,
     run_until_crash,
@@ -66,6 +67,7 @@ __all__ = [
     "RunJournal",
     "SimulatedCrash",
     "StepBudget",
+    "assert_lint_clean",
     "classify_fault",
     "crash_after",
     "inject_faults",

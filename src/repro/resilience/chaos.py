@@ -153,6 +153,27 @@ def crash_after(stream: Iterable, steps: int):
         yield item
 
 
+def assert_lint_clean(workload, config=None) -> None:
+    """Gate a chaos/bench run on its workload being lint-clean.
+
+    A chaos experiment compares a faulty run against a clean run of
+    the same constraints, so constraints carrying error- or
+    warning-level diagnostics (see :mod:`repro.lint`) would make the
+    comparison meaningless — the "clean" baseline itself would be
+    suspect.  Info-level advisories are allowed.
+
+    Raises:
+        AssertionError: naming every error/warning diagnostic.
+    """
+    report = workload.lint(config)
+    bad = report.errors + report.warnings
+    if bad:
+        shown = "; ".join(d.format().split("\n")[0] for d in bad)
+        raise AssertionError(
+            f"workload {workload.name!r} is not lint-clean: {shown}"
+        )
+
+
 def run_until_crash(monitor, stream: Iterable, crash_at: int) -> RunReport:
     """Drive ``monitor`` until a simulated kill at step ``crash_at``.
 

@@ -10,7 +10,7 @@ point is precisely the gap between the two.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema

@@ -9,7 +9,7 @@ shifting, replay to a history).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema

@@ -9,7 +9,7 @@ actually detect, and clean runs to measure steady-state cost.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Sequence
 
 from repro.core.checker import Constraint, IncrementalChecker
 from repro.core.monitor import Monitor
@@ -51,6 +51,22 @@ class Workload:
     def checker(self) -> IncrementalChecker:
         """A bare incremental checker for this workload."""
         return IncrementalChecker(self.schema, self.constraints)
+
+    def lint(self, config=None):
+        """Lint this workload's constraint set against its schema.
+
+        Shipped workloads are expected to stay clean (no errors or
+        warnings); the chaos/bench harnesses and ``repro generate``
+        assert this so generated experiment inputs are lint-clean.
+
+        Returns:
+            A :class:`repro.lint.LintReport`.
+        """
+        from repro.lint import Linter
+
+        return Linter(self.schema, config).lint_constraints(
+            [(c.name, c.formula) for c in self.constraints]
+        )
 
     def __repr__(self) -> str:
         return (

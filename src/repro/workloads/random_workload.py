@@ -14,9 +14,9 @@ whose knobs are exactly those parameters.  This module provides it:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from repro.core.builder import atom, conj, implies, once, since, var
+from repro.core.builder import atom, implies, once, since, var
 from repro.core.checker import Constraint
 from repro.core.formulas import Formula
 from repro.db.schema import DatabaseSchema

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.bounds import (
     clock_horizon,
+    future_horizon,
     has_unbounded_operator,
     max_anchor_window,
     predicted_tuple_bound,
@@ -42,6 +43,68 @@ class TestClockHorizon:
     def test_prev_adds_its_bound(self):
         assert clock_horizon(norm("PREV[0,4] ONCE[0,3] p(x)")) == 7
         assert clock_horizon(norm("PREV p(x)")) is None
+
+
+class TestClockHorizonNested:
+    def test_open_lower_bound_keeps_upper(self):
+        # [2,9]: only the upper bound matters for the lookback
+        assert clock_horizon(norm("ONCE[2,9] p(x)")) == 9
+
+    def test_unbounded_inside_bounded_nesting(self):
+        assert clock_horizon(norm("ONCE[0,4] ONCE[1,*] p(x)")) is None
+
+    def test_unbounded_since_interval(self):
+        assert clock_horizon(norm("p(x) SINCE[3,*] q(x)")) is None
+
+    def test_since_inside_once_adds(self):
+        f = norm("ONCE[0,4] (p(x) SINCE[0,6] q(x))")
+        assert clock_horizon(f) == 10
+
+    def test_triple_nesting_adds(self):
+        f = norm("ONCE[0,2] ONCE[0,3] ONCE[0,4] p(x)")
+        assert clock_horizon(f) == 9
+
+    def test_unbounded_branch_dominates_bounded_one(self):
+        f = norm("ONCE[0,3] p(x) AND ONCE q(x)")
+        assert clock_horizon(f) is None
+
+    def test_prev_with_open_interval_inside_bounded(self):
+        assert clock_horizon(norm("ONCE[0,5] PREV p(x)")) is None
+
+
+class TestFutureHorizon:
+    def test_pure_past_is_zero(self):
+        assert future_horizon(norm("ONCE[0,5] p(x)")) == 0
+        assert future_horizon(norm("p(x) AND q(x)")) == 0
+
+    def test_single_eventually(self):
+        assert future_horizon(norm("EVENTUALLY[0,6] p(x)")) == 6
+
+    def test_nesting_adds(self):
+        f = norm("EVENTUALLY[0,2] EVENTUALLY[1,3] p(x)")
+        assert future_horizon(f) == 5
+
+    def test_next_adds_its_bound(self):
+        assert future_horizon(norm("NEXT[0,4] EVENTUALLY[0,3] p(x)")) == 7
+
+    def test_until_takes_max_of_children(self):
+        f = norm("(EVENTUALLY[0,3] p(x)) UNTIL[0,10] "
+                 "(q(x) AND EVENTUALLY[0,8] p(x))")
+        assert future_horizon(f) == 18
+
+    def test_unbounded_until_propagates(self):
+        assert future_horizon(norm("p(x) UNTIL[2,*] q(x)")) is None
+        f = norm("EVENTUALLY[0,5] (p(x) UNTIL[2,*] q(x))")
+        assert future_horizon(f) is None
+
+    def test_mixed_past_and_future_are_independent(self):
+        f = norm("ONCE[0,5] p(x) AND EVENTUALLY[0,3] q(x)")
+        assert future_horizon(f) == 3
+        assert clock_horizon(f) == 5
+
+    def test_future_under_past_operator(self):
+        f = norm("ONCE[0,5] EVENTUALLY[0,3] p(x)")
+        assert future_horizon(f) == 3
 
 
 class TestWindowsAndFlags:

@@ -194,6 +194,16 @@ class TestConstraintFiles:
         parsed = parse_constraints(text)
         assert [name for name, _ in parsed] == ["ret", "c2", "c3"]
 
+    def test_hyphenated_labels(self):
+        text = "no-dormant-debit: p(x) -> q(x)"
+        assert parse_constraints(text)[0][0] == "no-dormant-debit"
+
+    def test_hyphen_number_labels(self):
+        # the workload generators emit numbered labels like window-0
+        text = "window-0: p(x);\ndeadline-1: q(y)"
+        parsed = parse_constraints(text)
+        assert [name for name, _ in parsed] == ["window-0", "deadline-1"]
+
     def test_empty_file(self):
         assert parse_constraints("  # nothing here\n") == []
 

@@ -1,0 +1,25 @@
+"""Shared fixtures for the linter test suite."""
+
+import pytest
+
+from repro.db.schema import DatabaseSchema
+from repro.lint import Linter
+
+
+@pytest.fixture
+def lint_schema():
+    """The corpus schema: typed, untyped, and float attributes."""
+    return DatabaseSchema.from_dict(
+        {
+            "account": [("owner", "str"), ("id", "int")],
+            "balance": [("id", "int"), ("amount", "float")],
+            "event": [("x", "any")],
+            "flag": [("x", "any")],
+        }
+    )
+
+
+@pytest.fixture
+def linter(lint_schema):
+    """A default-config linter bound to the corpus schema."""
+    return Linter(lint_schema)

@@ -1,0 +1,140 @@
+"""End-to-end tests for ``repro lint`` and the check/generate wiring."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+DATA = Path(__file__).resolve().parent / "data"
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = REPO / "examples" / "lint_corpus"
+
+
+def run_lint(capsys, *extra):
+    status = main([
+        "lint",
+        "--constraints", str(DATA / "sample_constraints.txt"),
+        "--schema", str(DATA / "sample_schema.json"),
+        *extra,
+    ])
+    return status, capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_text_output_and_exit_code(self, capsys):
+        status, out = run_lint(capsys)
+        assert status == 2
+        assert "RTC004 error [unsafe]" in out
+        assert "RTC006 warning [window]" in out
+        assert "1 error(s), 1 warning(s), 0 info(s)" in out
+
+    def test_json_output_matches_golden_file(self, capsys):
+        status, out = run_lint(capsys, "--format", "json")
+        assert status == 2
+        golden = json.loads((DATA / "golden_report.json").read_text())
+        assert json.loads(out) == golden
+
+    def test_json_carries_version_tag(self, capsys):
+        _, out = run_lint(capsys, "--format", "json")
+        assert json.loads(out)["version"] == "repro-lint/1"
+
+    def test_disable_rule_changes_exit_code(self, capsys):
+        status, out = run_lint(capsys, "--disable", "RTC004")
+        assert status == 1  # only the RTC006 warning remains
+        assert "RTC004" not in out
+
+    def test_clean_set_exits_zero(self, capsys, tmp_path):
+        clean = tmp_path / "clean.txt"
+        clean.write_text("ok: event(x) -> flag(x)\n")
+        status = main([
+            "lint", "--constraints", str(clean),
+            "--schema", str(DATA / "sample_schema.json"),
+        ])
+        assert status == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_urgent_and_journal_flags(self, capsys, tmp_path):
+        clean = tmp_path / "clean.txt"
+        clean.write_text("ok: event(x) -> flag(x)\n")
+        status = main([
+            "lint", "--constraints", str(clean),
+            "--urgent", "ghost", "--checkpoint-every", "32",
+        ])
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "RTC011 error" in out
+        assert "RTC011 warning" in out  # checkpoint without journal
+
+    def test_list_rules(self, capsys):
+        status = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "RTC001" in out and "unknown-relation" in out
+        assert "RTC012" in out
+
+    def test_missing_constraints_is_an_error(self, capsys):
+        status = main(["lint"])
+        assert status == 2
+        assert "--constraints" in capsys.readouterr().err
+
+    def test_corpus_exits_with_errors(self, capsys):
+        status = main([
+            "lint",
+            "--constraints", str(CORPUS / "bad_constraints.txt"),
+            "--schema", str(CORPUS / "schema.json"),
+        ])
+        assert status == 2
+
+
+@pytest.fixture
+def generated(tmp_path):
+    out = tmp_path / "wl"
+    status = main([
+        "generate", "--workload", "library", "--length", "30",
+        "--violation-rate", "0.3", "--out", str(out),
+    ])
+    assert status == 0
+    return out
+
+
+class TestCheckIntegration:
+    def test_check_prints_lint_warnings_first(self, generated, tmp_path,
+                                              capsys):
+        constraints = tmp_path / "c.txt"
+        constraints.write_text(
+            "dup-a: borrowed(p, b) -> ONCE[0,5] returned(p, b);\n"
+            "dup-b: borrowed(q, c) -> ONCE[0,5] returned(q, c)\n"
+        )
+        main([
+            "check",
+            "--schema", str(generated / "schema.json"),
+            "--constraints", str(constraints),
+            "--history", str(generated / "history.jsonl"),
+        ])
+        out = capsys.readouterr().out
+        assert "lint (1 diagnostic(s)):" in out
+        assert "RTC009" in out
+
+    def test_no_lint_opts_out(self, generated, tmp_path, capsys):
+        constraints = tmp_path / "c.txt"
+        constraints.write_text(
+            "dup-a: borrowed(p, b) -> ONCE[0,5] returned(p, b);\n"
+            "dup-b: borrowed(q, c) -> ONCE[0,5] returned(q, c)\n"
+        )
+        main([
+            "check", "--no-lint",
+            "--schema", str(generated / "schema.json"),
+            "--constraints", str(constraints),
+            "--history", str(generated / "history.jsonl"),
+        ])
+        assert "lint (" not in capsys.readouterr().out
+
+    def test_generated_constraints_lint_clean(self, generated, capsys):
+        status = main([
+            "lint",
+            "--constraints", str(generated / "constraints.txt"),
+            "--schema", str(generated / "schema.json"),
+        ])
+        assert status == 0

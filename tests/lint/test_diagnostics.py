@@ -1,0 +1,195 @@
+"""Unit tests for diagnostics, reports, the registry, and config."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    JSON_SCHEMA_VERSION,
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    RULES,
+    Severity,
+    resolve_rule,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_parse_round_trips(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+
+    def test_parse_is_case_insensitive(self):
+        assert Severity.parse("  ERROR ") is Severity.ERROR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def test_format_full(self):
+        d = Diagnostic("RTC004", Severity.ERROR, "boom", constraint="c1",
+                       location="AND[1] > NOT", hint="fix it")
+        text = d.format()
+        assert text.startswith("RTC004 error [c1]: boom (at AND[1] > NOT)")
+        assert "hint: fix it" in text
+
+    def test_format_minimal(self):
+        d = Diagnostic("RTC010", Severity.WARNING, "cycle")
+        assert d.format() == "RTC010 warning: cycle"
+
+    def test_to_dict_omits_absent_fields(self):
+        d = Diagnostic("RTC008", Severity.WARNING, "vacuous")
+        assert d.to_dict() == {
+            "code": "RTC008", "severity": "warning", "message": "vacuous",
+        }
+
+    def test_to_dict_never_includes_path(self):
+        d = Diagnostic("RTC001", Severity.ERROR, "m", constraint="c",
+                       location="loc", hint="h")
+        assert "path" not in d.to_dict()
+
+
+def _report():
+    return LintReport([
+        Diagnostic("RTC010", Severity.WARNING, "program-level"),
+        Diagnostic("RTC008", Severity.WARNING, "w", constraint="b"),
+        Diagnostic("RTC001", Severity.ERROR, "e", constraint="a"),
+        Diagnostic("RTC007", Severity.INFO, "i", constraint="a"),
+    ])
+
+
+class TestLintReport:
+    def test_sorted_by_constraint_then_code(self):
+        codes = [d.code for d in _report()]
+        assert codes == ["RTC001", "RTC007", "RTC008", "RTC010"]
+
+    def test_program_level_findings_sort_last(self):
+        assert _report().diagnostics[-1].constraint is None
+
+    def test_severity_buckets(self):
+        report = _report()
+        assert [d.code for d in report.errors] == ["RTC001"]
+        assert [d.code for d in report.warnings] == ["RTC008", "RTC010"]
+        assert [d.code for d in report.infos] == ["RTC007"]
+
+    def test_exit_codes(self):
+        assert _report().exit_code == 2
+        assert LintReport([
+            Diagnostic("RTC008", Severity.WARNING, "w")
+        ]).exit_code == 1
+        assert LintReport([
+            Diagnostic("RTC007", Severity.INFO, "i")
+        ]).exit_code == 0
+        assert LintReport().exit_code == 0
+
+    def test_max_severity_empty_is_none(self):
+        assert LintReport().max_severity is None
+        assert not LintReport()
+
+    def test_codes_and_for_constraint(self):
+        report = _report()
+        assert report.codes() == ["RTC001", "RTC007", "RTC008", "RTC010"]
+        assert [d.code for d in report.for_constraint("a")] == [
+            "RTC001", "RTC007"]
+
+    def test_extend_returns_new_report(self):
+        base = LintReport()
+        grown = base.extend([Diagnostic("RTC001", Severity.ERROR, "e")])
+        assert len(base) == 0
+        assert len(grown) == 1
+
+    def test_render_text_summary_line(self):
+        text = _report().render_text()
+        assert text.endswith("1 error(s), 2 warning(s), 1 info(s)")
+        assert LintReport().render_text() == "clean: no diagnostics"
+
+    def test_json_has_version_and_summary(self):
+        data = json.loads(_report().to_json())
+        assert data["version"] == JSON_SCHEMA_VERSION
+        assert data["summary"] == {"errors": 1, "warnings": 2, "infos": 1}
+        assert len(data["diagnostics"]) == 4
+
+
+class TestSplitChunks:
+    def test_splits_on_top_level_semicolons(self):
+        from repro.lint import split_constraint_chunks
+
+        chunks = split_constraint_chunks("a: p(x);\nb: q(x)")
+        assert [c.strip() for c, _line in chunks] == ["a: p(x)", "b: q(x)"]
+        assert [line for _c, line in chunks] == [1, 1]
+
+    def test_aggregate_semicolon_does_not_split(self):
+        from repro.lint import split_constraint_chunks
+
+        text = "t: (s = SUM(m, k; ONCE[0,9] debit(a, k, m)) -> s <= 5)"
+        chunks = [c for c, _line in split_constraint_chunks(text)]
+        assert chunks == [text]
+
+    def test_semicolon_in_string_or_comment_ignored(self):
+        from repro.lint import split_constraint_chunks
+
+        text = "a: p(';')  # not a split ; here\n;\nb: q(x)"
+        chunks = [c.strip() for c, _line in split_constraint_chunks(text)
+                  if c.strip()]
+        assert len(chunks) == 2
+
+    def test_hyphen_number_labels_name_diagnostics(self, linter):
+        report, parsed = linter.lint_text(
+            "window-0: spectre(x) -> event(x)")
+        assert [name for name, _ in parsed] == ["window-0"]
+        assert {d.constraint for d in report} == {"window-0"}
+        assert "RTC001" in report.codes()
+
+
+class TestRegistry:
+    def test_codes_are_unique_and_sequential(self):
+        codes = [r.code for r in RULES]
+        assert codes == [f"RTC{i:03d}" for i in range(1, len(RULES) + 1)]
+
+    def test_resolve_by_code_and_name(self):
+        assert resolve_rule("rtc004").code == "RTC004"
+        assert resolve_rule("unsafe-formula").code == "RTC004"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            resolve_rule("RTC999")
+
+
+class TestLintConfig:
+    def test_default_enables_everything(self):
+        assert all(DEFAULT_CONFIG.enabled(r.code) for r in RULES)
+
+    def test_build_disable_by_name_or_code(self):
+        config = LintConfig.build(disable=["unsafe-formula", "RTC008"])
+        assert not config.enabled("RTC004")
+        assert not config.enabled("RTC008")
+        assert config.enabled("RTC001")
+
+    def test_build_severity_override(self):
+        config = LintConfig.build(
+            severity_overrides={"unbounded-history": "error"})
+        assert config.severity("RTC007") is Severity.ERROR
+
+    def test_require_bounded_escalates_rtc007(self):
+        assert DEFAULT_CONFIG.severity("RTC007") is Severity.INFO
+        config = LintConfig.build(require_bounded=True)
+        assert config.severity("RTC007") is Severity.ERROR
+
+    def test_explicit_override_beats_escalation(self):
+        config = LintConfig.build(
+            severity_overrides={"RTC007": "warning"}, require_bounded=True)
+        assert config.severity("RTC007") is Severity.WARNING
+
+    def test_build_rejects_bad_granularity(self):
+        with pytest.raises(ValueError, match="granularity"):
+            LintConfig.build(clock_granularity=0)

@@ -1,0 +1,111 @@
+"""Program-level rules: active-rule interference (RTC010) and monitor
+configuration checks (RTC011)."""
+
+from repro.active.events import EventPattern
+from repro.active.rules import Rule
+from repro.core.parser import parse
+from repro.lint import Linter, Severity
+
+
+def _noop(engine, event):
+    return None
+
+
+def rule(name, trigger, reads=None, writes=None):
+    return Rule(name, EventPattern.on_insert(trigger), _noop,
+                reads=reads, writes=writes)
+
+
+def by_code(report, code):
+    return [d for d in report if d.code == code]
+
+
+class TestInterference:
+    def test_two_rule_cycle(self):
+        report = Linter().lint_rules([
+            rule("a", trigger="p", writes=["q"]),
+            rule("b", trigger="q", writes=["p"]),
+        ])
+        (d,) = by_code(report, "RTC010")
+        assert "a -> b -> a" in d.message
+        assert d.severity is Severity.WARNING
+
+    def test_self_loop(self):
+        report = Linter().lint_rules([
+            rule("loop", trigger="p", writes=["p"]),
+        ])
+        (d,) = by_code(report, "RTC010")
+        assert "loop -> loop" in d.message
+
+    def test_cycle_reported_once(self):
+        report = Linter().lint_rules([
+            rule("a", trigger="p", writes=["q"]),
+            rule("b", trigger="q", writes=["p"]),
+            rule("c", trigger="q", writes=["p"]),
+        ])
+        cycles = [d for d in by_code(report, "RTC010")
+                  if "retrigger" in d.message]
+        assert len(cycles) == 2  # a<->b and a<->c, each once
+
+    def test_undeclared_rules_are_skipped(self):
+        # no reads/writes metadata: the analysis cannot see into the
+        # action, so it must stay silent
+        report = Linter().lint_rules([
+            rule("a", trigger="p"),
+            rule("b", trigger="q"),
+        ])
+        assert by_code(report, "RTC010") == []
+
+    def test_acyclic_chain_is_clean(self):
+        report = Linter().lint_rules([
+            rule("a", trigger="p", writes=["q"]),
+            rule("b", trigger="q", writes=["r"]),
+        ], constraints=[("c", parse("r(x) -> p(x)"))])
+        assert by_code(report, "RTC010") == []
+
+    def test_dead_write_flagged(self):
+        report = Linter().lint_rules([
+            rule("a", trigger="p", writes=["scratch"]),
+        ])
+        (d,) = by_code(report, "RTC010")
+        assert "'scratch'" in d.message
+        assert "no constraint reads" in d.message
+
+    def test_write_read_by_constraint_is_live(self):
+        report = Linter().lint_rules(
+            [rule("a", trigger="p", writes=["aux"])],
+            constraints=[("c", parse("aux(x) -> p(x)"))],
+        )
+        assert by_code(report, "RTC010") == []
+
+    def test_write_declared_read_by_rule_is_live(self):
+        report = Linter().lint_rules([
+            rule("a", trigger="p", writes=["aux"]),
+            rule("b", trigger="q", reads=["aux"], writes=[]),
+        ])
+        assert by_code(report, "RTC010") == []
+
+
+class TestMonitorConfig:
+    def test_unknown_urgent_is_error(self):
+        report = Linter().lint_monitor_config(["c1"], urgent=["ghost"])
+        (d,) = by_code(report, "RTC011")
+        assert d.severity is Severity.ERROR
+        assert "'ghost'" in d.message
+        assert "c1" in d.hint
+
+    def test_known_urgent_is_clean(self):
+        report = Linter().lint_monitor_config(["c1"], urgent=["c1"])
+        assert by_code(report, "RTC011") == []
+
+    def test_checkpoint_without_journal_warns(self):
+        report = Linter().lint_monitor_config(
+            ["c1"], journal=False, checkpoint_every=64)
+        (d,) = by_code(report, "RTC011")
+        assert d.severity is Severity.WARNING
+        assert "journal" in d.message
+
+    def test_checkpoint_with_journal_is_clean(self):
+        report = Linter().lint_monitor_config(
+            ["c1"], journal=True, checkpoint_every=64)
+        assert by_code(report, "RTC011") == []

@@ -1,0 +1,83 @@
+"""Interval rules (RTC005/RTC006) and bounded-history advice (RTC007)."""
+
+from repro.core.parser import parse
+from repro.lint import Linter, LintConfig, Severity
+
+
+def lint(linter, text, name="c"):
+    return linter.lint_formula(name, parse(text))
+
+
+def by_code(diagnostics, code):
+    return [d for d in diagnostics if d.code == code]
+
+
+class TestIllFormedInterval:
+    def test_empty_interval_reported_from_text(self, linter):
+        report, parsed = linter.lint_text(
+            "bad: ONCE[5,2] event(x) -> flag(x)")
+        (d,) = by_code(report, "RTC005")
+        assert d.severity is Severity.ERROR
+        assert d.constraint == "bad"
+        assert parsed == []
+
+    def test_parse_error_is_rtc012_not_rtc005(self, linter):
+        report, _ = linter.lint_text("broken: flag(x) ->")
+        assert report.codes() == ["RTC012"]
+
+
+class TestSuspiciousInterval:
+    def test_zero_width_window(self, linter):
+        (d,) = by_code(lint(linter, "ONCE[3,3] event(x) -> flag(x)"),
+                       "RTC006")
+        assert "zero-width" in d.message
+        assert d.severity is Severity.WARNING
+
+    def test_zero_width_at_zero_is_trivial_not_flagged(self, linter):
+        # [0,0] is the present instant: deliberate, not a typo
+        out = lint(linter, "ONCE[0,0] event(x) -> flag(x)")
+        assert by_code(out, "RTC006") == []
+
+    def test_granularity_unreachable_window(self, lint_schema):
+        linter = Linter(lint_schema,
+                        LintConfig.build(clock_granularity=10))
+        out = lint(linter, "ONCE[3,7] event(x) -> flag(x)")
+        (d,) = by_code(out, "RTC006")
+        assert "granularity 10" in d.message
+
+    def test_granularity_reachable_window_is_clean(self, lint_schema):
+        linter = Linter(lint_schema,
+                        LintConfig.build(clock_granularity=10))
+        out = lint(linter, "ONCE[5,20] event(x) -> flag(x)")
+        assert by_code(out, "RTC006") == []
+
+    def test_default_granularity_never_flags_reachability(self, linter):
+        out = lint(linter, "ONCE[3,7] event(x) -> flag(x)")
+        assert by_code(out, "RTC006") == []
+
+
+class TestBoundedHistory:
+    def test_unbounded_once_is_info_by_default(self, linter):
+        (d,) = by_code(lint(linter, "flag(x) -> ONCE event(x)"), "RTC007")
+        assert d.severity is Severity.INFO
+        assert "unbounded" in d.message
+
+    def test_require_bounded_escalates_to_error(self, lint_schema):
+        linter = Linter(lint_schema,
+                        LintConfig.build(require_bounded=True))
+        (d,) = by_code(lint(linter, "flag(x) -> ONCE event(x)"), "RTC007")
+        assert d.severity is Severity.ERROR
+
+    def test_unbounded_since_flagged(self, linter):
+        out = lint(linter, "flag(x) -> (event(x) SINCE flag(x))")
+        assert by_code(out, "RTC007")
+
+    def test_bounded_window_is_clean(self, linter):
+        out = lint(linter, "flag(x) -> ONCE[0,9] event(x)")
+        assert by_code(out, "RTC007") == []
+
+    def test_disabled_rule_is_silent(self, lint_schema):
+        linter = Linter(lint_schema,
+                        LintConfig.build(disable=["unbounded-history"]))
+        out = lint(linter, "flag(x) -> ONCE event(x)")
+        assert by_code(out, "RTC007") == []

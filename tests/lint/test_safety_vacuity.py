@@ -1,0 +1,131 @@
+"""Safety (RTC004) and vacuity (RTC008) rules, plus the innermost-path
+blame of the shared safety explainer."""
+
+from repro.core.formulas import Not
+from repro.core.normalize import normalize
+from repro.core.parser import parse
+from repro.core.safety import collect_unsafe, explain_unsafe, locate_unsafe
+
+
+def lint(linter, text, name="c"):
+    return linter.lint_formula(name, parse(text))
+
+
+def by_code(diagnostics, code):
+    return [d for d in diagnostics if d.code == code]
+
+
+class TestSafetyRule:
+    def test_free_variable_in_conclusion(self, linter):
+        (d,) = by_code(lint(linter, "event(x) -> flag(y)"), "RTC004")
+        assert "not safely evaluable" in d.message
+        assert "'y'" in d.message
+
+    def test_blames_the_innermost_negation(self, linter):
+        (d,) = by_code(lint(linter, "event(x) -> flag(y)"), "RTC004")
+        assert d.location == "AND[1] > NOT"
+
+    def test_hint_mentions_binding(self, linter):
+        (d,) = by_code(lint(linter, "event(x) -> flag(y)"), "RTC004")
+        assert "bound by a positive atom" in d.hint
+
+    def test_safe_constraint_is_clean(self, linter):
+        assert by_code(lint(linter, "event(x) -> flag(x)"), "RTC004") == []
+
+    def test_unbounded_future_operator(self, linter):
+        out = lint(linter, "event(x) -> EVENTUALLY flag(x)")
+        assert by_code(out, "RTC004")
+
+
+class TestSafetyExplainer:
+    def test_locate_unsafe_returns_path_and_node(self):
+        kernel = normalize(Not(parse("event(x) -> flag(y)")))
+        path, node, reason = locate_unsafe(kernel)
+        assert str(node) == "NOT flag(y)"
+        assert path.resolve(kernel) is node
+        assert "free variables" in reason
+
+    def test_explain_unsafe_appends_breadcrumb(self):
+        kernel = normalize(Not(parse("event(x) -> flag(y)")))
+        assert explain_unsafe(kernel).endswith("[at AND[1] > NOT]")
+
+    def test_collect_unsafe_empty_for_safe_formula(self):
+        kernel = normalize(Not(parse("event(x) -> flag(x)")))
+        assert collect_unsafe(kernel) == []
+
+    def test_collect_unsafe_reports_nested_operand(self):
+        kernel = normalize(Not(parse("event(x) -> ONCE[0,3] flag(y)")))
+        problems = collect_unsafe(kernel)
+        assert problems
+        for path, node, _reason in problems:
+            assert path.resolve(kernel) is node
+
+
+class TestVacuityRule:
+    def test_tautology_never_violated(self, linter):
+        (d,) = by_code(lint(linter, "flag(x) AND 1 = 2 -> event(x)"),
+                       "RTC008")
+        assert "never be violated" in d.message
+
+    def test_unsatisfiable_violated_everywhere(self, linter):
+        (d,) = by_code(lint(linter, "1 = 2"), "RTC008")
+        assert "violated at every state" in d.message
+
+    def test_contradictory_comparison_bounds(self, linter):
+        out = lint(linter, "balance(i, a) AND a < 3 AND a > 5 -> event(i)")
+        (d,) = by_code(out, "RTC008")
+        assert "jointly unsatisfiable" in d.message
+        assert "a < 3" in d.message and "a > 5" in d.message
+
+    def test_equal_strict_bounds_are_contradictory(self, linter):
+        out = lint(linter, "balance(i, a) AND a < 3 AND a >= 3 -> event(i)")
+        assert by_code(out, "RTC008")
+
+    def test_touching_inclusive_bounds_are_satisfiable(self, linter):
+        out = lint(linter, "balance(i, a) AND a <= 3 AND a >= 3 -> event(i)")
+        assert by_code(out, "RTC008") == []
+
+    def test_conflicting_equalities(self, linter):
+        out = lint(linter, "balance(i, a) AND a = 1 AND a = 2 -> event(i)")
+        assert by_code(out, "RTC008")
+
+    def test_excluded_pinned_point(self, linter):
+        out = lint(linter,
+                   "balance(i, a) AND a <= 3 AND a >= 3 AND a != 3 "
+                   "-> event(i)")
+        assert by_code(out, "RTC008")
+
+    def test_constant_subformula(self, linter):
+        out = lint(linter, "event(x) AND (flag(x) OR 1 = 1) -> flag(x)")
+        (d,) = by_code(out, "RTC008")
+        assert "always true" in d.message
+
+    def test_contingent_constraint_is_clean(self, linter):
+        out = lint(linter, "balance(i, a) AND a > 5 -> event(i)")
+        assert by_code(out, "RTC008") == []
+
+
+class TestDuplicateRule:
+    def test_renamed_duplicate_flagged_once(self, linter):
+        report = linter.lint_constraints([
+            ("dup-a", parse("event(x) -> flag(x)")),
+            ("dup-b", parse("event(y) -> flag(y)")),
+        ])
+        (d,) = [d for d in report if d.code == "RTC009"]
+        assert d.constraint == "dup-b"
+        assert "'dup-a'" in d.message
+
+    def test_different_constraints_are_clean(self, linter):
+        report = linter.lint_constraints([
+            ("a", parse("event(x) -> flag(x)")),
+            ("b", parse("flag(x) -> event(x)")),
+        ])
+        assert [d for d in report if d.code == "RTC009"] == []
+
+    def test_sugar_is_normalized_away(self, linter):
+        # an implication and its unfolded disjunction are the same
+        report = linter.lint_constraints([
+            ("a", parse("event(x) -> flag(x)")),
+            ("b", parse("(NOT event(z)) OR flag(z)")),
+        ])
+        assert [d.code for d in report if d.code == "RTC009"] == ["RTC009"]

@@ -1,0 +1,86 @@
+"""Schema and type rules: RTC001 (unknown relation), RTC002 (arity),
+RTC003 (domain/type conflicts)."""
+
+from repro.core.formulas import Aggregate, Atom, Var
+from repro.core.parser import parse
+from repro.lint import DEFAULT_CONFIG, check_types
+
+
+def lint(linter, text, name="c"):
+    return linter.lint_formula(name, parse(text))
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+class TestUnknownRelation:
+    def test_flagged_with_location(self, linter):
+        out = lint(linter, "spectre(x) -> event(x)")
+        (d,) = [d for d in out if d.code == "RTC001"]
+        assert "spectre" in d.message
+        assert d.location == "->[0] > spectre(x)"
+
+    def test_hint_lists_declared_relations(self, linter):
+        out = lint(linter, "spectre(x) -> event(x)")
+        (d,) = [d for d in out if d.code == "RTC001"]
+        assert "account, balance, event, flag" in d.hint
+
+    def test_known_relations_are_clean(self, linter):
+        assert lint(linter, "event(x) -> flag(x)") == []
+
+
+class TestArityMismatch:
+    def test_flagged(self, linter):
+        out = lint(linter, "account(o) -> event(o)")
+        (d,) = [d for d in out if d.code == "RTC002"]
+        assert "arity 2" in d.message
+
+    def test_no_cascade_into_type_rule(self, linter):
+        # a wrong-arity atom must not also produce RTC003 noise
+        out = lint(linter, "account(o) -> event(o)")
+        assert codes(out) == ["RTC002"]
+
+
+class TestTypeConflicts:
+    def test_string_variable_compared_with_number(self, linter):
+        out = lint(linter, "account(o, i) AND o = 5 -> event(i)")
+        assert "RTC003" in codes(out)
+
+    def test_constant_outside_domain(self, linter):
+        out = lint(linter, "account(7, i) -> event(i)")
+        (d,) = [d for d in out if d.code == "RTC003"]
+        assert "does not fit domain 'str'" in d.message
+
+    def test_float_domain_accepts_int_constant(self, linter):
+        assert lint(linter, "balance(i, 5) -> event(i)") == []
+
+    def test_conflict_via_equality_chain(self, linter):
+        # o is a string (account.owner); i is an int (account.id);
+        # o = m and m = i force one variable into both kinds
+        out = lint(linter, "account(o, i) AND o = m AND m = i -> event(i)")
+        assert "RTC003" in codes(out)
+
+    def test_variable_at_num_and_str_positions(self, linter):
+        out = lint(linter, "account(o, i) AND balance(j, a) AND o = j "
+                           "-> event(i)")
+        assert "RTC003" in codes(out)
+
+    def test_any_domain_never_flags(self, linter):
+        assert lint(linter, "event(x) AND x = 5 -> flag(x)") == []
+        assert lint(linter, "event(x) AND x = 'a' -> flag(x)") == []
+
+    def test_string_comparisons_are_fine(self, linter):
+        assert lint(linter, "account(o, i) AND o = 'ada' -> event(i)") == []
+
+    def test_sum_over_string_variable(self, lint_schema):
+        body = Atom("account", (Var("o"), Var("i")))
+        formula = Aggregate("SUM", "s", ("o", "i"), body)
+        out = check_types("c", formula, lint_schema, DEFAULT_CONFIG)
+        (d,) = [d for d in out if "SUM" in d.message]
+        assert d.code == "RTC003"
+
+    def test_sum_over_numeric_variable_is_clean(self, lint_schema):
+        body = Atom("balance", (Var("i"), Var("a")))
+        formula = Aggregate("SUM", "s", ("a", "i"), body)
+        assert check_types("c", formula, lint_schema, DEFAULT_CONFIG) == []
