@@ -73,6 +73,13 @@ from repro.errors import (
     TimeError,
     UnsafeFormulaError,
 )
+from repro.ingest import (
+    IngestPipeline,
+    IngestQueue,
+    Reorderer,
+    RetryPolicy,
+    RetryingSource,
+)
 from repro.resilience import FaultPolicy, QuarantineLog, StepBudget
 from repro.temporal import Clock, History, StreamGenerator, UpdateStream
 
@@ -91,6 +98,8 @@ __all__ = [
     "History",
     "HistoryEvaluator",
     "IncrementalChecker",
+    "IngestPipeline",
+    "IngestQueue",
     "Instrumentation",
     "Interval",
     "MetricsRegistry",
@@ -103,7 +112,10 @@ __all__ = [
     "RecoveryError",
     "Relation",
     "RelationSchema",
+    "Reorderer",
     "ReproError",
+    "RetryPolicy",
+    "RetryingSource",
     "RunReport",
     "SchemaError",
     "StepBudget",

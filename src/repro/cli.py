@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
+    repro-check ingest   --schema s.json --constraints c.txt --source a.jsonl
     repro-check lint     --constraints c.txt [--schema s.json] [--format json]
     repro-check generate --workload library --length 200 --seed 1 --out DIR
     repro-check analyze  --constraints c.txt [--trace t.jsonl]
@@ -40,6 +41,18 @@ keeps monitoring through malformed lines, schema violations, and clock
 faults (``--quarantine-log`` dead-letters them as JSONL);
 ``--step-deadline`` sheds non-urgent constraint evaluations when a step
 blows its budget; ``--journal DIR`` makes the run crash-recoverable.
+
+``ingest`` hardens the front of that boundary (:mod:`repro.ingest`):
+it reads *arrival* files — JSONL deliveries that may be out of order,
+duplicated, clock-skewed per source, or outright garbage — reorders
+them behind a watermark frontier, and checks the reconstructed stream,
+dead-lettering anything excluded (late/duplicate/invalid/shed) to the
+quarantine log.  ``check --tolerate-disorder`` (implied by
+``--watermark``) applies the same frontier to a mildly disordered
+history file instead of aborting on the first clock fault.
+``generate --arrivals`` writes a seeded perturbation of the workload
+(``arrivals.jsonl`` + an ``ingest.json`` ground-truth manifest) for
+exercising all of this end to end — see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -160,6 +173,109 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-lint", action="store_true",
         help="skip the pre-monitoring lint pass over the constraints",
     )
+    check.add_argument(
+        "--tolerate-disorder", action="store_true",
+        help="reorder out-of-order history records behind a watermark "
+             "instead of aborting (implies --fault-policy quarantine "
+             "unless one is given)",
+    )
+    check.add_argument(
+        "--watermark", type=int, default=None, metavar="W",
+        help="disorder bound, in clock units, for --tolerate-disorder "
+             "(giving it implies the flag; default: 0)",
+    )
+    check.add_argument(
+        "--max-lateness", type=int, default=None, metavar="L",
+        help="refuse salvageable events trailing the watermark "
+             "frontier by more than L (default: salvage whenever "
+             "order allows)",
+    )
+    check.add_argument(
+        "--retry", type=int, default=None, metavar="N",
+        help="retry budget for transiently unavailable sources "
+             "(capped jittered exponential backoff)",
+    )
+    check.add_argument(
+        "--skew", action="append", default=None, metavar="NAME=DELTA",
+        help="per-source clock offset subtracted on arrival "
+             "(repeatable)",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="reorder unordered arrival feeds behind a watermark "
+             "and check the reconstructed stream",
+    )
+    ingest.add_argument(
+        "--schema", required=True, help="schema JSON file"
+    )
+    ingest.add_argument(
+        "--constraints", required=True, help="constraint text file"
+    )
+    ingest.add_argument(
+        "--source", action="append", required=True, metavar="[NAME=]FILE",
+        help="arrivals JSONL feed; records may carry a per-record "
+             "\"source\" tag, untagged ones get NAME (repeatable)",
+    )
+    ingest.add_argument(
+        "--engine", choices=ENGINES, default="incremental",
+        help="checking engine (default: incremental)",
+    )
+    ingest.add_argument(
+        "--watermark", type=int, default=0, metavar="W",
+        help="disorder bound, in clock units (default: 0 — arrivals "
+             "expected in order)",
+    )
+    ingest.add_argument(
+        "--max-lateness", type=int, default=None, metavar="L",
+        help="refuse salvageable events trailing the frontier by "
+             "more than L",
+    )
+    ingest.add_argument(
+        "--skew", action="append", default=None, metavar="NAME=DELTA",
+        help="per-source clock offset subtracted on arrival "
+             "(repeatable)",
+    )
+    ingest.add_argument(
+        "--retry", type=int, default=None, metavar="N",
+        help="retry budget for transiently unavailable sources",
+    )
+    ingest.add_argument(
+        "--queue-capacity", type=int, default=1024, metavar="N",
+        help="bound of the ingest queue (default: 1024)",
+    )
+    ingest.add_argument(
+        "--backpressure", default="block",
+        choices=("block", "shed-oldest", "shed-newest"),
+        help="full-queue policy (default: block)",
+    )
+    ingest.add_argument(
+        "--fault-policy", default=None,
+        choices=("skip", "quarantine"),
+        help="step-boundary fault policy for records that clear "
+             "ingest but fail checking (default: quarantine)",
+    )
+    ingest.add_argument(
+        "--quarantine-log", default=None, metavar="FILE",
+        help="dead-letter JSONL file for excluded arrivals and "
+             "quarantined records",
+    )
+    ingest.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a structured JSONL span trace of the run",
+    )
+    ingest.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a metrics dump (Prometheus text; JSON if the "
+             "file ends in .json)",
+    )
+    ingest.add_argument(
+        "--max-violations", type=int, default=20,
+        help="stop printing after this many violations",
+    )
+    ingest.add_argument(
+        "--quiet", action="store_true", help="exit status only"
+    )
 
     lint = commands.add_parser(
         "lint", help="statically analyse a constraint set"
@@ -245,6 +361,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="misbehaviour rate for domain workloads",
     )
     generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument(
+        "--arrivals", action="store_true",
+        help="also write a seeded delivery perturbation of the "
+             "history (arrivals.jsonl + ingest.json manifest) for "
+             "the 'ingest' subcommand",
+    )
+    generate.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed for the delivery perturbation (default: 0)",
+    )
+    generate.add_argument(
+        "--chaos-watermark", type=int, default=8, metavar="W",
+        help="disorder bound of the perturbation (default: 8)",
+    )
+    generate.add_argument(
+        "--duplicate-rate", type=float, default=0.1, metavar="RATE",
+        help="fraction of arrivals replayed (default: 0.1)",
+    )
+    generate.add_argument(
+        "--late-events", type=int, default=0, metavar="N",
+        help="events deliberately held back past the watermark "
+             "(default: 0; needs --chaos-watermark >= 1)",
+    )
+    generate.add_argument(
+        "--sources", type=int, default=2, metavar="N",
+        help="sources the stream is scattered over (default: 2)",
+    )
+    generate.add_argument(
+        "--max-skew", type=int, default=0, metavar="S",
+        help="maximum per-source clock skew (default: 0)",
+    )
 
     analyze = commands.add_parser(
         "analyze", help="print constraint compilation profiles"
@@ -368,6 +515,7 @@ def _run_monitor_stream(monitor: Monitor, history):
     (counted, quarantined) instead of aborting the read, and decodable
     records flow on so one bad line costs one step, not the run.
     """
+    _require_file(history, "--history")
     resilience = monitor.resilience
     if resilience is None or resilience.policy.value == "fail_fast":
         return monitor.run(load_stream(history))
@@ -409,6 +557,100 @@ def _print_resilience_summary(monitor: Monitor, quarantine_path) -> None:
             line += f" -> {quarantine_path}"
     if summary["degraded_steps"]:
         line += f"; degraded {summary['degraded_steps']} step(s)"
+    print(line)
+
+
+def _require_file(path, flag: str) -> None:
+    """Fail with a clean diagnostic before a lazy reader tracebacks."""
+    if not Path(path).is_file():
+        raise ReproError(f"cannot read {flag} {path}: no such file")
+
+
+def _parse_skews(specs) -> Optional[dict]:
+    """``--skew NAME=DELTA`` occurrences into a per-source offset map."""
+    if not specs:
+        return None
+    skews = {}
+    for spec in specs:
+        name, sep, delta = spec.partition("=")
+        if not sep or not name:
+            raise ReproError(f"--skew wants NAME=DELTA, got {spec!r}")
+        try:
+            skews[name] = int(delta)
+        except ValueError as exc:
+            raise ReproError(
+                f"--skew delta must be an integer: {spec!r}"
+            ) from exc
+    return skews
+
+
+def _parse_source_spec(spec: str, index: int):
+    """``--source [NAME=]FILE`` into ``(name, path)``.
+
+    The prefix is only treated as a name when it looks like one (no
+    path separators), so ``--source data/a=b.jsonl`` stays a path.
+    """
+    name, sep, path = spec.partition("=")
+    if sep and name and "/" not in name and "\\" not in name:
+        return name, path
+    return f"feed{index}", spec
+
+
+def _feed_history(monitor: Monitor, args: argparse.Namespace):
+    """Drive ``check --tolerate-disorder`` through the ingest frontier."""
+    from repro.db.storage import read_arrivals
+    from repro.ingest import IterableSource
+
+    _require_file(args.history, "--history")
+    source = IterableSource(
+        read_arrivals(args.history), name="history", multiplexed=True
+    )
+    return monitor.feed(
+        [source],
+        watermark=args.watermark or 0,
+        max_lateness=args.max_lateness,
+        skew=_parse_skews(args.skew),
+        retry=args.retry,
+    )
+
+
+def _print_ingest_summary(monitor: Monitor, quarantine_path=None) -> None:
+    pipeline = monitor.ingest
+    if pipeline is None:
+        return
+    summary = pipeline.summary()
+    reorder = summary["reorder"]
+    queue = summary["queue"]
+    arrivals = (
+        reorder["accepted"] + reorder["late"]
+        + reorder["duplicates"] + reorder["invalid"]
+    )
+    line = (
+        f"ingest: {arrivals} arrival(s) from "
+        f"{len(summary['sources'])} source(s) -> {reorder['emitted']} "
+        f"ordered state(s) (watermark {reorder['watermark']})"
+    )
+    excluded = [
+        f"{reorder[key]} {key}"
+        for key in ("late", "duplicates", "invalid")
+        if reorder[key]
+    ]
+    if queue["shed"]:
+        excluded.append(f"{queue['shed']} shed")
+    if excluded:
+        line += "; excluded: " + ", ".join(excluded)
+        if quarantine_path:
+            line += f" -> {quarantine_path}"
+    if reorder["merges"]:
+        line += f"; {reorder['merges']} same-time merge(s)"
+    if reorder["forced"]:
+        line += f"; {reorder['forced']} forced emission(s)"
+    if summary["retries"]:
+        line += f"; {summary['retries']} source retry(ies)"
+    if summary["dead_sources"]:
+        line += (
+            f"; dead source(s): {', '.join(summary['dead_sources'])}"
+        )
     print(line)
 
 
@@ -497,6 +739,17 @@ def _command_lint(args: argparse.Namespace) -> int:
 
 
 def _command_check(args: argparse.Namespace) -> int:
+    tolerant = bool(
+        args.tolerate_disorder
+        or args.watermark is not None
+        or args.max_lateness is not None
+        or args.skew
+        or args.retry is not None
+    )
+    if tolerant and not args.fault_policy and not args.quarantine_log:
+        # disorder tolerance is pointless if the first surviving fault
+        # aborts the run; default the step boundary to quarantine too
+        args.fault_policy = "quarantine"
     instrumentation, tracer, registry = _build_instrumentation(args)
     if args.resume_from:
         monitor = Monitor.resume(args.resume_from)
@@ -546,7 +799,10 @@ def _command_check(args: argparse.Namespace) -> int:
             ),
         )
     try:
-        report = _run_monitor_stream(monitor, args.history)
+        if tolerant:
+            report = _feed_history(monitor, args)
+        else:
+            report = _run_monitor_stream(monitor, args.history)
     finally:
         if monitor.journal is not None:
             monitor.journal.close()
@@ -573,6 +829,70 @@ def _command_check(args: argparse.Namespace) -> int:
         f"{len(monitor.constraints)} constraint(s) "
         f"[engine: {args.engine}]"
     )
+    _print_ingest_summary(monitor, args.quarantine_log)
+    _print_resilience_summary(monitor, args.quarantine_log)
+    if report.ok:
+        print("no violations")
+        return 0
+    _print_violations(report, args.max_violations)
+    return 1
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.db.storage import read_arrivals
+    from repro.ingest import IterableSource
+
+    instrumentation, tracer, registry = _build_instrumentation(args)
+    schema = load_schema(args.schema)
+    monitor = Monitor(
+        schema,
+        engine=args.engine,
+        instrumentation=instrumentation,
+        fault_policy=args.fault_policy or "quarantine",
+        quarantine_log=args.quarantine_log,
+    )
+    monitor.add_constraints_text(Path(args.constraints).read_text())
+    sources = []
+    for index, spec in enumerate(args.source):
+        name, path = _parse_source_spec(spec, index)
+        _require_file(path, "--source")
+        sources.append(IterableSource(
+            read_arrivals(path, default_source=name),
+            name=name, multiplexed=True,
+        ))
+    try:
+        report = monitor.feed(
+            sources,
+            watermark=args.watermark,
+            max_lateness=args.max_lateness,
+            skew=_parse_skews(args.skew),
+            retry=args.retry,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.backpressure,
+        )
+    finally:
+        if (
+            monitor.resilience is not None
+            and monitor.resilience.quarantine is not None
+        ):
+            monitor.resilience.quarantine.close()
+    try:
+        if tracer is not None:
+            tracer.dump_jsonl(args.trace)
+        if registry is not None:
+            from repro.obs import write_metrics
+
+            write_metrics(registry, args.metrics)
+    except OSError as exc:
+        raise ReproError(f"cannot write telemetry: {exc}") from exc
+    if args.quiet:
+        return 0 if report.ok else 1
+    print(
+        f"checked {len(report)} states with "
+        f"{len(monitor.constraints)} constraint(s) "
+        f"[engine: {args.engine}]"
+    )
+    _print_ingest_summary(monitor, args.quarantine_log)
     _print_resilience_summary(monitor, args.quarantine_log)
     if report.ok:
         print("no violations")
@@ -598,6 +918,7 @@ def _command_recover(args: argparse.Namespace) -> int:
         if monitor.journal is not None:
             monitor.journal.close()
         return 0
+    _require_file(args.history, "--history")
     resumed_at = monitor.now
     from repro.core.violations import RunReport
 
@@ -631,9 +952,8 @@ def _command_generate(args: argparse.Namespace) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     dump_schema(workload.schema, out / "schema.json")
-    dump_stream(
-        workload.stream(args.length, seed=args.seed), out / "history.jsonl"
-    )
+    stream = list(workload.stream(args.length, seed=args.seed))
+    dump_stream(stream, out / "history.jsonl")
     constraint_text = "\n".join(
         f"{c.name}: {c.formula};" for c in workload.constraints
     )
@@ -642,6 +962,35 @@ def _command_generate(args: argparse.Namespace) -> int:
         f"wrote {args.workload} workload ({args.length} transitions, "
         f"seed {args.seed}) to {out}/"
     )
+    if args.arrivals:
+        import json
+
+        from repro.db.storage import dump_arrivals
+        from repro.resilience import plan_ingest_chaos
+
+        try:
+            plan = plan_ingest_chaos(
+                stream,
+                seed=args.chaos_seed,
+                watermark=args.chaos_watermark,
+                duplicate_rate=args.duplicate_rate,
+                late_events=args.late_events,
+                sources=args.sources,
+                max_skew=args.max_skew,
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        dump_arrivals(plan.arrivals, out / "arrivals.jsonl")
+        (out / "ingest.json").write_text(
+            json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"wrote perturbed delivery ({len(plan.arrivals)} "
+            f"arrival(s), watermark {plan.watermark}, "
+            f"{len(plan.expected_late)} late, "
+            f"{plan.expected_duplicates} replay(s)) to "
+            f"{out}/arrivals.jsonl (+ ingest.json manifest)"
+        )
     # generated sets must be lint-clean; surface anything that is not
     lint_report = workload.lint()
     if lint_report.warnings or lint_report.errors:
@@ -989,6 +1338,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "check":
             return _command_check(args)
+        if args.command == "ingest":
+            return _command_ingest(args)
         if args.command == "lint":
             return _command_lint(args)
         if args.command == "generate":

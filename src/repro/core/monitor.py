@@ -116,6 +116,7 @@ class Monitor:
         self._journal = None
         self._budget = None
         self._resilience = None
+        self._ingest = None
         if step_deadline is not None:
             self._configure_deadline(step_deadline, urgent)
         if fault_policy is not None or quarantine_log is not None:
@@ -159,10 +160,29 @@ class Monitor:
         if self._checker is not None:
             self._checker.budget = step_deadline
 
+    def set_step_deadline(self, step_deadline, urgent: Sequence[str] = ()):
+        """Install, replace, or (with ``None``) clear the step budget.
+
+        Takes effect immediately, including on an already-built engine —
+        the hook the ingest pipeline uses to arm a tighter deadline
+        while its queue runs hot and disarm it once the backlog drains.
+        """
+        if step_deadline is None:
+            self._budget = None
+            if self._checker is not None:
+                self._checker.budget = None
+            return
+        self._configure_deadline(step_deadline, urgent)
+
     @property
     def resilience(self):
         """The fault-handling runtime (None when no policy is set)."""
         return self._resilience
+
+    @property
+    def ingest(self):
+        """The last :class:`~repro.ingest.IngestPipeline` fed (or None)."""
+        return self._ingest
 
     @property
     def journal(self):
@@ -436,6 +456,52 @@ class Monitor:
         for time, txn in stream:
             report.add(self.step(time, txn))
         return report
+
+    def feed(
+        self,
+        sources,
+        watermark: int = 0,
+        max_lateness: Optional[int] = None,
+        skew=None,
+        retry=None,
+        queue_capacity: int = 1024,
+        backpressure: str = "block",
+        consumer_rate: Optional[int] = None,
+        pressure_deadline: Optional[float] = None,
+        urgent: Sequence[str] = (),
+        max_buffer: int = 4096,
+    ) -> RunReport:
+        """Pull from unordered, unreliable sources until they run dry.
+
+        The ingestion counterpart of :meth:`run`: where ``run`` demands
+        a clean, strictly-increasing stream, ``feed`` accepts a list of
+        :class:`~repro.ingest.Source`-likes (any iterable of
+        ``(time, txn)`` pairs qualifies) and hardens the boundary — a
+        watermark reorderer absorbs disorder up to ``watermark`` clock
+        units, normalises per-source ``skew``, deduplicates replays,
+        and dead-letters too-late events; flaky sources are retried
+        per ``retry``; a bounded queue applies ``backpressure``.  See
+        :class:`~repro.ingest.IngestPipeline` for every knob, and
+        :attr:`ingest` for the accounting after the run.
+        """
+        from repro.ingest import IngestPipeline
+
+        pipeline = IngestPipeline(
+            self,
+            sources,
+            watermark=watermark,
+            max_lateness=max_lateness,
+            skew=skew,
+            retry=retry,
+            queue_capacity=queue_capacity,
+            backpressure=backpressure,
+            consumer_rate=consumer_rate,
+            pressure_deadline=pressure_deadline,
+            urgent=urgent,
+            max_buffer=max_buffer,
+        )
+        self._ingest = pipeline
+        return pipeline.run()
 
     def record_fault(
         self,

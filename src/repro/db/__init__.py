@@ -18,10 +18,12 @@ from repro.db.schema import (
     SchemaBuilder,
 )
 from repro.db.storage import (
+    dump_arrivals,
     dump_schema,
     dump_stream,
     load_schema,
     load_stream,
+    read_arrivals,
     read_stream,
     write_stream,
 )
@@ -41,10 +43,12 @@ __all__ = [
     "Transaction",
     "TransactionBuilder",
     "Value",
+    "dump_arrivals",
     "dump_schema",
     "dump_stream",
     "load_schema",
     "load_stream",
+    "read_arrivals",
     "read_stream",
     "write_stream",
 ]

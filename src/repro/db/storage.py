@@ -96,6 +96,53 @@ def read_stream(fh: IO[str]) -> Iterator[TimedTransaction]:
         yield t, txn
 
 
+def dump_arrivals(
+    arrivals: Iterable[Tuple[int, Transaction, str]], path: PathLike
+) -> None:
+    """Write an *arrival* sequence (a perturbed delivery order).
+
+    Same line format as :func:`dump_stream` plus a ``"source"`` field;
+    unlike a history file, timestamps need not increase — the file
+    records deliveries as the wire saw them, for ``repro ingest`` to
+    reorder.
+    """
+    with open(path, "w") as fh:
+        for t, txn, source in arrivals:
+            record = {"t": t, "source": source}
+            record.update(txn.to_dict())
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+
+
+def read_arrivals(
+    path: PathLike, default_source: str = "default"
+) -> Iterator[Tuple[object, object, str]]:
+    """Lazily read arrivals written by :func:`dump_arrivals`.
+
+    Deliberately lenient: timestamps are passed through unvalidated
+    and undecodable lines come out as ``(None, <raw line>,
+    default_source)`` garbage arrivals — the ingest reorderer is the
+    validation boundary and must see every record to account for it.
+    Records without a ``"source"`` field are tagged ``default_source``.
+    """
+    with open(path) as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                record = json.loads(stripped)
+                t = record["t"]
+                txn = Transaction.from_dict(record)
+                source = record.get("source", default_source)
+            except (ValueError, KeyError, TypeError):
+                yield None, stripped, default_source
+                continue
+            if not isinstance(source, str):
+                source = str(source)
+            yield t, txn, source
+
+
 class StreamFault:
     """A stream line that could not be decoded (lenient reading only)."""
 

@@ -131,3 +131,30 @@ class LintError(MonitorError):
 
 class HistoryError(ReproError):
     """A history is malformed (non-increasing timestamps, schema drift)."""
+
+
+class IngestError(ReproError):
+    """The ingestion frontier was misconfigured or misused.
+
+    Raised for invalid watermark/lateness/queue parameters and for
+    driving an :class:`~repro.ingest.IngestPipeline` incorrectly — not
+    for bad *data*, which is dead-lettered and counted instead.
+    """
+
+
+class SourceUnavailable(IngestError):
+    """A source failed transiently; polling it again may succeed.
+
+    Raised by a :class:`~repro.ingest.Source` when its backing feed is
+    momentarily unreachable, and re-raised by
+    :class:`~repro.ingest.RetryingSource` once its retry budget (and
+    deadline) is exhausted.
+    """
+
+
+class CircuitOpenError(SourceUnavailable):
+    """A circuit breaker is refusing polls after repeated failures.
+
+    Raised immediately (no retry, no sleep) while the breaker's cooldown
+    is running — the fast-fail half of the retry/backoff story.
+    """

@@ -1,0 +1,296 @@
+"""The ingest pipeline: sources → retry → reorder → queue → monitor.
+
+:class:`IngestPipeline` is the hardened boundary between untrusted
+update feeds and the clean, strictly-increasing stream the checking
+engines require.  It polls a set of :class:`~repro.ingest.Source`\\ s
+round-robin, pushes every arrival through the watermark
+:class:`~repro.ingest.Reorderer`, buffers the ordered output in a
+bounded :class:`~repro.ingest.IngestQueue`, and steps the
+:class:`~repro.core.monitor.Monitor` from the queue — applying
+backpressure or shedding when the consumer falls behind, and
+optionally arming a tighter :class:`~repro.resilience.StepBudget`
+while the backlog runs hot (graceful degradation under overload).
+
+Everything excluded on the way in — late, duplicate, malformed, or
+shed events, and sources that died after their retry budget — is
+dead-lettered to the quarantine log and counted in the metrics
+registry; nothing is silently dropped.
+
+The usual entry point is :meth:`repro.core.monitor.Monitor.feed`::
+
+    monitor = Monitor(schema)
+    monitor.add_constraint(...)
+    report = monitor.feed([feed_a, feed_b], watermark=8,
+                          skew={"feed-b": 3}, retry=5)
+    monitor.ingest.summary()     # late/duplicate/retry/shed accounting
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.violations import RunReport
+from repro.errors import IngestError, SourceUnavailable
+from repro.resilience.policy import FaultRecord, QuarantineLog
+
+from repro.ingest.queue import BackpressurePolicy, IngestQueue
+from repro.ingest.reorder import INGEST_POLICY, Emitted, Reorderer
+from repro.ingest.sources import (
+    IterableSource,
+    RetryPolicy,
+    RetryingSource,
+    Source,
+)
+
+# Metric family name for sources retired by permanent failure.
+SOURCES_DEAD_TOTAL = "repro_ingest_sources_dead_total"
+
+
+def as_source(item: Union[Source, Iterable], index: int = 0) -> Source:
+    """Coerce a source-like object into a :class:`Source`.
+
+    Anything with a ``poll`` method passes through; any iterable of
+    arrivals is wrapped in an :class:`IterableSource` named ``s<i>``.
+    """
+    if hasattr(item, "poll"):
+        return item  # type: ignore[return-value]
+    if hasattr(item, "__iter__"):
+        return IterableSource(item, name=f"s{index}")
+    raise IngestError(
+        f"not a source: {item!r} (need .poll() or an iterable)"
+    )
+
+
+class IngestPipeline:
+    """Drive a monitor from unordered, unreliable sources.
+
+    Args:
+        monitor: the :class:`~repro.core.monitor.Monitor` to feed; its
+            quarantine log and metrics registry are reused when
+            present, so ingest accounting lands next to the step-level
+            fault accounting.
+        sources: source-likes (see :func:`as_source`).  Order fixes the
+            round-robin polling order.
+        watermark: disorder bound, in clock units (see
+            :class:`~repro.ingest.Reorderer`).
+        max_lateness: optional acceptance bound for salvageable late
+            events.
+        skew: per-source clock offsets, subtracted on arrival.
+        retry: retry budget for transiently unavailable sources — an
+            attempt count or a :class:`~repro.ingest.RetryPolicy`;
+            ``None`` disables wrapping (a raising source is retired on
+            the first failure).
+        queue_capacity: bound of the ingest queue.
+        backpressure: full-queue policy (``block`` / ``shed_oldest`` /
+            ``shed_newest``).
+        consumer_rate: maximum monitor steps per polling round — the
+            knob that makes a slow consumer observable; ``None``
+            (default) drains fully every round.
+        pressure_deadline: optional per-step deadline (seconds) armed
+            while the queue is past its high-water mark and disarmed
+            once it drains — composes overload with
+            :class:`~repro.resilience.StepBudget` shedding.
+        urgent: constraint names never shed under ``pressure_deadline``.
+        max_buffer: reorder buffer bound.
+        quarantine: explicit dead-letter log (default: the monitor's,
+            else a fresh one).
+    """
+
+    def __init__(
+        self,
+        monitor,
+        sources: Sequence[Union[Source, Iterable]],
+        watermark: int = 0,
+        max_lateness: Optional[int] = None,
+        skew=None,
+        retry: Union[int, RetryPolicy, None] = None,
+        queue_capacity: int = 1024,
+        backpressure: Union[str, BackpressurePolicy] = "block",
+        consumer_rate: Optional[int] = None,
+        pressure_deadline: Optional[float] = None,
+        urgent: Sequence[str] = (),
+        max_buffer: int = 4096,
+        quarantine: Optional[QuarantineLog] = None,
+    ):
+        if not sources:
+            raise IngestError("an ingest pipeline needs at least one source")
+        if consumer_rate is not None and consumer_rate < 1:
+            raise IngestError(
+                f"consumer_rate must be >= 1 or None, got {consumer_rate!r}"
+            )
+        self.monitor = monitor
+        metrics = monitor._metrics()
+        if quarantine is None:
+            resilience = getattr(monitor, "resilience", None)
+            if resilience is not None and resilience.quarantine is not None:
+                quarantine = resilience.quarantine
+            else:
+                quarantine = QuarantineLog()
+        self.quarantine = quarantine
+        retry_policy = RetryPolicy.coerce(retry)
+        self.sources: List[Source] = []
+        seen: Dict[str, int] = {}
+        for index, item in enumerate(sources):
+            source = as_source(item, index)
+            if source.name in seen:
+                raise IngestError(
+                    f"duplicate source name {source.name!r} "
+                    f"(positions {seen[source.name]} and {index})"
+                )
+            seen[source.name] = index
+            if retry_policy is not None and not isinstance(
+                source, RetryingSource
+            ):
+                source = RetryingSource(
+                    source, retry=retry_policy, metrics=metrics
+                )
+            self.sources.append(source)
+        self.reorderer = Reorderer(
+            watermark=watermark,
+            max_lateness=max_lateness,
+            skew=skew,
+            max_buffer=max_buffer,
+            quarantine=quarantine,
+            metrics=metrics,
+        )
+        for source in self.sources:
+            # a multiplexed carrier never pushes under its own name —
+            # its embedded tags register themselves on first arrival
+            if not getattr(source, "multiplexed", False):
+                self.reorderer.register(source.name)
+        self.queue = IngestQueue(
+            capacity=queue_capacity,
+            policy=backpressure,
+            quarantine=quarantine,
+            metrics=metrics,
+        )
+        self.consumer_rate = consumer_rate
+        self.pressure_deadline = pressure_deadline
+        self.urgent = tuple(urgent)
+        self.metrics = metrics
+        #: sources retired after exhausting their retry budget
+        self.dead_sources: List[str] = []
+        #: rounds in which the pressure deadline was armed
+        self.pressure_engagements = 0
+        self._pressure_armed = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # the pull loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunReport:
+        """Pump every source dry and return the monitor's run report.
+
+        Single-use: a pipeline drives one run.
+        """
+        if self._ran:
+            raise IngestError("an IngestPipeline cannot be run twice")
+        self._ran = True
+        report = RunReport()
+        live: List[Source] = list(self.sources)
+        while live:
+            for source in list(live):
+                try:
+                    arrival = source.poll()
+                except SourceUnavailable as exc:
+                    live.remove(source)
+                    self._source_died(source, exc, report)
+                    continue
+                if arrival is None:
+                    live.remove(source)
+                    self._enqueue(self.reorderer.retire(source.name), report)
+                    source.close()
+                    continue
+                self._enqueue(self._push(source, arrival), report)
+            self._drain(report, self.consumer_rate)
+        self._enqueue(self.reorderer.flush(), report)
+        self._drain(report, None)
+        return report
+
+    def _push(self, source: Source, arrival) -> List[Emitted]:
+        """Route one polled arrival into the reorderer."""
+        try:
+            if len(arrival) == 3:
+                time, txn, tag = arrival
+                return self.reorderer.push(time, txn, source=tag)
+            time, txn = arrival
+        except (TypeError, ValueError):
+            return self.reorderer.push(None, arrival, source=source.name)
+        return self.reorderer.push(time, txn, source=source.name)
+
+    def _enqueue(self, events: List[Emitted], report: RunReport) -> None:
+        for time, txn in events:
+            while not self.queue.offer(time, txn):
+                # blocking backpressure: the consumer must catch up
+                # before the producers may proceed
+                self._drain(report, max(1, self.consumer_rate or 1))
+        self._apply_pressure()
+
+    def _drain(self, report: RunReport, limit: Optional[int]) -> None:
+        taken = 0
+        while limit is None or taken < limit:
+            item = self.queue.take()
+            if item is None:
+                break
+            report.add(self.monitor.step(item[0], item[1]))
+            taken += 1
+        self._apply_pressure()
+
+    def _apply_pressure(self) -> None:
+        """Arm/disarm the degradation budget as the backlog moves."""
+        if self.pressure_deadline is None:
+            return
+        if not self._pressure_armed and self.queue.pressure:
+            self.monitor.set_step_deadline(
+                self.pressure_deadline, urgent=self.urgent
+            )
+            self._pressure_armed = True
+            self.pressure_engagements += 1
+        elif self._pressure_armed and self.queue.drained:
+            self.monitor.set_step_deadline(None)
+            self._pressure_armed = False
+
+    def _source_died(
+        self, source: Source, exc: SourceUnavailable, report: RunReport
+    ) -> None:
+        """Retire a source whose retry budget ran out — accounted."""
+        self.dead_sources.append(source.name)
+        if self.metrics is not None:
+            self.metrics.counter(
+                SOURCES_DEAD_TOTAL, source=source.name,
+                help="Sources retired after exhausting retries",
+            ).inc()
+        self.quarantine.record(FaultRecord(
+            "source", None,
+            f"source {source.name!r} retired: {exc}",
+            None, INGEST_POLICY,
+        ))
+        self._enqueue(self.reorderer.retire(source.name), report)
+        source.close()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """End-to-end ingest accounting (CLI / test reporting)."""
+        retries = failures = 0
+        for source in self.sources:
+            retries += getattr(source, "retries", 0)
+            failures += getattr(source, "failures", 0)
+        return {
+            "sources": [s.name for s in self.sources],
+            "dead_sources": list(self.dead_sources),
+            "retries": retries,
+            "source_failures": failures,
+            "reorder": self.reorderer.summary(),
+            "queue": self.queue.summary(),
+            "pressure_engagements": self.pressure_engagements,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestPipeline({len(self.sources)} source(s), "
+            f"watermark={self.reorderer.watermark})"
+        )

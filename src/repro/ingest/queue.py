@@ -1,0 +1,202 @@
+"""Bounded ingest queue: backpressure and shedding under overload.
+
+The queue sits between the reorderer's ordered output and the
+monitor's step loop.  When producers outpace the consumer, the
+capacity bound forces an explicit policy decision instead of unbounded
+memory growth:
+
+* ``block`` — :meth:`IngestQueue.offer` returns ``False``; the
+  pipeline pauses the producers and drains the consumer until there is
+  room (classic backpressure);
+* ``shed_oldest`` / ``shed_newest`` — the queue stays available by
+  dead-lettering the oldest (or the arriving) event to the quarantine
+  log, kind ``"shed"`` — load shedding with full accounting.
+
+The ``pressure``/``drained`` watermarks let the pipeline compose
+overload with :class:`~repro.resilience.StepBudget`: while the queue
+runs hot, steps can be given a tighter deadline so non-urgent
+constraint evaluations are shed and the backlog drains faster —
+graceful degradation end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Dict, Optional, Tuple, Union
+
+from repro.db.transactions import Transaction
+from repro.errors import IngestError
+from repro.resilience.policy import FaultRecord, QuarantineLog
+
+from repro.ingest.reorder import INGEST_POLICY
+
+# Metric family names.
+SHED_TOTAL = "repro_ingest_shed_total"
+QUEUE_DEPTH = "repro_ingest_queue_depth"
+BACKPRESSURE_TOTAL = "repro_ingest_backpressure_total"
+
+
+class BackpressurePolicy(Enum):
+    """What a full ingest queue does with the next event."""
+
+    BLOCK = "block"
+    SHED_OLDEST = "shed_oldest"
+    SHED_NEWEST = "shed_newest"
+
+    @classmethod
+    def coerce(
+        cls, value: Union[str, "BackpressurePolicy"]
+    ) -> "BackpressurePolicy":
+        """Accept a policy instance or its string name (``-``/``_``)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).replace("-", "_"))
+        except ValueError:
+            options = ", ".join(p.value for p in cls)
+            raise IngestError(
+                f"unknown backpressure policy {value!r}; "
+                f"choose from {options}"
+            ) from None
+
+
+class IngestQueue:
+    """A bounded FIFO of reordered events with an overflow policy.
+
+    Args:
+        capacity: maximum queued events.
+        policy: a :class:`BackpressurePolicy` or its string name.
+        quarantine: dead-letter log for shed events (created on demand
+            when omitted — shedding is never silent).
+        metrics: optional metrics registry for depth/shed/backpressure
+            series.
+        high_water: queue fill fraction at which :attr:`pressure`
+            engages.
+        low_water: fill fraction below which :attr:`drained` reports
+            the backlog cleared.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        policy: Union[str, BackpressurePolicy] = BackpressurePolicy.BLOCK,
+        quarantine: Optional[QuarantineLog] = None,
+        metrics=None,
+        high_water: float = 0.8,
+        low_water: float = 0.5,
+    ):
+        if capacity < 1:
+            raise IngestError(f"queue capacity must be >= 1, got {capacity!r}")
+        if not 0.0 < high_water <= 1.0 or not 0.0 <= low_water <= high_water:
+            raise IngestError(
+                f"need 0 <= low_water <= high_water <= 1, "
+                f"got {low_water!r}/{high_water!r}"
+            )
+        self.capacity = capacity
+        self.policy = BackpressurePolicy.coerce(policy)
+        self.quarantine = quarantine if quarantine is not None \
+            else QuarantineLog()
+        self.metrics = metrics
+        self.high_water = high_water
+        self.low_water = low_water
+        self._items: Deque[Tuple[int, Transaction]] = deque()
+        #: events dead-lettered by a shedding policy
+        self.shed = 0
+        #: offers refused under the blocking policy
+        self.blocked = 0
+
+    def offer(self, time: int, txn: Transaction) -> bool:
+        """Enqueue one event, applying the overflow policy when full.
+
+        Returns ``True`` when the event was accepted (possibly shedding
+        another, or itself — shedding *is* acceptance, accounted in the
+        quarantine log); ``False`` only under ``block``, meaning the
+        caller must drain before re-offering.
+        """
+        if len(self._items) < self.capacity:
+            self._items.append((time, txn))
+            self._gauge()
+            return True
+        if self.policy is BackpressurePolicy.BLOCK:
+            self.blocked += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    BACKPRESSURE_TOTAL,
+                    help="Offers refused by a full blocking queue",
+                ).inc()
+            return False
+        if self.policy is BackpressurePolicy.SHED_NEWEST:
+            self._shed(time, txn)
+            return True
+        old_time, old_txn = self._items.popleft()
+        self._shed(old_time, old_txn)
+        self._items.append((time, txn))
+        self._gauge()
+        return True
+
+    def take(self) -> Optional[Tuple[int, Transaction]]:
+        """Dequeue the oldest event (``None`` when empty)."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._gauge()
+        return item
+
+    @property
+    def depth(self) -> int:
+        """Number of queued events."""
+        return len(self._items)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the queue is at capacity."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def pressure(self) -> bool:
+        """Whether the backlog has crossed the high-water mark."""
+        return len(self._items) >= self.high_water * self.capacity
+
+    @property
+    def drained(self) -> bool:
+        """Whether the backlog has fallen below the low-water mark."""
+        return len(self._items) <= self.low_water * self.capacity
+
+    def summary(self) -> Dict[str, object]:
+        """Counters as a plain dict (CLI / test reporting)."""
+        return {
+            "policy": self.policy.value,
+            "capacity": self.capacity,
+            "depth": self.depth,
+            "shed": self.shed,
+            "blocked": self.blocked,
+        }
+
+    def _shed(self, time: int, txn: Transaction) -> None:
+        self.shed += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                SHED_TOTAL, help="Events shed by the overloaded queue"
+            ).inc()
+        self.quarantine.record(FaultRecord(
+            "shed", time,
+            f"ingest queue full ({self.capacity}); event at t={time} "
+            f"shed under {self.policy.value}",
+            txn, INGEST_POLICY,
+        ))
+
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                QUEUE_DEPTH, help="Events queued between reorder and step"
+            ).set(len(self._items))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestQueue({self.depth}/{self.capacity}, "
+            f"{self.policy.value})"
+        )

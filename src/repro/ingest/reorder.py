@@ -1,0 +1,381 @@
+"""Watermark-based reordering: messy arrivals in, a clean stream out.
+
+Every checking engine consumes strictly increasing timestamps.  The
+:class:`Reorderer` sits in front of them and absorbs the ordering
+hazards of real feeds:
+
+* **disorder** — arrivals are buffered in a bounded window and emitted
+  in timestamp order once the *watermark frontier* passes them.  The
+  frontier is ``min over active sources of (highest time seen) -
+  watermark``: an event can only be emitted once every source has
+  advanced far enough that nothing earlier can still arrive (within
+  the declared bound);
+* **clock skew** — per-source constant offsets are subtracted on
+  arrival (``skew={"sensor-b": 3}`` means sensor-b's clock runs 3
+  units fast), so sources are merged on a common axis;
+* **duplication** — replays (same time, identical payload, whether
+  still buffered or recently emitted) are counted and dropped; two
+  *different* transactions on one timestamp are composed with the same
+  net-effect semantics as :func:`repro.temporal.stream.merge_streams`;
+* **lateness** — an event whose slot has already been emitted can no
+  longer be woven in; it is dead-lettered to the quarantine log
+  (kind ``"late"``) instead of silently dropped.  ``max_lateness``
+  optionally tightens this: events trailing the frontier by more than
+  that bound are refused even when their slot is technically free.
+
+The keystone guarantee (enforced by ``tests/ingest/``): for any
+perturbation within the watermark bound — arbitrary interleaving where
+every event arrives before any event ``watermark`` or more time units
+younger, plus replays and declared skews — the emitted stream is
+*identical* to the clean stream, so monitored verdicts match
+bit-for-bit on every engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.db.transactions import Transaction
+from repro.errors import IngestError
+from repro.resilience.policy import FaultRecord, QuarantineLog
+from repro.temporal.clock import Timestamp
+
+#: One reordered output element: (normalised timestamp, transaction).
+Emitted = Tuple[Timestamp, Transaction]
+
+# Metric family names.
+INGEST_EVENTS_TOTAL = "repro_ingest_events_total"
+LATE_TOTAL = "repro_ingest_late_total"
+DUPLICATES_TOTAL = "repro_ingest_duplicates_total"
+MERGED_TOTAL = "repro_ingest_merged_total"
+INVALID_TOTAL = "repro_ingest_invalid_total"
+FORCED_TOTAL = "repro_ingest_forced_emissions_total"
+REORDER_DEPTH = "repro_ingest_reorder_depth"
+WATERMARK_LAG = "repro_ingest_watermark_lag"
+
+#: Dead-letter ``policy`` tag for records excluded at the ingest
+#: boundary (vs. the step boundary's fault-policy records).
+INGEST_POLICY = "ingest"
+
+#: Name used for events pushed without an explicit source.
+DEFAULT_SOURCE = "default"
+
+
+class Reorderer:
+    """Buffer out-of-order arrivals; emit a strictly increasing stream.
+
+    Args:
+        watermark: the disorder bound, in clock units — how far the
+            frontier trails the slowest source's newest event.  ``0``
+            means arrivals are expected in order (anything out of order
+            is late).
+        max_lateness: optional acceptance bound — a salvageable event
+            (slot not yet emitted) trailing the frontier by more than
+            this is dead-lettered anyway.  ``None`` (default) salvages
+            whenever order allows.
+        skew: per-source clock offsets, subtracted on arrival.
+        max_buffer: bound on buffered events; overflow forces the
+            oldest buffered event out early (counted as a forced
+            emission — correctness over memory, never silent).
+        quarantine: dead-letter log for late/duplicate/invalid events
+            (one is created on demand when omitted, so exclusions are
+            always accounted for).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving the ingest counter/gauge families.
+        dedup_memory: how many recent emissions are remembered for
+            replay detection after emission.
+    """
+
+    def __init__(
+        self,
+        watermark: int = 0,
+        max_lateness: Optional[int] = None,
+        skew: Optional[Mapping[str, int]] = None,
+        max_buffer: int = 4096,
+        quarantine: Optional[QuarantineLog] = None,
+        metrics=None,
+        dedup_memory: int = 1024,
+    ):
+        if isinstance(watermark, bool) or not isinstance(watermark, int) \
+                or watermark < 0:
+            raise IngestError(
+                f"watermark must be a non-negative int of clock units, "
+                f"got {watermark!r}"
+            )
+        if max_lateness is not None and (
+            isinstance(max_lateness, bool)
+            or not isinstance(max_lateness, int)
+            or max_lateness < 0
+        ):
+            raise IngestError(
+                f"max_lateness must be a non-negative int or None, "
+                f"got {max_lateness!r}"
+            )
+        if max_buffer < 1:
+            raise IngestError(f"max_buffer must be >= 1, got {max_buffer!r}")
+        self.watermark = watermark
+        self.max_lateness = max_lateness
+        self.skew: Dict[str, int] = dict(skew or {})
+        self.max_buffer = max_buffer
+        self.quarantine = quarantine if quarantine is not None \
+            else QuarantineLog()
+        self.metrics = metrics
+        self.dedup_memory = dedup_memory
+        self._buffer: Dict[int, Transaction] = {}
+        self._heap: List[int] = []
+        #: highest normalised time seen per source (None = registered
+        #: but silent so far; a silent source holds the frontier down)
+        self._source_high: Dict[str, Optional[int]] = {}
+        self._retired: Set[str] = set()
+        self._last_emitted: Optional[int] = None
+        self._recent: "OrderedDict[int, Transaction]" = OrderedDict()
+        # accounting (every pushed event lands in exactly one of
+        # emitted/buffered/late/duplicates/invalid)
+        self.accepted = 0
+        self.emitted = 0
+        self.late = 0
+        self.duplicates = 0
+        self.merges = 0
+        self.invalid = 0
+        self.forced = 0
+
+    # ------------------------------------------------------------------
+    # source lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, source: str) -> None:
+        """Declare a source before its first event.
+
+        A registered-but-silent source pins the frontier: nothing is
+        emitted until every registered source has delivered (or
+        retired), because its backlog could still start anywhere.
+        """
+        self._source_high.setdefault(source, None)
+        self._retired.discard(source)
+
+    def retire(self, source: Optional[str] = None) -> List[Emitted]:
+        """Mark a source exhausted; it stops constraining the frontier.
+
+        Returns any events the advanced frontier releases.
+        """
+        name = source if source is not None else DEFAULT_SOURCE
+        self._source_high.setdefault(name, None)
+        self._retired.add(name)
+        return self._drain()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def push(
+        self,
+        time: object,
+        txn: object,
+        source: Optional[str] = None,
+    ) -> List[Emitted]:
+        """Accept one arrival; return events emittable as a result.
+
+        Never raises on bad data: malformed timestamps and payloads are
+        dead-lettered (kind ``"invalid"``), replays counted (kind
+        ``"duplicate"``), too-late events dead-lettered (kind
+        ``"late"``).  The returned events are strictly increasing and
+        continue the sequence of all previously returned events.
+        """
+        name = source if source is not None else DEFAULT_SOURCE
+        self._count(INGEST_EVENTS_TOTAL, source=name,
+                    help="Arrivals pushed into the reorderer")
+        if not isinstance(txn, Transaction):
+            return self._reject(
+                "invalid", time,
+                f"arrival at t={time!r} is not a Transaction but "
+                f"{type(txn).__name__}", txn,
+            )
+        offset = self.skew.get(name, 0)
+        if isinstance(time, bool) or not isinstance(time, int):
+            return self._reject(
+                "invalid", time,
+                f"arrival timestamp must be an int, got {time!r}", txn,
+            )
+        adjusted = time - offset
+        if adjusted < 0:
+            return self._reject(
+                "invalid", time,
+                f"arrival at t={time} from {name!r} normalises to "
+                f"{adjusted} (skew {offset}), before the epoch", txn,
+            )
+        if name in self._retired:
+            self._retired.discard(name)  # it spoke again; reactivate
+        high = self._source_high.get(name)
+        if high is None or adjusted > high:
+            self._source_high[name] = adjusted
+
+        if adjusted in self._buffer:
+            if self._buffer[adjusted] == txn:
+                return self._duplicate(time, adjusted, name)
+            self._buffer[adjusted] = self._buffer[adjusted].merged(txn)
+            self.merges += 1
+            self._count(MERGED_TOTAL, source=name,
+                        help="Same-timestamp arrivals net-effect merged")
+            self.accepted += 1
+            return self._drain()
+        if self._last_emitted is not None and adjusted <= self._last_emitted:
+            if self._recent.get(adjusted) == txn:
+                return self._duplicate(time, adjusted, name)
+            return self._reject(
+                "late", adjusted,
+                f"arrival at t={time} from {name!r} (normalised "
+                f"{adjusted}) is late: t={self._last_emitted} already "
+                f"emitted", txn,
+            )
+        frontier = self._frontier()
+        if (
+            self.max_lateness is not None
+            and frontier is not None
+            and frontier - adjusted > self.max_lateness
+        ):
+            return self._reject(
+                "late", adjusted,
+                f"arrival at t={time} from {name!r} trails the "
+                f"watermark frontier ({frontier}) by "
+                f"{frontier - adjusted} > max_lateness="
+                f"{self.max_lateness}", txn,
+            )
+        self._buffer[adjusted] = txn
+        heapq.heappush(self._heap, adjusted)
+        self.accepted += 1
+        out: List[Emitted] = []
+        while len(self._buffer) > self.max_buffer:
+            # overflow: force the oldest event out ahead of the frontier
+            out.append(self._emit(heapq.heappop(self._heap)))
+            self.forced += 1
+            self._count(FORCED_TOTAL,
+                        help="Buffer-overflow emissions ahead of the "
+                             "watermark frontier")
+        out.extend(self._drain())
+        return out
+
+    def flush(self) -> List[Emitted]:
+        """Retire every source and drain the whole buffer, in order."""
+        self._retired.update(self._source_high)
+        out = self._drain()
+        while self._heap:
+            out.append(self._emit(heapq.heappop(self._heap)))
+        return out
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def frontier(self) -> Optional[Timestamp]:
+        """The watermark frontier (None while a source is silent)."""
+        return self._frontier()
+
+    @property
+    def depth(self) -> int:
+        """Number of buffered (accepted, not yet emitted) events."""
+        return len(self._buffer)
+
+    @property
+    def watermark_lag(self) -> int:
+        """Clock distance between the newest arrival and the frontier."""
+        frontier = self._frontier()
+        highs = [h for h in self._source_high.values() if h is not None]
+        if frontier is None or not highs:
+            return 0
+        return max(0, max(highs) - frontier)
+
+    def summary(self) -> Dict[str, object]:
+        """Accounting counters as a plain dict (CLI / test reporting)."""
+        return {
+            "watermark": self.watermark,
+            "accepted": self.accepted,
+            "emitted": self.emitted,
+            "late": self.late,
+            "duplicates": self.duplicates,
+            "merges": self.merges,
+            "invalid": self.invalid,
+            "forced": self.forced,
+            "depth": self.depth,
+            "frontier": self._frontier(),
+            "watermark_lag": self.watermark_lag,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _count(self, family: str, amount: int = 1, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(family, **labels).inc(amount)
+
+    def _gauges(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge(
+            REORDER_DEPTH, help="Events buffered awaiting the watermark"
+        ).set(len(self._buffer))
+        self.metrics.gauge(
+            WATERMARK_LAG,
+            help="Clock distance from newest arrival to the frontier",
+        ).set(self.watermark_lag)
+
+    def _frontier(self) -> Optional[int]:
+        highs = [
+            high for name, high in self._source_high.items()
+            if name not in self._retired
+        ]
+        if not highs:
+            return None
+        if any(high is None for high in highs):
+            return None
+        return min(highs) - self.watermark  # type: ignore[type-var]
+
+    def _drain(self) -> List[Emitted]:
+        frontier = self._frontier()
+        out: List[Emitted] = []
+        if frontier is not None:
+            while self._heap and self._heap[0] <= frontier:
+                out.append(self._emit(heapq.heappop(self._heap)))
+        self._gauges()
+        return out
+
+    def _emit(self, adjusted: int) -> Emitted:
+        txn = self._buffer.pop(adjusted)
+        self._last_emitted = adjusted
+        self._recent[adjusted] = txn
+        while len(self._recent) > self.dedup_memory:
+            self._recent.popitem(last=False)
+        self.emitted += 1
+        return (adjusted, txn)
+
+    def _duplicate(self, time, adjusted, source) -> List[Emitted]:
+        self.duplicates += 1
+        self._count(DUPLICATES_TOTAL, source=source,
+                    help="Replayed arrivals dropped by deduplication")
+        self.quarantine.record(FaultRecord(
+            "duplicate", adjusted,
+            f"replay of t={adjusted} from {source!r} dropped",
+            None, INGEST_POLICY,
+        ))
+        return self._drain()
+
+    def _reject(self, kind: str, time, reason: str, payload) -> List[Emitted]:
+        if kind == "late":
+            self.late += 1
+            self._count(LATE_TOTAL, help="Arrivals past the lateness bound")
+        else:
+            self.invalid += 1
+            self._count(INVALID_TOTAL, help="Malformed arrivals")
+        self.quarantine.record(
+            FaultRecord(kind, time, reason, payload, INGEST_POLICY)
+        )
+        return self._drain()
+
+    def __repr__(self) -> str:
+        return (
+            f"Reorderer(watermark={self.watermark}, depth={self.depth}, "
+            f"emitted={self.emitted}, late={self.late})"
+        )

@@ -1,0 +1,377 @@
+"""Update sources: where messy reality enters the monitor.
+
+A :class:`Source` is the pull-side of the ingestion frontier — anything
+that can be polled for timed transactions.  Unlike an
+:class:`~repro.temporal.stream.UpdateStream`, a source makes *no*
+ordering promises: arrivals may be out of order, duplicated, skewed, or
+momentarily unavailable.  The wrappers here handle the availability
+hazards:
+
+* :class:`RetryingSource` — capped, jittered exponential retry with an
+  optional wall-clock deadline (:class:`RetryPolicy`), plus an optional
+  :class:`CircuitBreaker` that fails fast after repeated exhausted
+  retry rounds instead of hammering a dead feed;
+* :class:`FlakySource` — the chaos-side complement: seeded transient
+  unavailability injected around any inner source, so the retry story
+  is testable deterministically.
+
+Ordering hazards are the :class:`~repro.ingest.reorder.Reorderer`'s
+job; capacity hazards are the :class:`~repro.ingest.queue.IngestQueue`'s.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.errors import CircuitOpenError, IngestError, SourceUnavailable
+
+#: One arrival: ``(raw timestamp, transaction)`` — optionally extended
+#: to ``(raw timestamp, transaction, source name)`` by multiplexed
+#: sources that carry per-event provenance (e.g. a tagged arrivals
+#: file).  "Raw" because per-source clock skew is only normalised later,
+#: by the reorderer.
+Arrival = Tuple  # (t, txn) or (t, txn, source)
+
+# Metric family names (shared with the pipeline's summary).
+RETRIES_TOTAL = "repro_ingest_retries_total"
+SOURCE_FAILURES_TOTAL = "repro_ingest_source_failures_total"
+
+
+class Source:
+    """Protocol of an update source (subclass or duck-type it).
+
+    A source has a ``name`` (the reorderer's skew-normalisation key)
+    and yields arrivals one at a time via :meth:`poll`:
+
+    * a tuple ``(t, txn)`` — or ``(t, txn, source)`` for multiplexed
+      feeds — when an event is available;
+    * ``None`` when the source is exhausted (it will never deliver
+      again and may be retired);
+    * raises :class:`~repro.errors.SourceUnavailable` on a *transient*
+      failure (polling again may succeed — wrap with
+      :class:`RetryingSource` to do so automatically).
+    """
+
+    name: str = "source"
+
+    def poll(self) -> Optional[Arrival]:
+        """Return the next arrival, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backing resources (idempotent; default no-op)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class IterableSource(Source):
+    """Adapt any iterable of arrivals into a :class:`Source`.
+
+    A *multiplexed* source yields ``(t, txn, source)`` triples carrying
+    per-event provenance (one network feed interleaving many logical
+    sources).  Mark it ``multiplexed=True`` so the pipeline does not
+    pin the watermark frontier on the carrier's own (always silent)
+    name; the embedded tags register themselves on first arrival.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Arrival],
+        name: str = "source",
+        multiplexed: bool = False,
+    ):
+        self.name = name
+        self.multiplexed = multiplexed
+        self._iterator: Iterator[Arrival] = iter(items)
+        #: arrivals delivered so far
+        self.delivered = 0
+
+    def poll(self) -> Optional[Arrival]:
+        """Next item of the wrapped iterable (``None`` at the end)."""
+        try:
+            item = next(self._iterator)
+        except StopIteration:
+            return None
+        self.delivered += 1
+        return item
+
+
+class FlakySource(Source):
+    """Seeded transient unavailability around an inner source.
+
+    Deterministic chaos: before each delivery the wrapper may start an
+    *outage* of one or more failed polls (``SourceUnavailable``), after
+    which the withheld event is delivered.  Everything is driven by one
+    PRNG seed, so a flaky run is exactly reproducible.
+
+    Args:
+        inner: the source to perturb.
+        seed: PRNG seed.
+        rate: per-poll probability of starting an outage.
+        burst: maximum consecutive failed polls per outage.
+    """
+
+    def __init__(
+        self,
+        inner: Source,
+        seed: int = 0,
+        rate: float = 0.2,
+        burst: int = 2,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise IngestError(f"outage rate must be in [0, 1], got {rate!r}")
+        if burst < 1:
+            raise IngestError(f"outage burst must be >= 1, got {burst!r}")
+        self.inner = inner
+        self.name = inner.name
+        self._rng = random.Random(seed)
+        self.rate = rate
+        self.burst = burst
+        self._outage_left = 0
+        #: total failed polls injected
+        self.outages = 0
+
+    def poll(self) -> Optional[Arrival]:
+        """Poll the inner source, sometimes failing transiently first."""
+        if self._outage_left > 0:
+            self._outage_left -= 1
+            self.outages += 1
+            raise SourceUnavailable(
+                f"source {self.name!r} is down (injected outage)"
+            )
+        if self._rng.random() < self.rate:
+            self._outage_left = self._rng.randint(1, self.burst) - 1
+            self.outages += 1
+            raise SourceUnavailable(
+                f"source {self.name!r} is down (injected outage)"
+            )
+        return self.inner.poll()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class RetryPolicy:
+    """Capped, jittered exponential backoff for transient source faults.
+
+    Attempt *k* (0-based) sleeps ``min(max_delay, base_delay * 2**k)``
+    scaled by a seeded jitter factor in ``[1 - jitter, 1]`` — jitter
+    keeps a fleet of monitors from stampeding a recovering feed in
+    lockstep.  An optional ``deadline`` bounds the total wall-clock time
+    one poll may spend retrying.
+
+    The ``sleep`` and ``clock`` injection points exist for tests (and
+    for embedding in event loops): the test suite never actually
+    sleeps.
+    """
+
+    __slots__ = (
+        "max_attempts", "base_delay", "max_delay", "deadline",
+        "jitter", "sleep", "clock", "_rng",
+    )
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        deadline: Optional[float] = None,
+        jitter: float = 0.5,
+        seed: int = 0,
+        sleep: Callable[[float], None] = _time.sleep,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if max_attempts < 1:
+            raise IngestError(
+                f"retry needs at least one attempt, got {max_attempts!r}"
+            )
+        if base_delay < 0 or max_delay < 0:
+            raise IngestError("retry delays must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise IngestError(f"jitter must be in [0, 1], got {jitter!r}")
+        if deadline is not None and deadline <= 0:
+            raise IngestError(
+                f"retry deadline must be positive seconds, got {deadline!r}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.deadline = deadline
+        self.jitter = jitter
+        self.sleep = sleep
+        self.clock = clock
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def coerce(
+        cls, value: Union[int, "RetryPolicy", None]
+    ) -> Optional["RetryPolicy"]:
+        """Accept a policy, a bare attempt count, or ``None``."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise IngestError(
+                f"retry must be a RetryPolicy or an attempt count, "
+                f"got {value!r}"
+            )
+        return cls(max_attempts=value)
+
+    def delay(self, attempt: int) -> float:
+        """The (jittered) backoff before retry number ``attempt``."""
+        raw = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def __repr__(self) -> str:
+        deadline = f", deadline={self.deadline}s" if self.deadline else ""
+        return (
+            f"RetryPolicy({self.max_attempts} attempts, "
+            f"{self.base_delay}s..{self.max_delay}s{deadline})"
+        )
+
+
+class CircuitBreaker:
+    """Fail fast after repeated failures; probe again after a cooldown.
+
+    Classic three-state breaker: *closed* (normal), *open* (every call
+    refused until ``cooldown`` seconds elapse), *half-open* (one probe
+    allowed; success closes the breaker, failure re-opens it).  The
+    clock is injectable for deterministic tests.
+    """
+
+    __slots__ = ("failure_threshold", "cooldown", "clock", "failures",
+                 "_opened_at", "trips")
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise IngestError(
+                f"failure threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if cooldown <= 0:
+            raise IngestError(
+                f"cooldown must be positive seconds, got {cooldown!r}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        #: consecutive failures since the last success
+        self.failures = 0
+        self._opened_at: Optional[float] = None
+        #: times the breaker has opened
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        if self._opened_at is None:
+            return "closed"
+        if self.clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        """Close the breaker after a successful call."""
+        self.failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Count one failure; open the breaker at the threshold."""
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            if self._opened_at is None:
+                self.trips += 1
+            self._opened_at = self.clock()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"{self.failures}/{self.failure_threshold} failure(s))"
+        )
+
+
+class RetryingSource(Source):
+    """Retry a flaky source with backoff; optionally circuit-break.
+
+    Wraps any :class:`Source` whose :meth:`~Source.poll` may raise
+    :class:`~repro.errors.SourceUnavailable`.  Each poll retries up to
+    ``retry.max_attempts`` times (sleeping the policy's backoff in
+    between, bounded by its deadline); when the budget is exhausted the
+    failure is re-raised for the pipeline to handle.  With a
+    :class:`CircuitBreaker` attached, an exhausted round opens the
+    breaker and later polls raise :class:`~repro.errors.CircuitOpenError`
+    immediately until the cooldown passes.
+    """
+
+    def __init__(
+        self,
+        inner: Source,
+        retry: Union[int, RetryPolicy, None] = None,
+        circuit: Optional[CircuitBreaker] = None,
+        metrics=None,
+    ):
+        self.inner = inner
+        self.name = inner.name
+        self.retry = RetryPolicy.coerce(retry) or RetryPolicy()
+        self.circuit = circuit
+        self.metrics = metrics
+        #: retried polls (sleep-and-try-again events)
+        self.retries = 0
+        #: polls that exhausted the whole retry budget
+        self.failures = 0
+
+    def _count(self, family: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                family, source=self.name,
+                help="Ingest source retries and exhausted retry rounds",
+            ).inc()
+
+    def poll(self) -> Optional[Arrival]:
+        """Poll with retry/backoff; raise once the budget is exhausted."""
+        if self.circuit is not None and not self.circuit.allow():
+            raise CircuitOpenError(
+                f"source {self.name!r}: circuit open "
+                f"({self.circuit.failures} consecutive failure(s))"
+            )
+        policy = self.retry
+        started = policy.clock()
+        error: Optional[SourceUnavailable] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                item = self.inner.poll()
+            except SourceUnavailable as exc:
+                error = exc
+                out_of_time = policy.deadline is not None and (
+                    policy.clock() - started >= policy.deadline
+                )
+                if attempt + 1 >= policy.max_attempts or out_of_time:
+                    break
+                self.retries += 1
+                self._count(RETRIES_TOTAL)
+                policy.sleep(policy.delay(attempt))
+            else:
+                if self.circuit is not None:
+                    self.circuit.record_success()
+                return item
+        self.failures += 1
+        self._count(SOURCE_FAILURES_TOTAL)
+        if self.circuit is not None:
+            self.circuit.record_failure()
+        raise SourceUnavailable(
+            f"source {self.name!r} unavailable after "
+            f"{policy.max_attempts} attempt(s): {error}"
+        ) from error
+
+    def close(self) -> None:
+        self.inner.close()

@@ -21,9 +21,11 @@ This package supplies the three layers, all threaded through
   constraint evaluations and marks steps ``degraded``;
 
 * **chaos engineering** (:mod:`repro.resilience.chaos`) — seeded fault
-  injection (:func:`inject_faults`) and simulated kills
-  (:func:`run_until_crash`), used by the chaos test suite to prove
-  ``recover ∘ crash ≡ uninterrupted run``.
+  injection (:func:`inject_faults`), simulated kills
+  (:func:`run_until_crash`), and delivery perturbation for the ingest
+  frontier (:func:`plan_ingest_chaos`: disorder, duplication, skew),
+  used by the chaos test suites to prove ``recover ∘ crash ≡
+  uninterrupted run`` and ``ingest ∘ perturb ≡ clean run``.
 
 Journaled auto-checkpointing and crash recovery live next to the
 checkpoint format in :mod:`repro.core.persist`
@@ -37,12 +39,17 @@ from repro.core.persist import RecoveryResult, RunJournal, read_journal, recover
 from repro.resilience.chaos import (
     FAULT_KINDS,
     FaultyStream,
+    IngestChaosPlan,
     InjectedFault,
     SimulatedCrash,
     assert_lint_clean,
     crash_after,
+    disorder_arrivals,
+    duplicate_arrivals,
     inject_faults,
+    plan_ingest_chaos,
     run_until_crash,
+    split_sources,
 )
 from repro.resilience.degrade import StepBudget
 from repro.resilience.policy import (
@@ -60,6 +67,7 @@ __all__ = [
     "FaultPolicy",
     "FaultRecord",
     "FaultyStream",
+    "IngestChaosPlan",
     "InjectedFault",
     "QuarantineLog",
     "RecoveryResult",
@@ -70,8 +78,12 @@ __all__ = [
     "assert_lint_clean",
     "classify_fault",
     "crash_after",
+    "disorder_arrivals",
+    "duplicate_arrivals",
     "inject_faults",
+    "plan_ingest_chaos",
     "read_journal",
     "recover",
     "run_until_crash",
+    "split_sources",
 ]

@@ -132,6 +132,247 @@ def inject_faults(
     return FaultyStream(items, faults)
 
 
+# ----------------------------------------------------------------------
+# ingestion chaos: disorder / duplication / skew / unavailability
+# ----------------------------------------------------------------------
+#
+# Where `inject_faults` weaves *invalid* records (schema garbage,
+# backwards clocks) between clean transitions for the step-boundary
+# fault policy to absorb, the injectors below perturb *delivery*:
+# the records stay valid, but they arrive out of order, duplicated,
+# on skewed clocks, or from sources that flake — exactly what the
+# ingestion frontier (`repro.ingest`) must absorb.  Everything is
+# seeded, so a perturbed run is exactly reproducible.
+
+#: One perturbed delivery: (raw timestamp, transaction, source name).
+ArrivalTriple = Tuple[int, Transaction, str]
+
+
+def split_sources(
+    stream: Iterable[Tuple[int, Transaction]],
+    seed: int = 0,
+    sources: int = 2,
+    max_skew: int = 0,
+) -> Tuple[List[ArrivalTriple], dict]:
+    """Scatter a clean stream across seeded sources with clock skew.
+
+    Each transition is assigned to one of ``sources`` named ``s0..``,
+    and every source gets a constant clock offset drawn from
+    ``[0, max_skew]`` — its *raw* timestamps run that far fast.
+    Returns ``(triples, skews)``; feeding the triples through a
+    reorderer configured with exactly ``skews`` reconstructs the
+    original timestamps.
+    """
+    if sources < 1:
+        raise ValueError(f"need at least one source, got {sources!r}")
+    rng = random.Random(seed)
+    names = [f"s{i}" for i in range(sources)]
+    skews = {
+        name: (rng.randint(0, max_skew) if max_skew > 0 else 0)
+        for name in names
+    }
+    triples = []
+    for time, txn in stream:
+        name = rng.choice(names)
+        triples.append((time + skews[name], txn, name))
+    return triples, skews
+
+
+def disorder_arrivals(
+    triples: Sequence[ArrivalTriple],
+    seed: int = 0,
+    watermark: int = 8,
+    skews: Optional[dict] = None,
+) -> List[ArrivalTriple]:
+    """Shuffle delivery order with displacement bounded by ``watermark``.
+
+    Each event is assigned a seeded delivery delay in
+    ``[0, watermark)`` on top of its (skew-normalised) timestamp and
+    the list is re-sorted by delivery time.  The bound guarantees that
+    when an event arrives, every earlier-arrived event is less than
+    ``watermark`` clock units younger — so a reorderer with that
+    watermark recovers the clean order exactly, with zero late events.
+    """
+    rng = random.Random(seed)
+    offsets = skews or {}
+    keyed = []
+    for index, (time, txn, name) in enumerate(triples):
+        adjusted = time - offsets.get(name, 0)
+        delay = rng.random() * watermark if watermark > 0 else 0.0
+        keyed.append((adjusted + delay, adjusted, index, (time, txn, name)))
+    keyed.sort(key=lambda item: item[:3])
+    return [item[3] for item in keyed]
+
+
+def duplicate_arrivals(
+    triples: Sequence[ArrivalTriple],
+    seed: int = 0,
+    rate: float = 0.1,
+    window: int = 8,
+    exclude: Sequence[int] = (),
+) -> Tuple[List[ArrivalTriple], int]:
+    """Replay a seeded selection of arrivals shortly after the original.
+
+    Each chosen event is delivered a second time, byte-identical, up to
+    ``window`` positions later — the at-least-once delivery of real
+    feeds.  ``exclude`` skips positions (used to keep deliberately
+    late events single).  Returns ``(arrivals, replay_count)``.
+    """
+    rng = random.Random(seed)
+    excluded = set(exclude)
+    out: List[ArrivalTriple] = list(triples)
+    inserted = 0
+    # walk original positions back to front so earlier insertions do
+    # not shift the positions still to be processed
+    for position in range(len(triples) - 1, -1, -1):
+        if position in excluded or rng.random() >= rate:
+            continue
+        slot = min(position + 1 + rng.randint(0, window), len(out))
+        out.insert(slot, triples[position])
+        inserted += 1
+    return out, inserted
+
+
+class IngestChaosPlan:
+    """A seeded delivery perturbation plus its ground truth.
+
+    Produced by :func:`plan_ingest_chaos`.  ``arrivals`` is the
+    perturbed delivery sequence; ``skews`` the per-source clock
+    offsets a reorderer must be told; ``expected_late`` the normalised
+    timestamps of the deliberately-too-late events (every other event
+    survives within the watermark bound); ``expected_duplicates`` the
+    number of injected replays.
+    """
+
+    __slots__ = (
+        "arrivals", "skews", "watermark", "expected_late",
+        "expected_duplicates", "seed",
+    )
+
+    def __init__(
+        self, arrivals, skews, watermark, expected_late,
+        expected_duplicates, seed,
+    ):
+        self.arrivals: List[ArrivalTriple] = arrivals
+        self.skews: dict = skews
+        self.watermark: int = watermark
+        self.expected_late: List[int] = expected_late
+        self.expected_duplicates: int = expected_duplicates
+        self.seed: int = seed
+
+    def source(self, name: str = "chaos"):
+        """The perturbed deliveries as one multiplexed ingest source."""
+        from repro.ingest.sources import IterableSource
+
+        return IterableSource(list(self.arrivals), name=name,
+                              multiplexed=True)
+
+    def to_dict(self) -> dict:
+        """JSON-able manifest (written next to generated arrivals)."""
+        return {
+            "seed": self.seed,
+            "watermark": self.watermark,
+            "skews": dict(sorted(self.skews.items())),
+            "arrivals": len(self.arrivals),
+            "expected_late": list(self.expected_late),
+            "expected_duplicates": self.expected_duplicates,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestChaosPlan({len(self.arrivals)} arrival(s), "
+            f"watermark={self.watermark}, "
+            f"{len(self.expected_late)} late, "
+            f"{self.expected_duplicates} replay(s))"
+        )
+
+
+def plan_ingest_chaos(
+    stream: Iterable[Tuple[int, Transaction]],
+    seed: int = 0,
+    watermark: int = 8,
+    duplicate_rate: float = 0.0,
+    late_events: int = 0,
+    sources: int = 1,
+    max_skew: int = 0,
+) -> IngestChaosPlan:
+    """Compose the delivery injectors into one seeded, accounted plan.
+
+    The clean transitions are scattered over ``sources`` skewed
+    sources, their delivery order jittered within the ``watermark``
+    bound, ``late_events`` of them deliberately held back past the
+    bound (delivered after everything else, so their slot has already
+    been emitted), and a ``duplicate_rate`` fraction replayed.  The
+    returned plan carries the exact expected outcome: a reorderer with
+    the plan's watermark and skews emits the clean stream minus the
+    ``expected_late`` timestamps, counting ``expected_duplicates``
+    replays — nothing else may be lost.
+    """
+    items = list(stream)
+    if late_events and watermark < 1:
+        raise ValueError(
+            "late-event injection needs watermark >= 1 "
+            "(with watermark 0 nothing is buffered, so nothing can "
+            "provably be overtaken)"
+        )
+    triples, skews = split_sources(
+        items, seed=seed, sources=sources, max_skew=max_skew
+    )
+    rng = random.Random(seed + 1)
+
+    # pick events to hold back past the watermark: a victim must be
+    # strictly older than the final frontier F (min over sources of
+    # their newest surviving event, minus the watermark), and some
+    # surviving event in (victim, F] must exist to have been emitted
+    # by the time the victim finally shows up
+    victims: List[int] = []
+    if late_events and len(items) > 1:
+        order = list(range(len(items)))
+        rng.shuffle(order)
+        for candidate in order:
+            if len(victims) >= late_events:
+                break
+            trial = set(victims) | {candidate}
+            per_source: dict = {}
+            for idx, (raw, _txn, name) in enumerate(triples):
+                if idx in trial:
+                    continue
+                adjusted = raw - skews[name]
+                if adjusted > per_source.get(name, -1):
+                    per_source[name] = adjusted
+            if not per_source:
+                continue
+            frontier = min(per_source.values()) - watermark
+            survivors = sorted(
+                triples[i][0] - skews[triples[i][2]]
+                for i in range(len(triples)) if i not in trial
+            )
+            def overtaken(index: int) -> bool:
+                t = triples[index][0] - skews[triples[index][2]]
+                return t < frontier and any(
+                    t < s <= frontier for s in survivors
+                )
+            if all(overtaken(v) for v in trial):
+                victims = sorted(trial)
+
+    on_time = [t for i, t in enumerate(triples) if i not in victims]
+    held_back = [triples[i] for i in victims]
+    arrivals = disorder_arrivals(
+        on_time, seed=seed + 2, watermark=watermark, skews=skews
+    )
+    arrivals, replays = duplicate_arrivals(
+        arrivals, seed=seed + 3, rate=duplicate_rate,
+        window=max(1, watermark),
+    )
+    arrivals.extend(held_back)
+    expected_late = sorted(
+        raw - skews[name] for raw, _txn, name in held_back
+    )
+    return IngestChaosPlan(
+        arrivals, skews, watermark, expected_late, replays, seed
+    )
+
+
 class SimulatedCrash(RuntimeError):
     """Raised by :func:`crash_after` to imitate a process kill.
 

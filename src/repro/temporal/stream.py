@@ -9,7 +9,16 @@ shifting, replay to a history).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    overload,
+)
 
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema
@@ -33,7 +42,7 @@ def merge_streams(*streams: "UpdateStream") -> "UpdateStream":
     to a delete, delete-then-insert to an insert).  Called with no
     arguments, the merge is the empty stream.
     """
-    merged: dict = {}
+    merged: Dict[Timestamp, Transaction] = {}
     for stream in streams:
         for t, txn in stream:
             if t in merged:
@@ -115,7 +124,20 @@ class UpdateStream:
     def __iter__(self) -> Iterator[TimedTransaction]:
         return iter(self._items)
 
-    def __getitem__(self, index: int) -> TimedTransaction:
+    @overload
+    def __getitem__(self, index: int) -> TimedTransaction: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "UpdateStream": ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[TimedTransaction, "UpdateStream"]:
+        if isinstance(index, slice):
+            # a slice of a valid stream is only valid when it keeps
+            # the original order; extended slices (negative step) are
+            # re-validated by the constructor and rejected there
+            return UpdateStream(self._items[index])
         return self._items[index]
 
     def __eq__(self, other: object) -> bool:

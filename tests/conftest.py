@@ -1,8 +1,52 @@
 """Shared fixtures for the test suite."""
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.db import DatabaseSchema, DatabaseState, Transaction
+
+# ----------------------------------------------------------------------
+# global per-test timeout
+# ----------------------------------------------------------------------
+#
+# A hung test (a deadlocked backpressure loop, a reorderer waiting on a
+# frontier that never advances) must fail loudly, not stall the whole
+# suite until CI kills the job with no indication of which test hung.
+# Hand-rolled on SIGALRM because the environment has no pytest-timeout;
+# silently inert where SIGALRM does not exist (Windows) or off the main
+# thread (pytest-xdist workers run tests on the main thread, so in
+# practice it is always active on POSIX).
+
+_TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    if (
+        _TEST_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test exceeded the global {_TEST_TIMEOUT}s timeout "
+            f"(REPRO_TEST_TIMEOUT to adjust)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,158 @@
+"""The keystone guarantee, across every engine.
+
+For any seeded delivery perturbation within the watermark bound —
+arbitrary bounded disorder, replays, per-source clock skew — the
+verdicts of monitoring the ingested stream are **bit-for-bit
+identical** to monitoring the clean stream.  Deliberately-too-late
+events degrade the guarantee *predictably*: the run equals a clean run
+over exactly the surviving events, and each late event is dead-lettered
+(never silently dropped).
+"""
+
+import pytest
+
+from repro.core.monitor import ENGINES, Monitor
+from repro.db import DatabaseSchema, Transaction
+from repro.resilience import plan_ingest_chaos
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def clean_stream(length=50):
+    """Deterministic, with real violations mixed in."""
+    items, t = [], 0
+    for i in range(length):
+        t += 1 + (i % 3)
+        if i % 4 == 2:
+            txn = Transaction({"q": [(i % 5,)]})  # sometimes violating
+        elif i % 4 == 0:
+            txn = Transaction({"p": [(i % 5,)]})
+        else:
+            txn = Transaction({}, {"p": [((i - 4) % 5,)]})
+        items.append((t, txn))
+    return items
+
+
+def make_monitor(schema, engine):
+    monitor = Monitor(schema, engine=engine, fault_policy="quarantine")
+    monitor.add_constraint("window", "q(x) -> ONCE[0,3] p(x)")
+    monitor.add_constraint("prev", "q(x) -> PREV (p(x) OR q(x))")
+    return monitor
+
+
+def feed_plan(schema, engine, plan):
+    monitor = make_monitor(schema, engine)
+    report = monitor.feed(
+        [plan.source()], watermark=plan.watermark, skew=plan.skews
+    )
+    return monitor, report
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        a = plan_ingest_chaos(clean_stream(), seed=11, watermark=6,
+                              duplicate_rate=0.2, late_events=2,
+                              sources=3, max_skew=5)
+        b = plan_ingest_chaos(clean_stream(), seed=11, watermark=6,
+                              duplicate_rate=0.2, late_events=2,
+                              sources=3, max_skew=5)
+        assert a.arrivals == b.arrivals
+        assert a.skews == b.skews
+        assert a.expected_late == b.expected_late
+        assert a.expected_duplicates == b.expected_duplicates
+
+    def test_different_seed_different_delivery(self):
+        a = plan_ingest_chaos(clean_stream(), seed=1, watermark=6,
+                              sources=2)
+        b = plan_ingest_chaos(clean_stream(), seed=2, watermark=6,
+                              sources=2)
+        assert a.arrivals != b.arrivals
+
+    def test_late_injection_requires_a_watermark(self):
+        with pytest.raises(ValueError, match="watermark >= 1"):
+            plan_ingest_chaos(clean_stream(), watermark=0, late_events=1)
+
+    def test_manifest_roundtrip(self):
+        plan = plan_ingest_chaos(clean_stream(), seed=4, watermark=5,
+                                 duplicate_rate=0.1, sources=2,
+                                 max_skew=3)
+        manifest = plan.to_dict()
+        assert manifest["watermark"] == 5
+        assert manifest["arrivals"] == len(plan.arrivals)
+        assert manifest["skews"] == plan.skews
+
+
+class TestEquivalence:
+    """ingest ∘ perturb ≡ clean run — the reason this package exists."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_in_bound_chaos_is_invisible(self, schema, engine, seed):
+        stream = clean_stream()
+        plan = plan_ingest_chaos(
+            stream, seed=seed, watermark=8, duplicate_rate=0.3,
+            sources=3, max_skew=5,
+        )
+        clean = make_monitor(schema, engine).run(stream)
+        monitor, report = feed_plan(schema, engine, plan)
+        assert report == clean  # bit-for-bit: times, verdicts, witnesses
+        reorder = monitor.ingest.summary()["reorder"]
+        assert reorder["late"] == 0
+        assert reorder["invalid"] == 0
+        assert reorder["duplicates"] == plan.expected_duplicates
+        # in-bound chaos quarantines nothing but the replays
+        quarantine = monitor.resilience.quarantine
+        assert all(r.kind == "duplicate" for r in quarantine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_late_events_degrade_predictably(self, schema, engine):
+        stream = clean_stream()
+        plan = plan_ingest_chaos(
+            stream, seed=5, watermark=6, duplicate_rate=0.2,
+            late_events=2, sources=2, max_skew=4,
+        )
+        assert len(plan.expected_late) == 2
+        late = set(plan.expected_late)
+        survivors = [(t, txn) for t, txn in stream if t not in late]
+        truth = make_monitor(schema, engine).run(survivors)
+        monitor, report = feed_plan(schema, engine, plan)
+        assert report == truth
+        # each late event is dead-lettered, at its normalised time
+        quarantine = monitor.resilience.quarantine
+        assert sorted(
+            r.time for r in quarantine if r.kind == "late"
+        ) == plan.expected_late
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_skew_alone_fully_normalised(self, schema, engine):
+        stream = clean_stream()
+        plan = plan_ingest_chaos(
+            stream, seed=9, watermark=4, sources=4, max_skew=9,
+        )
+        clean = make_monitor(schema, engine).run(stream)
+        _monitor, report = feed_plan(schema, engine, plan)
+        assert report == clean
+
+    def test_zero_silent_drops_accounting_identity(self, schema):
+        stream = clean_stream()
+        plan = plan_ingest_chaos(
+            stream, seed=13, watermark=7, duplicate_rate=0.4,
+            late_events=3, sources=3, max_skew=6,
+        )
+        monitor, _report = feed_plan(schema, "incremental", plan)
+        reorder = monitor.ingest.summary()["reorder"]
+        pushed = (
+            reorder["accepted"] + reorder["late"]
+            + reorder["duplicates"] + reorder["invalid"]
+        )
+        assert pushed == len(plan.arrivals)
+        assert reorder["emitted"] == reorder["accepted"] - reorder["merges"]
+        # everything excluded is in the quarantine log, nothing more
+        quarantine = monitor.resilience.quarantine
+        excluded = reorder["late"] + reorder["duplicates"] \
+            + reorder["invalid"]
+        ingest_records = [r for r in quarantine if r.policy == "ingest"]
+        assert len(ingest_records) == excluded

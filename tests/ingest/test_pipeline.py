@@ -1,0 +1,187 @@
+"""Integration tests for the ingest pipeline and ``Monitor.feed``."""
+
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import IngestError, SourceUnavailable
+from repro.ingest import (
+    FlakySource,
+    IngestPipeline,
+    IterableSource,
+    RetryPolicy,
+)
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def make_monitor(schema, **kwargs):
+    monitor = Monitor(schema, fault_policy="quarantine", **kwargs)
+    monitor.add_constraint("window", "q(x) -> ONCE[0,3] p(x)")
+    return monitor
+
+
+def stream(ts, rel="p"):
+    return [(t, Transaction({rel: [(t % 5,)]})) for t in ts]
+
+
+def instant_retry(attempts=5):
+    """A retry policy that never actually sleeps."""
+    return RetryPolicy(
+        max_attempts=attempts, sleep=lambda _s: None, jitter=0.0
+    )
+
+
+class TestFeed:
+    def test_single_ordered_source(self, schema):
+        monitor = make_monitor(schema)
+        items = stream([1, 2, 3, 4])
+        report = monitor.feed([items])
+        assert len(report) == 4
+        assert monitor.ingest is not None
+        assert monitor.ingest.summary()["reorder"]["emitted"] == 4
+
+    def test_two_sources_interleave_on_the_time_axis(self, schema):
+        monitor = make_monitor(schema)
+        report = monitor.feed(
+            [stream([1, 3, 5]), stream([2, 4, 6], rel="q")],
+            watermark=2,
+        )
+        assert [s.time for s in report.steps] == [1, 2, 3, 4, 5, 6]
+
+    def test_verdicts_flow_through(self, schema):
+        monitor = make_monitor(schema)
+        # q(0) at t=9 with no matching p within [0,3] -> violation
+        report = monitor.feed(
+            [stream([1, 2]) + [(9, Transaction({"q": [(0,)]}))]]
+        )
+        assert not report.ok
+        assert report.violations[0].time == 9
+
+    def test_flaky_source_recovered_by_retry(self, schema):
+        monitor = make_monitor(schema)
+        flaky = FlakySource(
+            IterableSource(stream(range(1, 31)), name="feed"),
+            seed=3, rate=0.5, burst=3,
+        )
+        report = monitor.feed([flaky], retry=instant_retry(20))
+        assert len(report) == 30
+        summary = monitor.ingest.summary()
+        assert summary["retries"] > 0
+        assert summary["dead_sources"] == []
+
+    def test_dead_source_is_quarantined_not_fatal(self, schema):
+        class Dead(IterableSource):
+            def poll(self):
+                raise SourceUnavailable("permanently gone")
+
+        monitor = make_monitor(schema)
+        report = monitor.feed(
+            [IterableSource(stream([1, 2]), name="ok"),
+             Dead([], name="gone")],
+            retry=instant_retry(2),
+        )
+        assert len(report) == 2  # the healthy source still checked
+        summary = monitor.ingest.summary()
+        assert summary["dead_sources"] == ["gone"]
+        quarantine = monitor.resilience.quarantine
+        assert any(r.kind == "source" for r in quarantine)
+
+    def test_garbage_arrivals_quarantined(self, schema):
+        monitor = make_monitor(schema)
+        source = IterableSource(
+            [(1, Transaction({"p": [(1,)]})), "not an arrival",
+             (2, Transaction({"p": [(2,)]}))],
+            name="dirty",
+        )
+        report = monitor.feed([source])
+        assert len(report) == 2
+        assert monitor.ingest.summary()["reorder"]["invalid"] == 1
+
+    def test_multiplexed_triples_register_their_tags(self, schema):
+        monitor = make_monitor(schema)
+        triples = [
+            (2, Transaction({"p": [(2,)]}), "a"),
+            (1, Transaction({"p": [(1,)]}), "b"),
+            (3, Transaction({"p": [(3,)]}), "a"),
+        ]
+        carrier = IterableSource(triples, name="wire", multiplexed=True)
+        report = monitor.feed([carrier], watermark=2)
+        assert [s.time for s in report.steps] == [1, 2, 3]
+
+
+class TestBackpressure:
+    def test_blocking_queue_loses_nothing(self, schema):
+        monitor = make_monitor(schema)
+        # a large watermark buffers everything until the final flush,
+        # whose burst must squeeze through the 2-slot queue
+        report = monitor.feed(
+            [stream(range(1, 41))],
+            watermark=100, queue_capacity=2, consumer_rate=1,
+        )
+        assert len(report) == 40
+        assert monitor.ingest.queue.blocked > 0
+        assert monitor.ingest.queue.shed == 0
+
+    def test_shedding_queue_accounts_for_losses(self, schema):
+        monitor = make_monitor(schema)
+        pipeline = IngestPipeline(
+            monitor, [stream(range(1, 21))],
+            queue_capacity=3, backpressure="shed_oldest",
+            consumer_rate=None,
+        )
+        # starve the consumer completely while producing
+        pipeline._drain = lambda report, limit: None
+        pipeline.run()
+        shed = pipeline.queue.shed
+        assert shed == 17  # 20 produced, capacity 3
+        quarantine = monitor.resilience.quarantine
+        assert sum(1 for r in quarantine if r.kind == "shed") == shed
+
+    def test_pressure_deadline_arms_and_disarms(self, schema):
+        monitor = make_monitor(schema)
+        report = monitor.feed(
+            [stream(range(1, 31))],
+            watermark=100, queue_capacity=4, consumer_rate=1,
+            pressure_deadline=30.0,
+        )
+        assert len(report) == 30
+        pipeline = monitor.ingest
+        assert pipeline.pressure_engagements > 0
+        # generous deadline: pressure engaged but nothing was shed
+        assert all(not s.degraded for s in report.steps)
+        # disarmed once drained: the monitor has no budget any more
+        assert monitor._budget is None
+
+
+class TestConstruction:
+    def test_needs_a_source(self, schema):
+        with pytest.raises(IngestError):
+            IngestPipeline(make_monitor(schema), [])
+
+    def test_duplicate_names_rejected(self, schema):
+        with pytest.raises(IngestError, match="duplicate source name"):
+            IngestPipeline(
+                make_monitor(schema),
+                [IterableSource([], name="x"),
+                 IterableSource([], name="x")],
+            )
+
+    def test_single_use(self, schema):
+        pipeline = IngestPipeline(make_monitor(schema), [stream([1])])
+        pipeline.run()
+        with pytest.raises(IngestError, match="run twice"):
+            pipeline.run()
+
+    def test_consumer_rate_validated(self, schema):
+        with pytest.raises(IngestError):
+            IngestPipeline(
+                make_monitor(schema), [stream([1])], consumer_rate=0
+            )
+
+    def test_not_a_source_rejected(self, schema):
+        with pytest.raises(IngestError, match="not a source"):
+            IngestPipeline(make_monitor(schema), [42])

@@ -1,0 +1,100 @@
+"""Unit tests for the bounded ingest queue and its overflow policies."""
+
+import pytest
+
+from repro.db import Transaction
+from repro.errors import IngestError
+from repro.ingest import BackpressurePolicy, IngestQueue
+from repro.resilience import QuarantineLog
+
+
+def txn(value):
+    return Transaction({"r": [(value,)]})
+
+
+def fill(queue, times):
+    return [queue.offer(t, txn(t)) for t in times]
+
+
+class TestPolicyCoercion:
+    def test_strings_and_instances(self):
+        assert BackpressurePolicy.coerce("block") is BackpressurePolicy.BLOCK
+        assert (BackpressurePolicy.coerce("shed-oldest")
+                is BackpressurePolicy.SHED_OLDEST)
+        assert (BackpressurePolicy.coerce("shed_newest")
+                is BackpressurePolicy.SHED_NEWEST)
+        assert (BackpressurePolicy.coerce(BackpressurePolicy.BLOCK)
+                is BackpressurePolicy.BLOCK)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(IngestError, match="choose from"):
+            BackpressurePolicy.coerce("drop-everything")
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        queue = IngestQueue(capacity=10)
+        fill(queue, [1, 2, 3])
+        assert [queue.take()[0] for _ in range(3)] == [1, 2, 3]
+        assert queue.take() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(IngestError):
+            IngestQueue(capacity=0)
+        with pytest.raises(IngestError):
+            IngestQueue(high_water=0.2, low_water=0.8)
+
+
+class TestBlock:
+    def test_full_queue_refuses(self):
+        queue = IngestQueue(capacity=2, policy="block")
+        assert fill(queue, [1, 2]) == [True, True]
+        assert queue.offer(3, txn(3)) is False
+        assert queue.blocked == 1
+        assert queue.depth == 2  # nothing lost, nothing added
+        queue.take()
+        assert queue.offer(3, txn(3)) is True
+
+
+class TestShedding:
+    def test_shed_oldest_keeps_the_fresh_event(self):
+        quarantine = QuarantineLog()
+        queue = IngestQueue(
+            capacity=2, policy="shed_oldest", quarantine=quarantine
+        )
+        fill(queue, [1, 2, 3])
+        assert [queue.take()[0] for _ in range(2)] == [2, 3]
+        assert queue.shed == 1
+        [record] = quarantine.records
+        assert record.kind == "shed"
+        assert record.time == 1
+        assert record.policy == "ingest"
+
+    def test_shed_newest_keeps_the_backlog(self):
+        quarantine = QuarantineLog()
+        queue = IngestQueue(
+            capacity=2, policy="shed-newest", quarantine=quarantine
+        )
+        assert fill(queue, [1, 2, 3]) == [True, True, True]
+        assert [queue.take()[0] for _ in range(2)] == [1, 2]
+        assert quarantine.records[0].time == 3
+
+
+class TestWatermarks:
+    def test_pressure_and_drained_hysteresis(self):
+        queue = IngestQueue(capacity=10, high_water=0.8, low_water=0.3)
+        fill(queue, range(1, 8))
+        assert not queue.pressure  # 7 < 8
+        queue.offer(8, txn(8))
+        assert queue.pressure
+        assert not queue.drained
+        while queue.depth > 3:
+            queue.take()
+        assert queue.drained
+        assert queue.summary()["depth"] == 3
+
+    def test_saturated(self):
+        queue = IngestQueue(capacity=2)
+        assert not queue.saturated
+        fill(queue, [1, 2])
+        assert queue.saturated

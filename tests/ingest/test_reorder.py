@@ -1,0 +1,227 @@
+"""Unit tests for the watermark reorderer.
+
+The invariant under test everywhere: the concatenation of all returned
+events is strictly increasing, and every push lands in exactly one of
+emitted/buffered/late/duplicate/invalid — nothing vanishes.
+"""
+
+import pytest
+
+from repro.db import Transaction
+from repro.errors import IngestError
+from repro.ingest import Reorderer
+from repro.resilience import QuarantineLog
+
+
+def txn(value):
+    return Transaction({"r": [(value,)]})
+
+
+def push_all(reorderer, items, source=None):
+    out = []
+    for t, x in items:
+        out.extend(reorderer.push(t, x, source=source))
+    return out
+
+
+def kinds(quarantine):
+    return [record.kind for record in quarantine]
+
+
+class TestOrdering:
+    def test_in_order_passthrough_with_zero_watermark(self):
+        r = Reorderer(watermark=0)
+        items = [(t, txn(t)) for t in (1, 3, 7)]
+        assert push_all(r, items) + r.flush() == items
+        assert r.summary()["late"] == 0
+
+    def test_disorder_within_watermark_recovered(self):
+        r = Reorderer(watermark=4)
+        # displaced by at most 4 clock units
+        out = push_all(r, [(2, txn(2)), (1, txn(1)), (4, txn(4)),
+                           (3, txn(3)), (6, txn(6)), (5, txn(5))])
+        out += r.flush()
+        assert out == [(t, txn(t)) for t in (1, 2, 3, 4, 5, 6)]
+        assert len(r.quarantine) == 0
+
+    def test_emission_waits_for_the_frontier(self):
+        r = Reorderer(watermark=3)
+        assert r.push(1, txn(1)) == []  # frontier = 1 - 3 < 1
+        assert r.push(2, txn(2)) == []
+        assert r.depth == 2
+        assert r.push(5, txn(5)) == [(1, txn(1)), (2, txn(2))]
+        assert r.depth == 1
+        assert r.frontier == 2
+
+    def test_late_event_dead_lettered_never_silently_dropped(self):
+        quarantine = QuarantineLog()
+        r = Reorderer(watermark=1, quarantine=quarantine)
+        push_all(r, [(1, txn(1)), (5, txn(5)), (9, txn(9))])
+        assert r.push(2, txn(2)) == []  # t=5 already emitted
+        assert r.late == 1
+        assert kinds(quarantine) == ["late"]
+        record = quarantine.records[0]
+        assert record.time == 2
+        assert record.policy == "ingest"
+        assert record.payload == txn(2)
+
+    def test_late_definition_is_emitted_slot_not_frontier(self):
+        # an event behind the frontier whose slot is still free is
+        # salvageable and must be woven in, not dropped
+        r = Reorderer(watermark=1)
+        out = push_all(r, [(5, txn(5)), (8, txn(8))])
+        assert out == [(5, txn(5))]
+        out = r.push(6, txn(6))  # behind frontier (7), slot free
+        assert out == [(6, txn(6))]
+        assert r.late == 0
+
+    def test_max_lateness_tightens_acceptance(self):
+        quarantine = QuarantineLog()
+        r = Reorderer(watermark=2, max_lateness=1, quarantine=quarantine)
+        r.push(10, txn(10))  # buffered; frontier = 8, nothing emitted
+        # t=5 is salvageable (slot free) but trails the frontier by
+        # 3 > max_lateness=1, so the tightened bound refuses it
+        assert r.push(5, txn(5)) == []
+        assert r.late == 1
+        assert kinds(quarantine) == ["late"]
+        # without max_lateness the same event would have been accepted
+        relaxed = Reorderer(watermark=2)
+        relaxed.push(10, txn(10))
+        relaxed.push(5, txn(5))
+        assert relaxed.late == 0
+
+
+class TestDedupAndMerge:
+    def test_buffered_replay_dropped(self):
+        quarantine = QuarantineLog()
+        r = Reorderer(watermark=10, quarantine=quarantine)
+        r.push(1, txn(1))
+        r.push(1, txn(1))
+        assert r.duplicates == 1
+        assert kinds(quarantine) == ["duplicate"]
+        assert r.flush() == [(1, txn(1))]
+
+    def test_replay_after_emission_dropped(self):
+        r = Reorderer(watermark=0)
+        push_all(r, [(1, txn(1)), (2, txn(2))])
+        assert r.push(1, txn(1)) == []
+        assert r.duplicates == 1
+        assert r.late == 0  # a replay is not a late event
+
+    def test_same_time_different_payload_net_effect_merged(self):
+        r = Reorderer(watermark=10)
+        r.push(3, Transaction({"r": [(1,)]}))
+        r.push(3, Transaction({"r": [(2,)]}))
+        assert r.merges == 1
+        [(_, merged)] = r.flush()
+        assert merged.inserts["r"] == {(1,), (2,)}
+
+    def test_dedup_memory_is_bounded(self):
+        r = Reorderer(watermark=0, dedup_memory=2)
+        push_all(r, [(t, txn(t)) for t in (1, 2, 3, 4)])
+        # t=1 fell out of the dedup window: its replay now counts late
+        r.push(1, txn(1))
+        assert r.late == 1
+        # t=4 is still remembered: replay
+        r.push(4, txn(4))
+        assert r.duplicates == 1
+
+
+class TestSkew:
+    def test_per_source_normalisation(self):
+        r = Reorderer(watermark=0, skew={"fast": 5})
+        out = []
+        out.extend(r.push(6, txn(1), source="fast"))  # normalises to 1
+        out.extend(r.push(2, txn(2), source="steady"))
+        out.extend(r.flush())
+        assert out == [(1, txn(1)), (2, txn(2))]
+
+    def test_skew_below_epoch_is_invalid(self):
+        quarantine = QuarantineLog()
+        r = Reorderer(skew={"fast": 5}, quarantine=quarantine)
+        assert r.push(3, txn(3), source="fast") == []
+        assert r.invalid == 1
+        assert kinds(quarantine) == ["invalid"]
+
+
+class TestInvalid:
+    def test_garbage_timestamp_and_payload(self):
+        quarantine = QuarantineLog()
+        r = Reorderer(quarantine=quarantine)
+        r.push("soon", txn(1))
+        r.push(True, txn(1))
+        r.push(3, {"not": "a txn"})
+        r.push(None, None)
+        assert r.invalid == 4
+        assert kinds(quarantine) == ["invalid"] * 4
+        assert r.flush() == []
+
+    def test_constructor_validation(self):
+        with pytest.raises(IngestError):
+            Reorderer(watermark=-1)
+        with pytest.raises(IngestError):
+            Reorderer(watermark=True)
+        with pytest.raises(IngestError):
+            Reorderer(max_lateness=-2)
+        with pytest.raises(IngestError):
+            Reorderer(max_buffer=0)
+
+
+class TestFrontier:
+    def test_min_over_sources(self):
+        r = Reorderer(watermark=2)
+        r.register("a")
+        r.register("b")
+        assert r.frontier is None  # both silent
+        r.push(10, txn(10), source="a")
+        assert r.frontier is None  # b still silent pins it
+        r.push(6, txn(6), source="b")
+        assert r.frontier == 4  # min(10, 6) - 2
+
+    def test_retire_releases_the_frontier(self):
+        r = Reorderer(watermark=0)
+        r.register("a")
+        r.register("b")
+        assert r.push(3, txn(3), source="a") == []
+        assert r.retire("b") == [(3, txn(3))]
+
+    def test_retired_source_reactivates_on_new_arrival(self):
+        r = Reorderer(watermark=2)
+        r.push(10, txn(10), source="a")
+        r.retire("a")
+        r.push(11, txn(11), source="a")
+        assert r.frontier == 9  # constrains the frontier again
+
+    def test_buffer_overflow_forces_oldest_out(self):
+        r = Reorderer(watermark=100, max_buffer=3)
+        out = push_all(r, [(t, txn(t)) for t in (1, 2, 3, 4)])
+        assert out == [(1, txn(1))]  # forced, frontier notwithstanding
+        assert r.forced == 1
+        assert r.flush() == [(t, txn(t)) for t in (2, 3, 4)]
+
+
+class TestAccounting:
+    def test_every_push_lands_in_exactly_one_bucket(self):
+        r = Reorderer(watermark=3, skew={"s": 1})
+        pushes = 0
+        for t, x, s in [
+            (1, txn(1), None), (4, txn(4), None), (1, txn(1), None),
+            (2, txn(2), "s"), (9, txn(9), None), (2, txn(20), None),
+            ("bad", txn(0), None), (1, txn(1), None), (9, txn(9), None),
+        ]:
+            r.push(t, x, source=s)
+            pushes += 1
+        r.flush()
+        accounted = r.accepted + r.late + r.duplicates + r.invalid
+        assert accounted == pushes
+        assert r.emitted == r.accepted - r.merges
+
+    def test_summary_shape(self):
+        r = Reorderer(watermark=2)
+        r.push(5, txn(5))
+        summary = r.summary()
+        assert summary["watermark"] == 2
+        assert summary["accepted"] == 1
+        assert summary["depth"] == 1
+        assert summary["frontier"] == 3
+        assert summary["watermark_lag"] == 2

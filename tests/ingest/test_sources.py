@@ -1,0 +1,197 @@
+"""Unit tests for sources, retry policies, and circuit breaking.
+
+All time is injected (fake sleeps and clocks) — nothing here sleeps.
+"""
+
+import pytest
+
+from repro.db import Transaction
+from repro.errors import CircuitOpenError, IngestError, SourceUnavailable
+from repro.ingest import (
+    CircuitBreaker,
+    FlakySource,
+    IterableSource,
+    RetryPolicy,
+    RetryingSource,
+)
+
+
+def arrivals(n, start=1):
+    return [(start + i, Transaction.noop()) for i in range(n)]
+
+
+class FakeClock:
+    """A manually advanced monotonic clock; doubles as the sleep."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.slept = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+class DownThenUp(IterableSource):
+    """Fails the first ``down`` polls, then delivers normally."""
+
+    def __init__(self, items, down, name="flappy"):
+        super().__init__(items, name=name)
+        self.down = down
+        self.polls = 0
+
+    def poll(self):
+        self.polls += 1
+        if self.down > 0:
+            self.down -= 1
+            raise SourceUnavailable(f"{self.name} warming up")
+        return super().poll()
+
+
+class TestIterableSource:
+    def test_drains_then_none(self):
+        source = IterableSource(arrivals(2), name="a")
+        assert source.poll() == (1, Transaction.noop())
+        assert source.poll() == (2, Transaction.noop())
+        assert source.poll() is None
+        assert source.delivered == 2
+
+    def test_lazy_over_generators(self):
+        seen = []
+
+        def gen():
+            for item in arrivals(3):
+                seen.append(item[0])
+                yield item
+
+        source = IterableSource(gen())
+        assert source.poll()[0] == 1
+        assert seen == [1]  # nothing consumed ahead of the poll
+
+
+class TestRetryPolicy:
+    def test_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5, seed=9)
+        b = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5, seed=9)
+        delays = [a.delay(0) for _ in range(20)]
+        assert delays == [b.delay(0) for _ in range(20)]  # reproducible
+        assert all(0.5 <= d <= 1.0 for d in delays)
+
+    def test_coerce(self):
+        assert RetryPolicy.coerce(None) is None
+        policy = RetryPolicy()
+        assert RetryPolicy.coerce(policy) is policy
+        assert RetryPolicy.coerce(7).max_attempts == 7
+        for bad in (True, 1.5, "three"):
+            with pytest.raises(IngestError):
+                RetryPolicy.coerce(bad)
+
+    def test_validation(self):
+        with pytest.raises(IngestError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(IngestError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(IngestError):
+            RetryPolicy(deadline=0)
+
+
+class TestRetryingSource:
+    def make(self, down, max_attempts=5, deadline=None, circuit=None):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_attempts=max_attempts, base_delay=0.1, jitter=0.0,
+            deadline=deadline, sleep=clock.sleep, clock=clock,
+        )
+        inner = DownThenUp(arrivals(2), down=down)
+        return RetryingSource(inner, retry=policy, circuit=circuit), clock
+
+    def test_recovers_within_budget(self):
+        source, clock = self.make(down=3, max_attempts=5)
+        assert source.poll() == (1, Transaction.noop())
+        assert source.retries == 3
+        assert source.failures == 0
+        assert clock.slept == pytest.approx([0.1, 0.2, 0.4])
+        # subsequent polls are clean: no more sleeping
+        assert source.poll() == (2, Transaction.noop())
+        assert clock.slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_budget_exhaustion_reraises(self):
+        source, _clock = self.make(down=10, max_attempts=3)
+        with pytest.raises(SourceUnavailable, match="after 3 attempt"):
+            source.poll()
+        assert source.failures == 1
+        assert source.retries == 2  # attempts minus the final failure
+
+    def test_deadline_cuts_retries_short(self):
+        # generous attempt budget, but the wall-clock deadline expires
+        # after the first backoff sleep
+        source, clock = self.make(down=10, max_attempts=50, deadline=0.05)
+        with pytest.raises(SourceUnavailable):
+            source.poll()
+        assert len(clock.slept) == 1  # slept once, then out of time
+
+    def test_circuit_opens_and_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown=10.0, clock=clock
+        )
+        source, _ = self.make(down=100, max_attempts=1, circuit=breaker)
+        with pytest.raises(SourceUnavailable):
+            source.poll()
+        assert breaker.state == "closed"  # one failure, threshold 2
+        with pytest.raises(SourceUnavailable):
+            source.poll()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        # fast-fail while open: the inner source is not touched
+        polls_before = source.inner.polls
+        with pytest.raises(CircuitOpenError):
+            source.poll()
+        assert source.inner.polls == polls_before
+        # cooldown elapses -> half-open, a probe is allowed again
+        clock.now += 10.0
+        assert breaker.state == "half-open"
+        source.inner.down = 0  # feed came back
+        assert source.poll() is not None
+        assert breaker.state == "closed"
+
+
+class TestFlakySource:
+    def test_deterministic_and_lossless(self):
+        def run(seed):
+            flaky = FlakySource(
+                IterableSource(arrivals(30)), seed=seed, rate=0.4, burst=3
+            )
+            got, outages = [], 0
+            while True:
+                try:
+                    item = flaky.poll()
+                except SourceUnavailable:
+                    outages += 1
+                    continue
+                if item is None:
+                    return got, outages
+                got.append(item)
+
+        got_a, outages_a = run(5)
+        got_b, outages_b = run(5)
+        assert got_a == arrivals(30)  # outages never lose events
+        assert (got_a, outages_a) == (got_b, outages_b)
+        assert outages_a > 0
+
+    def test_validation(self):
+        with pytest.raises(IngestError):
+            FlakySource(IterableSource([]), rate=1.5)
+        with pytest.raises(IngestError):
+            FlakySource(IterableSource([]), burst=0)

@@ -51,3 +51,46 @@ class TestClock:
         assert clock.advance_to(9) == 9
         with pytest.raises(TimeError):
             clock.advance_to(9)
+
+    def test_advance_to_must_strictly_increase(self):
+        clock = Clock(start=5)
+        with pytest.raises(TimeError, match="backwards"):
+            clock.advance_to(5)  # zero delta
+        with pytest.raises(TimeError, match="backwards"):
+            clock.advance_to(2)  # negative delta
+        assert clock.now == 5  # failed jumps must not move the clock
+
+    def test_advance_to_rejects_non_int_targets(self):
+        clock = Clock(start=1)
+        for bad in (2.5, "7", True, None):
+            with pytest.raises(TimeError):
+                clock.advance_to(bad)
+        assert clock.now == 1
+
+    def test_advance_to_from_epoch(self):
+        # a fresh clock sits at 0, so 0 is already taken: the first
+        # jump must land strictly after it
+        clock = Clock()
+        with pytest.raises(TimeError):
+            clock.advance_to(0)
+        assert clock.advance_to(1) == 1
+
+
+class TestSuccessorEdges:
+    def test_first_timestamp_only_needs_validity(self):
+        # with no predecessor any non-negative int is legal, 0 included
+        assert validate_successor(None, 0) == 0
+        assert validate_successor(None, 10**9) == 10**9
+        with pytest.raises(TimeError):
+            validate_successor(None, -1)
+
+    def test_non_int_successors_rejected(self):
+        for bad in (1.5, "3", True, None, [4]):
+            with pytest.raises(TimeError):
+                validate_successor(0, bad)
+
+    def test_adjacent_timestamps(self):
+        # successors one unit apart are fine; equal are not
+        assert validate_successor(7, 8) == 8
+        with pytest.raises(TimeError, match="backwards"):
+            validate_successor(8, 8)

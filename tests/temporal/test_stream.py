@@ -47,6 +47,22 @@ class TestProperties:
         stream = make([(1, Transaction.noop()), (2, Transaction.noop())])
         assert stream[1][0] == 2
 
+    def test_slicing_returns_a_stream(self):
+        stream = make([(1, Transaction.noop()), (3, Transaction.noop()),
+                       (6, Transaction.noop())])
+        tail = stream[1:]
+        assert isinstance(tail, UpdateStream)
+        assert [t for t, _ in tail] == [3, 6]
+        assert isinstance(stream[:0], UpdateStream)
+        assert stream[:0].length == 0
+        # a slice keeps full stream behaviour (further manipulation)
+        assert stream[:2].concat(stream[2:]) == stream
+
+    def test_order_breaking_slice_rejected(self):
+        stream = make([(1, Transaction.noop()), (3, Transaction.noop())])
+        with pytest.raises(TimeError):
+            stream[::-1]
+
 
 class TestManipulation:
     def test_concat(self):

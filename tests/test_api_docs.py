@@ -31,15 +31,17 @@ def _public_items():
     import repro.analysis
     import repro.core
     import repro.db
+    import repro.ingest
     import repro.lint
     import repro.obs
+    import repro.resilience
     import repro.temporal
     import repro.workloads
 
     for module in (
         repro, repro.core, repro.db, repro.temporal,
         repro.active, repro.workloads, repro.analysis, repro.lint,
-        repro.obs,
+        repro.obs, repro.resilience, repro.ingest,
     ):
         for name in module.__all__:
             yield module.__name__, name, getattr(module, name)

@@ -584,3 +584,122 @@ class TestRecoverCommand:
         status = main(["recover", "--journal", str(tmp_path / "nope")])
         assert status == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestIngestCommand:
+    @pytest.fixture
+    def perturbed(self, tmp_path):
+        out = tmp_path / "wl"
+        status = main(
+            [
+                "generate", "--workload", "library",
+                "--length", "60", "--seed", "3", "--violation-rate", "0",
+                "--out", str(out),
+                "--arrivals", "--chaos-seed", "5",
+                "--chaos-watermark", "6", "--duplicate-rate", "0.2",
+                "--sources", "2", "--max-skew", "3",
+            ]
+        )
+        assert status == 0
+        return out
+
+    def test_generate_arrivals_writes_feed_and_manifest(self, perturbed):
+        import json
+
+        assert (perturbed / "arrivals.jsonl").exists()
+        manifest = json.loads((perturbed / "ingest.json").read_text())
+        assert manifest["watermark"] == 6
+        assert manifest["arrivals"] > 60  # replays inflate the feed
+        assert set(manifest["skews"]) == {"s0", "s1"}
+
+    def test_ingest_reassembles_the_clean_run(
+        self, perturbed, tmp_path, capsys
+    ):
+        import json
+
+        manifest = json.loads((perturbed / "ingest.json").read_text())
+        dead = tmp_path / "dead.jsonl"
+        args = [
+            "ingest",
+            "--schema", str(perturbed / "schema.json"),
+            "--constraints", str(perturbed / "constraints.txt"),
+            "--source", str(perturbed / "arrivals.jsonl"),
+            "--watermark", "6",
+            "--quarantine-log", str(dead),
+        ]
+        for name, delta in manifest["skews"].items():
+            args += ["--skew", f"{name}={delta}"]
+        status = main(args)
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "checked 60 states" in out
+        assert "ingest:" in out
+        replays = [
+            json.loads(line) for line in dead.read_text().splitlines()
+        ]
+        assert len(replays) == manifest["expected_duplicates"]
+        assert all(r["kind"] == "duplicate" for r in replays)
+
+    def test_check_tolerates_bounded_disorder(self, perturbed, capsys):
+        import json
+
+        # swap adjacent records: strict check refuses, tolerant reorders
+        history = perturbed / "history.jsonl"
+        lines = history.read_text().splitlines()
+        for i in range(0, len(lines) - 1, 2):
+            lines[i], lines[i + 1] = lines[i + 1], lines[i]
+        shuffled = perturbed / "shuffled.jsonl"
+        shuffled.write_text("\n".join(lines) + "\n")
+        worst = 0
+        seen = 0
+        for line in lines:
+            t = json.loads(line)["t"]
+            worst = max(worst, seen - t)
+            seen = max(seen, t)
+        base = [
+            "check", "--quiet",
+            "--schema", str(perturbed / "schema.json"),
+            "--constraints", str(perturbed / "constraints.txt"),
+            "--history", str(shuffled),
+        ]
+        assert main(base) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(base + ["--watermark", str(worst)]) == 0
+
+    def test_missing_source_reports_cleanly(self, perturbed, capsys):
+        status = main(
+            [
+                "ingest",
+                "--schema", str(perturbed / "schema.json"),
+                "--constraints", str(perturbed / "constraints.txt"),
+                "--source", str(perturbed / "nonexistent.jsonl"),
+            ]
+        )
+        assert status == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_missing_history_reports_cleanly(self, perturbed, capsys):
+        for extra in ([], ["--tolerate-disorder"]):
+            status = main(
+                [
+                    "check", "--quiet",
+                    "--schema", str(perturbed / "schema.json"),
+                    "--constraints", str(perturbed / "constraints.txt"),
+                    "--history", str(perturbed / "nonexistent.jsonl"),
+                ] + extra
+            )
+            assert status == 2
+            assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_skew_rejected(self, perturbed, capsys):
+        status = main(
+            [
+                "ingest",
+                "--schema", str(perturbed / "schema.json"),
+                "--constraints", str(perturbed / "constraints.txt"),
+                "--source", str(perturbed / "arrivals.jsonl"),
+                "--skew", "nodelimiter",
+            ]
+        )
+        assert status == 2
+        assert "NAME=DELTA" in capsys.readouterr().err
