@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands::
+Ten subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check ingest   --schema s.json --constraints c.txt --source a.jsonl
@@ -8,6 +8,7 @@ Nine subcommands::
     repro-check generate --workload library --length 200 --seed 1 --out DIR
     repro-check analyze  --constraints c.txt [--trace t.jsonl]
     repro-check stats    --trace t.jsonl [--percentiles]
+    repro-check health   SNAPSHOT [SNAPSHOT ...] [--merge-out h.json]
     repro-check bench    --all --json [--profile short|full]
     repro-check perf     --check benchmarks/baselines [--candidate DIR]
     repro-check recover  --journal DIR [--history h.jsonl]
@@ -53,6 +54,14 @@ history file instead of aborting on the first clock fault.
 ``generate --arrivals`` writes a seeded perturbation of the workload
 (``arrivals.jsonl`` + an ``ingest.json`` ground-truth manifest) for
 exercising all of this end to end — see ``docs/robustness.md``.
+
+Event-time telemetry (:mod:`repro.obs.telemetry`) rides ``check`` and
+``ingest``: ``--slo FILE`` evaluates declarative SLOs with burn-rate
+alerts during the run, ``--health FILE`` writes a versioned, mergeable
+health snapshot afterwards, and the ``health`` subcommand validates,
+folds, and renders snapshot files from N runs or shards (exit status 1
+when any merged SLO budget is exhausted) — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -200,6 +209,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="per-source clock offset subtracted on arrival "
              "(repeatable)",
     )
+    check.add_argument(
+        "--slo", default=None, metavar="FILE",
+        help="SLO spec file (repro-slo/1 JSON); enables event-time "
+             "telemetry, evaluates burn-rate alert rules during the "
+             "run, and prints fired alerts and budget state",
+    )
+    check.add_argument(
+        "--health", default=None, metavar="FILE",
+        help="write a mergeable health snapshot (repro-health/1 JSON) "
+             "after the run; enables event-time telemetry",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -268,6 +288,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="FILE",
         help="write a metrics dump (Prometheus text; JSON if the "
              "file ends in .json)",
+    )
+    ingest.add_argument(
+        "--slo", default=None, metavar="FILE",
+        help="SLO spec file (repro-slo/1 JSON); enables event-time "
+             "telemetry and burn-rate alerts",
+    )
+    ingest.add_argument(
+        "--health", default=None, metavar="FILE",
+        help="write a mergeable health snapshot (repro-health/1 JSON) "
+             "after the run; enables event-time telemetry",
     )
     ingest.add_argument(
         "--max-violations", type=int, default=20,
@@ -422,6 +452,34 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--percentiles", action="store_true",
         help="report p50/p90/p99 latency columns from the trace spans",
     )
+    stats.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="JSON metrics dump from 'check --metrics x.json'; adds "
+             "event-time stage latency and frontier-lag sections when "
+             "the run had telemetry enabled",
+    )
+
+    health = commands.add_parser(
+        "health",
+        help="validate, merge, and render health snapshots "
+             "(repro-health/1 JSON from 'check --health')",
+    )
+    health.add_argument(
+        "snapshots", nargs="+", metavar="SNAPSHOT",
+        help="health snapshot file(s); several fold into one as if "
+             "a single run had produced them",
+    )
+    health.add_argument(
+        "--merge-out", default=None, metavar="FILE",
+        help="write the merged snapshot as JSON",
+    )
+    health.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout rendering (default: text)",
+    )
+    health.add_argument(
+        "--quiet", action="store_true", help="exit status only"
+    )
 
     bench = commands.add_parser(
         "bench", help="run the paper's experiments (structured runner)"
@@ -558,6 +616,48 @@ def _print_resilience_summary(monitor: Monitor, quarantine_path) -> None:
     if summary["degraded_steps"]:
         line += f"; degraded {summary['degraded_steps']} step(s)"
     print(line)
+
+
+def _enable_cli_telemetry(monitor: Monitor, args) -> None:
+    """Arm event-time telemetry when ``--slo``/``--health`` ask for it."""
+    slo = getattr(args, "slo", None)
+    if slo is None and getattr(args, "health", None) is None:
+        return
+    if slo is not None:
+        _require_file(slo, "--slo")
+    monitor.enable_telemetry(slo=slo)
+
+
+def _write_health_snapshot(monitor: Monitor, args) -> None:
+    path = getattr(args, "health", None)
+    if not path:
+        return
+    from repro.obs import write_health
+
+    try:
+        write_health(monitor.health(), path)
+    except OSError as exc:
+        raise ReproError(f"cannot write health snapshot: {exc}") from exc
+
+
+def _print_slo_summary(monitor: Monitor) -> None:
+    telemetry = monitor.telemetry
+    if telemetry is None or telemetry.slo is None:
+        return
+    engine = telemetry.slo
+    for alert in engine.alerts:
+        print(
+            f"slo alert [{alert.severity}]: {alert.slo} burning "
+            f"{alert.burn_rate:.1f}x over {alert.window} step(s) "
+            f"(fired at step {alert.step})"
+        )
+    for entry in engine.summary():
+        total = entry["good"] + entry["bad"]
+        print(
+            f"slo {entry['name']}: {entry['state']} "
+            f"(budget {entry['budget_remaining'] * 100:.1f}% remaining, "
+            f"{entry['bad']}/{total} bad step(s))"
+        )
 
 
 def _require_file(path, flag: str) -> None:
@@ -790,6 +890,7 @@ def _command_check(args: argparse.Namespace) -> int:
             urgent=args.urgent or (),
         )
         monitor.add_constraints_text(Path(args.constraints).read_text())
+    _enable_cli_telemetry(monitor, args)
     if args.journal:
         monitor.enable_journal(
             args.journal,
@@ -822,6 +923,7 @@ def _command_check(args: argparse.Namespace) -> int:
             write_metrics(registry, args.metrics)
     except OSError as exc:
         raise ReproError(f"cannot write telemetry: {exc}") from exc
+    _write_health_snapshot(monitor, args)
     if args.quiet:
         return 0 if report.ok else 1
     print(
@@ -831,6 +933,7 @@ def _command_check(args: argparse.Namespace) -> int:
     )
     _print_ingest_summary(monitor, args.quarantine_log)
     _print_resilience_summary(monitor, args.quarantine_log)
+    _print_slo_summary(monitor)
     if report.ok:
         print("no violations")
         return 0
@@ -852,6 +955,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
         quarantine_log=args.quarantine_log,
     )
     monitor.add_constraints_text(Path(args.constraints).read_text())
+    _enable_cli_telemetry(monitor, args)
     sources = []
     for index, spec in enumerate(args.source):
         name, path = _parse_source_spec(spec, index)
@@ -885,6 +989,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
             write_metrics(registry, args.metrics)
     except OSError as exc:
         raise ReproError(f"cannot write telemetry: {exc}") from exc
+    _write_health_snapshot(monitor, args)
     if args.quiet:
         return 0 if report.ok else 1
     print(
@@ -894,11 +999,52 @@ def _command_ingest(args: argparse.Namespace) -> int:
     )
     _print_ingest_summary(monitor, args.quarantine_log)
     _print_resilience_summary(monitor, args.quarantine_log)
+    _print_slo_summary(monitor)
     if report.ok:
         print("no violations")
         return 0
     _print_violations(report, args.max_violations)
     return 1
+
+
+def _command_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        load_health,
+        merge_health,
+        render_health_text,
+        write_health,
+    )
+
+    docs = [load_health(path) for path in args.snapshots]
+    merged = merge_health(docs)
+    if args.merge_out:
+        try:
+            write_health(merged, args.merge_out)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write merged snapshot: {exc}"
+            ) from exc
+    exhausted = [
+        entry["name"] for entry in merged["slo"]
+        if entry["state"] == "exhausted"
+    ]
+    if not args.quiet:
+        if args.format == "json":
+            print(json.dumps(merged, indent=2, sort_keys=True))
+        else:
+            if len(docs) > 1:
+                print(f"merged {len(docs)} snapshot(s)")
+            print(render_health_text(merged))
+    if exhausted:
+        if not args.quiet:
+            print(
+                f"FAIL: SLO budget(s) exhausted: {', '.join(exhausted)}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def _command_recover(args: argparse.Namespace) -> int:
@@ -1089,6 +1235,75 @@ def _format_seconds(seconds: float) -> str:
     return f"{seconds:g}s"
 
 
+def _json_hist_quantile(entry: dict, q: float):
+    """Quantile estimate from a JSON-dump histogram series entry."""
+    count = entry.get("count", 0)
+    if not count:
+        return None
+    rank = q * count
+    previous = 0
+    last_finite = None
+    for bucket in entry.get("buckets", []):
+        bound = bucket["le"]
+        if bound == "+Inf":
+            break
+        last_finite = bound
+        if bucket["count"] >= rank and bucket["count"] > previous:
+            return bound
+        previous = bucket["count"]
+    return last_finite
+
+
+def _print_event_time_sections(path, percentiles: bool) -> None:
+    """Event-time stage/lag tables from a JSON metrics dump."""
+    import json
+
+    from repro.obs.telemetry import EVENT_FRONTIER_LAG, STAGE_FAMILIES
+
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(
+            f"cannot read metrics dump {path} (need the .json form): {exc}"
+        ) from exc
+    families = {f.get("name"): f for f in doc.get("metrics", [])}
+    quantiles = (0.5, 0.9, 0.99) if percentiles else (0.5, 0.95)
+    rows = []
+    for stage, family_name in STAGE_FAMILIES.items():
+        family = families.get(family_name)
+        if family is None or not family.get("series"):
+            continue
+        entry = family["series"][0]
+        if not entry.get("count"):
+            continue
+        row = [stage, entry["count"],
+               round(entry["sum"] / entry["count"] * 1e6, 1)]
+        for q in quantiles:
+            bound = _json_hist_quantile(entry, q)
+            row.append(None if bound is None else round(bound * 1e6, 1))
+        rows.append(row)
+    if rows:
+        print()
+        print(format_table(
+            ["stage", "events", "mean us"]
+            + [f"p{int(q * 100)} us" for q in quantiles],
+            rows,
+            title="event-time stage latency (arrival -> verdict)",
+        ))
+    lag = families.get(EVENT_FRONTIER_LAG)
+    if lag is not None and lag.get("series"):
+        entry = lag["series"][0]
+        if entry.get("count"):
+            parts = [
+                f"p{int(q * 100)} {_json_hist_quantile(entry, q)}"
+                for q in quantiles
+            ]
+            print(
+                f"\nwatermark frontier lag: {', '.join(parts)} "
+                f"clock unit(s) over {entry['count']} sample(s)"
+            )
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.analysis.ascii_plot import bar_chart
     from repro.obs import DEFAULT_LATENCY_BUCKETS, percentile
@@ -1179,6 +1394,8 @@ def _command_stats(args: argparse.Namespace) -> int:
             title="step latency distribution",
         )
     )
+    if args.metrics:
+        _print_event_time_sections(args.metrics, args.percentiles)
     return 0
 
 
@@ -1346,6 +1563,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_generate(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "health":
+            return _command_health(args)
         if args.command == "bench":
             return _command_bench(args)
         if args.command == "perf":

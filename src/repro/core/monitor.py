@@ -113,10 +113,12 @@ class Monitor:
         self.lint_config = lint_config
         self._checker = None
         self._violation_handlers: List = []
+        self._alert_handlers: List = []
         self._journal = None
         self._budget = None
         self._resilience = None
         self._ingest = None
+        self._telemetry = None
         if step_deadline is not None:
             self._configure_deadline(step_deadline, urgent)
         if fault_policy is not None or quarantine_log is not None:
@@ -156,6 +158,8 @@ class Monitor:
             )
         if not isinstance(step_deadline, StepBudget):
             step_deadline = StepBudget(step_deadline, urgent=urgent)
+        if step_deadline.telemetry is None:
+            step_deadline.telemetry = self._telemetry
         self._budget = step_deadline
         if self._checker is not None:
             self._checker.budget = step_deadline
@@ -173,6 +177,82 @@ class Monitor:
                 self._checker.budget = None
             return
         self._configure_deadline(step_deadline, urgent)
+
+    def enable_telemetry(self, slo=None, clock=None):
+        """Attach end-to-end event-time telemetry (and, optionally, SLOs).
+
+        Stamps every event through the arrival → reorder-release →
+        check → verdict path into per-stage latency histograms (see
+        :class:`~repro.obs.telemetry.EventTimeTelemetry`), samples
+        frontier lag and queue pressure continuously, and — when
+        ``slo`` is given — evaluates burn-rate alert rules on every
+        verdict, routing fired alerts to :meth:`on_alert` handlers.
+
+        Args:
+            slo: anything :func:`repro.obs.slo.coerce_slo_engine`
+                accepts — an :class:`~repro.obs.slo.SLOEngine`, specs,
+                an SLO document dict, or a path to an SLO file.
+            clock: optional wall-clock source (tests inject a fake).
+
+        Must be called before the first step/feed; the pipeline and
+        step path pick the telemetry up when they start.  The metric
+        families land in the instrumentation's registry when one is
+        attached (otherwise in the telemetry's own registry).
+        """
+        from repro.obs.slo import coerce_slo_engine
+        from repro.obs.telemetry import EventTimeTelemetry
+
+        if self._telemetry is not None:
+            raise MonitorError("telemetry is already enabled")
+        kwargs = {} if clock is None else {"clock": clock}
+        self._telemetry = EventTimeTelemetry(
+            metrics=self._metrics(), slo=coerce_slo_engine(slo), **kwargs
+        )
+        if self._budget is not None:
+            self._budget.telemetry = self._telemetry
+        return self._telemetry
+
+    def on_alert(self, handler) -> None:
+        """Register ``handler(alert)`` to run on every SLO alert.
+
+        Alerts are :class:`~repro.obs.slo.SLOAlert` instances, fired
+        synchronously inside :meth:`step` when a burn-rate rule
+        crosses its threshold — the same channel discipline as
+        :meth:`on_violation`, including handler isolation.
+        """
+        self._alert_handlers.append(handler)
+
+    def _emit_alerts(self, alerts) -> None:
+        if not alerts or not self._alert_handlers:
+            return
+        failures = []
+        for alert in alerts:
+            for handler in self._alert_handlers:
+                try:
+                    handler(alert)
+                except Exception as exc:  # noqa: BLE001 — isolation point
+                    failures.append((alert, exc))
+        if failures:
+            raise HandlerError(alerts, failures) from failures[0][1]
+
+    def health(self):
+        """The monitor's current state as a mergeable health snapshot.
+
+        A versioned JSON-able dict (``repro-health/1``) aggregating
+        stage latencies, frontier lag, ingest/fault/shed accounting,
+        journal age, and SLO budget state; see
+        :func:`repro.obs.health.build_health`.  Snapshots from N
+        shards fold into one with
+        :func:`repro.obs.health.merge_health`.
+        """
+        from repro.obs.health import build_health
+
+        return build_health(self)
+
+    @property
+    def telemetry(self):
+        """The attached event-time telemetry (None when disabled)."""
+        return self._telemetry
 
     @property
     def resilience(self):
@@ -354,9 +434,24 @@ class Monitor:
         raising; the checker is untouched by a faulted step because
         every engine validates before mutating.
         """
+        telemetry = self._telemetry
+        if telemetry is None:
+            if self._resilience is None and self._journal is None:
+                return self._note(
+                    self._dispatch(self.checker.step(time, txn))
+                )
+            return self._guarded_step(time, txn)
+        try:
+            telemetry.check_begin(time)
+        except TypeError:  # unhashable timestamp — the fault boundary's job
+            telemetry = None
         if self._resilience is None and self._journal is None:
-            return self._note(self._dispatch(self.checker.step(time, txn)))
-        return self._guarded_step(time, txn)
+            report = self._note(self._dispatch(self.checker.step(time, txn)))
+        else:
+            report = self._guarded_step(time, txn)
+        if telemetry is not None:
+            self._emit_alerts(telemetry.verdict(time, report))
+        return report
 
     def _note(self, report: StepReport) -> StepReport:
         if self._budget is None or not report.degraded:
@@ -441,7 +536,15 @@ class Monitor:
                 "step_state cannot be journaled (the journal records "
                 "transactions); derive a transaction and use step()"
             )
-        return self._note(self._dispatch(self.checker.step_state(time, state)))
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.check_begin(time)
+        report = self._note(
+            self._dispatch(self.checker.step_state(time, state))
+        )
+        if telemetry is not None:
+            self._emit_alerts(telemetry.verdict(time, report))
+        return report
 
     def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
         """Process a whole update stream; return the aggregate report."""
@@ -450,6 +553,7 @@ class Monitor:
             and self._resilience is None
             and self._journal is None
             and self._budget is None
+            and self._telemetry is None
         ):
             return self.checker.run(stream)
         report = RunReport()

@@ -266,6 +266,13 @@ class RunJournal:
         return self.directory / CHECKPOINT_NAME
 
     @property
+    def steps_since_checkpoint(self) -> int:
+        """Journaled steps not yet covered by a checkpoint (the
+        checkpoint's age — how much replay a crash right now would
+        cost)."""
+        return self._since_checkpoint
+
+    @property
     def journal_path(self) -> Path:
         """Path of the journal file inside the journal directory."""
         return self.directory / JOURNAL_NAME

@@ -129,6 +129,17 @@ class LintError(MonitorError):
         self.diagnostics = list(diagnostics)
 
 
+class TelemetryError(MonitorError):
+    """An SLO spec or health snapshot is malformed.
+
+    Raised when parsing an SLO document (:func:`repro.obs.load_slo_file`)
+    or validating/merging a health snapshot
+    (:func:`repro.obs.validate_health`, :func:`repro.obs.merge_health`)
+    encounters an unknown indicator, an out-of-range target, mismatched
+    snapshot versions, or histograms with incompatible bucket bounds.
+    """
+
+
 class HistoryError(ReproError):
     """A history is malformed (non-increasing timestamps, schema drift)."""
 

@@ -120,6 +120,7 @@ class IngestPipeline:
             )
         self.monitor = monitor
         metrics = monitor._metrics()
+        telemetry = getattr(monitor, "telemetry", None)
         if quarantine is None:
             resilience = getattr(monitor, "resilience", None)
             if resilience is not None and resilience.quarantine is not None:
@@ -152,6 +153,7 @@ class IngestPipeline:
             max_buffer=max_buffer,
             quarantine=quarantine,
             metrics=metrics,
+            telemetry=telemetry,
         )
         for source in self.sources:
             # a multiplexed carrier never pushes under its own name —
@@ -163,7 +165,9 @@ class IngestPipeline:
             policy=backpressure,
             quarantine=quarantine,
             metrics=metrics,
+            telemetry=telemetry,
         )
+        self.telemetry = telemetry
         self.consumer_rate = consumer_rate
         self.pressure_deadline = pressure_deadline
         self.urgent = tuple(urgent)
@@ -229,10 +233,17 @@ class IngestPipeline:
 
     def _drain(self, report: RunReport, limit: Optional[int]) -> None:
         taken = 0
+        telemetry = self.telemetry
         while limit is None or taken < limit:
             item = self.queue.take()
             if item is None:
                 break
+            if telemetry is not None:
+                # one event-time sample per step: the backlog and lag
+                # this verdict was produced under
+                telemetry.sample(
+                    self.reorderer.watermark_lag, self.queue.depth
+                )
             report.add(self.monitor.step(item[0], item[1]))
             taken += 1
         self._apply_pressure()

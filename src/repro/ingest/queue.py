@@ -71,6 +71,10 @@ class IngestQueue:
             when omitted — shedding is never silent).
         metrics: optional metrics registry for depth/shed/backpressure
             series.
+        telemetry: optional
+            :class:`~repro.obs.telemetry.EventTimeTelemetry` notified
+            of every shed event (closes the event's lifecycle — a shed
+            verdict never arrives).
         high_water: queue fill fraction at which :attr:`pressure`
             engages.
         low_water: fill fraction below which :attr:`drained` reports
@@ -85,6 +89,7 @@ class IngestQueue:
         metrics=None,
         high_water: float = 0.8,
         low_water: float = 0.5,
+        telemetry=None,
     ):
         if capacity < 1:
             raise IngestError(f"queue capacity must be >= 1, got {capacity!r}")
@@ -100,6 +105,7 @@ class IngestQueue:
         self.metrics = metrics
         self.high_water = high_water
         self.low_water = low_water
+        self.telemetry = telemetry
         self._items: Deque[Tuple[int, Transaction]] = deque()
         #: events dead-lettered by a shedding policy
         self.shed = 0
@@ -175,6 +181,8 @@ class IngestQueue:
 
     def _shed(self, time: int, txn: Transaction) -> None:
         self.shed += 1
+        if self.telemetry is not None:
+            self.telemetry.shed(time)
         if self.metrics is not None:
             self.metrics.counter(
                 SHED_TOTAL, help="Events shed by the overloaded queue"

@@ -86,6 +86,10 @@ class Reorderer:
             receiving the ingest counter/gauge families.
         dedup_memory: how many recent emissions are remembered for
             replay detection after emission.
+        telemetry: optional
+            :class:`~repro.obs.telemetry.EventTimeTelemetry` stamping
+            each accepted event's arrival and watermark release (the
+            first two stages of the arrival → verdict path).
     """
 
     def __init__(
@@ -97,6 +101,7 @@ class Reorderer:
         quarantine: Optional[QuarantineLog] = None,
         metrics=None,
         dedup_memory: int = 1024,
+        telemetry=None,
     ):
         if isinstance(watermark, bool) or not isinstance(watermark, int) \
                 or watermark < 0:
@@ -123,6 +128,7 @@ class Reorderer:
             else QuarantineLog()
         self.metrics = metrics
         self.dedup_memory = dedup_memory
+        self.telemetry = telemetry
         self._buffer: Dict[int, Transaction] = {}
         self._heap: List[int] = []
         #: highest normalised time seen per source (None = registered
@@ -214,6 +220,8 @@ class Reorderer:
         if adjusted in self._buffer:
             if self._buffer[adjusted] == txn:
                 return self._duplicate(time, adjusted, name)
+            if self.telemetry is not None:
+                self.telemetry.arrived(adjusted)
             self._buffer[adjusted] = self._buffer[adjusted].merged(txn)
             self.merges += 1
             self._count(MERGED_TOTAL, source=name,
@@ -242,6 +250,8 @@ class Reorderer:
                 f"{frontier - adjusted} > max_lateness="
                 f"{self.max_lateness}", txn,
             )
+        if self.telemetry is not None:
+            self.telemetry.arrived(adjusted)
         self._buffer[adjusted] = txn
         heapq.heappush(self._heap, adjusted)
         self.accepted += 1
@@ -344,6 +354,8 @@ class Reorderer:
 
     def _emit(self, adjusted: int) -> Emitted:
         txn = self._buffer.pop(adjusted)
+        if self.telemetry is not None:
+            self.telemetry.released(adjusted)
         self._last_emitted = adjusted
         self._recent[adjusted] = txn
         while len(self._recent) > self.dedup_memory:

@@ -29,6 +29,15 @@ cumulative/self time (``top``/``tree`` reports),
 :mod:`repro.obs.bench` defines the machine-readable ``BENCH_<exp>.json``
 benchmark artifact, and :mod:`repro.obs.regress` compares fresh
 artifacts against committed baselines (the ``repro perf`` gate).
+
+Event-time observability answers the operational question — "how long
+after an event *arrived* did its verdict land?":
+:class:`~repro.obs.telemetry.EventTimeTelemetry` stamps events through
+the arrival → reorder-release → check → verdict path,
+:class:`~repro.obs.slo.SLOEngine` evaluates declarative SLOs with
+error budgets and fast/slow burn-rate alerts on every verdict, and
+:mod:`repro.obs.health` renders it all into versioned, associatively
+mergeable health snapshots (``Monitor.health()`` / ``repro health``).
 """
 
 from repro.obs.bench import (
@@ -43,6 +52,15 @@ from repro.obs.export import (
     render_json,
     render_prometheus,
     write_metrics,
+)
+from repro.obs.health import (
+    HEALTH_VERSION,
+    build_health,
+    load_health,
+    merge_health,
+    render_health_text,
+    validate_health,
+    write_health,
 )
 from repro.obs.instrument import Instrumentation, MonitorInstrumentation
 from repro.obs.metrics import (
@@ -59,6 +77,16 @@ from repro.obs.regress import (
     compare_dirs,
     format_report,
 )
+from repro.obs.slo import (
+    INDICATORS,
+    SLO_VERSION,
+    SLOAlert,
+    SLOEngine,
+    SLOSpec,
+    load_slo_file,
+    parse_slo_doc,
+)
+from repro.obs.telemetry import EventTimeTelemetry
 from repro.obs.tracer import Tracer, read_trace
 
 __all__ = [
@@ -66,24 +94,39 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "EventTimeTelemetry",
     "Gauge",
+    "HEALTH_VERSION",
     "Histogram",
+    "INDICATORS",
     "Instrumentation",
     "MetricsRegistry",
     "MonitorInstrumentation",
     "Profile",
     "Profiler",
+    "SLO_VERSION",
+    "SLOAlert",
+    "SLOEngine",
+    "SLOSpec",
     "Tracer",
     "build_artifact",
+    "build_health",
     "compare_artifacts",
     "compare_dirs",
     "format_report",
+    "load_health",
+    "load_slo_file",
+    "merge_health",
+    "parse_slo_doc",
     "percentile",
     "read_artifact",
     "read_trace",
+    "render_health_text",
     "render_json",
     "render_prometheus",
     "validate_artifact",
+    "validate_health",
     "write_artifact",
+    "write_health",
     "write_metrics",
 ]

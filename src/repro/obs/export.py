@@ -37,12 +37,38 @@ def escape_label_value(value: str) -> str:
 
 
 def format_number(value: float) -> str:
-    """Render a sample value: integers bare, floats via ``repr``."""
+    """Render a sample value: integers bare, floats via ``repr``.
+
+    Non-finite samples use the Prometheus text-format spellings
+    (``+Inf`` / ``-Inf`` / ``NaN``) instead of crashing the export — a
+    gauge fed a division by zero must still leave a scrapeable dump.
+    """
     if isinstance(value, bool):
         return "1" if value else "0"
-    if float(value) == int(value) and abs(value) < 1e15:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
+
+
+def json_value(value: float) -> Union[float, str]:
+    """A sample value as a strict-JSON scalar.
+
+    ``json.dumps`` would happily emit the non-standard ``NaN`` /
+    ``Infinity`` literals, which many parsers reject; non-finite
+    samples are therefore rendered as their Prometheus spellings
+    (``"NaN"`` / ``"+Inf"`` / ``"-Inf"``).
+    """
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return format_number(value)
+    return value
 
 
 def _label_string(labels: Dict[str, str], extra: str = "") -> str:
@@ -105,7 +131,7 @@ def render_json(registry: MetricsRegistry) -> Dict:
             entry: Dict = {"labels": dict(sorted(labels.items()))}
             if isinstance(child, Histogram):
                 entry["count"] = child.count
-                entry["sum"] = child.sum
+                entry["sum"] = json_value(child.sum)
                 bounds = list(child.buckets) + ["+Inf"]
                 entry["buckets"] = [
                     {"le": bound, "count": count}
@@ -114,7 +140,7 @@ def render_json(registry: MetricsRegistry) -> Dict:
                     )
                 ]
             else:
-                entry["value"] = child.value
+                entry["value"] = json_value(child.value)
             rendered.append(entry)
         families.append(
             {

@@ -1,0 +1,581 @@
+"""The health surface: versioned, mergeable JSON snapshots.
+
+:func:`build_health` renders one monitored process into a single JSON
+document (version tag ``repro-health/1``) aggregating everything an
+operator asks first: stage latency histograms, watermark/frontier lag,
+ingest accounting, fault/quarantine/shed counters, journal and
+checkpoint age, and per-SLO error-budget state.
+
+The design constraint is **associative merging**: every field is
+either a summable counter, a fixed-bucket histogram (bucket-wise
+addition), a max-merged gauge, or a pure function of those — so N
+per-shard (or per-chunk) snapshots fold into exactly the snapshot a
+single run would have produced.  This is the seam the ROADMAP's
+sharded-monitoring arc plugs into: shards emit snapshots, an
+aggregator calls :func:`merge_health`, and the operator reads one
+document.  Quantiles are *recomputed from the merged buckets* at
+render time, never merged themselves (percentiles do not add).
+
+The CLI surfaces this as ``repro health`` (validate / merge / render
+snapshot files) and ``repro check --health PATH`` (write one);
+programmatic callers use :meth:`repro.core.monitor.Monitor.health`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import TelemetryError
+from repro.obs.export import json_value
+from repro.obs.metrics import Histogram
+from repro.obs.slo import budget_remaining, budget_state
+
+#: Current version tag of the health snapshot format.
+HEALTH_VERSION = "repro-health/1"
+
+#: Quantiles reported per histogram (recomputed after every merge).
+QUANTILES = (0.5, 0.95, 0.99)
+
+#: Top-level sections every snapshot carries (``None`` marks a section
+#: the producing process had no data for; merge treats it as empty).
+SECTIONS = ("steps", "stages", "lag", "ingest", "faults", "journal", "slo")
+
+_STEP_KEYS = ("processed", "violations", "degraded", "skipped",
+              "deferred_evaluations", "shed_events")
+_STAGE_KEYS = ("reorder", "queue", "check", "verdict")
+_LAG_HIST_KEYS = ("frontier", "queue_depth")
+_INGEST_SUM_KEYS = (
+    "accepted", "emitted", "late", "duplicates", "merges", "invalid",
+    "forced", "shed", "blocked", "retries", "source_failures",
+    "pressure_engagements",
+)
+_FAULT_SUM_KEYS = ("skipped", "quarantined", "handler_failures",
+                   "degraded_steps")
+
+
+# ----------------------------------------------------------------------
+# histogram <-> snapshot form
+# ----------------------------------------------------------------------
+
+def snapshot_histogram(hist: Histogram) -> Dict:
+    """A histogram as its JSON snapshot form.
+
+    Carries the *non-cumulative* bucket counts (so merging is plain
+    elementwise addition) plus quantile estimates for display.
+    """
+    doc: Dict = {
+        "buckets": [float(b) for b in hist.buckets],
+        "counts": list(hist.bucket_counts),
+        "sum": json_value(hist.sum),
+        "count": hist.count,
+    }
+    for q in QUANTILES:
+        doc[f"p{int(q * 100)}"] = json_value(hist.quantile(q))
+    return doc
+
+
+def histogram_from_snapshot(doc: Dict) -> Histogram:
+    """Rebuild a :class:`Histogram` from its snapshot form."""
+    if not isinstance(doc, dict):
+        raise TelemetryError(f"histogram snapshot must be an object, "
+                             f"got {doc!r}")
+    try:
+        buckets = doc["buckets"]
+        counts = doc["counts"]
+        total = doc["count"]
+        total_sum = doc["sum"]
+    except KeyError as exc:
+        raise TelemetryError(
+            f"histogram snapshot missing key {exc.args[0]!r}"
+        ) from None
+    hist = Histogram(buckets)
+    if len(counts) != len(hist.buckets):
+        raise TelemetryError(
+            f"histogram snapshot has {len(counts)} counts for "
+            f"{len(hist.buckets)} buckets"
+        )
+    if any(not isinstance(c, int) or c < 0 for c in counts):
+        raise TelemetryError("histogram counts must be non-negative ints")
+    if not isinstance(total, int) or total < sum(counts):
+        raise TelemetryError(
+            f"histogram count ({total!r}) cannot be below the bucketed "
+            f"total ({sum(counts)})"
+        )
+    hist.bucket_counts = list(counts)
+    hist.count = total
+    hist.sum = float(total_sum) if not isinstance(total_sum, str) else 0.0
+    return hist
+
+
+def _merge_hist_docs(left: Optional[Dict], right: Optional[Dict],
+                     where: str) -> Optional[Dict]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    a = histogram_from_snapshot(left)
+    b = histogram_from_snapshot(right)
+    try:
+        a.merge(b)
+    except ValueError as exc:
+        raise TelemetryError(f"{where}: {exc}") from exc
+    return snapshot_histogram(a)
+
+
+# ----------------------------------------------------------------------
+# building a snapshot from a live monitor
+# ----------------------------------------------------------------------
+
+def build_health(monitor) -> Dict:
+    """Render ``monitor``'s current state as one health snapshot.
+
+    Works with any :class:`~repro.core.monitor.Monitor`, telemetry
+    enabled or not — sections whose producer is absent are ``None``
+    (and merge as empty).  The ``steps`` section prefers the telemetry
+    counters (which see every verdict) and falls back to the checker's
+    own step count.
+    """
+    telemetry = getattr(monitor, "telemetry", None)
+    doc: Dict = {
+        "version": HEALTH_VERSION,
+        "engines": [monitor.engine],
+        "steps": _steps_section(monitor, telemetry),
+        "stages": None,
+        "lag": None,
+        "ingest": _ingest_section(getattr(monitor, "ingest", None)),
+        "faults": _faults_section(getattr(monitor, "resilience", None)),
+        "journal": _journal_section(getattr(monitor, "journal", None)),
+        "slo": [],
+    }
+    if telemetry is not None:
+        doc["stages"] = {
+            name: (snapshot_histogram(hist) if hist.count else None)
+            for name, hist in telemetry.stage_histograms().items()
+        }
+        lag_hists = telemetry.lag_histograms()
+        doc["lag"] = {
+            name: (snapshot_histogram(hist) if hist.count else None)
+            for name, hist in lag_hists.items()
+        }
+        doc["lag"]["frontier_lag"] = telemetry.last_frontier_lag
+        doc["lag"]["queue_depth_now"] = telemetry.last_queue_depth
+        if telemetry.slo is not None:
+            doc["slo"] = telemetry.slo.summary()
+    return doc
+
+
+def _steps_section(monitor, telemetry) -> Dict:
+    if telemetry is not None:
+        return {
+            "processed": telemetry.steps_processed,
+            "violations": telemetry.violations_total,
+            "degraded": telemetry.degraded_steps,
+            "skipped": telemetry.skipped_steps,
+            "deferred_evaluations": telemetry.deferred_evaluations,
+            "shed_events": telemetry.shed_events,
+        }
+    checker = monitor._checker
+    resilience = getattr(monitor, "resilience", None)
+    section = dict.fromkeys(_STEP_KEYS, 0)
+    if checker is not None:
+        section["processed"] = checker.steps_processed
+    if resilience is not None:
+        section["skipped"] = resilience.skipped
+        section["degraded"] = resilience.degraded_steps
+    return section
+
+
+def _ingest_section(pipeline) -> Optional[Dict]:
+    if pipeline is None:
+        return None
+    summary = pipeline.summary()
+    reorder = summary["reorder"]
+    queue = summary["queue"]
+    return {
+        "accepted": reorder["accepted"],
+        "emitted": reorder["emitted"],
+        "late": reorder["late"],
+        "duplicates": reorder["duplicates"],
+        "merges": reorder["merges"],
+        "invalid": reorder["invalid"],
+        "forced": reorder["forced"],
+        "shed": queue["shed"],
+        "blocked": queue["blocked"],
+        "retries": summary["retries"],
+        "source_failures": summary["source_failures"],
+        "pressure_engagements": summary["pressure_engagements"],
+        "dead_sources": sorted(summary["dead_sources"]),
+        "watermark": reorder["watermark"],
+    }
+
+
+def _faults_section(resilience) -> Optional[Dict]:
+    if resilience is None:
+        return None
+    summary = resilience.summary()
+    return {
+        "counts": dict(summary["faults"]),
+        "skipped": summary["skipped"],
+        "quarantined": summary["quarantined"],
+        "handler_failures": summary["handler_failures"],
+        "degraded_steps": summary["degraded_steps"],
+    }
+
+
+def _journal_section(journal) -> Optional[Dict]:
+    if journal is None:
+        return None
+    return {
+        "records": journal.records_written,
+        "checkpoints": journal.checkpoints_written,
+        "checkpoint_every": journal.checkpoint_every,
+        "age_steps": journal.steps_since_checkpoint,
+    }
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+def validate_health(doc) -> Dict:
+    """Check a snapshot's structure; return it unchanged.
+
+    Raises :class:`~repro.errors.TelemetryError` naming the offending
+    field — this is what the CI smoke job runs against the example's
+    output, and what ``repro health`` runs on every input file.
+    """
+    if not isinstance(doc, dict):
+        raise TelemetryError("health snapshot must be a JSON object")
+    version = doc.get("version")
+    if version != HEALTH_VERSION:
+        raise TelemetryError(
+            f"unsupported health snapshot version {version!r} "
+            f"(expected {HEALTH_VERSION!r})"
+        )
+    engines = doc.get("engines")
+    if not isinstance(engines, list) or not all(
+        isinstance(e, str) for e in engines
+    ):
+        raise TelemetryError("'engines' must be a list of engine names")
+    for section in SECTIONS:
+        if section not in doc:
+            raise TelemetryError(f"health snapshot missing {section!r}")
+    steps = doc["steps"]
+    if not isinstance(steps, dict):
+        raise TelemetryError("'steps' must be an object")
+    for key in _STEP_KEYS:
+        if not isinstance(steps.get(key), int) or steps[key] < 0:
+            raise TelemetryError(
+                f"steps.{key} must be a non-negative int, "
+                f"got {steps.get(key)!r}"
+            )
+    for name, keys in (("stages", _STAGE_KEYS), ("lag", _LAG_HIST_KEYS)):
+        section = doc[name]
+        if section is None:
+            continue
+        if not isinstance(section, dict):
+            raise TelemetryError(f"{name!r} must be an object or null")
+        for key in keys:
+            hist = section.get(key)
+            if hist is not None:
+                histogram_from_snapshot(hist)  # raises with details
+    ingest = doc["ingest"]
+    if ingest is not None:
+        if not isinstance(ingest, dict):
+            raise TelemetryError("'ingest' must be an object or null")
+        for key in _INGEST_SUM_KEYS:
+            if not isinstance(ingest.get(key), int):
+                raise TelemetryError(
+                    f"ingest.{key} must be an int, got {ingest.get(key)!r}"
+                )
+    slo = doc["slo"]
+    if not isinstance(slo, list):
+        raise TelemetryError("'slo' must be a list")
+    for entry in slo:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise TelemetryError(f"malformed SLO entry: {entry!r}")
+        for key in ("good", "bad"):
+            if not isinstance(entry.get(key), int) or entry[key] < 0:
+                raise TelemetryError(
+                    f"slo[{entry.get('name')!r}].{key} must be a "
+                    f"non-negative int"
+                )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+
+def merge_health(snapshots: Iterable[Dict]) -> Dict:
+    """Fold N snapshots into one (associative and commutative).
+
+    Counters add, histograms merge bucket-wise, gauges take the worst
+    (max) shard, and derived fields — quantiles, SLO budgets — are
+    recomputed from the merged counts, so the fold of per-chunk
+    snapshots equals the single-run snapshot exactly.
+    """
+    docs = [validate_health(doc) for doc in snapshots]
+    if not docs:
+        raise TelemetryError("merge_health needs at least one snapshot")
+    merged = docs[0]
+    for doc in docs[1:]:
+        merged = _merge_two(merged, doc)
+    return merged
+
+
+def _merge_two(left: Dict, right: Dict) -> Dict:
+    out: Dict = {
+        "version": HEALTH_VERSION,
+        "engines": sorted(set(left["engines"]) | set(right["engines"])),
+        "steps": {
+            key: left["steps"][key] + right["steps"][key]
+            for key in _STEP_KEYS
+        },
+        "stages": _merge_hist_section(
+            left["stages"], right["stages"], _STAGE_KEYS, "stages"
+        ),
+        "lag": _merge_lag(left["lag"], right["lag"]),
+        "ingest": _merge_ingest(left["ingest"], right["ingest"]),
+        "faults": _merge_faults(left["faults"], right["faults"]),
+        "journal": _merge_journal(left["journal"], right["journal"]),
+        "slo": _merge_slo(left["slo"], right["slo"]),
+    }
+    return out
+
+
+def _merge_hist_section(left, right, keys, where):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return {
+        key: _merge_hist_docs(left.get(key), right.get(key),
+                              f"{where}.{key}")
+        for key in keys
+    }
+
+
+def _max_or_none(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _merge_lag(left, right):
+    merged = _merge_hist_section(left, right, _LAG_HIST_KEYS, "lag")
+    if merged is None or (left is None or right is None):
+        return merged
+    merged["frontier_lag"] = _max_or_none(
+        left.get("frontier_lag"), right.get("frontier_lag")
+    )
+    merged["queue_depth_now"] = _max_or_none(
+        left.get("queue_depth_now"), right.get("queue_depth_now")
+    )
+    return merged
+
+
+def _merge_ingest(left, right):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    out = {key: left[key] + right[key] for key in _INGEST_SUM_KEYS}
+    out["dead_sources"] = sorted(
+        set(left["dead_sources"]) | set(right["dead_sources"])
+    )
+    out["watermark"] = _max_or_none(
+        left.get("watermark"), right.get("watermark")
+    )
+    return out
+
+
+def _merge_faults(left, right):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    counts = dict(left["counts"])
+    for kind, n in right["counts"].items():
+        counts[kind] = counts.get(kind, 0) + n
+    out = {key: left[key] + right[key] for key in _FAULT_SUM_KEYS}
+    out["counts"] = dict(sorted(counts.items()))
+    return out
+
+
+def _merge_journal(left, right):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return {
+        "records": left["records"] + right["records"],
+        "checkpoints": left["checkpoints"] + right["checkpoints"],
+        "checkpoint_every": _max_or_none(
+            left.get("checkpoint_every"), right.get("checkpoint_every")
+        ),
+        # replay cost after a crash is bounded by the worst shard
+        "age_steps": _max_or_none(
+            left.get("age_steps"), right.get("age_steps")
+        ),
+    }
+
+
+def _merge_slo(left: List[Dict], right: List[Dict]) -> List[Dict]:
+    by_name: Dict[str, Dict] = {}
+    order: List[str] = []
+    for entry in list(left) + list(right):
+        name = entry["name"]
+        prior = by_name.get(name)
+        if prior is None:
+            by_name[name] = dict(entry)
+            order.append(name)
+            continue
+        for key in ("indicator", "threshold", "target"):
+            if prior.get(key) != entry.get(key):
+                raise TelemetryError(
+                    f"cannot merge SLO {name!r}: {key} differs "
+                    f"({prior.get(key)!r} vs {entry.get(key)!r})"
+                )
+        prior["good"] += entry["good"]
+        prior["bad"] += entry["bad"]
+        prior_alerts = prior.get("alerts") or {}
+        for severity, n in (entry.get("alerts") or {}).items():
+            prior_alerts[severity] = prior_alerts.get(severity, 0) + n
+        prior["alerts"] = prior_alerts
+    merged = []
+    for name in order:
+        entry = by_name[name]
+        remaining = budget_remaining(
+            entry["target"], entry["good"], entry["bad"]
+        )
+        entry["budget_remaining"] = remaining
+        entry["state"] = budget_state(remaining)
+        merged.append(entry)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# rendering and IO
+# ----------------------------------------------------------------------
+
+def write_health(doc: Dict, path: Union[str, Path]) -> None:
+    """Write a snapshot as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(validate_health(doc), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_health(path: Union[str, Path]) -> Dict:
+    """Read and validate a snapshot file."""
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError(
+            f"cannot read health snapshot {path}: {exc}"
+        ) from exc
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"{path} is not valid JSON: {exc}") from exc
+    try:
+        return validate_health(doc)
+    except TelemetryError as exc:
+        raise TelemetryError(f"{path}: {exc}") from exc
+
+
+def _fmt_us(seconds) -> str:
+    if isinstance(seconds, str):
+        return seconds
+    return f"{seconds * 1e6:.1f}"
+
+
+def render_health_text(doc: Dict) -> str:
+    """A snapshot as a terminal-friendly report (``repro health``)."""
+    lines: List[str] = []
+    steps = doc["steps"]
+    lines.append(
+        f"health ({', '.join(doc['engines'])}): "
+        f"{steps['processed']} step(s), {steps['violations']} "
+        f"violation(s), {steps['degraded']} degraded, "
+        f"{steps['skipped']} skipped"
+    )
+    if steps["shed_events"] or steps["deferred_evaluations"]:
+        lines.append(
+            f"  load shedding: {steps['shed_events']} event(s) shed, "
+            f"{steps['deferred_evaluations']} evaluation(s) deferred"
+        )
+    stages = doc.get("stages")
+    if stages is not None:
+        lines.append("  stage latency (us):")
+        lines.append(
+            f"    {'stage':<10}{'count':>8}{'p50':>10}{'p95':>10}"
+            f"{'p99':>10}"
+        )
+        for name in _STAGE_KEYS:
+            hist = stages.get(name)
+            if hist is None:
+                continue
+            lines.append(
+                f"    {name:<10}{hist['count']:>8}"
+                f"{_fmt_us(hist['p50']):>10}{_fmt_us(hist['p95']):>10}"
+                f"{_fmt_us(hist['p99']):>10}"
+            )
+    lag = doc.get("lag")
+    if lag is not None:
+        frontier = lag.get("frontier")
+        if frontier is not None and frontier["count"]:
+            lines.append(
+                f"  frontier lag: p50 {frontier['p50']} / "
+                f"p99 {frontier['p99']} clock unit(s) over "
+                f"{frontier['count']} sample(s) "
+                f"(now {lag.get('frontier_lag')})"
+            )
+    ingest = doc.get("ingest")
+    if ingest is not None:
+        lines.append(
+            f"  ingest: {ingest['accepted']} accepted, "
+            f"{ingest['emitted']} emitted, {ingest['late']} late, "
+            f"{ingest['duplicates']} duplicate(s), "
+            f"{ingest['shed']} shed"
+        )
+        if ingest["dead_sources"]:
+            lines.append(
+                f"    dead sources: {', '.join(ingest['dead_sources'])}"
+            )
+    faults = doc.get("faults")
+    if faults is not None:
+        kinds = ", ".join(
+            f"{kind}={n}" for kind, n in faults["counts"].items()
+        ) or "none"
+        lines.append(
+            f"  faults: {kinds} ({faults['quarantined']} quarantined)"
+        )
+    journal = doc.get("journal")
+    if journal is not None:
+        lines.append(
+            f"  journal: {journal['records']} record(s), "
+            f"{journal['checkpoints']} checkpoint(s), "
+            f"age {journal['age_steps']} step(s)"
+        )
+    if doc["slo"]:
+        lines.append("  slo:")
+        for entry in doc["slo"]:
+            alerts = entry.get("alerts") or {}
+            fired = ", ".join(
+                f"{n} {severity}" for severity, n in sorted(alerts.items())
+                if n
+            ) or "no alerts"
+            lines.append(
+                f"    {entry['name']:<24} [{entry['state']:<9}] "
+                f"budget {entry['budget_remaining'] * 100:6.1f}%  "
+                f"bad {entry['bad']}/{entry['good'] + entry['bad']}  "
+                f"({fired})"
+            )
+    return "\n".join(lines)

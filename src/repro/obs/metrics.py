@@ -95,8 +95,18 @@ class Histogram:
         if not buckets:
             raise ValueError("histogram needs at least one bucket bound")
         ordered = tuple(float(b) for b in buckets)
-        if list(ordered) != sorted(set(ordered)):
-            raise ValueError("bucket bounds must be strictly increasing")
+        for index, bound in enumerate(ordered):
+            if bound != bound or bound <= 0 or bound == float("inf"):
+                raise ValueError(
+                    f"histogram bucket bounds must be strictly positive "
+                    f"finite numbers; bound {index} is {bound!r}"
+                )
+            if index and bound <= ordered[index - 1]:
+                raise ValueError(
+                    f"histogram bucket bounds must be strictly "
+                    f"increasing; bound {index} ({bound!r}) does not "
+                    f"exceed bound {index - 1} ({ordered[index - 1]!r})"
+                )
         self.buckets = ordered
         self.bucket_counts: List[int] = [0] * len(ordered)
         self.sum = 0.0
@@ -109,6 +119,50 @@ class Histogram:
         index = bisect_left(self.buckets, value)
         if index < len(self.buckets):
             self.bucket_counts[index] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram, in place.
+
+        Merging is associative and commutative (bucket counts, sum, and
+        count all add), which is what lets per-shard or per-chunk
+        snapshots fold into the single-run aggregate — the seam the
+        health surface and the future sharded monitor rely on.  Both
+        histograms must share identical bucket bounds.
+        """
+        if not isinstance(other, Histogram):
+            raise ValueError(
+                f"can only merge a Histogram, not {type(other).__name__}"
+            )
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different bucket bounds "
+                f"({len(self.buckets)} vs {len(other.buckets)} bounds)"
+            )
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        The estimate is the upper bound of the bucket containing the
+        quantile rank — exact to bucket resolution, which is the best a
+        fixed-bucket histogram can do.  Observations above the last
+        bound report the last bound (the histogram cannot see further).
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            running += count
+            if running >= rank and count:
+                return bound
+        return self.buckets[-1]
 
     def cumulative_counts(self) -> List[int]:
         """Counts ``<= bound`` per bucket, ending with the ``+Inf`` count."""

@@ -1,0 +1,438 @@
+"""Declarative SLOs with error budgets and burn-rate alerts.
+
+An :class:`SLOSpec` names an *indicator* the telemetry layer computes
+for every verdict, a threshold that classifies each step as good or
+bad, and a target fraction of good steps.  The complement of the
+target is the **error budget**; the **burn rate** over a window is the
+observed bad fraction divided by the budget, so a burn rate of 1.0
+spends the budget exactly as fast as the SLO tolerates and 10.0 spends
+it ten times too fast.
+
+Following the SRE multi-window multi-burn-rate recipe, every SLO
+carries two alert rules: a *fast* one (short window, high burn — the
+page: "at this rate the budget is gone within hours") and a *slow* one
+(long window, moderate burn — the ticket: "sustained slow leak").
+Windows are counted in **steps**, not wall-clock seconds, so a replay
+of the same stream fires the same alerts at the same steps — the
+determinism the acceptance tests pin.
+
+Indicators (per verdict; event-time ones are deterministic):
+
+====================  =================================================
+``verdict_seconds``   arrival → verdict latency (wall clock, seconds)
+``check_seconds``     dequeue → verdict latency (wall clock, seconds)
+``frontier_lag``      latest sampled watermark frontier lag (clock
+                      units)
+``queue_depth``       latest sampled ingest queue depth (events)
+``shed``              events shed since the previous verdict
+``deferred``          constraint evaluations deferred this step
+``fault``             1 when the step was skipped by a fault policy
+``violations``        violations reported this step
+====================  =================================================
+
+Alerts are edge-triggered: a rule fires once when its burn rate
+crosses the threshold and re-arms only after the rate drops back
+below.  The engine emits them through whatever channel its caller
+wires — the :class:`~repro.core.monitor.Monitor` routes them to
+``on_alert`` handlers alongside the existing violation-handler
+machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import TelemetryError
+
+#: Current version tag of the SLO document format.
+SLO_VERSION = "repro-slo/1"
+
+#: Indicator names :meth:`SLOEngine.observe` accepts.
+INDICATORS = (
+    "verdict_seconds",
+    "check_seconds",
+    "frontier_lag",
+    "queue_depth",
+    "shed",
+    "deferred",
+    "fault",
+    "violations",
+)
+
+#: Default burn-rate alert rules (the classic SRE table, in steps).
+DEFAULT_FAST_WINDOW = 20
+DEFAULT_SLOW_WINDOW = 100
+DEFAULT_FAST_BURN = 14.4
+DEFAULT_SLOW_BURN = 6.0
+
+
+class SLOSpec:
+    """One service-level objective over a telemetry indicator.
+
+    A step is *good* when ``indicator <= threshold``.  ``target`` is
+    the fraction of steps that must be good (e.g. ``0.99``); the error
+    budget is ``1 - target``.
+
+    Args:
+        name: unique identifier (appears in alerts and health output).
+        indicator: one of :data:`INDICATORS`.
+        threshold: good/bad boundary, in the indicator's units.
+        target: required good fraction, strictly between 0 and 1.
+        fast_window / slow_window: alert windows, in steps (the slow
+            window must not be shorter than the fast one).
+        fast_burn / slow_burn: burn-rate thresholds for each window.
+    """
+
+    __slots__ = (
+        "name", "indicator", "threshold", "target",
+        "fast_window", "slow_window", "fast_burn", "slow_burn",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        indicator: str,
+        threshold: float,
+        target: float,
+        fast_window: int = DEFAULT_FAST_WINDOW,
+        slow_window: int = DEFAULT_SLOW_WINDOW,
+        fast_burn: float = DEFAULT_FAST_BURN,
+        slow_burn: float = DEFAULT_SLOW_BURN,
+    ):
+        if not name or not isinstance(name, str):
+            raise TelemetryError("SLO name must be a non-empty string")
+        if indicator not in INDICATORS:
+            raise TelemetryError(
+                f"SLO {name!r}: unknown indicator {indicator!r} "
+                f"(expected one of {', '.join(INDICATORS)})"
+            )
+        threshold = float(threshold)
+        if threshold != threshold or threshold < 0:
+            raise TelemetryError(
+                f"SLO {name!r}: threshold must be >= 0, got {threshold!r}"
+            )
+        target = float(target)
+        if not 0.0 < target < 1.0:
+            raise TelemetryError(
+                f"SLO {name!r}: target must be strictly between 0 and 1, "
+                f"got {target!r}"
+            )
+        fast_window = int(fast_window)
+        slow_window = int(slow_window)
+        if fast_window < 1 or slow_window < fast_window:
+            raise TelemetryError(
+                f"SLO {name!r}: windows must satisfy "
+                f"1 <= fast_window <= slow_window, got "
+                f"{fast_window} / {slow_window}"
+            )
+        if not (float(fast_burn) > 0 and float(slow_burn) > 0):
+            raise TelemetryError(
+                f"SLO {name!r}: burn-rate thresholds must be positive"
+            )
+        self.name = name
+        self.indicator = indicator
+        self.threshold = threshold
+        self.target = target
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "SLOSpec":
+        """Build a spec from its dict form (see :func:`load_slo_file`)."""
+        if not isinstance(doc, dict):
+            raise TelemetryError(f"SLO entry must be an object, got {doc!r}")
+        unknown = set(doc) - set(cls.__slots__)
+        if unknown:
+            raise TelemetryError(
+                f"SLO entry has unknown key(s): {', '.join(sorted(unknown))}"
+            )
+        missing = {"name", "indicator", "threshold", "target"} - set(doc)
+        if missing:
+            raise TelemetryError(
+                f"SLO entry missing key(s): {', '.join(sorted(missing))}"
+            )
+        return cls(**doc)
+
+    def to_dict(self) -> Dict:
+        """The spec as a JSON-able dict (round-trips via from_dict)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOSpec({self.name!r}: {self.indicator} <= "
+            f"{self.threshold!r} for {self.target:.4g})"
+        )
+
+
+class SLOAlert:
+    """A burn-rate alert fired by one SLO rule.
+
+    Attributes:
+        slo: the spec's name.
+        severity: ``"page"`` (fast burn) or ``"ticket"`` (slow burn).
+        step: 1-based step count at which the rule fired.
+        burn_rate: observed burn rate over the rule's window.
+        window: the window size, in steps.
+        indicator: the spec's indicator name.
+    """
+
+    __slots__ = ("slo", "severity", "step", "burn_rate", "window",
+                 "indicator")
+
+    def __init__(self, slo, severity, step, burn_rate, window, indicator):
+        self.slo = slo
+        self.severity = severity
+        self.step = step
+        self.burn_rate = burn_rate
+        self.window = window
+        self.indicator = indicator
+
+    def to_dict(self) -> Dict:
+        """The alert as a JSON-able dict."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOAlert({self.severity} {self.slo!r} at step {self.step}: "
+            f"burn {self.burn_rate:.1f}x over {self.window} steps)"
+        )
+
+
+class _Rule:
+    """One (window, burn threshold) alert rule with its ring of flags."""
+
+    __slots__ = ("window", "burn", "severity", "flags", "bad", "active",
+                 "fired")
+
+    def __init__(self, window: int, burn: float, severity: str):
+        self.window = window
+        self.burn = burn
+        self.severity = severity
+        self.flags: deque = deque(maxlen=window)
+        self.bad = 0
+        self.active = False
+        self.fired = 0
+
+    def observe(self, is_bad: bool, budget: float):
+        if len(self.flags) == self.window:
+            self.bad -= self.flags[0]
+        self.flags.append(1 if is_bad else 0)
+        self.bad += self.flags[-1]
+        if len(self.flags) < self.window:
+            return None  # warming up: a 1-sample window would always page
+        rate = (self.bad / self.window) / budget
+        if rate >= self.burn:
+            if not self.active:
+                self.active = True
+                self.fired += 1
+                return rate
+        else:
+            self.active = False
+        return None
+
+
+class _SLOState:
+    """Cumulative counters plus the two alert rules for one spec."""
+
+    __slots__ = ("spec", "good", "bad", "fast", "slow")
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        self.good = 0
+        self.bad = 0
+        self.fast = _Rule(spec.fast_window, spec.fast_burn, "page")
+        self.slow = _Rule(spec.slow_window, spec.slow_burn, "ticket")
+
+
+def budget_remaining(spec_or_target, good: int, bad: int) -> float:
+    """Fraction of the error budget left after ``good``/``bad`` steps.
+
+    1.0 means untouched, 0.0 exactly spent, negative overspent.  With
+    no steps yet the budget is whole.  Pure function of the counts, so
+    merged snapshots recompute it exactly.
+    """
+    target = (
+        spec_or_target.target
+        if isinstance(spec_or_target, SLOSpec)
+        else float(spec_or_target)
+    )
+    total = good + bad
+    if not total:
+        return 1.0
+    allowed = (1.0 - target) * total
+    if allowed <= 0:
+        return 1.0 if not bad else float("-inf")
+    return 1.0 - bad / allowed
+
+
+def budget_state(remaining: float) -> str:
+    """Coarse budget state: ``ok`` / ``degraded`` / ``exhausted``."""
+    if remaining <= 0:
+        return "exhausted"
+    if remaining < 0.5:
+        return "degraded"
+    return "ok"
+
+
+class SLOEngine:
+    """Evaluates a set of SLOs incrementally, one verdict at a time.
+
+    Feed it the indicator sample for each step via :meth:`observe`; it
+    returns the alerts that fired *this* step (usually none).  All
+    alerts ever fired stay on :attr:`alerts` for the health surface.
+    """
+
+    def __init__(self, specs: Iterable[SLOSpec]):
+        self._states: List[_SLOState] = []
+        names = set()
+        for spec in specs:
+            if not isinstance(spec, SLOSpec):
+                spec = SLOSpec.from_dict(spec)
+            if spec.name in names:
+                raise TelemetryError(f"duplicate SLO name {spec.name!r}")
+            names.add(spec.name)
+            self._states.append(_SLOState(spec))
+        self.steps = 0
+        self.alerts: List[SLOAlert] = []
+
+    @property
+    def specs(self) -> List[SLOSpec]:
+        """The specs this engine evaluates, in declaration order."""
+        return [state.spec for state in self._states]
+
+    def observe(self, indicators: Dict[str, float]) -> List[SLOAlert]:
+        """Record one step's indicator sample; return alerts fired now."""
+        self.steps += 1
+        fired: List[SLOAlert] = []
+        for state in self._states:
+            spec = state.spec
+            value = indicators.get(spec.indicator, 0.0)
+            is_bad = value > spec.threshold
+            if is_bad:
+                state.bad += 1
+            else:
+                state.good += 1
+            for rule in (state.fast, state.slow):
+                rate = rule.observe(is_bad, spec.budget)
+                if rate is not None:
+                    fired.append(SLOAlert(
+                        slo=spec.name,
+                        severity=rule.severity,
+                        step=self.steps,
+                        burn_rate=rate,
+                        window=rule.window,
+                        indicator=spec.indicator,
+                    ))
+        self.alerts.extend(fired)
+        return fired
+
+    def summary(self) -> List[Dict]:
+        """Per-SLO budget state for the health surface.
+
+        Every field is a pure function of mergeable counts (good, bad,
+        alert totals), so snapshot folding reproduces it exactly.
+        """
+        out = []
+        for state in self._states:
+            spec = state.spec
+            remaining = budget_remaining(spec, state.good, state.bad)
+            out.append({
+                "name": spec.name,
+                "indicator": spec.indicator,
+                "threshold": spec.threshold,
+                "target": spec.target,
+                "good": state.good,
+                "bad": state.bad,
+                "budget_remaining": remaining,
+                "state": budget_state(remaining),
+                "alerts": {"page": state.fast.fired,
+                           "ticket": state.slow.fired},
+            })
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOEngine({len(self._states)} slo(s), {self.steps} step(s), "
+            f"{len(self.alerts)} alert(s))"
+        )
+
+
+def load_slo_file(path: Union[str, Path]) -> List[SLOSpec]:
+    """Parse an SLO document (JSON) into specs.
+
+    Format::
+
+        {"version": "repro-slo/1",
+         "slos": [{"name": "verdict-latency",
+                   "indicator": "verdict_seconds",
+                   "threshold": 0.05, "target": 0.99,
+                   "fast_window": 20, "slow_window": 100,
+                   "fast_burn": 14.4, "slow_burn": 6.0}, ...]}
+
+    The window/burn keys are optional and default to the SRE table.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError(f"cannot read SLO file {path}: {exc}") from exc
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"{path} is not valid JSON: {exc}") from exc
+    return parse_slo_doc(doc, origin=str(path))
+
+
+def parse_slo_doc(doc, origin: str = "<slo document>") -> List[SLOSpec]:
+    """Validate a parsed SLO document and build its specs."""
+    if not isinstance(doc, dict):
+        raise TelemetryError(f"{origin}: SLO document must be an object")
+    version = doc.get("version")
+    if version != SLO_VERSION:
+        raise TelemetryError(
+            f"{origin}: unsupported SLO document version {version!r} "
+            f"(expected {SLO_VERSION!r})"
+        )
+    entries = doc.get("slos")
+    if not isinstance(entries, list) or not entries:
+        raise TelemetryError(
+            f"{origin}: 'slos' must be a non-empty list of SLO objects"
+        )
+    return [SLOSpec.from_dict(entry) for entry in entries]
+
+
+def coerce_slo_engine(
+    slo: Union["SLOEngine", SLOSpec, Dict, str, Path,
+               Sequence, None],
+) -> Optional["SLOEngine"]:
+    """Build an :class:`SLOEngine` from whatever the caller handed us.
+
+    Accepts an engine (returned as-is), a spec or list of specs/dicts,
+    an SLO document dict, or a path to an SLO file; ``None`` passes
+    through (telemetry without SLOs).
+    """
+    if slo is None or isinstance(slo, SLOEngine):
+        return slo
+    if isinstance(slo, (str, Path)):
+        return SLOEngine(load_slo_file(slo))
+    if isinstance(slo, SLOSpec):
+        return SLOEngine([slo])
+    if isinstance(slo, dict):
+        if "slos" in slo or "version" in slo:
+            return SLOEngine(parse_slo_doc(slo))
+        return SLOEngine([SLOSpec.from_dict(slo)])
+    if isinstance(slo, (list, tuple)):
+        return SLOEngine(slo)
+    raise TelemetryError(
+        f"cannot build an SLO engine from {type(slo).__name__}"
+    )

@@ -40,7 +40,8 @@ class StepBudget:
             deterministic shedding).
     """
 
-    __slots__ = ("deadline", "urgent", "deferred", "_clock", "_started")
+    __slots__ = ("deadline", "urgent", "deferred", "telemetry", "_clock",
+                 "_started")
 
     def __init__(
         self,
@@ -59,6 +60,9 @@ class StepBudget:
         self._started: float = 0.0
         #: constraints shed in the step being checked (engine-owned)
         self.deferred: List[str] = []
+        #: optional :class:`~repro.obs.telemetry.EventTimeTelemetry`
+        #: notified of every shed decision (attached by the Monitor)
+        self.telemetry = None
 
     def arm(self) -> None:
         """Start the clock for a new step (engines call this per step)."""
@@ -76,6 +80,8 @@ class StepBudget:
             return False
         if self.exhausted:
             self.deferred.append(constraint)
+            if self.telemetry is not None:
+                self.telemetry.deferred(constraint)
             return True
         return False
 

@@ -112,3 +112,85 @@ def test_histogram_buckets_cumulative_with_inf():
         'repro_step_seconds_sum{engine="incremental"} 2.555',
         'repro_step_seconds_count{engine="incremental"} 4',
     ]
+
+
+# ----------------------------------------------------------------------
+# edge cases beyond the goldens
+# ----------------------------------------------------------------------
+
+class TestEmptyRegistry:
+    def test_prometheus_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_json_renders_empty_family_list(self):
+        assert render_json(MetricsRegistry()) == {"metrics": []}
+
+
+class TestNonFiniteSamples:
+    """A gauge fed a division by zero must still export cleanly."""
+
+    def poisoned_registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_nan").set(float("nan"))
+        registry.gauge("repro_posinf").set(float("inf"))
+        registry.gauge("repro_neginf").set(float("-inf"))
+        return registry
+
+    def test_prometheus_spells_non_finite_values(self):
+        text = render_prometheus(self.poisoned_registry())
+        assert "repro_nan NaN" in text
+        assert "repro_posinf +Inf" in text
+        assert "repro_neginf -Inf" in text
+
+    def test_json_stays_strict(self):
+        doc = render_json(self.poisoned_registry())
+        values = {
+            family["name"]: family["series"][0]["value"]
+            for family in doc["metrics"]
+        }
+        assert values == {
+            "repro_nan": "NaN",
+            "repro_posinf": "+Inf",
+            "repro_neginf": "-Inf",
+        }
+        # the point: the document survives a strict JSON round trip
+        assert json.loads(json.dumps(doc, allow_nan=False)) == doc
+
+    def test_histogram_poisoned_sum_exports(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0,)).observe(float("nan"))
+        assert "repro_h_sum NaN" in render_prometheus(registry)
+        [family] = render_json(registry)["metrics"]
+        assert family["series"][0]["sum"] == "NaN"
+
+
+class TestLabelEdges:
+    def test_label_values_sorted_not_insertion_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c", zeta="1", alpha="2").inc()
+        text = render_prometheus(registry)
+        assert 'repro_c{alpha="2",zeta="1"} 1' in text
+
+    def test_series_order_is_deterministic(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for name in ("b", "a", "c"):
+            forward.counter("repro_c", constraint=name).inc()
+        for name in ("c", "a", "b"):
+            backward.counter("repro_c", constraint=name).inc()
+        assert render_prometheus(forward) == render_prometheus(backward)
+
+    def test_unlabelled_series_has_no_braces(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_bare").inc(2)
+        assert "repro_bare 2\n" in render_prometheus(registry)
+
+    def test_escaping_round_trips_every_special(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c", source='a\\b"c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'source="a\\\\b\\"c\\nd"' in text
+
+    def test_bool_gauge_renders_as_integer(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_flag").set(True)
+        assert "repro_flag 1" in render_prometheus(registry)

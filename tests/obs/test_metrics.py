@@ -60,6 +60,73 @@ class TestHistogram:
         hist = MetricsRegistry().histogram("step_seconds")
         assert hist.buckets == DEFAULT_LATENCY_BUCKETS
 
+    @pytest.mark.parametrize("bounds", [
+        (0.0, 1.0),            # zero
+        (-1.0, 1.0),           # negative
+        (1.0, float("inf")),   # +Inf is implicit, never explicit
+        (1.0, float("nan")),
+    ])
+    def test_bounds_must_be_positive_and_finite(self, bounds):
+        with pytest.raises(ValueError, match="finite"):
+            Histogram(bounds)
+
+
+class TestHistogramMerge:
+    def test_merge_adds_everything(self):
+        a, b = Histogram((1.0, 2.0)), Histogram((1.0, 2.0))
+        a.observe(0.5)
+        a.observe(9.0)
+        b.observe(1.5)
+        a.merge(b)
+        assert a.bucket_counts == [1, 1]
+        assert a.count == 3
+        assert a.sum == pytest.approx(11.0)
+        assert b.count == 1  # the source is untouched
+
+    def test_merge_is_commutative(self):
+        def build(values):
+            hist = Histogram((1.0, 4.0, 16.0))
+            for value in values:
+                hist.observe(value)
+            return hist
+
+        ab = build([0.5, 2.0])
+        ab.merge(build([8.0, 99.0]))
+        ba = build([8.0, 99.0])
+        ba.merge(build([0.5, 2.0]))
+        assert ab.bucket_counts == ba.bucket_counts
+        assert ab.count == ba.count
+        assert ab.sum == pytest.approx(ba.sum)
+
+    def test_mismatched_buckets_rejected(self):
+        a = Histogram((1.0, 2.0))
+        with pytest.raises(ValueError, match="different bucket bounds"):
+            a.merge(Histogram((1.0, 3.0)))
+        with pytest.raises(ValueError, match="only merge a Histogram"):
+            a.merge([1, 2, 3])
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram((1.0,)).quantile(0.5) == 0.0
+
+    def test_reports_bucket_upper_bound(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(0.75) == 2.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_overflow_clamps_to_last_bound(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram((1.0,)).quantile(1.5)
+
 
 class TestRegistry:
     def test_same_labels_return_same_child(self):

@@ -1,0 +1,357 @@
+"""Event-time telemetry, SLO specs, and burn-rate alert determinism."""
+
+import pytest
+
+from repro import Monitor
+from repro.db import DatabaseSchema
+from repro.errors import TelemetryError
+from repro.obs import SLOAlert, SLOEngine, SLOSpec, parse_slo_doc
+from repro.obs.slo import (
+    budget_remaining,
+    budget_state,
+    coerce_slo_engine,
+    load_slo_file,
+)
+from repro.obs.telemetry import EventTimeTelemetry
+
+from tests.conftest import txn
+
+
+class FakeClock:
+    """A wall clock that advances exactly one second per reading."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"]})
+
+
+def simple_monitor(schema, **kwargs):
+    monitor = Monitor(schema)
+    monitor.add_constraints_text("no-p: NOT (EXISTS x. p(x))")
+    return monitor
+
+
+class TestStageStamps:
+    def test_plain_step_records_check_and_verdict(self, schema):
+        monitor = simple_monitor(schema)
+        telemetry = monitor.enable_telemetry(clock=FakeClock())
+        for t in range(1, 6):
+            monitor.step(t, txn())
+        stages = telemetry.stage_histograms()
+        # one tick between check_begin and verdict each step
+        assert stages["check"].count == 5
+        assert stages["check"].sum == pytest.approx(5.0)
+        assert stages["verdict"].count == 5
+        # arrival is stamped at check_begin without a pipeline
+        assert stages["verdict"].sum == pytest.approx(5.0)
+        assert stages["reorder"].count == 0
+        assert stages["queue"].count == 0
+        assert telemetry.pending == 0
+
+    def test_full_path_records_all_four_stages(self, schema):
+        monitor = simple_monitor(schema)
+        telemetry = monitor.enable_telemetry(clock=FakeClock())
+        monitor.feed([[(t, txn()) for t in range(1, 11)]], watermark=2)
+        stages = telemetry.stage_histograms()
+        assert stages["reorder"].count == 10
+        assert stages["queue"].count == 10
+        assert stages["check"].count == 10
+        assert stages["verdict"].count == 10
+        # end-to-end is the sum of the stage intervals per event
+        assert telemetry.pending == 0
+
+    def test_counters_follow_reports(self, schema):
+        monitor = simple_monitor(schema)
+        telemetry = monitor.enable_telemetry()
+        monitor.step(1, txn(insert={"p": [(1,)]}))  # violates
+        monitor.step(2, txn(delete={"p": [(1,)]}))
+        assert telemetry.steps_processed == 2
+        assert telemetry.violations_total == 1
+        assert telemetry.degraded_steps == 0
+        assert telemetry.skipped_steps == 0
+
+    def test_shed_closes_lifecycle(self):
+        telemetry = EventTimeTelemetry(clock=FakeClock())
+        telemetry.arrived(1)
+        assert telemetry.pending == 1
+        telemetry.shed(1)
+        assert telemetry.pending == 0
+        assert telemetry.shed_events == 1
+
+    def test_sample_feeds_lag_histograms(self):
+        telemetry = EventTimeTelemetry(clock=FakeClock())
+        telemetry.sample(4, 2)
+        telemetry.sample(16, 0)
+        lag = telemetry.lag_histograms()
+        assert lag["frontier"].count == 2
+        assert lag["frontier"].sum == pytest.approx(20.0)
+        assert telemetry.last_frontier_lag == 16
+        assert telemetry.last_queue_depth == 0
+
+    def test_arrival_stamp_is_first_wins(self):
+        clock = FakeClock()
+        telemetry = EventTimeTelemetry(clock=clock)
+        telemetry.arrived(7)
+        first = telemetry._arrived[7]
+        telemetry.arrived(7)  # replay: must not re-stamp
+        assert telemetry._arrived[7] == first
+
+    def test_enable_twice_rejected(self, schema):
+        monitor = simple_monitor(schema)
+        monitor.enable_telemetry()
+        with pytest.raises(Exception, match="already enabled"):
+            monitor.enable_telemetry()
+
+
+class TestSLOSpec:
+    def test_budget_is_target_complement(self):
+        spec = SLOSpec("s", "verdict_seconds", 0.1, 0.95)
+        assert spec.budget == pytest.approx(0.05)
+
+    def test_round_trips_via_dict(self):
+        spec = SLOSpec("s", "frontier_lag", 8, 0.9, fast_window=5,
+                       slow_window=25, fast_burn=10.0, slow_burn=4.0)
+        again = SLOSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"indicator": "nope"},
+        {"threshold": -1},
+        {"threshold": float("nan")},
+        {"target": 0.0},
+        {"target": 1.0},
+        {"fast_window": 0},
+        {"fast_window": 50, "slow_window": 10},
+        {"fast_burn": 0},
+    ])
+    def test_validation(self, kwargs):
+        base = dict(name="s", indicator="verdict_seconds",
+                    threshold=0.1, target=0.9)
+        base.update(kwargs)
+        with pytest.raises(TelemetryError):
+            SLOSpec(**base)
+
+    def test_from_dict_rejects_unknown_and_missing_keys(self):
+        with pytest.raises(TelemetryError, match="unknown"):
+            SLOSpec.from_dict({"name": "s", "indicator": "fault",
+                               "threshold": 0, "target": 0.9, "bogus": 1})
+        with pytest.raises(TelemetryError, match="missing"):
+            SLOSpec.from_dict({"name": "s"})
+
+
+class TestBurnRateRules:
+    """The acceptance-pinned determinism: same stream, same alerts."""
+
+    def spec(self):
+        # budget 0.05; fast fires at 72% bad over 10 steps, slow at
+        # 30% bad over 40 steps
+        return SLOSpec("lag", "frontier_lag", 8, 0.95,
+                       fast_window=10, slow_window=40,
+                       fast_burn=14.4, slow_burn=6.0)
+
+    def test_all_bad_fires_page_then_ticket_at_exact_steps(self):
+        engine = SLOEngine([self.spec()])
+        fired = []
+        for _ in range(60):
+            fired.extend(engine.observe({"frontier_lag": 100}))
+        assert [(a.severity, a.step) for a in fired] == [
+            ("page", 10),   # fast window fills
+            ("ticket", 40),  # slow window fills
+        ]
+        assert all(a.slo == "lag" for a in fired)
+        assert fired[0].burn_rate == pytest.approx(1.0 / 0.05)
+
+    def test_all_good_fires_nothing(self):
+        engine = SLOEngine([self.spec()])
+        for _ in range(200):
+            assert engine.observe({"frontier_lag": 0}) == []
+        assert engine.alerts == []
+        [summary] = engine.summary()
+        assert summary["state"] == "ok"
+        assert summary["budget_remaining"] == pytest.approx(1.0)
+
+    def test_no_alerts_during_warmup(self):
+        engine = SLOEngine([self.spec()])
+        for step in range(9):  # window is 10: nothing can fire yet
+            assert engine.observe({"frontier_lag": 100}) == []
+
+    def test_edge_triggered_rearm(self):
+        engine = SLOEngine([self.spec()])
+        for _ in range(10):
+            engine.observe({"frontier_lag": 100})
+        assert [a.severity for a in engine.alerts] == ["page"]
+        # burn stays high: no re-fire
+        for _ in range(5):
+            assert engine.observe({"frontier_lag": 100}) == []
+        # rate drops below the threshold, then breaches again
+        for _ in range(10):
+            engine.observe({"frontier_lag": 0})
+        for _ in range(10):
+            engine.observe({"frontier_lag": 100})
+        assert [a.severity for a in engine.alerts
+                if a.severity == "page"] == ["page", "page"]
+
+    def test_missing_indicator_counts_as_good(self):
+        engine = SLOEngine([self.spec()])
+        engine.observe({})
+        [summary] = engine.summary()
+        assert (summary["good"], summary["bad"]) == (1, 0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TelemetryError, match="duplicate"):
+            SLOEngine([self.spec(), self.spec()])
+
+    def test_alert_to_dict(self):
+        alert = SLOAlert("s", "page", 10, 20.0, 10, "fault")
+        assert alert.to_dict() == {
+            "slo": "s", "severity": "page", "step": 10,
+            "burn_rate": 20.0, "window": 10, "indicator": "fault",
+        }
+
+
+class TestBudgetMath:
+    def test_whole_budget_before_any_step(self):
+        assert budget_remaining(0.9, 0, 0) == 1.0
+
+    def test_exactly_spent(self):
+        # target 0.9 -> 10% budget; 10 bad of 100 spends it exactly
+        assert budget_remaining(0.9, 90, 10) == pytest.approx(0.0)
+
+    def test_overspent_is_negative(self):
+        assert budget_remaining(0.9, 50, 50) < 0
+
+    def test_states(self):
+        assert budget_state(1.0) == "ok"
+        assert budget_state(0.4) == "degraded"
+        assert budget_state(0.0) == "exhausted"
+        assert budget_state(-2.0) == "exhausted"
+
+
+class TestDeterministicLagInjection:
+    """End to end: injected frontier lag burns the budget; removing the
+    lag fires zero alerts.  Frontier lag is pure event time, so the
+    alert steps are exact and replayable."""
+
+    def spec_doc(self):
+        return {
+            "version": "repro-slo/1",
+            "slos": [{
+                "name": "frontier", "indicator": "frontier_lag",
+                "threshold": 50, "target": 0.95,
+                "fast_window": 10, "slow_window": 40,
+                "fast_burn": 14.4, "slow_burn": 6.0,
+            }],
+        }
+
+    def run(self, schema, fast_times, slow_times):
+        monitor = simple_monitor(schema)
+        telemetry = monitor.enable_telemetry(slo=self.spec_doc())
+        monitor.feed(
+            [
+                [(t, txn()) for t in fast_times],
+                [(t, txn()) for t in slow_times],
+            ],
+            watermark=4,
+        )
+        return telemetry.slo
+
+    def test_straggler_source_burns_budget(self, schema):
+        # one source runs ~100 clock units ahead of the other, so every
+        # sampled frontier lag is >= 100 -- far over the 50 threshold
+        slo = self.run(schema, range(101, 161), range(1, 61))
+        assert [(a.severity, a.step) for a in slo.alerts] == [
+            ("page", 10), ("ticket", 40),
+        ]
+        [summary] = slo.summary()
+        assert summary["state"] == "exhausted"
+
+    def test_lag_removed_fires_zero_alerts(self, schema):
+        # same shape, but the sources interleave tightly: lag stays at
+        # watermark + 1 = 5, under the threshold on every sample
+        slo = self.run(schema, range(2, 121, 2), range(1, 120, 2))
+        assert slo.alerts == []
+        [summary] = slo.summary()
+        assert summary["state"] == "ok"
+        assert summary["bad"] == 0
+
+    def test_replay_is_deterministic(self, schema):
+        first = self.run(schema, range(101, 161), range(1, 61))
+        second = self.run(schema, range(101, 161), range(1, 61))
+        assert ([a.to_dict() for a in first.alerts]
+                == [a.to_dict() for a in second.alerts])
+        assert first.summary() == second.summary()
+
+
+class TestAlertChannel:
+    def test_alerts_reach_on_alert_handlers(self, schema):
+        monitor = simple_monitor(schema)
+        monitor.enable_telemetry(slo=SLOSpec(
+            "faults", "violations", 0, 0.9, fast_window=5, slow_window=5,
+            fast_burn=2.0, slow_burn=1.0,
+        ))
+        seen = []
+        monitor.on_alert(seen.append)
+        for t in range(1, 11):
+            monitor.step(t, txn(insert={"p": [(t,)]}))  # always violating
+        assert seen
+        assert all(isinstance(a, SLOAlert) for a in seen)
+        assert {a.severity for a in seen} == {"page", "ticket"}
+
+
+class TestSLOLoading:
+    def test_load_slo_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '{"version": "repro-slo/1", "slos": ['
+            '{"name": "s", "indicator": "fault",'
+            ' "threshold": 0, "target": 0.99}]}'
+        )
+        [spec] = load_slo_file(path)
+        assert spec.name == "s"
+        assert spec.fast_window == 20  # defaults applied
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot read"):
+            load_slo_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            load_slo_file(bad)
+
+    @pytest.mark.parametrize("doc", [
+        [],                                # not an object
+        {"slos": []},                      # missing version
+        {"version": "repro-slo/999", "slos": [{}]},
+        {"version": "repro-slo/1", "slos": []},
+        {"version": "repro-slo/1", "slos": "x"},
+    ])
+    def test_parse_rejects_malformed_docs(self, doc):
+        with pytest.raises(TelemetryError):
+            parse_slo_doc(doc)
+
+    def test_coerce_accepts_every_supported_shape(self, tmp_path):
+        spec = SLOSpec("s", "fault", 0, 0.9)
+        engine = SLOEngine([spec])
+        assert coerce_slo_engine(None) is None
+        assert coerce_slo_engine(engine) is engine
+        assert coerce_slo_engine(spec).specs[0] is spec
+        assert coerce_slo_engine([spec.to_dict()]).specs[0].name == "s"
+        assert coerce_slo_engine(spec.to_dict()).specs[0].name == "s"
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '{"version": "repro-slo/1", "slos": ['
+            '{"name": "f", "indicator": "fault",'
+            ' "threshold": 0, "target": 0.99}]}'
+        )
+        assert coerce_slo_engine(str(path)).specs[0].name == "f"
+        with pytest.raises(TelemetryError, match="cannot build"):
+            coerce_slo_engine(42)

@@ -703,3 +703,295 @@ class TestIngestCommand:
         )
         assert status == 2
         assert "NAME=DELTA" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    """check/ingest --slo/--health and the event-time stats sections."""
+
+    @pytest.fixture
+    def slo_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "version": "repro-slo/1",
+            "slos": [{
+                "name": "verdict-latency",
+                "indicator": "verdict_seconds",
+                "threshold": 10.0, "target": 0.99,
+            }],
+        }))
+        return path
+
+    def test_check_writes_health_snapshot(
+        self, generated, tmp_path, slo_file, capsys
+    ):
+        from repro.obs import load_health
+
+        health = tmp_path / "health.json"
+        status = main(
+            [
+                "check",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--slo", str(slo_file),
+                "--health", str(health),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 1  # the workload's violations, not the SLO
+        assert "slo verdict-latency: ok" in out
+        doc = load_health(health)
+        assert doc["steps"]["processed"] == 60
+        [slo] = doc["slo"]
+        assert slo["name"] == "verdict-latency"
+        assert slo["good"] == 60
+
+    def test_check_health_without_slo(self, generated, tmp_path):
+        from repro.obs import load_health
+
+        health = tmp_path / "health.json"
+        status = main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--health", str(health),
+            ]
+        )
+        assert status == 1
+        doc = load_health(health)
+        assert doc["stages"]["check"]["count"] == 60
+        assert doc["slo"] == []
+
+    def test_resume_path_honours_health_flag(self, generated, tmp_path):
+        from repro.obs import load_health
+
+        checkpoint = tmp_path / "ck.json"
+        assert main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--save-checkpoint", str(checkpoint),
+            ]
+        ) == 1
+        health = tmp_path / "health.json"
+        assert main(
+            [
+                "check", "--quiet",
+                "--resume-from", str(checkpoint),
+                "--history", str(generated / "history.jsonl"),
+                "--watermark", "100",  # replayed history is all late
+                "--health", str(health),
+            ]
+        ) in (0, 1)
+        assert load_health(health)["version"] == "repro-health/1"
+
+    def test_missing_slo_file_reports_cleanly(self, generated, capsys):
+        status = main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--slo", str(generated / "nonexistent.json"),
+            ]
+        )
+        assert status == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_ingest_metrics_health_and_slo(self, tmp_path, slo_file, capsys):
+        import json
+
+        from repro.obs import load_health
+
+        out = tmp_path / "wl"
+        main(
+            [
+                "generate", "--workload", "library", "--length", "40",
+                "--seed", "7", "--violation-rate", "0", "--out", str(out),
+                "--arrivals", "--chaos-seed", "2", "--chaos-watermark", "4",
+            ]
+        )
+        metrics = tmp_path / "metrics.json"
+        health = tmp_path / "health.json"
+        status = main(
+            [
+                "ingest",
+                "--schema", str(out / "schema.json"),
+                "--constraints", str(out / "constraints.txt"),
+                "--source", str(out / "arrivals.jsonl"),
+                "--watermark", "4",
+                "--metrics", str(metrics),
+                "--slo", str(slo_file),
+                "--health", str(health),
+            ]
+        )
+        assert status == 0
+        assert "slo verdict-latency: ok" in capsys.readouterr().out
+        # the metrics dump carries both ingest and event-time families
+        names = {
+            family["name"]
+            for family in json.loads(metrics.read_text())["metrics"]
+        }
+        assert "repro_ingest_watermark_lag" in names
+        assert "repro_event_verdict_seconds" in names
+        assert "repro_event_frontier_lag" in names
+        doc = load_health(health)
+        assert doc["ingest"]["emitted"] == 40
+        assert doc["stages"]["reorder"]["count"] == 40
+        assert doc["lag"]["frontier"]["count"] == 40
+
+    def test_ingest_metrics_prometheus_text(self, tmp_path):
+        out = tmp_path / "wl"
+        main(
+            [
+                "generate", "--workload", "library", "--length", "20",
+                "--seed", "1", "--violation-rate", "0", "--out", str(out),
+                "--arrivals", "--chaos-watermark", "2",
+            ]
+        )
+        metrics = tmp_path / "metrics.prom"
+        status = main(
+            [
+                "ingest", "--quiet",
+                "--schema", str(out / "schema.json"),
+                "--constraints", str(out / "constraints.txt"),
+                "--source", str(out / "arrivals.jsonl"),
+                "--watermark", "2",
+                "--metrics", str(metrics),
+            ]
+        )
+        assert status == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_ingest_events_total counter" in text
+        assert "repro_steps_total" in text
+
+    def test_stats_event_time_sections(
+        self, generated, tmp_path, slo_file, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+                "--slo", str(slo_file),
+            ]
+        )
+        capsys.readouterr()
+        status = main(
+            ["stats", "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "event-time stage latency (arrival -> verdict)" in out
+        assert "verdict" in out
+
+
+class TestHealthCommand:
+    def snapshot(self, generated, tmp_path, name, slo=None):
+        health = tmp_path / name
+        args = [
+            "check", "--quiet",
+            "--schema", str(generated / "schema.json"),
+            "--constraints", str(generated / "constraints.txt"),
+            "--history", str(generated / "history.jsonl"),
+            "--health", str(health),
+        ]
+        if slo is not None:
+            args += ["--slo", str(slo)]
+        assert main(args) == 1
+        return health
+
+    def test_merge_and_render(self, generated, tmp_path, capsys):
+        from repro.obs import load_health
+
+        first = self.snapshot(generated, tmp_path, "h1.json")
+        second = self.snapshot(generated, tmp_path, "h2.json")
+        merged = tmp_path / "merged.json"
+        status = main(
+            ["health", str(first), str(second), "--merge-out", str(merged)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "merged 2 snapshot(s)" in out
+        assert "120 step(s)" in out
+        assert load_health(merged)["steps"]["processed"] == 120
+
+    def test_single_snapshot_renders(self, generated, tmp_path, capsys):
+        health = self.snapshot(generated, tmp_path, "h.json")
+        assert main(["health", str(health)]) == 0
+        out = capsys.readouterr().out
+        assert "health (incremental): 60 step(s)" in out
+        assert "stage latency (us)" in out
+
+    def test_json_format(self, generated, tmp_path, capsys):
+        import json
+
+        health = self.snapshot(generated, tmp_path, "h.json")
+        assert main(["health", str(health), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "repro-health/1"
+
+    def test_exhausted_budget_exits_one(self, generated, tmp_path, capsys):
+        import json
+
+        # the generated workload violates ~40% of steps; a 99% target
+        # on the violations indicator is hopeless by design
+        slo = tmp_path / "slo.json"
+        slo.write_text(json.dumps({
+            "version": "repro-slo/1",
+            "slos": [{
+                "name": "no-violations", "indicator": "violations",
+                "threshold": 0, "target": 0.99,
+            }],
+        }))
+        health = self.snapshot(generated, tmp_path, "h.json", slo=slo)
+        status = main(["health", str(health)])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "exhausted" in captured.out
+        assert "FAIL: SLO budget(s) exhausted: no-violations" \
+            in captured.err
+
+    def test_invalid_snapshot_reports_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": "other/1"}')
+        status = main(["health", str(bad)])
+        assert status == 2
+        assert "version" in capsys.readouterr().err
+
+    def test_mismatched_slos_report_cleanly(
+        self, generated, tmp_path, capsys
+    ):
+        import json
+
+        def slo_file(name, threshold):
+            path = tmp_path / name
+            path.write_text(json.dumps({
+                "version": "repro-slo/1",
+                "slos": [{
+                    "name": "s", "indicator": "violations",
+                    "threshold": threshold, "target": 0.5,
+                }],
+            }))
+            return path
+
+        first = self.snapshot(
+            generated, tmp_path, "h1.json", slo=slo_file("a.json", 0)
+        )
+        second = self.snapshot(
+            generated, tmp_path, "h2.json", slo=slo_file("b.json", 5)
+        )
+        status = main(["health", str(first), str(second)])
+        assert status == 2
+        assert "threshold differs" in capsys.readouterr().err

@@ -40,6 +40,7 @@ def test_examples_directory_is_complete():
         "active_rules_repair.py",
         "observability.py",
         "profiling.py",
+        "telemetry_slo.py",
     }
     assert expected <= present
 
@@ -119,3 +120,15 @@ def test_active_rules_repair():
     assert "one-holder-repair" in out
     assert "evicted" in out
     assert "cyd holds book 7" in out
+
+
+def test_telemetry_slo():
+    out = run_example("telemetry_slo.py")
+    assert "no alerts fired" in out
+    # the injected-lag act fires exactly the page/ticket pair, at
+    # steps pinned by event-time determinism
+    assert "step 128: [page] frontier-lag" in out
+    assert "step 133: [ticket] frontier-lag" in out
+    assert out.count("ALERT") == 2
+    assert "frontier-lag             [exhausted]" in out
+    assert "wrote validated health snapshot" in out
