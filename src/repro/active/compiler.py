@@ -32,6 +32,11 @@ from repro.active.rules import Rule
 from repro.core.checker import Constraint, reject_future_constraints
 from repro.core.foeval import AtomProvider, evaluate, relation_atom_table
 from repro.core.formulas import Atom, Formula, Once, Prev, Since
+from repro.core.statespace import (
+    constraint_node_names,
+    deep_size,
+    profile_totals,
+)
 from repro.core.violations import RunReport, StepReport, Violation
 from repro.db.algebra import Table
 from repro.db.database import DatabaseState
@@ -464,9 +469,119 @@ class ActiveChecker:
         """Stored auxiliary rows (anchors + PREV carry-over tables)."""
         return self._plan_tuples(list(self._plans.values()))
 
+    def _plan_rows(self, plan: _NodePlan) -> frozenset:
+        """Stored rows of a plan's space-bearing table.
+
+        For ``PREV`` that is the operand carry-over table (the same
+        store :class:`~repro.core.auxiliary.PrevState` keeps); anchors
+        live in ``aux{i}`` with the timestamp in the last column.
+        """
+        state = self.engine.state
+        if isinstance(plan.node, Prev):
+            return state.relation(plan.prev_operand_table).rows
+        return state.relation(plan.aux_table).rows
+
+    def aux_valuation_count(self) -> int:
+        """Total distinct valuations across all auxiliary tables."""
+        total = 0
+        for plan in self._plans.values():
+            rows = self._plan_rows(plan)
+            if isinstance(plan.node, Prev):
+                total += len(rows)
+            else:
+                k = len(plan.variables)
+                total += len({r[:k] for r in rows})
+        return total
+
+    def aux_profile(self) -> Dict[str, int]:
+        """Per-temporal-subformula stored-row counts (stable keys)."""
+        return {
+            str(plan.node): len(self._plan_rows(plan))
+            for plan in self._plans.values()
+        }
+
+    def aux_nodes(self) -> List[Formula]:
+        """Temporal subformulas with attributable auxiliary tables."""
+        return list(self._plans.keys())
+
+    def _aux_labels(self) -> Dict[Formula, str]:
+        """Cached ``node -> str(node)`` map (labels are per-step keys;
+        re-rendering formulas every step would dominate the sampler)."""
+        labels = getattr(self, "_aux_label_cache", None)
+        if labels is None or len(labels) != len(self._plans):
+            labels = {node: str(node) for node in self._plans}
+            self._aux_label_cache = labels
+        return labels
+
+    def aux_counts(self) -> Dict[str, Tuple[int, int]]:
+        """Per-node ``(tuples, valuations)`` — the cheap per-step sample."""
+        labels = self._aux_labels()
+        counts: Dict[str, Tuple[int, int]] = {}
+        for node, plan in self._plans.items():
+            rows = self._plan_rows(plan)
+            if isinstance(node, Prev):
+                counts[labels[node]] = (len(rows), len(rows))
+            else:
+                k = len(plan.variables)
+                counts[labels[node]] = (
+                    len(rows), len({r[:k] for r in rows})
+                )
+        return counts
+
     def space_tuples(self) -> int:
         """Uniform space hook (stored tuples); every engine has one."""
         return self.aux_tuple_count()
+
+    def iter_state_valuations(self):
+        """Yield ``(node label, valuation, stored rows)`` triples."""
+        for plan in self._plans.values():
+            label = str(plan.node)
+            rows = self._plan_rows(plan)
+            if isinstance(plan.node, Prev):
+                for row in rows:
+                    yield label, row, 1
+            else:
+                k = len(plan.variables)
+                counts: Dict[tuple, int] = {}
+                for row in rows:
+                    valuation = row[:k]
+                    counts[valuation] = counts.get(valuation, 0) + 1
+                for valuation, weight in counts.items():
+                    yield label, valuation, weight
+
+    def state_profile(self, deep: bool = True) -> Dict[str, object]:
+        """Uniform accounting snapshot (see repro.core.statespace).
+
+        Reconstructed from the auxiliary *tables*: anchors are rows of
+        ``aux{i}`` with the timestamp in the last column, the ``PREV``
+        carry-over is ``prevop{i}``, and its timestamp comes from the
+        shared meta table.
+        """
+        shared = constraint_node_names(self.constraints)
+        nodes: Dict[str, Dict] = {}
+        for plan in self._plans.values():
+            rows = self._plan_rows(plan)
+            if isinstance(plan.node, Prev):
+                oldest = self._meta_last_time(plan) if rows else None
+                valuations = len(rows)
+            else:
+                k = len(plan.variables)
+                oldest = min((r[k] for r in rows), default=None)
+                valuations = len({r[:k] for r in rows})
+            nodes[str(plan.node)] = {
+                "kind": type(plan.node).__name__,
+                "tuples": len(rows),
+                "valuations": valuations,
+                "bytes": deep_size(rows) if deep else None,
+                "oldest": oldest,
+                "constraints": sorted(shared.get(plan.node, [])),
+            }
+        return {
+            "engine": self.engine_label,
+            "nodes": nodes,
+            "total": profile_totals(nodes),
+            "space_tuples": self.space_tuples(),
+        }
 
     @property
     def temporal_node_count(self) -> int:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands::
+Eleven subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check ingest   --schema s.json --constraints c.txt --source a.jsonl
@@ -9,6 +9,7 @@ Ten subcommands::
     repro-check analyze  --constraints c.txt [--trace t.jsonl]
     repro-check stats    --trace t.jsonl [--percentiles]
     repro-check health   SNAPSHOT [SNAPSHOT ...] [--merge-out h.json]
+    repro-check state    inspect|watch|top|bound-check --schema ... --history ...
     repro-check bench    --all --json [--profile short|full]
     repro-check perf     --check benchmarks/baselines [--candidate DIR]
     repro-check recover  --journal DIR [--history h.jsonl]
@@ -62,6 +63,19 @@ health snapshot afterwards, and the ``health`` subcommand validates,
 folds, and renders snapshot files from N runs or shards (exit status 1
 when any merged SLO budget is exhausted) — see
 ``docs/observability.md``.
+
+State observability (:mod:`repro.obs.statewatch`) rides ``check`` and
+``ingest`` too: ``--statewatch`` accounts the auxiliary relations per
+temporal subformula against their analytic bounds and prints any
+bound/leak alerts, ``--flight FILE`` adds a flight recorder dumping a
+``repro-flight/1`` black-box artifact on violation/fault/budget
+incidents, and ``--state-out FILE`` writes the final ``repro-state/1``
+snapshot.  The ``state`` subcommand replays a history under the
+observatory standalone: ``inspect`` (full accounting), ``watch``
+(running totals), ``top`` (heavy-hitter valuations), ``bound-check``
+(exit 1 on any analytic-bound breach).  ``health render SNAP...``
+renders health *or* state snapshots individually (``--format json``
+for machine consumption).
 """
 
 from __future__ import annotations
@@ -220,6 +234,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write a mergeable health snapshot (repro-health/1 JSON) "
              "after the run; enables event-time telemetry",
     )
+    check.add_argument(
+        "--statewatch", action="store_true",
+        help="enable the state observatory: per-subformula auxiliary "
+             "state accounting with bound-conformance and leak alerts "
+             "printed after the run",
+    )
+    check.add_argument(
+        "--flight", default=None, metavar="FILE",
+        help="flight-recorder artifact path (repro-flight/1 JSONL), "
+             "dumped on violation, fault, or budget exhaustion "
+             "(implies --statewatch)",
+    )
+    check.add_argument(
+        "--state-out", default=None, metavar="FILE",
+        help="write the final state snapshot (repro-state/1 JSON) "
+             "after the run (implies --statewatch)",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -298,6 +329,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--health", default=None, metavar="FILE",
         help="write a mergeable health snapshot (repro-health/1 JSON) "
              "after the run; enables event-time telemetry",
+    )
+    ingest.add_argument(
+        "--statewatch", action="store_true",
+        help="enable the state observatory (see 'check --statewatch')",
+    )
+    ingest.add_argument(
+        "--flight", default=None, metavar="FILE",
+        help="flight-recorder artifact path (implies --statewatch)",
+    )
+    ingest.add_argument(
+        "--state-out", default=None, metavar="FILE",
+        help="write the final state snapshot (repro-state/1 JSON) "
+             "after the run (implies --statewatch)",
     )
     ingest.add_argument(
         "--max-violations", type=int, default=20,
@@ -467,7 +511,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     health.add_argument(
         "snapshots", nargs="+", metavar="SNAPSHOT",
         help="health snapshot file(s); several fold into one as if "
-             "a single run had produced them",
+             "a single run had produced them.  The first operand may "
+             "be the word 'render': then each following file — a "
+             "repro-health/1 or repro-state/1 snapshot — is rendered "
+             "individually (no merging, no budget gating, exit 0)",
     )
     health.add_argument(
         "--merge-out", default=None, metavar="FILE",
@@ -479,6 +526,60 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     health.add_argument(
         "--quiet", action="store_true", help="exit status only"
+    )
+
+    state = commands.add_parser(
+        "state",
+        help="replay a history under the state observatory: inspect "
+             "auxiliary state, watch it grow, rank heavy hitters, or "
+             "gate on analytic bounds",
+    )
+    state.add_argument(
+        "mode", choices=("inspect", "watch", "top", "bound-check"),
+        help="inspect: final per-subformula accounting snapshot; "
+             "watch: running per-step totals; top: heavy-hitter "
+             "valuations per subformula; bound-check: exit 1 if any "
+             "subformula ever exceeded its analytic tuple bound",
+    )
+    state.add_argument(
+        "--schema", required=True, help="schema JSON file"
+    )
+    state.add_argument(
+        "--constraints", required=True, help="constraint text file"
+    )
+    state.add_argument(
+        "--history", required=True, help="JSONL update stream"
+    )
+    state.add_argument(
+        "--engine", choices=ENGINES, default="incremental",
+        help="checking engine (default: incremental)",
+    )
+    state.add_argument(
+        "--every", type=int, default=1, metavar="N",
+        help="watch-mode print cadence in steps (default: 1)",
+    )
+    state.add_argument(
+        "--top-k", type=int, default=8, metavar="K",
+        help="heavy-hitter valuations reported per subformula "
+             "(default: 8)",
+    )
+    state.add_argument(
+        "--sample-every", type=int, default=1, metavar="N",
+        help="deep-sample cadence in steps — byte sizes, sketches "
+             "(default: 1; production wiring uses 8)",
+    )
+    state.add_argument(
+        "--flight", default=None, metavar="FILE",
+        help="also record a flight-recorder artifact "
+             "(repro-flight/1 JSONL)",
+    )
+    state.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the final state snapshot (repro-state/1 JSON)",
+    )
+    state.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout rendering (default: text)",
     )
 
     bench = commands.add_parser(
@@ -626,6 +727,66 @@ def _enable_cli_telemetry(monitor: Monitor, args) -> None:
     if slo is not None:
         _require_file(slo, "--slo")
     monitor.enable_telemetry(slo=slo)
+
+
+def _enable_cli_statewatch(monitor: Monitor, args) -> None:
+    """Arm the state observatory for ``--statewatch/--flight``."""
+    if not (
+        getattr(args, "statewatch", False)
+        or getattr(args, "flight", None)
+        or getattr(args, "state_out", None)
+    ):
+        return
+    monitor.enable_statewatch(flight=getattr(args, "flight", None))
+
+
+def _print_state_summary(monitor: Monitor, flight_path=None) -> None:
+    watch = monitor.statewatch
+    if watch is None:
+        return
+    checker = monitor.checker
+    report = watch.bound_report(checker)
+    total = sum(entry["tuples"] for entry in report.values())
+    print(
+        f"state: {total} aux tuple(s) across {len(report)} temporal "
+        f"node(s) after {watch.steps_observed} step(s)"
+    )
+    for label, entry in report.items():
+        verdict = (
+            "within bound" if entry["within"]
+            else f"OVER BOUND ({entry['breaches']} breach step(s))"
+        )
+        print(
+            f"  {label}: {entry['tuples']} tuple(s), "
+            f"{entry['valuations']} valuation(s), bound "
+            f"{entry['bound']} -> {verdict}"
+        )
+    for alert in watch.alerts:
+        print(f"state alert [{alert.severity}]: {alert!r}")
+    flight = watch.flight
+    if flight is not None and flight.dump_count:
+        print(
+            f"flight: {flight.dump_count} dump(s), last reason "
+            f"{flight.last_reason!r} -> {flight_path or flight.path}"
+        )
+    if flight is not None and flight.last_error is not None:
+        print(
+            f"warning: flight recorder could not write "
+            f"{flight.path}: {flight.last_error}",
+            file=sys.stderr,
+        )
+
+
+def _write_state_snapshot(monitor: Monitor, args) -> None:
+    path = getattr(args, "state_out", None)
+    if not path:
+        return
+    from repro.obs import write_state
+
+    try:
+        write_state(monitor.statewatch.snapshot(monitor.checker), path)
+    except OSError as exc:
+        raise ReproError(f"cannot write state snapshot: {exc}") from exc
 
 
 def _write_health_snapshot(monitor: Monitor, args) -> None:
@@ -891,6 +1052,7 @@ def _command_check(args: argparse.Namespace) -> int:
         )
         monitor.add_constraints_text(Path(args.constraints).read_text())
     _enable_cli_telemetry(monitor, args)
+    _enable_cli_statewatch(monitor, args)
     if args.journal:
         monitor.enable_journal(
             args.journal,
@@ -924,6 +1086,7 @@ def _command_check(args: argparse.Namespace) -> int:
     except OSError as exc:
         raise ReproError(f"cannot write telemetry: {exc}") from exc
     _write_health_snapshot(monitor, args)
+    _write_state_snapshot(monitor, args)
     if args.quiet:
         return 0 if report.ok else 1
     print(
@@ -934,6 +1097,7 @@ def _command_check(args: argparse.Namespace) -> int:
     _print_ingest_summary(monitor, args.quarantine_log)
     _print_resilience_summary(monitor, args.quarantine_log)
     _print_slo_summary(monitor)
+    _print_state_summary(monitor, args.flight)
     if report.ok:
         print("no violations")
         return 0
@@ -956,6 +1120,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
     )
     monitor.add_constraints_text(Path(args.constraints).read_text())
     _enable_cli_telemetry(monitor, args)
+    _enable_cli_statewatch(monitor, args)
     sources = []
     for index, spec in enumerate(args.source):
         name, path = _parse_source_spec(spec, index)
@@ -990,6 +1155,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
     except OSError as exc:
         raise ReproError(f"cannot write telemetry: {exc}") from exc
     _write_health_snapshot(monitor, args)
+    _write_state_snapshot(monitor, args)
     if args.quiet:
         return 0 if report.ok else 1
     print(
@@ -1000,6 +1166,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
     _print_ingest_summary(monitor, args.quarantine_log)
     _print_resilience_summary(monitor, args.quarantine_log)
     _print_slo_summary(monitor)
+    _print_state_summary(monitor, args.flight)
     if report.ok:
         print("no violations")
         return 0
@@ -1017,6 +1184,8 @@ def _command_health(args: argparse.Namespace) -> int:
         write_health,
     )
 
+    if args.snapshots and args.snapshots[0] == "render":
+        return _render_snapshots(args)
     docs = [load_health(path) for path in args.snapshots]
     merged = merge_health(docs)
     if args.merge_out:
@@ -1044,6 +1213,126 @@ def _command_health(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 1
+    return 0
+
+
+def _render_snapshots(args: argparse.Namespace) -> int:
+    """``health render SNAP...``: render snapshots without merging.
+
+    Accepts both ``repro-health/1`` and ``repro-state/1`` documents —
+    the two snapshot families share the same render discipline — and
+    never gates on budget state (always exit 0).
+    """
+    import json
+
+    from repro.obs import (
+        STATE_VERSION,
+        load_health,
+        render_health_text,
+        render_state_text,
+        validate_state,
+    )
+
+    paths = args.snapshots[1:]
+    if not paths:
+        raise ReproError("health render wants at least one snapshot file")
+    for path in paths:
+        _require_file(path, "snapshot")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot read snapshot {path}: {exc}"
+            ) from exc
+        if isinstance(raw, dict) and raw.get("version") == STATE_VERSION:
+            doc, render = validate_state(raw), render_state_text
+        else:
+            doc, render = load_health(path), render_health_text
+        if args.quiet:
+            continue
+        if args.format == "json":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render(doc))
+    return 0
+
+
+def _command_state(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_state_text, write_state
+
+    schema = load_schema(args.schema)
+    monitor = Monitor(schema, engine=args.engine)
+    monitor.add_constraints_text(Path(args.constraints).read_text())
+    watch = monitor.enable_statewatch(
+        sample_every=args.sample_every,
+        top_k=args.top_k,
+        flight=args.flight,
+    )
+    _require_file(args.history, "--history")
+    if args.every < 1:
+        raise ReproError("--every must be >= 1")
+    violations = 0
+    for time, txn in load_stream(args.history):
+        report = monitor.step(time, txn)
+        violations += len(report.violations)
+        if args.mode == "watch" and watch.steps_observed % args.every == 0:
+            checker = monitor.checker
+            print(
+                f"t={time} step={watch.steps_observed}: "
+                f"{checker.aux_tuple_count()} aux tuple(s), "
+                f"{checker.aux_valuation_count()} valuation(s), "
+                f"{sum(watch.bound_breaches.values())} breach step(s)"
+            )
+    snapshot = watch.snapshot(monitor.checker)
+    if args.out:
+        try:
+            write_state(snapshot, args.out)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write state snapshot: {exc}"
+            ) from exc
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.mode == "top":
+        hitters = snapshot["heavy_hitters"]
+        if not any(hitters.values()):
+            print("no heavy hitters (no auxiliary valuations sampled)")
+        for label, entries in hitters.items():
+            if not entries:
+                continue
+            print(f"node {label}:")
+            for entry in entries[: args.top_k]:
+                shown = ", ".join(repr(v) for v in entry["valuation"])
+                print(
+                    f"  ({shown}): weight {entry['weight']} "
+                    f"(error <= {entry['error']})"
+                )
+    elif args.mode == "bound-check":
+        for label, entry in snapshot["bounds"].items():
+            verdict = (
+                "within bound" if entry["within"]
+                else f"OVER BOUND ({entry['breaches']} breach step(s))"
+            )
+            print(
+                f"{label}: {entry['tuples']} tuple(s) vs bound "
+                f"{entry['bound']} -> {verdict}"
+            )
+    else:
+        print(render_state_text(snapshot))
+    if args.mode == "watch" and violations:
+        print(f"{violations} violation(s) during replay")
+    if args.mode == "bound-check":
+        breached = sum(watch.bound_breaches.values())
+        if breached:
+            print(
+                f"FAIL: analytic bound exceeded on {breached} step(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print("all temporal nodes stayed within their analytic bounds")
     return 0
 
 
@@ -1565,6 +1854,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_stats(args)
         if args.command == "health":
             return _command_health(args)
+        if args.command == "state":
+            return _command_state(args)
         if args.command == "bench":
             return _command_bench(args)
         if args.command == "perf":

@@ -42,6 +42,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.auxiliary import AuxiliaryState, make_auxiliary
 from repro.core.checker import Constraint, reject_future_constraints
+from repro.core.statespace import AuxAccounting
 from repro.core.foeval import AtomProvider, relation_atom_table
 from repro.core.formulas import (
     Aggregate,
@@ -327,7 +328,7 @@ class _AdomStateProvider(AtomProvider):
             ) from None
 
 
-class ActiveDomainChecker:
+class ActiveDomainChecker(AuxAccounting):
     """Incremental checking under prefix-active-domain semantics.
 
     Same stepping API as
@@ -373,6 +374,8 @@ class ActiveDomainChecker:
                     self._aux[node] = make_auxiliary(node)
         self._time: Optional[Timestamp] = None
         self._index = -1
+        #: virtual tables of the most recent step (for diagnose())
+        self._last_virtual: Dict[Formula, Table] = {}
         # telemetry attribution (see IncrementalChecker)
         self._constraint_aux = {
             c.name: tuple(
@@ -443,6 +446,7 @@ class ActiveDomainChecker:
         time = self._time
         domain = frozenset(self.domain)
         virtual: Dict[Formula, Table] = {}
+        self._last_virtual = virtual  # retained for diagnose()
         provider = _AdomStateProvider(self.state, virtual)
 
         def evaluate_now(
@@ -502,22 +506,16 @@ class ActiveDomainChecker:
             deferred=tuple(budget.deferred) if budget is not None else (),
         )
 
-    # instrumentation (same shape as IncrementalChecker)
-
-    def aux_tuple_count(self) -> int:
-        """Stored auxiliary entries plus nothing else — the domain set
-        is counted separately by :meth:`domain_size`."""
-        return sum(a.tuple_count() for a in self._aux.values())
+    # instrumentation: the uniform accounting protocol is inherited
+    # from repro.core.statespace.AuxAccounting; only the active-domain
+    # extras live here
 
     def domain_size(self) -> int:
         """Cumulative active-domain cardinality (grows monotonically)."""
         return len(self.domain)
 
-    def space_tuples(self) -> int:
-        """Uniform space hook (stored tuples); every engine has one."""
-        return self.aux_tuple_count()
-
-    @property
-    def temporal_node_count(self) -> int:
-        """Number of distinct temporal subformulas being tracked."""
-        return len(self._aux)
+    def state_profile(self, deep: bool = True) -> Dict[str, object]:
+        """Uniform accounting snapshot, plus the ``domain`` section."""
+        profile = super().state_profile(deep)
+        profile["domain"] = {"values": self.domain_size()}
+        return profile

@@ -34,7 +34,8 @@ history length.  That is the paper's central claim, and
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Callable, Dict, List, Optional, Tuple
+from sys import getsizeof
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.formulas import Formula, Once, Prev, Since
 from repro.core.intervals import Interval
@@ -51,6 +52,31 @@ EvalFn = Callable[..., Table]
 def _header(formula: Formula) -> Tuple[str, ...]:
     """Canonical column order for a formula's satisfaction table."""
     return tuple(sorted(formula.free_vars))
+
+
+def deep_size(obj) -> int:
+    """Approximate deep byte size of a container of plain values.
+
+    Walks dicts, lists, tuples, sets, and frozensets (the shapes the
+    auxiliary encodings are built from), summing ``sys.getsizeof`` over
+    every distinct object reached.  Shared objects are counted once, so
+    the figure is a footprint, not a sum of views.
+    """
+    seen = set()
+    stack = [obj]
+    total = 0
+    while stack:
+        item = stack.pop()
+        if id(item) in seen:
+            continue
+        seen.add(id(item))
+        total += getsizeof(item)
+        if isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+    return total
 
 
 class AuxiliaryState:
@@ -80,6 +106,40 @@ class AuxiliaryState:
     def valuation_count(self) -> int:
         """Distinct stored valuations."""
         raise NotImplementedError
+
+    def oldest_anchor(self) -> Optional[Timestamp]:
+        """Timestamp of the oldest retained anchor, or ``None``."""
+        raise NotImplementedError
+
+    def payload_bytes(self) -> int:
+        """Approximate deep byte size of the stored encoding."""
+        raise NotImplementedError
+
+    def iter_valuations(self) -> Iterator[Tuple[Row, int]]:
+        """Yield ``(valuation, stored-entry count)`` pairs."""
+        raise NotImplementedError
+
+    def state_profile(self, deep: bool = True) -> Dict[str, object]:
+        """Uniform accounting snapshot of this auxiliary state.
+
+        This is the per-node unit of the engine-level ``state_profile``
+        protocol (see :mod:`repro.core.statespace`).  Keys are stable:
+
+        - ``kind``: the encoding class name;
+        - ``tuples`` / ``valuations``: the space measures;
+        - ``bytes``: approximate deep size, or ``None`` when ``deep``
+          is false (byte walking is the expensive part, so samplers
+          can skip it on the hot path);
+        - ``oldest``: oldest retained anchor timestamp (staleness
+          anchor), or ``None`` when nothing is stored.
+        """
+        return {
+            "kind": type(self).__name__,
+            "tuples": self.tuple_count(),
+            "valuations": self.valuation_count(),
+            "bytes": self.payload_bytes() if deep else None,
+            "oldest": self.oldest_anchor(),
+        }
 
 
 class PrevState(AuxiliaryState):
@@ -112,6 +172,20 @@ class PrevState(AuxiliaryState):
 
     def valuation_count(self) -> int:
         return len(self._last_table)
+
+    def oldest_anchor(self) -> Optional[Timestamp]:
+        # one state of lookback: the previous timestamp, if any rows
+        # are retained for it
+        if self._last_table.is_empty:
+            return None
+        return self._last_time
+
+    def payload_bytes(self) -> int:
+        return deep_size(self._last_table.rows)
+
+    def iter_valuations(self) -> Iterator[Tuple[Row, int]]:
+        for row in self._last_table.rows:
+            yield row, 1
 
 
 class _AnchorMap:
@@ -182,6 +256,20 @@ class _AnchorMap:
     def valuation_count(self) -> int:
         return len(self.anchors)
 
+    def oldest_anchor(self) -> Optional[Timestamp]:
+        # per-valuation lists are sorted, so the head of each is its
+        # minimum; the global oldest is the minimum over heads
+        if not self.anchors:
+            return None
+        return min(ts[0] for ts in self.anchors.values())
+
+    def payload_bytes(self) -> int:
+        return deep_size(self.anchors)
+
+    def iter_valuations(self) -> Iterator[Tuple[Row, int]]:
+        for valuation, times in self.anchors.items():
+            yield valuation, len(times)
+
 
 class OnceState(AuxiliaryState):
     """Auxiliary state for ``ONCE[I] f``."""
@@ -205,6 +293,15 @@ class OnceState(AuxiliaryState):
 
     def valuation_count(self) -> int:
         return self._anchors.valuation_count()
+
+    def oldest_anchor(self) -> Optional[Timestamp]:
+        return self._anchors.oldest_anchor()
+
+    def payload_bytes(self) -> int:
+        return self._anchors.payload_bytes()
+
+    def iter_valuations(self) -> Iterator[Tuple[Row, int]]:
+        return self._anchors.iter_valuations()
 
 
 class SinceState(AuxiliaryState):
@@ -238,6 +335,15 @@ class SinceState(AuxiliaryState):
 
     def valuation_count(self) -> int:
         return self._anchors.valuation_count()
+
+    def oldest_anchor(self) -> Optional[Timestamp]:
+        return self._anchors.oldest_anchor()
+
+    def payload_bytes(self) -> int:
+        return self._anchors.payload_bytes()
+
+    def iter_valuations(self) -> Iterator[Tuple[Row, int]]:
+        return self._anchors.iter_valuations()
 
 
 def make_auxiliary(

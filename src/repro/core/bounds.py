@@ -168,23 +168,32 @@ def profile(formula: Formula) -> FormulaProfile:
     )
 
 
+def node_tuple_bound(node: Formula, valuations: int) -> int:
+    """Analytic tuple bound for one temporal node's auxiliary state.
+
+    Given that the node currently stores ``valuations`` distinct
+    valuations: a bounded ``ONCE``/``SINCE`` keeps at most ``window + 1``
+    anchor timestamps per valuation; an unbounded one (min-timestamp
+    collapse) and ``PREV`` keep exactly one entry per valuation.  This
+    is the per-step conformance bound the state observatory
+    (:mod:`repro.obs.statewatch`) checks measured state against.
+    """
+    if isinstance(node, (Once, Since)) and node.interval.is_bounded:
+        return valuations * (node.interval.high + 1)  # type: ignore[operator]
+    return valuations
+
+
 def predicted_tuple_bound(
     formula: Formula, valuations_per_node: int
 ) -> Optional[int]:
     """A coarse upper bound on auxiliary tuples for the whole formula.
 
     Assumes at most ``valuations_per_node`` distinct valuations per
-    temporal node (data-dependent); bounded nodes contribute
-    ``valuations * (window + 1)`` timestamps, unbounded nodes and PREV
-    contribute ``valuations``.
+    temporal node (data-dependent); each node contributes its
+    :func:`node_tuple_bound`.
     """
     total = 0
     for node in formula.temporal_subformulas():
-        if isinstance(node, Prev):
-            total += valuations_per_node
-        elif isinstance(node, (Once, Since)):
-            if node.interval.is_bounded:
-                total += valuations_per_node * (node.interval.high + 1)  # type: ignore[operator]
-            else:
-                total += valuations_per_node
+        if isinstance(node, (Prev, Once, Since)):
+            total += node_tuple_bound(node, valuations_per_node)
     return total

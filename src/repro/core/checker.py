@@ -29,6 +29,7 @@ from repro.core.formulas import Atom, Formula, Not
 from repro.core.normalize import normalize
 from repro.core.parser import parse
 from repro.core.safety import check_node_conditions, check_safe
+from repro.core.statespace import AuxAccounting
 from repro.core.violations import RunReport, StepReport, Violation
 from repro.db.algebra import Table
 from repro.db.database import DatabaseState
@@ -141,7 +142,7 @@ class _StateProvider(AtomProvider):
             ) from None
 
 
-class IncrementalChecker:
+class IncrementalChecker(AuxAccounting):
     """Checks constraints over an update stream in bounded space."""
 
     #: engine label used in telemetry series and by ``space_of``
@@ -396,30 +397,6 @@ class IncrementalChecker:
             self._cached_witnesses[constraint.name] = witnesses
         return witnesses
 
-    # ------------------------------------------------------------------
-    # instrumentation (used by the experiments)
-    # ------------------------------------------------------------------
-
-    def aux_tuple_count(self) -> int:
-        """Total (valuation, timestamp) entries across all auxiliary
-        relations — the paper's space measure."""
-        return sum(a.tuple_count() for a in self._aux.values())
-
-    def space_tuples(self) -> int:
-        """Uniform space hook (stored tuples); every engine has one."""
-        return self.aux_tuple_count()
-
-    def aux_valuation_count(self) -> int:
-        """Total distinct valuations across all auxiliary relations."""
-        return sum(a.valuation_count() for a in self._aux.values())
-
-    def aux_profile(self) -> Dict[str, int]:
-        """Per-temporal-subformula stored-entry counts."""
-        return {
-            str(node): aux.tuple_count() for node, aux in self._aux.items()
-        }
-
-    @property
-    def temporal_node_count(self) -> int:
-        """Number of distinct temporal subformulas being tracked."""
-        return len(self._aux)
+    # instrumentation: the uniform accounting protocol
+    # (aux_tuple_count / aux_profile / state_profile / ...) is
+    # inherited from repro.core.statespace.AuxAccounting

@@ -11,18 +11,34 @@ per witness:
   witness's valuation — the stored anchor timestamps and how far the
   nearest one is from the window.
 
+All five monitor engines are supported.  The evidence source differs
+by engine but the report format does not:
+
+* ``incremental`` / ``adom`` — the in-memory auxiliary states and the
+  retained virtual tables of the reported step;
+* ``active`` — the auxiliary *tables* (``aux{i}`` anchor rows, the
+  ``PREV`` carry-over relations);
+* ``naive`` / ``naive-memo`` — no auxiliary state exists, so anchor
+  times are recomputed by scanning the stored history (the evidence
+  line is prefixed ``history scan:``).
+
+:func:`anchor_evidence` is public: the flight recorder
+(:mod:`repro.obs.flight`) embeds the same evidence strings in its
+crash snapshots, so a flight artifact joins against a later
+``diagnose()`` of the same violation verbatim.
+
 Must be called before the next ``step`` (the virtual tables and
 auxiliary relations it reads are those of the reported state).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.auxiliary import OnceState, PrevState, SinceState
 from repro.core.checker import IncrementalChecker, _StateProvider
 from repro.core.foeval import evaluate
-from repro.core.formulas import And, Formula, Not
+from repro.core.formulas import And, Formula, Not, Once, Prev, Since
 from repro.core.violations import Violation
 from repro.db.algebra import Table
 from repro.db.types import Value
@@ -38,32 +54,77 @@ def _witness_context(
     return Table.unit(binding)
 
 
-def _anchor_evidence(
-    checker: IncrementalChecker,
-    node: Formula,
-    witness: Dict[str, Value],
-) -> str:
-    """Describe the stored auxiliary evidence for one witness."""
-    aux = checker._aux.get(node)
-    now = checker.now
-    if aux is None or now is None:
-        return "no auxiliary state"
-    columns = tuple(sorted(node.free_vars))
-    if not all(c in witness for c in columns):
-        return "witness does not bind this subformula"
-    key = tuple(witness[c] for c in columns)
-    if isinstance(aux, PrevState):
-        held = key in aux._last_table.rows if columns else bool(
-            len(aux._last_table)
+def _witness_in(
+    table: Table, witness: Dict[str, Value], formula: Formula
+) -> bool:
+    """Whether the witness's binding appears in a full answer table."""
+    columns = tuple(sorted(formula.free_vars))
+    bound = tuple(c for c in columns if c in witness)
+    if not bound:
+        return not table.is_empty
+    key = tuple(witness[c] for c in bound)
+    return key in set(table.project(bound)._aligned_rows(bound))
+
+
+def _conjunct_verdict(checker, part, witness) -> Optional[bool]:
+    """Evaluate one conjunct under the witness; None = undecidable."""
+    context = _witness_context(witness, part.free_vars)
+    try:
+        if isinstance(checker, IncrementalChecker):
+            provider = _StateProvider(
+                checker.state, checker._last_virtual
+            )
+            return not evaluate(part, provider, context).is_empty
+        from repro.core.adom import (
+            ActiveDomainChecker,
+            _AdomStateProvider,
+            evaluate_adom,
         )
-        return (
-            "operand holds at the current state (visible next step)"
-            if held
-            else "operand does not hold at the current state"
-        )
-    assert isinstance(aux, (OnceState, SinceState))
-    times = aux._anchors.anchors.get(key)
-    interval = node.interval  # type: ignore[attr-defined]
+
+        if isinstance(checker, ActiveDomainChecker):
+            provider = _AdomStateProvider(
+                checker.state, checker._last_virtual
+            )
+            table = evaluate_adom(
+                part, provider, frozenset(checker.domain)
+            )
+            return _witness_in(table, witness, part)
+        from repro.active.compiler import ActiveChecker, _ActiveProvider
+
+        if isinstance(checker, ActiveChecker):
+            provider = _ActiveProvider(checker)
+            return not evaluate(part, provider, context).is_empty
+        from repro.core.naive import NaiveChecker
+        from repro.core.semantics import HistoryEvaluator
+
+        if isinstance(checker, NaiveChecker):
+            evaluator = (
+                checker._evaluator
+                if checker._evaluator is not None
+                else HistoryEvaluator(checker.history)
+            )
+            index = checker.history.length - 1
+            if isinstance(part, Not):
+                # negation alone is not range-restricted over the
+                # history evaluator; decide it from the operand when
+                # the witness binds it fully
+                inner = part.operand
+                if not all(v in witness for v in inner.free_vars):
+                    return None
+                table = evaluator.table_at(inner, index)
+                return not _witness_in(table, witness, inner)
+            table = evaluator.table_at(part, index)
+            return _witness_in(table, witness, part)
+    except Exception:
+        return None
+    raise MonitorError(
+        f"diagnose() does not support engine "
+        f"{type(checker).__name__!r}"
+    )
+
+
+def _describe_anchors(times, now, interval) -> str:
+    """The shared ONCE/SINCE evidence formatter (all engines)."""
     if not times:
         return "no anchors stored for this valuation"
     ages = [now - t for t in times]
@@ -80,16 +141,136 @@ def _anchor_evidence(
     )
 
 
+def _describe_prev(held: bool) -> str:
+    return (
+        "operand holds at the current state (visible next step)"
+        if held
+        else "operand does not hold at the current state"
+    )
+
+
+def anchor_evidence(
+    checker, node: Formula, witness: Dict[str, Value]
+) -> str:
+    """Describe the stored auxiliary evidence for one witness.
+
+    Works across all five engines; see the module docstring for where
+    each engine's evidence comes from.
+    """
+    now = checker.now
+    if now is None:
+        return "no auxiliary state"
+    columns = tuple(sorted(node.free_vars))
+    if not all(c in witness for c in columns):
+        return "witness does not bind this subformula"
+    key = tuple(witness[c] for c in columns)
+
+    aux_map = getattr(checker, "_aux", None)
+    if aux_map is not None and node in aux_map:
+        aux = aux_map[node]
+        if isinstance(aux, PrevState):
+            held = (
+                key in aux._last_table.rows
+                if columns
+                else bool(len(aux._last_table))
+            )
+            return _describe_prev(held)
+        assert isinstance(aux, (OnceState, SinceState))
+        return _describe_anchors(
+            aux._anchors.anchors.get(key), now, node.interval  # type: ignore[attr-defined]
+        )
+
+    plans = getattr(checker, "_plans", None)
+    if plans is not None:
+        plan = plans.get(node)
+        if plan is None:
+            return "no auxiliary state"
+        state = checker.engine.state
+        if isinstance(node, Prev):
+            rows = state.relation(plan.prev_operand_table).rows
+            held = key in rows if columns else bool(rows)
+            return _describe_prev(held)
+        rows = state.relation(plan.aux_table).rows
+        k = len(plan.variables)
+        times = sorted(r[k] for r in rows if r[:k] == key)
+        return _describe_anchors(times, now, node.interval)  # type: ignore[attr-defined]
+
+    history = getattr(checker, "history", None)
+    if history is not None:
+        from repro.core.semantics import HistoryEvaluator
+
+        evaluator = getattr(checker, "_evaluator", None)
+        if evaluator is None:
+            evaluator = HistoryEvaluator(history)
+        if isinstance(node, Prev):
+            table = evaluator.table_at(
+                node.operand, history.length - 1
+            )
+            return "history scan: " + _describe_prev(
+                _witness_in(table, witness, node.operand)
+            )
+        assert isinstance(node, (Once, Since))
+        anchor = node.right if isinstance(node, Since) else node.operand
+        times = []
+        for index, snap in enumerate(history):
+            table = evaluator.table_at(anchor, index)
+            if _witness_in(table, witness, anchor):
+                times.append(snap.time)
+        return "history scan: " + _describe_anchors(
+            times, now, node.interval
+        )
+
+    return "no auxiliary state"
+
+
+#: Backwards-compatible alias (pre-generalisation internal name).
+def _anchor_evidence(checker, node, witness) -> str:
+    return anchor_evidence(checker, node, witness)
+
+
+def witness_evidence(
+    checker, violation: Violation, max_witnesses: int = 3
+) -> List[Dict]:
+    """Structured per-witness anchor evidence for a violation.
+
+    The machine-readable core of :func:`diagnose` — one entry per
+    examined witness, mapping each temporal subformula's label to its
+    evidence string.  The flight recorder embeds exactly this, so its
+    snapshots join against ``diagnose()`` output.
+    """
+    constraint = _find_constraint(checker, violation)
+    entries: List[Dict] = []
+    for witness in violation.witness_dicts()[:max_witnesses]:
+        evidence = {
+            str(node): anchor_evidence(checker, node, witness)
+            for node in constraint.violation_formula.temporal_subformulas()
+        }
+        entries.append({"witness": witness, "evidence": evidence})
+    return entries
+
+
+def _find_constraint(checker, violation: Violation):
+    constraint = next(
+        (c for c in checker.constraints if c.name == violation.constraint),
+        None,
+    )
+    if constraint is None:
+        raise MonitorError(
+            f"checker has no constraint named {violation.constraint!r}"
+        )
+    return constraint
+
+
 def diagnose(
-    checker: IncrementalChecker,
+    checker,
     violation: Violation,
     max_witnesses: int = 3,
 ) -> str:
     """A multi-line report explaining a violation's witnesses.
 
     Args:
-        checker: the incremental checker that produced the violation,
-            *not yet stepped further*.
+        checker: the engine that produced the violation (any of the
+            five monitor engines), *not yet stepped further*.
         violation: one entry of the step report's ``violations``.
         max_witnesses: cap on witnesses examined.
 
@@ -102,16 +283,8 @@ def diagnose(
             f"violating state (checker at t={checker.now}, violation "
             f"at t={violation.time})"
         )
-    constraint = next(
-        (c for c in checker.constraints if c.name == violation.constraint),
-        None,
-    )
-    if constraint is None:
-        raise MonitorError(
-            f"checker has no constraint named {violation.constraint!r}"
-        )
+    constraint = _find_constraint(checker, violation)
     formula = constraint.violation_formula
-    provider = _StateProvider(checker.state, checker._last_virtual)
     conjuncts = (
         list(formula.operands) if isinstance(formula, And) else [formula]
     )
@@ -129,11 +302,7 @@ def diagnose(
         )
         lines.append(f"  witness {shown}:")
         for part in conjuncts:
-            context = _witness_context(witness, part.free_vars)
-            try:
-                satisfied = not evaluate(part, provider, context).is_empty
-            except Exception:
-                satisfied = None
+            satisfied = _conjunct_verdict(checker, part, witness)
             if satisfied is None:
                 verdict = "needs other bindings"
             else:
@@ -144,7 +313,7 @@ def diagnose(
                 lines.append(
                     f"             {type(node).__name__.upper()}"
                     f"{node.interval}: "
-                    + _anchor_evidence(checker, node, witness)
+                    + anchor_evidence(checker, node, witness)
                 )
     hidden = violation.witness_count - len(witnesses)
     if hidden > 0:

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.auxiliary import AuxiliaryState, make_auxiliary
 from repro.core.bounds import future_horizon
 from repro.core.checker import Constraint
+from repro.core.statespace import AuxAccounting
 from repro.core.foeval import AtomProvider, evaluate, relation_atom_table
 from repro.core.formulas import (
     Atom,
@@ -100,7 +101,7 @@ class _WindowProvider(AtomProvider):
             ) from None
 
 
-class DelayedChecker:
+class DelayedChecker(AuxAccounting):
     """Checks bounded-future constraints with finite verdict delay.
 
     The stepping API differs from the pure-past checkers in one way
@@ -108,6 +109,9 @@ class DelayedChecker:
     empty) list of *newly finalised* verdicts, which lag the input by
     at most the future horizon, and :meth:`finish` flushes the rest.
     """
+
+    #: engine label used in telemetry series and state profiles
+    engine_label = "delayed"
 
     def __init__(
         self,
@@ -319,20 +323,52 @@ class DelayedChecker:
         return pending.project(_header(node))
 
     # ------------------------------------------------------------------
-    # instrumentation
+    # instrumentation: past-aux accounting is inherited from
+    # repro.core.statespace.AuxAccounting; the verdict-delay buffer is
+    # the delayed checker's own contribution
     # ------------------------------------------------------------------
 
-    def aux_tuple_count(self) -> int:
-        """Past auxiliary entries (the bounded encoding)."""
-        return sum(a.tuple_count() for a in self._aux.values())
-
     def buffered_tuples(self) -> int:
-        """Tuples held by the finite verdict-delay buffer."""
-        return sum(entry.state.total_rows for entry in self._window)
+        """Tuples held by the finite verdict-delay buffer.
+
+        Each buffered state retains its database rows *and* the cached
+        virtual tables of every past node (needed to finalise the
+        verdict later); both are lookahead state the space bound must
+        cover.  Counting only the database rows — as an earlier
+        revision did — under-counts the buffer.
+        """
+        total = 0
+        for entry in self._window:
+            total += entry.state.total_rows
+            total += sum(
+                len(table) for table in entry.past_virtual.values()
+            )
+        return total
+
+    def buffered_virtual_tuples(self) -> int:
+        """Cached past-node virtual-table rows across the buffer."""
+        return sum(
+            len(table)
+            for entry in self._window
+            for table in entry.past_virtual.values()
+        )
 
     def space_tuples(self) -> int:
         """Uniform space hook: past aux entries plus the delay buffer."""
         return self.aux_tuple_count() + self.buffered_tuples()
+
+    def state_profile(self, deep: bool = True) -> Dict[str, object]:
+        """Uniform accounting snapshot, plus the ``buffer`` section."""
+        profile = super().state_profile(deep)
+        virtual = self.buffered_virtual_tuples()
+        profile["buffer"] = {
+            "states": len(self._window),
+            "database_tuples": sum(
+                entry.state.total_rows for entry in self._window
+            ),
+            "virtual_tuples": virtual,
+        }
+        return profile
 
 
 class _ArrivalProvider(AtomProvider):

@@ -119,6 +119,7 @@ class Monitor:
         self._resilience = None
         self._ingest = None
         self._telemetry = None
+        self._statewatch = None
         if step_deadline is not None:
             self._configure_deadline(step_deadline, urgent)
         if fault_policy is not None or quarantine_log is not None:
@@ -212,6 +213,59 @@ class Monitor:
             self._budget.telemetry = self._telemetry
         return self._telemetry
 
+    def enable_statewatch(
+        self,
+        sample_every: int = 8,
+        leak_window: int = 32,
+        leak_slope: float = 1.0,
+        top_k: int = 8,
+        flight=None,
+        flight_capacity: int = 256,
+    ):
+        """Attach the state observatory (and, optionally, a flight box).
+
+        After every step, measures the engine's auxiliary state per
+        temporal subformula (via the uniform
+        :mod:`~repro.core.statespace` protocol), compares it against
+        the analytic per-node bound of
+        :func:`repro.core.bounds.node_tuple_bound`, and tracks growth
+        and heavy-hitter valuations.  Fired
+        :class:`~repro.obs.statewatch.StateAlert` bound/leak alerts
+        route to :meth:`on_alert` handlers — the same channel as SLO
+        alerts, including handler isolation.
+
+        Args:
+            sample_every: cadence (steps) of the expensive work (deep
+                byte sizes, sketch updates, metric exports); the bound
+                and leak rules run every step regardless.
+            leak_window: sliding window (steps) of the growth rule.
+            leak_slope: tuples/step slope at which the leak rule fires.
+            top_k: heavy-hitter valuations retained per node.
+            flight: optional flight recorder — a
+                :class:`~repro.obs.flight.FlightRecorder` or a path to
+                dump ``repro-flight/1`` artifacts at.
+            flight_capacity: ring size when ``flight`` is a path.
+
+        Returns:
+            The attached :class:`~repro.obs.statewatch.StateWatch`.
+        """
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.statewatch import StateWatch
+
+        if self._statewatch is not None:
+            raise MonitorError("statewatch is already enabled")
+        if flight is not None and not isinstance(flight, FlightRecorder):
+            flight = FlightRecorder(flight, capacity=flight_capacity)
+        self._statewatch = StateWatch(
+            metrics=self._metrics(),
+            sample_every=sample_every,
+            leak_window=leak_window,
+            leak_slope=leak_slope,
+            top_k=top_k,
+            flight=flight,
+        )
+        return self._statewatch
+
     def on_alert(self, handler) -> None:
         """Register ``handler(alert)`` to run on every SLO alert.
 
@@ -253,6 +307,11 @@ class Monitor:
     def telemetry(self):
         """The attached event-time telemetry (None when disabled)."""
         return self._telemetry
+
+    @property
+    def statewatch(self):
+        """The attached state observatory (None when disabled)."""
+        return self._statewatch
 
     @property
     def resilience(self):
@@ -437,10 +496,12 @@ class Monitor:
         telemetry = self._telemetry
         if telemetry is None:
             if self._resilience is None and self._journal is None:
-                return self._note(
-                    self._dispatch(self.checker.step(time, txn))
+                return self._observe_state(
+                    self._note(
+                        self._dispatch(self.checker.step(time, txn))
+                    )
                 )
-            return self._guarded_step(time, txn)
+            return self._observe_state(self._guarded_step(time, txn))
         try:
             telemetry.check_begin(time)
         except TypeError:  # unhashable timestamp — the fault boundary's job
@@ -451,6 +512,11 @@ class Monitor:
             report = self._guarded_step(time, txn)
         if telemetry is not None:
             self._emit_alerts(telemetry.verdict(time, report))
+        return self._observe_state(report)
+
+    def _observe_state(self, report: StepReport) -> StepReport:
+        if self._statewatch is not None:
+            self._emit_alerts(self._statewatch.observe(self.checker, report))
         return report
 
     def _note(self, report: StepReport) -> StepReport:
@@ -544,7 +610,7 @@ class Monitor:
         )
         if telemetry is not None:
             self._emit_alerts(telemetry.verdict(time, report))
-        return report
+        return self._observe_state(report)
 
     def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
         """Process a whole update stream; return the aggregate report."""
@@ -554,6 +620,7 @@ class Monitor:
             and self._journal is None
             and self._budget is None
             and self._telemetry is None
+            and self._statewatch is None
         ):
             return self.checker.run(stream)
         report = RunReport()

@@ -168,3 +168,62 @@ class NaiveChecker:
     def space_tuples(self) -> int:
         """Uniform space hook (stored tuples); every engine has one."""
         return self.stored_tuples()
+
+    # the uniform accounting protocol (repro.core.statespace): the
+    # naive engines keep no auxiliary relations, so the aux hooks are
+    # empty and the footprint shows up in the ``history`` section
+
+    def aux_nodes(self) -> list:
+        """Temporal subformulas with auxiliary state (none here)."""
+        return []
+
+    def aux_tuple_count(self) -> int:
+        """Auxiliary entries — always 0; the history is the store."""
+        return 0
+
+    def aux_valuation_count(self) -> int:
+        """Distinct auxiliary valuations — always 0."""
+        return 0
+
+    def aux_profile(self) -> dict:
+        """Per-node auxiliary counts — empty for the naive engines."""
+        return {}
+
+    def aux_counts(self) -> dict:
+        """Per-node (tuples, valuations) — empty for the naive engines."""
+        return {}
+
+    def iter_state_valuations(self):
+        """No per-valuation auxiliary state to enumerate."""
+        return iter(())
+
+    def state_profile(self, deep: bool = True) -> dict:
+        """Uniform accounting snapshot (``history`` section only)."""
+        from repro.core.statespace import deep_size
+
+        tuples = self.stored_tuples()
+        return {
+            "engine": self.engine_label,
+            "nodes": {},
+            "total": {
+                "tuples": 0,
+                "valuations": 0,
+                "bytes": 0 if deep else None,
+            },
+            "space_tuples": self.space_tuples(),
+            "history": {
+                "states": self.stored_states(),
+                "tuples": tuples,
+                "bytes": (
+                    deep_size(
+                        [
+                            tuple(rel.rows)
+                            for snap in self.history
+                            for rel in snap.state
+                        ]
+                    )
+                    if deep
+                    else None
+                ),
+            },
+        }

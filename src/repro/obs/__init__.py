@@ -38,6 +38,16 @@ the arrival → reorder-release → check → verdict path,
 error budgets and fast/slow burn-rate alerts on every verdict, and
 :mod:`repro.obs.health` renders it all into versioned, associatively
 mergeable health snapshots (``Monitor.health()`` / ``repro health``).
+
+State observability watches the paper's *space* claim at runtime:
+:class:`~repro.obs.statewatch.StateWatch` accounts auxiliary state per
+constraint and temporal subformula each step (through the uniform
+:mod:`repro.core.statespace` protocol), alerts when a node exceeds its
+analytic bound or the total keeps growing, and sketches heavy-hitter
+valuations; :class:`~repro.obs.flight.FlightRecorder` keeps a bounded
+black box of recent steps and dumps a ``repro-flight/1`` artifact on
+violations, faults, and budget exhaustion (``Monitor.
+enable_statewatch()`` / ``repro state``).
 """
 
 from repro.obs.bench import (
@@ -52,6 +62,12 @@ from repro.obs.export import (
     render_json,
     render_prometheus,
     write_metrics,
+)
+from repro.obs.flight import (
+    FLIGHT_VERSION,
+    FlightRecorder,
+    read_flight,
+    validate_flight,
 )
 from repro.obs.health import (
     HEALTH_VERSION,
@@ -86,6 +102,16 @@ from repro.obs.slo import (
     load_slo_file,
     parse_slo_doc,
 )
+from repro.obs.statewatch import (
+    STATE_VERSION,
+    SpaceSavingSketch,
+    StateAlert,
+    StateWatch,
+    load_state,
+    render_state_text,
+    validate_state,
+    write_state,
+)
 from repro.obs.telemetry import EventTimeTelemetry
 from repro.obs.tracer import Tracer, read_trace
 
@@ -95,6 +121,8 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "EventTimeTelemetry",
+    "FLIGHT_VERSION",
+    "FlightRecorder",
     "Gauge",
     "HEALTH_VERSION",
     "Histogram",
@@ -108,6 +136,10 @@ __all__ = [
     "SLOAlert",
     "SLOEngine",
     "SLOSpec",
+    "STATE_VERSION",
+    "SpaceSavingSketch",
+    "StateAlert",
+    "StateWatch",
     "Tracer",
     "build_artifact",
     "build_health",
@@ -116,17 +148,23 @@ __all__ = [
     "format_report",
     "load_health",
     "load_slo_file",
+    "load_state",
     "merge_health",
     "parse_slo_doc",
     "percentile",
     "read_artifact",
+    "read_flight",
     "read_trace",
     "render_health_text",
     "render_json",
     "render_prometheus",
+    "render_state_text",
     "validate_artifact",
+    "validate_flight",
     "validate_health",
+    "validate_state",
     "write_artifact",
     "write_health",
     "write_metrics",
+    "write_state",
 ]

@@ -1,0 +1,289 @@
+"""Flight recorder: a bounded black box for post-incident forensics.
+
+A :class:`FlightRecorder` rides along a monitored run (wired in by
+:meth:`repro.Monitor.enable_statewatch` or a standalone
+:class:`~repro.obs.statewatch.StateWatch`) and keeps a bounded ring
+buffer of recent step *spans* — step index, timestamp, violation and
+deferral names, fault summary, state alerts.  When an incident fires
+it dumps the ring plus a deep auxiliary-state snapshot to a versioned
+``repro-flight/1`` JSONL artifact, so the run's final approach is
+preserved even after the process is gone.
+
+Incidents, in trigger priority:
+
+* ``"violation"`` — the step reported constraint violations;
+* ``"fault"`` — a fault policy skipped the step;
+* ``"budget"`` — the step budget deferred constraint evaluations;
+* ``"state-alert"`` — the state observatory fired a bound or leak
+  alert on the step.
+
+Each dump *overwrites* the artifact path: the file always holds the
+latest incident (the black box records the last crash, not all of
+them); ``dump_count`` says how many incidents were recorded.
+
+Artifact layout (one JSON object per line)::
+
+    {"header": {"version": "repro-flight/1", "reason": ..., "step": ...,
+                "time": ..., "engine": ..., "spans": N, "dump": K}}
+    {"span": {...}}          # oldest first, up to `capacity` lines
+    ...
+    {"snapshot": <state_profile(deep=True) of the engine>}
+    {"evidence": [...]}      # only on violation dumps; the per-witness
+                             # anchor evidence of repro.core.diagnose
+
+The ``evidence`` entries are produced by
+:func:`repro.core.diagnose.witness_evidence`, so a flight artifact
+joins verbatim against a later ``diagnose()`` of the same violation.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import TelemetryError
+
+#: artifact schema identifier (bump on breaking layout changes)
+FLIGHT_VERSION = "repro-flight/1"
+
+#: incident kinds, in trigger priority order
+FLIGHT_REASONS = ("violation", "fault", "budget", "state-alert")
+
+
+class FlightRecorder:
+    """Bounded ring of step spans, dumped to JSONL on incidents.
+
+    Args:
+        path: artifact path the black box dumps to (parent directories
+            are created; each dump overwrites the file).
+        capacity: spans retained in the ring (the last ``capacity``
+            steps before an incident appear in the artifact).
+        max_witnesses: witnesses per violation examined for anchor
+            evidence on violation dumps.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        capacity: int = 256,
+        max_witnesses: int = 3,
+    ):
+        if capacity < 1:
+            raise TelemetryError("capacity must be >= 1")
+        self.path = Path(path)
+        self.capacity = capacity
+        self.max_witnesses = max_witnesses
+        self._spans: deque = deque(maxlen=capacity)
+        self._dumps = 0
+        self._last_reason: Optional[str] = None
+        #: the OSError of the most recent failed dump (None when the
+        #: last dump landed); a black box that cannot write must not
+        #: take the monitored run down with it
+        self.last_error: Optional[OSError] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        """Spans currently in the ring (at most ``capacity``)."""
+        return len(self._spans)
+
+    @property
+    def dump_count(self) -> int:
+        """Incidents dumped so far."""
+        return self._dumps
+
+    @property
+    def last_reason(self) -> Optional[str]:
+        """Reason of the most recent dump (None before any)."""
+        return self._last_reason
+
+    def note_step(self, checker, report, alerts=()) -> Optional[str]:
+        """Record one step; dump and return the reason on an incident.
+
+        Called by :class:`~repro.obs.statewatch.StateWatch` after every
+        observed step.  ``report`` may be ``None`` (standalone watches
+        without a step report): the span is still recorded and only
+        state alerts can trigger a dump.
+        """
+        span: Dict[str, object] = {
+            "step": report.index if report is not None else None,
+            "time": report.time if report is not None else None,
+            "violations": (
+                [v.constraint for v in report.violations]
+                if report is not None
+                else []
+            ),
+            "deferred": (
+                list(report.deferred) if report is not None else []
+            ),
+            "fault": (
+                str(report.fault)
+                if report is not None and report.fault is not None
+                else None
+            ),
+            "alerts": [a.to_dict() for a in alerts],
+        }
+        self._spans.append(span)
+        reason = self._incident_reason(report, alerts)
+        if reason is not None:
+            try:
+                self.dump(checker, reason, report)
+            except OSError as exc:
+                self.last_error = exc
+        return reason
+
+    @staticmethod
+    def _incident_reason(report, alerts) -> Optional[str]:
+        if report is not None:
+            if report.violations:
+                return "violation"
+            if report.skipped:
+                return "fault"
+            if report.degraded:
+                return "budget"
+        if alerts:
+            return "state-alert"
+        return None
+
+    # ------------------------------------------------------------------
+    # dumping
+    # ------------------------------------------------------------------
+
+    def dump(self, checker, reason: str, report=None) -> Path:
+        """Write the artifact now (normally driven by :meth:`note_step`)."""
+        if reason not in FLIGHT_REASONS:
+            raise TelemetryError(
+                f"unknown flight reason {reason!r}; "
+                f"choose from {FLIGHT_REASONS}"
+            )
+        self._dumps += 1
+        self._last_reason = reason
+        header = {
+            "version": FLIGHT_VERSION,
+            "reason": reason,
+            "step": report.index if report is not None else None,
+            "time": report.time if report is not None else None,
+            "engine": getattr(checker, "engine_label", "unknown"),
+            "spans": len(self._spans),
+            "dump": self._dumps,
+        }
+        lines = [json.dumps({"header": header}, sort_keys=True)]
+        for span in self._spans:
+            lines.append(json.dumps({"span": span}, sort_keys=True))
+        lines.append(
+            json.dumps(
+                {"snapshot": checker.state_profile(deep=True)},
+                sort_keys=True,
+            )
+        )
+        evidence = self._evidence(checker, reason, report)
+        if evidence is not None:
+            lines.append(json.dumps({"evidence": evidence}, sort_keys=True))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        self.last_error = None
+        return self.path
+
+    def _evidence(self, checker, reason, report) -> Optional[List[Dict]]:
+        if reason != "violation" or report is None:
+            return None
+        if getattr(checker, "now", None) != report.time:
+            return None  # checker already stepped past the violation
+        from repro.core.diagnose import witness_evidence
+
+        entries = []
+        for violation in report.violations:
+            try:
+                witnesses = witness_evidence(
+                    checker, violation, self.max_witnesses
+                )
+            except Exception:
+                continue  # forensics must never fail the step
+            entries.append(
+                {"constraint": violation.constraint, "witnesses": witnesses}
+            )
+        return entries
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({len(self._spans)}/{self.capacity} span(s), "
+            f"{self._dumps} dump(s) -> {self.path})"
+        )
+
+
+# ----------------------------------------------------------------------
+# artifact I/O
+# ----------------------------------------------------------------------
+
+
+def validate_flight(doc: Dict) -> Dict:
+    """Validate a parsed flight artifact; return it.
+
+    Raises:
+        TelemetryError: naming the first offending field.
+    """
+    if not isinstance(doc, dict):
+        raise TelemetryError("flight artifact must be a dict")
+    header = doc.get("header")
+    if not isinstance(header, dict):
+        raise TelemetryError("flight artifact is missing 'header'")
+    version = header.get("version")
+    if version != FLIGHT_VERSION:
+        raise TelemetryError(
+            f"unsupported flight artifact version {version!r} "
+            f"(expected {FLIGHT_VERSION!r})"
+        )
+    if header.get("reason") not in FLIGHT_REASONS:
+        raise TelemetryError(
+            f"flight header has unknown reason {header.get('reason')!r}"
+        )
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        raise TelemetryError("flight artifact is missing 'spans'")
+    if not isinstance(doc.get("snapshot"), dict):
+        raise TelemetryError("flight artifact is missing 'snapshot'")
+    return doc
+
+
+def read_flight(path: Union[str, Path]) -> Dict:
+    """Load and validate a flight artifact.
+
+    Returns:
+        ``{"header": ..., "spans": [...], "snapshot": ...,
+        "evidence": [...] or None}``.
+    """
+    doc: Dict[str, object] = {"spans": [], "evidence": None}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"flight artifact has a malformed line: {exc}"
+                ) from exc
+            if "header" in record:
+                doc["header"] = record["header"]
+            elif "span" in record:
+                doc["spans"].append(record["span"])  # type: ignore[union-attr]
+            elif "snapshot" in record:
+                doc["snapshot"] = record["snapshot"]
+            elif "evidence" in record:
+                doc["evidence"] = record["evidence"]
+    return validate_flight(doc)
+
+
+__all__ = [
+    "FLIGHT_REASONS",
+    "FLIGHT_VERSION",
+    "FlightRecorder",
+    "read_flight",
+    "validate_flight",
+]

@@ -1,0 +1,582 @@
+"""The state observatory: live auxiliary-state accounting and alerts.
+
+The paper's central claim is that the incremental encoding keeps
+auxiliary state *bounded* — by the data and the metric horizon, never
+by the history length.  :class:`StateWatch` turns that claim into a
+runtime observable: on every step it samples each temporal
+subformula's stored tuples and valuations through the uniform
+``state_profile`` protocol (:mod:`repro.core.statespace`) and checks
+them against the analytic per-node bound from
+:func:`repro.core.bounds.node_tuple_bound` — ``valuations`` entries
+for ``PREV`` and min-collapsed unbounded nodes, ``valuations ×
+(window + 1)`` for bounded ``ONCE``/``SINCE``.
+
+Three alert rules, all edge-triggered (fire once on crossing, re-arm
+when the signal recovers — the same discipline as the SLO burn-rate
+rules in :mod:`repro.obs.slo`):
+
+* **bound** — a node's measured tuples exceed its analytic bound.
+  With the paper's encoding this cannot happen; it fires under the
+  ``collapse_unbounded=False`` ablation or any future regression that
+  leaks anchors.  Severity ``"page"``.
+* **leak** — total auxiliary tuples grow with a sustained positive
+  slope over a sliding window of steps (the bound may be loose enough
+  to hide slow growth; the slope is not).  Severity ``"ticket"``.
+
+Both run on pure event-time quantities, so a replay fires the same
+alerts at the same steps.
+
+Per-valuation *heavy hitters* are tracked by a bounded
+:class:`SpaceSavingSketch` per node: on every deep sample each stored
+valuation is offered with its current entry count, so persistently hot
+valuations accumulate the largest sketch counts — the skew map that
+shard-by-valuation and hot/cold tiering decisions need.
+
+Cost discipline: the per-step path reads only ``aux_counts()`` (tuple
+and valuation counters); deep byte sizes, sketch updates, and metric
+gauge exports run every ``sample_every`` steps.  Bench e4 gates the
+per-step overhead below 5%.
+
+Snapshots are versioned ``repro-state/1`` documents with the same
+validate/render/write/load conventions as health snapshots
+(:mod:`repro.obs.health`), and ``repro health render`` accepts them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.bounds import node_tuple_bound
+from repro.errors import TelemetryError
+
+#: Current version tag of the state snapshot format.
+STATE_VERSION = "repro-state/1"
+
+#: Required top-level sections of a state snapshot.
+STATE_SECTIONS = (
+    "engine", "steps", "profile", "bounds", "alerts", "heavy_hitters",
+)
+
+# --- metric families (repro_state_*) ---------------------------------------
+STATE_NODE_TUPLES = "repro_state_node_tuples"
+STATE_NODE_VALUATIONS = "repro_state_node_valuations"
+STATE_NODE_BYTES = "repro_state_node_bytes"
+STATE_NODE_AGE = "repro_state_node_oldest_age"
+STATE_NODE_BOUND = "repro_state_node_bound"
+STATE_TUPLES = "repro_state_tuples"
+STATE_BOUND_BREACHES = "repro_state_bound_breaches_total"
+STATE_ALERTS = "repro_state_alerts_total"
+
+
+class SpaceSavingSketch:
+    """Bounded heavy-hitter sketch (the space-saving algorithm).
+
+    Tracks at most ``capacity`` keys.  When a new key arrives at a full
+    sketch, it replaces the current minimum and inherits its count as
+    the *error* bound — so a reported count overestimates the true
+    weight by at most that error.  Ties break deterministically on the
+    key's string form, keeping replays exact.
+    """
+
+    __slots__ = ("capacity", "_counts", "_errors")
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise TelemetryError("sketch capacity must be >= 1")
+        self.capacity = capacity
+        self._counts: Dict[object, int] = {}
+        self._errors: Dict[object, int] = {}
+
+    def offer(self, key, weight: int = 1) -> None:
+        """Add ``weight`` to ``key``, evicting the minimum when full."""
+        if key in self._counts:
+            self._counts[key] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0
+            return
+        victim = min(
+            self._counts, key=lambda k: (self._counts[k], str(k))
+        )
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[object, int, int]]:
+        """The ``(key, count, error)`` triples, heaviest first."""
+        ranked = sorted(
+            self._counts,
+            key=lambda k: (-self._counts[k], str(k)),
+        )
+        if n is not None:
+            ranked = ranked[:n]
+        return [(k, self._counts[k], self._errors[k]) for k in ranked]
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSavingSketch({len(self._counts)}/{self.capacity} key(s))"
+        )
+
+
+class StateAlert:
+    """A state-observatory alert (bound breach or growth leak).
+
+    Attributes:
+        kind: ``"bound"`` (a node exceeded its analytic tuple bound)
+            or ``"leak"`` (sustained growth of total auxiliary tuples).
+        engine: the engine label the alert was observed on.
+        node: the temporal subformula's label (``None`` for leaks,
+            which aggregate over all nodes).
+        step: 1-based observed step count at which the rule fired.
+        measured: tuples stored (bound) or tuples/step slope (leak).
+        limit: the analytic bound (bound) or slope threshold (leak).
+        window: the slope window in steps (``None`` for bound alerts).
+        severity: ``"page"`` for bound breaches, ``"ticket"`` for leaks.
+    """
+
+    __slots__ = (
+        "kind", "engine", "node", "step", "measured", "limit",
+        "window", "severity",
+    )
+
+    def __init__(
+        self, kind, engine, node, step, measured, limit, window=None
+    ):
+        self.kind = kind
+        self.engine = engine
+        self.node = node
+        self.step = step
+        self.measured = measured
+        self.limit = limit
+        self.window = window
+        self.severity = "page" if kind == "bound" else "ticket"
+
+    def to_dict(self) -> Dict:
+        """The alert as a JSON-able dict."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        if self.kind == "bound":
+            return (
+                f"StateAlert(bound: {self.node} holds {self.measured} "
+                f"tuple(s), analytic bound {self.limit}, step {self.step})"
+            )
+        return (
+            f"StateAlert(leak: auxiliary state growing "
+            f"{self.measured:+.2f} tuple(s)/step over {self.window} "
+            f"step(s), step {self.step})"
+        )
+
+
+class StateWatch:
+    """Per-step auxiliary-state accounting with conformance alerts.
+
+    Drive it through :meth:`repro.Monitor.enable_statewatch` (the
+    monitor calls :meth:`observe` after every step) or standalone
+    around a bare checker::
+
+        watch = StateWatch(sample_every=1)
+        for time, txn in stream:
+            report = checker.step(time, txn)
+            for alert in watch.observe(checker, report):
+                print(alert)
+
+    Args:
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving the ``repro_state_*`` families on deep samples.
+        sample_every: cadence (in steps) of the expensive work — deep
+            byte sizes, heavy-hitter sketch updates, metric exports.
+            The bound and leak rules run every step regardless.
+        leak_window: sliding window (steps) for the growth-slope rule.
+        leak_slope: tuples-per-step slope at which the leak rule fires.
+        top_k: heavy hitters retained per node (sketch capacity is
+            ``4 * top_k`` so the top entries have small error bounds).
+        flight: optional :class:`~repro.obs.flight.FlightRecorder`
+            notified after every observed step.
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        sample_every: int = 8,
+        leak_window: int = 32,
+        leak_slope: float = 1.0,
+        top_k: int = 8,
+        flight=None,
+    ):
+        if sample_every < 1:
+            raise TelemetryError("sample_every must be >= 1")
+        if leak_window < 2:
+            raise TelemetryError("leak_window must be >= 2")
+        self.metrics = metrics
+        self.sample_every = sample_every
+        self.leak_window = leak_window
+        self.leak_slope = float(leak_slope)
+        self.top_k = top_k
+        self.flight = flight
+        #: every alert fired so far, in firing order
+        self.alerts: List[StateAlert] = []
+        self._steps = 0
+        self._engine: Optional[str] = None
+        self._nodes: Optional[Dict[str, object]] = None
+        self._bound_active: Dict[str, bool] = {}
+        self._breaches: Dict[str, int] = {}
+        self._totals: deque = deque(maxlen=leak_window)
+        self._leak_active = False
+        self._sketches: Dict[str, SpaceSavingSketch] = {}
+        self._last_counts: Dict[str, Tuple[int, int]] = {}
+        self._last_profile: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    @property
+    def steps_observed(self) -> int:
+        """Steps this watch has accounted so far."""
+        return self._steps
+
+    @property
+    def bound_breaches(self) -> Dict[str, int]:
+        """Per-node count of steps whose measure exceeded the bound."""
+        return dict(self._breaches)
+
+    def _node_index(self, checker) -> Dict[str, object]:
+        if self._nodes is None:
+            self._engine = getattr(checker, "engine_label", "unknown")
+            self._nodes = {
+                str(node): node for node in checker.aux_nodes()
+            }
+        return self._nodes
+
+    def observe(self, checker, report=None) -> List[StateAlert]:
+        """Account one step; return any alerts that fired on it.
+
+        ``report`` (the step's :class:`~repro.core.violations.StepReport`)
+        is optional for standalone use but required for flight-recorder
+        triggering.
+        """
+        self._steps += 1
+        step = self._steps
+        nodes = self._node_index(checker)
+        counts = checker.aux_counts()
+        self._last_counts = counts
+        alerts: List[StateAlert] = []
+        total = 0
+        for label, (tuples, valuations) in counts.items():
+            total += tuples
+            bound = node_tuple_bound(nodes[label], valuations)
+            if tuples > bound:
+                self._breaches[label] = self._breaches.get(label, 0) + 1
+                if not self._bound_active.get(label):
+                    self._bound_active[label] = True
+                    alerts.append(
+                        StateAlert(
+                            "bound", self._engine, label, step,
+                            tuples, bound,
+                        )
+                    )
+            else:
+                self._bound_active[label] = False
+        self._totals.append(total)
+        if len(self._totals) == self.leak_window:
+            slope = (self._totals[-1] - self._totals[0]) / (
+                self.leak_window - 1
+            )
+            if slope >= self.leak_slope:
+                if not self._leak_active:
+                    self._leak_active = True
+                    alerts.append(
+                        StateAlert(
+                            "leak", self._engine, None, step,
+                            slope, self.leak_slope,
+                            window=self.leak_window,
+                        )
+                    )
+            else:
+                self._leak_active = False
+        if step % self.sample_every == 0 or step == 1:
+            self._deep_sample(checker, counts, total)
+        if alerts:
+            self.alerts.extend(alerts)
+            self._count_alerts(alerts)
+        if self.flight is not None:
+            self.flight.note_step(checker, report, alerts)
+        return alerts
+
+    def _deep_sample(self, checker, counts, total) -> None:
+        """The expensive cadence: bytes, sketches, metric exports."""
+        profile = checker.state_profile(deep=True)
+        self._last_profile = profile
+        for label, valuation, weight in checker.iter_state_valuations():
+            sketch = self._sketches.get(label)
+            if sketch is None:
+                sketch = SpaceSavingSketch(capacity=4 * self.top_k)
+                self._sketches[label] = sketch
+            sketch.offer(valuation, weight)
+        metrics = self.metrics
+        if metrics is None:
+            return
+        engine = self._engine
+        metrics.gauge(
+            STATE_TUPLES, help="Total stored auxiliary tuples",
+            engine=engine,
+        ).set(total)
+        nodes = self._nodes or {}
+        for label, entry in profile["nodes"].items():
+            metrics.gauge(
+                STATE_NODE_TUPLES,
+                help="Stored tuples per temporal subformula",
+                engine=engine, node=label,
+            ).set(entry["tuples"])
+            metrics.gauge(
+                STATE_NODE_VALUATIONS,
+                help="Stored valuations per temporal subformula",
+                engine=engine, node=label,
+            ).set(entry["valuations"])
+            if entry.get("bytes") is not None:
+                metrics.gauge(
+                    STATE_NODE_BYTES,
+                    help="Approximate deep bytes per temporal subformula",
+                    engine=engine, node=label,
+                ).set(entry["bytes"])
+            oldest = entry.get("oldest")
+            now = getattr(checker, "now", None)
+            if oldest is not None and now is not None:
+                metrics.gauge(
+                    STATE_NODE_AGE,
+                    help="Age of the oldest retained anchor (clock units)",
+                    engine=engine, node=label,
+                ).set(now - oldest)
+            node = nodes.get(label)
+            if node is not None and label in counts:
+                metrics.gauge(
+                    STATE_NODE_BOUND,
+                    help="Analytic per-node tuple bound",
+                    engine=engine, node=label,
+                ).set(node_tuple_bound(node, counts[label][1]))
+
+    def _count_alerts(self, alerts) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        for alert in alerts:
+            metrics.counter(
+                STATE_ALERTS, help="State-observatory alerts fired",
+                engine=self._engine, kind=alert.kind,
+            ).inc()
+            if alert.kind == "bound":
+                metrics.counter(
+                    STATE_BOUND_BREACHES,
+                    help="Bound-conformance breaches (edge-triggered)",
+                    engine=self._engine, node=alert.node,
+                ).inc()
+
+    # ------------------------------------------------------------------
+    # reading the observatory
+    # ------------------------------------------------------------------
+
+    def heavy_hitters(
+        self, n: Optional[int] = None
+    ) -> Dict[str, List[Tuple[object, int, int]]]:
+        """Per-node ``(valuation, weight, error)`` lists, heaviest first."""
+        n = self.top_k if n is None else n
+        return {
+            label: sketch.top(n)
+            for label, sketch in sorted(self._sketches.items())
+        }
+
+    def bound_report(self, checker=None) -> Dict[str, Dict]:
+        """Measured-vs-bound per node, from the freshest sample.
+
+        With ``checker`` given, re-samples the counts first.
+        """
+        if checker is not None:
+            self._node_index(checker)
+            self._last_counts = checker.aux_counts()
+        nodes = self._nodes or {}
+        report: Dict[str, Dict] = {}
+        for label, (tuples, valuations) in sorted(
+            self._last_counts.items()
+        ):
+            node = nodes.get(label)
+            bound = (
+                node_tuple_bound(node, valuations)
+                if node is not None
+                else None
+            )
+            report[label] = {
+                "tuples": tuples,
+                "valuations": valuations,
+                "bound": bound,
+                "within": bound is None or tuples <= bound,
+                "breaches": self._breaches.get(label, 0),
+            }
+        return report
+
+    def snapshot(self, checker=None) -> Dict:
+        """The observatory as a versioned ``repro-state/1`` document.
+
+        With ``checker`` given, takes a fresh deep profile; otherwise
+        reports the last deep sample.
+        """
+        if checker is not None:
+            self._node_index(checker)
+            self._last_profile = checker.state_profile(deep=True)
+            self._last_counts = checker.aux_counts()
+        return validate_state({
+            "version": STATE_VERSION,
+            "engine": self._engine,
+            "steps": self._steps,
+            "profile": self._last_profile,
+            "bounds": self.bound_report(),
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "heavy_hitters": {
+                label: [
+                    {
+                        "valuation": list(valuation),
+                        "weight": weight,
+                        "error": error,
+                    }
+                    for valuation, weight, error in entries
+                ]
+                for label, entries in self.heavy_hitters().items()
+            },
+        })
+
+    def __repr__(self) -> str:
+        return (
+            f"StateWatch({self._steps} step(s), "
+            f"{len(self.alerts)} alert(s))"
+        )
+
+
+# ---------------------------------------------------------------------------
+# snapshot document handling (same conventions as repro.obs.health)
+# ---------------------------------------------------------------------------
+
+
+def validate_state(doc: Dict) -> Dict:
+    """Check a state snapshot's shape; return it unchanged.
+
+    Raises:
+        TelemetryError: naming the offending field.
+    """
+    if not isinstance(doc, dict):
+        raise TelemetryError(
+            f"state snapshot must be an object, got {type(doc).__name__}"
+        )
+    version = doc.get("version")
+    if version != STATE_VERSION:
+        raise TelemetryError(
+            f"unsupported state snapshot version {version!r} "
+            f"(expected {STATE_VERSION!r})"
+        )
+    for section in STATE_SECTIONS:
+        if section not in doc:
+            raise TelemetryError(
+                f"state snapshot is missing section {section!r}"
+            )
+    if not isinstance(doc["steps"], int) or doc["steps"] < 0:
+        raise TelemetryError(
+            f"state snapshot field 'steps' must be a non-negative "
+            f"integer, got {doc['steps']!r}"
+        )
+    for section in ("bounds", "heavy_hitters"):
+        if not isinstance(doc[section], dict):
+            raise TelemetryError(
+                f"state snapshot section {section!r} must be an object"
+            )
+    if not isinstance(doc["alerts"], list):
+        raise TelemetryError("state snapshot section 'alerts' must be a list")
+    profile = doc["profile"]
+    if profile is not None and not isinstance(profile, dict):
+        raise TelemetryError(
+            "state snapshot section 'profile' must be an object or null"
+        )
+    return doc
+
+
+def render_state_text(doc: Dict) -> str:
+    """A state snapshot as a terse human-readable block."""
+    doc = validate_state(doc)
+    lines = [
+        f"state observatory: engine {doc['engine']}, "
+        f"{doc['steps']} step(s) observed"
+    ]
+    profile = doc["profile"] or {}
+    total = profile.get("total", {})
+    if total:
+        byte_part = (
+            f", ~{total['bytes']} byte(s)"
+            if total.get("bytes") is not None
+            else ""
+        )
+        lines.append(
+            f"  total: {total.get('tuples', 0)} tuple(s), "
+            f"{total.get('valuations', 0)} valuation(s){byte_part}"
+        )
+    for label, entry in sorted(doc["bounds"].items()):
+        bound = entry["bound"]
+        verdict = "within bound" if entry["within"] else "OVER BOUND"
+        lines.append(
+            f"  node {label}: {entry['tuples']} tuple(s), "
+            f"{entry['valuations']} valuation(s), "
+            f"bound {bound if bound is not None else '?'} -> {verdict}"
+        )
+    alerts = doc["alerts"]
+    if alerts:
+        lines.append(f"  alerts: {len(alerts)} fired")
+        for alert in alerts:
+            if alert.get("kind") == "bound":
+                lines.append(
+                    f"    [bound] step {alert['step']}: {alert['node']} "
+                    f"at {alert['measured']} > {alert['limit']}"
+                )
+            else:
+                lines.append(
+                    f"    [leak] step {alert['step']}: "
+                    f"{alert['measured']:+.2f} tuple(s)/step over "
+                    f"{alert['window']} step(s)"
+                )
+    else:
+        lines.append("  alerts: none")
+    for label, entries in sorted(doc["heavy_hitters"].items()):
+        if not entries:
+            continue
+        top = entries[0]
+        lines.append(
+            f"  hottest {label}: {tuple(top['valuation'])!r} "
+            f"(weight {top['weight']}, error <= {top['error']})"
+        )
+    return "\n".join(lines)
+
+
+def write_state(doc: Dict, path: Union[str, Path]) -> Path:
+    """Validate and write a state snapshot as pretty JSON."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(validate_state(doc), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_state(path: Union[str, Path]) -> Dict:
+    """Read and validate a state snapshot written by :func:`write_state`."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise TelemetryError(
+            f"cannot read state snapshot {path}: {exc}"
+        ) from exc
+    return validate_state(doc)

@@ -1,0 +1,223 @@
+"""Tests for the flight recorder (ring, triggers, artifacts, evidence)."""
+
+import json
+
+import pytest
+
+from repro import Monitor, DatabaseSchema, Transaction
+from repro.core.diagnose import diagnose, witness_evidence
+from repro.errors import TelemetryError
+from repro.obs.flight import (
+    FLIGHT_REASONS,
+    FLIGHT_VERSION,
+    FlightRecorder,
+    read_flight,
+    validate_flight,
+)
+
+ENGINES = ("incremental", "naive", "naive-memo", "active", "adom")
+
+
+class FakeReport:
+    """Just the StepReport attributes the recorder reads."""
+
+    def __init__(
+        self, index=0, time=0, violations=(), skipped=False,
+        degraded=False, deferred=(), fault=None,
+    ):
+        self.index = index
+        self.time = time
+        self.violations = list(violations)
+        self.skipped = skipped
+        self.degraded = degraded
+        self.deferred = list(deferred)
+        self.fault = fault
+
+
+class FakeViolation:
+    def __init__(self, constraint="c"):
+        self.constraint = constraint
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"checkout": [("p", "str"), ("b", "int")],
+         "returned": [("p", "str"), ("b", "int")]}
+    )
+
+
+def violating_monitor(schema, engine, **statewatch):
+    monitor = Monitor(schema, engine=engine)
+    monitor.add_constraint(
+        "return-window", "returned(p, b) -> ONCE[0,3] checkout(p, b)"
+    )
+    watch = monitor.enable_statewatch(sample_every=1, **statewatch)
+    monitor.step(0, Transaction({"checkout": [("ann", 7)]}))
+    monitor.step(1, Transaction({}, {"checkout": [("ann", 7)]}))
+    report = monitor.step(9, Transaction({"returned": [("ann", 7)]}))
+    assert report.violations
+    return monitor, watch, report
+
+
+class TestRing:
+    def test_bounded_and_silent_without_incidents(self, tmp_path):
+        box = FlightRecorder(tmp_path / "f.jsonl", capacity=3)
+        checker = object()
+        for step in range(5):
+            reason = box.note_step(checker, FakeReport(index=step))
+            assert reason is None
+        assert box.span_count == 3
+        assert box.dump_count == 0
+        assert not (tmp_path / "f.jsonl").exists()
+
+    def test_capacity_validated(self, tmp_path):
+        with pytest.raises(TelemetryError, match="capacity"):
+            FlightRecorder(tmp_path / "f.jsonl", capacity=0)
+
+    def test_failed_dump_never_raises_into_the_step(
+        self, schema, tmp_path, monkeypatch
+    ):
+        box = FlightRecorder(tmp_path / "f.jsonl")
+
+        def explode(*args, **kwargs):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(FlightRecorder, "dump", explode)
+        report = FakeReport(violations=[FakeViolation()])
+        # the incident is still reported; the write failure is stashed
+        assert box.note_step(object(), report) == "violation"
+        assert isinstance(box.last_error, OSError)
+
+
+class TestTriggerPriority:
+    def test_violation_beats_everything(self):
+        report = FakeReport(
+            violations=[FakeViolation()], skipped=True, degraded=True
+        )
+        reason = FlightRecorder._incident_reason(report, [object()])
+        assert reason == "violation"
+
+    def test_fault_beats_budget_and_alerts(self):
+        report = FakeReport(skipped=True, degraded=True)
+        assert (
+            FlightRecorder._incident_reason(report, [object()]) == "fault"
+        )
+
+    def test_budget_beats_alerts(self):
+        report = FakeReport(degraded=True)
+        assert (
+            FlightRecorder._incident_reason(report, [object()]) == "budget"
+        )
+
+    def test_alerts_alone_and_quiet_steps(self):
+        assert (
+            FlightRecorder._incident_reason(FakeReport(), [object()])
+            == "state-alert"
+        )
+        assert FlightRecorder._incident_reason(FakeReport(), []) is None
+        assert FlightRecorder._incident_reason(None, []) is None
+
+
+class TestArtifact:
+    def test_violation_dump_roundtrip(self, schema, tmp_path):
+        path = tmp_path / "box.jsonl"
+        monitor, watch, report = violating_monitor(
+            schema, "incremental", flight=path
+        )
+        box = read_flight(path)
+        header = box["header"]
+        assert header["version"] == FLIGHT_VERSION
+        assert header["reason"] == "violation"
+        assert header["time"] == 9
+        assert header["engine"] == "incremental"
+        assert header["spans"] == len(box["spans"]) == 3
+        assert box["spans"][-1]["violations"] == ["return-window"]
+        assert box["snapshot"]["engine"] == "incremental"
+
+    def test_dump_overwrites_with_latest_incident(self, schema, tmp_path):
+        path = tmp_path / "box.jsonl"
+        monitor, watch, report = violating_monitor(
+            schema, "incremental", flight=path
+        )
+        monitor.step(10, Transaction({"returned": [("bob", 1)]}))
+        box = read_flight(path)
+        assert box["header"]["time"] == 10
+        assert watch.flight.dump_count == 2
+        assert watch.flight.last_reason == "violation"
+
+    def test_unknown_reason_rejected(self, schema, tmp_path):
+        box = FlightRecorder(tmp_path / "f.jsonl")
+        with pytest.raises(TelemetryError, match="unknown flight reason"):
+            box.dump(object(), "coffee-spill")
+        assert "violation" in FLIGHT_REASONS
+
+    def test_read_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"header": {}}\nnot json\n')
+        with pytest.raises(TelemetryError, match="malformed line"):
+            read_flight(path)
+
+    def test_validate_rejects_bad_documents(self):
+        good = {
+            "header": {"version": FLIGHT_VERSION, "reason": "violation"},
+            "spans": [],
+            "snapshot": {},
+        }
+        assert validate_flight(dict(good)) == good
+        with pytest.raises(TelemetryError, match="header"):
+            validate_flight({"spans": [], "snapshot": {}})
+        with pytest.raises(TelemetryError, match="version"):
+            validate_flight(
+                {**good, "header": {"version": "x/9", "reason": "fault"}}
+            )
+        with pytest.raises(TelemetryError, match="reason"):
+            validate_flight(
+                {**good,
+                 "header": {"version": FLIGHT_VERSION, "reason": "nope"}}
+            )
+        with pytest.raises(TelemetryError, match="spans"):
+            validate_flight(
+                {"header": good["header"], "snapshot": {}}
+            )
+        with pytest.raises(TelemetryError, match="snapshot"):
+            validate_flight({"header": good["header"], "spans": []})
+
+
+class TestEvidenceJoin:
+    """The black box must join verbatim against diagnose()."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_flight_evidence_matches_diagnose(
+        self, schema, engine, tmp_path
+    ):
+        path = tmp_path / "box.jsonl"
+        monitor, watch, report = violating_monitor(
+            schema, engine, flight=path
+        )
+        box = read_flight(path)
+        (entry,) = box["evidence"]
+        assert entry["constraint"] == "return-window"
+
+        # the artifact froze exactly what witness_evidence computes on
+        # the not-yet-advanced checker...
+        live = witness_evidence(monitor.checker, report.violations[0])
+        assert entry["witnesses"] == json.loads(json.dumps(live))
+
+        # ...and each stored evidence string appears verbatim in the
+        # human diagnose() report of the same violation
+        text = diagnose(monitor.checker, report.violations[0])
+        for witness in entry["witnesses"]:
+            for evidence in witness["evidence"].values():
+                assert evidence in text
+
+    def test_no_evidence_after_checker_moves_on(self, schema, tmp_path):
+        monitor = Monitor(schema, engine="incremental")
+        monitor.add_constraint(
+            "return-window", "returned(p, b) -> ONCE[0,3] checkout(p, b)"
+        )
+        report = monitor.step(0, Transaction({"returned": [("ann", 7)]}))
+        monitor.step(1, Transaction({}))
+        box = FlightRecorder(tmp_path / "late.jsonl")
+        box.dump(monitor.checker, "violation", report)
+        assert read_flight(tmp_path / "late.jsonl")["evidence"] is None

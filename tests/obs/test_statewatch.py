@@ -1,0 +1,275 @@
+"""Tests for the state observatory (sketch, alert rules, snapshots)."""
+
+import pytest
+
+from repro import Constraint, DatabaseSchema, IncrementalChecker, Transaction
+from repro.errors import MonitorError, TelemetryError
+from repro.obs import MetricsRegistry, render_json
+from repro.obs.statewatch import (
+    STATE_VERSION,
+    SpaceSavingSketch,
+    StateWatch,
+    load_state,
+    render_state_text,
+    validate_state,
+    write_state,
+)
+from repro.workloads import library_workload, random_workload
+
+
+def once_node(text="returned(p, b) -> ONCE[0,3] checkout(p, b)"):
+    """The single temporal node of a one-obligation constraint."""
+    formula = Constraint("c", text).violation_formula
+    (node,) = formula.temporal_subformulas()
+    return node
+
+
+class FakeChecker:
+    """A scriptable engine: one node, counts set per step by the test."""
+
+    engine_label = "fake"
+
+    def __init__(self, node):
+        self.node = node
+        self.now = 0
+        self.tuples = 0
+        self.valuations = 0
+
+    def set(self, tuples, valuations=1):
+        self.tuples = tuples
+        self.valuations = valuations
+
+    def aux_nodes(self):
+        return [self.node]
+
+    def aux_counts(self):
+        return {str(self.node): (self.tuples, self.valuations)}
+
+    def state_profile(self, deep=True):
+        entry = {
+            "kind": "once",
+            "tuples": self.tuples,
+            "valuations": self.valuations,
+            "bytes": 64 * self.tuples if deep else None,
+            "oldest": 0,
+            "constraints": ["c"],
+        }
+        return {
+            "engine": self.engine_label,
+            "nodes": {str(self.node): entry},
+            "total": {
+                "tuples": self.tuples,
+                "valuations": self.valuations,
+                "bytes": entry["bytes"],
+            },
+            "space_tuples": self.tuples,
+        }
+
+    def iter_state_valuations(self):
+        yield str(self.node), ("ann", 7), self.tuples
+
+
+class TestSpaceSavingSketch:
+    def test_exact_under_capacity(self):
+        sketch = SpaceSavingSketch(capacity=4)
+        for key, weight in [("a", 3), ("b", 1), ("a", 2), ("c", 4)]:
+            sketch.offer(key, weight)
+        assert sketch.top() == [("a", 5, 0), ("c", 4, 0), ("b", 1, 0)]
+        assert len(sketch) == 3
+
+    def test_eviction_inherits_error(self):
+        sketch = SpaceSavingSketch(capacity=2)
+        sketch.offer("a", 10)
+        sketch.offer("b", 3)
+        sketch.offer("c", 1)  # evicts b (the min), inherits its count
+        keys = {k for k, _, _ in sketch.top()}
+        assert keys == {"a", "c"}
+        (count, error) = next(
+            (c, e) for k, c, e in sketch.top() if k == "c"
+        )
+        assert count == 4  # floor 3 + weight 1: an over-estimate...
+        assert error == 3  # ...by at most the inherited floor
+
+    def test_deterministic_tie_break(self):
+        results = []
+        for _ in range(3):
+            sketch = SpaceSavingSketch(capacity=2)
+            for key in ("x", "y", "z"):  # all weight 1: ties everywhere
+                sketch.offer(key)
+            results.append(sketch.top())
+        assert results[0] == results[1] == results[2]
+
+    def test_top_n_limits(self):
+        sketch = SpaceSavingSketch(capacity=8)
+        for i in range(5):
+            sketch.offer(i, i + 1)
+        assert [k for k, _, _ in sketch.top(2)] == [4, 3]
+
+    def test_capacity_validated(self):
+        with pytest.raises(TelemetryError, match="capacity"):
+            SpaceSavingSketch(capacity=0)
+
+
+class TestBoundRule:
+    def test_edge_trigger_and_rearm(self):
+        # ONCE[0,3] with one valuation: analytic bound is 4 anchors
+        checker = FakeChecker(once_node())
+        watch = StateWatch(sample_every=100)
+        fired = []
+        for tuples in (3, 5, 6, 4, 7):
+            checker.set(tuples)
+            fired.append(watch.observe(checker))
+        kinds = [[a.kind for a in step] for step in fired]
+        assert kinds == [[], ["bound"], [], [], ["bound"]]
+        first, second = watch.alerts
+        assert (first.step, first.measured, first.limit) == (2, 5, 4)
+        assert (second.step, second.measured, second.limit) == (5, 7, 4)
+        assert first.severity == "page"
+        # every breached step counts, not just the alert edges
+        assert watch.bound_breaches == {str(checker.node): 3}
+
+    def test_bound_scales_with_valuations(self):
+        checker = FakeChecker(once_node())
+        watch = StateWatch(sample_every=100)
+        checker.set(8, valuations=2)  # bound = 2 * 4 = 8: within
+        assert watch.observe(checker) == []
+        checker.set(9, valuations=2)
+        assert [a.kind for a in watch.observe(checker)] == ["bound"]
+
+
+class TestLeakRule:
+    def test_slope_edge_trigger_and_rearm(self):
+        checker = FakeChecker(
+            once_node("returned(p, b) -> ONCE checkout(p, b)")
+        )
+        watch = StateWatch(sample_every=100, leak_window=4, leak_slope=1.0)
+        alerts = []
+        # grow 2/step with matching valuations (no bound breach), then
+        # plateau long enough to re-arm, then grow again
+        for tuples in (0, 2, 4, 6, 8, 8, 8, 8, 10, 12, 14):
+            checker.set(tuples, valuations=tuples)
+            alerts.extend(watch.observe(checker))
+        assert [a.kind for a in alerts] == ["leak", "leak"]
+        first, second = alerts
+        assert first.step == 4  # the first full window
+        assert first.measured == pytest.approx(2.0)
+        assert first.window == 4
+        assert first.severity == "ticket"
+        # the window slope dips below 1.0 during the plateau (re-arm),
+        # then crosses it again once the growth resumes
+        assert second.step == 10
+
+    def test_constructor_validation(self):
+        with pytest.raises(TelemetryError, match="sample_every"):
+            StateWatch(sample_every=0)
+        with pytest.raises(TelemetryError, match="leak_window"):
+            StateWatch(leak_window=1)
+
+
+class TestMetricsExport:
+    def test_state_families_exported(self):
+        registry = MetricsRegistry()
+        checker = FakeChecker(once_node())
+        watch = StateWatch(metrics=registry, sample_every=1)
+        checker.set(5)  # over the bound: alert + breach counters
+        watch.observe(checker)
+        doc = render_json(registry)
+        families = {f["name"] for f in doc["metrics"]}
+        assert {
+            "repro_state_node_tuples",
+            "repro_state_node_valuations",
+            "repro_state_node_bytes",
+            "repro_state_node_bound",
+            "repro_state_tuples",
+            "repro_state_alerts_total",
+            "repro_state_bound_breaches_total",
+        } <= families
+
+
+class TestSnapshot:
+    def run_watch(self):
+        schema = DatabaseSchema.from_dict(
+            {"checkout": [("p", "str"), ("b", "int")],
+             "returned": [("p", "str"), ("b", "int")]}
+        )
+        checker = IncrementalChecker(
+            schema,
+            [Constraint("c", "returned(p, b) -> ONCE[0,3] checkout(p, b)")],
+        )
+        watch = StateWatch(sample_every=1)
+        for time in range(4):
+            report = checker.step(
+                time, Transaction({"checkout": [("ann", time)]})
+            )
+            watch.observe(checker, report)
+        return checker, watch
+
+    def test_snapshot_validates_and_renders(self):
+        checker, watch = self.run_watch()
+        snapshot = validate_state(watch.snapshot(checker))
+        assert snapshot["version"] == STATE_VERSION
+        assert snapshot["steps"] == 4
+        assert snapshot["engine"] == "incremental"
+        (entry,) = snapshot["bounds"].values()
+        assert entry["within"] and entry["breaches"] == 0
+        text = render_state_text(snapshot)
+        assert "state observatory: engine incremental" in text
+        assert "within bound" in text
+        assert "hottest" in text
+
+    def test_write_load_roundtrip(self, tmp_path):
+        checker, watch = self.run_watch()
+        path = write_state(watch.snapshot(checker), tmp_path / "s.json")
+        assert load_state(path) == watch.snapshot(checker)
+
+    def test_validate_rejects_bad_documents(self):
+        checker, watch = self.run_watch()
+        good = watch.snapshot(checker)
+        with pytest.raises(TelemetryError, match="version"):
+            validate_state({**good, "version": "other/1"})
+        with pytest.raises(TelemetryError, match="'bounds'"):
+            validate_state(
+                {k: v for k, v in good.items() if k != "bounds"}
+            )
+        with pytest.raises(TelemetryError, match="steps"):
+            validate_state({**good, "steps": "many"})
+        with pytest.raises(TelemetryError, match="alerts"):
+            validate_state({**good, "alerts": {}})
+        with pytest.raises(TelemetryError, match="object"):
+            validate_state([])
+
+
+class TestBoundedWorkloadsConform:
+    """The acceptance claim: bounded constraints in the seeded
+    workloads never exceed their analytic per-node bounds."""
+
+    @pytest.mark.parametrize("engine", ["incremental", "adom"])
+    def test_library_workload_within_bounds(self, engine):
+        workload = library_workload()
+        monitor = workload.monitor(engine)
+        watch = monitor.enable_statewatch(sample_every=1)
+        monitor.run(workload.stream(80, seed=11))
+        assert not [a for a in watch.alerts if a.kind == "bound"]
+        report = watch.bound_report(monitor.checker)
+        assert report and all(e["within"] for e in report.values())
+        assert not any(e["breaches"] for e in report.values())
+
+    def test_random_workload_within_bounds(self):
+        workload = random_workload(
+            universe_size=6, window=5, constraint_count=3
+        )
+        monitor = workload.monitor("incremental")
+        watch = monitor.enable_statewatch(sample_every=4)
+        monitor.run(workload.stream(100, seed=5))
+        assert not [a for a in watch.alerts if a.kind == "bound"]
+        assert all(
+            e["within"]
+            for e in watch.bound_report(monitor.checker).values()
+        )
+
+    def test_enable_twice_rejected(self):
+        workload = library_workload()
+        monitor = workload.monitor("incremental")
+        monitor.enable_statewatch()
+        with pytest.raises(MonitorError, match="already enabled"):
+            monitor.enable_statewatch()

@@ -995,3 +995,233 @@ class TestHealthCommand:
         status = main(["health", str(first), str(second)])
         assert status == 2
         assert "threshold differs" in capsys.readouterr().err
+
+
+class TestStateCommand:
+    def state_args(self, generated, mode, *extra):
+        return [
+            "state", mode,
+            "--schema", str(generated / "schema.json"),
+            "--constraints", str(generated / "constraints.txt"),
+            "--history", str(generated / "history.jsonl"),
+            *extra,
+        ]
+
+    def test_inspect_renders_and_writes(self, generated, tmp_path, capsys):
+        out = tmp_path / "state.json"
+        status = main(
+            self.state_args(generated, "inspect", "--out", str(out))
+        )
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "state observatory: engine incremental" in text
+        assert "within bound" in text
+
+        from repro.obs import load_state
+
+        snapshot = load_state(out)
+        assert snapshot["steps"] == 60
+        assert snapshot["bounds"]
+
+    def test_inspect_json_format(self, generated, capsys):
+        import json
+
+        status = main(
+            self.state_args(generated, "inspect", "--format", "json")
+        )
+        assert status == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "repro-state/1"
+
+    def test_watch_prints_running_totals(self, generated, capsys):
+        status = main(
+            self.state_args(generated, "watch", "--every", "20")
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "step=20:" in out
+        assert "aux tuple(s)" in out
+
+    def test_top_ranks_heavy_hitters(self, generated, capsys):
+        status = main(self.state_args(generated, "top", "--top-k", "2"))
+        assert status == 0
+        assert "weight" in capsys.readouterr().out
+
+    def test_bound_check_passes_on_bounded_workload(
+        self, generated, capsys
+    ):
+        status = main(self.state_args(generated, "bound-check"))
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "within bound" in out
+        assert "all temporal nodes stayed within their analytic bounds" \
+            in out
+
+    def test_flight_artifact_written_on_violation(
+        self, generated, tmp_path, capsys
+    ):
+        from repro.obs import read_flight
+
+        flight = tmp_path / "box.jsonl"
+        status = main(
+            self.state_args(generated, "inspect", "--flight", str(flight))
+        )
+        assert status == 0
+        # the generated workload violates (rate 0.4), so the box dumped
+        box = read_flight(flight)
+        assert box["header"]["reason"] == "violation"
+        assert box["evidence"] is not None
+
+    def test_missing_file_reports_cleanly(self, generated, capsys):
+        status = main(
+            [
+                "state", "inspect",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "nope.jsonl"),
+            ]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestHealthRender:
+    """`health render` shows health and state snapshots individually."""
+
+    def state_snapshot(self, generated, tmp_path):
+        out = tmp_path / "state.json"
+        assert main(
+            [
+                "state", "inspect",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--out", str(out),
+            ]
+        ) == 0
+        return out
+
+    def test_render_state_snapshot_text(self, generated, tmp_path, capsys):
+        snap = self.state_snapshot(generated, tmp_path)
+        capsys.readouterr()
+        assert main(["health", "render", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "state observatory: engine incremental" in out
+
+    def test_render_json_schema_pinned(self, generated, tmp_path, capsys):
+        import json
+
+        snap = self.state_snapshot(generated, tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["health", "render", str(snap), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # the repro-state/1 document schema, pinned
+        assert set(doc) == {
+            "version", "engine", "steps", "profile", "bounds",
+            "alerts", "heavy_hitters",
+        }
+        assert doc["version"] == "repro-state/1"
+        assert doc["engine"] == "incremental"
+        for entry in doc["bounds"].values():
+            assert set(entry) == {
+                "tuples", "valuations", "bound", "within", "breaches",
+            }
+        for node in doc["profile"]["nodes"].values():
+            assert {
+                "kind", "tuples", "valuations", "bytes", "oldest",
+                "constraints",
+            } <= set(node)
+
+    def test_render_health_snapshot_json(self, generated, tmp_path, capsys):
+        import json
+
+        health = tmp_path / "h.json"
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--health", str(health),
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            ["health", "render", str(health), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "repro-health/1"
+
+    def test_render_malformed_snapshot_reports_cleanly(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        status = main(["health", "render", str(bad)])
+        assert status == 2
+        assert "error: cannot read snapshot" in capsys.readouterr().err
+
+    def test_render_never_gates(self, generated, tmp_path, capsys):
+        # render is for looking, not gating: mixed versions, exit 0
+        import json
+
+        snap = self.state_snapshot(generated, tmp_path)
+        health = tmp_path / "h.json"
+        main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--health", str(health),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["health", "render", str(health), str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "health (incremental)" in out
+        assert "state observatory" in out
+
+
+class TestCheckStatewatch:
+    def test_check_statewatch_and_state_out(
+        self, generated, tmp_path, capsys
+    ):
+        from repro.obs import load_state
+
+        state = tmp_path / "state.json"
+        status = main(
+            [
+                "check",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--statewatch",
+                "--state-out", str(state),
+            ]
+        )
+        assert status == 1  # the workload violates; statewatch rides along
+        out = capsys.readouterr().out
+        assert "state:" in out
+        assert "within bound" in out
+        assert load_state(state)["steps"] == 60
+
+    def test_check_flight_implies_statewatch(
+        self, generated, tmp_path, capsys
+    ):
+        from repro.obs import read_flight
+
+        flight = tmp_path / "box.jsonl"
+        status = main(
+            [
+                "check", "--quiet",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--history", str(generated / "history.jsonl"),
+                "--flight", str(flight),
+            ]
+        )
+        assert status == 1
+        assert read_flight(flight)["header"]["reason"] == "violation"

@@ -41,6 +41,7 @@ def test_examples_directory_is_complete():
         "observability.py",
         "profiling.py",
         "telemetry_slo.py",
+        "state_observatory.py",
     }
     assert expected <= present
 
@@ -120,6 +121,41 @@ def test_active_rules_repair():
     assert "one-holder-repair" in out
     assert "evicted" in out
     assert "cyd holds book 7" in out
+
+
+def test_state_observatory_bounded():
+    out = run_example("state_observatory.py")  # default: bounded act
+    assert "statewatch on every step" in out
+    assert "ALERT" not in out
+    assert (
+        "all 2 temporal node(s) stayed within their analytic bounds"
+        in out
+    )
+
+
+def test_state_observatory_leak(tmp_path):
+    # the leak act must exit nonzero — run it outside run_example
+    flight = tmp_path / "flight.jsonl"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "state_observatory.py"),
+            "leak",
+            str(flight),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 1, result.stderr
+    assert "Traceback" not in result.stderr
+    # the alert step, measured count, and bound are deterministic
+    assert (
+        "ALERT StateAlert(bound: ONCE active(u) holds 2 tuple(s), "
+        "analytic bound 1, step 2)" in result.stdout
+    )
+    assert "leaking constraint detected" in result.stdout
+    assert flight.exists()
 
 
 def test_telemetry_slo():
