@@ -54,6 +54,7 @@ EXPERIMENTS: Dict[str, str] = {
     "e10": "bench_e10_future",
     "e11": "bench_e11_planner",
     "e12": "bench_e12_aggregates",
+    "e13": "bench_e13_shards",
 }
 
 PROFILES = ("short", "full")

@@ -1,0 +1,136 @@
+"""E13 (extension) — sharded monitoring: equivalence is free of drift.
+
+Sweep the shard count over one seeded sensors stream and demand the
+fault-isolation contract as a measured shape: the merged verdicts are
+identical to the single-monitor run at every width, with and without
+injected worker crashes, and crashed shards recover by replaying their
+journal tail rather than the stream.  The violation count is therefore
+*constant* across the sweep — any drift is a partitioning bug, not a
+performance regression.  Per-step cost may grow with the width (every
+worker sees every timestamp so its windows advance), but at most
+linearly in the shard count.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.monitor import Monitor
+from repro.resilience import plan_shard_chaos
+from repro.shard import ShardedMonitor
+from repro.workloads import sensors
+
+SEED = 1313
+
+PROFILES = {
+    "short": [1, 2, 4],
+    "full": [1, 2, 4, 8],
+}
+
+LENGTHS = {"short": 120, "full": 240}
+
+WORKLOAD_KWARGS = dict(sensors=8, violation_rate=0.15)
+
+HEADERS = [
+    "shards",
+    "us/step",
+    "violations",
+    "chaos replayed",
+    "chaos crashes",
+]
+
+
+def _constrained(monitor):
+    for c in sensors.constraints():
+        monitor.add_constraint(c.name, c.formula)
+    return monitor
+
+
+def run(recorder, profile="full"):
+    length = LENGTHS[profile]
+    workload = sensors.sensors_workload(**WORKLOAD_KWARGS)
+    items = list(workload.stream(length, seed=SEED))
+
+    single = _constrained(Monitor(sensors.SCHEMA, engine="incremental"))
+    reference = [single.step(t, txn) for t, txn in items]
+    violations = sum(1 for r in reference if not r.ok)
+
+    for shards in PROFILES[profile]:
+        with tempfile.TemporaryDirectory() as tmp:
+            monitor = _constrained(
+                ShardedMonitor(
+                    sensors.SCHEMA, key="sensor", shards=shards,
+                    journal_root=Path(tmp) / "clean",
+                )
+            )
+            start = time.perf_counter()
+            merged = list(monitor.run(iter(items)).steps)
+            elapsed = time.perf_counter() - start
+            monitor.close()
+
+            chaos = plan_shard_chaos(
+                shards, len(items), kills=min(2, shards), seed=SEED
+            )
+            chaotic = _constrained(
+                ShardedMonitor(
+                    sensors.SCHEMA, key="sensor", shards=shards,
+                    journal_root=Path(tmp) / "chaos",
+                    chaos=chaos, stall_timeout=4,
+                )
+            )
+            chaos_merged = list(chaotic.run(iter(items)).steps)
+            summary = chaotic.supervisor.summary()
+            acct = chaotic.accounting()
+            chaotic.close()
+
+        recorder.row(
+            HEADERS,
+            [
+                shards,
+                round(elapsed / length * 1e6, 1),
+                sum(1 for r in merged if not r.ok),
+                summary["replayed_steps"],
+                summary["crashes"],
+            ],
+            title=f"sharded monitoring: width sweep over one sensors "
+                  f"stream (length {length}, seed {SEED})",
+        )
+        recorder.check(
+            f"clean verdicts identical to single run at {shards} shard(s)",
+            merged == reference,
+        )
+        recorder.check(
+            f"chaos verdicts identical to single run at {shards} shard(s)",
+            chaos_merged == reference,
+            detail=f"crashes={summary['crashes']} "
+                   f"respawns={summary['respawns']}",
+        )
+        recorder.check(
+            f"no degraded or shed step at {shards} shard(s)",
+            acct["degraded"] == 0 and acct["shed"] == 0,
+            detail=f"fed {acct['steps_fed']} = {acct['verdicts']} "
+                   f"verdict(s)",
+        )
+        recorder.check(
+            f"crashed shards recovered by journal replay at "
+            f"{shards} shard(s)",
+            summary["crashes"] == 0 or summary["replayed_steps"] > 0,
+        )
+
+    recorder.expect_flat(
+        "violation count must not drift with the shard count",
+        "violations", tolerance_ratio=1.0,
+    )
+    # each worker advances its windows on every timestamp, so per-step
+    # cost rises with the width — but at most linearly (the tuple work
+    # is partitioned even though the clock work is not)
+    recorder.expect_growth(
+        "per-step cost grows at most linearly in the shard count",
+        "us/step", max_order=1.2,
+    )
+
+
+def test_e13():
+    from _experiments import run_for_pytest
+
+    run_for_pytest("e13")

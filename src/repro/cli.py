@@ -351,6 +351,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="exit status only"
     )
 
+    for sub in (check, ingest):
+        sub.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="partition the run across N supervised shard workers "
+                 "(requires --shard-key; incremental engine only)",
+        )
+        sub.add_argument(
+            "--shard-key", default=None, metavar="ATTR",
+            help="schema attribute that keys the partition "
+                 "(required with --shards)",
+        )
+        sub.add_argument(
+            "--shard-chaos", default=None, metavar="SPEC",
+            help="inject seeded worker faults into the sharded run: "
+                 "'kills=K[,stalls=S][,seed=N]' (smoke tests; without "
+                 "a journal, crashed shards tombstone and degrade "
+                 "instead of recovering)",
+        )
+        sub.add_argument(
+            "--shard-transport", default="inline",
+            choices=("inline", "process"),
+            help="worker transport for --shards (default: inline)",
+        )
+        sub.add_argument(
+            "--shard-unkeyed", default="reject",
+            choices=("reject", "broadcast"),
+            help="policy for constraints touching no keyed relation "
+                 "(default: reject with a diagnostic)",
+        )
+
     lint = commands.add_parser(
         "lint", help="statically analyse a constraint set"
     )
@@ -664,6 +694,189 @@ def _build_instrumentation(args):
     tracer = Tracer() if args.trace else None
     registry = MetricsRegistry() if args.metrics else None
     return MonitorInstrumentation(tracer, registry), tracer, registry
+
+
+def _parse_shard_chaos(spec: str, shards: int, steps: int):
+    """Parse ``kills=K[,stalls=S][,seed=N]`` into a chaos plan."""
+    from repro.resilience import plan_shard_chaos
+
+    values = {"kills": 2, "stalls": 0, "seed": 0}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, raw = part.partition("=")
+        if key not in values or not raw:
+            raise ReproError(
+                f"bad --shard-chaos component {part!r}; expected "
+                f"'kills=K[,stalls=S][,seed=N]'"
+            )
+        try:
+            values[key] = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"--shard-chaos {key} must be an int, got {raw!r}"
+            ) from None
+    return plan_shard_chaos(shards, steps, **values)
+
+
+def _check_shard_flags(args, tolerant: bool = False) -> None:
+    """Reject flag combinations the sharded path cannot honour."""
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    if not args.shard_key:
+        raise ReproError("--shards requires --shard-key")
+    if args.engine != "incremental":
+        raise ReproError(
+            "--shards supports only the incremental engine "
+            "(each shard worker is one incremental checker)"
+        )
+    unsupported = [
+        ("--trace", args.trace),
+        ("--slo", args.slo),
+        ("--statewatch", args.statewatch),
+        ("--flight", args.flight),
+        ("--state-out", args.state_out),
+        ("--resume-from", getattr(args, "resume_from", None)),
+        ("--save-checkpoint", getattr(args, "save_checkpoint", None)),
+    ]
+    for flag, value in unsupported:
+        if value:
+            raise ReproError(
+                f"{flag} is not available with --shards; per-worker "
+                f"observability lives in the shard journals, and "
+                f"recovery goes through the shard manifest "
+                f"('recover' on the journal root)"
+            )
+    if args.health and args.shard_transport != "inline":
+        raise ReproError(
+            "--health with --shards requires the inline transport"
+        )
+
+
+def _build_sharded_monitor(args, schema, steps: int, journal_root=None):
+    """A :class:`~repro.shard.ShardedMonitor` from CLI flags."""
+    from repro.shard import ShardedMonitor
+
+    chaos = None
+    if args.shard_chaos:
+        chaos = _parse_shard_chaos(args.shard_chaos, args.shards, steps)
+    instrumentation, tracer, registry = _build_instrumentation(args)
+    monitor = ShardedMonitor(
+        schema,
+        key=args.shard_key,
+        shards=args.shards,
+        journal_root=journal_root,
+        checkpoint_every=(
+            getattr(args, "checkpoint_every", None) or 64
+        ),
+        on_unkeyed=args.shard_unkeyed,
+        transport=args.shard_transport,
+        chaos=chaos,
+        instrumentation=instrumentation,
+        fault_policy=args.fault_policy,
+        quarantine_log=args.quarantine_log,
+    )
+    monitor.add_constraints_text(Path(args.constraints).read_text())
+    if getattr(args, "step_deadline", None) is not None:
+        monitor.set_step_deadline(
+            args.step_deadline, urgent=tuple(args.urgent or ())
+        )
+    return monitor, registry
+
+
+def _print_shard_summary(monitor) -> None:
+    summary = monitor.supervisor.summary()
+    acct = monitor.accounting()
+    print(
+        f"shards: {summary['shards']} ({summary['transport']}), "
+        f"crashes: {summary['crashes']}, "
+        f"respawns: {summary['respawns']}, "
+        f"stall kills: {summary['stall_kills']}, "
+        f"replayed: {summary['replayed_steps']}, "
+        f"tombstoned: {summary['tombstoned'] or 'none'}"
+    )
+    print(
+        f"accounting: fed {acct['steps_fed']} = "
+        f"{acct['verdicts']} verdict(s) + "
+        f"{acct['degraded']} degraded + {acct['shed']} shed"
+    )
+
+
+def _write_sharded_health(monitor, args) -> None:
+    if not getattr(args, "health", None):
+        return
+    import json as _json
+
+    path = Path(args.health)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_json.dumps(monitor.health(), indent=2, sort_keys=True))
+
+
+def _command_check_sharded(args: argparse.Namespace) -> int:
+    tolerant = bool(
+        args.tolerate_disorder
+        or args.watermark is not None
+        or args.max_lateness is not None
+        or args.skew
+        or args.retry is not None
+    )
+    if tolerant:
+        raise ReproError(
+            "--shards does not combine with the disorder-tolerant "
+            "check flags; use 'ingest --shards' for unordered feeds"
+        )
+    if not args.schema or not args.constraints:
+        raise ReproError("--shards requires --schema and --constraints")
+    _check_shard_flags(args)
+    if args.shard_chaos and args.fault_policy is None:
+        # chaos without a policy would raise on the first tombstone
+        # alert; quarantine keeps the degraded-mode ledger visible
+        args.fault_policy = "quarantine"
+    schema = load_schema(args.schema)
+    if not args.no_lint:
+        lint_report = _lint_constraint_file(
+            args.constraints, schema=schema,
+            urgent=args.urgent or (),
+            journal=bool(args.journal),
+            checkpoint_every=args.checkpoint_every,
+        )
+        if lint_report and not args.quiet:
+            print(f"lint ({len(lint_report)} diagnostic(s)):")
+            print(lint_report.render_text())
+    _require_file(args.history, "--history")
+    stream = list(load_stream(args.history))
+    monitor, registry = _build_sharded_monitor(
+        args, schema, steps=len(stream), journal_root=args.journal
+    )
+    try:
+        report = monitor.run(stream)
+    finally:
+        monitor.close()
+        if (
+            monitor.resilience is not None
+            and monitor.resilience.quarantine is not None
+        ):
+            monitor.resilience.quarantine.close()
+    if registry is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(registry, args.metrics)
+    _write_sharded_health(monitor, args)
+    if args.quiet:
+        return 0 if report.ok else 1
+    print(
+        f"checked {len(report)} states with "
+        f"{len(monitor.constraints)} constraint(s) "
+        f"[sharded x{args.shards}, key: {args.shard_key}]"
+    )
+    _print_shard_summary(monitor)
+    _print_resilience_summary(monitor, args.quarantine_log)
+    if report.ok:
+        print("no violations")
+        return 0
+    _print_violations(report, args.max_violations)
+    return 1
 
 
 def _run_monitor_stream(monitor: Monitor, history):
@@ -1000,6 +1213,12 @@ def _command_lint(args: argparse.Namespace) -> int:
 
 
 def _command_check(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return _command_check_sharded(args)
+    if args.shard_key or args.shard_chaos:
+        raise ReproError(
+            "--shard-key/--shard-chaos require --shards"
+        )
     tolerant = bool(
         args.tolerate_disorder
         or args.watermark is not None
@@ -1109,18 +1328,37 @@ def _command_ingest(args: argparse.Namespace) -> int:
     from repro.db.storage import read_arrivals
     from repro.ingest import IterableSource
 
-    instrumentation, tracer, registry = _build_instrumentation(args)
+    sharded = args.shards is not None
+    if not sharded and (args.shard_key or args.shard_chaos):
+        raise ReproError(
+            "--shard-key/--shard-chaos require --shards"
+        )
     schema = load_schema(args.schema)
-    monitor = Monitor(
-        schema,
-        engine=args.engine,
-        instrumentation=instrumentation,
-        fault_policy=args.fault_policy or "quarantine",
-        quarantine_log=args.quarantine_log,
-    )
-    monitor.add_constraints_text(Path(args.constraints).read_text())
-    _enable_cli_telemetry(monitor, args)
-    _enable_cli_statewatch(monitor, args)
+    tracer = None
+    if sharded:
+        args.fault_policy = args.fault_policy or "quarantine"
+        _check_shard_flags(args)
+        arrivals = 0
+        for index, spec in enumerate(args.source):
+            _, path = _parse_source_spec(spec, index)
+            _require_file(path, "--source")
+            with open(path) as fh:
+                arrivals += sum(1 for _ in fh)
+        monitor, registry = _build_sharded_monitor(
+            args, schema, steps=arrivals
+        )
+    else:
+        instrumentation, tracer, registry = _build_instrumentation(args)
+        monitor = Monitor(
+            schema,
+            engine=args.engine,
+            instrumentation=instrumentation,
+            fault_policy=args.fault_policy or "quarantine",
+            quarantine_log=args.quarantine_log,
+        )
+        monitor.add_constraints_text(Path(args.constraints).read_text())
+        _enable_cli_telemetry(monitor, args)
+        _enable_cli_statewatch(monitor, args)
     sources = []
     for index, spec in enumerate(args.source):
         name, path = _parse_source_spec(spec, index)
@@ -1140,6 +1378,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
             backpressure=args.backpressure,
         )
     finally:
+        if sharded:
+            monitor.close()
         if (
             monitor.resilience is not None
             and monitor.resilience.quarantine is not None
@@ -1154,19 +1394,29 @@ def _command_ingest(args: argparse.Namespace) -> int:
             write_metrics(registry, args.metrics)
     except OSError as exc:
         raise ReproError(f"cannot write telemetry: {exc}") from exc
-    _write_health_snapshot(monitor, args)
-    _write_state_snapshot(monitor, args)
+    if sharded:
+        _write_sharded_health(monitor, args)
+    else:
+        _write_health_snapshot(monitor, args)
+        _write_state_snapshot(monitor, args)
     if args.quiet:
         return 0 if report.ok else 1
+    engine_note = (
+        f"sharded x{args.shards}, key: {args.shard_key}"
+        if sharded else f"engine: {args.engine}"
+    )
     print(
         f"checked {len(report)} states with "
         f"{len(monitor.constraints)} constraint(s) "
-        f"[engine: {args.engine}]"
+        f"[{engine_note}]"
     )
     _print_ingest_summary(monitor, args.quarantine_log)
+    if sharded:
+        _print_shard_summary(monitor)
     _print_resilience_summary(monitor, args.quarantine_log)
-    _print_slo_summary(monitor)
-    _print_state_summary(monitor, args.flight)
+    if not sharded:
+        _print_slo_summary(monitor)
+        _print_state_summary(monitor, args.flight)
     if report.ok:
         print("no violations")
         return 0

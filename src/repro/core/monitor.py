@@ -711,7 +711,9 @@ class Monitor:
     # checkpointing
     # ------------------------------------------------------------------
 
-    def enable_journal(self, directory, checkpoint_every: int = 64):
+    def enable_journal(
+        self, directory, checkpoint_every: int = 64, sync: bool = False
+    ):
         """Journal every applied step under ``directory``.
 
         Writes an initial checkpoint immediately, appends each
@@ -719,8 +721,10 @@ class Monitor:
         and rewrites the checkpoint (atomically) every
         ``checkpoint_every`` steps.  After a crash,
         :meth:`Monitor.recover` restores the last checkpoint and
-        replays the journal tail.  Incremental engine only, like
-        :meth:`save`.
+        replays the journal tail.  With ``sync=True`` every record and
+        checkpoint is fsynced (host-crash durability — the shard
+        workers' default); the default flush-only mode survives
+        process kills.  Incremental engine only, like :meth:`save`.
         """
         from repro.core.persist import RunJournal
 
@@ -731,7 +735,9 @@ class Monitor:
             )
         if self._journal is not None:
             raise MonitorError("a journal is already attached")
-        journal = RunJournal(directory, checkpoint_every=checkpoint_every)
+        journal = RunJournal(
+            directory, checkpoint_every=checkpoint_every, sync=sync
+        )
         journal.attach(self.checker)
         self._journal = journal
         return journal
@@ -739,16 +745,27 @@ class Monitor:
     def checkpoint(self) -> None:
         """Force a checkpoint now (requires :meth:`enable_journal`)."""
         if self._journal is None:
-            raise MonitorError("no journal attached; call enable_journal()")
-        self._journal.checkpoint(self.checker)
+            raise MonitorError(
+                "no journal attached to this monitor; call "
+                "enable_journal(directory) before checkpoint()"
+            )
+        try:
+            self._journal.checkpoint(self.checker)
+        except OSError as exc:
+            raise MonitorError(
+                f"cannot checkpoint journal directory "
+                f"{self._journal.directory}: {exc}"
+            ) from exc
 
     @classmethod
-    def recover(cls, directory, resume_journal: bool = True):
+    def recover(cls, directory, resume_journal: bool = True,
+                sync: bool = False, checkpoint_every: int = 64):
         """Rebuild a monitor after a crash from checkpoint + journal.
 
         Restores the newest checkpoint under ``directory``, replays the
         journal tail on top, and (by default) re-attaches the journal so
-        monitoring continues exactly where the killed process stopped.
+        monitoring continues exactly where the killed process stopped
+        (``sync`` selects the re-attached journal's durability mode).
 
         Returns:
             ``(monitor, result)`` where ``result`` is the
@@ -764,7 +781,9 @@ class Monitor:
         monitor.constraints = list(checker.constraints)
         monitor._checker = checker
         if resume_journal:
-            journal = RunJournal(directory)
+            journal = RunJournal(
+                directory, checkpoint_every=checkpoint_every, sync=sync
+            )
             journal.attach(checker)
             monitor._journal = journal
         return monitor, result

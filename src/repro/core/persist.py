@@ -34,6 +34,21 @@ faulted input never reaches the journal and a crash mid-step loses at
 most that one uncommitted step.  A journal tail torn by a crash is
 detected during recovery and reported as
 :class:`~repro.errors.RecoveryError`, never as a raw parse exception.
+
+Two durability levels exist.  The default (``sync=False``) flushes
+every record to the OS, which survives a *process* kill but can lose
+acknowledged steps to a *host* crash (the page cache dies with the
+machine).  ``sync=True`` additionally ``fsync``\\ s every journal
+record, the checkpoint temp file before its rename, and the journal
+directory after the rename — the full write-ahead discipline — at the
+cost of one fsync per step.  Shard worker journals
+(:mod:`repro.shard`) default to ``sync=True`` because a shard's
+acknowledgement is consumed by the supervisor as a durability promise.
+
+A journal directory is additionally guarded by a ``journal.lock``
+file: a second live writer attaching to the same directory is refused
+(its records would interleave and corrupt the tail), while a lock left
+behind by a dead process is detected by pid-liveness and stolen.
 """
 
 from __future__ import annotations
@@ -58,8 +73,18 @@ FORMAT_VERSION = 1
 #: File names inside a journal directory.
 CHECKPOINT_NAME = "checkpoint.json"
 JOURNAL_NAME = "journal.jsonl"
+LOCK_NAME = "journal.lock"
 
 PathLike = Union[str, Path]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a host crash."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def checkpoint_dict(checker: IncrementalChecker) -> dict:
@@ -174,19 +199,32 @@ def restore_checker(document: dict) -> IncrementalChecker:
     return checker
 
 
-def save_checker(checker: IncrementalChecker, path: PathLike) -> None:
+def save_checker(
+    checker: IncrementalChecker, path: PathLike, sync: bool = False
+) -> None:
     """Write a checker checkpoint to ``path`` as JSON, atomically.
 
     The document is written to a sibling temp file and renamed into
     place, so readers (and crash recovery) only ever see either the
     previous complete checkpoint or the new complete one — never a
-    torn write.
+    torn write.  With ``sync=True`` the temp file is fsynced before
+    the rename and the containing directory after it, so the rename
+    itself survives a host crash (rename-without-fsync may surface as
+    a zero-length or missing file on some filesystems).
     """
     path = Path(path)
     payload = json.dumps(checkpoint_dict(checker), sort_keys=True) + "\n"
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(payload)
+    if sync:
+        with open(tmp, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+    else:
+        tmp.write_text(payload)
     os.replace(tmp, path)
+    if sync:
+        _fsync_dir(path.parent)
 
 
 def load_checker(path: PathLike) -> IncrementalChecker:
@@ -235,6 +273,86 @@ def load_checker(path: PathLike) -> IncrementalChecker:
 # ----------------------------------------------------------------------
 
 
+class JournalLock:
+    """Single-writer guard for a journal directory.
+
+    Two live processes appending to one ``journal.jsonl`` would
+    interleave records and corrupt the tail, so :class:`RunJournal`
+    takes this lock on attach.  The lock file holds the owner's pid; a
+    lock whose owner is no longer alive (the crash-recovery case) is
+    stolen rather than refused, so a killed monitor never wedges its
+    own journal directory.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.path = Path(directory) / LOCK_NAME
+        self._held = False
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - exists, not ours
+            return True
+        return True
+
+    def acquire(self) -> None:
+        """Take the lock, stealing it only from a dead owner.
+
+        Raises:
+            MonitorError: when a *live* process holds the lock.
+        """
+        while not self._held:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                try:
+                    owner = int(self.path.read_text().strip() or "-1")
+                except (OSError, ValueError):
+                    owner = -1
+                if owner == os.getpid():
+                    self._held = True
+                    return
+                if owner > 0 and self._pid_alive(owner):
+                    raise MonitorError(
+                        f"journal directory {self.path.parent} is "
+                        f"locked by live process {owner}; a second "
+                        f"writer would corrupt the journal"
+                    ) from None
+                # stale lock from a dead process: steal it
+                try:
+                    self.path.unlink()
+                except FileNotFoundError:  # pragma: no cover - raced
+                    pass
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._held = True
+
+    def release(self) -> None:
+        """Drop the lock (idempotent; only the holder's file is removed)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._held
+
+    def __repr__(self) -> str:
+        state = "held" if self._held else "free"
+        return f"JournalLock({self.path}, {state})"
+
+
 class RunJournal:
     """Write-ahead journal + periodic atomic checkpoints for one run.
 
@@ -246,7 +364,12 @@ class RunJournal:
     :func:`recover`.
     """
 
-    def __init__(self, directory: PathLike, checkpoint_every: int = 64):
+    def __init__(
+        self,
+        directory: PathLike,
+        checkpoint_every: int = 64,
+        sync: bool = False,
+    ):
         if not isinstance(checkpoint_every, int) or checkpoint_every < 1:
             raise MonitorError(
                 f"checkpoint_every must be a positive int, "
@@ -255,10 +378,15 @@ class RunJournal:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.checkpoint_every = checkpoint_every
+        #: fsync every record and checkpoint (host-crash durability);
+        #: the default False survives process kills only
+        self.sync = bool(sync)
         self.records_written = 0
         self.checkpoints_written = 0
         self._since_checkpoint = 0
         self._fh = None
+        self._lock = JournalLock(self.directory)
+        self._lock.acquire()
 
     @property
     def checkpoint_path(self) -> Path:
@@ -298,6 +426,8 @@ class RunJournal:
         entry.update(txn.to_dict())
         self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
         self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
         self.records_written += 1
         self._since_checkpoint += 1
         if self._since_checkpoint >= self.checkpoint_every:
@@ -313,18 +443,22 @@ class RunJournal:
         are already covered by the checkpoint, which :func:`recover`
         detects by timestamp and skips.
         """
-        save_checker(checker, self.checkpoint_path)
+        save_checker(checker, self.checkpoint_path, sync=self.sync)
         self.checkpoints_written += 1
         if self._fh is not None:
             self._fh.close()
         self._fh = open(self.journal_path, "w")
+        if self.sync:
+            os.fsync(self._fh.fileno())
+            _fsync_dir(self.directory)
         self._since_checkpoint = 0
 
     def close(self) -> None:
-        """Flush and close the journal file."""
+        """Flush and close the journal file; release the writer lock."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._lock.release()
 
     def __repr__(self) -> str:
         return (

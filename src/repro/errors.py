@@ -86,6 +86,18 @@ class RecoveryError(MonitorError):
     """
 
 
+class ShardingError(MonitorError):
+    """A constraint or schema cannot be hash-partitioned as requested.
+
+    Raised by :class:`repro.shard.ShardPlan` when the shard key names no
+    schema attribute, or when a constraint's compiled violation formula
+    does not route cleanly — its keyed atoms disagree on the key
+    variable, bind it under a quantifier (the explicit-``FORALL`` trap),
+    or touch no keyed relation at all under the ``reject`` policy.  The
+    message always carries the constraint name and a rewrite hint.
+    """
+
+
 class HandlerError(MonitorError):
     """One or more violation handlers raised during dispatch.
 

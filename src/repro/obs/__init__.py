@@ -72,6 +72,7 @@ from repro.obs.flight import (
 from repro.obs.health import (
     HEALTH_VERSION,
     build_health,
+    build_sharded_health,
     load_health,
     merge_health,
     render_health_text,
@@ -143,6 +144,7 @@ __all__ = [
     "Tracer",
     "build_artifact",
     "build_health",
+    "build_sharded_health",
     "compare_artifacts",
     "compare_dirs",
     "format_report",

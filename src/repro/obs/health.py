@@ -579,3 +579,47 @@ def render_health_text(doc: Dict) -> str:
                 f"({fired})"
             )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# sharded runs
+# ----------------------------------------------------------------------
+
+def build_sharded_health(sharded) -> Dict:
+    """One merged snapshot for a whole sharded run.
+
+    Folds every live shard worker's ``repro-health/1`` snapshot with
+    :func:`merge_health` (tombstoned shards contribute nothing — their
+    loss shows up in the supervision section instead) and attaches a
+    ``shards`` section with the supervisor's accounting.  Requires the
+    inline transport: process workers' snapshots live out-of-process.
+    """
+    from repro.errors import MonitorError
+
+    supervisor = sharded.supervisor
+    snapshots = []
+    for worker in supervisor.workers:
+        monitor = getattr(worker, "monitor", None)
+        if monitor is None and worker.alive:
+            raise MonitorError(
+                "sharded health snapshots require the inline transport"
+            )
+        if monitor is not None:
+            snapshots.append(build_health(monitor))
+    if snapshots:
+        merged = merge_health(snapshots)
+    else:
+        merged = {
+            "version": HEALTH_VERSION,
+            "engines": ["incremental"],
+            "steps": {key: 0 for key in _STEP_KEYS},
+            "stages": None,
+            "lag": None,
+            "ingest": None,
+            "faults": None,
+            "journal": None,
+            "slo": [],
+        }
+    merged["shards"] = dict(supervisor.summary())
+    merged["shards"]["accounting"] = sharded.accounting()
+    return merged

@@ -38,9 +38,11 @@ full walkthrough.
 from repro.core.persist import RecoveryResult, RunJournal, read_journal, recover
 from repro.resilience.chaos import (
     FAULT_KINDS,
+    SHARD_FAULT_MODES,
     FaultyStream,
     IngestChaosPlan,
     InjectedFault,
+    ShardChaosPlan,
     SimulatedCrash,
     assert_lint_clean,
     crash_after,
@@ -48,6 +50,7 @@ from repro.resilience.chaos import (
     duplicate_arrivals,
     inject_faults,
     plan_ingest_chaos,
+    plan_shard_chaos,
     run_until_crash,
     split_sources,
 )
@@ -73,6 +76,8 @@ __all__ = [
     "RecoveryResult",
     "ResilienceRuntime",
     "RunJournal",
+    "SHARD_FAULT_MODES",
+    "ShardChaosPlan",
     "SimulatedCrash",
     "StepBudget",
     "assert_lint_clean",
@@ -82,6 +87,7 @@ __all__ = [
     "duplicate_arrivals",
     "inject_faults",
     "plan_ingest_chaos",
+    "plan_shard_chaos",
     "read_journal",
     "recover",
     "run_until_crash",

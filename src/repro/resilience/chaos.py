@@ -430,3 +430,110 @@ def run_until_crash(monitor, stream: Iterable, crash_at: int) -> RunReport:
     except SimulatedCrash:
         pass
     return report
+
+
+# ----------------------------------------------------------------------
+# shard chaos: in-bound worker faults
+# ----------------------------------------------------------------------
+
+#: Worker fault modes the shard injectors produce: ``before`` kills a
+#: worker before it applies a step (nothing journaled — the supervisor
+#: redelivers), ``torn`` kills it after apply+journal but before the
+#: acknowledgement (the classic torn handoff — journal replay recovers
+#: the verdict), ``stall`` freezes it for N pump rounds (heartbeat
+#: misses without death).
+SHARD_FAULT_MODES = ("before", "torn", "stall")
+
+
+class ShardChaosPlan:
+    """A seeded schedule of worker faults for a sharded run.
+
+    Each event is a plain dict — ``{"shard": s, "step": n, "mode": m}``
+    (+ ``"duration"`` for stalls), with ``step`` counting global
+    submissions — consumed at most once by the targeted worker.  The
+    plan doubles as its own manifest (:meth:`to_dict`), so a chaos run
+    is exactly reproducible from its artifact.
+    """
+
+    def __init__(self, shards: int, events: Sequence[dict], seed=None):
+        self.shards = shards
+        self.events = [dict(e) for e in events]
+        self.seed = seed
+
+    def for_shard(self, shard: int) -> List[dict]:
+        """Fresh copies of this shard's events, in step order."""
+        return sorted(
+            (dict(e) for e in self.events if e.get("shard") == shard),
+            key=lambda e: e.get("step", 0),
+        )
+
+    @property
+    def kills(self) -> List[dict]:
+        """The crash events (kill-before-step and torn-handoff)."""
+        return [e for e in self.events if e.get("mode") != "stall"]
+
+    @property
+    def stalls(self) -> List[dict]:
+        """The stall events (worker stops heartbeating for a while)."""
+        return [e for e in self.events if e.get("mode") == "stall"]
+
+    def to_dict(self) -> dict:
+        """JSON-able manifest of the injected worker faults."""
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "events": [dict(e) for e in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardChaosPlan({len(self.kills)} kill(s), "
+            f"{len(self.stalls)} stall(s) over {self.shards} shard(s))"
+        )
+
+
+def plan_shard_chaos(
+    shards: int,
+    steps: int,
+    kills: int = 2,
+    stalls: int = 0,
+    seed: int = 0,
+    modes: Sequence[str] = ("before", "torn"),
+    max_stall: int = 3,
+) -> ShardChaosPlan:
+    """Draw a seeded shard-fault schedule.
+
+    Picks ``kills + stalls`` distinct ``(shard, step)`` injection
+    points uniformly over the run, assigns each kill a mode from
+    ``modes`` and each stall a duration in ``[1, max_stall]``.  Same
+    seed, same plan — the keystone equivalence suite sweeps seeds and
+    asserts the chaotic sharded run's verdicts equal the single-process
+    run's bit-for-bit.
+    """
+    for mode in modes:
+        if mode not in SHARD_FAULT_MODES:
+            raise ValueError(
+                f"unknown shard fault mode {mode!r}; "
+                f"choose from {SHARD_FAULT_MODES}"
+            )
+    wanted = kills + stalls
+    candidates = [(s, t) for s in range(shards) for t in range(steps)]
+    if wanted > len(candidates):
+        raise ValueError(
+            f"cannot place {wanted} fault(s) on {shards} shard(s) x "
+            f"{steps} step(s)"
+        )
+    rng = random.Random(seed)
+    points = rng.sample(candidates, wanted)
+    events: List[dict] = []
+    for shard, step in points[:kills]:
+        events.append({
+            "shard": shard, "step": step, "mode": rng.choice(list(modes)),
+        })
+    for shard, step in points[kills:]:
+        events.append({
+            "shard": shard, "step": step, "mode": "stall",
+            "duration": rng.randint(1, max_stall),
+        })
+    events.sort(key=lambda e: (e["step"], e["shard"]))
+    return ShardChaosPlan(shards, events, seed=seed)

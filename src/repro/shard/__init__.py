@@ -1,0 +1,60 @@
+"""Fault-isolated sharded monitoring.
+
+Hash-partitions a monitoring workload by one key attribute across N
+supervised workers — each an isolated
+:class:`~repro.core.monitor.Monitor` with its own checker and
+per-shard journal — and merges the per-shard verdicts back into
+reports bit-for-bit equal to the single-process run, including under
+injected worker crashes (recovered by journal replay) and stalls
+(heartbeat kills + respawn).  Unrecoverable shards degrade explicitly:
+every fed step is accounted as a verdict, a degraded verdict, or a
+shed input — never silently dropped.
+
+Layout:
+
+* :mod:`repro.shard.partition` — the key-routing plan: which
+  constraints shard, how tuples and witnesses route, stable hashing;
+* :mod:`repro.shard.worker` — inline (deterministic) and OS-process
+  workers with the journal-then-ack durability protocol;
+* :mod:`repro.shard.supervisor` — dispatch, bounded mailboxes with
+  backpressure, heartbeats, crash recovery, tombstoning;
+* :mod:`repro.shard.merge` — reassembling global verdicts in
+  constraint registration order with witness-ownership filtering;
+* :mod:`repro.shard.monitor` — the :class:`ShardedMonitor` façade.
+
+Chaos injection for sharded runs lives with the other injectors in
+:mod:`repro.resilience.chaos`
+(:func:`~repro.resilience.plan_shard_chaos`).
+"""
+
+from repro.shard.merge import merge_fragments, union_tables
+from repro.shard.monitor import MANIFEST_NAME, ShardedMonitor
+from repro.shard.partition import (
+    PLAN_VERSION,
+    ShardPlan,
+    stable_hash,
+)
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.worker import (
+    InlineWorker,
+    ProcessWorker,
+    WorkerSpec,
+    build_worker_monitor,
+    recover_worker_monitor,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "PLAN_VERSION",
+    "InlineWorker",
+    "ProcessWorker",
+    "ShardPlan",
+    "ShardSupervisor",
+    "ShardedMonitor",
+    "WorkerSpec",
+    "build_worker_monitor",
+    "merge_fragments",
+    "recover_worker_monitor",
+    "stable_hash",
+    "union_tables",
+]

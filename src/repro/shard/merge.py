@@ -1,0 +1,90 @@
+"""Reassembling one global verdict from per-shard fragments.
+
+Every shard steps at every timestamp, so a global step's fragments are
+N :class:`~repro.core.violations.StepReport`\\ s for the same time.
+The merge rebuilds exactly what the single-process checker would have
+reported:
+
+* violations appear in constraint registration order (the checker's
+  order), one per violated constraint, with the shards' witness tables
+  unioned — after :meth:`~repro.shard.partition.ShardPlan.
+  filter_witnesses` drops the rows a shard does not own;
+* a constraint pinned to shard 0 (``on_unkeyed="broadcast"``) takes
+  its verdict from shard 0 alone — the other shards see the same
+  broadcast relations and would only duplicate it;
+* ``deferred`` is the union of the fragments' deferred names (ordered
+  by registration), so a degraded fragment — a crashed shard's
+  unrecoverable verdict — marks the merged step degraded instead of
+  silently thinning the witness set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.violations import StepReport, Violation
+from repro.db.algebra import Table
+from repro.shard.partition import ShardPlan
+
+
+def union_tables(tables: Sequence[Table]) -> Table:
+    """Union witness tables, aligning column orders if they differ."""
+    first = tables[0]
+    rows = set(first.rows)
+    for table in tables[1:]:
+        if table.columns == first.columns:
+            rows |= table.rows
+        else:
+            for assignment in table.assignments():
+                rows.add(tuple(assignment[c] for c in first.columns))
+    return Table(first.columns, rows)
+
+
+def merge_fragments(
+    time,
+    index: int,
+    fragments: Dict[int, StepReport],
+    plan: ShardPlan,
+    order: Sequence[str],
+) -> StepReport:
+    """Fold per-shard fragments into the global step report.
+
+    Args:
+        time: the step's timestamp.
+        index: the global state index (assigned by the supervisor; the
+            fragments' own indices agree for live shards and are
+            sentinels for degraded ones).
+        fragments: shard id -> that shard's report for this time.
+        plan: the routing plan (witness ownership filtering).
+        order: constraint names in registration order.
+    """
+    violations: List[Violation] = []
+    for name in order:
+        mode, _ = plan.mode(name)
+        tables: List[Table] = []
+        if mode == "pinned":
+            fragment = fragments.get(0)
+            if fragment is not None:
+                tables = [
+                    v.witnesses
+                    for v in fragment.violations
+                    if v.constraint == name
+                ]
+        else:
+            for shard in sorted(fragments):
+                for v in fragments[shard].violations:
+                    if v.constraint == name:
+                        filtered = plan.filter_witnesses(
+                            shard, name, v.witnesses
+                        )
+                        if filtered.rows:
+                            tables.append(filtered)
+        if tables:
+            witnesses = union_tables(tables)
+            if witnesses.rows:
+                violations.append(Violation(name, time, index, witnesses))
+    deferred_names = set()
+    for fragment in fragments.values():
+        deferred_names.update(fragment.deferred)
+    deferred = tuple(n for n in order if n in deferred_names)
+    return StepReport(time, index, violations, deferred=deferred)

@@ -1,0 +1,601 @@
+"""`ShardedMonitor` — the fault-isolated, partitioned monitor façade.
+
+Drop-in for :class:`~repro.core.monitor.Monitor` on shardable
+workloads::
+
+    from repro.shard import ShardedMonitor
+
+    monitor = ShardedMonitor(schema, key="sensor", shards=4,
+                             journal_root="journal")
+    monitor.add_constraint(
+        "alarm-justified",
+        "alarm(s) -> ONCE[0,10] reading(s, 2)",
+    )
+    report = monitor.step(3, txn)     # merged across the 4 workers
+    assert monitor.accounting()["verdicts"] == 1
+
+Updates hash-partition by the ``key`` attribute's value across N
+isolated workers (each a full ``Monitor`` with its own checker and
+per-shard journal under ``<root>/shard-NNNN/``); verdicts merge back
+bit-for-bit equal to the single-process run — including under injected
+worker crashes, which recover by journal replay (see
+:mod:`repro.shard.supervisor` for the failure handling and
+:mod:`repro.shard.partition` for when a constraint shards).
+
+The façade is the fault *boundary*: timestamps and transactions are
+validated before splitting, so a poisoned input is skipped or
+quarantined supervisor-side (under the usual
+:class:`~repro.resilience.FaultPolicy`) and the workers only ever see
+clean steps.  The accounting identity — every fed step is exactly one
+of a verdict, a degraded verdict, or a shed (skipped) step — is
+exposed by :meth:`accounting` and holds whenever nothing is in
+flight.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.checker import Constraint
+from repro.core.formulas import Formula
+from repro.core.parser import parse, parse_constraints
+from repro.core.violations import RunReport, StepReport
+from repro.db.schema import DatabaseSchema
+from repro.db.transactions import Transaction
+from repro.errors import HandlerError, HistoryError, MonitorError
+from repro.shard.partition import PLAN_VERSION, ShardPlan
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.worker import WorkerSpec
+from repro.temporal.clock import Timestamp, validate_successor
+from repro.temporal.stream import UpdateStream
+
+MANIFEST_NAME = "shard-plan.json"
+
+
+def _shard_dir(root: Path, shard: int) -> Path:
+    return root / f"shard-{shard:04d}"
+
+
+class ShardedMonitor:
+    """Hash-partitioned monitoring across a supervised worker pool."""
+
+    engine = "incremental"
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        key: str,
+        shards: int = 4,
+        journal_root=None,
+        checkpoint_every: int = 64,
+        sync: bool = True,
+        on_unkeyed: str = "reject",
+        transport: str = "inline",
+        chaos=None,
+        mailbox_capacity: int = 8,
+        stall_timeout: int = 16,
+        max_respawns: int = 2,
+        pressure_deadline: Optional[float] = None,
+        urgent: Sequence[str] = (),
+        instrumentation=None,
+        fault_policy=None,
+        quarantine_log=None,
+    ):
+        """Args:
+            schema: the database schema.
+            key: attribute designating keyed relations (see
+                :class:`~repro.shard.ShardPlan`).
+            shards: number of worker partitions.
+            journal_root: directory receiving the ``shard-plan.json``
+                manifest and one journal per shard; ``None`` disables
+                persistence (crashed shards then tombstone instead of
+                recovering).
+            checkpoint_every: per-shard checkpoint cadence (steps).
+            sync: fsync journal records and checkpoints (default on —
+                an acknowledged step must survive a host crash).
+            on_unkeyed: ``"reject"`` or ``"broadcast"`` for constraints
+                touching no keyed relation.
+            transport: ``"inline"`` (deterministic) or ``"process"``.
+            chaos: optional
+                :class:`~repro.resilience.ShardChaosPlan` of injected
+                worker faults (tests, smoke runs).
+            mailbox_capacity: per-shard backlog bound (backpressure).
+            stall_timeout: heartbeat budget in pump rounds.
+            max_respawns: per-shard crash budget before tombstoning.
+            pressure_deadline: step budget (seconds) armed on a worker
+                whose mailbox crosses the capacity mark.
+            urgent: constraint names never shed under pressure.
+            instrumentation: optional instrumentation whose metrics
+                registry receives the ``repro_shard_*`` families.
+            fault_policy: supervisor-side
+                :class:`~repro.resilience.FaultPolicy` for poisoned
+                inputs (and the channel shard-crash records ride).
+            quarantine_log: optional
+                :class:`~repro.resilience.QuarantineLog` or path.
+        """
+        self.schema = schema
+        self.key = key
+        self.shards = shards
+        self.plan = ShardPlan(schema, key, shards, on_unkeyed=on_unkeyed)
+        self.journal_root = (
+            Path(journal_root) if journal_root is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.sync = sync
+        self.transport = transport
+        self.chaos = chaos
+        self.mailbox_capacity = mailbox_capacity
+        self.stall_timeout = stall_timeout
+        self.max_respawns = max_respawns
+        self.pressure_deadline = pressure_deadline
+        self.urgent = tuple(urgent)
+        self.instrumentation = instrumentation
+        self.constraints: List[Constraint] = []
+        self._texts: List[tuple] = []
+        self._supervisor: Optional[ShardSupervisor] = None
+        self._violation_handlers: List = []
+        self._alert_handlers: List = []
+        self._resilience = None
+        self._ingest = None
+        self._now: Optional[Timestamp] = None
+        self._index = 0
+        self._steps_fed = 0
+        self._verdicts = 0
+        self._degraded = 0
+        self._shed = 0
+        if fault_policy is not None or quarantine_log is not None:
+            self._configure_fault_policy(fault_policy, quarantine_log)
+
+    # ------------------------------------------------------------------
+    # configuration (mirrors Monitor)
+    # ------------------------------------------------------------------
+
+    def _metrics(self):
+        return getattr(self.instrumentation, "metrics", None)
+
+    def _configure_fault_policy(self, fault_policy, quarantine_log) -> None:
+        from repro.resilience import (
+            FaultPolicy,
+            QuarantineLog,
+            ResilienceRuntime,
+        )
+
+        if quarantine_log is not None and not isinstance(
+            quarantine_log, QuarantineLog
+        ):
+            quarantine_log = QuarantineLog(quarantine_log)
+        if fault_policy is None:
+            fault_policy = FaultPolicy.QUARANTINE
+        self._resilience = ResilienceRuntime(
+            fault_policy,
+            quarantine=quarantine_log,
+            metrics=self._metrics(),
+            engine="sharded",
+        )
+
+    @property
+    def resilience(self):
+        """The supervisor-side fault runtime (None when no policy)."""
+        return self._resilience
+
+    @property
+    def telemetry(self):
+        """Event-time telemetry is per-worker; the façade has none."""
+        return None
+
+    @property
+    def ingest(self):
+        """The last :class:`~repro.ingest.IngestPipeline` fed (or None)."""
+        return self._ingest
+
+    @property
+    def now(self) -> Optional[Timestamp]:
+        """Timestamp of the last accepted step (None before any)."""
+        return self._now
+
+    def on_violation(self, handler) -> None:
+        """Register ``handler(violation)`` on every *merged* violation.
+
+        Same isolation discipline as
+        :meth:`~repro.core.monitor.Monitor.on_violation`.
+        """
+        self._violation_handlers.append(handler)
+
+    def on_alert(self, handler) -> None:
+        """Register ``handler(record)`` for shard fault alerts.
+
+        Receives each crash/stall/tombstone
+        :class:`~repro.resilience.FaultRecord` the supervisor emits —
+        the sharded counterpart of the Monitor's alert channel.
+        """
+        self._alert_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def add_constraint(
+        self, name: str, formula: Union[str, Formula]
+    ) -> Constraint:
+        """Register one constraint; it must route cleanly on the plan.
+
+        Raises:
+            ShardingError: when the constraint cannot be partitioned
+                by the shard key (with a rewrite hint).
+        """
+        if self._supervisor is not None:
+            raise MonitorError(
+                "constraints must be registered before the first step"
+            )
+        if any(c.name == name for c in self.constraints):
+            raise MonitorError(f"duplicate constraint name {name!r}")
+        text = formula if isinstance(formula, str) else str(formula)
+        if isinstance(formula, str):
+            formula = parse(formula)
+        constraint = Constraint(name, formula)
+        constraint.validate_schema(self.schema)
+        self.plan.admit(constraint)
+        self.constraints.append(constraint)
+        self._texts.append((name, text))
+        return constraint
+
+    def add_constraints_text(self, text: str) -> List[Constraint]:
+        """Register a whole constraint file (``[name :] formula ; ...``)."""
+        return [
+            self.add_constraint(name, formula)
+            for name, formula in parse_constraints(text)
+        ]
+
+    # ------------------------------------------------------------------
+    # the worker pool
+    # ------------------------------------------------------------------
+
+    def _specs(self) -> List[WorkerSpec]:
+        return [
+            WorkerSpec(
+                shard,
+                self.schema.to_dict(),
+                list(self._texts),
+                journal_dir=(
+                    str(_shard_dir(self.journal_root, shard))
+                    if self.journal_root is not None
+                    else None
+                ),
+                checkpoint_every=self.checkpoint_every,
+                sync=self.sync,
+            )
+            for shard in range(self.shards)
+        ]
+
+    def _write_manifest(self) -> None:
+        if self.journal_root is None:
+            return
+        self.journal_root.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "version": PLAN_VERSION,
+            "schema": self.schema.to_dict(),
+            "key": self.key,
+            "shards": self.shards,
+            "on_unkeyed": self.plan.on_unkeyed,
+            "checkpoint_every": self.checkpoint_every,
+            "sync": self.sync,
+            "constraints": [list(pair) for pair in self._texts],
+            "plan": self.plan.to_dict(),
+        }
+        path = self.journal_root / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+    def _build_supervisor(self, recovered: bool = False) -> ShardSupervisor:
+        if not self.constraints:
+            raise MonitorError(
+                "register at least one constraint before stepping"
+            )
+        if not recovered:
+            self._write_manifest()
+        return ShardSupervisor(
+            self.plan,
+            self._specs(),
+            order=[c.name for c in self.constraints],
+            transport=self.transport,
+            chaos=self.chaos,
+            mailbox_capacity=self.mailbox_capacity,
+            stall_timeout=self.stall_timeout,
+            max_respawns=self.max_respawns,
+            pressure_deadline=self.pressure_deadline,
+            urgent=self.urgent,
+            metrics=self._metrics(),
+            on_fault=self._shard_fault,
+            recovered=recovered,
+        )
+
+    @property
+    def supervisor(self) -> ShardSupervisor:
+        """The worker pool (created lazily at first use)."""
+        if self._supervisor is None:
+            self._supervisor = self._build_supervisor()
+        return self._supervisor
+
+    def _shard_fault(self, record) -> None:
+        """Route a supervisor fault record into quarantine + alerts."""
+        resilience = self._resilience
+        if resilience is not None and resilience.quarantine is not None:
+            resilience.quarantine.record(record)
+            resilience.quarantined += 1
+        failures = []
+        for handler in self._alert_handlers:
+            try:
+                handler(record)
+            except Exception as exc:  # noqa: BLE001 — isolation point
+                failures.append((record, exc))
+        if failures:
+            raise HandlerError([record], failures) from failures[0][1]
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+
+    def step(self, time: Timestamp, txn: Transaction) -> StepReport:
+        """Apply one transaction everywhere; return the merged verdict.
+
+        Synchronous: pumps the pool until this step's fragments have
+        all arrived (or degraded).  Input faults are intercepted here,
+        before splitting, under the configured fault policy.
+        """
+        reports = self._submit(time, txn)
+        reports.extend(self._flush())
+        return reports[-1]
+
+    def run(self, stream: Union[UpdateStream, Sequence]) -> RunReport:
+        """Process a whole update stream, pipelining across shards.
+
+        Unlike :meth:`step`, submission runs ahead of merging (bounded
+        by the mailbox capacity), so a slow shard does not serialise
+        the healthy ones; reports still arrive in stream order.
+        """
+        report = RunReport()
+        for time, txn in stream:
+            for merged in self._submit(time, txn):
+                report.add(merged)
+        for merged in self._flush():
+            report.add(merged)
+        return report
+
+    def feed(self, sources, **kwargs) -> RunReport:
+        """Pull from unordered, unreliable sources until they run dry.
+
+        The sharded counterpart of
+        :meth:`~repro.core.monitor.Monitor.feed` — the same
+        :class:`~repro.ingest.IngestPipeline` (watermark reordering,
+        retries, bounded queue) drives the merged :meth:`step`.
+        """
+        from repro.ingest import IngestPipeline
+
+        pipeline = IngestPipeline(self, sources, **kwargs)
+        self._ingest = pipeline
+        return pipeline.run()
+
+    def _submit(self, time: Timestamp, txn: Transaction) -> List[StepReport]:
+        from repro.resilience import FAULT_ERRORS, classify_fault
+
+        self._steps_fed += 1
+        try:
+            if not isinstance(txn, Transaction):
+                raise HistoryError(
+                    f"stream element at t={time!r} is not a Transaction "
+                    f"but {type(txn).__name__}"
+                )
+            validate_successor(self._now, time)
+            txn.validate(self.schema)
+        except FAULT_ERRORS as exc:
+            if self._resilience is None:
+                self._steps_fed -= 1
+                raise
+            # keep report order: everything in flight merges first
+            ready = [self._finish(r) for r in self.supervisor.flush()]
+            skipped = self._resilience.handle(
+                classify_fault(exc), exc, time, txn, self._index
+            )
+            self._shed += 1
+            ready.append(skipped)
+            return ready
+        self._now = time
+        index = self._index
+        self._index += 1
+        return [
+            self._finish(r) for r in self.supervisor.submit(time, txn, index)
+        ]
+
+    def _flush(self) -> List[StepReport]:
+        if self._supervisor is None:
+            return []
+        return [self._finish(r) for r in self._supervisor.flush()]
+
+    def _finish(self, report: StepReport) -> StepReport:
+        if report.degraded:
+            self._degraded += 1
+            if self._resilience is not None:
+                self._resilience.note_step(report)
+        else:
+            self._verdicts += 1
+        return self._dispatch(report)
+
+    def _dispatch(self, report: StepReport) -> StepReport:
+        if not self._violation_handlers:
+            return report
+        failures = []
+        for violation in report.violations:
+            for handler in self._violation_handlers:
+                try:
+                    handler(violation)
+                except Exception as exc:  # noqa: BLE001 — isolation point
+                    failures.append((violation, exc))
+        if failures:
+            resilience = self._resilience
+            if resilience is not None and (
+                resilience.policy.value != "fail_fast"
+            ):
+                resilience.handle_handler_failures(report, failures)
+            else:
+                raise HandlerError(report, failures) from failures[0][1]
+        return report
+
+    def record_fault(
+        self,
+        kind: str,
+        reason: str,
+        time: Optional[Timestamp] = None,
+        payload=None,
+    ) -> StepReport:
+        """Report an out-of-band fault (lenient stream decoding)."""
+        error = HistoryError(reason)
+        if self._resilience is None:
+            raise error
+        from repro.resilience import classify_fault
+
+        self._steps_fed += 1
+        self._shed += 1
+        return self._resilience.handle(
+            classify_fault(error) if kind is None else kind,
+            error,
+            time,
+            payload,
+            self._index,
+        )
+
+    def set_step_deadline(self, deadline, urgent=()) -> None:
+        """Install or clear a step budget on every live worker."""
+        self.supervisor.set_step_deadline(deadline, urgent=urgent)
+
+    # ------------------------------------------------------------------
+    # accounting / health / shutdown
+    # ------------------------------------------------------------------
+
+    def accounting(self) -> Dict[str, int]:
+        """Zero-silent-drop ledger.
+
+        The identity ``steps_fed == verdicts + degraded + shed +
+        in_flight`` always holds; at rest (nothing in flight) every
+        fed step is exactly one merged verdict, one explicitly
+        degraded verdict, or one shed (skipped/quarantined) step.
+        """
+        in_flight = (
+            self._supervisor.in_flight if self._supervisor is not None else 0
+        )
+        return {
+            "steps_fed": self._steps_fed,
+            "verdicts": self._verdicts,
+            "degraded": self._degraded,
+            "shed": self._shed,
+            "in_flight": in_flight,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Supervision + accounting summary (CLI / test reporting)."""
+        out: Dict[str, object] = {"accounting": self.accounting()}
+        if self._supervisor is not None:
+            out["supervisor"] = self._supervisor.summary()
+        if self._resilience is not None:
+            out["resilience"] = self._resilience.summary()
+        return out
+
+    def health(self) -> Dict:
+        """Merged ``repro-health/1`` snapshot across all live shards.
+
+        Inline transport only — worker snapshots live in this process.
+        The merged document gains a ``shards`` section with the
+        supervision counters.
+        """
+        from repro.obs.health import build_sharded_health
+
+        return build_sharded_health(self)
+
+    def close(self) -> None:
+        """Shut the pool down and release every shard journal."""
+        if self._supervisor is not None:
+            self._supervisor.close()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, journal_root, transport: str = "inline", chaos=None,
+                **kwargs):
+        """Rebuild a sharded monitor after a supervisor crash.
+
+        Reads the ``shard-plan.json`` manifest under ``journal_root``,
+        recovers every shard worker from its own journal (checkpoint +
+        tail replay — never the full stream), and resumes at the
+        merged frontier ``min(shard frontiers)``.  Re-fed steps between
+        that frontier and a leading shard's own frontier are answered
+        from the replay on the shards that already applied them.
+
+        Returns:
+            ``(monitor, info)`` — ``info`` has per-shard recovery
+            detail and the global ``resume_from`` frontier.
+        """
+        root = Path(journal_root)
+        path = root / MANIFEST_NAME
+        if not path.is_file():
+            raise MonitorError(
+                f"cannot recover a sharded run from {root}: "
+                f"missing {MANIFEST_NAME}"
+            )
+        manifest = json.loads(path.read_text())
+        if manifest.get("version") != PLAN_VERSION:
+            raise MonitorError(
+                f"unsupported shard manifest version "
+                f"{manifest.get('version')!r} in {path} "
+                f"(expected {PLAN_VERSION!r})"
+            )
+        monitor = cls(
+            DatabaseSchema.from_dict(manifest["schema"]),
+            manifest["key"],
+            manifest["shards"],
+            journal_root=root,
+            checkpoint_every=manifest.get("checkpoint_every", 64),
+            sync=manifest.get("sync", True),
+            on_unkeyed=manifest.get("on_unkeyed", "reject"),
+            transport=transport,
+            chaos=chaos,
+            **kwargs,
+        )
+        for name, text in manifest["constraints"]:
+            monitor.add_constraint(name, text)
+        monitor._supervisor = monitor._build_supervisor(recovered=True)
+        frontiers = [
+            getattr(w, "monitor", None).now
+            if getattr(w, "monitor", None) is not None
+            else None
+            for w in monitor._supervisor.workers
+        ]
+        known = [f for f in frontiers if f is not None]
+        resume_from = min(known) if len(known) == len(frontiers) and known \
+            else None
+        applied = [
+            getattr(w, "monitor", None).checker.steps_processed
+            if getattr(w, "monitor", None) is not None
+            else 0
+            for w in monitor._supervisor.workers
+        ]
+        merged_steps = min(applied) if applied else 0
+        monitor._now = resume_from
+        monitor._index = merged_steps
+        monitor._steps_fed = merged_steps
+        monitor._verdicts = merged_steps
+        info = {
+            "resume_from": resume_from,
+            "merged_steps": merged_steps,
+            "frontiers": frontiers,
+            "recoveries": list(monitor._supervisor.recoveries),
+        }
+        return monitor, info
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedMonitor({len(self.constraints)} constraint(s), "
+            f"key={self.key!r}, shards={self.shards}, "
+            f"transport={self.transport!r})"
+        )

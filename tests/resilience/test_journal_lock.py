@@ -1,0 +1,201 @@
+"""Journal directory locking and the recovery edge cases.
+
+The shard workers put the journal machinery under concurrent use for
+the first time: one directory per shard, locks stolen from crashed
+children, fsync'd records.  These tests pin the single-writer guard
+and the recover() edges the sharded supervisor leans on.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.core.persist import (
+    CHECKPOINT_NAME,
+    JOURNAL_NAME,
+    LOCK_NAME,
+    JournalLock,
+    RunJournal,
+    recover,
+    save_checker,
+)
+from repro.db import DatabaseSchema, Transaction
+from repro.errors import MonitorError, RecoveryError
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+
+
+def make_monitor(schema, **kwargs):
+    monitor = Monitor(schema, **kwargs)
+    monitor.add_constraint("window", "q(x) -> ONCE[0,3] p(x)")
+    return monitor
+
+
+def stream(length=10):
+    items = []
+    for i in range(length):
+        rel = "p" if i % 3 else "q"
+        items.append((i + 1, Transaction({rel: [(i % 4,)]})))
+    return items
+
+
+class TestJournalLock:
+    def test_acquire_writes_own_pid(self, tmp_path):
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        assert lock.held
+        assert (tmp_path / LOCK_NAME).read_text() == str(os.getpid())
+        lock.release()
+        assert not (tmp_path / LOCK_NAME).exists()
+
+    def test_same_pid_reacquires(self, tmp_path):
+        a = JournalLock(tmp_path)
+        a.acquire()
+        b = JournalLock(tmp_path)
+        b.acquire()  # same process: not a second writer
+        assert b.held
+
+    def test_live_foreign_owner_refused(self, tmp_path):
+        # pid 1 (init) is always alive and never us
+        (tmp_path / LOCK_NAME).write_text("1")
+        with pytest.raises(MonitorError, match="locked by live process 1"):
+            JournalLock(tmp_path).acquire()
+
+    def test_dead_owner_is_stolen(self, tmp_path):
+        # spawn-and-wait a child so its pid is certainly dead
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        (tmp_path / LOCK_NAME).write_text(str(pid))
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        assert lock.held
+        assert (tmp_path / LOCK_NAME).read_text() == str(os.getpid())
+
+    def test_garbage_lock_file_is_stolen(self, tmp_path):
+        (tmp_path / LOCK_NAME).write_text("not-a-pid")
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        assert lock.held
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        lock.release()
+        lock.release()
+        assert not lock.held
+
+
+class TestSingleWriter:
+    def test_second_journal_in_live_process_conflicts(
+        self, schema, tmp_path
+    ):
+        # same pid: the lock treats it as a re-acquire, so the guard
+        # against true concurrent writers is exercised via a foreign
+        # live pid on the lock file
+        journal = RunJournal(tmp_path)
+        journal.close()
+        (tmp_path / LOCK_NAME).write_text("1")
+        with pytest.raises(MonitorError, match="second writer"):
+            RunJournal(tmp_path)
+
+    def test_close_releases_the_lock(self, schema, tmp_path):
+        journal = RunJournal(tmp_path)
+        assert (tmp_path / LOCK_NAME).exists()
+        journal.close()
+        assert not (tmp_path / LOCK_NAME).exists()
+        # a fresh writer can now attach
+        RunJournal(tmp_path).close()
+
+    def test_monitor_recover_steals_dead_owner_lock(
+        self, schema, tmp_path
+    ):
+        monitor = make_monitor(schema, engine="incremental")
+        monitor.enable_journal(tmp_path)
+        for t, txn in stream(6):
+            monitor.step(t, txn)
+        # simulate a kill: forge a dead owner instead of releasing
+        monitor.journal._fh.close()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        (tmp_path / LOCK_NAME).write_text(str(pid))
+        monitor.journal._lock._held = False
+        recovered, result = Monitor.recover(tmp_path)
+        assert recovered.now == 6
+        assert (tmp_path / LOCK_NAME).read_text() == str(os.getpid())
+
+
+class TestRecoveryEdges:
+    def test_empty_directory_is_a_recovery_error(self, tmp_path):
+        with pytest.raises(RecoveryError, match="checkpoint"):
+            recover(tmp_path)
+
+    def test_checkpoint_only_directory_recovers_cleanly(
+        self, schema, tmp_path
+    ):
+        monitor = make_monitor(schema, engine="incremental")
+        save_checker(monitor.checker, tmp_path / CHECKPOINT_NAME)
+        result = recover(tmp_path)
+        assert result.journal_entries == 0
+        assert len(result.replayed.steps) == 0
+        assert result.checker.steps_processed == 0
+
+    def test_empty_journal_file_recovers_cleanly(self, schema, tmp_path):
+        monitor = make_monitor(schema, engine="incremental")
+        save_checker(monitor.checker, tmp_path / CHECKPOINT_NAME)
+        (tmp_path / JOURNAL_NAME).write_text("")
+        result = recover(tmp_path)
+        assert result.journal_entries == 0
+
+    def test_sync_mode_round_trips(self, schema, tmp_path):
+        monitor = make_monitor(schema, engine="incremental")
+        monitor.enable_journal(tmp_path, sync=True)
+        reports = [monitor.step(t, txn) for t, txn in stream(8)]
+        monitor.journal.close()
+        recovered, result = Monitor.recover(tmp_path, sync=True)
+        assert list(result.replayed.steps) == reports[
+            len(reports) - result.journal_entries:
+        ]
+        assert recovered.journal.sync is True
+
+    def test_checkpoint_error_names_the_directory(self, schema, tmp_path):
+        monitor = make_monitor(schema, engine="incremental")
+        with pytest.raises(MonitorError, match="enable_journal"):
+            monitor.checkpoint()
+        monitor.enable_journal(tmp_path / "j")
+        monitor.step(1, Transaction({"p": [(0,)]}))
+        # squat a directory on the checkpoint path so the atomic
+        # replace fails with an OSError (chmod is no barrier to root)
+        target = monitor.journal.checkpoint_path
+        target.unlink()
+        target.mkdir()
+        with pytest.raises(
+            MonitorError, match=f"cannot checkpoint.*{tmp_path / 'j'}"
+        ):
+            monitor.checkpoint()
+        target.rmdir()
+
+    def test_lock_file_does_not_confuse_recovery(self, schema, tmp_path):
+        # a stale lock (dead owner) in the directory must not block
+        # Monitor.recover — the shard respawn path hits this on every
+        # crashed worker
+        monitor = make_monitor(schema, engine="incremental")
+        monitor.enable_journal(tmp_path)
+        for t, txn in stream(5):
+            monitor.step(t, txn)
+        monitor.journal.close()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        (tmp_path / LOCK_NAME).write_text(str(pid))
+        recovered, _ = Monitor.recover(tmp_path)
+        assert recovered.now == 5

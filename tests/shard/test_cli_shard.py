@@ -1,0 +1,127 @@
+"""CLI surface of the sharded monitor: --shards and friends."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def generated(tmp_path):
+    out = tmp_path / "wl"
+    status = main(
+        [
+            "generate",
+            "--workload", "sensors",
+            "--length", "40",
+            "--seed", "7",
+            "--out", str(out),
+            "--arrivals",
+        ]
+    )
+    assert status == 0
+    return out
+
+
+def check_args(generated, *extra):
+    return [
+        "check",
+        "--schema", str(generated / "schema.json"),
+        "--constraints", str(generated / "constraints.txt"),
+        "--history", str(generated / "history.jsonl"),
+        "--no-lint",
+        *extra,
+    ]
+
+
+def violations_table(out):
+    lines = out.splitlines()
+    return [
+        line for line in lines
+        if line and line[0].isalpha() and line.split()[0] not in (
+            "checked", "shards:", "accounting:", "lint",
+        ) and not line.startswith(("constraint", "---"))
+    ]
+
+
+class TestShardedCheck:
+    def test_matches_unsharded_verdicts(self, generated, capsys, tmp_path):
+        base_status = main(check_args(generated, "--engine", "incremental"))
+        base = capsys.readouterr().out
+        status = main(
+            check_args(
+                generated,
+                "--shards", "4",
+                "--shard-key", "sensor",
+                "--journal", str(tmp_path / "j"),
+            )
+        )
+        out = capsys.readouterr().out
+        assert status == base_status
+        assert "[sharded x4, key: sensor]" in out
+        assert violations_table(out) == violations_table(base)
+
+    def test_chaos_recovers_identical_verdicts(
+        self, generated, capsys, tmp_path
+    ):
+        main(check_args(generated, "--engine", "incremental"))
+        base = capsys.readouterr().out
+        status = main(
+            check_args(
+                generated,
+                "--shards", "4",
+                "--shard-key", "sensor",
+                "--journal", str(tmp_path / "j"),
+                "--shard-chaos", "kills=2,seed=1",
+            )
+        )
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "crashes: 2" in out
+        assert "tombstoned: none" in out
+        assert "+ 0 degraded" in out
+        assert violations_table(out) == violations_table(base)
+
+    def test_unknown_key_is_a_usage_error(self, generated, capsys):
+        status = main(
+            check_args(generated, "--shards", "2", "--shard-key", "nope")
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "no relation in the schema has an attribute" in err
+
+    def test_shard_key_requires_shards(self, generated, capsys):
+        status = main(check_args(generated, "--shard-key", "sensor"))
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "--shards" in err
+
+    def test_naive_engine_rejected(self, generated, capsys):
+        status = main(
+            check_args(
+                generated,
+                "--engine", "naive",
+                "--shards", "2",
+                "--shard-key", "sensor",
+            )
+        )
+        assert status == 2
+        assert "incremental" in capsys.readouterr().err
+
+
+class TestShardedIngest:
+    def test_sharded_ingest_runs(self, generated, capsys):
+        status = main(
+            [
+                "ingest",
+                "--schema", str(generated / "schema.json"),
+                "--constraints", str(generated / "constraints.txt"),
+                "--source", str(generated / "arrivals.jsonl"),
+                "--watermark", "8",
+                "--shards", "4",
+                "--shard-key", "sensor",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status in (0, 1)
+        assert "[sharded x4, key: sensor]" in out
+        assert "accounting: fed" in out

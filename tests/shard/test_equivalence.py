@@ -1,0 +1,164 @@
+"""The keystone: sharded verdicts are bit-for-bit the single-run ones.
+
+For every workload, shard count, and seeded crash schedule, the merged
+reports of a :class:`~repro.shard.ShardedMonitor` must equal the
+reports of one single-process :class:`~repro.core.monitor.Monitor` —
+including the witness tables — with crashed shards recovered by
+journal *replay*, never by reprocessing the stream from the start.
+"""
+
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.resilience import plan_shard_chaos
+from repro.shard import ShardedMonitor
+from repro.workloads import library, payments, sensors
+
+#: (module, shard key, stream kwargs) — three structurally different
+#: shardable workloads: metric windows, aggregates, cross-row joins
+WORKLOADS = [
+    pytest.param(
+        sensors,
+        "sensor",
+        dict(sensors=8, violation_rate=0.15),
+        id="sensors",
+    ),
+    pytest.param(
+        payments,
+        "acct",
+        dict(accounts=6, violation_rate=0.2),
+        id="payments",
+    ),
+    pytest.param(
+        library,
+        "book",
+        dict(patrons=4, books=6, violation_rate=0.2),
+        id="library",
+    ),
+]
+
+STEPS = 48
+
+
+def reference_run(module, items):
+    monitor = Monitor(module.SCHEMA, engine="incremental")
+    for c in module.constraints():
+        monitor.add_constraint(c.name, c.formula)
+    return [monitor.step(t, txn) for t, txn in items]
+
+
+def sharded(module, key, shards, journal_root, **kwargs):
+    monitor = ShardedMonitor(
+        module.SCHEMA, key=key, shards=shards,
+        journal_root=journal_root, **kwargs
+    )
+    for c in module.constraints():
+        monitor.add_constraint(c.name, c.formula)
+    return monitor
+
+
+def stream_items(module, kwargs, seed):
+    workload = getattr(
+        module, module.__name__.rsplit(".", 1)[-1] + "_workload"
+    )(**kwargs)
+    return list(workload.stream(STEPS, seed=seed))
+
+
+@pytest.mark.parametrize("module,key,kwargs", WORKLOADS)
+@pytest.mark.parametrize("shards", [2, 4, 8])
+class TestCleanEquivalence:
+    def test_run_matches_single_monitor(
+        self, module, key, kwargs, shards, tmp_path
+    ):
+        items = stream_items(module, kwargs, seed=7)
+        base = reference_run(module, items)
+        monitor = sharded(module, key, shards, tmp_path)
+        got = list(monitor.run(iter(items)).steps)
+        acct = monitor.accounting()
+        monitor.close()
+        assert got == base
+        assert acct["steps_fed"] == len(items)
+        assert acct["steps_fed"] == (
+            acct["verdicts"] + acct["degraded"]
+            + acct["shed"] + acct["in_flight"]
+        )
+        assert acct["degraded"] == 0
+
+
+@pytest.mark.parametrize("module,key,kwargs", WORKLOADS)
+@pytest.mark.parametrize("shards", [2, 4, 8])
+@pytest.mark.parametrize("chaos_seed", [0, 1])
+class TestChaosEquivalence:
+    def test_crashed_run_matches_single_monitor(
+        self, module, key, kwargs, shards, chaos_seed, tmp_path
+    ):
+        items = stream_items(module, kwargs, seed=11)
+        base = reference_run(module, items)
+        chaos = plan_shard_chaos(
+            shards, len(items), kills=2, stalls=1, seed=chaos_seed
+        )
+        monitor = sharded(
+            module, key, shards, tmp_path, chaos=chaos, stall_timeout=4
+        )
+        got = list(monitor.run(iter(items)).steps)
+        summary = monitor.supervisor.summary()
+        acct = monitor.accounting()
+        monitor.close()
+        assert got == base
+        # the injected kills really happened and really recovered
+        assert summary["crashes"] >= len(chaos.kills)
+        assert summary["respawns"] >= len(chaos.kills)
+        assert summary["tombstoned"] == []
+        assert acct["steps_fed"] == (
+            acct["verdicts"] + acct["degraded"]
+            + acct["shed"] + acct["in_flight"]
+        )
+
+    def test_recovery_replays_instead_of_reprocessing(
+        self, module, key, kwargs, shards, chaos_seed, tmp_path
+    ):
+        items = stream_items(module, kwargs, seed=11)
+        chaos = plan_shard_chaos(
+            shards, len(items), kills=2, seed=chaos_seed
+        )
+        monitor = sharded(
+            module, key, shards, tmp_path, chaos=chaos, stall_timeout=4
+        )
+        list(monitor.run(iter(items)).steps)
+        supervisor = monitor.supervisor
+        recoveries = list(supervisor.recoveries)
+        applied = {
+            shard: worker.steps_applied
+            for shard, worker in enumerate(supervisor.workers)
+        }
+        monitor.close()
+        assert recoveries, "no journal recovery happened"
+        for recovery in recoveries:
+            shard = recovery["shard"]
+            # the respawned incarnation applied only the redelivered
+            # tail, not the whole stream — the journal replay restored
+            # everything before the crash frontier
+            assert applied[shard] < len(items)
+        assert supervisor.replayed_steps == sum(
+            r["replayed"] for r in recoveries
+        )
+        assert supervisor.replayed_steps > 0
+
+
+class TestDeterminism:
+    def test_same_chaos_seed_same_schedule(self):
+        a = plan_shard_chaos(4, 60, kills=3, stalls=2, seed=9)
+        b = plan_shard_chaos(4, 60, kills=3, stalls=2, seed=9)
+        assert a.to_dict() == b.to_dict()
+
+    def test_two_chaos_runs_agree_with_each_other(self, tmp_path):
+        items = stream_items(sensors, dict(sensors=8), seed=3)
+        runs = []
+        for name in ("a", "b"):
+            chaos = plan_shard_chaos(4, len(items), kills=2, seed=5)
+            monitor = sharded(
+                sensors, "sensor", 4, tmp_path / name, chaos=chaos
+            )
+            runs.append(list(monitor.run(iter(items)).steps))
+            monitor.close()
+        assert runs[0] == runs[1]

@@ -42,6 +42,7 @@ def test_examples_directory_is_complete():
         "profiling.py",
         "telemetry_slo.py",
         "state_observatory.py",
+        "sharded_monitoring.py",
     }
     assert expected <= present
 
@@ -156,6 +157,16 @@ def test_state_observatory_leak(tmp_path):
     )
     assert "leaking constraint detected" in result.stdout
     assert flight.exists()
+
+
+def test_sharded_monitoring():
+    out = run_example("sharded_monitoring.py")
+    assert "clean verdicts identical: True" in out
+    assert "chaos verdicts identical: True" in out
+    assert "crashes=2 respawns=2 replayed=60" in out
+    assert "fed 60 = 60 verdict(s) + 0 degraded + 0 shed" in out
+    assert "unshardable by 'patron'" in out
+    assert "partitioned by 'book'" in out
 
 
 def test_telemetry_slo():
