@@ -55,6 +55,7 @@ EXPERIMENTS: Dict[str, str] = {
     "e11": "bench_e11_planner",
     "e12": "bench_e12_aggregates",
     "e13": "bench_e13_shards",
+    "e14": "bench_e14_sharing",
 }
 
 PROFILES = ("short", "full")

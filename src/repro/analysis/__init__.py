@@ -1,7 +1,21 @@
-"""Experiment instrumentation and report formatting."""
+"""Experiment instrumentation, report formatting, and static planning."""
 
 from repro.analysis.ascii_plot import bar_chart, series_chart
 from repro.analysis.metrics import RunMetrics, measure_run, space_of
+from repro.analysis.plan import (
+    PLAN_SCHEMA_VERSION,
+    ClassMember,
+    ConstraintPlan,
+    Plan,
+    SharingClass,
+    Subsumption,
+    build_classes,
+    build_plan,
+    canonical_key,
+    canonicalize_subformula,
+    find_subsumptions,
+    theta_subsumes,
+)
 from repro.analysis.report import format_table, print_table, ratio
 from repro.analysis.shapes import (
     crossover_index,
@@ -11,9 +25,20 @@ from repro.analysis.shapes import (
 )
 
 __all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "ClassMember",
+    "ConstraintPlan",
+    "Plan",
     "RunMetrics",
+    "SharingClass",
+    "Subsumption",
     "bar_chart",
+    "build_classes",
+    "build_plan",
+    "canonical_key",
+    "canonicalize_subformula",
     "crossover_index",
+    "find_subsumptions",
     "format_table",
     "growth_order",
     "is_flat",
@@ -23,4 +48,5 @@ __all__ = [
     "ratio",
     "series_chart",
     "space_of",
+    "theta_subsumes",
 ]

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Eleven subcommands::
+Twelve subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check ingest   --schema s.json --constraints c.txt --source a.jsonl
     repro-check lint     --constraints c.txt [--schema s.json] [--format json]
+    repro-check plan     --constraints c.txt [--schema s.json] [--format json]
     repro-check generate --workload library --length 200 --seed 1 --out DIR
     repro-check analyze  --constraints c.txt [--trace t.jsonl]
     repro-check stats    --trace t.jsonl [--percentiles]
@@ -22,7 +23,15 @@ Before monitoring, the constraint set is linted and any diagnostics
 are printed (``--no-lint`` opts out).  ``lint`` runs the same static
 analyses (:mod:`repro.lint`) standalone: text or ``--format json``
 output, exit status mirroring the worst severity (2 errors, 1
-warnings, 0 clean/advisory) — see ``docs/linting.md``.
+warnings, 0 clean/advisory) — see ``docs/linting.md``.  ``plan`` runs
+the cross-constraint planner (:mod:`repro.analysis.plan`) standalone:
+shared-subformula classes, θ-subsumption redundancies, and static
+state bounds as a ``repro-plan/1`` document (``--format json``) or a
+text summary, with the planner-backed diagnostics RTC013–RTC016 and
+the same severity exit convention (``--state-budget``/``--shard-key``
+arm the gated rules; ``--relation-size rel=N`` tunes the cost model).
+``check --share-subformulas`` opts the incremental engine into the
+sharing the plan predicts.
 ``generate`` materialises a workload into the on-disk format ``check``
 consumes.  ``analyze`` prints each constraint's compilation profile —
 safety verdict, clock horizon, temporal node counts — and, given a
@@ -135,6 +144,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--engine", choices=ENGINES, default="incremental",
         help="checking engine (default: incremental)",
+    )
+    check.add_argument(
+        "--share-subformulas", action="store_true",
+        help="maintain rename-equivalent temporal subformulas once "
+             "across constraints (incremental engine only)",
     )
     check.add_argument(
         "--max-violations", type=int, default=20,
@@ -423,8 +437,55 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="declared checkpoint cadence to validate (RTC011)",
     )
     lint.add_argument(
+        "--state-budget", type=int, default=None, metavar="N",
+        help="auxiliary-state tuple budget; enables RTC015",
+    )
+    lint.add_argument(
+        "--shard-key", default=None, metavar="ATTR",
+        help="deployment shard-key attribute; enables RTC016 "
+             "(requires --schema)",
+    )
+    lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule table and exit",
+    )
+
+    plan = commands.add_parser(
+        "plan",
+        help="cross-constraint analysis: sharing, subsumption, bounds",
+    )
+    plan.add_argument(
+        "--constraints", required=True,
+        help="constraint text file",
+    )
+    plan.add_argument(
+        "--schema", default=None,
+        help="schema JSON file; enables shard-admission checks",
+    )
+    plan.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text); json emits the "
+             "repro-plan/1 document",
+    )
+    plan.add_argument(
+        "--state-budget", type=int, default=None, metavar="N",
+        help="auxiliary-state tuple budget; enables RTC015",
+    )
+    plan.add_argument(
+        "--shard-key", default=None, metavar="ATTR",
+        help="deployment shard-key attribute; enables RTC016 "
+             "(requires --schema)",
+    )
+    plan.add_argument(
+        "--relation-size", action="append", default=None,
+        metavar="REL=N",
+        help="cardinality hint for one relation's active domain; "
+             "repeatable",
+    )
+    plan.add_argument(
+        "--default-relation-size", type=int, default=None, metavar="N",
+        help="cardinality hint for relations without an explicit "
+             "--relation-size (default: 64)",
     )
 
     recover = commands.add_parser(
@@ -1193,6 +1254,8 @@ def _command_lint(args: argparse.Namespace) -> int:
             disable=args.disable or (),
             clock_granularity=args.granularity,
             require_bounded=args.require_bounded,
+            state_budget=args.state_budget,
+            shard_key=args.shard_key,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
@@ -1209,6 +1272,81 @@ def _command_lint(args: argparse.Namespace) -> int:
         print(report.to_json())
     else:
         print(report.render_text())
+    return report.exit_code
+
+
+#: Lint codes owned by the planner-backed rules.
+_PLAN_CODES = frozenset({"RTC013", "RTC014", "RTC015", "RTC016"})
+
+
+def _parse_relation_sizes(specs) -> dict:
+    """Parse repeated ``--relation-size REL=N`` hints."""
+    sizes: dict = {}
+    for spec in specs or ():
+        name, sep, value = spec.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ReproError(
+                f"--relation-size expects REL=N, got {spec!r}"
+            )
+        try:
+            count = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--relation-size {spec!r}: {value!r} is not an integer"
+            ) from None
+        if count < 1:
+            raise ReproError(
+                f"--relation-size {spec!r}: size must be >= 1"
+            )
+        sizes[name] = count
+    return sizes
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.plan import build_plan
+    from repro.core.bounds import DEFAULT_RELATION_SIZE
+    from repro.lint import LintConfig, Linter, LintReport
+
+    try:
+        config = LintConfig.build(
+            state_budget=args.state_budget,
+            shard_key=args.shard_key,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    schema = load_schema(args.schema) if args.schema else None
+    relation_sizes = _parse_relation_sizes(args.relation_size)
+    default_size = (
+        args.default_relation_size
+        if args.default_relation_size is not None
+        else DEFAULT_RELATION_SIZE
+    )
+    if default_size < 1:
+        raise ReproError("--default-relation-size must be >= 1")
+    linter = Linter(schema, config)
+    try:
+        constraints_text = Path(args.constraints).read_text()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read constraints {args.constraints}: {exc}"
+        ) from exc
+    full_report, parsed = linter.lint_text(constraints_text)
+    report = LintReport(
+        [d for d in full_report if d.code in _PLAN_CODES]
+    )
+    plan = build_plan(parsed, relation_sizes, default_size)
+    if args.format == "json":
+        document = plan.to_dict()
+        document["diagnostics"] = [d.to_dict() for d in report]
+        print(json.dumps(document, indent=2))
+    else:
+        print(plan.render_text())
+        if report:
+            print(f"diagnostics ({len(report)}):")
+            print(report.render_text())
     return report.exit_code
 
 
@@ -1268,6 +1406,7 @@ def _command_check(args: argparse.Namespace) -> int:
             quarantine_log=args.quarantine_log,
             step_deadline=args.step_deadline,
             urgent=args.urgent or (),
+            share_subformulas=args.share_subformulas,
         )
         monitor.add_constraints_text(Path(args.constraints).read_text())
     _enable_cli_telemetry(monitor, args)
@@ -2098,6 +2237,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_ingest(args)
         if args.command == "lint":
             return _command_lint(args)
+        if args.command == "plan":
+            return _command_plan(args)
         if args.command == "generate":
             return _command_generate(args)
         if args.command == "stats":

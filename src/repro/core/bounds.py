@@ -24,9 +24,10 @@ static side of that bound:
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import Mapping, NamedTuple, Optional
 
 from repro.core.formulas import (
+    Atom,
     Eventually,
     Formula,
     Next,
@@ -35,6 +36,10 @@ from repro.core.formulas import (
     Since,
     Until,
 )
+
+#: Default per-relation cardinality hint for :func:`estimate_valuations`
+#: when neither an explicit hint nor schema information narrows it.
+DEFAULT_RELATION_SIZE = 64
 
 
 def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
@@ -197,3 +202,87 @@ def predicted_tuple_bound(
         if isinstance(node, (Prev, Once, Since)):
             total += node_tuple_bound(node, valuations_per_node)
     return total
+
+
+def estimate_valuations(
+    formula: Formula,
+    relation_sizes: Optional[Mapping[str, int]] = None,
+    default_relation_size: int = DEFAULT_RELATION_SIZE,
+) -> int:
+    """Static estimate of how many valuations can satisfy ``formula``.
+
+    The estimate is the cross-product bound over the formula's positive
+    atoms — ``|R1| × |R2| × ...`` with each ``|R|`` taken from
+    ``relation_sizes`` (a per-relation cardinality hint, e.g. expected
+    active-domain sizes) or ``default_relation_size``.  Joins can only
+    shrink a cross product and projection never grows it, so this is a
+    sound worst case for the satisfying-valuation count; a formula with
+    no atoms (pure comparisons) estimates to 1.  Used by the
+    cross-constraint planner to turn :func:`node_tuple_bound` into
+    predicted state sizes.
+    """
+    sizes = relation_sizes or {}
+    estimate = 1
+    for node in formula.walk():
+        if isinstance(node, Atom):
+            estimate *= max(1, int(sizes.get(
+                node.relation, default_relation_size
+            )))
+    return estimate
+
+
+class NodeCost(NamedTuple):
+    """Static cost/memory model of one temporal node's auxiliary state.
+
+    ``valuations`` is the :func:`estimate_valuations` figure for the
+    node's anchor operand; ``tuple_bound`` feeds it through
+    :func:`node_tuple_bound` (window × valuations for bounded
+    ``ONCE``/``SINCE``); ``evals_per_step`` is the number of operand
+    evaluations one update step costs (the quantity shared auxiliary
+    maintenance saves); ``bounded`` is False for infinite windows
+    (min-timestamp collapse: space stays finite but the window does
+    not expire).
+    """
+
+    valuations: int
+    tuple_bound: int
+    evals_per_step: int
+    bounded: bool
+
+
+def node_cost(
+    node: Formula,
+    relation_sizes: Optional[Mapping[str, int]] = None,
+    default_relation_size: int = DEFAULT_RELATION_SIZE,
+) -> NodeCost:
+    """The :class:`NodeCost` model of one temporal node.
+
+    Past operators follow the auxiliary-state encodings exactly
+    (:func:`node_tuple_bound`); future operators (handled by the
+    delayed checker's obligation buffer) are modelled symmetrically —
+    a bounded window buffers up to ``window + 1`` entries per
+    valuation.
+    """
+    if not node.is_temporal:
+        raise TypeError(
+            f"not a temporal operator: {type(node).__name__}"
+        )
+    valuations = estimate_valuations(
+        node, relation_sizes, default_relation_size
+    )
+    windowed = (Once, Since, Eventually, Until)
+    bounded = not (
+        isinstance(node, windowed) and not node.interval.is_bounded
+    )
+    if isinstance(node, windowed) and node.interval.is_bounded:
+        bound = valuations * (node.interval.high + 1)  # type: ignore[operator]
+    else:
+        bound = valuations
+    # binary operators evaluate both operands each step
+    evals = 2 if isinstance(node, (Since, Until)) else 1
+    return NodeCost(
+        valuations=valuations,
+        tuple_bound=bound,
+        evals_per_step=evals,
+        bounded=bounded,
+    )

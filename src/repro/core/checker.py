@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.auxiliary import AuxiliaryState, make_auxiliary
 from repro.core.foeval import AtomProvider, evaluate, relation_atom_table
 from repro.core.formulas import Atom, Formula, Not
-from repro.core.normalize import normalize
+from repro.core.normalize import canonicalize_variant, normalize
 from repro.core.parser import parse
 from repro.core.safety import check_node_conditions, check_safe
 from repro.core.statespace import AuxAccounting
@@ -160,6 +160,7 @@ class IncrementalChecker(AuxAccounting):
         collapse_unbounded: bool = True,
         instrumentation=None,
         strict: bool = False,
+        share_subformulas: bool = False,
     ):
         """Args:
             schema: the database schema.
@@ -175,6 +176,14 @@ class IncrementalChecker(AuxAccounting):
             strict: lint the constraint set at construction and raise
                 :class:`~repro.errors.LintError` on error-severity
                 diagnostics (see :mod:`repro.lint`).
+            share_subformulas: maintain one auxiliary state per
+                *rename-equivalence* class of temporal subformulas and
+                fan its virtual table out to the member nodes via
+                column renaming, instead of one per structurally
+                distinct node.  Verdicts are identical; overlapping
+                constraint sets advance each shared class once per
+                step (see :mod:`repro.analysis.plan` and benchmark
+                E14).
         """
         self.schema = schema
         self.constraints = list(constraints)
@@ -193,15 +202,61 @@ class IncrementalChecker(AuxAccounting):
         if self.state.schema != schema:
             raise MonitorError("initial state does not match schema")
         self.collapse_unbounded = collapse_unbounded
+        self.share_subformulas = bool(share_subformulas)
         # one auxiliary state per *structurally distinct* temporal node,
-        # shared across constraints; insertion order is bottom-up
+        # shared across constraints; insertion order is bottom-up.  With
+        # share_subformulas, one per *rename-equivalence* class instead:
+        # the first-seen node represents its class and _shared_members
+        # lists the other member nodes with the column renaming that
+        # turns the representative's virtual table into theirs.
         self._aux: Dict[Formula, AuxiliaryState] = {}
-        for c in self.constraints:
-            for node in c.violation_formula.temporal_subformulas():
-                if node not in self._aux:
-                    self._aux[node] = make_auxiliary(
-                        node, collapse_unbounded
-                    )
+        self._shared_members: Dict[
+            Formula, List["tuple[Formula, Dict[str, str]]"]
+        ] = {}
+        if self.share_subformulas:
+            class_of: Dict[str, Formula] = {}
+            rep_mapping: Dict[Formula, Dict[str, str]] = {}
+            registered: set = set()
+            for c in self.constraints:
+                for node in c.violation_formula.temporal_subformulas():
+                    if node in registered:
+                        continue
+                    registered.add(node)
+                    canonical, mapping = canonicalize_variant(node)
+                    key = str(canonical)
+                    representative = class_of.get(key)
+                    if representative is None:
+                        class_of[key] = node
+                        rep_mapping[node] = mapping
+                        self._aux[node] = make_auxiliary(
+                            node, collapse_unbounded
+                        )
+                        self._shared_members[node] = []
+                    else:
+                        # rep column -> member column, through the
+                        # canonical names (both mappings are injective
+                        # and free variables map to free variables)
+                        inverse = {
+                            canon: var for var, canon in mapping.items()
+                        }
+                        columns = {
+                            var: inverse[canon]
+                            for var, canon in
+                            rep_mapping[representative].items()
+                            if var in representative.free_vars
+                        }
+                        if all(k == v for k, v in columns.items()):
+                            columns = {}  # identity: fan out unrenamed
+                        self._shared_members[representative].append(
+                            (node, columns)
+                        )
+        else:
+            for c in self.constraints:
+                for node in c.violation_formula.temporal_subformulas():
+                    if node not in self._aux:
+                        self._aux[node] = make_auxiliary(
+                            node, collapse_unbounded
+                        )
         self._time: Optional[Timestamp] = None
         self._index = -1
         #: virtual tables of the most recent step (for diagnose())
@@ -224,11 +279,16 @@ class IncrementalChecker(AuxAccounting):
         self.instrumentation = instrumentation
         # telemetry attribution, precomputed so enabled-path lookups
         # are dict reads: each constraint's aux states and each node's
-        # printable label
+        # printable label.  With sharing, member nodes attribute to
+        # their class representative's aux state.
+        self._node_aux: Dict[Formula, AuxiliaryState] = dict(self._aux)
+        for representative, members in self._shared_members.items():
+            for member, _columns in members:
+                self._node_aux[member] = self._aux[representative]
         self._constraint_aux = {
             c.name: tuple(
                 {
-                    node: self._aux[node]
+                    id(self._node_aux[node]): self._node_aux[node]
                     for node in c.violation_formula.temporal_subformulas()
                 }.values()
             )
@@ -333,11 +393,16 @@ class IncrementalChecker(AuxAccounting):
 
         obs = self.instrumentation
         # bottom-up: registration order is post-order per constraint, so
-        # any node's children were registered (hence advanced) before it
+        # any node's children were registered (hence advanced) before it.
+        # With sharing, each class representative advances once and its
+        # virtual table is fanned out to the member nodes by renaming
+        # columns — a member's class was registered no later than any
+        # node containing it, so fan-out preserves bottom-up resolution.
+        shared = self._shared_members
         for node, aux in self._aux.items():
             if obs is not None:
                 started = perf_counter()
-                virtual[node] = aux.advance(time, evaluate_now)
+                table = aux.advance(time, evaluate_now)
                 obs.aux_advanced(
                     self.engine_label,
                     self._node_labels[node],
@@ -345,7 +410,14 @@ class IncrementalChecker(AuxAccounting):
                     aux.tuple_count(),
                 )
             else:
-                virtual[node] = aux.advance(time, evaluate_now)
+                table = aux.advance(time, evaluate_now)
+            virtual[node] = table
+            members = shared.get(node)
+            if members:
+                for member, columns in members:
+                    virtual[member] = (
+                        table.rename(columns) if columns else table
+                    )
 
         violations: List[Violation] = []
         budget = self.budget
@@ -396,6 +468,25 @@ class IncrementalChecker(AuxAccounting):
         if reads is not None:
             self._cached_witnesses[constraint.name] = witnesses
         return witnesses
+
+    def sharing_stats(self) -> Dict[str, float]:
+        """Dedup accounting of auxiliary maintenance.
+
+        ``classes`` is the number of auxiliary states actually
+        maintained; ``shared_nodes`` counts the structurally distinct
+        temporal nodes served by another class member's state (always 0
+        without ``share_subformulas``); ``dedup_ratio`` is maintained
+        states over distinct nodes (1.0 = nothing shared).
+        """
+        members = sum(len(v) for v in self._shared_members.values())
+        classes = len(self._aux)
+        distinct = classes + members
+        return {
+            "classes": float(classes),
+            "shared_nodes": float(members),
+            "distinct_nodes": float(distinct),
+            "dedup_ratio": (classes / distinct) if distinct else 1.0,
+        }
 
     # instrumentation: the uniform accounting protocol
     # (aux_tuple_count / aux_profile / state_profile / ...) is

@@ -63,6 +63,7 @@ class Monitor:
         urgent: Sequence[str] = (),
         strict: bool = False,
         lint_config=None,
+        share_subformulas: bool = False,
     ):
         """Args:
             schema: the database schema.
@@ -99,13 +100,28 @@ class Monitor:
                 registration; defaults to the standard configuration
                 (with the safe-range rule disabled for the ``adom``
                 engine, which evaluates outside the safe fragment).
+            share_subformulas: maintain one auxiliary state per
+                rename-equivalence class of temporal subformulas
+                instead of one per structurally distinct node, fanning
+                each class's virtual table out to its owning
+                constraints.  Verdicts are bit-for-bit identical to the
+                unshared run; overlapping constraint sets get faster
+                steps and less state (see :mod:`repro.analysis.plan`,
+                ``repro plan``, and benchmark E14).  Incremental
+                engine only.
         """
         if engine not in ENGINES:
             raise MonitorError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
             )
+        if share_subformulas and engine != "incremental":
+            raise MonitorError(
+                f"share_subformulas requires the incremental engine, "
+                f"not {engine!r}"
+            )
         self.schema = schema
         self.engine = engine
+        self.share_subformulas = bool(share_subformulas)
         self.initial = initial
         self.instrumentation = instrumentation
         self.constraints: List[Constraint] = []
@@ -132,6 +148,29 @@ class Monitor:
     def _metrics(self):
         """The metrics registry behind the instrumentation, if any."""
         return getattr(self.instrumentation, "metrics", None)
+
+    def _publish_sharing_metrics(self, checker) -> None:
+        """Expose the checker's subformula-dedup accounting as gauges."""
+        metrics = self._metrics()
+        if metrics is None:
+            return
+        stats = checker.sharing_stats()
+        metrics.gauge(
+            "repro_aux_classes",
+            help="auxiliary states maintained (equivalence classes)",
+            engine=self.engine,
+        ).set(stats["classes"])
+        metrics.gauge(
+            "repro_aux_shared_nodes",
+            help="temporal nodes served by another class member's state",
+            engine=self.engine,
+        ).set(stats["shared_nodes"])
+        metrics.gauge(
+            "repro_aux_dedup_ratio",
+            help="maintained auxiliary states over distinct temporal "
+                 "nodes (1.0 = nothing shared)",
+            engine=self.engine,
+        ).set(stats["dedup_ratio"])
 
     def _configure_fault_policy(self, fault_policy, quarantine_log) -> None:
         from repro.resilience import FaultPolicy, QuarantineLog, ResilienceRuntime
@@ -407,10 +446,13 @@ class Monitor:
 
     def _build_checker(self):
         if self.engine == "incremental":
-            return IncrementalChecker(
+            checker = IncrementalChecker(
                 self.schema, self.constraints, initial=self.initial,
                 instrumentation=self.instrumentation,
+                share_subformulas=self.share_subformulas,
             )
+            self._publish_sharing_metrics(checker)
+            return checker
         if self.engine == "naive":
             return NaiveChecker(
                 self.schema, self.constraints, initial=self.initial,
@@ -777,7 +819,12 @@ class Monitor:
 
         result = recover_run(directory)
         checker = result.checker
-        monitor = cls(checker.schema, engine="incremental")
+        monitor = cls(
+            checker.schema, engine="incremental",
+            share_subformulas=getattr(
+                checker, "share_subformulas", False
+            ),
+        )
         monitor.constraints = list(checker.constraints)
         monitor._checker = checker
         if resume_journal:
@@ -810,7 +857,12 @@ class Monitor:
         from repro.core.persist import load_checker
 
         checker = load_checker(path)
-        monitor = cls(checker.schema, engine="incremental")
+        monitor = cls(
+            checker.schema, engine="incremental",
+            share_subformulas=getattr(
+                checker, "share_subformulas", False
+            ),
+        )
         monitor.constraints = list(checker.constraints)
         monitor._checker = checker
         return monitor

@@ -130,6 +130,135 @@ def rename_variables(formula: Formula, mapping: Mapping[str, str]) -> Formula:
     raise TypeError(f"unknown formula node: {type(formula).__name__}")
 
 
+def canonical_variables(formula: Formula) -> Dict[str, str]:
+    """First-occurrence renumbering ``v1, v2, ...`` of *every* variable.
+
+    Walks the formula in pre-order, visiting each node's local variable
+    positions in a fixed order (atom/comparison terms left to right,
+    quantifier binders in declaration order, aggregate result before
+    its ``over`` variables).  Two rename-variants of the same formula
+    therefore produce mappings with identical images position by
+    position, which is what makes :func:`canonicalize_variant`
+    canonical.
+    """
+    mapping: Dict[str, str] = {}
+
+    def see(variable: str) -> None:
+        if variable not in mapping:
+            mapping[variable] = f"v{len(mapping) + 1}"
+
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            for term in node.terms:
+                if isinstance(term, Var):
+                    see(term.name)
+        elif isinstance(node, Comparison):
+            for term in (node.left, node.right):
+                if isinstance(term, Var):
+                    see(term.name)
+        elif isinstance(node, (Exists, Forall)):
+            for variable in node.variables:
+                see(variable)
+        elif isinstance(node, Aggregate):
+            see(node.result)
+            for variable in node.over:
+                see(variable)
+        stack.extend(reversed(node.children()))
+    return mapping
+
+
+def canonicalize_variant(
+    formula: Formula,
+) -> "tuple[Formula, Dict[str, str]]":
+    """``(canonical alpha-variant, variable mapping)`` of a formula.
+
+    The mapping sends each variable (free or bound) to its canonical
+    ``vN`` name; applying it with :func:`rename_all_variables` yields
+    the rename-equivalence class representative.  Two formulas are
+    rename-equivalent iff their canonical variants are structurally
+    equal — the hash-cons key of the cross-constraint planner
+    (:mod:`repro.analysis.plan`) and of shared auxiliary maintenance
+    (``Monitor(share_subformulas=True)``).
+    """
+    mapping = canonical_variables(formula)
+    return rename_all_variables(formula, mapping), mapping
+
+
+def rename_all_variables(
+    formula: Formula, mapping: Mapping[str, str]
+) -> Formula:
+    """Rename *every* variable occurrence, binders included.
+
+    Unlike :func:`rename_variables`, quantifier binders and aggregate
+    ``result``/``over`` names are rewritten too, so the result is the
+    alpha-variant obtained by applying ``mapping`` uniformly.  The
+    mapping must be injective over the names it mentions — collapsing
+    two distinct variables would change semantics — and is validated.
+    Names absent from the mapping are kept.
+    """
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        raise ValueError(
+            f"rename_all_variables mapping is not injective: {dict(mapping)}"
+        )
+    return _rename_all(formula, mapping)
+
+
+def _rename_all(formula: Formula, mapping: Mapping[str, str]) -> Formula:
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.relation,
+            [substitute_terms(t, mapping) for t in formula.terms],
+        )
+    if isinstance(formula, Comparison):
+        return Comparison(
+            substitute_terms(formula.left, mapping),
+            formula.op,
+            substitute_terms(formula.right, mapping),
+        )
+    if isinstance(formula, Not):
+        return Not(_rename_all(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(*[_rename_all(f, mapping) for f in formula.operands])
+    if isinstance(formula, Or):
+        return Or(*[_rename_all(f, mapping) for f in formula.operands])
+    if isinstance(formula, Implies):
+        return Implies(
+            _rename_all(formula.antecedent, mapping),
+            _rename_all(formula.consequent, mapping),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            _rename_all(formula.left, mapping),
+            _rename_all(formula.right, mapping),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(
+            [mapping.get(v, v) for v in formula.variables],
+            _rename_all(formula.operand, mapping),
+        )
+    if isinstance(formula, Aggregate):
+        return Aggregate(
+            formula.op,
+            mapping.get(formula.result, formula.result),
+            [mapping.get(v, v) for v in formula.over],
+            _rename_all(formula.body, mapping),
+        )
+    if isinstance(formula, (Prev, Once, Hist, Next, Eventually, Always)):
+        return type(formula)(
+            _rename_all(formula.operand, mapping), formula.interval
+        )
+    if isinstance(formula, (Since, Until)):
+        return type(formula)(
+            _rename_all(formula.left, mapping),
+            _rename_all(formula.right, mapping),
+            formula.interval,
+        )
+    raise TypeError(f"unknown formula node: {type(formula).__name__}")
+
+
 def _desugar(formula: Formula) -> Formula:
     """Eliminate FORALL, ->, <->, HIST; recurse everywhere."""
     if isinstance(formula, (Atom, Comparison)):

@@ -125,6 +125,7 @@ def checkpoint_dict(checker: IncrementalChecker) -> dict:
             for c in checker.constraints
         ],
         "collapse_unbounded": checker.collapse_unbounded,
+        "share_subformulas": checker.share_subformulas,
         "time": checker._time,
         "index": checker._index,
         "state": checker.state.to_dict(),
@@ -167,6 +168,7 @@ def restore_checker(document: dict) -> IncrementalChecker:
         constraints,
         initial=state,
         collapse_unbounded=document["collapse_unbounded"],
+        share_subformulas=document.get("share_subformulas", False),
     )
     checker._time = document["time"]
     checker._index = document["index"]

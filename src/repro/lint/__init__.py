@@ -21,7 +21,16 @@ RTC009  duplicate-constraint  warning   duplicates up to renaming
 RTC010  rule-interference     warning   ECA retrigger cycles, dead writes
 RTC011  config-mismatch       warning   urgent set, checkpoint cadence
 RTC012  parse-error           error     unparseable constraint text
+RTC013  shared-subformula     info      rename-equivalent aux state
+RTC014  subsumed-constraint   warning   θ-subsumption redundancy
+RTC015  state-over-budget     error     predicted state vs. budget
+RTC016  shard-admission       warning   shard-key admission obstruction
 ======= ===================== ========= =============================
+
+RTC013–RTC016 are cross-constraint rules backed by the planner
+(:mod:`repro.analysis.plan`); RTC015 and RTC016 only run when a state
+budget or shard key is configured.  ``repro plan`` renders the full
+underlying ``repro-plan/1`` document.
 
 Entry points: :class:`Linter` (the facade), ``repro lint`` on the
 command line, and ``Monitor(..., strict=True)`` which rejects
@@ -59,6 +68,12 @@ from repro.lint.rules import (
     check_types,
     check_vacuity,
 )
+from repro.lint.sharing import (
+    check_shardability,
+    check_sharing,
+    check_state_budget,
+    check_subsumption,
+)
 
 __all__ = [
     "Severity",
@@ -84,4 +99,8 @@ __all__ = [
     "check_duplicates",
     "check_interference",
     "check_monitor_config",
+    "check_sharing",
+    "check_subsumption",
+    "check_state_budget",
+    "check_shardability",
 ]

@@ -20,6 +20,7 @@ from repro.core.intervals import IntervalError
 from repro.db.schema import DatabaseSchema
 from repro.errors import ParseError
 from repro.lint import rules as _rules
+from repro.lint import sharing as _sharing
 from repro.lint.diagnostics import Diagnostic, LintReport
 from repro.lint.registry import DEFAULT_CONFIG, LintConfig
 
@@ -143,6 +144,8 @@ class Linter:
         for name, formula in constraints:
             out.extend(self.lint_formula(name, formula))
         out.extend(_rules.check_duplicates(constraints, self.config))
+        out.extend(_sharing.check_plan(constraints, self.schema,
+                                       self.config))
         return LintReport(_dedupe(out))
 
     def lint_text(

@@ -71,6 +71,21 @@ RULES: List[LintRule] = [
              "journal)."),
     LintRule("RTC012", "parse-error", Severity.ERROR,
              "The constraint text could not be parsed."),
+    LintRule("RTC013", "shared-subformula", Severity.INFO,
+             "Several constraints maintain rename-equivalent temporal "
+             "subformulas; shared auxiliary maintenance would evaluate "
+             "the class once."),
+    LintRule("RTC014", "subsumed-constraint", Severity.WARNING,
+             "A constraint is implied by another (theta-subsumption of "
+             "the violation kernels): every violation it reports is "
+             "already reported by the more general constraint."),
+    LintRule("RTC015", "state-over-budget", Severity.ERROR,
+             "The statically predicted auxiliary state exceeds the "
+             "configured tuple budget, or cannot be bounded at all."),
+    LintRule("RTC016", "shard-admission", Severity.WARNING,
+             "The constraint set cannot be admitted under the "
+             "configured shard key, so sharded deployment is "
+             "obstructed."),
 ]
 
 #: Rules indexed by code and by name.
@@ -106,6 +121,13 @@ class LintConfig:
         require_bounded: when true, unbounded past operators are
             errors (RTC007) instead of advisories — set this when the
             target engine needs the bounded-history encoding.
+        state_budget: maximum predicted auxiliary-state tuples the
+            deployment can afford; when set, the planner's static
+            bound is checked against it (RTC015).  ``None`` disables
+            the check.
+        shard_key: attribute name the deployment shards on; when set,
+            shard-admission obstructions are reported (RTC016).
+            ``None`` disables the check.
     """
 
     disabled: FrozenSet[str] = frozenset()
@@ -113,6 +135,8 @@ class LintConfig:
         default_factory=dict)
     clock_granularity: int = 1
     require_bounded: bool = False
+    state_budget: Optional[int] = None
+    shard_key: Optional[str] = None
 
     @classmethod
     def build(
@@ -121,6 +145,8 @@ class LintConfig:
         severity_overrides: Optional[Mapping[str, str]] = None,
         clock_granularity: int = 1,
         require_bounded: bool = False,
+        state_budget: Optional[int] = None,
+        shard_key: Optional[str] = None,
     ) -> "LintConfig":
         """Build a config from user-facing strings.
 
@@ -137,11 +163,17 @@ class LintConfig:
             raise ValueError(
                 f"clock granularity must be >= 1, got {clock_granularity}"
             )
+        if state_budget is not None and state_budget < 1:
+            raise ValueError(
+                f"state budget must be >= 1, got {state_budget}"
+            )
         return cls(
             disabled=frozenset(resolve_rule(k).code for k in disable),
             severity_overrides=overrides,
             clock_granularity=clock_granularity,
             require_bounded=require_bounded,
+            state_budget=state_budget,
+            shard_key=shard_key,
         )
 
     def enabled(self, code: str) -> bool:

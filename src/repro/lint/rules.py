@@ -34,9 +34,13 @@ from repro.core.formulas import (
     Prev,
     Since,
     Var,
-    _Quantifier,
 )
-from repro.core.normalize import normalize, rename_apart, rename_variables
+from repro.core.normalize import (
+    canonical_variables,
+    normalize,
+    rename_all_variables,
+    rename_apart,
+)
 from repro.core.optimize import _truth_of, optimize
 from repro.core.paths import FormulaPath, walk_with_paths
 from repro.core.safety import collect_unsafe
@@ -493,43 +497,61 @@ def canonical_form(formula: Formula) -> str:
     variables are renumbered ``v1, v2, ...`` in first-occurrence order,
     so two constraints that differ only in variable names (or in
     sugar the normalizer removes) collapse to the same string.
+
+    Renumbering covers *all* variable positions, including quantifier
+    binders and aggregate result/grouping variables, so two aggregates
+    that differ only in bound-variable names also collapse.
     """
     kernel = rename_apart(optimize(normalize(Not(formula))))
-    mapping: Dict[str, str] = {}
+    return str(rename_all_variables(kernel, canonical_variables(kernel)))
 
-    def see(variable: str) -> None:
-        if variable not in mapping:
-            mapping[variable] = f"v{len(mapping) + 1}"
 
-    for _path, node in walk_with_paths(kernel):
-        if isinstance(node, Atom):
-            for term in node.terms:
-                if isinstance(term, Var):
-                    see(term.name)
-        elif isinstance(node, Comparison):
-            for term in (node.left, node.right):
-                if isinstance(term, Var):
-                    see(term.name)
-        elif isinstance(node, _Quantifier):
-            for variable in node.variables:
-                see(variable)
-        elif isinstance(node, Aggregate):
-            see(node.result)
-            for variable in node.over:
-                see(variable)
-    return str(rename_variables(kernel, mapping))
+def _canonical_subformula(formula: Formula) -> str:
+    """The rename-equivalence key of one subformula in isolation."""
+    return str(rename_all_variables(formula, canonical_variables(formula)))
+
+
+def _first_divergence(
+    a: Formula, b: Formula, _path: FormulaPath = FormulaPath()
+) -> Optional[FormulaPath]:
+    """The path where two (canonicalized) formulas first differ.
+
+    ``None`` when the trees are identical; the current path when the
+    node types, child counts, or — with structurally equal children —
+    local attributes (relation, interval, comparison operator) differ.
+    """
+    if str(a) == str(b):
+        return None
+    children_a, children_b = a.children(), b.children()
+    if type(a) is not type(b) or len(children_a) != len(children_b):
+        return _path
+    for index, (x, y) in enumerate(zip(children_a, children_b)):
+        found = _first_divergence(x, y, _path.child(index))
+        if found is not None:
+            return found
+    return _path
 
 
 def check_duplicates(
     constraints: Sequence[Tuple[str, Formula]], config: LintConfig
 ) -> List[Diagnostic]:
-    """RTC009: constraints equal up to variable renaming."""
+    """RTC009: constraints equal up to variable renaming.
+
+    Also reports *near*-duplicates as advisories: two constraints
+    whose violation kernels share a top-level temporal conjunct (up to
+    renaming) but diverge elsewhere, with the formula path of the
+    first divergence — usually a copy-paste family that the planner
+    can maintain shared state for.
+    """
     if not config.enabled("RTC009"):
         return []
     seen: Dict[str, str] = {}
     out: List[Diagnostic] = []
+    kernels: List[Tuple[str, str, Formula]] = []
     for name, formula in constraints:
-        canonical = canonical_form(formula)
+        kernel = rename_apart(optimize(normalize(Not(formula))))
+        canonical = str(rename_all_variables(
+            kernel, canonical_variables(kernel)))
         if canonical in seen:
             out.append(_diag(
                 config, "RTC009",
@@ -540,6 +562,47 @@ def check_duplicates(
             ))
         else:
             seen[canonical] = name
+            kernels.append((name, canonical, kernel))
+
+    # near-duplicates: distinct kernels sharing a top-level temporal
+    # conjunct class; report the later constraint once, pointing at
+    # the first divergence from the earlier one.
+    conjunct_owners: Dict[str, Tuple[str, Formula]] = {}
+    reported: Set[str] = set()
+    for name, canonical, kernel in kernels:
+        conjuncts = (kernel.children() if isinstance(kernel, And)
+                     else (kernel,))
+        hit: Optional[Tuple[str, Formula]] = None
+        for conjunct in conjuncts:
+            if not any(n.is_temporal for n in conjunct.walk()):
+                continue
+            key = _canonical_subformula(conjunct)
+            earlier = conjunct_owners.get(key)
+            if earlier is not None and earlier[0] != name:
+                hit = earlier
+            else:
+                conjunct_owners.setdefault(key, (name, kernel))
+        if hit is None or name in reported:
+            continue
+        reported.add(name)
+        earlier_name, earlier_kernel = hit
+        canon_kernel = rename_all_variables(
+            kernel, canonical_variables(kernel))
+        canon_earlier = rename_all_variables(
+            earlier_kernel, canonical_variables(earlier_kernel))
+        divergence = _first_divergence(canon_kernel, canon_earlier)
+        where = (divergence.render(canon_kernel)
+                 if divergence is not None else "<root>")
+        out.append(_diag(
+            config, "RTC009",
+            f"constraint is a near-duplicate of {earlier_name!r}: the "
+            f"violation kernels share a temporal conjunct up to "
+            f"renaming but first diverge at {where}",
+            name,
+            severity=Severity.INFO,
+            hint="run `repro plan` to see the sharing classes and "
+                 "maintain the common state once",
+        ))
     return [d for d in out if d is not None]
 
 

@@ -1,0 +1,227 @@
+"""Unit tests for the cross-constraint planner (repro.analysis.plan)."""
+
+import json
+
+import pytest
+
+from repro.analysis.plan import (
+    MAX_SUBSUMPTION_CONJUNCTS,
+    PLAN_SCHEMA_VERSION,
+    build_classes,
+    build_plan,
+    canonical_key,
+    find_subsumptions,
+    theta_subsumes,
+)
+from repro.core.checker import Constraint
+from repro.core.formulas import (
+    Aggregate,
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    Var,
+)
+
+AUDIT_A = ("audit-a", "req(u, r) -> ONCE[0,9] auth(u)")
+AUDIT_B = ("audit-b", "grant(u2, r2) -> ONCE[0,9] auth(u2)")
+BROAD = ("broad", "req(u, r) AND priv(r) -> ONCE[0,9] auth(u)")
+PINHOLE = ("pinhole", "req('root', r) -> ONCE[0,9] auth('root')")
+EVER = ("ever", "req(u, r) -> ONCE auth(u)")
+
+
+def kernel(text):
+    return Constraint("k", text).violation_formula
+
+
+class TestCanonicalKey:
+    def test_rename_variants_share_a_key(self):
+        a = Constraint(*AUDIT_A).violation_formula
+        b = Constraint(*AUDIT_B).violation_formula
+        once_a = next(a.temporal_subformulas())
+        once_b = next(b.temporal_subformulas())
+        assert str(once_a) != str(once_b)
+        assert canonical_key(once_a) == canonical_key(once_b)
+        assert canonical_key(once_a) == "ONCE[0,9] auth(v1)"
+
+    def test_constants_are_not_renamed(self):
+        pinhole = next(
+            Constraint(*PINHOLE).violation_formula.temporal_subformulas()
+        )
+        assert canonical_key(pinhole) == "ONCE[0,9] auth('root')"
+
+    def test_interval_distinguishes_classes(self):
+        once_9 = next(kernel(AUDIT_A[1]).temporal_subformulas())
+        once_5 = next(
+            kernel("req(u, r) -> ONCE[0,5] auth(u)").temporal_subformulas()
+        )
+        assert canonical_key(once_9) != canonical_key(once_5)
+
+    def test_exists_binders_are_renumbered(self):
+        # the binder name must not leak into the class key
+        a = Exists(["inner"], And(Atom("p", [Var("inner")]),
+                                  Atom("r", [Var("x"), Var("inner")])))
+        b = Exists(["other"], And(Atom("p", [Var("other")]),
+                                  Atom("r", [Var("y"), Var("other")])))
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_aggregate_result_and_over_are_renumbered(self):
+        def count(result, over, free):
+            return And(
+                Aggregate("CNT", result, [over],
+                          Atom("r", [Var(free), Var(over)])),
+                Comparison(Var(result), "<=", Const(2)),
+            )
+
+        assert canonical_key(count("n", "b", "x")) == \
+            canonical_key(count("m", "c", "y"))
+
+    def test_distinct_structure_distinct_keys(self):
+        assert canonical_key(Atom("p", [Var("x")])) != \
+            canonical_key(Atom("q", [Var("x")]))
+
+
+class TestBuildClasses:
+    def test_rename_variants_collapse_into_one_class(self):
+        classes = build_classes([
+            Constraint(*AUDIT_A), Constraint(*AUDIT_B),
+        ])
+        assert len(classes) == 1
+        cls = classes[0]
+        assert cls.key == "ONCE[0,9] auth(v1)"
+        assert cls.constraints == ["audit-a", "audit-b"]
+        assert cls.shared and cls.needs_rename
+        assert cls.distinct_nodes == 2
+
+    def test_structural_duplicates_need_no_rename(self):
+        # same variable names: the checker already dedups these
+        classes = build_classes([
+            Constraint("a", AUDIT_A[1]),
+            Constraint("b", "grant(u, r) -> ONCE[0,9] auth(u)"),
+        ])
+        (cls,) = classes
+        assert cls.shared
+        assert not cls.needs_rename
+        assert cls.saved_tuples == 0
+        assert cls.saved_evaluations_per_step == 0
+
+    def test_savings_count_distinct_nodes_beyond_the_first(self):
+        (cls,) = build_classes([
+            Constraint(*AUDIT_A), Constraint(*AUDIT_B),
+        ])
+        assert cls.saved_evaluations_per_step == cls.cost.evals_per_step
+        assert cls.saved_tuples == cls.cost.tuple_bound
+
+    def test_relation_size_hints_scale_the_bounds(self):
+        (small,) = build_classes(
+            [Constraint(*AUDIT_A)], relation_sizes={"auth": 2}
+        )
+        (default,) = build_classes([Constraint(*AUDIT_A)])
+        assert small.cost.tuple_bound == 2 * 10
+        assert default.cost.tuple_bound == 64 * 10
+
+    def test_classes_are_sorted_by_key(self):
+        classes = build_classes([
+            Constraint(*EVER), Constraint(*PINHOLE), Constraint(*AUDIT_A),
+        ])
+        keys = [c.key for c in classes]
+        assert keys == sorted(keys)
+
+
+class TestThetaSubsumption:
+    def test_extra_conjunct_is_subsumed(self):
+        general = kernel(AUDIT_A[1])
+        specific = kernel(BROAD[1])
+        assert theta_subsumes(general, specific)
+        assert not theta_subsumes(specific, general)
+
+    def test_constant_instantiation_is_subsumed(self):
+        assert theta_subsumes(kernel(AUDIT_A[1]), kernel(PINHOLE[1]))
+        assert not theta_subsumes(kernel(PINHOLE[1]), kernel(AUDIT_A[1]))
+
+    def test_interval_mismatch_blocks_matching(self):
+        narrower = kernel("req(u, r) -> ONCE[0,5] auth(u)")
+        assert not theta_subsumes(kernel(AUDIT_A[1]), narrower)
+
+    def test_substitution_binds_consistently(self):
+        # u must map to one target across all conjuncts
+        general = kernel("req(u, u) -> ONCE[0,9] auth(u)")
+        specific = kernel("req(a, b) -> ONCE[0,9] auth(a)")
+        assert not theta_subsumes(general, specific)
+        assert theta_subsumes(kernel(AUDIT_A[1]), general)
+
+    def test_conjunct_cap_disables_the_search(self):
+        wide = And(*[
+            Atom("p", [Var(f"x{i}")])
+            for i in range(MAX_SUBSUMPTION_CONJUNCTS + 1)
+        ])
+        assert not theta_subsumes(wide, wide)
+
+
+class TestFindSubsumptions:
+    def test_exact_rename_duplicates_are_not_reported(self):
+        # the pair subsumes each other via equal canonical kernels, so
+        # without the exclusion both directions would be reported
+        found = find_subsumptions([
+            Constraint(*AUDIT_A),
+            Constraint("twin", "req(a, b) -> ONCE[0,9] auth(a)"),
+        ])
+        assert found == []
+
+    def test_proper_subsumptions_are_reported(self):
+        found = find_subsumptions([
+            Constraint(*AUDIT_A), Constraint(*BROAD), Constraint(*PINHOLE),
+        ])
+        pairs = {(s.subsumed, s.by) for s in found}
+        assert ("broad", "audit-a") in pairs
+        assert ("pinhole", "audit-a") in pairs
+        assert all(by == "audit-a" for _, by in pairs)
+
+
+class TestBuildPlan:
+    def test_unsafe_constraints_are_skipped_with_a_reason(self):
+        plan = build_plan([
+            AUDIT_A, ("bad", "ONCE NOT req(u, r)"),
+        ])
+        assert [c.name for c in plan.constraints] == ["audit-a"]
+        ((name, reason),) = plan.skipped
+        assert name == "bad"
+        assert reason  # the compile error text
+
+    def test_per_constraint_bounds(self):
+        plan = build_plan([AUDIT_A, EVER])
+        by_name = {c.name: c for c in plan.constraints}
+        assert by_name["audit-a"].tuple_bound == 640
+        assert by_name["audit-a"].horizon == 9
+        assert not by_name["audit-a"].unbounded
+        assert by_name["ever"].unbounded
+        assert by_name["ever"].horizon is None
+
+    def test_sharing_map_lists_shared_classes_only(self):
+        plan = build_plan([AUDIT_A, AUDIT_B, EVER])
+        assert plan.sharing_map() == {
+            "ONCE[0,9] auth(v1)": ["audit-a", "audit-b"],
+        }
+        assert plan.shared_nodes == 1
+        assert plan.dedup_ratio == pytest.approx(2 / 3)
+
+    def test_document_is_versioned_and_deterministic(self):
+        spec = [AUDIT_A, AUDIT_B, BROAD, EVER, PINHOLE]
+        first = build_plan(spec).to_dict()
+        second = build_plan(spec).to_dict()
+        assert first["version"] == PLAN_SCHEMA_VERSION
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+    def test_render_text_summarises_the_plan(self):
+        text = build_plan([AUDIT_A, AUDIT_B, BROAD]).render_text()
+        assert "3 constraint(s)" in text
+        assert "ONCE[0,9] auth(v1)" in text
+        assert "subsumption: 'broad' is implied by 'audit-a'" in text
+
+    def test_empty_set_renders_cleanly(self):
+        plan = build_plan([])
+        assert plan.dedup_ratio == 1.0
+        assert "shared classes: none" in plan.render_text()
+        assert "subsumptions: none" in plan.render_text()

@@ -1,0 +1,118 @@
+"""End-to-end tests for the ``repro plan`` subcommand."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+DATA = Path(__file__).resolve().parent / "data"
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = REPO / "examples" / "plan_corpus"
+
+
+def run_plan(capsys, *extra):
+    status = main([
+        "plan",
+        "--constraints", str(CORPUS / "constraints.txt"),
+        "--schema", str(CORPUS / "schema.json"),
+        *extra,
+    ])
+    return status, capsys.readouterr().out
+
+
+GATED = ("--state-budget", "1000", "--shard-key", "user")
+
+
+class TestPlanCommand:
+    def test_json_output_matches_golden_file(self, capsys):
+        status, out = run_plan(capsys, *GATED, "--format", "json")
+        assert status == 2  # RTC015 is an error
+        golden = json.loads((DATA / "golden_plan.json").read_text())
+        assert json.loads(out) == golden
+
+    def test_json_carries_version_tag(self, capsys):
+        _, out = run_plan(capsys, *GATED, "--format", "json")
+        assert json.loads(out)["version"] == "repro-plan/1"
+
+    def test_corpus_triggers_every_planner_code(self, capsys):
+        _, out = run_plan(capsys, *GATED, "--format", "json")
+        document = json.loads(out)
+        codes = {d["code"] for d in document["diagnostics"]}
+        assert codes == {"RTC013", "RTC014", "RTC015", "RTC016"}
+        assert document["sharing"]["map"]  # nonzero sharing map
+
+    def test_text_output(self, capsys):
+        status, out = run_plan(capsys, *GATED)
+        assert status == 2
+        assert "plan: 5 constraint(s)" in out
+        assert "shared classes (1):" in out
+        assert "diagnostics (5):" in out
+        assert "RTC015 error" in out
+
+    def test_exit_one_without_the_budget_error(self, capsys):
+        # no --state-budget: RTC015 is inactive, warnings remain
+        status, out = run_plan(capsys, "--shard-key", "user")
+        assert status == 1
+        assert "RTC015" not in out
+        assert "RTC016" in out
+
+    def test_exit_zero_on_an_info_only_plan(self, capsys, tmp_path):
+        constraints = tmp_path / "c.txt"
+        constraints.write_text(
+            "a: req(u, r) -> ONCE[0,9] auth(u);\n"
+            "b: grant(u2, r2) -> ONCE[0,9] auth(u2)\n"
+        )
+        status = main(["plan", "--constraints", str(constraints)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "RTC013" in out  # the sharing advisory is info-severity
+
+    def test_relation_size_hints_change_the_bounds(self, capsys):
+        _, out = run_plan(
+            capsys, "--relation-size", "auth=2", "--format", "json"
+        )
+        document = json.loads(out)
+        by_name = {c["name"]: c for c in document["constraints"]}
+        assert by_name["audit-a"]["tuple_bound"] == 20
+
+    def test_default_relation_size_flag(self, capsys):
+        _, out = run_plan(
+            capsys, "--default-relation-size", "4", "--format", "json"
+        )
+        document = json.loads(out)
+        by_name = {c["name"]: c for c in document["constraints"]}
+        assert by_name["audit-a"]["tuple_bound"] == 40
+
+    def test_bad_relation_size_spec_is_an_error(self, capsys):
+        status = main([
+            "plan",
+            "--constraints", str(CORPUS / "constraints.txt"),
+            "--relation-size", "auth",
+        ])
+        assert status == 2
+        assert "relation-size" in capsys.readouterr().err
+
+    def test_zero_relation_size_is_rejected(self, capsys):
+        status, _ = run_plan(capsys, "--relation-size", "auth=0")
+        assert status == 2
+
+    def test_invalid_state_budget_is_rejected(self, capsys):
+        status, _ = run_plan(capsys, "--state-budget", "0")
+        assert status == 2
+
+    def test_missing_constraints_file_is_an_error(self, capsys, tmp_path):
+        status = main([
+            "plan", "--constraints", str(tmp_path / "absent.txt"),
+        ])
+        assert status == 2
+        assert "cannot read constraints" in capsys.readouterr().err
+
+    def test_skipped_constraints_are_listed(self, capsys, tmp_path):
+        constraints = tmp_path / "c.txt"
+        constraints.write_text("bad: ONCE NOT req(u, r)\n")
+        status = main([
+            "plan", "--constraints", str(constraints), "--format", "json",
+        ])
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document["skipped"][0]["name"] == "bad"

@@ -148,3 +148,67 @@ class TestSemanticsPreservation:
     def test_free_vars_preserved(self, text):
         f = parse(text)
         assert normalize(f).free_vars == f.free_vars
+
+
+class TestCanonicalVariables:
+    """First-occurrence renumbering covers binders and aggregates."""
+
+    def test_free_variables_number_in_preorder(self):
+        from repro.core.normalize import canonical_variables
+
+        f = parse("r(a, b) AND p(b)")
+        assert canonical_variables(f) == {"a": "v1", "b": "v2"}
+
+    def test_exists_binders_are_numbered(self):
+        from repro.core.normalize import canonical_variables
+
+        f = parse("EXISTS inner. r(outer, inner)")
+        assert canonical_variables(f) == {"inner": "v1", "outer": "v2"}
+
+    def test_aggregate_result_and_over_are_numbered(self):
+        from repro.core.normalize import canonical_variables
+
+        f = parse("EXISTS n. n = CNT(b; r(a, b)) AND n <= 2")
+        mapping = canonical_variables(f)
+        assert set(mapping) == {"n", "b", "a"}
+        assert mapping["n"] == "v1"
+
+    def test_rename_variants_get_positionally_equal_images(self):
+        from repro.core.normalize import canonicalize_variant
+
+        a = parse("EXISTS n. n = CNT(b; r(a, b)) AND n <= 2")
+        b = parse("EXISTS m. m = CNT(c; r(d, c)) AND m <= 2")
+        assert canonicalize_variant(a)[0] == canonicalize_variant(b)[0]
+
+
+class TestRenameAllVariables:
+    def test_binders_are_renamed_too(self):
+        from repro.core.formulas import Aggregate
+        from repro.core.normalize import rename_all_variables
+
+        f = parse("EXISTS n. n = CNT(b; r(a, b)) AND n <= 2")
+        renamed = rename_all_variables(
+            f, {"n": "n2", "b": "b2", "a": "a2"}
+        )
+        assert isinstance(renamed, Exists)
+        assert list(renamed.variables) == ["n2"]
+        aggregate = next(
+            sub for sub in renamed.walk() if isinstance(sub, Aggregate)
+        )
+        assert aggregate.result == "n2"
+        assert list(aggregate.over) == ["b2"]
+        assert renamed.free_vars == {"a2"}
+
+    def test_non_injective_mapping_is_rejected(self):
+        from repro.core.normalize import rename_all_variables
+
+        with pytest.raises(ValueError, match="injective"):
+            rename_all_variables(
+                parse("r(a, b)"), {"a": "v", "b": "v"}
+            )
+
+    def test_unmapped_names_are_kept(self):
+        from repro.core.normalize import rename_all_variables
+
+        f = parse("r(a, b)")
+        assert rename_all_variables(f, {"a": "a2"}) == parse("r(a2, b)")

@@ -1,0 +1,157 @@
+"""Unit tests for shared auxiliary maintenance (share_subformulas)."""
+
+import pytest
+
+from repro import Monitor, Transaction
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.persist import checkpoint_dict, restore_checker
+from repro.db import DatabaseSchema
+from repro.errors import MonitorError
+from repro.obs import MetricsRegistry
+from repro.obs.instrument import MonitorInstrumentation
+
+SCHEMA = DatabaseSchema.from_dict({"p": ["a"], "q": ["a"], "r": ["a", "b"]})
+
+VARIANTS = [
+    Constraint("a", "q(x) -> ONCE[0,3] p(x)"),
+    Constraint("b", "q(y) -> ONCE[0,3] p(y)"),
+    Constraint("c", "r(z, w) -> ONCE[0,3] p(z)"),
+]
+
+
+def ins(rel, *rows):
+    return Transaction({rel: list(rows)})
+
+
+def drive(checker, steps):
+    return [checker.step(time, txn) for time, txn in steps]
+
+
+STEPS = [
+    (0, ins("p", (1,))),
+    (1, ins("q", (1,))),
+    (2, ins("q", (2,))),
+    (5, ins("r", (1, 9))),
+    (9, ins("q", (1,))),
+]
+
+
+class TestSharingStats:
+    def test_variants_collapse_to_one_class(self):
+        checker = IncrementalChecker(
+            SCHEMA, VARIANTS, share_subformulas=True
+        )
+        stats = checker.sharing_stats()
+        assert stats["classes"] == 1.0
+        assert stats["shared_nodes"] == 2.0
+        assert stats["distinct_nodes"] == 3.0
+        assert stats["dedup_ratio"] == pytest.approx(1 / 3)
+
+    def test_unshared_checker_reports_no_dedup(self):
+        stats = IncrementalChecker(SCHEMA, VARIANTS).sharing_stats()
+        assert stats["classes"] == 3.0
+        assert stats["shared_nodes"] == 0.0
+        assert stats["dedup_ratio"] == 1.0
+
+    def test_structural_duplicates_dedup_either_way(self):
+        # identical nodes collapse in _aux even without sharing
+        twins = [
+            Constraint("a", "q(x) -> ONCE[0,3] p(x)"),
+            Constraint("b", "r(x, y) -> ONCE[0,3] p(x)"),
+        ]
+        for share in (False, True):
+            stats = IncrementalChecker(
+                SCHEMA, twins, share_subformulas=share
+            ).sharing_stats()
+            assert stats["classes"] == 1.0
+            assert stats["shared_nodes"] == 0.0
+
+    def test_no_temporal_nodes(self):
+        stats = IncrementalChecker(
+            SCHEMA, [Constraint("c", "q(x) -> p(x)")],
+            share_subformulas=True,
+        ).sharing_stats()
+        assert stats["classes"] == 0.0
+        assert stats["dedup_ratio"] == 1.0
+
+
+class TestVerdictEquality:
+    def test_reports_are_bit_for_bit_identical(self):
+        base = drive(IncrementalChecker(SCHEMA, VARIANTS), STEPS)
+        shared = drive(
+            IncrementalChecker(SCHEMA, VARIANTS, share_subformulas=True),
+            STEPS,
+        )
+        assert base == shared
+        # the workload actually exercises both verdicts
+        assert any(not report.ok for report in base)
+        assert any(report.ok for report in base)
+
+    def test_nested_towers_share_per_level(self):
+        towers = [
+            Constraint("a", "q(x) -> ONCE[0,2] ONCE[0,2] p(x)"),
+            Constraint("b", "q(v) -> ONCE[0,2] ONCE[0,2] p(v)"),
+        ]
+        checker = IncrementalChecker(SCHEMA, towers, share_subformulas=True)
+        assert checker.sharing_stats()["classes"] == 2.0
+        base = drive(IncrementalChecker(SCHEMA, towers), STEPS)
+        assert drive(checker, STEPS) == base
+
+
+class TestPersistence:
+    def test_checkpoint_round_trip_keeps_sharing(self):
+        checker = IncrementalChecker(
+            SCHEMA, VARIANTS, share_subformulas=True
+        )
+        head, tail = STEPS[:3], STEPS[3:]
+        drive(checker, head)
+        restored = restore_checker(checkpoint_dict(checker))
+        assert restored.share_subformulas
+        assert restored.sharing_stats() == checker.sharing_stats()
+        # both continuations agree with an uninterrupted unshared run
+        full = drive(IncrementalChecker(SCHEMA, VARIANTS), STEPS)
+        assert drive(restored, tail) == full[3:]
+
+    def test_old_checkpoints_default_to_unshared(self):
+        checker = IncrementalChecker(SCHEMA, VARIANTS)
+        drive(checker, STEPS[:2])
+        document = checkpoint_dict(checker)
+        del document["share_subformulas"]
+        assert not restore_checker(document).share_subformulas
+
+
+class TestMonitorSurface:
+    def test_sharing_requires_the_incremental_engine(self):
+        for engine in ("naive", "naive-memo", "active", "adom"):
+            with pytest.raises(MonitorError, match="share_subformulas"):
+                Monitor(SCHEMA, engine=engine, share_subformulas=True)
+
+    def test_monitor_verdicts_match_unshared(self):
+        verdicts = []
+        for share in (False, True):
+            monitor = Monitor(SCHEMA, share_subformulas=share)
+            monitor.add_constraint("a", "q(x) -> ONCE[0,3] p(x)")
+            monitor.add_constraint("b", "q(y) -> ONCE[0,3] p(y)")
+            verdicts.append([monitor.step(t, txn) for t, txn in STEPS])
+        assert verdicts[0] == verdicts[1]
+
+    def test_sharing_gauges_are_published(self):
+        metrics = MetricsRegistry()
+        monitor = Monitor(
+            SCHEMA,
+            instrumentation=MonitorInstrumentation(metrics=metrics),
+            share_subformulas=True,
+        )
+        monitor.add_constraint("a", "q(x) -> ONCE[0,3] p(x)")
+        monitor.add_constraint("b", "q(y) -> ONCE[0,3] p(y)")
+        monitor.step(0, ins("p", (1,)))
+        gauge = metrics.gauge("repro_aux_classes", engine="incremental")
+        assert gauge.value == 1.0
+        shared = metrics.gauge(
+            "repro_aux_shared_nodes", engine="incremental"
+        )
+        assert shared.value == 1.0
+        ratio = metrics.gauge(
+            "repro_aux_dedup_ratio", engine="incremental"
+        )
+        assert ratio.value == pytest.approx(0.5)

@@ -1,0 +1,199 @@
+"""Property tests for subformula canonicalization and shared state.
+
+Two executable contracts back the cross-constraint planner:
+
+* canonicalization is *semantics-preserving*: monitoring the canonical
+  alpha-variant of a random constraint yields the same verdicts as the
+  original, on every engine (witnesses agree up to the variable
+  renaming);
+* shared auxiliary maintenance is *invisible*: a checker monitoring a
+  random constraint plus a rename-variant copy with
+  ``share_subformulas=True`` produces bit-for-bit the verdicts of the
+  unshared run.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import Constraint, IncrementalChecker
+from repro.core.naive import NaiveChecker
+from repro.core.normalize import (
+    canonical_variables,
+    canonicalize_variant,
+    rename_all_variables,
+)
+from repro.errors import ReproError
+from repro.temporal import StreamGenerator
+
+from tests.core.strategies import SCHEMA, adom_constraints, constraints
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def canonical_twin(constraint):
+    """``(canonical constraint, canonical -> original name map)``."""
+    canonical, mapping = canonicalize_variant(constraint.formula)
+    try:
+        twin = Constraint("prop", canonical, require_safe=False)
+    except ReproError:  # pragma: no cover - renaming preserves safety
+        twin = None
+    assume(twin is not None)
+    return twin, {v: k for k, v in mapping.items()}
+
+
+def original_names(report, inverse):
+    """Step verdicts with witness variables mapped back to the original
+    names, for comparison against the original constraint's report."""
+    return [
+        (violation.time, violation.index, sorted(
+            tuple(sorted(
+                (inverse.get(var, var), value)
+                for var, value in witness.items()
+            ))
+            for witness in violation.witness_dicts()
+        ))
+        for violation in report.violations
+    ]
+
+
+def plain_names(report):
+    return original_names(report, {})
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_canonical_variant_is_semantics_preserving(
+    constraint, seed, length
+):
+    """Incremental + naive + memoized naive on the canonical variant."""
+    twin, inverse = canonical_twin(constraint)
+    stream = list(StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length))
+    engines = [
+        (IncrementalChecker(SCHEMA, [constraint]),
+         IncrementalChecker(SCHEMA, [twin])),
+        (NaiveChecker(SCHEMA, [constraint]),
+         NaiveChecker(SCHEMA, [twin])),
+        (NaiveChecker(SCHEMA, [constraint], memoize=True),
+         NaiveChecker(SCHEMA, [twin], memoize=True)),
+    ]
+    for time, txn in stream:
+        for checker, canonical_checker in engines:
+            report = checker.step(time, txn)
+            canonical_report = canonical_checker.step(time, txn)
+            assert report.ok == canonical_report.ok, str(constraint.formula)
+            assert plain_names(report) == original_names(
+                canonical_report, inverse
+            ), str(constraint.formula)
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_canonical_variant_on_the_active_engine(constraint, seed, length):
+    from repro.active.compiler import ActiveChecker
+
+    twin, inverse = canonical_twin(constraint)
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    checker = ActiveChecker(SCHEMA, [constraint])
+    canonical_checker = ActiveChecker(SCHEMA, [twin])
+    for time, txn in stream:
+        report = checker.step(time, txn)
+        canonical_report = canonical_checker.step(time, txn)
+        assert report.ok == canonical_report.ok, str(constraint.formula)
+        assert plain_names(report) == original_names(
+            canonical_report, inverse
+        ), str(constraint.formula)
+
+
+@relaxed
+@given(
+    constraint=adom_constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_canonical_variant_on_the_adom_engine(constraint, seed, length):
+    from repro.core.adom import ActiveDomainChecker
+
+    twin, _ = canonical_twin(constraint)
+    stream = StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length)
+    checker = ActiveDomainChecker(SCHEMA, [constraint])
+    canonical_checker = ActiveDomainChecker(SCHEMA, [twin])
+    for time, txn in stream:
+        report = checker.step(time, txn)
+        canonical_report = canonical_checker.step(time, txn)
+        assert report.ok == canonical_report.ok, str(constraint.formula)
+
+
+def rename_variant(constraint):
+    """A copy of ``constraint`` with every variable renamed apart."""
+    renamed = rename_all_variables(
+        constraint.formula,
+        {v: f"{v}_rv" for v in canonical_variables(constraint.formula)},
+    )
+    try:
+        return Constraint("copy", renamed)
+    except ReproError:  # pragma: no cover - renaming preserves safety
+        return None
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 8),
+)
+def test_shared_maintenance_is_bit_for_bit_invisible(
+    constraint, seed, length
+):
+    """Sharing a rename-variant family changes nothing observable."""
+    copy = rename_variant(constraint)
+    assume(copy is not None)
+    family = [constraint, copy]
+    stream = list(StreamGenerator(
+        SCHEMA, universe=[0, 1, 2], max_gap=3, seed=seed
+    ).stream(length))
+    unshared = IncrementalChecker(SCHEMA, family)
+    shared = IncrementalChecker(SCHEMA, family, share_subformulas=True)
+    for time, txn in stream:
+        assert unshared.step(time, txn) == shared.step(time, txn), \
+            str(constraint.formula)
+    stats = shared.sharing_stats()
+    assert stats["classes"] + stats["shared_nodes"] == \
+        stats["distinct_nodes"]
+
+
+@relaxed
+@given(
+    constraint=constraints,
+    seed=st.integers(0, 10**6),
+)
+def test_shared_maintenance_under_sparse_clocks(constraint, seed):
+    """Metric-window expiry by clock passage alone, shared vs not."""
+    copy = rename_variant(constraint)
+    assume(copy is not None)
+    family = [constraint, copy]
+    stream = list(StreamGenerator(
+        SCHEMA, universe=[0, 1], max_gap=9, seed=seed
+    ).stream(6))
+    unshared = IncrementalChecker(SCHEMA, family)
+    shared = IncrementalChecker(SCHEMA, family, share_subformulas=True)
+    for time, txn in stream:
+        assert unshared.step(time, txn) == shared.step(time, txn), \
+            str(constraint.formula)

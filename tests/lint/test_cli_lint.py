@@ -114,8 +114,10 @@ class TestCheckIntegration:
             "--history", str(generated / "history.jsonl"),
         ])
         out = capsys.readouterr().out
-        assert "lint (1 diagnostic(s)):" in out
+        # RTC009 (duplicate) plus RTC013 (shared rename-variant state)
+        assert "lint (2 diagnostic(s)):" in out
         assert "RTC009" in out
+        assert "RTC013" in out
 
     def test_no_lint_opts_out(self, generated, tmp_path, capsys):
         constraints = tmp_path / "c.txt"
