@@ -56,6 +56,7 @@ EXPERIMENTS: Dict[str, str] = {
     "e12": "bench_e12_aggregates",
     "e13": "bench_e13_shards",
     "e14": "bench_e14_sharing",
+    "e15": "bench_e15_durability",
 }
 
 PROFILES = ("short", "full")

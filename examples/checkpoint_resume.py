@@ -71,9 +71,10 @@ print(f"a full-history checkpoint would carry {history_tuples} tuples; "
 # --- crash and recover -----------------------------------------------------
 # A planned save is easy; a journal makes the *unplanned* kill safe.
 # `enable_journal` checkpoints periodically and appends every applied
-# step to a journal in between, so recovery = last checkpoint + replay.
-from repro.core.persist import JOURNAL_NAME  # noqa: E402
+# step as a checksummed framed record to a segment WAL in between, so
+# recovery = newest usable checkpoint + verified replay.
 from repro.resilience import SimulatedCrash, run_until_crash  # noqa: E402
+from repro.store import scrub_directory  # noqa: E402
 
 journal_dir = os.path.join(tempfile.mkdtemp(), "journal")
 doomed = workload.monitor("incremental")
@@ -97,4 +98,10 @@ spliced = list(partial.steps) + list(tail_report.steps)
 assert spliced == list(continuous_report.steps)
 print(f"crash-and-recover run identical to the uninterrupted one "
       f"({len(spliced)} step reports compared)")
-assert os.path.exists(os.path.join(journal_dir, JOURNAL_NAME))
+
+# every durable record carries a blake2s checksum — a scrub proves the
+# directory is intact after the crash-and-recover cycle
+report = scrub_directory(journal_dir)
+assert report.clean, report.findings
+print(f"scrub: {report.files_checked} file(s), "
+      f"{report.records_verified} record(s) verified, clean")

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Twelve subcommands::
+Thirteen subcommands::
 
     repro-check check    --schema s.json --constraints c.txt --history h.jsonl
     repro-check ingest   --schema s.json --constraints c.txt --source a.jsonl
@@ -14,6 +14,7 @@ Twelve subcommands::
     repro-check bench    --all --json [--profile short|full]
     repro-check perf     --check benchmarks/baselines [--candidate DIR]
     repro-check recover  --journal DIR [--history h.jsonl]
+    repro-check scrub    DIR [--repair] [--format json]
 
 ``check`` replays a JSONL update stream against a constraint file and
 reports violations (exit status 1 if any); ``--trace``/``--metrics``
@@ -46,6 +47,11 @@ exits non-zero when a paper *shape* breaks (timing deltas warn only,
 or gate with ``--strict``).  ``recover`` restores a crashed ``check
 --journal`` run from its checkpoint + journal directory and optionally
 continues over the remaining history (see ``docs/robustness.md``).
+``scrub`` verifies every checksum in a journal directory (shard trees
+included) and exits 0 clean / 1 corruption found / 2 unrepairable;
+``--repair`` truncates torn tails, promotes fallback generations, and
+re-checkpoints through a full recovery so generation redundancy is
+restored (see :mod:`repro.store`).
 
 ``check`` grows a fault boundary: ``--fault-policy skip|quarantine``
 keeps monitoring through malformed lines, schema violations, and clock
@@ -510,6 +516,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="stop printing after this many violations",
     )
     recover.add_argument(
+        "--quiet", action="store_true", help="exit status only"
+    )
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="verify a durable journal directory's checksums; "
+             "--repair fixes what it finds",
+    )
+    scrub.add_argument(
+        "directory", metavar="DIR",
+        help="journal directory written by 'check --journal' "
+             "(a sharded journal root is walked recursively)",
+    )
+    scrub.add_argument(
+        "--repair", action="store_true",
+        help="apply the repairs the scrub proposes (truncate torn "
+             "tails, drop damaged spares, promote the fallback "
+             "generation), then re-checkpoint through a full recovery",
+    )
+    scrub.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    scrub.add_argument(
         "--quiet", action="store_true", help="exit status only"
     )
 
@@ -1767,6 +1797,103 @@ def _command_recover(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_scrub(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.persist import RunJournal
+    from repro.core.persist import recover as _recover
+    from repro.errors import RecoveryError
+    from repro.store import (
+        SYNC_FORCE,
+        find_store_directories,
+        repair_tree,
+        scrub_tree,
+    )
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        raise ReproError(f"scrub: no such directory: {root}")
+    stores = find_store_directories(root)
+    if not stores:
+        raise ReproError(
+            f"scrub: no durable store under {root} (expected the "
+            f"checkpoint/segment layout written by 'check --journal')"
+        )
+
+    report = scrub_tree(root)
+    payload = {"scrub": report.to_dict()}
+    if not args.quiet and args.format == "text":
+        print(
+            f"scrub {root}: {report.files_checked} file(s), "
+            f"{report.records_verified} record(s) verified, "
+            f"{len(report.findings)} finding(s)"
+        )
+        for finding in report.findings:
+            print(
+                f"  {finding.path}: {finding.kind} — {finding.detail} "
+                f"(repair: {finding.repair})"
+            )
+    if report.clean:
+        if not args.quiet and args.format == "text":
+            print("clean")
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not args.repair:
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if report.repairable else 2
+
+    repair = repair_tree(root)
+    payload["repair"] = repair.to_dict()
+    if not args.quiet and args.format == "text":
+        for path, action in repair.actions:
+            print(f"  repaired {path}: {action}")
+        for finding in repair.unrepaired:
+            print(f"  UNREPAIRED {finding.path}: {finding.kind}")
+
+    # file-level surgery done; re-checkpoint through a full recovery so
+    # the directory regains its generation redundancy (a promoted
+    # fallback leaves no spare until the next checkpoint commits)
+    recovered = []
+    failures = []
+    for directory in stores:
+        try:
+            result = _recover(directory)
+            journal = RunJournal(directory, sync=SYNC_FORCE)
+            try:
+                journal.attach(result.checker)
+            finally:
+                journal.close()
+            recovered.append(
+                {
+                    "directory": str(directory),
+                    "checkpoint_time": result.checkpoint_time,
+                    "journal_entries": result.journal_entries,
+                    "torn_records": result.torn_records,
+                }
+            )
+        except (RecoveryError, ReproError) as exc:
+            failures.append({"directory": str(directory), "error": str(exc)})
+    payload["recovered"] = recovered
+    payload["failures"] = failures
+
+    ok = repair.complete and not failures
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif not args.quiet:
+        for entry in recovered:
+            print(
+                f"  re-checkpointed {entry['directory']}: recovered to "
+                f"t={entry['checkpoint_time']}, replayed "
+                f"{entry['journal_entries']} record(s)"
+            )
+        for entry in failures:
+            print(f"  FAILED {entry['directory']}: {entry['error']}")
+        print("repaired" if ok else "unrepairable damage remains")
+    return 0 if ok else 2
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     factory = WORKLOADS[args.workload]
     if args.workload == "random":
@@ -2253,6 +2380,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_perf(args)
         if args.command == "recover":
             return _command_recover(args)
+        if args.command == "scrub":
+            return _command_scrub(args)
         return _command_analyze(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

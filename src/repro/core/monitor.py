@@ -754,19 +754,29 @@ class Monitor:
     # ------------------------------------------------------------------
 
     def enable_journal(
-        self, directory, checkpoint_every: int = 64, sync: bool = False
+        self, directory, checkpoint_every: int = 64, sync=False,
+        backend="segment", cold="auto", failpoints=(),
     ):
         """Journal every applied step under ``directory``.
 
         Writes an initial checkpoint immediately, appends each
-        successfully applied ``(time, transaction)`` to a JSONL journal,
-        and rewrites the checkpoint (atomically) every
+        successfully applied ``(time, transaction)`` as a checksummed
+        framed record to the store backend, and rewrites the
+        checkpoint (atomically, rotating the journal segment) every
         ``checkpoint_every`` steps.  After a crash,
-        :meth:`Monitor.recover` restores the last checkpoint and
-        replays the journal tail.  With ``sync=True`` every record and
-        checkpoint is fsynced (host-crash durability — the shard
-        workers' default); the default flush-only mode survives
-        process kills.  Incremental engine only, like :meth:`save`.
+        :meth:`Monitor.recover` restores the newest usable checkpoint
+        and replays the journal tail.
+
+        ``sync`` selects the durability level: ``False`` flush-only
+        (survives process kills), ``True`` fsync at every record and
+        rotation boundary (host-crash durability — the shard workers'
+        default; honours the ``REPRO_FSYNC=off`` escape hatch), or
+        ``"force"`` to fsync regardless of the environment (chaos and
+        durability jobs).  ``backend``/``cold``/``failpoints`` are
+        passed to :class:`~repro.core.persist.RunJournal`: the durable
+        segment store (default, with ``cold="auto"`` spilling
+        unbounded-operator anchors to its SQLite tier) or an in-memory
+        store.  Incremental engine only, like :meth:`save`.
         """
         from repro.core.persist import RunJournal
 
@@ -778,7 +788,8 @@ class Monitor:
         if self._journal is not None:
             raise MonitorError("a journal is already attached")
         journal = RunJournal(
-            directory, checkpoint_every=checkpoint_every, sync=sync
+            directory, checkpoint_every=checkpoint_every, sync=sync,
+            backend=backend, cold=cold, failpoints=failpoints,
         )
         journal.attach(self.checker)
         self._journal = journal
@@ -801,13 +812,18 @@ class Monitor:
 
     @classmethod
     def recover(cls, directory, resume_journal: bool = True,
-                sync: bool = False, checkpoint_every: int = 64):
+                sync=False, checkpoint_every: int = 64,
+                backend="segment", cold="auto"):
         """Rebuild a monitor after a crash from checkpoint + journal.
 
-        Restores the newest checkpoint under ``directory``, replays the
-        journal tail on top, and (by default) re-attaches the journal so
-        monitoring continues exactly where the killed process stopped
-        (``sync`` selects the re-attached journal's durability mode).
+        Restores the newest usable checkpoint under ``directory``
+        (falling back to the retained previous generation when the
+        current one fails its checksums), replays the journal tail on
+        top — truncating leniently at the first damaged record, see
+        :attr:`~repro.core.persist.RecoveryResult.torn_records` — and
+        (by default) re-attaches the journal so monitoring continues
+        exactly where the killed process stopped (``sync``/``backend``/
+        ``cold`` select the re-attached journal's configuration).
 
         Returns:
             ``(monitor, result)`` where ``result`` is the
@@ -829,7 +845,8 @@ class Monitor:
         monitor._checker = checker
         if resume_journal:
             journal = RunJournal(
-                directory, checkpoint_every=checkpoint_every, sync=sync
+                directory, checkpoint_every=checkpoint_every,
+                sync=sync, backend=backend, cold=cold,
             )
             journal.attach(checker)
             monitor._journal = journal

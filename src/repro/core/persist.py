@@ -14,41 +14,56 @@ which the parser round-trips; auxiliary relations are stored in the
 checker's bottom-up registration order, which reconstruction
 reproduces deterministically from the constraints.
 
-Crash safety is layered on top:
+Durability is delegated to the :mod:`repro.store` seam:
 
-* :func:`save_checker` writes **atomically** (temp file + rename), so
-  a crash mid-checkpoint can never leave a torn checkpoint behind;
-* :class:`RunJournal` keeps a **journal** of every applied
-  ``(timestamp, transaction)`` pair between periodic automatic
-  checkpoints (one JSONL record per step, flushed immediately);
-* :func:`recover` restores the last checkpoint and replays the journal,
-  resuming a killed monitor at exactly the last completed step.
+* every durable record — checkpoint and journal step alike — is a
+  framed line carrying a format version, length prefix, and blake2s
+  checksum, so torn writes and bit flips are *detected* instead of
+  silently corrupting recovery;
+* :class:`RunJournal` appends each applied ``(timestamp,
+  transaction)`` pair through a :class:`~repro.store.StateStore`
+  backend (checksummed segment WAL by default, in-memory for
+  ephemeral runs) with periodic atomic checkpoints;
+* :func:`recover` restores the newest usable checkpoint — falling
+  back to the retained previous generation when the current one is
+  damaged — and replays the journal, **leniently**: a damaged record
+  truncates the replay at the last valid record, and the count of
+  records lost that way is reported as
+  :attr:`RecoveryResult.torn_records`.
 
-The journal directory layout is two files::
-
-    <dir>/checkpoint.json   # last atomic checkpoint
-    <dir>/journal.jsonl     # steps applied since that checkpoint
+State is **tiered** by the paper's bounded-history split
+(:mod:`repro.core.bounds`): bounded-window ``ONCE``/``SINCE`` state —
+at most ``window + 1`` timestamps per valuation, touched every step —
+stays in the hot checkpoint document, while the minimal anchors of
+*unbounded* operators spill to the store's SQLite cold tier
+(:mod:`repro.store.sqlite`), keyed per aux node and bound to the
+checkpoint by per-node digests.  ``cold="auto"`` spills whenever the
+backend is durable and ``sqlite3`` is available.
 
 Records are appended *after* a step commits, so a quarantined or
 faulted input never reaches the journal and a crash mid-step loses at
-most that one uncommitted step.  A journal tail torn by a crash is
-detected during recovery and reported as
-:class:`~repro.errors.RecoveryError`, never as a raw parse exception.
+most that one uncommitted step.
 
-Two durability levels exist.  The default (``sync=False``) flushes
-every record to the OS, which survives a *process* kill but can lose
-acknowledged steps to a *host* crash (the page cache dies with the
-machine).  ``sync=True`` additionally ``fsync``\\ s every journal
-record, the checkpoint temp file before its rename, and the journal
-directory after the rename — the full write-ahead discipline — at the
-cost of one fsync per step.  Shard worker journals
-(:mod:`repro.shard`) default to ``sync=True`` because a shard's
-acknowledgement is consumed by the supervisor as a durability promise.
+Three durability levels exist.  ``sync=False`` (default) flushes every
+record to the OS, which survives a *process* kill but can lose
+acknowledged steps to a *host* crash.  ``sync=True`` additionally
+``fsync``\\ s every record and checkpoint boundary — unless the
+``REPRO_FSYNC=off`` escape hatch downgrades it (test suites).
+``sync="force"`` fsyncs regardless of the environment; the chaos and
+durability jobs use it so no environment variable can weaken the
+property under test.  Shard worker journals (:mod:`repro.shard`)
+default to ``sync=True`` because a shard's acknowledgement is consumed
+by the supervisor as a durability promise.
 
-A journal directory is additionally guarded by a ``journal.lock``
-file: a second live writer attaching to the same directory is refused
-(its records would interleave and corrupt the tail), while a lock left
-behind by a dead process is detected by pid-liveness and stolen.
+A journal directory is guarded by a ``journal.lock`` file stamped with
+the owner's ``(pid, process start token)`` — see
+:class:`repro.store.JournalLock` — so a second live writer is refused
+while a dead owner's lock (even under a recycled pid) is stolen.
+
+Legacy layouts — plain-JSON checkpoints and ``journal.jsonl`` files
+written before the framed store existed — are still recovered
+(:func:`load_checker` sniffs the format; :func:`recover` falls back to
+the legacy reader when the checkpoint is plain JSON).
 """
 
 from __future__ import annotations
@@ -56,7 +71,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.auxiliary import OnceState, PrevState, SinceState
 from repro.core.checker import Constraint, IncrementalChecker
@@ -66,25 +81,41 @@ from repro.db.algebra import Table
 from repro.db.database import DatabaseState
 from repro.db.schema import DatabaseSchema
 from repro.db.transactions import Transaction
-from repro.errors import MonitorError, RecoveryError, ReproError
+from repro.errors import (
+    MonitorError,
+    RecoveryError,
+    ReproError,
+    StoreCorruption,
+)
+from repro.store import (
+    JournalLock,
+    MemoryStore,
+    SegmentStore,
+    StateStore,
+    StoreSnapshot,
+    decode_record,
+    encode_record,
+    sqlite_available,
+)
+from repro.store.lock import LOCK_NAME
+from repro.store.record import STORE_MAGIC
 
 FORMAT_VERSION = 1
 
-#: File names inside a journal directory.
+#: File names inside a journal directory.  ``CHECKPOINT_NAME`` is the
+#: framed current checkpoint; ``JOURNAL_NAME`` is the *legacy* plain
+#: JSONL journal (the segment backend writes ``wal-*.log`` instead).
 CHECKPOINT_NAME = "checkpoint.json"
 JOURNAL_NAME = "journal.jsonl"
-LOCK_NAME = "journal.lock"
+
+__all__ = [
+    "CHECKPOINT_NAME", "JOURNAL_NAME", "LOCK_NAME", "FORMAT_VERSION",
+    "JournalLock", "RunJournal", "RecoveryResult", "checkpoint_dict",
+    "restore_checker", "save_checker", "load_checker", "read_journal",
+    "recover", "tiered_checkpoint", "merge_cold_rows", "cold_node_ids",
+]
 
 PathLike = Union[str, Path]
-
-
-def _fsync_dir(directory: Path) -> None:
-    """fsync a directory so a just-renamed entry survives a host crash."""
-    fd = os.open(directory, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
 
 
 def checkpoint_dict(checker: IncrementalChecker) -> dict:
@@ -131,6 +162,72 @@ def checkpoint_dict(checker: IncrementalChecker) -> dict:
         "state": checker.state.to_dict(),
         "aux": aux_states,
     }
+
+
+def cold_node_ids(checker: IncrementalChecker) -> List[str]:
+    """The aux node ids whose state is cold (unbounded ``ONCE``/``SINCE``).
+
+    The paper's encoding makes the split exact: a bounded-window node
+    keeps at most ``window + 1`` timestamps per valuation and is read
+    every step (hot), while an unbounded node collapses to one minimal
+    anchor per valuation — written once, read only at checkpoint and
+    recovery time (cold).  Ids are positional (``aux<i>`` in the
+    checker's registration order), the same order the checkpoint
+    document's ``aux`` list uses.
+    """
+    ids = []
+    for index, (node, aux) in enumerate(checker._aux.items()):
+        if isinstance(aux, (OnceState, SinceState)) and (
+            not node.interval.is_bounded
+        ):
+            ids.append(f"aux{index}")
+    return ids
+
+
+def tiered_checkpoint(
+    checker: IncrementalChecker, spill: bool = True
+) -> Tuple[dict, Dict[str, list]]:
+    """Split a checkpoint into its hot document and cold anchor rows.
+
+    Returns ``(document, cold_rows)``: the document is
+    :func:`checkpoint_dict` with each cold node's ``anchors`` replaced
+    by ``"cold": true``, and ``cold_rows`` maps the node id to the
+    extracted ``[valuation, times]`` rows.  With ``spill=False`` (or
+    no cold nodes) the document is the full classic checkpoint and
+    ``cold_rows`` is empty.
+    """
+    document = checkpoint_dict(checker)
+    cold_rows: Dict[str, list] = {}
+    if not spill:
+        return document, cold_rows
+    for node_id in cold_node_ids(checker):
+        index = int(node_id[len("aux"):])
+        entry = document["aux"][index]
+        cold_rows[node_id] = entry.pop("anchors")
+        entry["cold"] = True
+    return document, cold_rows
+
+
+def merge_cold_rows(document: dict, cold_rows: Dict[str, list]) -> dict:
+    """Fold spilled cold rows back into a tiered checkpoint document.
+
+    Raises:
+        RecoveryError: a document entry is marked cold but the store
+            snapshot carries no rows for it (the cold tier and the
+            checkpoint disagree about what was spilled).
+    """
+    for index, entry in enumerate(document.get("aux") or []):
+        if not (isinstance(entry, dict) and entry.get("cold")):
+            continue
+        node_id = f"aux{index}"
+        if node_id not in cold_rows:
+            raise RecoveryError(
+                f"checkpoint marks {node_id} as spilled but the cold "
+                f"tier has no rows for it"
+            )
+        entry.pop("cold")
+        entry["anchors"] = cold_rows[node_id]
+    return document
 
 
 def restore_checker(document: dict) -> IncrementalChecker:
@@ -194,6 +291,12 @@ def restore_checker(document: dict) -> IncrementalChecker:
             expected = "once" if isinstance(aux, OnceState) else "since"
             if entry["type"] != expected:
                 raise MonitorError("auxiliary state kind mismatch")
+            if entry.get("cold") or "anchors" not in entry:
+                raise MonitorError(
+                    "checkpoint entry was spilled to the cold tier and "
+                    "never merged back (recover from the store, not "
+                    "the raw document)"
+                )
             aux._anchors.anchors = {
                 tuple(valuation): list(times)
                 for valuation, times in entry["anchors"]
@@ -202,46 +305,59 @@ def restore_checker(document: dict) -> IncrementalChecker:
 
 
 def save_checker(
-    checker: IncrementalChecker, path: PathLike, sync: bool = False
+    checker: IncrementalChecker, path: PathLike, sync=False
 ) -> None:
-    """Write a checker checkpoint to ``path`` as JSON, atomically.
+    """Write a checker checkpoint to ``path``, atomically and framed.
 
-    The document is written to a sibling temp file and renamed into
-    place, so readers (and crash recovery) only ever see either the
-    previous complete checkpoint or the new complete one — never a
-    torn write.  With ``sync=True`` the temp file is fsynced before
-    the rename and the containing directory after it, so the rename
-    itself survives a host crash (rename-without-fsync may surface as
-    a zero-length or missing file on some filesystems).
+    The document is wrapped in one checksummed frame (magic + length
+    prefix + blake2s digest, :mod:`repro.store.record`), written to a
+    sibling temp file, and renamed into place — readers and crash
+    recovery only ever see a complete old or complete new checkpoint,
+    and any later torn write or bit flip fails the checksum instead of
+    parsing as garbage.  ``sync`` follows the store discipline
+    (``False`` / ``True`` / ``"force"``).
     """
+    from repro.store.base import fsync_dir, fsync_file
+
     path = Path(path)
-    payload = json.dumps(checkpoint_dict(checker), sort_keys=True) + "\n"
+    frame = encode_record({
+        "epoch": 0,
+        "document": checkpoint_dict(checker),
+        "cold": {},
+    })
     tmp = path.with_name(path.name + ".tmp")
-    if sync:
-        with open(tmp, "w") as fh:
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-    else:
-        tmp.write_text(payload)
+    with open(tmp, "wb") as fh:
+        fh.write(frame)
+        fh.flush()
+        fsync_file(fh, sync)
     os.replace(tmp, path)
-    if sync:
-        _fsync_dir(path.parent)
+    fsync_dir(path.parent, sync)
+
+
+def _checkpoint_frame_document(record: dict, path: Path) -> dict:
+    """Unwrap a framed checkpoint record to its document."""
+    document = record.get("document")
+    if not isinstance(document, dict):
+        raise MonitorError(
+            f"malformed checkpoint {path}: frame carries no document"
+        )
+    return document
 
 
 def load_checker(path: PathLike) -> IncrementalChecker:
-    """Restore a checker from a checkpoint file.
+    """Restore a checker from a checkpoint file (framed or legacy JSON).
 
     Raises:
-        MonitorError: if the file is missing, unreadable, not valid
-            JSON, structurally incomplete, or written by an unsupported
-            (including newer) format version — always with the path
-            and reason; raw ``FileNotFoundError``/``JSONDecodeError``/
-            ``KeyError`` never escape.
+        MonitorError: if the file is missing, unreadable, fails its
+            checksum, is not valid JSON, structurally incomplete, or
+            written by an unsupported (including newer) format version
+            — always with the path and reason; raw
+            ``FileNotFoundError``/``JSONDecodeError``/``KeyError``
+            never escape.
     """
     path = Path(path)
     try:
-        text = path.read_text()
+        data = path.read_bytes()
     except FileNotFoundError:
         raise MonitorError(
             f"checkpoint {path} does not exist"
@@ -250,17 +366,27 @@ def load_checker(path: PathLike) -> IncrementalChecker:
         raise MonitorError(
             f"cannot read checkpoint {path}: {exc}"
         ) from None
-    try:
-        document = json.loads(text)
-    except ValueError as exc:
-        raise MonitorError(
-            f"malformed checkpoint {path}: not valid JSON ({exc})"
-        ) from None
-    if not isinstance(document, dict):
-        raise MonitorError(
-            f"malformed checkpoint {path}: expected a JSON object, "
-            f"got {type(document).__name__}"
-        )
+    if data.lstrip().startswith(STORE_MAGIC.encode("ascii") + b" "):
+        try:
+            record = decode_record(data.strip(), path=path, offset=0)
+        except StoreCorruption as exc:
+            raise MonitorError(
+                f"corrupt checkpoint {path}: {exc}"
+            ) from None
+        document = _checkpoint_frame_document(record, path)
+    else:
+        # legacy plain-JSON checkpoint (pre-store format)
+        try:
+            document = json.loads(data.decode("utf-8", errors="strict"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise MonitorError(
+                f"malformed checkpoint {path}: not valid JSON ({exc})"
+            ) from None
+        if not isinstance(document, dict):
+            raise MonitorError(
+                f"malformed checkpoint {path}: expected a JSON object, "
+                f"got {type(document).__name__}"
+            )
     try:
         return restore_checker(document)
     except (KeyError, TypeError, AttributeError) as exc:
@@ -275,125 +401,95 @@ def load_checker(path: PathLike) -> IncrementalChecker:
 # ----------------------------------------------------------------------
 
 
-class JournalLock:
-    """Single-writer guard for a journal directory.
-
-    Two live processes appending to one ``journal.jsonl`` would
-    interleave records and corrupt the tail, so :class:`RunJournal`
-    takes this lock on attach.  The lock file holds the owner's pid; a
-    lock whose owner is no longer alive (the crash-recovery case) is
-    stolen rather than refused, so a killed monitor never wedges its
-    own journal directory.
-    """
-
-    def __init__(self, directory: PathLike):
-        self.path = Path(directory) / LOCK_NAME
-        self._held = False
-
-    @staticmethod
-    def _pid_alive(pid: int) -> bool:
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return False
-        except PermissionError:  # pragma: no cover - exists, not ours
-            return True
-        return True
-
-    def acquire(self) -> None:
-        """Take the lock, stealing it only from a dead owner.
-
-        Raises:
-            MonitorError: when a *live* process holds the lock.
-        """
-        while not self._held:
-            try:
-                fd = os.open(
-                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
-                )
-            except FileExistsError:
-                try:
-                    owner = int(self.path.read_text().strip() or "-1")
-                except (OSError, ValueError):
-                    owner = -1
-                if owner == os.getpid():
-                    self._held = True
-                    return
-                if owner > 0 and self._pid_alive(owner):
-                    raise MonitorError(
-                        f"journal directory {self.path.parent} is "
-                        f"locked by live process {owner}; a second "
-                        f"writer would corrupt the journal"
-                    ) from None
-                # stale lock from a dead process: steal it
-                try:
-                    self.path.unlink()
-                except FileNotFoundError:  # pragma: no cover - raced
-                    pass
-                continue
-            with os.fdopen(fd, "w") as fh:
-                fh.write(str(os.getpid()))
-            self._held = True
-
-    def release(self) -> None:
-        """Drop the lock (idempotent; only the holder's file is removed)."""
-        if not self._held:
-            return
-        self._held = False
-        try:
-            self.path.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
-
-    @property
-    def held(self) -> bool:
-        """Whether this instance currently holds the lock."""
-        return self._held
-
-    def __repr__(self) -> str:
-        state = "held" if self._held else "free"
-        return f"JournalLock({self.path}, {state})"
-
-
 class RunJournal:
     """Write-ahead journal + periodic atomic checkpoints for one run.
 
     Attach it to a checker, then call :meth:`record` after every
-    committed step: the pair is appended to ``journal.jsonl`` and
-    flushed; every ``checkpoint_every`` records a fresh atomic
-    checkpoint is written and the journal truncated.  The directory is
+    committed step: the pair is appended through the store backend and
+    every ``checkpoint_every`` records a fresh atomic checkpoint is
+    written and the journal segment rotated.  The directory is
     therefore always recoverable to the last *completed* step via
     :func:`recover`.
+
+    Args:
+        directory: store directory (required for the segment backend;
+            ignored by an explicit in-memory backend).
+        checkpoint_every: automatic checkpoint period, in records.
+        sync: durability level (``False`` / ``True`` / ``"force"``,
+            see the module docstring).
+        backend: ``"segment"`` (durable, default), ``"memory"``, or a
+            ready-made :class:`~repro.store.StateStore` instance.
+        cold: spill unbounded-operator anchors to the store's SQLite
+            cold tier — ``"auto"`` (default: spill when the backend is
+            durable and ``sqlite3`` exists), ``True`` (require the
+            tier), or ``False`` (keep everything in the hot document).
+        failpoints: storage failpoint names forwarded to the segment
+            backend (chaos tests).
     """
 
     def __init__(
         self,
-        directory: PathLike,
+        directory: Optional[PathLike] = None,
         checkpoint_every: int = 64,
-        sync: bool = False,
+        sync=False,
+        backend="segment",
+        cold="auto",
+        failpoints=(),
     ):
         if not isinstance(checkpoint_every, int) or checkpoint_every < 1:
             raise MonitorError(
                 f"checkpoint_every must be a positive int, "
                 f"got {checkpoint_every!r}"
             )
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self.directory = Path(directory) if directory is not None else None
         self.checkpoint_every = checkpoint_every
-        #: fsync every record and checkpoint (host-crash durability);
-        #: the default False survives process kills only
-        self.sync = bool(sync)
+        #: durability level, passed through to the backend
+        self.sync = sync
+        if isinstance(backend, StateStore):
+            self.store = backend
+        elif backend == "memory":
+            self.store = MemoryStore()
+        elif backend == "segment":
+            if self.directory is None:
+                raise MonitorError(
+                    "the segment journal backend needs a directory"
+                )
+            self.store = SegmentStore(
+                self.directory, sync=sync, failpoints=failpoints
+            )
+        else:
+            raise MonitorError(
+                f"unknown journal backend {backend!r}; expected "
+                f"'segment', 'memory', or a StateStore instance"
+            )
+        if cold == "auto":
+            self._spill = self.store.durable and sqlite_available()
+        elif cold:
+            if not sqlite_available():  # pragma: no cover - stdlib absent
+                raise MonitorError(
+                    "cold=True requires the sqlite3 module"
+                )
+            self._spill = True
+        else:
+            self._spill = False
         self.records_written = 0
         self.checkpoints_written = 0
         self._since_checkpoint = 0
-        self._fh = None
-        self._lock = JournalLock(self.directory)
-        self._lock.acquire()
 
     @property
-    def checkpoint_path(self) -> Path:
-        """Path of the checkpoint file inside the journal directory."""
-        return self.directory / CHECKPOINT_NAME
+    def spills_cold(self) -> bool:
+        """Whether checkpoints spill cold anchors to the SQLite tier."""
+        return self._spill
+
+    @property
+    def checkpoint_path(self) -> Optional[Path]:
+        """Path of the current checkpoint file (None for in-memory)."""
+        return getattr(self.store, "checkpoint_path", None)
+
+    @property
+    def journal_path(self) -> Optional[Path]:
+        """Path of the active journal segment (None for in-memory)."""
+        return getattr(self.store, "journal_path", None)
 
     @property
     def steps_since_checkpoint(self) -> int:
@@ -402,13 +498,8 @@ class RunJournal:
         cost)."""
         return self._since_checkpoint
 
-    @property
-    def journal_path(self) -> Path:
-        """Path of the journal file inside the journal directory."""
-        return self.directory / JOURNAL_NAME
-
     def attach(self, checker: IncrementalChecker) -> None:
-        """Write an initial checkpoint of ``checker`` and open the journal."""
+        """Write an initial checkpoint of ``checker``."""
         self.checkpoint(checker)
 
     def record(
@@ -422,14 +513,9 @@ class RunJournal:
         Returns:
             True when this record triggered an automatic checkpoint.
         """
-        if self._fh is None:
-            self._fh = open(self.journal_path, "a")
         entry = {"t": time}
         entry.update(txn.to_dict())
-        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._fh.flush()
-        if self.sync:
-            os.fsync(self._fh.fileno())
+        self.store.append(entry)
         self.records_written += 1
         self._since_checkpoint += 1
         if self._since_checkpoint >= self.checkpoint_every:
@@ -438,46 +524,42 @@ class RunJournal:
         return False
 
     def checkpoint(self, checker: IncrementalChecker) -> None:
-        """Write an atomic checkpoint now and truncate the journal.
+        """Write an atomic checkpoint now and rotate the journal.
 
-        The checkpoint is renamed into place *before* the journal is
-        truncated; a crash between the two leaves journal records that
-        are already covered by the checkpoint, which :func:`recover`
+        The checkpoint commits *before* old journal segments are
+        reclaimed; a crash between the two leaves records that are
+        already covered by the checkpoint, which :func:`recover`
         detects by timestamp and skips.
         """
-        save_checker(checker, self.checkpoint_path, sync=self.sync)
+        document, cold_rows = tiered_checkpoint(
+            checker, spill=self._spill
+        )
+        self.store.checkpoint(document, cold_rows)
         self.checkpoints_written += 1
-        if self._fh is not None:
-            self._fh.close()
-        self._fh = open(self.journal_path, "w")
-        if self.sync:
-            os.fsync(self._fh.fileno())
-            _fsync_dir(self.directory)
         self._since_checkpoint = 0
 
     def close(self) -> None:
-        """Flush and close the journal file; release the writer lock."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-        self._lock.release()
+        """Flush and close the backend; release the writer lock."""
+        self.store.close()
 
     def __repr__(self) -> str:
         return (
             f"RunJournal({self.directory}, "
             f"every={self.checkpoint_every}, "
+            f"backend={type(self.store).__name__}, "
             f"{self.records_written} record(s), "
             f"{self.checkpoints_written} checkpoint(s))"
         )
 
 
 def read_journal(path: PathLike) -> Iterator[Tuple[int, Transaction]]:
-    """Parse a journal file, mapping any damage to ``RecoveryError``.
+    """Parse a *legacy* plain-JSONL journal file, strictly.
 
-    A record that fails to parse — typically the tail of a journal torn
-    by a crash mid-write — is reported with its line number; recovery
-    must stop there rather than silently skip, because later records
-    would replay against the wrong state.
+    A record that fails to parse is reported as
+    :class:`RecoveryError` with its line number.  This is the strict
+    reader for legacy files; recovery itself goes through the store's
+    lenient truncate-to-last-valid scan and never raises for a torn
+    tail.
     """
     path = Path(path)
     try:
@@ -513,7 +595,8 @@ class RecoveryResult:
     """Outcome of :func:`recover`: the restored checker plus replay facts."""
 
     __slots__ = (
-        "checker", "replayed", "checkpoint_time", "journal_entries"
+        "checker", "replayed", "checkpoint_time", "journal_entries",
+        "torn_records", "fallback",
     )
 
     def __init__(
@@ -522,6 +605,8 @@ class RecoveryResult:
         replayed: RunReport,
         checkpoint_time: Optional[int],
         journal_entries: int,
+        torn_records: int = 0,
+        fallback: bool = False,
     ):
         #: the restored checker, positioned at the last completed step
         self.checker = checker
@@ -531,48 +616,135 @@ class RecoveryResult:
         self.checkpoint_time = checkpoint_time
         #: journal records replayed on top of the checkpoint
         self.journal_entries = journal_entries
+        #: journal records lost to damage (truncated at the last valid
+        #: record); 0 for a clean directory
+        self.torn_records = torn_records
+        #: True when the current checkpoint was damaged and the
+        #: retained previous generation was restored instead
+        self.fallback = fallback
 
     def __repr__(self) -> str:
+        extra = ""
+        if self.torn_records:
+            extra += f", {self.torn_records} torn"
+        if self.fallback:
+            extra += ", fallback"
         return (
             f"RecoveryResult(checkpoint t={self.checkpoint_time}, "
             f"replayed {self.journal_entries} journal record(s), "
-            f"now at t={self.checker.now})"
+            f"now at t={self.checker.now}{extra})"
         )
 
 
-def recover(directory: PathLike) -> RecoveryResult:
-    """Restore a crashed run from its journal directory.
+def _legacy_snapshot(directory: Path) -> StoreSnapshot:
+    """Snapshot of a pre-store layout: plain-JSON checkpoint + JSONL
+    journal, read with the same lenient truncate-to-last-valid rule."""
+    try:
+        checker_doc = json.loads(
+            (directory / CHECKPOINT_NAME).read_text()
+        )
+    except (OSError, ValueError) as exc:
+        raise RecoveryError(
+            f"cannot recover from {directory}: malformed legacy "
+            f"checkpoint: {exc}"
+        ) from None
+    records: List[dict] = []
+    torn = 0
+    journal = directory / JOURNAL_NAME
+    if journal.exists():
+        lines = [
+            line for line in journal.read_text().splitlines()
+            if line.strip()
+        ]
+        for position, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or not isinstance(
+                    record.get("t"), int
+                ):
+                    raise ValueError("not a journal record")
+            except ValueError:
+                torn = len(lines) - position
+                break
+            records.append(record)
+    return StoreSnapshot(checker_doc, records=records, torn_records=torn)
 
-    Loads ``checkpoint.json``, then replays every ``journal.jsonl``
-    record whose timestamp lies after the checkpoint (records at or
-    before it are left-overs of a crash between checkpoint-write and
-    journal-truncate, and are skipped).  The returned checker is
+
+def _load_snapshot(directory: Path) -> StoreSnapshot:
+    """The directory's recoverable state, via the store or legacy path."""
+    checkpoint = directory / CHECKPOINT_NAME
+    if checkpoint.exists():
+        try:
+            with open(checkpoint, "rb") as fh:
+                head = fh.read(len(STORE_MAGIC) + 1)
+        except OSError:
+            head = b""
+        if head.lstrip()[:1] == b"{":
+            return _legacy_snapshot(directory)
+    with SegmentStore(directory, lock=False) as store:
+        return store.load()
+
+
+def recover(directory: PathLike) -> RecoveryResult:
+    """Restore a crashed run from its journal directory, leniently.
+
+    Loads the newest usable checkpoint (falling back to the retained
+    previous generation when the current one fails its checksum or its
+    cold-tier digests), merges spilled cold anchors back in, then
+    replays every retained journal record whose timestamp lies after
+    the checkpoint (records at or before it are left-overs of a crash
+    between checkpoint-write and segment-reclaim, and are skipped).
+    Journal damage does not abort recovery: the replay is truncated at
+    the last valid record and the loss reported via
+    :attr:`RecoveryResult.torn_records`.  The returned checker is
     bit-for-bit the checker of an uninterrupted run over the same
-    prefix — the chaos suite asserts this across crash points.
+    prefix — the chaos suite asserts this across crash points and
+    injected corruptions.
 
     Raises:
-        RecoveryError: if the checkpoint or journal is missing,
-            corrupt, or inconsistent with the restored state.
+        RecoveryError: if no usable checkpoint survives (both
+            generations missing or damaged), or a verified journal
+            record does not replay against the restored state.
     """
     directory = Path(directory)
+    snapshot = _load_snapshot(directory)
+    if snapshot.document is None:
+        raise RecoveryError(
+            f"cannot recover from {directory}: no usable checkpoint "
+            f"(missing, or every generation failed verification)"
+        )
     try:
-        checker = load_checker(directory / CHECKPOINT_NAME)
-    except MonitorError as exc:
-        raise RecoveryError(f"cannot recover from {directory}: {exc}") from None
+        document = merge_cold_rows(snapshot.document, snapshot.cold_rows)
+        checker = restore_checker(document)
+    except RecoveryError:
+        raise
+    except (MonitorError, KeyError, TypeError, AttributeError) as exc:
+        raise RecoveryError(
+            f"cannot recover from {directory}: {exc}"
+        ) from None
     checkpoint_time = checker.now
     replayed = RunReport()
     entries = 0
-    journal = directory / JOURNAL_NAME
-    if journal.exists():
-        for time, txn in read_journal(journal):
-            if checker.now is not None and time <= checker.now:
-                continue  # already covered by the checkpoint
-            try:
-                replayed.add(checker.step(time, txn))
-            except ReproError as exc:
-                raise RecoveryError(
-                    f"{journal}: journal record at t={time} does not "
-                    f"replay against the restored checkpoint: {exc}"
-                ) from None
-            entries += 1
-    return RecoveryResult(checker, replayed, checkpoint_time, entries)
+    for record in snapshot.records:
+        time = record.get("t")
+        if not isinstance(time, int):
+            raise RecoveryError(
+                f"{directory}: journal record lacks an integer "
+                f"timestamp: {record!r}"
+            )
+        if checker.now is not None and time <= checker.now:
+            continue  # already covered by the checkpoint
+        try:
+            txn = Transaction.from_dict(record)
+            replayed.add(checker.step(time, txn))
+        except ReproError as exc:
+            raise RecoveryError(
+                f"{directory}: journal record at t={time} does not "
+                f"replay against the restored checkpoint: {exc}"
+            ) from None
+        entries += 1
+    return RecoveryResult(
+        checker, replayed, checkpoint_time, entries,
+        torn_records=snapshot.torn_records,
+        fallback=snapshot.fallback,
+    )

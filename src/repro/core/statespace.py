@@ -60,7 +60,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
 
-from repro.core.auxiliary import deep_size
+from repro.core.auxiliary import OnceState, SinceState, deep_size
 from repro.core.formulas import Formula
 from repro.db.types import Row
 
@@ -147,6 +147,44 @@ class AuxAccounting:
     def space_tuples(self) -> int:
         """Uniform space hook (stored tuples); every engine has one."""
         return self.aux_tuple_count()
+
+    def tier_profile(self) -> Dict[str, Dict[str, object]]:
+        """Per-node storage-tier classification: resident vs spilled.
+
+        The durable store splits checkpoint state exactly along the
+        paper's bounded-history line: a bounded-window node's tuples
+        are **hot** — read every step, kept in RAM and in the hot
+        checkpoint document — while an unbounded ``ONCE``/``SINCE``
+        node collapses to minimal anchors that are written once and
+        read only at checkpoint/recovery time, so the store spills
+        them **cold** to its SQLite tier.  Keys are the stable
+        ``str(node)`` labels the rest of the protocol uses.
+        """
+        labels = self._aux_labels()
+        profile: Dict[str, Dict[str, object]] = {}
+        for node, aux in self._aux.items():
+            cold = isinstance(aux, (OnceState, SinceState)) and not (
+                getattr(node, "interval", None) is not None
+                and node.interval.is_bounded
+            )
+            profile[labels[node]] = {
+                "tier": "cold" if cold else "hot",
+                "tuples": aux.tuple_count(),
+                "valuations": aux.valuation_count(),
+            }
+        return profile
+
+    def tier_totals(self) -> Dict[str, int]:
+        """Tuple totals by tier: ``{"hot": n, "cold": m}``.
+
+        ``cold`` counts the anchor entries a durable checkpoint would
+        spill to disk; ``hot`` is what stays in the checkpoint
+        document (and always in RAM).
+        """
+        totals = {"hot": 0, "cold": 0}
+        for entry in self.tier_profile().values():
+            totals[entry["tier"]] += entry["tuples"]
+        return totals
 
     def iter_state_valuations(self) -> Iterator[Tuple[str, Row, int]]:
         """Yield ``(node label, valuation, stored entries)`` triples."""

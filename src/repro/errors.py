@@ -75,6 +75,38 @@ class MonitorError(ReproError):
     """The monitor was driven incorrectly (e.g. stepped before begun)."""
 
 
+class StoreError(ReproError):
+    """The durable state store was misconfigured or misused.
+
+    Raised by :mod:`repro.store` for invalid backend parameters, double
+    attachment, or writes against a closed store — not for damaged
+    data, which is :class:`StoreCorruption`.
+    """
+
+
+class StoreCorruption(StoreError):
+    """A durable record failed its integrity check.
+
+    Raised (or collected, on the lenient scrub/recovery paths) when a
+    framed record's length prefix, blake2s checksum, or format version
+    does not verify — a torn write, bit flip, or lost page.
+
+    Attributes:
+        kind: ``"torn"`` (truncated frame), ``"checksum"`` (digest
+            mismatch), ``"garbled"`` (unparseable frame), or
+            ``"version"`` (format newer than this build).
+        path: file the record lives in (``None`` for in-memory data).
+        offset: byte offset of the damaged frame within the file.
+    """
+
+    def __init__(self, message: str, kind: str = "garbled",
+                 path=None, offset=None):
+        super().__init__(message)
+        self.kind = kind
+        self.path = path
+        self.offset = offset
+
+
 class RecoveryError(MonitorError):
     """A checkpoint or journal could not be restored.
 

@@ -234,6 +234,7 @@ class StateWatch:
         self._sketches: Dict[str, SpaceSavingSketch] = {}
         self._last_counts: Dict[str, Tuple[int, int]] = {}
         self._last_profile: Optional[Dict] = None
+        self._last_tiers: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # observation
@@ -432,7 +433,8 @@ class StateWatch:
             self._node_index(checker)
             self._last_profile = checker.state_profile(deep=True)
             self._last_counts = checker.aux_counts()
-        return validate_state({
+            self._last_tiers = self._tier_sample(checker)
+        doc = {
             "version": STATE_VERSION,
             "engine": self._engine,
             "steps": self._steps,
@@ -450,7 +452,26 @@ class StateWatch:
                 ]
                 for label, entries in self.heavy_hitters().items()
             },
-        })
+        }
+        if self._last_tiers is not None:
+            doc["tiers"] = self._last_tiers
+        return validate_state(doc)
+
+    @staticmethod
+    def _tier_sample(checker) -> Optional[Dict]:
+        """Resident-vs-spilled accounting, when the engine supports it.
+
+        Engines without the :meth:`~repro.core.statespace.AuxAccounting.
+        tier_profile` hook (the naive checkers) simply omit the section
+        — ``tiers`` is an *optional* snapshot key, deliberately kept
+        out of :data:`STATE_SECTIONS` so older snapshots stay valid.
+        """
+        tier_profile = getattr(checker, "tier_profile", None)
+        if tier_profile is None:
+            return None
+        nodes = tier_profile()
+        totals = checker.tier_totals()
+        return {"nodes": nodes, "totals": totals}
 
     def __repr__(self) -> str:
         return (
@@ -532,6 +553,18 @@ def render_state_text(doc: Dict) -> str:
             f"{entry['valuations']} valuation(s), "
             f"bound {bound if bound is not None else '?'} -> {verdict}"
         )
+    tiers = doc.get("tiers")
+    if tiers:
+        totals = tiers.get("totals", {})
+        lines.append(
+            f"  tiers: {totals.get('hot', 0)} resident tuple(s), "
+            f"{totals.get('cold', 0)} cold-eligible anchor(s)"
+        )
+        for label, entry in sorted(tiers.get("nodes", {}).items()):
+            lines.append(
+                f"    [{entry['tier']}] {label}: "
+                f"{entry['tuples']} tuple(s)"
+            )
     alerts = doc["alerts"]
     if alerts:
         lines.append(f"  alerts: {len(alerts)} fired")

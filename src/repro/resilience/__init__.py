@@ -38,19 +38,24 @@ full walkthrough.
 from repro.core.persist import RecoveryResult, RunJournal, read_journal, recover
 from repro.resilience.chaos import (
     FAULT_KINDS,
+    ROTATION_FAILPOINTS,
     SHARD_FAULT_MODES,
+    STORAGE_FAULT_KINDS,
     FaultyStream,
     IngestChaosPlan,
     InjectedFault,
     ShardChaosPlan,
     SimulatedCrash,
+    StorageChaosPlan,
     assert_lint_clean,
     crash_after,
     disorder_arrivals,
     duplicate_arrivals,
     inject_faults,
+    inject_storage_faults,
     plan_ingest_chaos,
     plan_shard_chaos,
+    plan_storage_chaos,
     run_until_crash,
     split_sources,
 )
@@ -73,21 +78,26 @@ __all__ = [
     "IngestChaosPlan",
     "InjectedFault",
     "QuarantineLog",
+    "ROTATION_FAILPOINTS",
     "RecoveryResult",
     "ResilienceRuntime",
     "RunJournal",
     "SHARD_FAULT_MODES",
+    "STORAGE_FAULT_KINDS",
     "ShardChaosPlan",
     "SimulatedCrash",
     "StepBudget",
+    "StorageChaosPlan",
     "assert_lint_clean",
     "classify_fault",
     "crash_after",
     "disorder_arrivals",
     "duplicate_arrivals",
     "inject_faults",
+    "inject_storage_faults",
     "plan_ingest_chaos",
     "plan_shard_chaos",
+    "plan_storage_chaos",
     "read_journal",
     "recover",
     "run_until_crash",

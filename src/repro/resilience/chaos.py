@@ -537,3 +537,189 @@ def plan_shard_chaos(
         })
     events.sort(key=lambda e: (e["step"], e["shard"]))
     return ShardChaosPlan(shards, events, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# storage fault injection (durable store chaos)
+# ----------------------------------------------------------------------
+
+#: Storage fault kinds.  ``torn_write`` truncates a durable file
+#: mid-frame (a crash tore the last write); ``bit_flip`` flips one
+#: seeded bit anywhere in a file (media corruption); ``partial_fsync``
+#: drops the un-synced tail — whole trailing records plus a partial
+#: frame — as a host crash with a lying disk would; ``crash_rotate``
+#: kills the process inside the checkpoint/rotation protocol via a
+#: named storage failpoint (no byte surgery: the crash window itself
+#: is the fault).
+STORAGE_FAULT_KINDS = (
+    "torn_write", "bit_flip", "partial_fsync", "crash_rotate",
+)
+
+#: Failpoints a ``crash_rotate`` event can land on — the windows of
+#: the checkpoint commit protocol (see :data:`repro.store.FAILPOINTS`).
+ROTATION_FAILPOINTS = (
+    "checkpoint_pre_rename",
+    "checkpoint_post_rename",
+    "rotate_pre_unlink",
+    "rotate_post_unlink",
+)
+
+#: Files a byte-surgery event can target.
+STORAGE_TARGETS = ("segment", "checkpoint")
+
+
+class StorageChaosPlan:
+    """A seeded schedule of storage faults for one store directory.
+
+    Each event is a plain dict: ``{"kind": k, "target": t}`` for byte
+    surgery (applied post-crash by :func:`inject_storage_faults`), or
+    ``{"kind": "crash_rotate", "failpoint": name}`` consumed at run
+    time by constructing the journal with that failpoint armed.  The
+    plan doubles as its own manifest (:meth:`to_dict`), so a chaos run
+    is exactly reproducible from its artifact.
+    """
+
+    def __init__(self, events: Sequence[dict], seed=None):
+        self.events = [dict(e) for e in events]
+        self.seed = seed
+
+    @property
+    def surgeries(self) -> List[dict]:
+        """The byte-surgery events (everything but ``crash_rotate``)."""
+        return [
+            e for e in self.events if e.get("kind") != "crash_rotate"
+        ]
+
+    @property
+    def rotation_crashes(self) -> List[dict]:
+        """The ``crash_rotate`` events (run-time failpoint kills)."""
+        return [
+            e for e in self.events if e.get("kind") == "crash_rotate"
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-able manifest of the planned storage faults."""
+        return {"seed": self.seed, "events": [dict(e) for e in self.events]}
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageChaosPlan({len(self.surgeries)} surgery(ies), "
+            f"{len(self.rotation_crashes)} rotation crash(es), "
+            f"seed={self.seed})"
+        )
+
+
+def plan_storage_chaos(
+    faults: int = 1,
+    seed: int = 0,
+    kinds: Sequence[str] = ("torn_write", "bit_flip", "partial_fsync"),
+    targets: Sequence[str] = STORAGE_TARGETS,
+) -> StorageChaosPlan:
+    """Draw a seeded storage-fault schedule.
+
+    Each fault gets a kind from ``kinds`` and (for byte surgery) a
+    target file category from ``targets``; ``crash_rotate`` faults get
+    a failpoint from :data:`ROTATION_FAILPOINTS` instead.  Same seed,
+    same plan — the durability suite sweeps seeds and asserts that
+    every schedule is detected by ``repro scrub``, repaired, and
+    recovered to verdicts bit-for-bit equal to an uninterrupted run.
+    """
+    for kind in kinds:
+        if kind not in STORAGE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown storage fault kind {kind!r}; "
+                f"choose from {STORAGE_FAULT_KINDS}"
+            )
+    for target in targets:
+        if target not in STORAGE_TARGETS:
+            raise ValueError(
+                f"unknown storage target {target!r}; "
+                f"choose from {STORAGE_TARGETS}"
+            )
+    rng = random.Random(seed)
+    events: List[dict] = []
+    for _ in range(faults):
+        kind = rng.choice(list(kinds))
+        if kind == "crash_rotate":
+            events.append({
+                "kind": kind,
+                "failpoint": rng.choice(ROTATION_FAILPOINTS),
+            })
+        else:
+            events.append({"kind": kind, "target": rng.choice(list(targets))})
+    return StorageChaosPlan(events, seed=seed)
+
+
+def _frame_boundaries(data: bytes) -> List[int]:
+    """Byte offsets of frame starts in a segment file, plus the end."""
+    boundaries = [0]
+    for line in data.splitlines(keepends=True):
+        boundaries.append(boundaries[-1] + len(line))
+    return boundaries
+
+
+def inject_storage_faults(directory, plan: StorageChaosPlan) -> List[dict]:
+    """Apply a plan's byte surgeries to a (crashed) store directory.
+
+    Must be called on a *quiescent* directory — the moment being
+    simulated is after the process died and before recovery runs.
+    Returns a manifest of what was actually done (kind, file, offset),
+    for test assertions and artifacts.  ``crash_rotate`` events are
+    skipped here: they are consumed at run time by arming the journal
+    with their failpoint.
+    """
+    from pathlib import Path
+
+    from repro.store.segment import CHECKPOINT_NAME, list_segments
+
+    directory = Path(directory)
+    rng = random.Random(plan.seed)
+    applied: List[dict] = []
+    for event in plan.surgeries:
+        kind = event["kind"]
+        if event.get("target") == "checkpoint":
+            target = directory / CHECKPOINT_NAME
+            if not target.is_file():
+                continue
+        else:
+            segments = [
+                p for p in list_segments(directory)
+                if p.stat().st_size > 0
+            ]
+            if not segments:
+                continue
+            target = segments[-1]  # the active (newest) segment
+        data = target.read_bytes()
+        if not data:
+            continue
+        boundaries = _frame_boundaries(data)
+        if kind == "bit_flip":
+            offset = rng.randrange(len(data))
+            flipped = bytearray(data)
+            flipped[offset] ^= 1 << rng.randrange(8)
+            target.write_bytes(bytes(flipped))
+        elif kind == "torn_write":
+            # cut strictly inside the final frame: the classic torn
+            # last write of a dying process
+            start, end = boundaries[-2], boundaries[-1]
+            if end - start < 2:
+                continue
+            offset = rng.randrange(start + 1, end)
+            with open(target, "r+b") as fh:
+                fh.truncate(offset)
+        else:  # partial_fsync
+            # the page cache died holding several records: cut just
+            # inside an *earlier* frame, losing it and everything after
+            frame = rng.randrange(max(len(boundaries) - 2, 1))
+            start, end = boundaries[frame], boundaries[frame + 1]
+            if end - start < 2:
+                continue
+            offset = start + 1 + rng.randrange(
+                max((end - start) // 2, 1)
+            )
+            with open(target, "r+b") as fh:
+                fh.truncate(offset)
+        applied.append({
+            "kind": kind, "file": target.name, "offset": offset,
+        })
+    return applied

@@ -1,0 +1,186 @@
+"""Single-writer lock for a store directory, safe against PID reuse.
+
+Two live processes appending to one segment log would interleave
+frames and corrupt the tail, so every durable store takes this lock on
+attach.  The lock file records the owner as a ``(pid, start token)``
+pair rather than a bare pid: after a crash the pid may be *reused* by
+an unrelated process, and a bare-pid liveness probe would then refuse
+to steal a lock whose true owner is long dead (wedging the journal
+directory until an operator intervenes).  The start token — on Linux,
+the kernel's process start time from ``/proc/<pid>/stat`` — changes
+with every reincarnation of a pid, so the stale lock is recognised and
+stolen even when the pid is alive again under new management.
+
+The lock is *advisory* and crash-tolerant by design: it is stolen, not
+refused, whenever the recorded owner provably no longer exists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import MonitorError
+
+#: Lock file name inside a journal/store directory.
+LOCK_NAME = "journal.lock"
+
+PathLike = Union[str, Path]
+
+
+def process_start_token(pid: int) -> Optional[str]:
+    """A token that distinguishes reincarnations of the same pid.
+
+    On Linux this is field 22 of ``/proc/<pid>/stat`` — the process
+    start time in clock ticks since boot, which a recycled pid cannot
+    repeat.  Returns ``None`` where no such identity source exists
+    (non-Linux, or the process is gone); callers must then fall back
+    to pid liveness alone.
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_bytes()
+    except OSError:
+        return None
+    # the comm field (2) is parenthesised and may contain spaces, so
+    # split after its closing paren: fields 3.. follow
+    close = stat.rfind(b")")
+    if close < 0:  # pragma: no cover - malformed /proc entry
+        return None
+    fields = stat[close + 1:].split()
+    if len(fields) < 20:  # pragma: no cover - malformed /proc entry
+        return None
+    return fields[19].decode("ascii")  # field 22 overall = starttime
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+class JournalLock:
+    """Single-writer guard for a journal/store directory.
+
+    The lock file holds ``{"pid": ..., "token": ...}``.  ``acquire``
+    refuses only when the recorded owner is *provably the same live
+    process*: the pid is alive **and** its current start token matches
+    the recorded one (or no token could be read on either side, the
+    conservative fallback).  A dead pid, or a live pid whose token
+    mismatches (pid reuse), is stolen.
+
+    Legacy bare-pid lock files (pre-token format) are still read; they
+    carry no token, so they are handled with the conservative
+    pid-liveness rule they were written under.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.path = Path(directory) / LOCK_NAME
+        self._held = False
+
+    # retained as a hook point for tests that simulate liveness
+    _pid_alive = staticmethod(_pid_alive)
+
+    @staticmethod
+    def _read_owner(path: Path) -> Tuple[int, Optional[str]]:
+        """Parse the lock file into ``(pid, token)``; ``(-1, None)`` if
+        unreadable."""
+        try:
+            text = path.read_text().strip()
+        except OSError:
+            return -1, None
+        if not text:
+            return -1, None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            record = None
+        if isinstance(record, dict):
+            pid = record.get("pid")
+            token = record.get("token")
+            if isinstance(pid, int) and (
+                token is None or isinstance(token, str)
+            ):
+                return pid, token
+            return -1, None
+        # legacy format: the bare pid as decimal text
+        try:
+            return int(text), None
+        except ValueError:
+            return -1, None
+
+    def _owner_is_live(self, pid: int, token: Optional[str]) -> bool:
+        """Whether the recorded owner still exists as the same process."""
+        if pid <= 0 or not self._pid_alive(pid):
+            return False
+        if token is None:
+            # no recorded identity: conservative pid-liveness rule
+            return True
+        current = process_start_token(pid)
+        if current is None:
+            # pid alive but identity unreadable (e.g. it exited between
+            # the kill(0) probe and the /proc read, or no /proc): do not
+            # steal on ambiguous evidence
+            return True
+        return current == token
+
+    def acquire(self) -> None:
+        """Take the lock, stealing it only from a provably dead owner.
+
+        Raises:
+            MonitorError: when a *live* process (same pid **and** same
+                start token) holds the lock.
+        """
+        while not self._held:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                pid, token = self._read_owner(self.path)
+                if pid == os.getpid():
+                    self._held = True
+                    return
+                if self._owner_is_live(pid, token):
+                    raise MonitorError(
+                        f"journal directory {self.path.parent} is "
+                        f"locked by live process {pid}; a second "
+                        f"writer would corrupt the journal"
+                    ) from None
+                # dead owner, or a recycled pid with a fresh start
+                # token: the lock is stale — steal it
+                try:
+                    self.path.unlink()
+                except FileNotFoundError:  # pragma: no cover - raced
+                    pass
+                continue
+            pid = os.getpid()
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(
+                    {"pid": pid, "token": process_start_token(pid)}
+                ))
+            self._held = True
+
+    def release(self) -> None:
+        """Drop the lock (idempotent; only the holder's file is removed)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._held
+
+    def __repr__(self) -> str:
+        state = "held" if self._held else "free"
+        return f"JournalLock({self.path}, {state})"

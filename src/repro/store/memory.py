@@ -1,0 +1,76 @@
+"""The in-memory backend: the pre-existing behaviour, behind the seam.
+
+Everything lives in plain Python containers — no files, no fsync, no
+locking.  This is the store for tests, ephemeral monitors, and as the
+reference implementation the durable backend's property tests compare
+against: after any sequence of ``append``/``checkpoint`` calls, a
+:class:`~repro.store.segment.SegmentStore` reloaded from disk must
+present the same :class:`~repro.store.base.StoreSnapshot` a
+``MemoryStore`` holds in RAM.
+
+Records still round-trip through the framed codec
+(:func:`~repro.store.record.encode_record`), so a payload that the
+durable backend could not serialise fails identically here — the
+backends cannot drift on what is storable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError
+from repro.store.base import StateStore, StoreSnapshot
+from repro.store.record import decode_record, encode_record
+
+
+class MemoryStore(StateStore):
+    """Checkpoint + journal kept in RAM; vanishes with the process."""
+
+    durable = False
+
+    def __init__(self):
+        self._document: Optional[dict] = None
+        self._cold_rows: Dict[str, list] = {}
+        self._records: List[dict] = []
+        self._epoch = -1
+        self._records_written = 0
+        self._checkpoints_written = 0
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError("store is closed")
+
+    def append(self, record: dict) -> None:
+        self._check_open()
+        # round-trip the frame so unserialisable payloads fail exactly
+        # as they would on the durable backend
+        self._records.append(decode_record(encode_record(record)[:-1]))
+        self._records_written += 1
+
+    def checkpoint(self, document: dict,
+                   cold_rows: Optional[Dict[str, list]] = None) -> None:
+        self._check_open()
+        self._document = decode_record(encode_record(document)[:-1])
+        self._cold_rows = dict(cold_rows or {})
+        self._records = []
+        self._epoch += 1
+        self._checkpoints_written += 1
+
+    def load(self) -> StoreSnapshot:
+        self._check_open()
+        return StoreSnapshot(
+            self._document,
+            cold_rows=self._cold_rows,
+            records=list(self._records),
+            epoch=self._epoch,
+        )
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryStore(epoch={self._epoch}, "
+            f"{len(self._records)} pending record(s))"
+        )

@@ -1,0 +1,329 @@
+"""Scrub & repair: offline integrity verification of store directories.
+
+``scrub`` is the strict counterpart of the store's lenient ``load``:
+it verifies *every* frame of *every* durable file — both checkpoint
+generations, every retained segment, every cold row and generation
+digest — and reports each problem as a finding with the repair action
+that would fix it.  ``repair`` applies exactly those actions:
+
+==========================  =====================================
+finding                     repair
+==========================  =====================================
+damaged segment frame       truncate to the last valid record
+damaged current checkpoint  promote the previous generation
+missing current checkpoint  promote the fsynced temp (a crash
+                            landed between the two renames) or
+                            the previous generation
+damaged cold generation     promote the checkpoint whose
+                            generation still verifies
+stale artifact (temp file,  unlink
+segment past retention)
+damaged prev checkpoint     unlink (redundancy only; current is
+                            intact)
+both generations damaged    **unrepairable** — findings keep
+                            ``repair="none"``
+==========================  =====================================
+
+File-level repair restores a loadable store; the CLI's
+``repro scrub --repair`` then re-checkpoints through a full recovery,
+which restores the redundancy (fresh current + previous generations)
+that a promotion consumed.
+
+Shard trees are handled by :func:`scrub_tree` / :func:`repair_tree`:
+every store directory found under a root (the supervisor's layout —
+one subdirectory per shard) is scrubbed and the reports merged.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import StoreCorruption, StoreError
+from repro.store.base import RepairReport, ScrubFinding, ScrubReport
+from repro.store.record import SegmentScan, scan_segment
+from repro.store.segment import (
+    CHECKPOINT_NAME,
+    COLD_NAME,
+    PREV_CHECKPOINT_NAME,
+    RETAIN_GENERATIONS,
+    SEGMENT_GLOB,
+    list_segments,
+    segment_epoch,
+)
+
+PathLike = Union[str, Path]
+
+TMP_CHECKPOINT_NAME = CHECKPOINT_NAME + ".tmp"
+
+
+def is_store_directory(directory: PathLike) -> bool:
+    """Whether a directory holds (at least the remains of) a store."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return False
+    for name in (CHECKPOINT_NAME, PREV_CHECKPOINT_NAME,
+                 TMP_CHECKPOINT_NAME, COLD_NAME):
+        if (directory / name).exists():
+            return True
+    return any(directory.glob(SEGMENT_GLOB))
+
+
+def find_store_directories(root: PathLike) -> List[Path]:
+    """Every store directory at or below ``root`` (shard trees)."""
+    root = Path(root)
+    found = []
+    if is_store_directory(root):
+        found.append(root)
+    if root.is_dir():
+        for child in sorted(root.rglob("*")):
+            if child.is_dir() and is_store_directory(child):
+                found.append(child)
+    return found
+
+
+class _CheckpointProbe:
+    """One checkpoint file's strict verification outcome."""
+
+    __slots__ = ("path", "exists", "scan", "meta", "cold_error")
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.exists = path.exists()
+        self.scan: Optional[SegmentScan] = None
+        self.meta: Optional[dict] = None
+        self.cold_error: Optional[StoreCorruption] = None
+        if not self.exists:
+            return
+        self.scan = scan_segment(path)
+        if self.scan.clean and self.scan.records:
+            meta = self.scan.records[0]
+            if isinstance(meta.get("epoch"), int) and "document" in meta:
+                self.meta = meta
+
+    @property
+    def frame_ok(self) -> bool:
+        return self.meta is not None
+
+    @property
+    def usable(self) -> bool:
+        """Frame verifies *and* its cold generation (if any) does."""
+        return self.frame_ok and self.cold_error is None
+
+    @property
+    def damage_kind(self) -> str:
+        if not self.exists:
+            return "missing"
+        if self.scan is not None and self.scan.damage is not None:
+            return self.scan.damage.kind
+        return "garbled"
+
+    @property
+    def damage_detail(self) -> str:
+        if not self.exists:
+            return "file is missing"
+        if self.scan is not None and self.scan.damage is not None:
+            return str(self.scan.damage)
+        return "no checkpoint record in file"
+
+    def verify_cold(self, directory: Path) -> int:
+        """Check this checkpoint's cold generation; rows verified."""
+        if not self.frame_ok:
+            return 0
+        cold_meta = self.meta.get("cold") or {}
+        if not cold_meta:
+            return 0
+        from repro.store.sqlite import ColdAnchorStore, sqlite_available
+
+        if not sqlite_available():  # pragma: no cover - stdlib absent
+            self.cold_error = StoreCorruption(
+                "cold tier referenced but sqlite3 is unavailable",
+                kind="garbled", path=directory / COLD_NAME,
+            )
+            return 0
+        try:
+            with ColdAnchorStore(directory / COLD_NAME) as cold:
+                rows = cold.read_generation(
+                    self.meta["epoch"], expected=cold_meta
+                )
+            return sum(len(v) for v in rows.values())
+        except (StoreCorruption, StoreError) as exc:
+            self.cold_error = exc if isinstance(
+                exc, StoreCorruption
+            ) else StoreCorruption(
+                str(exc), kind="garbled", path=directory / COLD_NAME,
+            )
+            return 0
+
+
+def _probe(directory: Path) -> Tuple[_CheckpointProbe, _CheckpointProbe]:
+    current = _CheckpointProbe(directory / CHECKPOINT_NAME)
+    prev = _CheckpointProbe(directory / PREV_CHECKPOINT_NAME)
+    return current, prev
+
+
+def scrub_directory(directory: PathLike) -> ScrubReport:
+    """Strictly verify one store directory; never modifies anything."""
+    directory = Path(directory)
+    report = ScrubReport(directory)
+
+    current, prev = _probe(directory)
+    for probe in (current, prev):
+        if probe.exists:
+            report.files_checked += 1
+            if probe.frame_ok:
+                report.records_verified += 1
+                report.records_verified += probe.verify_cold(directory)
+
+    def other_usable(probe) -> bool:
+        return (prev if probe is current else current).usable
+
+    # checkpoint frame damage
+    if current.exists and not current.frame_ok:
+        report.findings.append(ScrubFinding(
+            current.path, current.damage_kind, current.damage_detail,
+            repair="fallback" if other_usable(current) else "none",
+        ))
+    if prev.exists and not prev.frame_ok:
+        # prev is redundancy only; losing it never loses state
+        report.findings.append(ScrubFinding(
+            prev.path, prev.damage_kind, prev.damage_detail,
+            repair="unlink" if current.usable else "none",
+        ))
+
+    # a missing current checkpoint alongside other artifacts means a
+    # crash landed between the checkpoint renames
+    tmp_path = directory / TMP_CHECKPOINT_NAME
+    if not current.exists and (prev.exists or tmp_path.exists()):
+        tmp_scan = scan_segment(tmp_path) if tmp_path.exists() else None
+        promotable = tmp_scan is not None and tmp_scan.clean and (
+            tmp_scan.records
+        )
+        report.findings.append(ScrubFinding(
+            current.path, "missing",
+            "current checkpoint missing (crash between renames?)",
+            repair="rebuild" if promotable else (
+                "fallback" if prev.usable else "none"
+            ),
+        ))
+
+    # cold-tier damage, attributed to the tier file
+    for probe in (current, prev):
+        if probe.frame_ok and probe.cold_error is not None:
+            report.findings.append(ScrubFinding(
+                directory / COLD_NAME, probe.cold_error.kind,
+                str(probe.cold_error),
+                repair="fallback" if other_usable(probe) else "none",
+            ))
+
+    # journal segments: every frame of every retained segment
+    chosen_epoch = None
+    if current.usable:
+        chosen_epoch = current.meta["epoch"]
+    elif prev.usable:
+        chosen_epoch = prev.meta["epoch"]
+    horizon = (
+        None if chosen_epoch is None
+        else chosen_epoch - (RETAIN_GENERATIONS - 1)
+    )
+    for path in list_segments(directory):
+        report.files_checked += 1
+        scan = scan_segment(path)
+        report.records_verified += len(scan.records)
+        if not scan.clean:
+            report.findings.append(ScrubFinding(
+                path, scan.damage.kind, str(scan.damage),
+                repair="truncate",
+            ))
+        if horizon is not None and segment_epoch(path) < horizon:
+            report.findings.append(ScrubFinding(
+                path, "stale",
+                f"segment predates retention horizon {horizon} "
+                f"(crash between rotate and unlink?)",
+                repair="unlink",
+            ))
+
+    # a leftover checkpoint temp file (crash before its rename); only
+    # stale when the current checkpoint committed
+    if tmp_path.exists() and current.exists:
+        report.files_checked += 1
+        report.findings.append(ScrubFinding(
+            tmp_path, "stale",
+            "leftover checkpoint temp file (crash before rename?)",
+            repair="unlink",
+        ))
+
+    return report
+
+
+def repair_directory(directory: PathLike) -> RepairReport:
+    """Apply the repair action of every finding in one directory.
+
+    Returns a report whose :attr:`~RepairReport.complete` is False when
+    any finding is unrepairable (both checkpoint generations damaged).
+    File-level only: callers should follow up with recover +
+    re-checkpoint to restore generation redundancy.
+    """
+    directory = Path(directory)
+    scrub = scrub_directory(directory)
+    actions: List[Tuple[Path, str]] = []
+    unrepaired: List[ScrubFinding] = []
+    torn = 0
+    for finding in scrub.findings:
+        if finding.repair == "truncate":
+            scan = scan_segment(finding.path)
+            with open(finding.path, "r+b") as fh:
+                fh.truncate(scan.valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+            torn += scan.dropped_lines
+            actions.append((
+                finding.path,
+                f"truncated to last valid record "
+                f"({scan.valid_bytes} byte(s), "
+                f"{scan.dropped_lines} record(s) lost)",
+            ))
+        elif finding.repair == "unlink":
+            finding.path.unlink(missing_ok=True)
+            actions.append((finding.path, "unlinked stale/damaged file"))
+        elif finding.repair == "rebuild":
+            os.replace(directory / TMP_CHECKPOINT_NAME,
+                       directory / CHECKPOINT_NAME)
+            actions.append((
+                directory / CHECKPOINT_NAME,
+                "promoted fsynced checkpoint temp file",
+            ))
+        elif finding.repair == "fallback":
+            prev_path = directory / PREV_CHECKPOINT_NAME
+            os.replace(prev_path, directory / CHECKPOINT_NAME)
+            actions.append((
+                directory / CHECKPOINT_NAME,
+                "promoted previous checkpoint generation",
+            ))
+        else:
+            unrepaired.append(finding)
+    return RepairReport(directory, actions=actions,
+                        unrepaired=unrepaired, torn_records=torn)
+
+
+def scrub_tree(root: PathLike) -> ScrubReport:
+    """Scrub every store directory under ``root``, merged into one
+    report (``files_checked == 0`` when nothing store-like exists)."""
+    root = Path(root)
+    merged = ScrubReport(root)
+    for directory in find_store_directories(root):
+        merged.merge(scrub_directory(directory))
+    return merged
+
+
+def repair_tree(root: PathLike) -> RepairReport:
+    """Repair every store directory under ``root``; merged report."""
+    root = Path(root)
+    merged = RepairReport(root)
+    for directory in find_store_directories(root):
+        child = repair_directory(directory)
+        merged.actions.extend(child.actions)
+        merged.unrepaired.extend(child.unrepaired)
+        merged.torn_records += child.torn_records
+    return merged

@@ -1,0 +1,407 @@
+"""The durable backend: checksummed segment WAL with atomic rotation.
+
+Directory layout::
+
+    <dir>/checkpoint.json        # current checkpoint (one framed record)
+    <dir>/checkpoint.prev.json   # previous generation (fallback)
+    <dir>/wal-00000003.log       # journal segment for epoch 3 (active)
+    <dir>/wal-00000002.log       # retained previous segment
+    <dir>/cold.sqlite            # optional cold anchor tier
+    <dir>/journal.lock           # single-writer guard (pid + start token)
+
+Every record — journal step *and* checkpoint — is one framed line
+(:mod:`repro.store.record`): magic + length prefix + blake2s checksum,
+so any torn write or bit flip is detected on read.  Segment ``k``
+holds the steps applied after checkpoint epoch ``k``.
+
+Checkpoint epoch ``n`` commits through a fixed protocol, each step
+crash-safe against the previous one:
+
+1. cold anchor rows for generation ``n`` are written to the SQLite
+   tier (a crash here leaves an uncommitted generation the previous
+   checkpoint never references);
+2. the framed checkpoint is written to a temp file and fsynced, the
+   old ``checkpoint.json`` is renamed to ``checkpoint.prev.json``, the
+   temp renamed over ``checkpoint.json``, and the directory fsynced —
+   readers only ever see a complete old or complete new checkpoint;
+3. segment ``wal-n`` is created (rotation);
+4. segments ``<= n-2`` are unlinked and cold generations ``<= n-2``
+   vacuumed (retention: two checkpoints + two segments, so a damaged
+   current checkpoint can fall back one generation and still replay).
+
+:meth:`SegmentStore.load` is lenient end to end: a damaged journal
+frame truncates the logical record stream at the last valid record
+(counting ``torn_records``), and a damaged current checkpoint — or one
+whose cold generation fails its digest — falls back to the previous
+generation.  Strict verification lives in :mod:`repro.store.scrub`.
+
+**Failpoints** make the crash windows testable: each named point can
+raise :class:`~repro.resilience.chaos.SimulatedCrash` in-process
+(``failpoints={...}``) or hard-kill the process via ``os._exit`` when
+the ``REPRO_STORE_FAILPOINT=<name>:<nth>`` environment variable is set
+(the real-subprocess crash tests).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import StoreCorruption, StoreError
+from repro.store.base import (
+    PathLike,
+    StateStore,
+    StoreSnapshot,
+    fsync_dir,
+    fsync_file,
+)
+from repro.store.lock import JournalLock
+from repro.store.record import encode_record, scan_segment
+
+#: File names inside a store directory.
+CHECKPOINT_NAME = "checkpoint.json"
+PREV_CHECKPOINT_NAME = "checkpoint.prev.json"
+COLD_NAME = "cold.sqlite"
+
+#: Active/retained journal segments: ``wal-<epoch, zero-padded>.log``.
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+SEGMENT_GLOB = f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}"
+
+#: Checkpoint generations (and their segments) kept for fallback.
+RETAIN_GENERATIONS = 2
+
+#: The named crash windows of the commit protocol, in protocol order.
+FAILPOINTS = (
+    "record_pre_fsync",
+    "record_post_fsync",
+    "checkpoint_pre_rename",
+    "checkpoint_post_rename",
+    "rotate_pre_unlink",
+    "rotate_post_unlink",
+)
+
+#: ``<name>:<nth>`` — hard-kill the process at the nth hit of a point.
+FAILPOINT_ENV = "REPRO_STORE_FAILPOINT"
+
+#: Exit status of an environment-failpoint kill (distinguishable from
+#: python crashes in the subprocess tests).
+FAILPOINT_EXIT = 37
+
+_env_hits: Dict[str, int] = {}
+
+
+def segment_name(epoch: int) -> str:
+    """File name of the journal segment for a checkpoint epoch."""
+    return f"{SEGMENT_PREFIX}{epoch:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_epoch(path: PathLike) -> int:
+    """Parse a segment file name back to its epoch (-1 if malformed)."""
+    name = Path(path).name
+    if not (name.startswith(SEGMENT_PREFIX)
+            and name.endswith(SEGMENT_SUFFIX)):
+        return -1
+    digits = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    try:
+        return int(digits)
+    except ValueError:
+        return -1
+
+
+def list_segments(directory: PathLike) -> List[Path]:
+    """Every well-named segment file in a store directory, by epoch."""
+    return sorted(
+        (p for p in Path(directory).glob(SEGMENT_GLOB)
+         if segment_epoch(p) >= 0),
+        key=segment_epoch,
+    )
+
+
+class SegmentStore(StateStore):
+    """Checksummed segment-log durability backend.
+
+    Args:
+        directory: the store directory (created if missing).
+        sync: ``False`` flush-only, ``True`` fsync at record and
+            rotation boundaries (honours ``REPRO_FSYNC=off``), or
+            ``"force"`` to fsync unconditionally.
+        failpoints: names from :data:`FAILPOINTS` that raise
+            ``SimulatedCrash`` when reached (in-process chaos tests).
+        lock: take the single-writer lock (disable only for read-only
+            inspection; two live writers corrupt the tail).
+    """
+
+    durable = True
+
+    def __init__(self, directory: PathLike, sync=False,
+                 failpoints: Iterable[str] = (), lock: bool = True):
+        unknown = set(failpoints) - set(FAILPOINTS)
+        if unknown:
+            raise StoreError(
+                f"unknown failpoint(s) {sorted(unknown)}; "
+                f"known: {list(FAILPOINTS)}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self._failpoints: Set[str] = set(failpoints)
+        self._fh = None
+        self._epoch = self._discover_epoch()
+        self._records_written = 0
+        self._checkpoints_written = 0
+        self._closed = False
+        self._cold = None
+        self._lock = JournalLock(self.directory) if lock else None
+        if self._lock is not None:
+            self._lock.acquire()
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """The current checkpoint file."""
+        return self.directory / CHECKPOINT_NAME
+
+    @property
+    def prev_checkpoint_path(self) -> Path:
+        """The retained previous-generation checkpoint file."""
+        return self.directory / PREV_CHECKPOINT_NAME
+
+    @property
+    def cold_path(self) -> Path:
+        """The SQLite cold anchor tier (may not exist)."""
+        return self.directory / COLD_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        """The active journal segment (for introspection/tests)."""
+        return self.directory / segment_name(max(self._epoch, 0))
+
+    @property
+    def epoch(self) -> int:
+        """Checkpoint generations committed (-1 before the first)."""
+        return self._epoch
+
+    def _discover_epoch(self) -> int:
+        """On re-attach, resume numbering after the newest artifact."""
+        epochs = [segment_epoch(p) for p in list_segments(self.directory)]
+        for path in (self.checkpoint_path, self.prev_checkpoint_path):
+            if path.exists():
+                scan = scan_segment(path)
+                if scan.clean and scan.records:
+                    epoch = scan.records[0].get("epoch")
+                    if isinstance(epoch, int):
+                        epochs.append(epoch)
+        return max(epochs) if epochs else -1
+
+    # -- failpoints ----------------------------------------------------
+
+    def _failpoint(self, name: str) -> None:
+        if name in self._failpoints:
+            from repro.resilience.chaos import SimulatedCrash
+
+            raise SimulatedCrash(f"storage failpoint {name}")
+        spec = os.environ.get(FAILPOINT_ENV, "")
+        if not spec:
+            return
+        spec_name, _, nth_text = spec.partition(":")
+        if spec_name != name:
+            return
+        try:
+            nth = int(nth_text) if nth_text else 1
+        except ValueError:
+            nth = 1
+        _env_hits[name] = _env_hits.get(name, 0) + 1
+        if _env_hits[name] >= nth:
+            # a hard kill, not an exception: nothing below this frame
+            # gets to flush, close, or release locks — exactly a crash
+            os._exit(FAILPOINT_EXIT)
+
+    # -- cold tier -----------------------------------------------------
+
+    def _cold_store(self):
+        if self._cold is None:
+            from repro.store.sqlite import ColdAnchorStore
+
+            self._cold = ColdAnchorStore(self.cold_path)
+        return self._cold
+
+    # -- StateStore ----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"store {self.directory} is closed")
+
+    def _open_segment(self, epoch: int, truncate: bool = False) -> None:
+        if self._fh is not None:
+            self._fh.close()
+        mode = "wb" if truncate else "ab"
+        self._fh = open(self.directory / segment_name(epoch), mode)
+
+    def append(self, record: dict) -> None:
+        """Append one framed journal record to the active segment."""
+        self._check_open()
+        if self._fh is None:
+            self._open_segment(max(self._epoch, 0))
+        self._fh.write(encode_record(record))
+        self._fh.flush()
+        self._failpoint("record_pre_fsync")
+        fsync_file(self._fh, self.sync)
+        self._failpoint("record_post_fsync")
+        self._records_written += 1
+
+    def checkpoint(self, document: dict,
+                   cold_rows: Optional[Dict[str, list]] = None) -> None:
+        """Commit one checkpoint generation (the 4-step protocol)."""
+        self._check_open()
+        new_epoch = self._epoch + 1
+        cold_rows = dict(cold_rows or {})
+
+        # 1. cold generation first: until step 2 renames the
+        # checkpoint, nothing references generation new_epoch
+        cold_meta: Dict[str, dict] = {}
+        if cold_rows:
+            cold_meta = self._cold_store().write_generation(
+                new_epoch, cold_rows, sync=self.sync
+            )
+
+        # 2. atomic checkpoint: tmp + fsync + rename, keeping the old
+        # generation as the fallback
+        frame = encode_record({
+            "epoch": new_epoch,
+            "document": document,
+            "cold": cold_meta,
+        })
+        tmp = self.checkpoint_path.with_name(CHECKPOINT_NAME + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(frame)
+            fh.flush()
+            fsync_file(fh, self.sync)
+        self._failpoint("checkpoint_pre_rename")
+        if self.checkpoint_path.is_file():
+            os.replace(self.checkpoint_path, self.prev_checkpoint_path)
+        os.replace(tmp, self.checkpoint_path)
+        fsync_dir(self.directory, self.sync)
+        self._failpoint("checkpoint_post_rename")
+
+        # 3. rotate: open the new epoch's segment
+        self._open_segment(new_epoch, truncate=True)
+        fsync_file(self._fh, self.sync)
+        fsync_dir(self.directory, self.sync)
+        self._failpoint("rotate_pre_unlink")
+
+        # 4. reclaim everything beyond the retention window
+        horizon = new_epoch - (RETAIN_GENERATIONS - 1)
+        for path in list_segments(self.directory):
+            if segment_epoch(path) < horizon:
+                path.unlink()
+        if cold_rows or self.cold_path.exists():
+            try:
+                self._cold_store().vacuum(horizon)
+            except StoreError:  # pragma: no cover - sqlite unavailable
+                pass
+        self._failpoint("rotate_post_unlink")
+
+        self._epoch = new_epoch
+        self._checkpoints_written += 1
+
+    def _load_checkpoint(self):
+        """The newest *usable* checkpoint: ``(meta, cold_rows,
+        fallback)`` or ``None``.
+
+        A candidate is usable when its frame verifies **and** its cold
+        generation (if it references one) reads back digest-clean; the
+        previous generation is the fallback for either failure.
+        """
+        for path, fallback in (
+            (self.checkpoint_path, False),
+            (self.prev_checkpoint_path, True),
+        ):
+            if not path.exists():
+                continue
+            scan = scan_segment(path)
+            if not scan.clean or not scan.records:
+                continue
+            meta = scan.records[0]
+            if not isinstance(meta.get("epoch"), int) or (
+                "document" not in meta
+            ):
+                continue
+            cold_meta = meta.get("cold") or {}
+            cold_rows: Dict[str, list] = {}
+            if cold_meta:
+                try:
+                    cold_rows = self._cold_store().read_generation(
+                        meta["epoch"], expected=cold_meta
+                    )
+                except (StoreCorruption, StoreError):
+                    continue
+            return meta, cold_rows, fallback
+        return None
+
+    def load(self) -> StoreSnapshot:
+        """Read back the newest recoverable state, leniently."""
+        self._check_open()
+        loaded = self._load_checkpoint()
+        if loaded is None:
+            document, cold_rows, epoch, fallback = None, {}, -1, False
+        else:
+            meta, cold_rows, fallback = loaded
+            document, epoch = meta["document"], meta["epoch"]
+
+        # the logical journal: every retained segment at or after the
+        # restored epoch, truncated at the first damaged frame
+        records: List[dict] = []
+        torn = 0
+        broken = False
+        for path in list_segments(self.directory):
+            if segment_epoch(path) < epoch:
+                continue  # retained for deeper fallback only
+            scan = scan_segment(path)
+            if broken:
+                # a gap before these records: replaying them against
+                # the truncated state would diverge — they are lost too
+                torn += len(scan.records) + scan.dropped_lines
+                continue
+            records.extend(scan.records)
+            torn += scan.dropped_lines
+            if not scan.clean:
+                broken = True
+        return StoreSnapshot(
+            document, cold_rows=cold_rows, records=records,
+            epoch=epoch, fallback=fallback, torn_records=torn,
+        )
+
+    def scrub(self):
+        """Strictly verify every durable record in this directory."""
+        from repro.store.scrub import scrub_directory
+
+        return scrub_directory(self.directory)
+
+    def repair(self):
+        """Apply the file-level repairs scrub prescribes."""
+        from repro.store.scrub import repair_directory
+
+        return repair_directory(self.directory)
+
+    def close(self) -> None:
+        """Flush and close the segment; release lock and cold tier."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self._cold is not None:
+            self._cold.close()
+            self._cold = None
+        if self._lock is not None:
+            self._lock.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentStore({self.directory}, epoch={self._epoch}, "
+            f"sync={self.sync!r})"
+        )

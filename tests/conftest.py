@@ -8,6 +8,12 @@ import pytest
 
 from repro.db import DatabaseSchema, DatabaseState, Transaction
 
+# Tier-1 tests skip the real fsync(2) behind sync=True journals: the
+# REPRO_FSYNC escape hatch downgrades them to flush+close durability,
+# which is all a correctness test needs.  The chaos/durability suites
+# opt back in with sync="force", which deliberately ignores the hatch.
+os.environ.setdefault("REPRO_FSYNC", "off")
+
 # ----------------------------------------------------------------------
 # global per-test timeout
 # ----------------------------------------------------------------------

@@ -239,6 +239,66 @@ class TestSnapshot:
             validate_state([])
 
 
+class TestTierAccounting:
+    """The optional ``tiers`` section: resident vs cold-eligible."""
+
+    def run_watch(self):
+        schema = DatabaseSchema.from_dict({"p": ["a"], "q": ["a"]})
+        checker = IncrementalChecker(
+            schema,
+            [
+                Constraint("window", "q(x) -> ONCE[0,3] p(x)"),
+                Constraint("ever", "q(x) -> ONCE p(x)"),
+            ],
+        )
+        watch = StateWatch(sample_every=1)
+        for time in range(1, 6):
+            report = checker.step(
+                time, Transaction({"p": [(time % 3,)]})
+            )
+            watch.observe(checker, report)
+        return checker, watch
+
+    def test_tier_profile_splits_on_boundedness(self):
+        checker, _ = self.run_watch()
+        profile = checker.tier_profile()
+        tiers = {
+            entry["tier"] for entry in profile.values()
+        }
+        assert tiers == {"hot", "cold"}
+        cold = [
+            label for label, e in profile.items() if e["tier"] == "cold"
+        ]
+        # the unbounded ONCE is the cold one
+        assert cold == [
+            label for label in profile if "[0,3]" not in label
+        ]
+        totals = checker.tier_totals()
+        assert totals["hot"] > 0 and totals["cold"] > 0
+        assert totals["hot"] + totals["cold"] == checker.aux_tuple_count()
+
+    def test_snapshot_carries_optional_tiers_section(self):
+        checker, watch = self.run_watch()
+        snapshot = validate_state(watch.snapshot(checker))
+        assert "tiers" in snapshot
+        assert snapshot["tiers"]["totals"] == checker.tier_totals()
+        text = render_state_text(snapshot)
+        assert "cold-eligible anchor(s)" in text
+        assert "[cold]" in text and "[hot]" in text
+
+    def test_snapshot_without_tiers_still_validates(self):
+        # engines without the hook (and older snapshots) omit the
+        # section entirely — it must never become required
+        node = once_node()
+        fake = FakeChecker(node)
+        fake.set(2)
+        watch = StateWatch(sample_every=1)
+        watch.observe(fake)
+        snapshot = validate_state(watch.snapshot(fake))
+        assert "tiers" not in snapshot
+        render_state_text(snapshot)
+
+
 class TestBoundedWorkloadsConform:
     """The acceptance claim: bounded constraints in the seeded
     workloads never exceed their analytic per-node bounds."""

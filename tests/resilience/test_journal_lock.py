@@ -2,8 +2,11 @@
 
 The shard workers put the journal machinery under concurrent use for
 the first time: one directory per shard, locks stolen from crashed
-children, fsync'd records.  These tests pin the single-writer guard
-and the recover() edges the sharded supervisor leans on.
+children, fsync'd records.  These tests pin the single-writer guard —
+including the PID-reuse hazard: a lock file names ``(pid, process
+start token)``, and a *recycled* pid (alive again, but a different
+process) must be stolen, not refused — and the recover() edges the
+sharded supervisor leans on.
 """
 
 import json
@@ -11,7 +14,6 @@ import os
 
 import pytest
 
-from repro.core.monitor import Monitor
 from repro.core.persist import (
     CHECKPOINT_NAME,
     JOURNAL_NAME,
@@ -21,8 +23,10 @@ from repro.core.persist import (
     recover,
     save_checker,
 )
+from repro.core.monitor import Monitor
 from repro.db import DatabaseSchema, Transaction
 from repro.errors import MonitorError, RecoveryError
+from repro.store.lock import process_start_token
 
 
 @pytest.fixture
@@ -44,12 +48,23 @@ def stream(length=10):
     return items
 
 
+def dead_pid():
+    """Spawn-and-wait a child so its pid is certainly dead."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
+
+
 class TestJournalLock:
-    def test_acquire_writes_own_pid(self, tmp_path):
+    def test_acquire_stamps_pid_and_start_token(self, tmp_path):
         lock = JournalLock(tmp_path)
         lock.acquire()
         assert lock.held
-        assert (tmp_path / LOCK_NAME).read_text() == str(os.getpid())
+        owner = json.loads((tmp_path / LOCK_NAME).read_text())
+        assert owner["pid"] == os.getpid()
+        assert owner["token"] == process_start_token(os.getpid())
         lock.release()
         assert not (tmp_path / LOCK_NAME).exists()
 
@@ -61,22 +76,50 @@ class TestJournalLock:
         assert b.held
 
     def test_live_foreign_owner_refused(self, tmp_path):
-        # pid 1 (init) is always alive and never us
-        (tmp_path / LOCK_NAME).write_text("1")
+        # pid 1 (init) is always alive and never us; stamp its real
+        # start token so the owner is provably the same live process
+        (tmp_path / LOCK_NAME).write_text(json.dumps(
+            {"pid": 1, "token": process_start_token(1)}
+        ))
         with pytest.raises(MonitorError, match="locked by live process 1"):
             JournalLock(tmp_path).acquire()
 
     def test_dead_owner_is_stolen(self, tmp_path):
-        # spawn-and-wait a child so its pid is certainly dead
-        pid = os.fork()
-        if pid == 0:
-            os._exit(0)
-        os.waitpid(pid, 0)
-        (tmp_path / LOCK_NAME).write_text(str(pid))
+        pid = dead_pid()
+        (tmp_path / LOCK_NAME).write_text(json.dumps(
+            {"pid": pid, "token": "12345"}
+        ))
         lock = JournalLock(tmp_path)
         lock.acquire()
         assert lock.held
-        assert (tmp_path / LOCK_NAME).read_text() == str(os.getpid())
+        owner = json.loads((tmp_path / LOCK_NAME).read_text())
+        assert owner["pid"] == os.getpid()
+
+    def test_recycled_pid_is_stolen(self, tmp_path):
+        # THE pid-reuse regression: the lock names a pid that is alive
+        # (pid 1) but a start token belonging to a different, long-dead
+        # incarnation.  A bare-pid liveness probe would refuse forever;
+        # the token mismatch proves the true owner is gone.
+        real = process_start_token(1)
+        assert real is not None, "test requires /proc"
+        stale = "1" if real != "1" else "2"
+        (tmp_path / LOCK_NAME).write_text(json.dumps(
+            {"pid": 1, "token": stale}
+        ))
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        assert lock.held
+
+    def test_legacy_bare_pid_lock_still_read(self, tmp_path):
+        # locks written before the (pid, token) format: dead → stolen,
+        # live → refused (the conservative rule they were written under)
+        (tmp_path / LOCK_NAME).write_text(str(dead_pid()))
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        lock.release()
+        (tmp_path / LOCK_NAME).write_text("1")
+        with pytest.raises(MonitorError, match="locked by live process"):
+            JournalLock(tmp_path).acquire()
 
     def test_garbage_lock_file_is_stolen(self, tmp_path):
         (tmp_path / LOCK_NAME).write_text("not-a-pid")
@@ -121,16 +164,14 @@ class TestSingleWriter:
         for t, txn in stream(6):
             monitor.step(t, txn)
         # simulate a kill: forge a dead owner instead of releasing
-        monitor.journal._fh.close()
-        pid = os.fork()
-        if pid == 0:
-            os._exit(0)
-        os.waitpid(pid, 0)
-        (tmp_path / LOCK_NAME).write_text(str(pid))
-        monitor.journal._lock._held = False
+        monitor.journal.store._fh.close()
+        monitor.journal.store._fh = None
+        monitor.journal.store._lock._held = False
+        (tmp_path / LOCK_NAME).write_text(str(dead_pid()))
         recovered, result = Monitor.recover(tmp_path)
         assert recovered.now == 6
-        assert (tmp_path / LOCK_NAME).read_text() == str(os.getpid())
+        owner = json.loads((tmp_path / LOCK_NAME).read_text())
+        assert owner["pid"] == os.getpid()
 
 
 class TestRecoveryEdges:
@@ -145,8 +186,30 @@ class TestRecoveryEdges:
         save_checker(monitor.checker, tmp_path / CHECKPOINT_NAME)
         result = recover(tmp_path)
         assert result.journal_entries == 0
+        assert result.torn_records == 0
+        assert not result.fallback
         assert len(result.replayed.steps) == 0
         assert result.checker.steps_processed == 0
+
+    def test_legacy_json_checkpoint_and_journal_recover(
+        self, schema, tmp_path
+    ):
+        # a directory written by the pre-store format: plain-JSON
+        # checkpoint + JSONL journal, no frames anywhere
+        from repro.core.persist import checkpoint_dict
+
+        monitor = make_monitor(schema, engine="incremental")
+        (tmp_path / CHECKPOINT_NAME).write_text(
+            json.dumps(checkpoint_dict(monitor.checker))
+        )
+        with open(tmp_path / JOURNAL_NAME, "w") as fh:
+            for t, txn in stream(4):
+                entry = {"t": t}
+                entry.update(txn.to_dict())
+                fh.write(json.dumps(entry) + "\n")
+        result = recover(tmp_path)
+        assert result.journal_entries == 4
+        assert result.checker.now == 4
 
     def test_empty_journal_file_recovers_cleanly(self, schema, tmp_path):
         monitor = make_monitor(schema, engine="incremental")
@@ -192,10 +255,6 @@ class TestRecoveryEdges:
         for t, txn in stream(5):
             monitor.step(t, txn)
         monitor.journal.close()
-        pid = os.fork()
-        if pid == 0:
-            os._exit(0)
-        os.waitpid(pid, 0)
-        (tmp_path / LOCK_NAME).write_text(str(pid))
+        (tmp_path / LOCK_NAME).write_text(str(dead_pid()))
         recovered, _ = Monitor.recover(tmp_path)
         assert recovered.now == 5

@@ -1117,13 +1117,16 @@ class TestHealthRender:
             ["health", "render", str(snap), "--format", "json"]
         ) == 0
         doc = json.loads(capsys.readouterr().out)
-        # the repro-state/1 document schema, pinned
+        # the repro-state/1 document schema, pinned ("tiers" is the
+        # one optional section: engines with storage-tier accounting
+        # report it, older snapshots validly omit it)
         assert set(doc) == {
             "version", "engine", "steps", "profile", "bounds",
-            "alerts", "heavy_hitters",
+            "alerts", "heavy_hitters", "tiers",
         }
         assert doc["version"] == "repro-state/1"
         assert doc["engine"] == "incremental"
+        assert set(doc["tiers"]) == {"nodes", "totals"}
         for entry in doc["bounds"].values():
             assert set(entry) == {
                 "tuples", "valuations", "bound", "within", "breaches",

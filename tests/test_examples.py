@@ -35,6 +35,7 @@ def test_examples_directory_is_complete():
         "sensor_monitoring.py",
         "request_grant_deadlines.py",
         "checkpoint_resume.py",
+        "durable_store.py",
         "active_domain_semantics.py",
         "aggregation_limits.py",
         "active_rules_repair.py",
@@ -86,6 +87,16 @@ def test_checkpoint_resume():
     assert "bytes" in out
     assert "crash-and-recover run identical" in out
     assert "journal record(s)" in out
+
+
+def test_durable_store():
+    out = run_example("durable_store.py")
+    assert "cold anchor(s)" in out
+    assert "[hot] ONCE[0,5] approve(s)" in out
+    assert "injected 2 storage fault(s) (seed 42)" in out
+    assert "repair: complete" in out
+    assert "continued verdicts identical to the uninterrupted run" in out
+    assert "no wrong verdict, no lost state" in out
 
 
 def test_active_domain_semantics():
