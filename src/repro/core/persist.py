@@ -538,6 +538,13 @@ class RunJournal:
         self.checkpoints_written += 1
         self._since_checkpoint = 0
 
+    def abandon(self) -> None:
+        """Simulate this journal's process dying (chaos tests): leave
+        every on-disk artifact as a kill would, but drop the writer
+        lock's in-process claim so recovery in this same process can
+        steal it like a respawn."""
+        self.store.abandon()
+
     def close(self) -> None:
         """Flush and close the backend; release the writer lock."""
         self.store.close()

@@ -429,6 +429,11 @@ def run_until_crash(monitor, stream: Iterable, crash_at: int) -> RunReport:
             report.add(monitor.step(time, txn))
     except SimulatedCrash:
         pass
+    if getattr(monitor, "journal", None) is not None:
+        # the simulated owner is dead: drop its in-process writer-lock
+        # claim (the lock *file* stays behind, as after a real kill) so
+        # recovery in this process can steal it like a respawn would
+        monitor.journal.abandon()
     return report
 
 

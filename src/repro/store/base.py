@@ -275,6 +275,13 @@ class StateStore(ABC):
     def close(self) -> None:
         """Flush, close files, release locks (idempotent)."""
 
+    def abandon(self) -> None:
+        """Simulate this store's process dying (chaos tests): drop
+        in-process claims (the writer lock's same-process registry)
+        while leaving every on-disk artifact — including the lock
+        file — exactly as a killed process would.  No-op where nothing
+        is held."""
+
     def scrub(self) -> ScrubReport:
         """Verify every durable record; in-memory stores are vacuously
         clean."""

@@ -12,22 +12,50 @@ with every reincarnation of a pid, so the stale lock is recognised and
 stolen even when the pid is alive again under new management.
 
 The lock is *advisory* and crash-tolerant by design: it is stolen, not
-refused, whenever the recorded owner provably no longer exists.
+refused, whenever the recorded owner provably no longer exists.  Two
+details keep the steal itself safe under concurrency:
+
+* the lock file is **published atomically with its content** — the
+  owner record is written to a private temp file and hard-linked into
+  place, so no contender can ever observe an empty lock and misjudge
+  it as stale;
+* the steal sequence (re-read the owner, judge liveness, unlink,
+  claim) runs inside an ``flock``-ed critical section on a sidecar
+  guard file.  Without it, two processes that both judged the *old*
+  owner stale would race: the loser of the claim could unlink the
+  winner's fresh lock and acquire anyway — two live writers on one
+  segment log, exactly what the lock exists to prevent.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import MonitorError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-unix platform
+    fcntl = None
 
 #: Lock file name inside a journal/store directory.
 LOCK_NAME = "journal.lock"
 
+#: Sidecar file whose ``flock`` serialises steal attempts.  Persistent
+#: and content-free: only its file lock matters.
+GUARD_NAME = LOCK_NAME + ".guard"
+
 PathLike = Union[str, Path]
+
+#: Locks held by *this* process, keyed by real path: a second store
+#: instance on the same directory must be refused, not treated as a
+#: re-acquire — same-pid writers interleave frames just as badly as
+#: cross-process ones.
+_held_locks: Dict[str, "JournalLock"] = {}
 
 
 def process_start_token(pid: int) -> Optional[str]:
@@ -68,11 +96,12 @@ class JournalLock:
     """Single-writer guard for a journal/store directory.
 
     The lock file holds ``{"pid": ..., "token": ...}``.  ``acquire``
-    refuses only when the recorded owner is *provably the same live
+    refuses when the recorded owner is *provably the same live
     process*: the pid is alive **and** its current start token matches
     the recorded one (or no token could be read on either side, the
-    conservative fallback).  A dead pid, or a live pid whose token
-    mismatches (pid reuse), is stolen.
+    conservative fallback) — or when another instance in this very
+    process already holds the directory.  A dead pid, or a live pid
+    whose token mismatches (pid reuse), is stolen.
 
     Legacy bare-pid lock files (pre-token format) are still read; they
     carry no token, so they are handled with the conservative
@@ -81,10 +110,16 @@ class JournalLock:
 
     def __init__(self, directory: PathLike):
         self.path = Path(directory) / LOCK_NAME
+        self._key = os.path.realpath(self.path)
         self._held = False
 
     # retained as a hook point for tests that simulate liveness
     _pid_alive = staticmethod(_pid_alive)
+
+    @property
+    def guard_path(self) -> Path:
+        """The sidecar file whose ``flock`` serialises steals."""
+        return self.path.with_name(GUARD_NAME)
 
     @staticmethod
     def _read_owner(path: Path) -> Tuple[int, Optional[str]]:
@@ -129,52 +164,141 @@ class JournalLock:
             return True
         return current == token
 
-    def acquire(self) -> None:
-        """Take the lock, stealing it only from a provably dead owner.
+    def _check_in_process(self) -> None:
+        """Refuse when another live instance in this process holds the
+        directory — a same-pid second writer is still a second writer."""
+        other = _held_locks.get(self._key)
+        if other is not None and other is not self and other._held:
+            raise MonitorError(
+                f"journal directory {self.path.parent} is already "
+                f"locked by another store instance in this process; "
+                f"a second writer would corrupt the journal"
+            )
 
-        Raises:
-            MonitorError: when a *live* process (same pid **and** same
-                start token) holds the lock.
+    def _try_claim(self, candidate: Path) -> bool:
+        """Atomically install ``candidate`` as the lock file.
+
+        ``os.link`` publishes the file and its owner record in one
+        step (and fails for all but one contender), so a reader can
+        never observe a claimed-but-empty lock and misjudge it stale.
         """
-        while not self._held:
+        try:
+            os.link(candidate, self.path)
+            return True
+        except FileExistsError:
+            return False
+        except OSError:  # pragma: no cover - no hardlink support
+            # degrade to create-exclusive + write; the brief
+            # exists-without-content window is readable as garbage,
+            # which contenders treat as stale
             try:
                 fd = os.open(
                     self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
                 )
             except FileExistsError:
-                pid, token = self._read_owner(self.path)
-                if pid == os.getpid():
-                    self._held = True
-                    return
-                if self._owner_is_live(pid, token):
-                    raise MonitorError(
-                        f"journal directory {self.path.parent} is "
-                        f"locked by live process {pid}; a second "
-                        f"writer would corrupt the journal"
-                    ) from None
-                # dead owner, or a recycled pid with a fresh start
-                # token: the lock is stale — steal it
-                try:
-                    self.path.unlink()
-                except FileNotFoundError:  # pragma: no cover - raced
-                    pass
-                continue
-            pid = os.getpid()
-            with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps(
-                    {"pid": pid, "token": process_start_token(pid)}
-                ))
-            self._held = True
+                return False
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(candidate.read_bytes())
+            return True
+
+    @contextlib.contextmanager
+    def _steal_guard(self):
+        """``flock``-ed critical section for the steal protocol.
+
+        Judge-then-unlink is not atomic on its own: two contenders
+        that both judged the same stale owner would otherwise unlink
+        whatever lock file is present *now* — including the fresh one
+        the first stealer just committed.  Serialising the sequence
+        (and re-reading the owner inside it) closes that window.
+        """
+        if fcntl is None:  # pragma: no cover - non-unix platform
+            yield
+            return
+        fd = os.open(self.guard_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the fd drops the flock
+
+    def acquire(self) -> None:
+        """Take the lock, stealing it only from a provably dead owner.
+
+        Raises:
+            MonitorError: when a *live* process (same pid **and** same
+                start token) holds the lock, or another instance in
+                this process does.
+        """
+        if self._held:
+            return
+        self._check_in_process()
+        pid = os.getpid()
+        candidate = self.path.with_name(
+            f"{LOCK_NAME}.{pid}.{id(self):x}.tmp"
+        )
+        candidate.write_text(json.dumps(
+            {"pid": pid, "token": process_start_token(pid)}
+        ))
+        try:
+            while True:
+                if self._try_claim(candidate):
+                    break
+                with self._steal_guard():
+                    # re-read under the guard: only one steal sequence
+                    # runs at a time, and it judges the lock file as it
+                    # is *now*, not as it was before the guard
+                    owner_pid, token = self._read_owner(self.path)
+                    if owner_pid == pid:
+                        self._check_in_process()
+                        # our own pid with no live holder instance: a
+                        # leftover from a simulated crash — stale
+                    elif self._owner_is_live(owner_pid, token):
+                        raise MonitorError(
+                            f"journal directory {self.path.parent} is "
+                            f"locked by live process {owner_pid}; a "
+                            f"second writer would corrupt the journal"
+                        ) from None
+                    try:
+                        self.path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    if self._try_claim(candidate):
+                        break
+                # a guard-less first-attempt creator slipped in between
+                # our unlink and claim: loop to judge the new owner
+        finally:
+            candidate.unlink(missing_ok=True)
+        self._held = True
+        _held_locks[self._key] = self
+
+    def abandon(self) -> None:
+        """Drop in-process ownership *without* touching the lock file.
+
+        Simulates the owner dying (chaos tests): the file stays behind
+        exactly as a killed process would leave it, but this instance
+        no longer counts as a live in-process holder, so a recovering
+        store in the same process steals the lock the way a respawned
+        process would.
+        """
+        if not self._held:
+            return
+        self._held = False
+        if _held_locks.get(self._key) is self:
+            del _held_locks[self._key]
 
     def release(self) -> None:
         """Drop the lock (idempotent; only the holder's file is removed)."""
         if not self._held:
             return
         self._held = False
-        try:
-            self.path.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+        if _held_locks.get(self._key) is self:
+            del _held_locks[self._key]
+        owner_pid, _ = self._read_owner(self.path)
+        if owner_pid == os.getpid():
+            try:
+                self.path.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     @property
     def held(self) -> bool:

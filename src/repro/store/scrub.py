@@ -14,8 +14,9 @@ damaged current checkpoint  promote the previous generation
 missing current checkpoint  promote the fsynced temp (a crash
                             landed between the two renames) or
                             the previous generation
-damaged cold generation     promote the checkpoint whose
-                            generation still verifies
+damaged cold generation     current's: promote the previous
+                            generation; prev's: unlink the spare
+                            checkpoint (redundancy only)
 stale artifact (temp file,  unlink
 segment past retention)
 damaged prev checkpoint     unlink (redundancy only; current is
@@ -208,14 +209,23 @@ def scrub_directory(directory: PathLike) -> ScrubReport:
             ),
         ))
 
-    # cold-tier damage, attributed to the tier file
-    for probe in (current, prev):
-        if probe.frame_ok and probe.cold_error is not None:
-            report.findings.append(ScrubFinding(
-                directory / COLD_NAME, probe.cold_error.kind,
-                str(probe.cold_error),
-                repair="fallback" if other_usable(probe) else "none",
-            ))
+    # cold-tier damage: the current generation falls back, but a
+    # damaged *prev* generation drops the spare checkpoint instead —
+    # promoting prev over a usable current would replace good state
+    # with the very generation whose cold rows failed verification
+    if current.frame_ok and current.cold_error is not None:
+        report.findings.append(ScrubFinding(
+            directory / COLD_NAME, current.cold_error.kind,
+            str(current.cold_error),
+            repair="fallback" if prev.usable else "none",
+        ))
+    if prev.frame_ok and prev.cold_error is not None:
+        report.findings.append(ScrubFinding(
+            prev.path, prev.cold_error.kind,
+            f"cold generation unreadable ({prev.cold_error}); "
+            f"the previous checkpoint is redundancy only",
+            repair="unlink" if current.usable else "none",
+        ))
 
     # journal segments: every frame of every retained segment
     chosen_epoch = None

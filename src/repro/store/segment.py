@@ -148,6 +148,10 @@ class SegmentStore(StateStore):
         self.sync = sync
         self._failpoints: Set[str] = set(failpoints)
         self._fh = None
+        #: torn-tail bytes of the active segment, discovered by a
+        #: lenient load: the valid prefix length to truncate to before
+        #: the first append, so new records never land behind damage
+        self._truncate_tail: Optional[int] = None
         self._epoch = self._discover_epoch()
         self._records_written = 0
         self._checkpoints_written = 0
@@ -202,6 +206,10 @@ class SegmentStore(StateStore):
         if name in self._failpoints:
             from repro.resilience.chaos import SimulatedCrash
 
+            # the simulated process dies here: drop its in-process
+            # writer-lock claim (the file stays, as after a real kill)
+            # so recovery in this process can steal it like a respawn
+            self.abandon()
             raise SimulatedCrash(f"storage failpoint {name}")
         spec = os.environ.get(FAILPOINT_ENV, "")
         if not spec:
@@ -237,8 +245,23 @@ class SegmentStore(StateStore):
     def _open_segment(self, epoch: int, truncate: bool = False) -> None:
         if self._fh is not None:
             self._fh.close()
+        path = self.directory / segment_name(epoch)
+        if truncate:
+            # rotation starts a fresh segment; any recorded tail
+            # damage belonged to the (retained) previous one
+            self._truncate_tail = None
+        elif self._truncate_tail is not None:
+            # a lenient load found a torn tail in this segment: drop
+            # the damaged bytes now, or every appended record would be
+            # stranded behind them (the next load stops at the first
+            # bad frame and would silently discard the new records)
+            with open(path, "r+b") as fh:
+                fh.truncate(self._truncate_tail)
+                fh.flush()
+                fsync_file(fh, self.sync)
+            self._truncate_tail = None
         mode = "wb" if truncate else "ab"
-        self._fh = open(self.directory / segment_name(epoch), mode)
+        self._fh = open(path, mode)
 
     def append(self, record: dict) -> None:
         """Append one framed journal record to the active segment."""
@@ -356,6 +379,7 @@ class SegmentStore(StateStore):
         records: List[dict] = []
         torn = 0
         broken = False
+        self._truncate_tail = None
         for path in list_segments(self.directory):
             if segment_epoch(path) < epoch:
                 continue  # retained for deeper fallback only
@@ -369,6 +393,11 @@ class SegmentStore(StateStore):
             torn += scan.dropped_lines
             if not scan.clean:
                 broken = True
+                if path == self.journal_path and self._fh is None:
+                    # damage in the segment appends reopen: remember
+                    # the valid prefix so the first append truncates
+                    # the torn tail instead of writing after it
+                    self._truncate_tail = scan.valid_bytes
         return StoreSnapshot(
             document, cold_rows=cold_rows, records=records,
             epoch=epoch, fallback=fallback, torn_records=torn,
@@ -385,6 +414,18 @@ class SegmentStore(StateStore):
         from repro.store.scrub import repair_directory
 
         return repair_directory(self.directory)
+
+    def abandon(self) -> None:
+        """Simulate a kill: drop the in-process lock claim, nothing else.
+
+        File handles stay open and the lock file stays on disk with
+        this process's stamp — exactly the wreckage a killed process
+        leaves — but the writer lock no longer counts as held by a
+        live instance, so in-process recovery can steal it the way a
+        respawned process would.
+        """
+        if self._lock is not None:
+            self._lock.abandon()
 
     def close(self) -> None:
         """Flush and close the segment; release lock and cold tier."""

@@ -68,12 +68,35 @@ class TestJournalLock:
         lock.release()
         assert not (tmp_path / LOCK_NAME).exists()
 
-    def test_same_pid_reacquires(self, tmp_path):
+    def test_second_instance_in_process_refused(self, tmp_path):
+        # a same-pid second writer interleaves frames just as badly as
+        # a cross-process one: the registry must refuse it, and the
+        # refusal must not touch the holder's lock file
         a = JournalLock(tmp_path)
         a.acquire()
         b = JournalLock(tmp_path)
-        b.acquire()  # same process: not a second writer
+        with pytest.raises(MonitorError, match="another store instance"):
+            b.acquire()
+        assert not b.held
+        assert (tmp_path / LOCK_NAME).exists()
+        a.release()
+        b.acquire()  # free again once the holder releases
         assert b.held
+        b.release()
+
+    def test_abandon_simulates_owner_death(self, tmp_path):
+        # abandon leaves the lock file behind (like a kill) but drops
+        # the in-process claim, so a later acquire in this process
+        # steals it the way a respawned process would
+        a = JournalLock(tmp_path)
+        a.acquire()
+        a.abandon()
+        assert not a.held
+        assert (tmp_path / LOCK_NAME).exists()
+        b = JournalLock(tmp_path)
+        b.acquire()
+        assert b.held
+        b.release()
 
     def test_live_foreign_owner_refused(self, tmp_path):
         # pid 1 (init) is always alive and never us; stamp its real
@@ -134,6 +157,64 @@ class TestJournalLock:
         lock.release()
         assert not lock.held
 
+    def test_release_leaves_a_foreign_lock_alone(self, tmp_path):
+        # if the file was stolen out from under us (or forged), our
+        # release must not unlink the new owner's lock
+        lock = JournalLock(tmp_path)
+        lock.acquire()
+        (tmp_path / LOCK_NAME).write_text(json.dumps(
+            {"pid": 1, "token": process_start_token(1)}
+        ))
+        lock.release()
+        assert (tmp_path / LOCK_NAME).exists()
+
+    def test_concurrent_steal_has_a_single_winner(self, tmp_path):
+        # THE double-steal race: several processes judge the same
+        # stale owner at once.  Exactly one may acquire, and its fresh
+        # lock must never be unlinked by a loser that judged the old
+        # one — that would admit a second live writer.
+        import time
+
+        (tmp_path / LOCK_NAME).write_text(json.dumps(
+            {"pid": dead_pid(), "token": "999"}
+        ))
+        barrier = tmp_path / "go"
+        results = tmp_path / "results"
+        results.mkdir()
+        children = []
+        contenders = 8
+        for i in range(contenders):
+            pid = os.fork()
+            if pid == 0:  # child: contend for the stale lock
+                status = 1
+                try:
+                    while not barrier.exists():
+                        time.sleep(0.001)
+                    lock = JournalLock(tmp_path)
+                    try:
+                        lock.acquire()
+                        (results / f"won-{i}").write_text(str(os.getpid()))
+                        # hold until every contender has decided, so no
+                        # late loser sees *us* as a dead owner
+                        deadline = time.monotonic() + 30
+                        while (len(list(results.iterdir())) < contenders
+                               and time.monotonic() < deadline):
+                            time.sleep(0.002)
+                    except MonitorError:
+                        (results / f"lost-{i}").write_text("")
+                    status = 0
+                finally:
+                    os._exit(status)
+            children.append(pid)
+        barrier.write_text("")
+        for pid in children:
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+        winners = list(results.glob("won-*"))
+        assert len(winners) == 1
+        owner = json.loads((tmp_path / LOCK_NAME).read_text())
+        assert owner["pid"] == int(winners[0].read_text())
+
 
 class TestSingleWriter:
     def test_second_journal_in_live_process_conflicts(
@@ -166,7 +247,7 @@ class TestSingleWriter:
         # simulate a kill: forge a dead owner instead of releasing
         monitor.journal.store._fh.close()
         monitor.journal.store._fh = None
-        monitor.journal.store._lock._held = False
+        monitor.journal.abandon()
         (tmp_path / LOCK_NAME).write_text(str(dead_pid()))
         recovered, result = Monitor.recover(tmp_path)
         assert recovered.now == 6

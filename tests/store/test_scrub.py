@@ -52,6 +52,37 @@ def journal_dir(schema, tmp_path):
     return tmp_path / "j"
 
 
+@pytest.fixture
+def cold_journal_dir(schema, tmp_path):
+    """A journaled run with cold anchor generations behind *both*
+    checkpoint generations (unbounded ONCE → spilled anchors)."""
+    monitor = Monitor(schema)
+    monitor.add_constraint("ever", "q(x) -> ONCE p(x)")
+    monitor.enable_journal(tmp_path / "jc", checkpoint_every=3)
+    for t, txn in stream(8):
+        monitor.step(t, txn)
+    monitor.journal.close()
+    return tmp_path / "jc"
+
+
+def corrupt_cold_generation(directory, checkpoint_name):
+    """Bit-flip the cold rows of the generation ``checkpoint_name``
+    references; returns the number of rows damaged."""
+    import sqlite3
+
+    from repro.store.record import scan_segment
+
+    meta = scan_segment(directory / checkpoint_name).records[0]
+    conn = sqlite3.connect(directory / "cold.sqlite")
+    with conn:
+        cursor = conn.execute(
+            "UPDATE cold_rows SET payload = '[[99], [1, 1]]' "
+            "WHERE gen = ?", (meta["epoch"],),
+        )
+    conn.close()
+    return cursor.rowcount
+
+
 def flip_byte(path, offset=None):
     data = bytearray(path.read_bytes())
     data[len(data) // 2 if offset is None else offset] ^= 0x01
@@ -111,6 +142,29 @@ class TestScrubMatrix:
         assert not report.repairable
         assert all(f.repair == "none" for f in report.findings)
 
+    def test_damaged_current_cold_generation_fallback(
+        self, cold_journal_dir
+    ):
+        assert corrupt_cold_generation(
+            cold_journal_dir, "checkpoint.json"
+        ) >= 1
+        report = scrub_directory(cold_journal_dir)
+        assert [f.repair for f in report.findings] == ["fallback"]
+        assert report.findings[0].path.name == "cold.sqlite"
+
+    def test_damaged_prev_cold_generation_unlinks_spare(
+        self, cold_journal_dir
+    ):
+        # the spare's cold rows are redundancy only: the repair must
+        # drop the prev checkpoint, never promote it over the usable
+        # current generation
+        assert corrupt_cold_generation(
+            cold_journal_dir, "checkpoint.prev.json"
+        ) >= 1
+        report = scrub_directory(cold_journal_dir)
+        assert [f.repair for f in report.findings] == ["unlink"]
+        assert report.findings[0].path.name == "checkpoint.prev.json"
+
     def test_missing_checkpoint_with_tmp_rebuild(self, journal_dir):
         # a crash between the two renames: current gone, fsynced temp
         # present — the temp is promotable
@@ -168,6 +222,23 @@ class TestRepair:
         assert report.complete
         assert (journal_dir / "checkpoint.json").exists()
         assert recover(journal_dir).checker.now == 8
+
+    def test_prev_cold_damage_repair_keeps_current_loadable(
+        self, cold_journal_dir
+    ):
+        # THE regression: repairing a damaged *prev* cold generation
+        # must not overwrite the usable current checkpoint with the
+        # generation whose rows failed verification (which load()
+        # would then reject, with no prev left — total state loss)
+        assert corrupt_cold_generation(
+            cold_journal_dir, "checkpoint.prev.json"
+        ) >= 1
+        report = repair_directory(cold_journal_dir)
+        assert report.complete
+        assert scrub_directory(cold_journal_dir).clean
+        result = recover(cold_journal_dir)
+        assert result.checker.now == 8
+        assert not result.fallback
 
     def test_unrepairable_damage_is_reported_not_hidden(self, journal_dir):
         flip_byte(journal_dir / "checkpoint.json")

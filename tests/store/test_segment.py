@@ -154,6 +154,24 @@ class TestLenientLoad:
         assert snapshot.records == []
         assert snapshot.torn_records == 2
 
+    def test_append_after_torn_load_truncates_the_tail(self, tmp_path):
+        # the documented lifecycle (construct → load → append) against
+        # a torn active segment: appends must not land *behind* the
+        # damaged bytes, or the next load would stop at the tear and
+        # silently discard every post-recovery record
+        with SegmentStore(tmp_path / "s") as store:
+            store.append({"t": 1})
+            journal = store.journal_path
+        with open(journal, "ab") as fh:
+            fh.write(b"rs1 20 0123456789abcdef {\"t\"")
+        with SegmentStore(tmp_path / "s") as store:
+            assert store.load().torn_records == 1
+            store.append({"t": 2})
+        with SegmentStore(tmp_path / "s") as store:
+            snapshot = store.load()
+            assert [r["t"] for r in snapshot.records] == [1, 2]
+            assert snapshot.torn_records == 0
+
     def test_both_generations_damaged_loads_empty(self, store):
         store.checkpoint(checkpoint_doc(1))
         store.checkpoint(checkpoint_doc(2))
